@@ -1,0 +1,69 @@
+//! Ablation: GlobalAverage vs SizeAware estimation model.
+//!
+//! Measures the cost of fitting each model variant and building the full
+//! estimate curve, and prints an accuracy comparison on the mixed-size
+//! Trending Preview workload (where the variants differ most) before the
+//! timing runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvsim::StoreKind;
+use mnemo::accuracy::{ErrorStats, EvalPoint};
+use mnemo::advisor::{Advisor, AdvisorConfig, OrderingKind};
+use mnemo::{EstimateEngine, ModelKind, PatternEngine, PerfModel};
+use std::hint::black_box;
+use ycsb::WorkloadSpec;
+
+fn accuracy_summary() {
+    let trace = WorkloadSpec::trending_preview().scaled(1_000, 10_000).generate(5);
+    for model in [ModelKind::GlobalAverage, ModelKind::SizeAware] {
+        let mut config = AdvisorConfig::default();
+        config.spec.cache.capacity_bytes = trace.dataset_bytes() / 85;
+        config.model = model;
+        config.ordering = OrderingKind::MnemoT;
+        let spec = config.spec.clone();
+        let consultation =
+            Advisor::new(config).consult(StoreKind::Redis, &trace).expect("consultation");
+        let points = mnemo::accuracy::evaluate(
+            StoreKind::Redis,
+            &trace,
+            &consultation,
+            &spec,
+            hybridmem::clock::NoiseConfig::disabled(),
+            9,
+        )
+        .expect("evaluation");
+        let errors: Vec<f64> = points.iter().map(EvalPoint::error_pct).collect();
+        let stats = ErrorStats::from_errors(&errors);
+        println!(
+            "[ablation_model] {model:?}: median |err| {:.3}%, max {:.3}% (trending preview)",
+            stats.median, stats.max
+        );
+    }
+}
+
+fn bench_models(c: &mut Criterion) {
+    accuracy_summary();
+    let trace = WorkloadSpec::trending_preview().scaled(1_000, 10_000).generate(5);
+    let baselines = mnemo::SensitivityEngine::default()
+        .measure(StoreKind::Redis, &trace)
+        .expect("baselines");
+    let pattern = PatternEngine::analyze(&trace);
+    let order = pattern.hotness_order();
+
+    let mut group = c.benchmark_group("model");
+    group.sample_size(20);
+    for kind in [ModelKind::GlobalAverage, ModelKind::SizeAware] {
+        group.bench_with_input(BenchmarkId::new("fit", format!("{kind:?}")), &kind, |b, &kind| {
+            b.iter(|| PerfModel::fit(black_box(kind), &baselines, &trace.sizes))
+        });
+        let model = PerfModel::fit(kind, &baselines, &trace.sizes);
+        let engine = EstimateEngine::new(model, cloudcost::CostModel::default());
+        group.bench_with_input(BenchmarkId::new("curve", format!("{kind:?}")), &kind, |b, _| {
+            b.iter(|| engine.curve(black_box(&pattern), black_box(&order)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

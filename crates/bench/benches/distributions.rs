@@ -1,0 +1,52 @@
+//! Sampling throughput of the YCSB-style key choosers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use ycsb::dist::DistKind;
+
+fn bench_choosers(c: &mut Criterion) {
+    let kinds: [(&str, DistKind); 6] = [
+        ("uniform", DistKind::Uniform),
+        ("sequential", DistKind::Sequential),
+        ("zipfian", DistKind::Zipfian { theta: 0.99 }),
+        ("scrambled", DistKind::ScrambledZipfian { theta: 0.99 }),
+        ("hotspot", DistKind::Hotspot { hot_fraction: 0.2, hot_op_fraction: 0.8 }),
+        ("latest", DistKind::Latest { theta: 0.99, churn_period: 10 }),
+    ];
+    let mut group = c.benchmark_group("key_choosers");
+    group.sample_size(20);
+    const DRAWS: u64 = 100_000;
+    group.throughput(Throughput::Elements(DRAWS));
+    for (name, kind) in kinds {
+        group.bench_with_input(BenchmarkId::new("draw", name), &kind, |b, kind| {
+            let mut chooser = kind.chooser(10_000);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..DRAWS {
+                    acc = acc.wrapping_add(chooser.next(&mut rng));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    for spec in ycsb::WorkloadSpec::table3() {
+        let spec = spec.scaled(10_000, 100_000);
+        group.throughput(Throughput::Elements(spec.requests as u64));
+        group.bench_with_input(BenchmarkId::new("generate", spec.name.clone()), &spec, |b, spec| {
+            b.iter(|| black_box(spec.generate(7).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_choosers, bench_trace_generation);
+criterion_main!(benches);

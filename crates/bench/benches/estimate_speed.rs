@@ -1,0 +1,47 @@
+//! The Estimate Engine's "instantaneous" claim (§V-B): building the full
+//! per-key estimate curve must stay linear and fast as the key space
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kvsim::StoreKind;
+use mnemo::{EstimateEngine, ModelKind, PatternEngine, PerfModel, SensitivityEngine};
+use std::hint::black_box;
+use ycsb::WorkloadSpec;
+
+fn bench_curve_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_curve");
+    group.sample_size(10);
+    for keys in [1_000u64, 10_000, 50_000] {
+        // Fit once on a small measured run; the curve cost is what scales.
+        let small = WorkloadSpec::trending().scaled(200, 2_000).generate(1);
+        let baselines =
+            SensitivityEngine::default().measure(StoreKind::Redis, &small).expect("baselines");
+        let model = PerfModel::fit(ModelKind::GlobalAverage, &baselines, &small.sizes);
+
+        let trace = WorkloadSpec::trending().scaled(keys, (keys as usize) * 4).generate(1);
+        let pattern = PatternEngine::analyze(&trace);
+        let order = pattern.hotness_order();
+        let engine = EstimateEngine::new(model.clone(), cloudcost::CostModel::default());
+        group.throughput(Throughput::Elements(keys));
+        group.bench_with_input(BenchmarkId::new("keys", keys), &keys, |b, _| {
+            b.iter(|| black_box(engine.curve(&pattern, &order).rows.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_engine");
+    group.sample_size(10);
+    for requests in [10_000usize, 100_000, 400_000] {
+        let trace = WorkloadSpec::timeline().scaled(10_000, requests).generate(2);
+        group.throughput(Throughput::Elements(requests as u64));
+        group.bench_with_input(BenchmarkId::new("requests", requests), &requests, |b, _| {
+            b.iter(|| black_box(PatternEngine::analyze(&trace).total_requests()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_curve_scaling, bench_pattern_analysis);
+criterion_main!(benches);

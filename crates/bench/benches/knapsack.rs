@@ -1,0 +1,44 @@
+//! Knapsack solver scaling: exact DP vs density greedy on tiering-shaped
+//! instances (item weights = record sizes, values = promotion benefits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnemo::knapsack::{dp_exact, greedy, solve, Item};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn tiering_items(n: usize, seed: u64) -> Vec<Item> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            // Record-size-shaped weights (1 KB .. 128 KB) and zipf-ish values.
+            let weight = 1u64 << rng.random_range(10..17);
+            let value = 1.0 / (1.0 + (i as f64).powf(0.8)) * 1e6;
+            Item { id: i as u64, weight, value }
+        })
+        .collect()
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knapsack");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        let items = tiering_items(n, 42);
+        let capacity: u64 = items.iter().map(|i| i.weight).sum::<u64>() / 3;
+        group.bench_with_input(BenchmarkId::new("greedy", n), &items, |b, items| {
+            b.iter(|| black_box(greedy(items, capacity).value));
+        });
+        group.bench_with_input(BenchmarkId::new("solve", n), &items, |b, items| {
+            b.iter(|| black_box(solve(items, capacity).value));
+        });
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("dp_unit4k", n), &items, |b, items| {
+                b.iter(|| black_box(dp_exact(items, capacity, (capacity / 4096).max(1)).value));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

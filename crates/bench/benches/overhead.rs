@@ -1,0 +1,29 @@
+//! Table IV's quantitative core: MnemoT's description-only tiering vs
+//! the instrumentation-based profiling pipeline on the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mnemo::baselines::InstrumentedProfiler;
+use mnemo::pattern::PatternEngine;
+use mnemo::tiering::MnemoT;
+use std::hint::black_box;
+use ycsb::WorkloadSpec;
+
+fn bench_profilers(c: &mut Criterion) {
+    let trace = WorkloadSpec::timeline().scaled(2_000, 20_000).generate(11);
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_with_input(BenchmarkId::new("mnemot", "pattern+weights"), &trace, |b, trace| {
+        b.iter(|| {
+            let pattern = PatternEngine::analyze(trace);
+            black_box(MnemoT::weight_order(&pattern).len())
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("instrumented", "per-line"), &trace, |b, trace| {
+        b.iter(|| black_box(InstrumentedProfiler::profile(trace).events));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profilers);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerate every table and figure in sequence (see EXPERIMENTS.md).
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 19] = [
+    "fig1", "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig8", "fig9", "table4",
+    "downsampling", "ycsb_core", "sweep_slowmem", "dynamic_vs_static", "cache_mode", "model_limits", "pipelining", "variance", "appendix",
+];
+
+fn main() {
+    // Run siblings through cargo so they are rebuilt if stale (spawning
+    // target-dir executables directly can silently run old code).
+    for exp in EXPERIMENTS {
+        println!("\n================ {exp} ================");
+        let status = Command::new("cargo")
+            .args(["run", "--release", "--quiet", "-p", "mnemo-bench", "--bin", exp])
+            .status()
+            .expect("spawn experiment via cargo");
+        assert!(status.success(), "{exp} failed");
+    }
+    println!("\nAll experiments regenerated. CSVs in target/experiments/.");
+}

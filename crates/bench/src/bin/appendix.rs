@@ -1,0 +1,56 @@
+//! Collect every CSV artifact under `target/experiments/` into one
+//! Markdown appendix (`target/experiments/APPENDIX.md`) — a single
+//! reviewable record of the last full regeneration.
+
+use std::fmt::Write as _;
+use std::fs;
+
+fn main() {
+    let dir = mnemo_bench::out_dir();
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("experiment dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "no CSVs found — run `cargo run --release -p mnemo-bench --bin all` first"
+    );
+
+    let mut md = String::from("# Experiment appendix\n\nGenerated from the CSV artifacts of the last full run.\n");
+    for path in &entries {
+        let name = path.file_stem().unwrap().to_string_lossy();
+        let content = fs::read_to_string(path).expect("readable csv");
+        let mut lines = content.lines();
+        let header = match lines.next() {
+            Some(h) => h,
+            None => continue,
+        };
+        let _ = writeln!(md, "\n## {name}\n");
+        let cols = header.split(',').count();
+        let _ = writeln!(md, "| {} |", header.split(',').collect::<Vec<_>>().join(" | "));
+        let _ = writeln!(md, "|{}", "---|".repeat(cols));
+        let rows: Vec<&str> = lines.collect();
+        // Large tables are elided to head+tail to keep the appendix readable.
+        const HEAD: usize = 12;
+        const TAIL: usize = 4;
+        if rows.len() <= HEAD + TAIL + 2 {
+            for row in &rows {
+                let _ = writeln!(md, "| {} |", row.split(',').collect::<Vec<_>>().join(" | "));
+            }
+        } else {
+            for row in &rows[..HEAD] {
+                let _ = writeln!(md, "| {} |", row.split(',').collect::<Vec<_>>().join(" | "));
+            }
+            let _ = writeln!(md, "| … ({} rows elided) … |", rows.len() - HEAD - TAIL);
+            for row in &rows[rows.len() - TAIL..] {
+                let _ = writeln!(md, "| {} |", row.split(',').collect::<Vec<_>>().join(" | "));
+            }
+        }
+    }
+    let out = dir.join("APPENDIX.md");
+    fs::write(&out, md).expect("write appendix");
+    println!("appendix with {} tables -> {}", entries.len(), out.display());
+}

@@ -1,0 +1,74 @@
+//! §V "Workload downsampling" — Mnemo's estimate stays accurate when the
+//! baselines are measured on a randomly downsampled trace, and the
+//! downsized workload is affected by hybrid memory to the same degree as
+//! the original.
+
+use kvsim::StoreKind;
+use mnemo::accuracy::{evaluate, ErrorStats, EvalPoint};
+use mnemo::advisor::OrderingKind;
+use mnemo_bench::{
+    measurement_noise, paper_advisor, paper_workload, print_table, seed_for, testbed_for,
+    write_csv,
+};
+use mnemo::ModelKind;
+use ycsb::sample::downsample;
+
+const FACTORS: [usize; 5] = [1, 2, 4, 8, 16];
+const POINTS: usize = 7;
+
+fn main() {
+    println!("Downsampling: estimate accuracy from sampled baselines (Trending, Redis)");
+    let spec = paper_workload("trending");
+    let full = spec.generate(seed_for(&spec.name));
+
+    let results = mnemo_bench::parallel(FACTORS.len(), |i| {
+        let factor = FACTORS[i];
+        let sampled = downsample(&full, factor, 99);
+        // Profile (baselines + pattern + curve) on the *sampled* trace...
+        let advisor = paper_advisor(&sampled, OrderingKind::TouchOrder, ModelKind::GlobalAverage);
+        let consultation = advisor.consult(StoreKind::Redis, &sampled).expect("consultation");
+        // ...then check the estimate against measured runs of the sampled
+        // workload, and compare its sensitivity with the full one.
+        let points = evaluate(
+            StoreKind::Redis,
+            &sampled,
+            &consultation,
+            &testbed_for(&sampled),
+            measurement_noise(5),
+            POINTS,
+        )
+        .expect("evaluation");
+        let sensitivity = consultation.baselines.sensitivity();
+        (factor, sampled.len(), sensitivity, points)
+    });
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let full_sensitivity = results[0].2;
+    for (factor, requests, sensitivity, points) in &results {
+        let errors: Vec<f64> = points.iter().map(EvalPoint::error_pct).collect();
+        let stats = ErrorStats::from_errors(&errors);
+        rows.push(vec![
+            format!("1/{factor}"),
+            requests.to_string(),
+            format!("{:+.1}%", sensitivity * 100.0),
+            format!("{:.3}%", stats.median),
+            format!("{:.3}%", stats.max),
+        ]);
+        csv.push(format!("{factor},{requests},{sensitivity:.5},{:.4},{:.4}", stats.median, stats.max));
+    }
+    print_table(
+        "sampled-workload baselines: sensitivity preserved, estimate accurate",
+        &["sample", "requests", "fast-vs-slow gain", "median |err|", "max |err|"],
+        &rows,
+    );
+    println!(
+        "\nFull-workload sensitivity {:+.1}%; all sampled runs must stay close.",
+        full_sensitivity * 100.0
+    );
+    write_csv(
+        "downsampling.csv",
+        "factor,requests,sensitivity,median_err_pct,max_err_pct",
+        &csv,
+    );
+}

@@ -1,0 +1,40 @@
+//! Fig. 1 — percentage of the cost of memory in select Memory Optimized
+//! VMs across major cloud providers.
+//!
+//! Methodology (§I / Amur et al.): model every instance price as
+//! `vCPU*C + GB*M`, least-squares over the provider's catalogue, then
+//! report `GB*M / price` for each memory-optimized instance.
+
+use cloudcost::regression::{memory_share_series, CostSplit};
+use cloudcost::{Provider, ProviderKind};
+use mnemo_bench::{print_table, write_csv};
+
+fn main() {
+    println!("Fig. 1: memory share of VM cost (Nov-2018 on-demand prices)");
+    let mut csv_rows = Vec::new();
+    for kind in ProviderKind::ALL {
+        let provider = Provider::new(kind);
+        let split = CostSplit::fit(&provider.instances).expect("catalogue fit failed");
+        let rows: Vec<Vec<String>> = memory_share_series(&provider.instances)
+            .expect("series failed")
+            .iter()
+            .map(|r| {
+                csv_rows.push(format!("{},{},{:.4}", kind.name(), r.instance, r.share));
+                vec![r.instance.to_string(), format!("{:5.1}%", r.share * 100.0)]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "{} (C=${:.4}/vCPU/h, M=${:.5}/GB/h, rms {:.1}%)",
+                kind.name(),
+                split.per_vcpu,
+                split.per_gb,
+                split.rms_relative_error * 100.0
+            ),
+            &["instance", "memory share"],
+            &rows,
+        );
+    }
+    write_csv("fig1_memory_share.csv", "provider,instance,memory_share", &csv_rows);
+    println!("\nPaper band: memory is ~60-85% of the VM cost for these instances.");
+}

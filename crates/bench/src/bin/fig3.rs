@@ -1,0 +1,29 @@
+//! Fig. 3 — CDF of the key space across request pattern distributions:
+//! "the probability for a key ID to be requested throughout the
+//! workload".
+
+use mnemo_bench::{paper_workloads, seed_for, write_csv};
+
+fn main() {
+    println!("Fig. 3: key-space CDFs per distribution");
+    let mut csv = Vec::new();
+    for spec in paper_workloads() {
+        let trace = spec.generate(seed_for(&spec.name));
+        let cdf = trace.key_cdf();
+        let n = cdf.len();
+        // Print a 10-point summary; dump the full CDF to CSV.
+        print!("  {:<18} ({:<17})", spec.name, spec.distribution.name());
+        for i in 1..=10 {
+            let idx = i * n / 10 - 1;
+            print!(" {:4.0}%", cdf[idx] * 100.0);
+        }
+        println!();
+        for (k, &p) in cdf.iter().enumerate() {
+            if k % (n / 200).max(1) == 0 || k == n - 1 {
+                csv.push(format!("{},{},{:.6}", spec.name, k, p));
+            }
+        }
+    }
+    println!("  (columns: cumulative request probability at each decile of the key space)");
+    write_csv("fig3_key_cdfs.csv", "workload,key_id,cum_probability", &csv);
+}

@@ -1,0 +1,37 @@
+//! Fig. 4 — CDF of common data sizes used across social media platforms
+//! (log-scale horizontal axis in the paper).
+
+use mnemo_bench::write_csv;
+use ycsb::SizeClass;
+
+fn main() {
+    println!("Fig. 4: record-size CDFs (bytes, log scale)");
+    let probes: Vec<u64> = (6..=20).map(|e| 1u64 << e).collect(); // 64 B .. 1 MB
+    let mut csv = Vec::new();
+    print!("  {:<16}", "size");
+    for &b in &probes {
+        print!(" {:>7}", human(b));
+    }
+    println!();
+    for class in SizeClass::ALL {
+        print!("  {:<16}", class.name());
+        for &b in &probes {
+            let p = class.cdf(b as f64);
+            print!(" {:>6.1}%", p * 100.0);
+            csv.push(format!("{},{},{:.6}", class.name(), b, p));
+        }
+        println!();
+    }
+    println!("  (median sizes: thumbnail 100 KB, text post 10 KB, caption 1 KB)");
+    write_csv("fig4_size_cdfs.csv", "class,bytes,cum_probability", &csv);
+}
+
+fn human(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}

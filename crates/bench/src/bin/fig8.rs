@@ -1,0 +1,247 @@
+//! Fig. 8 — evaluation of Mnemo's estimate.
+//!
+//! Panels: (a) estimate error boxplots per store, (b) store comparison on
+//! Trending, (c) average-latency estimate, (d/e) tail latencies (not
+//! estimated, reported), (f) Mnemo vs MnemoT estimate.
+//!
+//! Usage: `fig8 [a|b|c|d|f]` (default: all panels).
+
+use kvsim::StoreKind;
+use mnemo::accuracy::{ErrorStats, EvalPoint};
+use mnemo::advisor::OrderingKind;
+use mnemo_bench::{
+    consult, eval_points, paper_workload, paper_workloads, print_table, seed_for, stores,
+    write_csv,
+};
+
+const POINTS: usize = 9;
+
+fn panel_a() {
+    println!("\n--- Fig. 8a: estimate percentage error per store (boxplots) ---");
+    let workloads = paper_workloads();
+    // Run the paper's plain model and, as an extension comparison, the
+    // cache-aware corrected model over the same (store, workload) grid.
+    let jobs: Vec<(StoreKind, usize, bool)> = stores()
+        .iter()
+        .flat_map(|&s| (0..workloads.len()).flat_map(move |w| [(s, w, false), (s, w, true)]))
+        .collect();
+    let results = mnemo_bench::parallel(jobs.len(), |i| {
+        let (store, w, corrected) = jobs[i];
+        let spec = &workloads[w];
+        let trace = spec.generate(seed_for(&spec.name));
+        let consultation = if corrected {
+            let mut config = mnemo_bench::paper_advisor(
+                &trace,
+                OrderingKind::TouchOrder,
+                mnemo::ModelKind::GlobalAverage,
+            )
+            .config()
+            .clone();
+            config.cache_correction = Some(config.spec.cache.capacity_bytes);
+            mnemo::Advisor::new(config).consult(store, &trace).expect("consultation")
+        } else {
+            consult(store, &trace, OrderingKind::TouchOrder)
+        };
+        let points = eval_points(store, &trace, &consultation, POINTS);
+        (store, corrected, points)
+    });
+    let mut csv = Vec::new();
+    for corrected in [false, true] {
+        let mut rows = Vec::new();
+        for store in stores() {
+            let errors: Vec<f64> = results
+                .iter()
+                .filter(|(s, c, _)| *s == store && *c == corrected)
+                .flat_map(|(_, _, pts)| pts.iter().map(EvalPoint::error_pct))
+                .collect();
+            let stats = ErrorStats::from_errors(&errors);
+            // Signed bias: positive = estimate below measurement
+            // (pessimistic, i.e. SLO-safe when recommending).
+            let bias = errors.iter().sum::<f64>() / errors.len() as f64;
+            csv.push(format!(
+                "{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                store, corrected, stats.min, stats.q1, stats.median, stats.q3, stats.max, bias
+            ));
+            rows.push(vec![
+                store.to_string(),
+                format!("{:.3}%", stats.min),
+                format!("{:.3}%", stats.q1),
+                format!("{:.3}%", stats.median),
+                format!("{:.3}%", stats.q3),
+                format!("{:.3}%", stats.max),
+                format!("{:+.3}%", bias),
+                stats.count.to_string(),
+            ]);
+        }
+        let title = if corrected {
+            "with cache-aware correction (extension)"
+        } else {
+            "paper model (all Table III workloads)"
+        };
+        print_table(
+            &format!("absolute estimate error — {title}"),
+            &["store", "min", "q1", "median", "q3", "max", "bias", "points"],
+            &rows,
+        );
+    }
+    write_csv("fig8a_error_boxplots.csv", "store,cache_aware,min,q1,median,q3,max,bias", &csv);
+    println!("Paper: 0.07% median error across all stores.");
+    println!("The corrected variant deliberately under-credits LLC-resident keys, so its");
+    println!("larger errors are pessimistic bias (positive = estimate below measurement):");
+    println!("recommendations over-provision FastMem rather than violate the SLO. It pays");
+    println!("off where the plain model over-promises (sharp zipfian heads, see Fig. 8f).");
+}
+
+fn trending_points(store: StoreKind) -> Vec<EvalPoint> {
+    let spec = paper_workload("trending");
+    let trace = spec.generate(seed_for(&spec.name));
+    let consultation = consult(store, &trace, OrderingKind::TouchOrder);
+    eval_points(store, &trace, &consultation, POINTS)
+}
+
+fn panel_b() {
+    println!("\n--- Fig. 8b: store comparison (Trending) ---");
+    let all = mnemo_bench::parallel(3, |i| trending_points(stores()[i]));
+    let mut csv = Vec::new();
+    for (store, points) in stores().iter().zip(all) {
+        let slow = points.first().expect("endpoints").measured_ops_s;
+        let fast = points.last().expect("endpoints").measured_ops_s;
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                csv.push(format!(
+                    "{store},{:.4},{:.1},{:.1}",
+                    p.cost_reduction, p.measured_ops_s, p.estimated_ops_s
+                ));
+                vec![
+                    format!("{:.2}", p.cost_reduction),
+                    format!("{:9.1}", p.measured_ops_s),
+                    format!("{:9.1}", p.estimated_ops_s),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("{store} (sensitivity fast/slow = {:.2}x)", fast / slow),
+            &["cost (xFast)", "measured ops/s", "estimated ops/s"],
+            &rows,
+        );
+    }
+    write_csv("fig8b_store_comparison.csv", "store,cost_reduction,measured_ops_s,estimated_ops_s", &csv);
+    println!("Paper ordering: DynamoDB most impacted, Memcached barely influenced.");
+}
+
+fn panel_c_d_e() {
+    println!("\n--- Fig. 8c/8d/8e: average latency estimate and measured tails (Trending, Redis) ---");
+    let spec = paper_workload("trending");
+    let trace = spec.generate(seed_for(&spec.name));
+    let consultation = consult(StoreKind::Redis, &trace, OrderingKind::TouchOrder);
+    let points = eval_points(StoreKind::Redis, &trace, &consultation, POINTS);
+    // The paper reports tails without estimating them; the mixture-model
+    // tail estimator (extension, mnemo::tail) is shown alongside.
+    let tails = consultation.tail_estimator();
+    let mut csv = Vec::new();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let est_p95 = tails.quantile_at_prefix(&consultation.order, p.prefix, 0.95);
+            let est_p99 = tails.quantile_at_prefix(&consultation.order, p.prefix, 0.99);
+            csv.push(format!(
+                "{:.4},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1}",
+                p.cost_reduction,
+                p.measured_avg_latency_ns / 1000.0,
+                p.estimated_avg_latency_ns / 1000.0,
+                p.measured_tail_ns.0 / 1000.0,
+                p.measured_tail_ns.1 / 1000.0,
+                est_p95 / 1000.0,
+                est_p99 / 1000.0
+            ));
+            vec![
+                format!("{:.2}", p.cost_reduction),
+                format!("{:8.1}", p.measured_avg_latency_ns / 1000.0),
+                format!("{:8.1}", p.estimated_avg_latency_ns / 1000.0),
+                format!("{:+.2}%", p.latency_error_pct()),
+                format!("{:8.1}", p.measured_tail_ns.0 / 1000.0),
+                format!("{:8.1}", est_p95 / 1000.0),
+                format!("{:8.1}", p.measured_tail_ns.1 / 1000.0),
+                format!("{:8.1}", est_p99 / 1000.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "latency (us): average measured vs estimated; tails measured vs mixture estimate",
+        &["cost (xFast)", "avg meas", "avg est", "err", "p95 meas", "p95 est*", "p99 meas", "p99 est*"],
+        &rows,
+    );
+    write_csv(
+        "fig8cde_latency.csv",
+        "cost_reduction,measured_avg_us,estimated_avg_us,p95_us,p99_us,est_p95_us,est_p99_us",
+        &csv,
+    );
+    println!("Paper: the average-latency estimate is extremely accurate; the paper does NOT");
+    println!("estimate tails — the est* columns come from this repo's mixture-model extension.");
+}
+
+fn panel_f() {
+    println!("\n--- Fig. 8f: Mnemo vs MnemoT estimate (Timeline: scrambled zipfian) ---");
+    let spec = paper_workload("timeline");
+    let trace = spec.generate(seed_for(&spec.name));
+    let both = mnemo_bench::parallel(2, |i| {
+        let ordering = if i == 0 { OrderingKind::TouchOrder } else { OrderingKind::MnemoT };
+        let consultation = consult(StoreKind::Redis, &trace, ordering);
+        let points = eval_points(StoreKind::Redis, &trace, &consultation, POINTS);
+        (ordering, points)
+    });
+    let mut csv = Vec::new();
+    for (ordering, points) in &both {
+        let name = match ordering {
+            OrderingKind::TouchOrder => "Mnemo (touch order)",
+            OrderingKind::MnemoT => "MnemoT (weight order)",
+            OrderingKind::Hotness => "hotness",
+        };
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                csv.push(format!(
+                    "{name},{:.4},{:.1},{:.1},{:+.3}",
+                    p.cost_reduction, p.measured_ops_s, p.estimated_ops_s, p.error_pct()
+                ));
+                vec![
+                    format!("{:.2}", p.cost_reduction),
+                    format!("{:9.1}", p.measured_ops_s),
+                    format!("{:9.1}", p.estimated_ops_s),
+                    format!("{:+.3}%", p.error_pct()),
+                ]
+            })
+            .collect();
+        print_table(name, &["cost (xFast)", "measured ops/s", "estimated ops/s", "error"], &rows);
+    }
+    // MnemoT's tiering must dominate touch order at interior costs.
+    let (_, mnemo) = &both[0];
+    let (_, mnemot) = &both[1];
+    let mid = mnemo.len() / 2;
+    println!(
+        "\nAt ~{:.0}% of FastMem-only cost: MnemoT {:.0} ops/s vs Mnemo {:.0} ops/s ({:+.1}%)",
+        mnemo[mid].cost_reduction * 100.0,
+        mnemot[mid].measured_ops_s,
+        mnemo[mid].measured_ops_s,
+        (mnemot[mid].measured_ops_s / mnemo[mid].measured_ops_s - 1.0) * 100.0
+    );
+    write_csv("fig8f_mnemot.csv", "variant,cost_reduction,measured_ops_s,estimated_ops_s,error_pct", &csv);
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let run = |l: &str| arg.is_none() || arg.as_deref() == Some(l);
+    if run("a") {
+        panel_a();
+    }
+    if run("b") {
+        panel_b();
+    }
+    if run("c") || arg.as_deref() == Some("d") || arg.as_deref() == Some("e") {
+        panel_c_d_e();
+    }
+    if run("f") {
+        panel_f();
+    }
+}

@@ -1,0 +1,32 @@
+//! Table II — performance baselines, capacity sizings and memory cost
+//! reduction factors (p = 0.2).
+
+use cloudcost::CostModel;
+use mnemo_bench::print_table;
+
+fn main() {
+    let model = CostModel::default();
+    let total: u64 = 1 << 30; // a nominal 1 GiB dataset (C bytes)
+    let rows = model.table2(total, 0.2);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, p)| {
+            vec![
+                name.clone(),
+                format!("{} bytes", p.fast_bytes),
+                format!("{} bytes", p.slow_bytes),
+                format!("{:.2}", p.reduction_factor),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table II: baselines and cost reduction (p = 0.2)",
+        &["Runtime", "FastMem", "SlowMem", "Cost factor"],
+        &table,
+    );
+    println!("\nSweep of R(p) over FastMem ratio:");
+    for point in model.sweep(total, 11) {
+        let ratio = point.fast_bytes as f64 / total as f64;
+        println!("  fast ratio {:4.1}% -> cost {:.3}x", ratio * 100.0, point.reduction_factor);
+    }
+}

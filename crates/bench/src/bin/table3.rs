@@ -1,0 +1,39 @@
+//! Table III — the custom YCSB workloads and their parameters.
+
+use mnemo_bench::{paper_workloads, print_table};
+use ycsb::SizeModel;
+
+fn main() {
+    let rows: Vec<Vec<String>> = paper_workloads()
+        .iter()
+        .map(|w| {
+            let sizes = match &w.sizes {
+                SizeModel::Single(c) => c.name().to_string(),
+                SizeModel::Mixed(parts) => parts
+                    .iter()
+                    .map(|(c, _)| c.name())
+                    .collect::<Vec<_>>()
+                    .join(" + "),
+                SizeModel::Lognormal { median_bytes, .. } => {
+                    format!("lognormal ~{median_bytes} B")
+                }
+            };
+            let rf = w.read_fraction();
+            let ratio = format!("{}:{}", (rf * 100.0).round() as u32, ((1.0 - rf) * 100.0).round() as u32);
+            vec![
+                w.name.clone(),
+                w.distribution.name().to_string(),
+                ratio,
+                sizes,
+                w.keys.to_string(),
+                w.requests.to_string(),
+                w.use_case.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table III: custom YCSB workloads",
+        &["Workload", "Distribution", "R:W", "Record sizes", "Keys", "Requests", "Use case"],
+        &rows,
+    );
+}

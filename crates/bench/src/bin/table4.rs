@@ -1,0 +1,113 @@
+//! Table IV — profiling-overhead comparison between MnemoT and existing
+//! tiering solutions, quantified on this substrate:
+//!
+//! * **MnemoT**: two real baseline executions + an input-description-only
+//!   weight calculation (no instrumentation).
+//! * **Instrumentation-based** (X-Mem-like): shadow every memory access at
+//!   cache-line granularity during execution — the per-request event
+//!   amplification is the "up to 40x" overhead source.
+//! * **One-baseline + ML** (Tahoe-like): one real baseline + model
+//!   inference, but only after a training corpus was collected by running
+//!   *both* baselines over many workloads.
+
+use kvsim::StoreKind;
+use mnemo::baselines::{head_agreement, InstrumentedProfiler, MlBaselineModel, MlBaselineProfiler};
+use mnemo::pattern::PatternEngine;
+use mnemo::sensitivity::SensitivityEngine;
+use mnemo::tiering::MnemoT;
+use mnemo_bench::{paper_workload, paper_workloads, print_table, seed_for, testbed_for, write_csv};
+use std::time::Instant;
+
+fn main() {
+    println!("Table IV: profiling overhead comparison (wall-clock on this host)");
+    let spec = paper_workload("timeline");
+    let trace = spec.generate(seed_for(&spec.name));
+    let engine = SensitivityEngine::new(testbed_for(&trace), hybridmem::clock::NoiseConfig::disabled());
+
+    // MnemoT: two baseline executions + description-only tiering.
+    let t0 = Instant::now();
+    let baselines = engine.measure(StoreKind::Redis, &trace).expect("baselines");
+    let baseline_time = t0.elapsed();
+    let t1 = Instant::now();
+    let pattern = PatternEngine::analyze(&trace);
+    let order = MnemoT::weight_order(&pattern);
+    let tiering_time = t1.elapsed();
+    assert_eq!(order.len(), trace.keys() as usize);
+    let _ = baselines;
+
+    // Instrumentation-based: shadow execution at line granularity.
+    let t2 = Instant::now();
+    let instrumented = InstrumentedProfiler::profile(&trace);
+    let instr_time = t2.elapsed();
+
+    // Tahoe-like: training-corpus collection (both baselines over the
+    // other workloads) + one real baseline + inference.
+    let t3 = Instant::now();
+    let train_traces: Vec<_> = paper_workloads()
+        .iter()
+        .filter(|w| w.name != "timeline")
+        .map(|w| w.generate(seed_for(&w.name)))
+        .collect();
+    let samples = MlBaselineProfiler::collect_training(&engine, StoreKind::Redis, &train_traces)
+        .expect("training corpus");
+    let training_time = t3.elapsed();
+    let profiler = MlBaselineProfiler::new(MlBaselineModel::train(&samples));
+    let t4 = Instant::now();
+    let inferred = profiler.profile(&engine, StoreKind::Redis, &trace).expect("inference");
+    let tahoe_profile_time = t4.elapsed();
+    let real = engine.measure(StoreKind::Redis, &trace).expect("reference");
+    let infer_err =
+        (inferred.fast.runtime_ns - real.fast.runtime_ns).abs() / real.fast.runtime_ns * 100.0;
+
+    let ms = |d: std::time::Duration| format!("{:.1} ms", d.as_secs_f64() * 1e3);
+    print_table(
+        "profiling step timings",
+        &["profiling step", "MnemoT", "instrumented (X-Mem-like)", "ML-baseline (Tahoe-like)"],
+        &[
+            vec![
+                "input preparation".into(),
+                "workload description only".into(),
+                "instrument every access".into(),
+                "workload description only".into(),
+            ],
+            vec![
+                "performance baselines".into(),
+                format!("2 runs: {}", ms(baseline_time)),
+                format!("2 runs: {}", ms(baseline_time)),
+                format!("1 run + infer: {} (err {:.1}%)", ms(tahoe_profile_time), infer_err),
+            ],
+            vec![
+                "training data".into(),
+                "none".into(),
+                "none".into(),
+                format!("{} ({} workloads x 2 runs)", ms(training_time), train_traces.len()),
+            ],
+            vec![
+                "tiering calculation".into(),
+                ms(tiering_time),
+                format!("{} ({:.0}x events/request)", ms(instr_time), instrumented.amplification),
+                ms(tiering_time),
+            ],
+        ],
+    );
+    let speedup = instr_time.as_secs_f64() / tiering_time.as_secs_f64().max(1e-9);
+    let agreement = head_agreement(&trace, (trace.keys() / 5) as usize);
+    println!("\nMnemoT tiering is {speedup:.0}x faster than instrumented profiling while agreeing");
+    println!("on {:.0}% of the hot head (top 20% of keys).", agreement * 100.0);
+    write_csv(
+        "table4_overhead.csv",
+        "step,mnemot_ms,instrumented_ms,tahoe_ms",
+        &[format!(
+            "tiering,{:.3},{:.3},{:.3}",
+            tiering_time.as_secs_f64() * 1e3,
+            instr_time.as_secs_f64() * 1e3,
+            tiering_time.as_secs_f64() * 1e3
+        ),
+        format!(
+            "baselines,{:.3},{:.3},{:.3}",
+            baseline_time.as_secs_f64() * 1e3,
+            baseline_time.as_secs_f64() * 1e3,
+            (training_time + tahoe_profile_time).as_secs_f64() * 1e3
+        )],
+    );
+}

@@ -1,0 +1,199 @@
+//! Shared experiment-harness utilities.
+//!
+//! Every `src/bin/<experiment>` binary regenerates one of the paper's
+//! tables or figures (see DESIGN.md's per-experiment index); this library
+//! holds what they share: the paper-scale workload set, the measurement
+//! configuration, parallel sweep helpers and plain-text table/CSV output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hybridmem::clock::NoiseConfig;
+use hybridmem::HybridSpec;
+use kvsim::StoreKind;
+use mnemo::accuracy::EvalPoint;
+use mnemo::advisor::{Advisor, AdvisorConfig, Consultation, OrderingKind};
+use mnemo::ModelKind;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use ycsb::{Trace, WorkloadSpec};
+
+/// Paper scale: Table III uses 10,000 keys and 100,000 requests. The
+/// harness honours `MNEMO_SCALE` (a divisor, default 1) so CI can run a
+/// reduced sweep: scale 10 → 1,000 keys / 10,000 requests.
+pub fn scale_divisor() -> u64 {
+    std::env::var("MNEMO_SCALE").ok().and_then(|s| s.parse().ok()).filter(|&d| d >= 1).unwrap_or(1)
+}
+
+/// The Table III workloads at harness scale.
+pub fn paper_workloads() -> Vec<WorkloadSpec> {
+    let d = scale_divisor();
+    WorkloadSpec::table3()
+        .into_iter()
+        .map(|w| {
+            let keys = (w.keys / d).max(10);
+            let requests = (w.requests / d as usize).max(100);
+            w.scaled(keys, requests)
+        })
+        .collect()
+}
+
+/// One named workload at harness scale.
+pub fn paper_workload(name: &str) -> WorkloadSpec {
+    paper_workloads()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"))
+}
+
+/// The measurement testbed: the paper's Table I spec with the LLC scaled
+/// to keep the paper's cache:dataset proportion when `MNEMO_SCALE`
+/// shrinks the dataset.
+pub fn testbed_for(trace: &Trace) -> HybridSpec {
+    let mut spec = HybridSpec::paper_testbed();
+    let dataset = trace.dataset_bytes();
+    // Paper proportion: 12 MB LLC for a ~1 GB dataset (ratio ~85).
+    spec.cache.capacity_bytes = spec.cache.capacity_bytes.min((dataset / 85).max(1 << 16));
+    spec
+}
+
+/// Default measurement jitter (the paper reports means of repeated runs;
+/// the jitter stands in for run-to-run variability).
+pub fn measurement_noise(seed: u64) -> NoiseConfig {
+    NoiseConfig::default_jitter(seed)
+}
+
+/// The advisor configured as the paper runs it.
+pub fn paper_advisor(trace: &Trace, ordering: OrderingKind, model: ModelKind) -> Advisor {
+    Advisor::new(AdvisorConfig {
+        spec: testbed_for(trace),
+        noise: measurement_noise(7),
+        price_factor: 0.2,
+        model,
+        ordering,
+        cache_correction: None,
+    })
+}
+
+/// Consult with the standard configuration.
+pub fn consult(store: StoreKind, trace: &Trace, ordering: OrderingKind) -> Consultation {
+    paper_advisor(trace, ordering, ModelKind::GlobalAverage)
+        .consult(store, trace)
+        .expect("consultation failed")
+}
+
+/// Measured-vs-estimated points along a consultation's curve.
+pub fn eval_points(
+    store: StoreKind,
+    trace: &Trace,
+    consultation: &Consultation,
+    points: usize,
+) -> Vec<EvalPoint> {
+    mnemo::accuracy::evaluate(
+        store,
+        trace,
+        consultation,
+        &testbed_for(trace),
+        measurement_noise(1234),
+        points,
+    )
+    .expect("evaluation failed")
+}
+
+/// Run `jobs` closures on worker threads (one per job, crossbeam-scoped)
+/// and return their results in order.
+pub fn parallel<T: Send, F: Fn(usize) -> T + Sync>(jobs: usize, f: F) -> Vec<T> {
+    let mut out: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let f = &f;
+            scope.spawn(move |_| *slot = Some(f(i)));
+        }
+    })
+    .expect("experiment job panicked");
+    out.into_iter().map(|o| o.expect("job produced no result")).collect()
+}
+
+/// Where experiment CSVs land.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(std::env::var("MNEMO_OUT").unwrap_or_else(|_| "target/experiments".into()));
+    fs::create_dir_all(&dir).expect("cannot create experiment output dir");
+    dir
+}
+
+/// Write a CSV artifact and report its path on stdout.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = out_dir().join(name);
+    let mut f = fs::File::create(&path).expect("cannot create csv");
+    writeln!(f, "{header}").unwrap();
+    for row in rows {
+        writeln!(f, "{row}").unwrap();
+    }
+    println!("  [csv] {}", path.display());
+}
+
+/// Print an aligned plain-text table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// The three stores in presentation order.
+pub fn stores() -> [StoreKind; 3] {
+    [StoreKind::Redis, StoreKind::Dynamo, StoreKind::Memcached]
+}
+
+/// Deterministic per-workload seed.
+pub fn seed_for(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workloads_have_five_entries() {
+        assert_eq!(paper_workloads().len(), 5);
+    }
+
+    #[test]
+    fn testbed_keeps_cache_proportion() {
+        let t = paper_workload("trending").scaled(100, 500).generate(1);
+        let spec = testbed_for(&t);
+        assert!(spec.cache.capacity_bytes <= t.dataset_bytes() / 85 + (1 << 16));
+    }
+
+    #[test]
+    fn parallel_preserves_order() {
+        let out = parallel(8, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(seed_for("trending"), seed_for("trending"));
+        assert_ne!(seed_for("trending"), seed_for("timeline"));
+    }
+}

@@ -1,0 +1,289 @@
+//! The `mnemo` subcommands.
+
+use crate::args::Parsed;
+use cloudcost::{Provider, ProviderKind};
+use kvsim::StoreKind;
+use mnemo::advisor::{Advisor, AdvisorConfig, Consultation, OrderingKind};
+use mnemo::ModelKind;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use ycsb::{Trace, WorkloadSpec};
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
+    ycsb::fileio::read_trace(BufReader::new(file)).map_err(|e| format!("'{path}': {e}"))
+}
+
+fn save_trace(trace: &Trace, path: &str) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create '{path}': {e}"))?;
+    ycsb::fileio::write_trace(trace, BufWriter::new(file)).map_err(|e| format!("'{path}': {e}"))
+}
+
+fn parse_store(s: &str) -> Result<StoreKind, String> {
+    match s.to_lowercase().as_str() {
+        "redis" => Ok(StoreKind::Redis),
+        "memcached" => Ok(StoreKind::Memcached),
+        "dynamo" | "dynamodb" => Ok(StoreKind::Dynamo),
+        other => Err(format!("unknown store '{other}' (redis|memcached|dynamodb)")),
+    }
+}
+
+fn parse_provider(s: &str) -> Result<ProviderKind, String> {
+    match s.to_lowercase().as_str() {
+        "aws" => Ok(ProviderKind::Aws),
+        "gcp" | "google" => Ok(ProviderKind::Gcp),
+        "azure" => Ok(ProviderKind::Azure),
+        other => Err(format!("unknown provider '{other}' (aws|gcp|azure)")),
+    }
+}
+
+/// `mnemo workloads`
+pub fn workloads() -> Result<String, String> {
+    let mut out = String::from("built-in workload presets:\n\n  Table III (the paper's suite):\n");
+    for w in WorkloadSpec::table3() {
+        let _ = writeln!(
+            out,
+            "    {:<18} {:<18} {:>3.0}% reads  — {}",
+            w.name,
+            w.distribution.name(),
+            w.read_fraction() * 100.0,
+            w.use_case
+        );
+    }
+    out.push_str("\n  YCSB core:\n");
+    for w in WorkloadSpec::ycsb_core_suite() {
+        let _ = writeln!(
+            out,
+            "    {:<18} {:<18} {:>3.0}% reads  — {}",
+            w.name,
+            w.distribution.name(),
+            w.read_fraction() * 100.0,
+            w.use_case
+        );
+    }
+    Ok(out)
+}
+
+/// `mnemo generate <preset> --keys N --requests N --seed S -o <file>`
+pub fn generate(parsed: &mut Parsed) -> Result<String, String> {
+    let preset = parsed.positional_required("preset name")?.to_string();
+    let spec = WorkloadSpec::by_name(&preset)
+        .ok_or_else(|| format!("unknown preset '{preset}' (see `mnemo workloads`)"))?;
+    let keys = parsed.number_or("keys", spec.keys)?;
+    let requests = parsed.number_or("requests", spec.requests)?;
+    let seed = parsed.number_or("seed", 42u64)?;
+    let output = parsed.require("o")?;
+    let trace = spec.scaled(keys, requests).generate(seed);
+    save_trace(&trace, output)?;
+    Ok(format!(
+        "wrote '{}': {} keys, {} requests, {:.1} MB dataset -> {}",
+        trace.name,
+        trace.keys(),
+        trace.len(),
+        trace.dataset_bytes() as f64 / 1e6,
+        output
+    ))
+}
+
+/// Parse the advisor-related options (validated before any file I/O so
+/// usage errors surface first).
+fn parse_config(parsed: &Parsed) -> Result<(StoreKind, f64, AdvisorConfig), String> {
+    let store = parse_store(parsed.get_or("store", "redis"))?;
+    let slo: f64 = parsed.number_or("slo", 0.10)?;
+    if !(0.0..=1.0).contains(&slo) {
+        return Err(format!("--slo {slo} out of [0,1]"));
+    }
+    let price: f64 = parsed.number_or("price", 0.20)?;
+    if !(0.0..1.0).contains(&price) || price == 0.0 {
+        return Err(format!("--price {price} out of (0,1)"));
+    }
+    let ordering = match parsed.get_or("ordering", "mnemot").to_lowercase().as_str() {
+        "mnemot" | "weight" => OrderingKind::MnemoT,
+        "touch" => OrderingKind::TouchOrder,
+        "hotness" | "hot" => OrderingKind::Hotness,
+        other => return Err(format!("unknown ordering '{other}' (mnemot|touch|hotness)")),
+    };
+    let model = match parsed.get_or("model", "global").to_lowercase().as_str() {
+        "global" | "global-average" => ModelKind::GlobalAverage,
+        "size-aware" | "sizeaware" => ModelKind::SizeAware,
+        other => return Err(format!("unknown model '{other}' (global|size-aware)")),
+    };
+    let mut config = AdvisorConfig {
+        price_factor: price,
+        ordering,
+        model,
+        ..AdvisorConfig::default()
+    };
+    if parsed.flag("cache-aware") {
+        config = config.cache_aware();
+    }
+    Ok((store, slo, config))
+}
+
+fn consultation_from(parsed: &Parsed, trace: &Trace) -> Result<(StoreKind, f64, Consultation), String> {
+    let (store, slo, config) = parse_config(parsed)?;
+    let consultation = Advisor::new(config)
+        .consult(store, trace)
+        .map_err(|e| format!("consultation failed: {e}"))?;
+    Ok((store, slo, consultation))
+}
+
+/// `mnemo consult <trace> [--store ...] [--slo ...] [--csv file]`
+pub fn consult(parsed: &mut Parsed) -> Result<String, String> {
+    let path = parsed.positional_required("trace file")?.to_string();
+    parse_config(parsed)?; // surface option errors before file I/O
+    let trace = load_trace(&path)?;
+    let (store, slo, consultation) = consultation_from(parsed, &trace)?;
+
+    let mut out = String::new();
+    let b = &consultation.baselines;
+    let _ = writeln!(out, "workload '{}' on {}:", trace.name, store);
+    let _ = writeln!(
+        out,
+        "  baselines: FastMem-only {:.0} ops/s, SlowMem-only {:.0} ops/s ({:+.1}%)",
+        b.fast.throughput_ops_s(),
+        b.slow.throughput_ops_s(),
+        b.sensitivity() * 100.0
+    );
+    let _ = writeln!(out, "\n  cost/performance frontier:");
+    for rec in consultation.frontier(&[0.02, 0.05, slo, 0.25]) {
+        let _ = writeln!(
+            out,
+            "    {:4.0}% slowdown budget -> {:5.1}% FastMem bytes, cost {:.2}x",
+            rec.est_slowdown.max(0.0) * 100.0,
+            rec.fast_ratio * 100.0,
+            rec.cost_reduction
+        );
+    }
+    let rec = consultation.recommend(slo).ok_or("empty curve")?;
+    let _ = writeln!(
+        out,
+        "\n  recommendation @{:.0}% SLO: {} of {} keys in FastMem ({:.1}% of bytes)",
+        slo * 100.0,
+        rec.prefix,
+        trace.keys(),
+        rec.fast_ratio * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  memory cost: {:.0}% of FastMem-only; est. {:.0} ops/s ({:.1}% below best)",
+        rec.cost_reduction * 100.0,
+        rec.est_throughput_ops_s,
+        rec.est_slowdown * 100.0
+    );
+    if let Some(csv_path) = parsed.options.get("csv").filter(|s| !s.is_empty()) {
+        std::fs::write(csv_path, consultation.curve.to_csv())
+            .map_err(|e| format!("cannot write '{csv_path}': {e}"))?;
+        let _ = writeln!(out, "\n  estimate curve written to {csv_path}");
+    }
+    if let Some(report_path) = parsed.options.get("report").filter(|s| !s.is_empty()) {
+        std::fs::write(report_path, mnemo::report::markdown(&consultation, slo))
+            .map_err(|e| format!("cannot write '{report_path}': {e}"))?;
+        let _ = writeln!(out, "  markdown report written to {report_path}");
+    }
+    Ok(out)
+}
+
+/// `mnemo analyze <trace>`
+pub fn analyze(parsed: &mut Parsed) -> Result<String, String> {
+    let path = parsed.positional_required("trace file")?.to_string();
+    let trace = load_trace(&path)?;
+    let report = ycsb::fit::SkewReport::analyze(&trace);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "workload '{}': {} keys, {} requests, {:.1} MB dataset",
+        trace.name,
+        trace.keys(),
+        trace.len(),
+        trace.dataset_bytes() as f64 / 1e6
+    );
+    let _ = writeln!(out, "  read fraction:      {:.1}%", trace.read_fraction() * 100.0);
+    let _ = writeln!(out, "  hottest 10% mass:   {:.1}%", report.hot10_mass * 100.0);
+    let _ = writeln!(out, "  hottest 20% mass:   {:.1}%", report.hot20_mass * 100.0);
+    let _ = writeln!(out, "  hottest 50% mass:   {:.1}%", report.hot50_mass * 100.0);
+    let _ = writeln!(out, "  gini coefficient:   {:.3}", report.gini);
+    if let Some(theta) = report.zipf_theta {
+        let _ = writeln!(out, "  fitted zipf theta:  {theta:.2}");
+    }
+    let _ = writeln!(out, "  untouched keys:     {:.1}%", report.untouched_fraction * 100.0);
+    let suggestion = report.suggest_distribution();
+    let _ = writeln!(out, "
+  synthetic equivalent: {} ({suggestion:?})", suggestion.name());
+    Ok(out)
+}
+
+/// `mnemo downsample <trace> --factor N -o <file>`
+pub fn downsample(parsed: &mut Parsed) -> Result<String, String> {
+    let path = parsed.positional_required("trace file")?.to_string();
+    let factor: usize = parsed.number_or("factor", 2usize)?;
+    if factor < 1 {
+        return Err("--factor must be >= 1".into());
+    }
+    let seed = parsed.number_or("seed", 1u64)?;
+    let output = parsed.require("o")?;
+    let trace = load_trace(&path)?;
+    let sampled = ycsb::sample::downsample(&trace, factor, seed);
+    save_trace(&sampled, output)?;
+    Ok(format!(
+        "kept {} of {} requests (1/{} sample) -> {}",
+        sampled.len(),
+        trace.len(),
+        factor,
+        output
+    ))
+}
+
+/// `mnemo plan <trace> [--provider ...] [--deploy-gib N]`
+pub fn plan(parsed: &mut Parsed) -> Result<String, String> {
+    let path = parsed.positional_required("trace file")?.to_string();
+    parse_config(parsed)?; // surface option errors before file I/O
+    let trace = load_trace(&path)?;
+    let (_, slo, consultation) = consultation_from(parsed, &trace)?;
+    let rec = consultation.recommend(slo).ok_or("empty curve")?;
+    let price: f64 = parsed.number_or("price", 0.20)?;
+
+    // Scale the recommended ratio to the deployment size (default: the
+    // dataset itself).
+    let deploy_gib: f64 =
+        parsed.number_or("deploy-gib", trace.dataset_bytes() as f64 / (1u64 << 30) as f64)?;
+    let total = (deploy_gib * (1u64 << 30) as f64) as u64;
+    let fast = (total as f64 * rec.fast_ratio) as u64;
+    let slow = total - fast;
+
+    let providers: Vec<ProviderKind> = match parsed.options.get("provider") {
+        Some(p) if !p.is_empty() => vec![parse_provider(p)?],
+        _ => ProviderKind::ALL.to_vec(),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "deployment: {:.0} GiB total, {:.1}% DRAM ({:.1} GiB) + NVM at {:.0}% DRAM price",
+        deploy_gib,
+        rec.fast_ratio * 100.0,
+        fast as f64 / (1u64 << 30) as f64,
+        price * 100.0
+    );
+    for kind in providers {
+        let provider = Provider::new(kind);
+        match cloudcost::planner::plan(&provider, fast, slow, price) {
+            Ok(p) => {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {} + {}  ${:.3}/h vs ${:.3}/h all-DRAM ({:.1}% saved)",
+                    kind.name(),
+                    p.dram_instance,
+                    p.nvm_instance.as_deref().unwrap_or("-"),
+                    p.hourly_usd,
+                    p.dram_only_hourly_usd,
+                    p.savings() * 100.0
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "  {:<24} cannot plan: {e}", kind.name());
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,178 @@
+//! Implementation of the `mnemo` command-line tool.
+//!
+//! The paper describes Mnemo as "an open-source, easy to setup tool";
+//! this crate is that artifact. All command logic lives in the library
+//! so it is unit-testable; `main.rs` only forwards `std::env::args`.
+//!
+//! ```text
+//! mnemo workloads
+//! mnemo generate trending --keys 10000 --requests 100000 -o t.trace
+//! mnemo consult t.trace --store redis --slo 0.10 --csv curve.csv
+//! mnemo downsample t.trace --factor 8 -o sample.trace
+//! mnemo plan t.trace --deploy-gib 256 --provider gcp
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt::Write as _;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mnemo — memory capacity sizing consultant for hybrid memory systems
+
+USAGE:
+  mnemo <command> [options]
+
+COMMANDS:
+  workloads                      list the built-in workload presets
+  generate <preset> -o <file>    materialise a preset into a trace file
+      --keys N --requests N --seed S
+  consult <trace-file>           run the full Mnemo pipeline on a trace
+      --store redis|memcached|dynamodb   (default redis)
+      --slo FRACTION                     (default 0.10)
+      --price FRACTION                   (default 0.20)
+      --ordering mnemot|touch|hotness    (default mnemot)
+      --model global|size-aware          (default global)
+      --cache-aware                      enable the LLC correction
+      --csv <file>                       write the estimate curve CSV
+      --report <file>                    write a Markdown report
+  analyze <trace-file>           skew statistics + synthetic equivalent
+  downsample <trace-file> --factor N -o <file>
+      randomly downsize a trace (distribution-preserving)
+  plan <trace-file>              price the recommendation as cloud VMs
+      --provider aws|gcp|azure           (default all)
+      --deploy-gib N                     scale the split to N GiB
+      --slo FRACTION --price FRACTION
+
+Run any command with --help for details.";
+
+/// Run the CLI on an argument vector (without the program name).
+/// Returns the text to print, or an error message.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let mut parsed = args::Parsed::parse(argv);
+    let command = match parsed.positional.first().cloned() {
+        None => return Ok(USAGE.to_string()),
+        Some(c) => c,
+    };
+    if parsed.flag("help") {
+        return Ok(USAGE.to_string());
+    }
+    parsed.positional.remove(0);
+    match command.as_str() {
+        "workloads" => commands::workloads(),
+        "generate" => commands::generate(&mut parsed),
+        "consult" => commands::consult(&mut parsed),
+        "analyze" => commands::analyze(&mut parsed),
+        "downsample" => commands::downsample(&mut parsed),
+        "plan" => commands::plan(&mut parsed),
+        other => {
+            let mut msg = String::new();
+            let _ = writeln!(msg, "unknown command '{other}'");
+            let _ = write!(msg, "{USAGE}");
+            Err(msg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = run(&argv(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn workloads_lists_presets() {
+        let out = run(&argv(&["workloads"])).unwrap();
+        assert!(out.contains("trending"));
+        assert!(out.contains("ycsb-e"));
+    }
+
+    #[test]
+    fn generate_consult_downsample_plan_pipeline() {
+        let dir = std::env::temp_dir().join(format!("mnemo-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.trace");
+        let curve = dir.join("curve.csv");
+        let sample = dir.join("s.trace");
+
+        let out = run(&argv(&[
+            "generate", "trending", "--keys", "200", "--requests", "2000", "--seed", "5", "-o",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+
+        let out = run(&argv(&[
+            "consult",
+            trace.to_str().unwrap(),
+            "--store",
+            "redis",
+            "--slo",
+            "0.10",
+            "--csv",
+            curve.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("recommendation"), "{out}");
+        assert!(curve.exists());
+        let csv = std::fs::read_to_string(&curve).unwrap();
+        assert!(csv.lines().count() > 100, "full curve rows");
+
+        let out = run(&argv(&["analyze", trace.to_str().unwrap()])).unwrap();
+        assert!(out.contains("gini"), "{out}");
+
+        let out = run(&argv(&[
+            "downsample",
+            trace.to_str().unwrap(),
+            "--factor",
+            "4",
+            "-o",
+            sample.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("kept"), "{out}");
+
+        let out = run(&argv(&[
+            "plan",
+            trace.to_str().unwrap(),
+            "--provider",
+            "gcp",
+            "--deploy-gib",
+            "256",
+        ]))
+        .unwrap();
+        assert!(out.contains("n1-"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn consult_rejects_bad_store() {
+        let err = run(&argv(&["consult", "/nonexistent", "--store", "oracle"])).unwrap_err();
+        assert!(err.contains("store"), "{err}");
+    }
+
+    #[test]
+    fn generate_requires_output() {
+        let err = run(&argv(&["generate", "trending"])).unwrap_err();
+        assert!(err.contains("-o"), "{err}");
+    }
+}

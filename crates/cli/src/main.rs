@@ -1,0 +1,12 @@
+//! The `mnemo` binary: forwards arguments to the library.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match mnemo_cli::run(&argv) {
+        Ok(output) => println!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Cloud VM memory-cost substrate for the Mnemo reproduction.
+//!
+//! The Mnemo paper motivates hybrid-memory cost sizing by estimating what
+//! fraction of a cloud VM's hourly price is attributable to memory (its
+//! Fig. 1), using the methodology of Amur et al.: model every VM instance
+//! price as
+//!
+//! ```text
+//! VM cost = vCPU x C + GB x M
+//! ```
+//!
+//! and solve for the per-vCPU rate `C` and the per-GB rate `M` with least
+//! squares over a provider's whole instance catalogue. This crate provides:
+//!
+//! * [`catalog`] — an embedded November-2018 on-demand price catalogue for
+//!   the three providers the paper samples (AWS ElastiCache, Google Compute
+//!   Engine, Microsoft Azure), including the memory-optimized families the
+//!   paper reports on (`cache.r5`, `n1-ultramem`/`n1-megamem`, `E`/`M`).
+//! * [`regression`] — the closed-form two-variable least-squares solver and
+//!   the per-instance memory-share computation behind Fig. 1.
+//! * [`model`] — the hybrid memory cost-reduction model `R(p)` of Section II
+//!   (Table II), which converts a FastMem:SlowMem capacity split into a
+//!   fraction of the FastMem-only memory cost.
+//! * [`planner`] — prices a recommended byte split as actual cloud
+//!   instances (a DRAM VM + an NVM-carrier VM), closing the paper's
+//!   "capacity sizings of VMs with DRAM and VMs with NVM" loop.
+//!
+//! # Quick example
+//!
+//! ```
+//! use cloudcost::{catalog::Provider, regression::CostSplit, model::CostModel};
+//!
+//! // What share of an AWS memory-optimized instance's price is memory?
+//! let split = CostSplit::fit(&Provider::aws().instances).unwrap();
+//! let r5 = Provider::aws().memory_optimized();
+//! let share = split.memory_share(&r5[0]);
+//! assert!(share > 0.4 && share < 1.0);
+//!
+//! // And what does a 30:70 Fast:Slow split cost relative to Fast-only,
+//! // with SlowMem at 0.2x the per-byte price (the paper's fixed p)?
+//! let model = CostModel::new(0.2);
+//! let r = model.reduction_for_ratio(0.3);
+//! assert!((r - 0.44).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod model;
+pub mod planner;
+pub mod regression;
+
+pub use catalog::{Instance, Provider, ProviderKind};
+pub use model::{CostModel, CostPoint};
+pub use planner::{plan, VmPlan};
+pub use regression::CostSplit;

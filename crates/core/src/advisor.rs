@@ -1,0 +1,424 @@
+//! The end-to-end consultant: baselines → pattern → estimate → pick.
+//!
+//! This is the "Mnemo user" workflow of Fig. 2: run the Sensitivity
+//! Engine once, analyse the pattern, produce the estimate curve, and
+//! choose "the line that satisfies its performance requirements and price
+//! allowance". [`Advisor::consult`] does the first three;
+//! [`Consultation::recommend`] does the choosing (e.g. the 10% slowdown
+//! SLO of Fig. 9).
+
+use crate::curve::EstimateCurve;
+use crate::estimate::EstimateEngine;
+use crate::model::{ModelKind, PerfModel};
+use crate::pattern::PatternEngine;
+use crate::sensitivity::{Baselines, SensitivityEngine};
+use crate::tiering::MnemoT;
+use cloudcost::CostModel;
+use hybridmem::clock::NoiseConfig;
+use hybridmem::HybridSpec;
+use kvsim::{EngineError, StoreKind};
+use serde::{Deserialize, Serialize};
+use ycsb::Trace;
+
+/// Which key ordering the curve follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OrderingKind {
+    /// Standalone Mnemo (Fig. 2a): keys in first-touch order.
+    TouchOrder,
+    /// Keys sorted hottest-first (the "Trending transformation" of §V-A).
+    Hotness,
+    /// MnemoT (Fig. 2c): weight = accesses / size.
+    #[default]
+    MnemoT,
+}
+
+/// Advisor configuration.
+#[derive(Debug, Clone)]
+pub struct AdvisorConfig {
+    /// Testbed specification for the baseline runs.
+    pub spec: HybridSpec,
+    /// Measurement noise for the baseline runs.
+    pub noise: NoiseConfig,
+    /// SlowMem:FastMem per-byte price factor `p`.
+    pub price_factor: f64,
+    /// Estimation model variant.
+    pub model: ModelKind,
+    /// Key ordering for incremental sizing.
+    pub ordering: OrderingKind,
+    /// Enable the cache-aware delta redistribution (an extension beyond
+    /// the paper), passing the server's LLC capacity. `None` keeps the
+    /// paper's plain model.
+    pub cache_correction: Option<u64>,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        AdvisorConfig {
+            spec: HybridSpec::paper_testbed(),
+            noise: NoiseConfig::disabled(),
+            price_factor: cloudcost::model::DEFAULT_PRICE_FACTOR,
+            model: ModelKind::GlobalAverage,
+            ordering: OrderingKind::MnemoT,
+            cache_correction: None,
+        }
+    }
+}
+
+impl AdvisorConfig {
+    /// The default configuration with the cache-aware correction enabled
+    /// for this config's own testbed LLC.
+    pub fn cache_aware(mut self) -> AdvisorConfig {
+        self.cache_correction = Some(self.spec.cache.capacity_bytes);
+        self
+    }
+}
+
+/// One recommended configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Keys placed in FastMem.
+    pub prefix: usize,
+    /// FastMem bytes required.
+    pub fast_bytes: u64,
+    /// FastMem share of the total dataset, in `[0, 1]`.
+    pub fast_ratio: f64,
+    /// Memory cost relative to FastMem-only.
+    pub cost_reduction: f64,
+    /// Estimated throughput at this configuration (ops/s).
+    pub est_throughput_ops_s: f64,
+    /// Estimated slowdown vs the all-FastMem configuration, in `[0, 1]`.
+    pub est_slowdown: f64,
+}
+
+/// The full result of one consultation.
+#[derive(Debug, Clone)]
+pub struct Consultation {
+    /// Measured baselines.
+    pub baselines: Baselines,
+    /// Analysed access pattern.
+    pub pattern: PatternEngine,
+    /// The fitted performance model.
+    pub model: PerfModel,
+    /// The key ordering the curve follows.
+    pub order: Vec<u64>,
+    /// The estimate curve.
+    pub curve: EstimateCurve,
+}
+
+impl Consultation {
+    /// A tail-latency estimator over this consultation's model and
+    /// pattern (extension; see [`crate::tail`]).
+    pub fn tail_estimator(&self) -> crate::tail::TailEstimator<'_> {
+        crate::tail::TailEstimator::new(&self.model, &self.pattern)
+    }
+}
+
+impl Consultation {
+    /// The cheapest configuration within `slowdown` (e.g. `0.10`) of
+    /// FastMem-only performance. `None` only for empty workloads.
+    pub fn recommend(&self, slowdown: f64) -> Option<Recommendation> {
+        let row = self.curve.cheapest_within_slowdown(slowdown)?;
+        let best = self.curve.fast_only().est_throughput_ops_s;
+        let total = self.curve.total_bytes.max(1);
+        Some(Recommendation {
+            prefix: row.prefix,
+            fast_bytes: row.fast_bytes,
+            fast_ratio: row.fast_bytes as f64 / total as f64,
+            cost_reduction: row.cost_reduction,
+            est_throughput_ops_s: row.est_throughput_ops_s,
+            est_slowdown: if best > 0.0 { 1.0 - row.est_throughput_ops_s / best } else { 0.0 },
+        })
+    }
+
+    /// The cost/performance frontier for several SLOs at once: one
+    /// recommendation per slowdown budget, in the given order.
+    pub fn frontier(&self, slowdowns: &[f64]) -> Vec<Recommendation> {
+        slowdowns.iter().filter_map(|&s| self.recommend(s)).collect()
+    }
+
+    /// Re-price the curve for a different SlowMem price factor `p`
+    /// *without* re-measuring or re-estimating: performance columns are
+    /// untouched, only the cost-reduction column changes. This is the
+    /// "what if NVM costs 30% of DRAM instead of 20%?" question.
+    pub fn repriced(&self, price_factor: f64) -> EstimateCurve {
+        let cost = CostModel::new(price_factor);
+        let mut curve = self.curve.clone();
+        for row in &mut curve.rows {
+            row.cost_reduction =
+                cost.reduction(row.fast_bytes, curve.total_bytes - row.fast_bytes);
+        }
+        curve
+    }
+
+    /// Recommend by a *tail-latency* SLO instead of a throughput one: the
+    /// cheapest prefix whose estimated `quantile` (e.g. 0.99) service
+    /// time stays at or below `max_latency_ns`. Uses the mixture-model
+    /// tail estimator (extension, [`crate::tail`]); the search is
+    /// logarithmic in the key count because tails fall monotonically as
+    /// FastMem grows along the ordering. Returns `None` when even the
+    /// all-FastMem configuration misses the budget.
+    pub fn recommend_by_tail(&self, quantile: f64, max_latency_ns: f64) -> Option<Recommendation> {
+        let tails = self.tail_estimator();
+        let n = self.order.len();
+        if tails.quantile_at_prefix(&self.order, n, quantile) > max_latency_ns {
+            return None;
+        }
+        // Binary search the smallest prefix meeting the budget.
+        let (mut lo, mut hi) = (0usize, n);
+        if tails.quantile_at_prefix(&self.order, 0, quantile) <= max_latency_ns {
+            hi = 0;
+        }
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if tails.quantile_at_prefix(&self.order, mid, quantile) <= max_latency_ns {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let row = self.curve.rows[hi];
+        let best = self.curve.fast_only().est_throughput_ops_s;
+        let total = self.curve.total_bytes.max(1);
+        Some(Recommendation {
+            prefix: row.prefix,
+            fast_bytes: row.fast_bytes,
+            fast_ratio: row.fast_bytes as f64 / total as f64,
+            cost_reduction: row.cost_reduction,
+            est_throughput_ops_s: row.est_throughput_ops_s,
+            est_slowdown: if best > 0.0 { 1.0 - row.est_throughput_ops_s / best } else { 0.0 },
+        })
+    }
+}
+
+/// The advisor: configuration + the engines it drives.
+#[derive(Debug, Clone)]
+pub struct Advisor {
+    config: AdvisorConfig,
+}
+
+impl Advisor {
+    /// Build an advisor.
+    pub fn new(config: AdvisorConfig) -> Advisor {
+        Advisor { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdvisorConfig {
+        &self.config
+    }
+
+    /// Run the full pipeline for one store and workload.
+    pub fn consult(&self, store: StoreKind, trace: &Trace) -> Result<Consultation, EngineError> {
+        let sensitivity = SensitivityEngine::new(self.config.spec.clone(), self.config.noise);
+        let baselines = sensitivity.measure(store, trace)?;
+        self.consult_with_baselines(baselines, trace)
+    }
+
+    /// Verify a recommendation by *executing* the recommended placement
+    /// (a third measured run, beyond Mnemo's two baselines) and return
+    /// `(measured throughput, measured slowdown vs the FastMem-only
+    /// baseline)`. This is the acceptance check the examples and
+    /// integration tests perform; it is not part of the paper's flow —
+    /// Mnemo's pitch is precisely that the estimate makes it unnecessary.
+    pub fn verify(
+        &self,
+        store: StoreKind,
+        trace: &Trace,
+        consultation: &Consultation,
+        recommendation: &Recommendation,
+    ) -> Result<(f64, f64), EngineError> {
+        let placement = crate::placement::PlacementEngine::placement_for(
+            &consultation.order,
+            &consultation.curve.rows[recommendation.prefix],
+        );
+        let mut server = kvsim::Server::build_with(
+            store,
+            self.config.spec.clone(),
+            self.config.noise,
+            trace,
+            placement,
+        )?;
+        let measured = server.run(trace).throughput_ops_s();
+        let best = consultation.baselines.fast.throughput_ops_s();
+        Ok((measured, if best > 0.0 { 1.0 - measured / best } else { 0.0 }))
+    }
+
+    /// Run the pipeline from pre-measured baselines (lets callers reuse
+    /// one Sensitivity run across model/ordering variants).
+    pub fn consult_with_baselines(
+        &self,
+        baselines: Baselines,
+        trace: &Trace,
+    ) -> Result<Consultation, EngineError> {
+        let pattern = PatternEngine::analyze(trace);
+        let order = match self.config.ordering {
+            OrderingKind::TouchOrder => pattern.touch_order().to_vec(),
+            OrderingKind::Hotness => pattern.hotness_order(),
+            OrderingKind::MnemoT => MnemoT::weight_order(&pattern),
+        };
+        let model = PerfModel::fit(self.config.model, &baselines, &trace.sizes);
+        let mut estimator =
+            EstimateEngine::new(model.clone(), CostModel::new(self.config.price_factor));
+        if let Some(llc) = self.config.cache_correction {
+            estimator = estimator.with_cache_correction(llc);
+        }
+        let curve = estimator.curve(&pattern, &order);
+        Ok(Consultation { baselines, pattern, model, order, curve })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ycsb::WorkloadSpec;
+
+    fn consult(store: StoreKind, spec: WorkloadSpec) -> Consultation {
+        let trace = spec.generate(12);
+        Advisor::new(AdvisorConfig::default()).consult(store, &trace).unwrap()
+    }
+
+    #[test]
+    fn trending_allows_large_savings_on_redis() {
+        let c = consult(StoreKind::Redis, WorkloadSpec::trending().scaled(300, 4_000));
+        let rec = c.recommend(0.10).unwrap();
+        // The paper's headline: hot-set workloads reach well under half
+        // of the FastMem-only cost within a 10% slowdown.
+        assert!(rec.cost_reduction < 0.6, "cost reduction {:.3}", rec.cost_reduction);
+        assert!(rec.est_slowdown <= 0.10 + 1e-9);
+        assert!(rec.fast_ratio < 0.5, "fast ratio {:.3}", rec.fast_ratio);
+    }
+
+    #[test]
+    fn memcached_runs_fully_on_slowmem() {
+        let c = consult(StoreKind::Memcached, WorkloadSpec::trending().scaled(300, 4_000));
+        let rec = c.recommend(0.10).unwrap();
+        // Fig. 9: memcached is non-sensitive -> maximum savings (the 0.2
+        // floor).
+        assert!(
+            (rec.cost_reduction - 0.2).abs() < 0.05,
+            "memcached cost {:.3}",
+            rec.cost_reduction
+        );
+    }
+
+    #[test]
+    fn dynamo_needs_more_fastmem_than_redis() {
+        let spec = WorkloadSpec::timeline().scaled(300, 4_000);
+        let redis = consult(StoreKind::Redis, spec.clone()).recommend(0.10).unwrap();
+        let dynamo = consult(StoreKind::Dynamo, spec).recommend(0.10).unwrap();
+        assert!(
+            dynamo.cost_reduction > redis.cost_reduction,
+            "dynamo {:.3} must cost more than redis {:.3}",
+            dynamo.cost_reduction,
+            redis.cost_reduction
+        );
+    }
+
+    #[test]
+    fn news_feed_saves_less_than_trending() {
+        let trending =
+            consult(StoreKind::Redis, WorkloadSpec::trending().scaled(300, 6_000)).recommend(0.10);
+        let news =
+            consult(StoreKind::Redis, WorkloadSpec::news_feed().scaled(300, 6_000)).recommend(0.10);
+        let (t, n) = (trending.unwrap(), news.unwrap());
+        assert!(
+            n.cost_reduction > t.cost_reduction,
+            "news feed {:.3} vs trending {:.3}",
+            n.cost_reduction,
+            t.cost_reduction
+        );
+    }
+
+    #[test]
+    fn tighter_slo_costs_more() {
+        let c = consult(StoreKind::Redis, WorkloadSpec::trending().scaled(200, 3_000));
+        let strict = c.recommend(0.02).unwrap();
+        let loose = c.recommend(0.30).unwrap();
+        assert!(strict.cost_reduction >= loose.cost_reduction);
+        assert!(strict.prefix >= loose.prefix);
+    }
+
+    #[test]
+    fn orderings_produce_valid_curves() {
+        let trace = WorkloadSpec::timeline().scaled(150, 2_000).generate(1);
+        for ordering in [OrderingKind::TouchOrder, OrderingKind::Hotness, OrderingKind::MnemoT] {
+            let config = AdvisorConfig { ordering, ..AdvisorConfig::default() };
+            let c = Advisor::new(config).consult(StoreKind::Redis, &trace).unwrap();
+            assert_eq!(c.curve.rows.len(), 151);
+            assert!(c.recommend(0.10).is_some());
+        }
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let c = consult(StoreKind::Redis, WorkloadSpec::trending().scaled(200, 3_000));
+        let f = c.frontier(&[0.01, 0.05, 0.10, 0.25]);
+        assert_eq!(f.len(), 4);
+        for w in f.windows(2) {
+            assert!(w[0].cost_reduction >= w[1].cost_reduction - 1e-12, "tighter SLO costs more");
+            assert!(w[0].fast_bytes >= w[1].fast_bytes);
+        }
+    }
+
+    #[test]
+    fn verify_confirms_recommendations_within_slo() {
+        let trace = WorkloadSpec::trending().scaled(200, 2_500).generate(9);
+        let mut config = AdvisorConfig::default();
+        config.spec.cache.capacity_bytes = (trace.dataset_bytes() / 85).max(1 << 16);
+        let advisor = Advisor::new(config);
+        let c = advisor.consult(StoreKind::Redis, &trace).unwrap();
+        let rec = c.recommend(0.10).unwrap();
+        let (measured, slowdown) = advisor.verify(StoreKind::Redis, &trace, &c, &rec).unwrap();
+        assert!(measured > 0.0);
+        assert!(
+            slowdown <= 0.10 + 0.03,
+            "measured slowdown {slowdown:.3} should honour the SLO (est {:.3})",
+            rec.est_slowdown
+        );
+    }
+
+    #[test]
+    fn tail_slo_recommendation_meets_budget_minimally() {
+        let c = consult(StoreKind::Redis, WorkloadSpec::trending().scaled(250, 3_000));
+        let tails = c.tail_estimator();
+        let slow_p99 = tails.quantile_at_prefix(&c.order, 0, 0.99);
+        let fast_p99 = tails.quantile_at_prefix(&c.order, c.order.len(), 0.99);
+        assert!(fast_p99 < slow_p99);
+        let budget = (slow_p99 + fast_p99) / 2.0;
+        let rec = c.recommend_by_tail(0.99, budget).expect("attainable budget");
+        // Meets the budget...
+        assert!(tails.quantile_at_prefix(&c.order, rec.prefix, 0.99) <= budget);
+        // ...minimally (one key less misses it), unless already at 0.
+        if rec.prefix > 0 {
+            assert!(tails.quantile_at_prefix(&c.order, rec.prefix - 1, 0.99) > budget);
+        }
+        // Impossible budgets are rejected.
+        assert!(c.recommend_by_tail(0.99, fast_p99 * 0.5).is_none());
+        // Trivial budgets cost nothing.
+        let trivial = c.recommend_by_tail(0.99, slow_p99 * 2.0).unwrap();
+        assert_eq!(trivial.prefix, 0);
+    }
+
+    #[test]
+    fn repricing_changes_cost_only() {
+        let c = consult(StoreKind::Redis, WorkloadSpec::trending().scaled(150, 1_500));
+        let repriced = c.repriced(0.5);
+        assert_eq!(repriced.rows.len(), c.curve.rows.len());
+        for (a, b) in c.curve.rows.iter().zip(&repriced.rows) {
+            assert_eq!(a.est_throughput_ops_s, b.est_throughput_ops_s);
+            assert_eq!(a.fast_bytes, b.fast_bytes);
+        }
+        // Floor moves from 0.2 to 0.5; full cost stays 1.0.
+        assert!((repriced.slow_only().cost_reduction - 0.5).abs() < 1e-12);
+        assert!((repriced.fast_only().cost_reduction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consult_with_baselines_reuses_measurement() {
+        let trace = WorkloadSpec::trending().scaled(100, 1_000).generate(2);
+        let advisor = Advisor::new(AdvisorConfig::default());
+        let c1 = advisor.consult(StoreKind::Redis, &trace).unwrap();
+        let c2 = advisor.consult_with_baselines(c1.baselines.clone(), &trace).unwrap();
+        assert_eq!(c1.curve, c2.curve);
+    }
+}

@@ -1,0 +1,206 @@
+//! Multi-tenant FastMem allocation — an extension for consolidated
+//! deployments.
+//!
+//! The paper sizes one workload at a time; real cache fleets consolidate
+//! several key-value workloads onto one hybrid-memory box, sharing a
+//! single FastMem budget. Given each tenant's consultation (its fitted
+//! model and per-key promotion deltas), the allocator fills the shared
+//! budget greedily by *benefit density* (estimated nanoseconds saved per
+//! FastMem byte) across the union of all tenants' keys — the same
+//! density rule MnemoT applies within one workload, lifted across
+//! workloads.
+
+use crate::advisor::Consultation;
+use crate::estimate::EstimateEngine;
+use cloudcost::CostModel;
+use serde::Serialize;
+
+/// Per-tenant outcome of a shared allocation.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantAllocation {
+    /// Tenant index (order of the input slice).
+    pub tenant: usize,
+    /// Keys of this tenant promoted to FastMem.
+    pub keys: Vec<u64>,
+    /// FastMem bytes granted.
+    pub fast_bytes: u64,
+    /// Estimated runtime with this allocation (ns).
+    pub est_runtime_ns: f64,
+    /// Estimated slowdown vs this tenant running all-FastMem.
+    pub est_slowdown: f64,
+}
+
+/// Result of a shared-budget allocation.
+#[derive(Debug, Clone, Serialize)]
+pub struct SharedAllocation {
+    /// Per-tenant grants, in input order.
+    pub tenants: Vec<TenantAllocation>,
+    /// FastMem bytes used of the budget.
+    pub used_bytes: u64,
+    /// The budget that was offered.
+    pub budget_bytes: u64,
+}
+
+impl SharedAllocation {
+    /// The worst per-tenant estimated slowdown — the fleet's SLO metric.
+    pub fn worst_slowdown(&self) -> f64 {
+        self.tenants.iter().map(|t| t.est_slowdown).fold(0.0, f64::max)
+    }
+}
+
+/// Allocate a shared FastMem `budget_bytes` across tenants by benefit
+/// density. Each consultation supplies the per-key promotion deltas of
+/// its own fitted model (including any cache-aware correction it was
+/// configured with).
+pub fn allocate_shared(consultations: &[Consultation], budget_bytes: u64) -> SharedAllocation {
+    // Gather (tenant, key, bytes, delta) across all tenants.
+    struct Cand {
+        tenant: usize,
+        key: u64,
+        bytes: u64,
+        delta: f64,
+    }
+    let mut candidates = Vec::new();
+    let mut fast_totals = Vec::with_capacity(consultations.len());
+    for (tenant, c) in consultations.iter().enumerate() {
+        // Rebuild the engine that produced the curve to get its deltas.
+        // Price factor does not matter for deltas; use the default model.
+        let engine = EstimateEngine::new(c.model.clone(), CostModel::default());
+        let (fast_total, deltas) = engine.key_deltas(&c.pattern);
+        fast_totals.push(fast_total);
+        for (key, &delta) in deltas.iter().enumerate() {
+            let bytes = c.pattern.key(key as u64).bytes;
+            if delta > 0.0 && bytes > 0 {
+                candidates.push(Cand { tenant, key: key as u64, bytes, delta });
+            }
+        }
+    }
+    candidates.sort_by(|a, b| {
+        let da = a.delta / a.bytes as f64;
+        let db = b.delta / b.bytes as f64;
+        db.partial_cmp(&da)
+            .expect("densities finite")
+            .then(a.tenant.cmp(&b.tenant))
+            .then(a.key.cmp(&b.key))
+    });
+
+    let mut used = 0u64;
+    let mut grants: Vec<Vec<u64>> = consultations.iter().map(|_| Vec::new()).collect();
+    let mut granted_bytes: Vec<u64> = consultations.iter().map(|_| 0).collect();
+    let mut saved: Vec<f64> = consultations.iter().map(|_| 0.0).collect();
+    for cand in candidates {
+        if used + cand.bytes <= budget_bytes {
+            used += cand.bytes;
+            grants[cand.tenant].push(cand.key);
+            granted_bytes[cand.tenant] += cand.bytes;
+            saved[cand.tenant] += cand.delta;
+        }
+    }
+
+    let tenants = consultations
+        .iter()
+        .enumerate()
+        .map(|(tenant, c)| {
+            // Runtime = all-slow estimate minus what the grant saves.
+            let slow = c.curve.slow_only().est_runtime_ns;
+            let fast = fast_totals[tenant];
+            let est_runtime_ns = slow - saved[tenant];
+            let est_slowdown = if fast > 0.0 {
+                // Throughput ratio via runtimes: slowdown vs all-fast.
+                (est_runtime_ns - fast) / est_runtime_ns
+            } else {
+                0.0
+            };
+            TenantAllocation {
+                tenant,
+                keys: std::mem::take(&mut grants[tenant]),
+                fast_bytes: granted_bytes[tenant],
+                est_runtime_ns,
+                est_slowdown: est_slowdown.max(0.0),
+            }
+        })
+        .collect();
+    SharedAllocation { tenants, used_bytes: used, budget_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advisor::{Advisor, AdvisorConfig};
+    use kvsim::StoreKind;
+    use ycsb::WorkloadSpec;
+
+    fn consult(spec: WorkloadSpec, store: StoreKind) -> Consultation {
+        let trace = spec.generate(5);
+        Advisor::new(AdvisorConfig::default()).consult(store, &trace).unwrap()
+    }
+
+    fn two_tenants() -> Vec<Consultation> {
+        vec![
+            consult(WorkloadSpec::trending().scaled(200, 2_500), StoreKind::Dynamo),
+            consult(WorkloadSpec::trending().scaled(200, 2_500), StoreKind::Memcached),
+        ]
+    }
+
+    #[test]
+    fn budget_is_respected_and_used() {
+        let tenants = two_tenants();
+        let total: u64 = tenants.iter().map(|c| c.curve.total_bytes).sum();
+        let alloc = allocate_shared(&tenants, total / 4);
+        assert!(alloc.used_bytes <= alloc.budget_bytes);
+        assert!(alloc.used_bytes > alloc.budget_bytes / 2, "budget should be mostly used");
+        let granted: u64 = alloc.tenants.iter().map(|t| t.fast_bytes).sum();
+        assert_eq!(granted, alloc.used_bytes);
+    }
+
+    #[test]
+    fn sensitive_tenant_wins_the_budget() {
+        // DynamoDB (very memory-sensitive) vs Memcached (insensitive) on
+        // the same workload: the shared budget should flow to DynamoDB.
+        let tenants = two_tenants();
+        let total: u64 = tenants.iter().map(|c| c.curve.total_bytes).sum();
+        let alloc = allocate_shared(&tenants, total / 4);
+        assert!(
+            alloc.tenants[0].fast_bytes > 4 * alloc.tenants[1].fast_bytes.max(1),
+            "dynamo {} vs memcached {}",
+            alloc.tenants[0].fast_bytes,
+            alloc.tenants[1].fast_bytes
+        );
+    }
+
+    #[test]
+    fn zero_budget_grants_nothing() {
+        let tenants = two_tenants();
+        let alloc = allocate_shared(&tenants, 0);
+        assert_eq!(alloc.used_bytes, 0);
+        for t in &alloc.tenants {
+            assert!(t.keys.is_empty());
+            // All-slow runtime equals the tenant's slow-only estimate.
+            let slow = tenants[t.tenant].curve.slow_only().est_runtime_ns;
+            assert!((t.est_runtime_ns - slow).abs() / slow < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_budget_reaches_all_fast() {
+        let tenants = two_tenants();
+        let total: u64 = tenants.iter().map(|c| c.curve.total_bytes).sum();
+        let alloc = allocate_shared(&tenants, total);
+        for t in &alloc.tenants {
+            assert!(t.est_slowdown < 1e-9, "tenant {} slowdown {}", t.tenant, t.est_slowdown);
+        }
+        assert!(alloc.worst_slowdown() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_budget_never_hurts_anyone() {
+        let tenants = two_tenants();
+        let total: u64 = tenants.iter().map(|c| c.curve.total_bytes).sum();
+        let small = allocate_shared(&tenants, total / 8);
+        let large = allocate_shared(&tenants, total / 2);
+        for (s, l) in small.tenants.iter().zip(&large.tenants) {
+            assert!(l.est_runtime_ns <= s.est_runtime_ns + 1e-6);
+        }
+        assert!(large.worst_slowdown() <= small.worst_slowdown() + 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! The Sensitivity Engine (Fig. 6, component 1).
+//!
+//! "A customized YCSB client, which executes the actual workload itself
+//! ... It determines the performance baselines for the best case, where
+//! all data is in FastMem, and worst case, where all data is in SlowMem,
+//! including average total runtime and average read and write request
+//! response times."
+
+use hybridmem::clock::NoiseConfig;
+use hybridmem::{HybridSpec, MemTier};
+use kvsim::{EngineError, Placement, RunReport, Server, StoreKind};
+use ycsb::{Op, Trace};
+
+/// One measured baseline (one extreme placement).
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Which tier held all data.
+    pub tier: MemTier,
+    /// Total measured runtime (ns).
+    pub runtime_ns: f64,
+    /// Average read service time (ns).
+    pub avg_read_ns: f64,
+    /// Average write service time (ns).
+    pub avg_write_ns: f64,
+    /// The full report (per-request samples feed the size-aware model).
+    pub report: RunReport,
+}
+
+impl BaselineRun {
+    fn from_report(tier: MemTier, report: RunReport) -> BaselineRun {
+        BaselineRun {
+            tier,
+            runtime_ns: report.runtime_ns,
+            avg_read_ns: report.avg_read_ns(),
+            avg_write_ns: report.avg_write_ns(),
+            report,
+        }
+    }
+
+    /// Throughput of this baseline (ops/s).
+    pub fn throughput_ops_s(&self) -> f64 {
+        self.report.throughput_ops_s()
+    }
+}
+
+/// The pair of extreme-placement baselines.
+#[derive(Debug, Clone)]
+pub struct Baselines {
+    /// Store that was measured.
+    pub store: StoreKind,
+    /// Workload name.
+    pub workload: String,
+    /// Everything-in-FastMem run (best case).
+    pub fast: BaselineRun,
+    /// Everything-in-SlowMem run (worst case).
+    pub slow: BaselineRun,
+}
+
+impl Baselines {
+    /// The tier-latency deltas the estimate model is built on:
+    /// `(SlowRead - FastRead, SlowWrite - FastWrite)` in ns.
+    pub fn deltas(&self) -> (f64, f64) {
+        (self.slow.avg_read_ns - self.fast.avg_read_ns, self.slow.avg_write_ns - self.fast.avg_write_ns)
+    }
+
+    /// Relative throughput gap between the extremes: how sensitive this
+    /// store/workload pair is to hybrid memory at all (§V-A's
+    /// store-comparison observation).
+    pub fn sensitivity(&self) -> f64 {
+        let f = self.fast.throughput_ops_s();
+        let s = self.slow.throughput_ops_s();
+        if s == 0.0 {
+            return 0.0;
+        }
+        f / s - 1.0
+    }
+}
+
+/// The Sensitivity Engine: measures the two baselines by real (simulated)
+/// execution, with no application modification.
+#[derive(Debug, Clone)]
+pub struct SensitivityEngine {
+    spec: HybridSpec,
+    noise: NoiseConfig,
+}
+
+impl Default for SensitivityEngine {
+    fn default() -> Self {
+        SensitivityEngine::new(HybridSpec::paper_testbed(), NoiseConfig::disabled())
+    }
+}
+
+impl SensitivityEngine {
+    /// Engine over a given testbed spec and measurement-noise model.
+    pub fn new(spec: HybridSpec, noise: NoiseConfig) -> SensitivityEngine {
+        SensitivityEngine { spec, noise }
+    }
+
+    /// The testbed spec in use.
+    pub fn spec(&self) -> &HybridSpec {
+        &self.spec
+    }
+
+    /// Execute the workload "as-is" under both extreme placements.
+    pub fn measure(&self, store: StoreKind, trace: &Trace) -> Result<Baselines, EngineError> {
+        let fast = self.measure_one(store, trace, Placement::AllFast)?;
+        let slow = self.measure_one(store, trace, Placement::AllSlow)?;
+        Ok(Baselines { store, workload: trace.name.clone(), fast, slow })
+    }
+
+    /// One extreme run.
+    pub fn measure_one(
+        &self,
+        store: StoreKind,
+        trace: &Trace,
+        placement: Placement,
+    ) -> Result<BaselineRun, EngineError> {
+        let tier = match &placement {
+            Placement::AllFast => MemTier::Fast,
+            Placement::AllSlow => MemTier::Slow,
+            Placement::FastSet(_) => MemTier::Fast, // mixed; tag as fast-led
+        };
+        let mut noise = self.noise;
+        // Decorrelate the two baseline runs' jitter.
+        noise.seed = noise.seed.wrapping_add(match tier {
+            MemTier::Fast => 0x5eed_fa57,
+            MemTier::Slow => 0x5eed_510e,
+        });
+        let mut server = Server::build_with(store, self.spec.clone(), noise, trace, placement)?;
+        Ok(BaselineRun::from_report(tier, server.run(trace)))
+    }
+
+    /// Average read/write times per op from a report, split by op — a
+    /// convenience for model fitting.
+    pub fn op_means(report: &RunReport) -> (f64, f64) {
+        let mut read = (0.0, 0u64);
+        let mut write = (0.0, 0u64);
+        for s in &report.samples {
+            match s.op {
+                Op::Read => {
+                    read.0 += s.service_ns;
+                    read.1 += 1;
+                }
+                Op::Update => {
+                    write.0 += s.service_ns;
+                    write.1 += 1;
+                }
+            }
+        }
+        (
+            if read.1 == 0 { 0.0 } else { read.0 / read.1 as f64 },
+            if write.1 == 0 { 0.0 } else { write.0 / write.1 as f64 },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ycsb::WorkloadSpec;
+
+    fn trace() -> Trace {
+        WorkloadSpec::trending().scaled(150, 2_000).generate(3)
+    }
+
+    #[test]
+    fn baselines_bound_the_tradeoff() {
+        let b = SensitivityEngine::default().measure(StoreKind::Redis, &trace()).unwrap();
+        assert!(b.fast.runtime_ns < b.slow.runtime_ns);
+        assert!(b.fast.avg_read_ns < b.slow.avg_read_ns);
+        assert!(b.sensitivity() > 0.0);
+        let (dr, dw) = b.deltas();
+        assert!(dr > 0.0, "read delta {dr}");
+        assert!(dw >= 0.0, "write delta {dw}");
+    }
+
+    #[test]
+    fn memcached_least_sensitive_dynamo_most() {
+        let t = trace();
+        let eng = SensitivityEngine::default();
+        let redis = eng.measure(StoreKind::Redis, &t).unwrap().sensitivity();
+        let mem = eng.measure(StoreKind::Memcached, &t).unwrap().sensitivity();
+        let dyn_ = eng.measure(StoreKind::Dynamo, &t).unwrap().sensitivity();
+        assert!(dyn_ > redis && redis > mem, "dyn {dyn_:.3} redis {redis:.3} mem {mem:.3}");
+    }
+
+    #[test]
+    fn writes_see_smaller_deltas_than_reads() {
+        let t = WorkloadSpec::edit_thumbnail().scaled(150, 2_000).generate(3);
+        let b = SensitivityEngine::default().measure(StoreKind::Redis, &t).unwrap();
+        let (dr, dw) = b.deltas();
+        assert!(dw < dr, "write delta {dw} must be below read delta {dr}");
+    }
+
+    #[test]
+    fn op_means_match_report_averages() {
+        let t = WorkloadSpec::edit_thumbnail().scaled(100, 1_000).generate(5);
+        let b = SensitivityEngine::default().measure(StoreKind::Redis, &t).unwrap();
+        let (r, w) = SensitivityEngine::op_means(&b.fast.report);
+        assert!((r - b.fast.avg_read_ns).abs() < 1e-6);
+        assert!((w - b.fast.avg_write_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_baselines_stay_close_to_clean() {
+        let t = trace();
+        let clean = SensitivityEngine::default().measure(StoreKind::Redis, &t).unwrap();
+        let noisy =
+            SensitivityEngine::new(HybridSpec::paper_testbed(), NoiseConfig::default_jitter(1))
+                .measure(StoreKind::Redis, &t)
+                .unwrap();
+        let rel = (clean.fast.runtime_ns - noisy.fast.runtime_ns).abs() / clean.fast.runtime_ns;
+        assert!(rel < 0.02, "noise drift {rel}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Placement-aware object allocator.
+//!
+//! Key-value pairs are simulated as *objects*: opaque blobs with a stable
+//! [`ObjectId`], a byte size and a current tier. The allocator mirrors what
+//! `numactl`-bound server processes do in the paper — every allocation is
+//! served by exactly one memory node — while additionally supporting
+//! per-object placement and migration, which is what Mnemo's Placement
+//! Engine needs.
+//!
+//! Simulated addresses are handed out by a segregated free-list: freed
+//! blocks are recycled by size class before the bump pointer grows. The
+//! addresses only need to be stable and disjoint (they seed the cache
+//! models), not contiguous.
+
+use crate::spec::MemTier;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Stable identifier of a simulated object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// Placement record of a live object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Tier currently holding the object.
+    pub tier: MemTier,
+    /// Simulated start address within the tier's address window.
+    pub addr: u64,
+    /// Object size in bytes.
+    pub bytes: u64,
+}
+
+/// Allocation errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The target tier does not have room (capacity enforced by the owning
+    /// [`Device`](crate::device::Device)).
+    OutOfMemory {
+        /// Tier that was full.
+        tier: MemTier,
+        /// Bytes requested.
+        requested: u64,
+    },
+    /// The object id is unknown (double free, migrate after free, ...).
+    UnknownObject(ObjectId),
+    /// Zero-sized allocations are not meaningful for placement decisions.
+    ZeroSize,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory { tier, requested } => {
+                write!(f, "{tier}: cannot place {requested} bytes")
+            }
+            AllocError::UnknownObject(id) => write!(f, "unknown object {id}"),
+            AllocError::ZeroSize => write!(f, "zero-sized allocation"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Size-class segregated free list of simulated address ranges for one
+/// tier. Blocks are recycled exactly (per rounded size class), so reuse
+/// never aliases two live objects.
+#[derive(Debug, Default, Clone)]
+struct TierArena {
+    bump: u64,
+    /// size-class -> freed addresses.
+    free: HashMap<u64, Vec<u64>>,
+}
+
+/// Round a size up to its allocation class: next power of two, with a
+/// 256-byte floor (mirrors slab/jemalloc-style classing and bounds the
+/// number of distinct free lists).
+fn size_class(bytes: u64) -> u64 {
+    bytes.max(256).next_power_of_two()
+}
+
+impl TierArena {
+    fn alloc(&mut self, bytes: u64) -> u64 {
+        let class = size_class(bytes);
+        if let Some(list) = self.free.get_mut(&class) {
+            if let Some(addr) = list.pop() {
+                return addr;
+            }
+        }
+        let addr = self.bump;
+        self.bump += class;
+        addr
+    }
+
+    fn dealloc(&mut self, addr: u64, bytes: u64) {
+        self.free.entry(size_class(bytes)).or_default().push(addr);
+    }
+}
+
+/// Object table: id -> placement, plus per-tier arenas.
+#[derive(Debug, Default, Clone)]
+pub struct ObjectTable {
+    next_id: u64,
+    objects: HashMap<ObjectId, Placement>,
+    fast: TierArena,
+    slow: TierArena,
+}
+
+impl ObjectTable {
+    /// Empty table.
+    pub fn new() -> ObjectTable {
+        ObjectTable::default()
+    }
+
+    fn arena(&mut self, tier: MemTier) -> &mut TierArena {
+        match tier {
+            MemTier::Fast => &mut self.fast,
+            MemTier::Slow => &mut self.slow,
+        }
+    }
+
+    /// Register a new object in `tier`. Capacity must have been reserved
+    /// by the caller (the [`HybridMemory`](crate::system::HybridMemory)
+    /// facade pairs this with device accounting).
+    pub fn insert(&mut self, bytes: u64, tier: MemTier) -> Result<ObjectId, AllocError> {
+        if bytes == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        let addr = self.arena(tier).alloc(bytes);
+        self.objects.insert(id, Placement { tier, addr, bytes });
+        Ok(id)
+    }
+
+    /// Look up a live object.
+    pub fn get(&self, id: ObjectId) -> Result<Placement, AllocError> {
+        self.objects.get(&id).copied().ok_or(AllocError::UnknownObject(id))
+    }
+
+    /// Remove an object, returning its last placement.
+    pub fn remove(&mut self, id: ObjectId) -> Result<Placement, AllocError> {
+        let p = self.objects.remove(&id).ok_or(AllocError::UnknownObject(id))?;
+        self.arena(p.tier).dealloc(p.addr, p.bytes);
+        Ok(p)
+    }
+
+    /// Move an object to `target`, returning `(old, new)` placements.
+    /// A migration to the current tier is a no-op.
+    pub fn migrate(
+        &mut self,
+        id: ObjectId,
+        target: MemTier,
+    ) -> Result<(Placement, Placement), AllocError> {
+        let old = self.get(id)?;
+        if old.tier == target {
+            return Ok((old, old));
+        }
+        self.arena(old.tier).dealloc(old.addr, old.bytes);
+        let addr = self.arena(target).alloc(old.bytes);
+        let new = Placement { tier: target, addr, bytes: old.bytes };
+        self.objects.insert(id, new);
+        Ok((old, new))
+    }
+
+    /// Resize an object in place (same tier, possibly new address),
+    /// returning `(old, new)` placements.
+    pub fn resize(&mut self, id: ObjectId, bytes: u64) -> Result<(Placement, Placement), AllocError> {
+        if bytes == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        let old = self.get(id)?;
+        if size_class(bytes) == size_class(old.bytes) {
+            let new = Placement { bytes, ..old };
+            self.objects.insert(id, new);
+            return Ok((old, new));
+        }
+        self.arena(old.tier).dealloc(old.addr, old.bytes);
+        let addr = self.arena(old.tier).alloc(bytes);
+        let new = Placement { tier: old.tier, addr, bytes };
+        self.objects.insert(id, new);
+        Ok((old, new))
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects are live.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterate over live objects.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, Placement)> + '_ {
+        self.objects.iter().map(|(&id, &p)| (id, p))
+    }
+
+    /// Total live bytes in a tier.
+    pub fn bytes_in(&self, tier: MemTier) -> u64 {
+        self.objects.values().filter(|p| p.tier == tier).map(|p| p.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = ObjectTable::new();
+        let id = t.insert(1000, MemTier::Fast).unwrap();
+        let p = t.get(id).unwrap();
+        assert_eq!(p.tier, MemTier::Fast);
+        assert_eq!(p.bytes, 1000);
+        let removed = t.remove(id).unwrap();
+        assert_eq!(removed, p);
+        assert_eq!(t.get(id).unwrap_err(), AllocError::UnknownObject(id));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut t = ObjectTable::new();
+        assert_eq!(t.insert(0, MemTier::Fast).unwrap_err(), AllocError::ZeroSize);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(10, MemTier::Fast).unwrap();
+        t.remove(a).unwrap();
+        let b = t.insert(10, MemTier::Fast).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn addresses_disjoint_per_tier() {
+        let mut t = ObjectTable::new();
+        let ids: Vec<_> = (0..100).map(|_| t.insert(300, MemTier::Fast).unwrap()).collect();
+        let mut addrs: Vec<u64> = ids.iter().map(|&i| t.get(i).unwrap().addr).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 100, "live objects must not alias");
+    }
+
+    #[test]
+    fn freed_addresses_are_recycled() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(1000, MemTier::Slow).unwrap();
+        let addr = t.get(a).unwrap().addr;
+        t.remove(a).unwrap();
+        let b = t.insert(900, MemTier::Slow).unwrap(); // same 1024-class
+        assert_eq!(t.get(b).unwrap().addr, addr);
+    }
+
+    #[test]
+    fn migrate_moves_tier_and_keeps_size() {
+        let mut t = ObjectTable::new();
+        let id = t.insert(5000, MemTier::Slow).unwrap();
+        let (old, new) = t.migrate(id, MemTier::Fast).unwrap();
+        assert_eq!(old.tier, MemTier::Slow);
+        assert_eq!(new.tier, MemTier::Fast);
+        assert_eq!(new.bytes, 5000);
+        // No-op migration.
+        let (o2, n2) = t.migrate(id, MemTier::Fast).unwrap();
+        assert_eq!(o2, n2);
+    }
+
+    #[test]
+    fn resize_within_class_is_in_place() {
+        let mut t = ObjectTable::new();
+        let id = t.insert(1000, MemTier::Fast).unwrap();
+        let before = t.get(id).unwrap().addr;
+        let (_, new) = t.resize(id, 1024).unwrap(); // same 1024-class
+        assert_eq!(new.addr, before);
+        assert_eq!(new.bytes, 1024);
+        let (_, moved) = t.resize(id, 5000).unwrap();
+        assert_eq!(moved.bytes, 5000);
+    }
+
+    #[test]
+    fn bytes_in_tier_accounting() {
+        let mut t = ObjectTable::new();
+        t.insert(100, MemTier::Fast).unwrap();
+        t.insert(200, MemTier::Fast).unwrap();
+        let s = t.insert(300, MemTier::Slow).unwrap();
+        assert_eq!(t.bytes_in(MemTier::Fast), 300);
+        assert_eq!(t.bytes_in(MemTier::Slow), 300);
+        t.migrate(s, MemTier::Fast).unwrap();
+        assert_eq!(t.bytes_in(MemTier::Fast), 600);
+        assert_eq!(t.bytes_in(MemTier::Slow), 0);
+    }
+
+    #[test]
+    fn size_class_properties() {
+        assert_eq!(size_class(1), 256);
+        assert_eq!(size_class(256), 256);
+        assert_eq!(size_class(257), 512);
+        assert_eq!(size_class(100 * 1024), 128 * 1024);
+    }
+
+    proptest! {
+        #[test]
+        fn live_objects_never_alias(ops in proptest::collection::vec((0u64..4, 1u64..10_000), 1..200)) {
+            let mut t = ObjectTable::new();
+            let mut live: Vec<ObjectId> = Vec::new();
+            for (op, arg) in ops {
+                match op {
+                    0 | 1 => {
+                        let tier = if op == 0 { MemTier::Fast } else { MemTier::Slow };
+                        live.push(t.insert(arg, tier).unwrap());
+                    }
+                    2 if !live.is_empty() => {
+                        let id = live.remove(arg as usize % live.len());
+                        t.remove(id).unwrap();
+                    }
+                    3 if !live.is_empty() => {
+                        let id = live[arg as usize % live.len()];
+                        let target = if arg % 2 == 0 { MemTier::Fast } else { MemTier::Slow };
+                        t.migrate(id, target).unwrap();
+                    }
+                    _ => {}
+                }
+                // Invariant: (tier, addr) pairs of live objects are unique.
+                let mut seen = std::collections::HashSet::new();
+                for (_, p) in t.iter() {
+                    prop_assert!(seen.insert((p.tier, p.addr)), "aliased placement {p:?}");
+                }
+            }
+            prop_assert_eq!(t.len(), live.len());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Simulated time and measurement noise.
+//!
+//! All timing in the simulator is *virtual*: device models return
+//! nanosecond costs which a [`SimClock`] accumulates. The paper's curves
+//! are means of repeated wall-clock measurements on real hardware; to keep
+//! the estimate-accuracy evaluation (Fig. 8a) meaningful, a seeded
+//! [`NoiseModel`] can perturb each service time multiplicatively, standing
+//! in for run-to-run hardware variability.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A monotonically advancing virtual nanosecond clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SimClock {
+    now_ns: u128,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u128 {
+        self.now_ns
+    }
+
+    /// Advance by a (fractional) nanosecond cost; negative or non-finite
+    /// costs are rejected.
+    pub fn advance(&mut self, ns: f64) {
+        assert!(ns.is_finite() && ns >= 0.0, "invalid time advance: {ns}");
+        self.now_ns += ns.round() as u128;
+    }
+
+    /// Elapsed virtual seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.now_ns as f64 / 1e9
+    }
+
+    /// Reset to time zero.
+    pub fn reset(&mut self) {
+        self.now_ns = 0;
+    }
+}
+
+/// Configuration for multiplicative Gaussian measurement noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Relative standard deviation (e.g. 0.02 = 2% jitter per request).
+    pub relative_sigma: f64,
+    /// RNG seed, so "measurements" are reproducible.
+    pub seed: u64,
+}
+
+impl NoiseConfig {
+    /// No noise at all.
+    pub fn disabled() -> NoiseConfig {
+        NoiseConfig { relative_sigma: 0.0, seed: 0 }
+    }
+
+    /// The default measurement jitter used by the experiment harness: 2%
+    /// relative sigma, which lands the estimate error distribution in the
+    /// sub-percent band the paper reports.
+    pub fn default_jitter(seed: u64) -> NoiseConfig {
+        NoiseConfig { relative_sigma: 0.02, seed }
+    }
+}
+
+/// Seeded multiplicative Gaussian noise source.
+#[derive(Debug)]
+pub struct NoiseModel {
+    sigma: f64,
+    rng: StdRng,
+    /// Cached second Box-Muller variate.
+    spare: Option<f64>,
+}
+
+impl NoiseModel {
+    /// Build from a config.
+    pub fn new(config: NoiseConfig) -> NoiseModel {
+        NoiseModel { sigma: config.relative_sigma, rng: StdRng::seed_from_u64(config.seed), spare: None }
+    }
+
+    /// A noiseless model.
+    pub fn disabled() -> NoiseModel {
+        NoiseModel::new(NoiseConfig::disabled())
+    }
+
+    /// Standard normal variate via Box–Muller (rand's core crate has no
+    /// normal distribution; `rand_distr` is outside the allowed set).
+    fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u1: f64 = self.rng.random::<f64>();
+            let u2: f64 = self.rng.random::<f64>();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// Perturb a nanosecond cost: `ns * max(0, 1 + sigma * N(0,1))`.
+    pub fn perturb(&mut self, ns: f64) -> f64 {
+        if self.sigma == 0.0 {
+            return ns;
+        }
+        let factor = (1.0 + self.sigma * self.standard_normal()).max(0.0);
+        ns * factor
+    }
+
+    /// The configured relative sigma.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_accumulates_and_resets() {
+        let mut c = SimClock::new();
+        c.advance(100.4);
+        c.advance(0.6);
+        assert_eq!(c.now_ns(), 101);
+        assert!((c.elapsed_secs() - 101e-9).abs() < 1e-18);
+        c.reset();
+        assert_eq!(c.now_ns(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time advance")]
+    fn clock_rejects_negative() {
+        SimClock::new().advance(-1.0);
+    }
+
+    #[test]
+    fn disabled_noise_is_identity() {
+        let mut n = NoiseModel::disabled();
+        for ns in [0.0, 1.0, 123.456, 1e9] {
+            assert_eq!(n.perturb(ns), ns);
+        }
+    }
+
+    #[test]
+    fn noise_is_reproducible_per_seed() {
+        let mut a = NoiseModel::new(NoiseConfig::default_jitter(42));
+        let mut b = NoiseModel::new(NoiseConfig::default_jitter(42));
+        for _ in 0..100 {
+            assert_eq!(a.perturb(1000.0), b.perturb(1000.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseModel::new(NoiseConfig::default_jitter(1));
+        let mut b = NoiseModel::new(NoiseConfig::default_jitter(2));
+        let xa: Vec<f64> = (0..10).map(|_| a.perturb(1000.0)).collect();
+        let xb: Vec<f64> = (0..10).map(|_| b.perturb(1000.0)).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn noise_mean_is_close_to_identity_and_never_negative() {
+        let mut n = NoiseModel::new(NoiseConfig { relative_sigma: 0.05, seed: 7 });
+        let samples: Vec<f64> = (0..20_000).map(|_| n.perturb(1000.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1000.0).abs() < 5.0, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+        // And the spread matches the configured sigma roughly.
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        let sd = var.sqrt();
+        assert!((sd - 50.0).abs() < 5.0, "sd {sd}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-tier memory device: capacity accounting plus access timing.
+
+use crate::spec::{AccessKind, MemTier, TierSpec};
+use crate::stats::AccessStats;
+
+/// One memory device (a NUMA node in the paper's testbed).
+#[derive(Debug, Clone)]
+pub struct Device {
+    tier: MemTier,
+    spec: TierSpec,
+    capacity: u64,
+    used: u64,
+    stats: AccessStats,
+}
+
+/// Capacity errors raised by a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityError {
+    /// The requested reservation exceeds free capacity.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still free.
+        free: u64,
+    },
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapacityError::OutOfMemory { requested, free } => {
+                write!(f, "out of memory: requested {requested} bytes, {free} free")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+impl Device {
+    /// Create a device of `capacity` bytes with the given timing.
+    pub fn new(tier: MemTier, spec: TierSpec, capacity: u64) -> Device {
+        Device { tier, spec, capacity, used: 0, stats: AccessStats::default() }
+    }
+
+    /// Which tier this device implements.
+    pub fn tier(&self) -> MemTier {
+        self.tier
+    }
+
+    /// The timing specification.
+    pub fn spec(&self) -> &TierSpec {
+        self.spec_ref()
+    }
+
+    fn spec_ref(&self) -> &TierSpec {
+        &self.spec
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Reserve `bytes`; fails when the device is full.
+    pub fn reserve(&mut self, bytes: u64) -> Result<(), CapacityError> {
+        if bytes > self.free() {
+            return Err(CapacityError::OutOfMemory { requested: bytes, free: self.free() });
+        }
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Release a prior reservation.
+    pub fn release(&mut self, bytes: u64) {
+        debug_assert!(bytes <= self.used, "releasing more than reserved");
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Nanoseconds to serve `bytes` from this device, recorded in stats.
+    pub fn access_ns(&mut self, kind: AccessKind, bytes: u64) -> f64 {
+        let ns = self.spec.access_ns(kind, bytes);
+        self.stats.record(kind, bytes, ns);
+        ns
+    }
+
+    /// Accumulated access statistics.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Reset statistics (capacity accounting is unaffected).
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::new(MemTier::Fast, TierSpec::paper_fastmem(), 1024)
+    }
+
+    #[test]
+    fn reserve_and_release_track_usage() {
+        let mut d = dev();
+        d.reserve(1000).unwrap();
+        assert_eq!(d.used(), 1000);
+        assert_eq!(d.free(), 24);
+        d.release(600);
+        assert_eq!(d.free(), 624);
+    }
+
+    #[test]
+    fn over_reserve_fails_without_side_effects() {
+        let mut d = dev();
+        d.reserve(1000).unwrap();
+        let err = d.reserve(100).unwrap_err();
+        assert_eq!(err, CapacityError::OutOfMemory { requested: 100, free: 24 });
+        assert_eq!(d.used(), 1000, "failed reserve must not change usage");
+    }
+
+    #[test]
+    fn access_records_stats() {
+        let mut d = dev();
+        let ns = d.access_ns(AccessKind::Read, 64);
+        assert!(ns > 65.0);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().read_bytes, 64);
+        d.reset_stats();
+        assert_eq!(d.stats().reads, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Hybrid memory system simulator for the Mnemo reproduction.
+//!
+//! The Mnemo paper evaluates on a dual-socket Xeon where one socket's DRAM
+//! is throttled to emulate NVM (Table I: DRAM at 65.7 ns / 14.9 GB/s,
+//! emulated NVM at 238.1 ns / 1.81 GB/s, 12 MB shared LLC). That hardware
+//! is not available here, so this crate rebuilds the testbed as a
+//! deterministic simulator:
+//!
+//! * [`spec`] — tier timing specifications, with the paper's Table I values
+//!   as presets.
+//! * [`cache`] — last-level-cache models: an object-granular LRU (fast,
+//!   default) and a line-granular set-associative LRU (accurate, used for
+//!   validation and the cache ablation bench), plus a pass-through.
+//! * [`device`] — per-tier timing: `latency + bytes / bandwidth`.
+//! * [`alloc`] — a segregated free-list object allocator that assigns
+//!   stable simulated addresses per tier and tracks placement.
+//! * [`system`] — the [`HybridMemory`] facade:
+//!   allocate / free / migrate objects between tiers and charge simulated
+//!   nanoseconds for reads and writes.
+//! * [`clock`] — simulated nanosecond clock and a seeded Gaussian noise
+//!   model standing in for real-hardware measurement variability.
+//! * [`stats`] — access counters and service-time histograms.
+//!
+//! The simulator charges time per *object access*, front-ended by the LLC
+//! model: bytes that hit in cache are served at cache speed, bytes that
+//! miss are served at the owning tier's speed. This is the same first-order
+//! behaviour the paper's throttled socket realises physically, which is all
+//! the downstream figures depend on (they compare *relative* service times
+//! between tiers).
+//!
+//! # Example
+//!
+//! ```
+//! use hybridmem::{HybridMemory, HybridSpec, MemTier, AccessKind};
+//!
+//! let mut mem = HybridMemory::new(HybridSpec::paper_testbed());
+//! let obj = mem.alloc(100 * 1024, MemTier::Fast).unwrap();
+//! let t_fast = mem.access(obj, AccessKind::Read);
+//! mem.migrate(obj, MemTier::Slow).unwrap();
+//! let t_slow = mem.access(obj, AccessKind::Read);
+//! assert!(t_slow > t_fast, "SlowMem reads must be slower");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod cache;
+pub mod clock;
+pub mod device;
+pub mod spec;
+pub mod stats;
+pub mod system;
+
+pub use alloc::{AllocError, ObjectId};
+pub use cache::{Cache, CacheConfig, CacheKind};
+pub use clock::{NoiseModel, SimClock};
+pub use device::Device;
+pub use spec::{AccessKind, HybridSpec, MemTier, TierSpec};
+pub use stats::{AccessStats, Histogram};
+pub use system::HybridMemory;

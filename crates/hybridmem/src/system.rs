@@ -1,0 +1,396 @@
+//! The [`HybridMemory`] facade tying devices, cache and placement together.
+
+use crate::alloc::{AllocError, ObjectId, ObjectTable, Placement};
+use crate::cache::{Cache, CacheConfig};
+use crate::device::Device;
+use crate::spec::{AccessKind, HybridSpec, MemTier};
+use crate::stats::AccessStats;
+
+/// Cache-level counters for a whole system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses fully or partially served from cache.
+    pub hits: u64,
+    /// Accesses that had to touch a device.
+    pub misses: u64,
+    /// Bytes served from cache.
+    pub hit_bytes: u64,
+    /// Bytes served from devices.
+    pub miss_bytes: u64,
+}
+
+impl CacheStats {
+    /// Byte-level hit ratio; 0 when nothing was accessed.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hit_bytes + self.miss_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.hit_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// A simulated two-tier memory system with an LLC in front.
+///
+/// All methods that model memory traffic return the simulated cost in
+/// nanoseconds; callers (the KV engines) accumulate those into request
+/// service times.
+pub struct HybridMemory {
+    spec: HybridSpec,
+    fast: Device,
+    slow: Device,
+    objects: ObjectTable,
+    cache: Box<dyn Cache>,
+    cache_stats: CacheStats,
+}
+
+impl HybridMemory {
+    /// Build a system from a spec (cache model chosen by the spec).
+    pub fn new(spec: HybridSpec) -> HybridMemory {
+        let cache = spec.cache.build();
+        HybridMemory {
+            fast: Device::new(MemTier::Fast, spec.fast, spec.fast_capacity),
+            slow: Device::new(MemTier::Slow, spec.slow, spec.slow_capacity),
+            objects: ObjectTable::new(),
+            cache,
+            cache_stats: CacheStats::default(),
+            spec,
+        }
+    }
+
+    /// Replace the cache model (clears cached state).
+    pub fn set_cache(&mut self, config: CacheConfig) {
+        self.spec.cache = config;
+        self.cache = config.build();
+        self.cache_stats = CacheStats::default();
+    }
+
+    /// The system specification.
+    pub fn spec(&self) -> &HybridSpec {
+        &self.spec
+    }
+
+    fn device(&mut self, tier: MemTier) -> &mut Device {
+        match tier {
+            MemTier::Fast => &mut self.fast,
+            MemTier::Slow => &mut self.slow,
+        }
+    }
+
+    /// Allocate an object of `bytes` in `tier`.
+    pub fn alloc(&mut self, bytes: u64, tier: MemTier) -> Result<ObjectId, AllocError> {
+        self.device(tier)
+            .reserve(bytes)
+            .map_err(|_| AllocError::OutOfMemory { tier, requested: bytes })?;
+        match self.objects.insert(bytes, tier) {
+            Ok(id) => Ok(id),
+            Err(e) => {
+                self.device(tier).release(bytes);
+                Err(e)
+            }
+        }
+    }
+
+    /// Free an object.
+    pub fn free(&mut self, id: ObjectId) -> Result<(), AllocError> {
+        let p = self.objects.remove(id)?;
+        self.device(p.tier).release(p.bytes);
+        self.cache.invalidate(id.0);
+        Ok(())
+    }
+
+    /// Migrate an object to `target`, returning the simulated cost of the
+    /// copy (read from source + write to destination). A no-op migration
+    /// costs nothing.
+    pub fn migrate(&mut self, id: ObjectId, target: MemTier) -> Result<f64, AllocError> {
+        let current = self.objects.get(id)?;
+        if current.tier == target {
+            return Ok(0.0);
+        }
+        self.device(target)
+            .reserve(current.bytes)
+            .map_err(|_| AllocError::OutOfMemory { tier: target, requested: current.bytes })?;
+        let (old, _new) = self.objects.migrate(id, target).expect("object vanished mid-migration");
+        self.device(old.tier).release(old.bytes);
+        self.cache.invalidate(id.0);
+        let read = self.device(old.tier).access_ns(AccessKind::Read, old.bytes);
+        let write = self.device(target).access_ns(AccessKind::Write, old.bytes);
+        Ok(read + write)
+    }
+
+    /// Resize an object in place, returning the placement change. Frees
+    /// and re-reserves capacity; fails (object unchanged) if the tier
+    /// cannot hold the new size.
+    pub fn resize(&mut self, id: ObjectId, bytes: u64) -> Result<Placement, AllocError> {
+        let current = self.objects.get(id)?;
+        if bytes > current.bytes {
+            let grow = bytes - current.bytes;
+            self.device(current.tier)
+                .reserve(grow)
+                .map_err(|_| AllocError::OutOfMemory { tier: current.tier, requested: grow })?;
+        } else {
+            self.device(current.tier).release(current.bytes - bytes);
+        }
+        let (_, new) = self.objects.resize(id, bytes)?;
+        self.cache.invalidate(id.0);
+        Ok(new)
+    }
+
+    /// Current placement of an object.
+    pub fn placement(&self, id: ObjectId) -> Result<Placement, AllocError> {
+        self.objects.get(id)
+    }
+
+    /// Access the whole object; returns simulated nanoseconds.
+    pub fn access(&mut self, id: ObjectId, kind: AccessKind) -> f64 {
+        let p = match self.objects.get(id) {
+            Ok(p) => p,
+            Err(_) => return 0.0,
+        };
+        self.access_placed(id, p, kind, p.bytes)
+    }
+
+    /// Access the first `bytes` of the object (clamped to its size).
+    pub fn access_bytes(&mut self, id: ObjectId, kind: AccessKind, bytes: u64) -> f64 {
+        let p = match self.objects.get(id) {
+            Ok(p) => p,
+            Err(_) => return 0.0,
+        };
+        self.access_placed(id, p, kind, bytes.min(p.bytes))
+    }
+
+    fn access_placed(&mut self, id: ObjectId, p: Placement, kind: AccessKind, bytes: u64) -> f64 {
+        let outcome = self.cache.access(id.0, bytes);
+        if outcome.hit_bytes > 0 {
+            self.cache_stats.hits += 1;
+            self.cache_stats.hit_bytes += outcome.hit_bytes;
+        }
+        if outcome.miss_bytes > 0 {
+            self.cache_stats.misses += 1;
+            self.cache_stats.miss_bytes += outcome.miss_bytes;
+        }
+        let mut ns = self.spec.cache.hit_ns(outcome.hit_bytes);
+        if outcome.miss_bytes > 0 {
+            ns += self.device(p.tier).access_ns(kind, outcome.miss_bytes);
+        }
+        ns
+    }
+
+    /// A raw, uncached device access of `bytes` in `tier` — models
+    /// pointer-chasing engine metadata that lives alongside the data but
+    /// is not tracked as an object (dict entries, slab headers, ...).
+    pub fn touch(&mut self, tier: MemTier, kind: AccessKind, bytes: u64) -> f64 {
+        self.device(tier).access_ns(kind, bytes)
+    }
+
+    /// Device statistics for one tier.
+    pub fn tier_stats(&self, tier: MemTier) -> &AccessStats {
+        match tier {
+            MemTier::Fast => self.fast.stats(),
+            MemTier::Slow => self.slow.stats(),
+        }
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats
+    }
+
+    /// Used bytes in a tier.
+    pub fn used(&self, tier: MemTier) -> u64 {
+        match tier {
+            MemTier::Fast => self.fast.used(),
+            MemTier::Slow => self.slow.used(),
+        }
+    }
+
+    /// Free bytes in a tier.
+    pub fn free_bytes(&self, tier: MemTier) -> u64 {
+        match tier {
+            MemTier::Fast => self.fast.free(),
+            MemTier::Slow => self.slow.free(),
+        }
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Live bytes per tier according to the object table (excludes
+    /// engine-internal reservations).
+    pub fn object_bytes_in(&self, tier: MemTier) -> u64 {
+        self.objects.bytes_in(tier)
+    }
+
+    /// Iterate over live objects and their placements.
+    pub fn objects(&self) -> impl Iterator<Item = (ObjectId, Placement)> + '_ {
+        self.objects.iter()
+    }
+
+    /// Reset access statistics and drop all cached state — the moment
+    /// "between runs" in the paper's methodology.
+    pub fn reset_measurement_state(&mut self) {
+        self.fast.reset_stats();
+        self.slow.reset_stats();
+        self.cache.clear();
+        self.cache_stats = CacheStats::default();
+    }
+}
+
+impl std::fmt::Debug for HybridMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridMemory")
+            .field("fast_used", &self.fast.used())
+            .field("slow_used", &self.slow.used())
+            .field("objects", &self.objects.len())
+            .field("cache_stats", &self.cache_stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> HybridSpec {
+        let mut spec = HybridSpec::paper_testbed();
+        spec.fast_capacity = 1 << 20;
+        spec.slow_capacity = 1 << 20;
+        spec
+    }
+
+    #[test]
+    fn alloc_free_accounting() {
+        let mut mem = HybridMemory::new(small_spec());
+        let id = mem.alloc(1000, MemTier::Fast).unwrap();
+        assert_eq!(mem.used(MemTier::Fast), 1000);
+        assert_eq!(mem.object_count(), 1);
+        mem.free(id).unwrap();
+        assert_eq!(mem.used(MemTier::Fast), 0);
+        assert_eq!(mem.object_count(), 0);
+        assert_eq!(mem.free(id).unwrap_err(), AllocError::UnknownObject(id));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut mem = HybridMemory::new(small_spec());
+        mem.alloc(1 << 20, MemTier::Fast).unwrap();
+        let err = mem.alloc(1, MemTier::Fast).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { tier: MemTier::Fast, .. }));
+        // Slow tier unaffected.
+        mem.alloc(1, MemTier::Slow).unwrap();
+    }
+
+    #[test]
+    fn slow_reads_cost_more_when_uncached() {
+        let mut spec = small_spec();
+        spec.cache = CacheConfig::disabled();
+        let mut mem = HybridMemory::new(spec);
+        let f = mem.alloc(100_000, MemTier::Fast).unwrap();
+        let s = mem.alloc(100_000, MemTier::Slow).unwrap();
+        let tf = mem.access(f, AccessKind::Read);
+        let ts = mem.access(s, AccessKind::Read);
+        assert!(ts > 5.0 * tf, "slow {ts} vs fast {tf}");
+    }
+
+    #[test]
+    fn cached_rereads_are_cheap_and_tier_blind() {
+        let mut mem = HybridMemory::new(small_spec());
+        let s = mem.alloc(4096, MemTier::Slow).unwrap();
+        let cold = mem.access(s, AccessKind::Read);
+        let warm = mem.access(s, AccessKind::Read);
+        assert!(warm < cold / 5.0, "cold {cold} warm {warm}");
+        assert_eq!(mem.cache_stats().hits, 1);
+        assert_eq!(mem.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn migration_moves_bytes_and_invalidates_cache() {
+        let mut mem = HybridMemory::new(small_spec());
+        let id = mem.alloc(4096, MemTier::Slow).unwrap();
+        mem.access(id, AccessKind::Read); // warm the cache
+        let cost = mem.migrate(id, MemTier::Fast).unwrap();
+        assert!(cost > 0.0);
+        assert_eq!(mem.used(MemTier::Fast), 4096);
+        assert_eq!(mem.used(MemTier::Slow), 0);
+        // Cache was invalidated, so the next read misses (but in Fast now).
+        let t = mem.access(id, AccessKind::Read);
+        let warm = mem.access(id, AccessKind::Read);
+        assert!(t > warm);
+        // No-op migration is free.
+        assert_eq!(mem.migrate(id, MemTier::Fast).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn migration_fails_when_target_full() {
+        let mut mem = HybridMemory::new(small_spec());
+        mem.alloc(1 << 20, MemTier::Fast).unwrap();
+        let id = mem.alloc(4096, MemTier::Slow).unwrap();
+        assert!(mem.migrate(id, MemTier::Fast).is_err());
+        // Object still lives in Slow.
+        assert_eq!(mem.placement(id).unwrap().tier, MemTier::Slow);
+    }
+
+    #[test]
+    fn resize_updates_accounting() {
+        let mut mem = HybridMemory::new(small_spec());
+        let id = mem.alloc(1000, MemTier::Fast).unwrap();
+        mem.resize(id, 5000).unwrap();
+        assert_eq!(mem.used(MemTier::Fast), 5000);
+        mem.resize(id, 100).unwrap();
+        assert_eq!(mem.used(MemTier::Fast), 100);
+    }
+
+    #[test]
+    fn partial_access_charges_less() {
+        let mut spec = small_spec();
+        spec.cache = CacheConfig::disabled();
+        let mut mem = HybridMemory::new(spec);
+        let id = mem.alloc(100_000, MemTier::Slow).unwrap();
+        let full = mem.access(id, AccessKind::Read);
+        let part = mem.access_bytes(id, AccessKind::Read, 1000);
+        assert!(part < full / 10.0);
+    }
+
+    #[test]
+    fn touch_charges_raw_device_time() {
+        let mut mem = HybridMemory::new(small_spec());
+        let tf = mem.touch(MemTier::Fast, AccessKind::Read, 64);
+        let ts = mem.touch(MemTier::Slow, AccessKind::Read, 64);
+        assert!(ts > 3.0 * tf);
+        assert_eq!(mem.tier_stats(MemTier::Slow).reads, 1);
+    }
+
+    #[test]
+    fn reset_measurement_state_clears_cache_and_stats() {
+        let mut mem = HybridMemory::new(small_spec());
+        let id = mem.alloc(4096, MemTier::Fast).unwrap();
+        mem.access(id, AccessKind::Read);
+        mem.access(id, AccessKind::Read);
+        mem.reset_measurement_state();
+        assert_eq!(mem.cache_stats(), CacheStats::default());
+        assert_eq!(mem.tier_stats(MemTier::Fast).reads, 0);
+        // First read after reset misses again.
+        mem.access(id, AccessKind::Read);
+        assert_eq!(mem.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn access_unknown_object_is_zero_cost() {
+        let mut mem = HybridMemory::new(small_spec());
+        let id = mem.alloc(10, MemTier::Fast).unwrap();
+        mem.free(id).unwrap();
+        assert_eq!(mem.access(id, AccessKind::Read), 0.0);
+    }
+
+    #[test]
+    fn cache_hit_ratio() {
+        let mut mem = HybridMemory::new(small_spec());
+        let id = mem.alloc(1024, MemTier::Fast).unwrap();
+        mem.access(id, AccessKind::Read);
+        mem.access(id, AccessKind::Read);
+        assert!((mem.cache_stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,5 @@
+//! Integration-test host crate.
+//!
+//! The actual test sources live at the workspace root (`/tests`), wired
+//! in through explicit `[[test]]` targets so they can span every crate
+//! of the workspace. This library intentionally exports nothing.

@@ -1,0 +1,179 @@
+//! DynamoDB-local-like engine: object-graph-heavy document store.
+//!
+//! The paper observes that "DynamoDB is severely impacted when allocating
+//! data in SlowMem" (§V-A). Local DynamoDB is a JVM application storing
+//! documents as attribute maps: every request walks a deep index, then
+//! materialises the item as Java objects and (de)serialises it to JSON —
+//! the value bytes cross memory several times. This engine models exactly
+//! that: a depth-scaled index walk plus 3x read / 2x write amplification
+//! over a 1.5x-inflated stored footprint.
+
+use crate::engine::{EngineCore, EngineError, KvEngine};
+use crate::profile::{EngineProfile, StoreKind};
+use hybridmem::{AccessKind, HybridMemory, HybridSpec, MemTier};
+
+/// Fixed per-item metadata footprint (attribute map skeleton, bytes).
+const ITEM_OVERHEAD_BYTES: u64 = 128;
+/// JVM object-representation inflation of the stored value bytes.
+const STORAGE_INFLATION: f64 = 1.5;
+
+/// DynamoDB-local-like key-value engine.
+pub struct DynamoLike {
+    core: EngineCore,
+}
+
+impl DynamoLike {
+    /// Build over a fresh memory system.
+    pub fn new(spec: HybridSpec) -> DynamoLike {
+        DynamoLike::with_profile(StoreKind::Dynamo.profile(), spec)
+    }
+
+    /// Build with a custom profile (ablations).
+    pub fn with_profile(profile: EngineProfile, spec: HybridSpec) -> DynamoLike {
+        DynamoLike { core: EngineCore::new(profile, HybridMemory::new(spec)) }
+    }
+
+    /// Stored footprint of a value: inflated + fixed item overhead.
+    pub fn stored_bytes(value_bytes: u64) -> u64 {
+        (value_bytes as f64 * STORAGE_INFLATION) as u64 + ITEM_OVERHEAD_BYTES
+    }
+
+    /// Index-walk depth: the configured touches, deepened logarithmically
+    /// with table size (a B-tree-ish index, unlike Redis' flat dict).
+    fn index_depth(&self) -> u32 {
+        let base = self.core.profile().index_touches;
+        let n = self.core.key_count().max(2) as f64;
+        // +1 touch per 4x growth beyond 1k items.
+        let extra = ((n / 1000.0).max(1.0).log2() / 2.0) as u32;
+        base + extra
+    }
+}
+
+impl KvEngine for DynamoLike {
+    fn profile(&self) -> &EngineProfile {
+        self.core.profile()
+    }
+
+    fn load(&mut self, key: u64, bytes: u64, tier: MemTier) -> Result<(), EngineError> {
+        self.core.load(key, bytes, Self::stored_bytes(bytes), tier)
+    }
+
+    fn get(&mut self, key: u64) -> Result<f64, EngineError> {
+        let depth = self.index_depth();
+        let index = self.core.index_walk(key, depth)?;
+        let value = self.core.value_traffic(key, AccessKind::Read)?;
+        Ok(self.core.profile().fixed_op_ns + index + value)
+    }
+
+    fn put(&mut self, key: u64) -> Result<f64, EngineError> {
+        let depth = self.index_depth();
+        let index = self.core.index_walk(key, depth)?;
+        let value = self.core.value_traffic(key, AccessKind::Write)?;
+        Ok(self.core.profile().fixed_op_ns + index + value)
+    }
+
+    fn delete(&mut self, key: u64) -> Result<f64, EngineError> {
+        let depth = self.index_depth();
+        let index = self.core.index_walk(key, depth)?;
+        self.core.remove(key)?;
+        Ok(self.core.profile().fixed_op_ns + index)
+    }
+
+    fn placement_of(&self, key: u64) -> Option<MemTier> {
+        self.core.placement_of(key)
+    }
+
+    fn migrate(&mut self, key: u64, tier: MemTier) -> Result<(), EngineError> {
+        self.core.migrate(key, tier)
+    }
+
+    fn key_count(&self) -> usize {
+        self.core.key_count()
+    }
+
+    fn bytes_in(&self, tier: MemTier) -> u64 {
+        self.core.bytes_in(tier)
+    }
+
+    fn value_bytes(&self, key: u64) -> Option<u64> {
+        self.core.value_bytes(key)
+    }
+
+    fn reset_measurement_state(&mut self) {
+        self.core.reset_measurement_state();
+    }
+
+    fn memory(&self) -> &HybridMemory {
+        self.core.memory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redis_like::RedisLike;
+
+    fn small_spec() -> HybridSpec {
+        let mut spec = HybridSpec::paper_testbed();
+        spec.fast_capacity = 1 << 26;
+        spec.slow_capacity = 1 << 26;
+        spec
+    }
+
+    #[test]
+    fn storage_is_inflated() {
+        assert_eq!(DynamoLike::stored_bytes(1000), 1628);
+        let mut e = DynamoLike::new(small_spec());
+        e.load(1, 1000, MemTier::Fast).unwrap();
+        assert_eq!(e.bytes_in(MemTier::Fast), 1628);
+        assert_eq!(e.value_bytes(1), Some(1000));
+    }
+
+    #[test]
+    fn dynamo_most_sensitive_of_all_engines() {
+        let slowdown_dynamo = {
+            let mut e = DynamoLike::new(small_spec());
+            e.load(1, 100_000, MemTier::Fast).unwrap();
+            e.load(2, 100_000, MemTier::Slow).unwrap();
+            e.get(1).unwrap();
+            e.get(2).unwrap();
+            e.reset_measurement_state();
+            e.get(2).unwrap() / e.get(1).unwrap()
+        };
+        let slowdown_redis = {
+            let mut e = RedisLike::new(small_spec());
+            e.load(1, 100_000, MemTier::Fast).unwrap();
+            e.load(2, 100_000, MemTier::Slow).unwrap();
+            e.get(1).unwrap();
+            e.get(2).unwrap();
+            e.reset_measurement_state();
+            e.get(2).unwrap() / e.get(1).unwrap()
+        };
+        assert!(
+            slowdown_dynamo > slowdown_redis,
+            "dynamo {slowdown_dynamo:.2} must exceed redis {slowdown_redis:.2}"
+        );
+        assert!(slowdown_dynamo > 1.5, "dynamo slowdown {slowdown_dynamo:.2}");
+    }
+
+    #[test]
+    fn index_deepens_with_table_size() {
+        let mut small = DynamoLike::new(small_spec());
+        small.load(0, 64, MemTier::Fast).unwrap();
+        let shallow = small.index_depth();
+        let mut big = DynamoLike::new(small_spec());
+        for k in 0..50_000 {
+            big.load(k, 64, MemTier::Fast).unwrap();
+        }
+        assert!(big.index_depth() > shallow);
+    }
+
+    #[test]
+    fn delete_removes_key() {
+        let mut e = DynamoLike::new(small_spec());
+        e.load(5, 500, MemTier::Slow).unwrap();
+        e.delete(5).unwrap();
+        assert_eq!(e.key_count(), 0);
+        assert!(e.get(5).is_err());
+    }
+}

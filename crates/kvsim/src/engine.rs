@@ -1,0 +1,280 @@
+//! The [`KvEngine`] trait and the shared engine core.
+//!
+//! Engines simulate the *server side* of the paper's setup: they own a
+//! [`HybridMemory`], keep a key → object mapping, and translate every
+//! client operation into (a) engine-specific index work, (b) value
+//! traffic through the memory system, and (c) a fixed CPU/protocol cost.
+//! The returned service times are what the YCSB-style
+//! [`Server`](crate::server::Server) accumulates.
+
+use crate::profile::EngineProfile;
+use hybridmem::{AccessKind, AllocError, HybridMemory, MemTier, ObjectId};
+use std::collections::HashMap;
+
+/// Errors surfaced by engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// Key not loaded.
+    UnknownKey(u64),
+    /// Key already loaded (double `load`).
+    DuplicateKey(u64),
+    /// The memory system rejected an allocation.
+    Memory(AllocError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownKey(k) => write!(f, "unknown key {k}"),
+            EngineError::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            EngineError::Memory(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<AllocError> for EngineError {
+    fn from(e: AllocError) -> Self {
+        EngineError::Memory(e)
+    }
+}
+
+/// A simulated key-value store engine.
+pub trait KvEngine: Send {
+    /// The engine's cost profile.
+    fn profile(&self) -> &EngineProfile;
+
+    /// Pre-load a key of `bytes` into `tier` (dataset population — not
+    /// part of the measured run, costs nothing).
+    fn load(&mut self, key: u64, bytes: u64, tier: MemTier) -> Result<(), EngineError>;
+
+    /// Serve a GET; returns the simulated service time in nanoseconds.
+    fn get(&mut self, key: u64) -> Result<f64, EngineError>;
+
+    /// Serve a same-size UPDATE; returns the service time in nanoseconds.
+    fn put(&mut self, key: u64) -> Result<f64, EngineError>;
+
+    /// Serve a DELETE; returns the service time in nanoseconds.
+    fn delete(&mut self, key: u64) -> Result<f64, EngineError>;
+
+    /// Current tier of a key.
+    fn placement_of(&self, key: u64) -> Option<MemTier>;
+
+    /// Move a key's value (and its metadata) to `tier` outside measured
+    /// time (static placement, as Mnemo's Placement Engine performs it).
+    fn migrate(&mut self, key: u64, tier: MemTier) -> Result<(), EngineError>;
+
+    /// Number of loaded keys.
+    fn key_count(&self) -> usize;
+
+    /// Bytes the engine occupies in `tier`, including allocator overhead.
+    fn bytes_in(&self, tier: MemTier) -> u64;
+
+    /// Logical value bytes stored for a key.
+    fn value_bytes(&self, key: u64) -> Option<u64>;
+
+    /// Reset caches and statistics between measured runs.
+    fn reset_measurement_state(&mut self);
+
+    /// Access the underlying memory system (stats, cache counters).
+    fn memory(&self) -> &HybridMemory;
+}
+
+/// Shared implementation: key table, memory system, value traffic.
+///
+/// Concrete engines embed an `EngineCore` and add their index-walk and
+/// allocation-rounding behaviour through the hooks they pass in.
+pub struct EngineCore {
+    profile: EngineProfile,
+    mem: HybridMemory,
+    /// key -> (object, logical value bytes).
+    table: HashMap<u64, (ObjectId, u64)>,
+}
+
+impl EngineCore {
+    /// Build a core over a memory system.
+    pub fn new(profile: EngineProfile, mem: HybridMemory) -> EngineCore {
+        EngineCore { profile, mem, table: HashMap::new() }
+    }
+
+    /// The profile.
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
+    }
+
+    /// The memory system.
+    pub fn memory(&self) -> &HybridMemory {
+        &self.mem
+    }
+
+    /// Mutable memory system (engine internals only).
+    pub fn memory_mut(&mut self) -> &mut HybridMemory {
+        &mut self.mem
+    }
+
+    /// Insert a key whose stored footprint is `stored_bytes` (the
+    /// engine's rounded allocation for `value_bytes`).
+    pub fn load(
+        &mut self,
+        key: u64,
+        value_bytes: u64,
+        stored_bytes: u64,
+        tier: MemTier,
+    ) -> Result<(), EngineError> {
+        if self.table.contains_key(&key) {
+            return Err(EngineError::DuplicateKey(key));
+        }
+        let id = self.mem.alloc(stored_bytes.max(1), tier)?;
+        self.table.insert(key, (id, value_bytes));
+        Ok(())
+    }
+
+    /// Look up a key.
+    pub fn lookup(&self, key: u64) -> Result<(ObjectId, u64), EngineError> {
+        self.table.get(&key).copied().ok_or(EngineError::UnknownKey(key))
+    }
+
+    /// The tier currently holding a key.
+    pub fn placement_of(&self, key: u64) -> Option<MemTier> {
+        let (id, _) = self.table.get(&key).copied()?;
+        self.mem.placement(id).ok().map(|p| p.tier)
+    }
+
+    /// Value traffic of one operation: one cached access over the stored
+    /// object plus `(amplification - 1)` extra uncached passes (the
+    /// (de)serialisation copies of object-heavy stores stream through
+    /// fresh buffers, so they pay device speed again).
+    pub fn value_traffic(&mut self, key: u64, kind: AccessKind) -> Result<f64, EngineError> {
+        let (id, value_bytes) = self.lookup(key)?;
+        let tier = self.mem.placement(id).map_err(EngineError::Memory)?.tier;
+        let amp = match kind {
+            AccessKind::Read => self.profile.read_amplification,
+            AccessKind::Write => self.profile.write_amplification,
+        };
+        let mut ns = self.mem.access(id, kind);
+        if amp > 1.0 {
+            ns += (amp - 1.0) * self.mem.touch(tier, kind, value_bytes);
+        }
+        Ok(ns)
+    }
+
+    /// One dependent metadata pointer-chase in the key's tier.
+    pub fn index_touch(&mut self, key: u64) -> Result<f64, EngineError> {
+        let (id, _) = self.lookup(key)?;
+        let tier = self.mem.placement(id).map_err(EngineError::Memory)?.tier;
+        let bytes = self.profile.touch_bytes;
+        Ok(self.mem.touch(tier, AccessKind::Read, bytes))
+    }
+
+    /// `touches` dependent metadata pointer-chases in the key's tier.
+    pub fn index_walk(&mut self, key: u64, touches: u32) -> Result<f64, EngineError> {
+        let mut ns = 0.0;
+        for _ in 0..touches {
+            ns += self.index_touch(key)?;
+        }
+        Ok(ns)
+    }
+
+    /// Remove a key, freeing its storage.
+    pub fn remove(&mut self, key: u64) -> Result<u64, EngineError> {
+        let (id, value_bytes) = self.table.remove(&key).ok_or(EngineError::UnknownKey(key))?;
+        self.mem.free(id)?;
+        Ok(value_bytes)
+    }
+
+    /// Migrate a key's object.
+    pub fn migrate(&mut self, key: u64, tier: MemTier) -> Result<(), EngineError> {
+        let (id, _) = self.lookup(key)?;
+        self.mem.migrate(id, tier)?;
+        Ok(())
+    }
+
+    /// Number of keys.
+    pub fn key_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Logical value bytes of a key.
+    pub fn value_bytes(&self, key: u64) -> Option<u64> {
+        self.table.get(&key).map(|&(_, b)| b)
+    }
+
+    /// Engine bytes in a tier (device accounting).
+    pub fn bytes_in(&self, tier: MemTier) -> u64 {
+        self.mem.used(tier)
+    }
+
+    /// Reset measurement state.
+    pub fn reset_measurement_state(&mut self) {
+        self.mem.reset_measurement_state();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::StoreKind;
+    use hybridmem::HybridSpec;
+
+    fn core() -> EngineCore {
+        let mut spec = HybridSpec::paper_testbed();
+        spec.fast_capacity = 1 << 24;
+        spec.slow_capacity = 1 << 24;
+        EngineCore::new(StoreKind::Redis.profile(), HybridMemory::new(spec))
+    }
+
+    #[test]
+    fn load_lookup_remove() {
+        let mut c = core();
+        c.load(1, 100, 128, MemTier::Fast).unwrap();
+        assert_eq!(c.key_count(), 1);
+        assert_eq!(c.value_bytes(1), Some(100));
+        assert_eq!(c.placement_of(1), Some(MemTier::Fast));
+        assert_eq!(c.load(1, 100, 128, MemTier::Fast).unwrap_err(), EngineError::DuplicateKey(1));
+        assert_eq!(c.remove(1).unwrap(), 100);
+        assert_eq!(c.lookup(1).unwrap_err(), EngineError::UnknownKey(1));
+    }
+
+    #[test]
+    fn value_traffic_depends_on_tier() {
+        let mut c = core();
+        c.load(1, 100_000, 100_000, MemTier::Fast).unwrap();
+        c.load(2, 100_000, 100_000, MemTier::Slow).unwrap();
+        let tf = c.value_traffic(1, AccessKind::Read).unwrap();
+        let ts = c.value_traffic(2, AccessKind::Read).unwrap();
+        assert!(ts > 3.0 * tf, "slow {ts} fast {tf}");
+    }
+
+    #[test]
+    fn index_walk_scales_with_touches() {
+        let mut c = core();
+        c.load(1, 64, 64, MemTier::Slow).unwrap();
+        let one = c.index_walk(1, 1).unwrap();
+        let ten = c.index_walk(1, 10).unwrap();
+        assert!((ten - 10.0 * one).abs() < 1e-6);
+    }
+
+    #[test]
+    fn migrate_updates_placement() {
+        let mut c = core();
+        c.load(1, 100, 128, MemTier::Slow).unwrap();
+        c.migrate(1, MemTier::Fast).unwrap();
+        assert_eq!(c.placement_of(1), Some(MemTier::Fast));
+        assert_eq!(c.bytes_in(MemTier::Slow), 0);
+    }
+
+    #[test]
+    fn amplified_reads_cost_more() {
+        let mut spec = HybridSpec::paper_testbed();
+        spec.fast_capacity = 1 << 24;
+        spec.slow_capacity = 1 << 24;
+        let mut plain = EngineCore::new(StoreKind::Redis.profile(), HybridMemory::new(spec.clone()));
+        let mut amped = EngineCore::new(StoreKind::Dynamo.profile(), HybridMemory::new(spec));
+        plain.load(1, 50_000, 50_000, MemTier::Slow).unwrap();
+        amped.load(1, 50_000, 50_000, MemTier::Slow).unwrap();
+        let a = plain.value_traffic(1, AccessKind::Read).unwrap();
+        let b = amped.value_traffic(1, AccessKind::Read).unwrap();
+        assert!(b > 2.0 * a, "amplification must dominate: {b} vs {a}");
+    }
+}

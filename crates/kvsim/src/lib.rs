@@ -1,0 +1,67 @@
+//! Key-value store simulation substrate for the Mnemo reproduction.
+//!
+//! The paper measures three unmodified in-memory key-value stores — Redis,
+//! Memcached and (local) DynamoDB — deployed on a hybrid memory testbed
+//! and driven by a YCSB client. This crate rebuilds those servers as
+//! *engine models* over the [`hybridmem`] simulator:
+//!
+//! * [`profile`] — per-engine cost profiles (fixed per-op service cost,
+//!   metadata pointer-chases, data amplification). These three constants
+//!   mechanistically reproduce the sensitivity ordering the paper
+//!   observes in §V-A: DynamoDB ≫ Redis ≫ Memcached.
+//! * [`engine`] — the [`KvEngine`] trait: load / get /
+//!   put / delete with per-key tier placement and migration.
+//! * [`redis_like`], [`memcached_like`], [`dynamo_like`] — the three
+//!   engines, each with its own index and allocation behaviour (dict
+//!   pointer-chasing, slab classes, object-graph amplification);
+//!   [`rocks_like`] adds a storage-engaged LSM engine as the negative
+//!   control for the estimation model's target class.
+//! * [`server`] — executes [`ycsb`] traces against an engine, producing
+//!   runtimes, throughputs, per-request service times and latency
+//!   histograms (the paper's Sensitivity Engine measures against this).
+//! * [`cluster`] — the paper's two-instance deployment: a FastMem-bound
+//!   server plus a SlowMem-bound server and a client-side key router.
+//! * [`dynamic`] — a migrating tiering baseline (the "existing tiering
+//!   solution" of the paper's Fig. 2b), used to quantify when Mnemo's
+//!   static placement suffices.
+//! * [`cache_mode`] — FastMem as a write-back DRAM cache of SlowMem
+//!   (Intel Memory Mode-style), the deployment the paper scopes out.
+//! * [`sharded`] — a concurrent multi-shard deployment driven by one
+//!   client thread per shard (crossbeam scoped threads).
+//!
+//! # Example
+//!
+//! ```
+//! use kvsim::{Server, StoreKind, Placement};
+//! use ycsb::WorkloadSpec;
+//!
+//! let trace = WorkloadSpec::trending().scaled(200, 2_000).generate(1);
+//! let mut server = Server::build(StoreKind::Redis, &trace, Placement::AllFast).unwrap();
+//! let fast = server.run(&trace);
+//! let mut server = Server::build(StoreKind::Redis, &trace, Placement::AllSlow).unwrap();
+//! let slow = server.run(&trace);
+//! assert!(fast.throughput_ops_s() > slow.throughput_ops_s());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache_mode;
+pub mod cluster;
+pub mod dynamic;
+pub mod dynamo_like;
+pub mod engine;
+pub mod memcached_like;
+pub mod profile;
+pub mod redis_like;
+pub mod rocks_like;
+pub mod server;
+pub mod sharded;
+
+pub use cache_mode::{CacheModeServer, CacheModeStats};
+pub use cluster::TwoInstanceCluster;
+pub use dynamic::{DynamicConfig, DynamicTieringServer};
+pub use engine::{EngineError, KvEngine};
+pub use profile::{EngineProfile, StoreKind};
+pub use server::{Placement, RequestSample, RunReport, Server};
+pub use sharded::ShardedCluster;

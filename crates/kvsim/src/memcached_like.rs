@@ -1,0 +1,214 @@
+//! Memcached-like engine: slab-allocated, protocol-heavy server.
+//!
+//! Values live in power-law slab classes (base 96 bytes, 1.25 growth
+//! factor, as memcached's default `-f 1.25`), each item carrying a fixed
+//! header. The per-op fixed cost is high — memcached's value to the paper
+//! is precisely that its protocol/client path *masks* memory latency,
+//! which is why Fig. 9 shows it running fully on SlowMem inside a 10%
+//! slowdown budget.
+
+use crate::engine::{EngineCore, EngineError, KvEngine};
+use crate::profile::{EngineProfile, StoreKind};
+use hybridmem::{AccessKind, HybridMemory, HybridSpec, MemTier};
+
+/// memcached's per-item header (item struct + CAS + key).
+const ITEM_HEADER_BYTES: u64 = 48;
+/// Smallest slab chunk.
+const SLAB_BASE_BYTES: u64 = 96;
+/// Slab growth factor (memcached default 1.25).
+const SLAB_GROWTH: f64 = 1.25;
+/// Largest slab chunk (1 MiB, memcached's default item size limit).
+const SLAB_MAX_BYTES: u64 = 1 << 20;
+
+/// All slab chunk sizes, smallest to largest.
+pub fn slab_classes() -> Vec<u64> {
+    let mut classes = Vec::new();
+    let mut size = SLAB_BASE_BYTES as f64;
+    while (size as u64) < SLAB_MAX_BYTES {
+        classes.push(size as u64);
+        size *= SLAB_GROWTH;
+    }
+    classes.push(SLAB_MAX_BYTES);
+    classes
+}
+
+/// The chunk size an item of `bytes` (value + header) is stored in.
+pub fn slab_chunk_for(bytes: u64) -> u64 {
+    for class in slab_classes() {
+        if bytes <= class {
+            return class;
+        }
+    }
+    SLAB_MAX_BYTES
+}
+
+/// Memcached-like key-value engine.
+pub struct MemcachedLike {
+    core: EngineCore,
+    /// Per-slab-class item counts, indexed by class position.
+    class_counts: Vec<u64>,
+    /// Sum of logical value bytes over all loaded keys.
+    core_value_sum: u64,
+}
+
+impl MemcachedLike {
+    /// Build over a fresh memory system.
+    pub fn new(spec: HybridSpec) -> MemcachedLike {
+        MemcachedLike::with_profile(StoreKind::Memcached.profile(), spec)
+    }
+
+    /// Build with a custom profile (ablations).
+    pub fn with_profile(profile: EngineProfile, spec: HybridSpec) -> MemcachedLike {
+        MemcachedLike {
+            core: EngineCore::new(profile, HybridMemory::new(spec)),
+            class_counts: vec![0; slab_classes().len()],
+            core_value_sum: 0,
+        }
+    }
+
+    fn class_index(bytes: u64) -> usize {
+        slab_classes().iter().position(|&c| bytes <= c).unwrap_or(slab_classes().len() - 1)
+    }
+
+    /// Slab-allocator internal fragmentation (chunk bytes reserved minus
+    /// logical value bytes stored).
+    pub fn slab_overhead_bytes(&self) -> u64 {
+        let reserved = self.bytes_in(MemTier::Fast) + self.bytes_in(MemTier::Slow);
+        reserved.saturating_sub(self.core_value_sum)
+    }
+
+    fn bump_class(&mut self, stored: u64, delta: i64) {
+        let idx = Self::class_index(stored);
+        let c = &mut self.class_counts[idx];
+        *c = (*c as i64 + delta).max(0) as u64;
+    }
+}
+
+impl KvEngine for MemcachedLike {
+    fn profile(&self) -> &EngineProfile {
+        self.core.profile()
+    }
+
+    fn load(&mut self, key: u64, bytes: u64, tier: MemTier) -> Result<(), EngineError> {
+        let chunk = slab_chunk_for(bytes + ITEM_HEADER_BYTES);
+        self.core.load(key, bytes, chunk, tier)?;
+        self.core_value_sum += bytes;
+        self.bump_class(chunk, 1);
+        Ok(())
+    }
+
+    fn get(&mut self, key: u64) -> Result<f64, EngineError> {
+        let index = self.core.index_walk(key, self.core.profile().index_touches)?;
+        let value = self.core.value_traffic(key, AccessKind::Read)?;
+        Ok(self.core.profile().fixed_op_ns + index + value)
+    }
+
+    fn put(&mut self, key: u64) -> Result<f64, EngineError> {
+        let index = self.core.index_walk(key, self.core.profile().index_touches)?;
+        let value = self.core.value_traffic(key, AccessKind::Write)?;
+        Ok(self.core.profile().fixed_op_ns + index + value)
+    }
+
+    fn delete(&mut self, key: u64) -> Result<f64, EngineError> {
+        let index = self.core.index_walk(key, self.core.profile().index_touches)?;
+        let bytes = self.core.remove(key)?;
+        self.core_value_sum = self.core_value_sum.saturating_sub(bytes);
+        let chunk = slab_chunk_for(bytes + ITEM_HEADER_BYTES);
+        self.bump_class(chunk, -1);
+        Ok(self.core.profile().fixed_op_ns + index)
+    }
+
+    fn placement_of(&self, key: u64) -> Option<MemTier> {
+        self.core.placement_of(key)
+    }
+
+    fn migrate(&mut self, key: u64, tier: MemTier) -> Result<(), EngineError> {
+        self.core.migrate(key, tier)
+    }
+
+    fn key_count(&self) -> usize {
+        self.core.key_count()
+    }
+
+    fn bytes_in(&self, tier: MemTier) -> u64 {
+        self.core.bytes_in(tier)
+    }
+
+    fn value_bytes(&self, key: u64) -> Option<u64> {
+        self.core.value_bytes(key)
+    }
+
+    fn reset_measurement_state(&mut self) {
+        self.core.reset_measurement_state();
+    }
+
+    fn memory(&self) -> &HybridMemory {
+        self.core.memory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> HybridSpec {
+        let mut spec = HybridSpec::paper_testbed();
+        spec.fast_capacity = 1 << 26;
+        spec.slow_capacity = 1 << 26;
+        spec
+    }
+
+    #[test]
+    fn slab_classes_grow_geometrically() {
+        let classes = slab_classes();
+        assert!(classes.len() > 20);
+        assert_eq!(classes[0], SLAB_BASE_BYTES);
+        assert_eq!(*classes.last().unwrap(), SLAB_MAX_BYTES);
+        for w in classes.windows(2) {
+            assert!(w[1] > w[0]);
+            let ratio = w[1] as f64 / w[0] as f64;
+            assert!(ratio <= 1.26 + 1e-9 || w[1] == SLAB_MAX_BYTES, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn chunk_rounding() {
+        assert_eq!(slab_chunk_for(50), 96);
+        assert_eq!(slab_chunk_for(96), 96);
+        assert_eq!(slab_chunk_for(97), 120);
+        assert_eq!(slab_chunk_for(10 << 20), SLAB_MAX_BYTES);
+    }
+
+    #[test]
+    fn slab_overhead_is_visible() {
+        let mut e = MemcachedLike::new(small_spec());
+        e.load(1, 100, MemTier::Fast).unwrap(); // 100+48=148 -> 150-class
+        let reserved = e.bytes_in(MemTier::Fast);
+        assert!(reserved > 100, "reserved {reserved}");
+        assert!(e.slab_overhead_bytes() > 0);
+    }
+
+    #[test]
+    fn memcached_is_least_sensitive() {
+        let mut e = MemcachedLike::new(small_spec());
+        e.load(1, 100_000, MemTier::Fast).unwrap();
+        e.load(2, 100_000, MemTier::Slow).unwrap();
+        e.get(1).unwrap();
+        e.get(2).unwrap();
+        e.reset_measurement_state();
+        let f = e.get(1).unwrap();
+        let s = e.get(2).unwrap();
+        assert!(s / f < 1.15, "memcached slowdown must stay small: {}", s / f);
+    }
+
+    #[test]
+    fn delete_updates_class_counts() {
+        let mut e = MemcachedLike::new(small_spec());
+        e.load(1, 100, MemTier::Fast).unwrap();
+        let before: u64 = e.class_counts.iter().sum();
+        e.delete(1).unwrap();
+        let after: u64 = e.class_counts.iter().sum();
+        assert_eq!(before - 1, after);
+        assert_eq!(e.key_count(), 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! Trace execution: the measured "server + client" pair.
+//!
+//! A [`Server`] owns one engine and plays [`ycsb`] traces against it,
+//! producing the quantities the paper's Sensitivity Engine extracts by
+//! actually running the workload: total runtime, average read/write
+//! service times, throughput and latency distributions.
+
+use crate::dynamo_like::DynamoLike;
+use crate::engine::{EngineError, KvEngine};
+use crate::memcached_like::MemcachedLike;
+use crate::profile::StoreKind;
+use crate::redis_like::RedisLike;
+use crate::rocks_like::RocksLike;
+use hybridmem::clock::NoiseConfig;
+use hybridmem::{Histogram, HybridSpec, MemTier, NoiseModel, SimClock};
+use std::collections::HashSet;
+use ycsb::{Op, Trace};
+
+/// Initial data placement for a run — the paper's `numactl` binding plus
+/// Mnemo's per-key static placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Everything on the DRAM node (best-case baseline).
+    AllFast,
+    /// Everything on the throttled node (worst-case baseline).
+    AllSlow,
+    /// The listed keys in FastMem, the rest in SlowMem.
+    FastSet(HashSet<u64>),
+}
+
+impl Placement {
+    /// The tier a key lands in under this placement.
+    pub fn tier_of(&self, key: u64) -> MemTier {
+        match self {
+            Placement::AllFast => MemTier::Fast,
+            Placement::AllSlow => MemTier::Slow,
+            Placement::FastSet(set) => {
+                if set.contains(&key) {
+                    MemTier::Fast
+                } else {
+                    MemTier::Slow
+                }
+            }
+        }
+    }
+
+    /// Convenience: the first `n` keys of `order` go to FastMem.
+    pub fn fast_prefix(order: &[u64], n: usize) -> Placement {
+        Placement::FastSet(order.iter().take(n).copied().collect())
+    }
+}
+
+/// One timed request (for model fitting and error analysis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestSample {
+    /// Key requested.
+    pub key: u64,
+    /// Operation type.
+    pub op: Op,
+    /// Simulated service time in nanoseconds.
+    pub service_ns: f64,
+}
+
+/// The result of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Store that served the run.
+    pub store: StoreKind,
+    /// Workload name.
+    pub workload: String,
+    /// Requests served.
+    pub requests: usize,
+    /// Total simulated runtime in nanoseconds.
+    pub runtime_ns: f64,
+    /// Read count.
+    pub reads: u64,
+    /// Write count.
+    pub writes: u64,
+    /// Total nanoseconds across reads.
+    pub read_ns_total: f64,
+    /// Total nanoseconds across writes.
+    pub write_ns_total: f64,
+    /// Read service-time distribution.
+    pub read_hist: Histogram,
+    /// Write service-time distribution.
+    pub write_hist: Histogram,
+    /// Per-request samples, in trace order.
+    pub samples: Vec<RequestSample>,
+}
+
+impl RunReport {
+    /// Overall throughput in operations per second.
+    pub fn throughput_ops_s(&self) -> f64 {
+        if self.runtime_ns == 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / (self.runtime_ns / 1e9)
+    }
+
+    /// Mean read service time (ns).
+    pub fn avg_read_ns(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_ns_total / self.reads as f64
+        }
+    }
+
+    /// Mean write service time (ns).
+    pub fn avg_write_ns(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.write_ns_total / self.writes as f64
+        }
+    }
+
+    /// Mean service time over all requests (the paper's "Average latency
+    /// to service a request from the client perspective", Fig. 8c).
+    pub fn avg_latency_ns(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.runtime_ns / self.requests as f64
+        }
+    }
+
+    /// Tail latency across *all* requests (Figs. 8d/8e): a merged view of
+    /// the read and write histograms.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        let mut merged = self.read_hist.clone();
+        merged.merge(&self.write_hist);
+        merged.quantile(q)
+    }
+}
+
+/// A server instance: one engine + measurement jitter.
+pub struct Server {
+    engine: Box<dyn KvEngine>,
+    noise: NoiseModel,
+    store: StoreKind,
+}
+
+/// Instantiate an engine of `kind` over `spec`.
+pub fn make_engine(kind: StoreKind, spec: HybridSpec) -> Box<dyn KvEngine> {
+    match kind {
+        StoreKind::Redis => Box::new(RedisLike::new(spec)),
+        StoreKind::Memcached => Box::new(MemcachedLike::new(spec)),
+        StoreKind::Dynamo => Box::new(DynamoLike::new(spec)),
+        StoreKind::Rocks => Box::new(RocksLike::new(spec)),
+    }
+}
+
+impl Server {
+    /// Build a server on the paper's testbed spec, load the trace's
+    /// dataset under `placement`, with measurement noise disabled.
+    pub fn build(kind: StoreKind, trace: &Trace, placement: Placement) -> Result<Server, EngineError> {
+        Server::build_with(kind, HybridSpec::paper_testbed(), NoiseConfig::disabled(), trace, placement)
+    }
+
+    /// Fully parameterised constructor.
+    pub fn build_with(
+        kind: StoreKind,
+        spec: HybridSpec,
+        noise: NoiseConfig,
+        trace: &Trace,
+        placement: Placement,
+    ) -> Result<Server, EngineError> {
+        let mut engine = make_engine(kind, spec);
+        for (key, &bytes) in trace.sizes.iter().enumerate() {
+            engine.load(key as u64, bytes, placement.tier_of(key as u64))?;
+        }
+        Ok(Server { engine, noise: NoiseModel::new(noise), store: kind })
+    }
+
+    /// Re-place the dataset (static placement between runs; unmeasured).
+    pub fn apply_placement(&mut self, trace: &Trace, placement: &Placement) -> Result<(), EngineError> {
+        // Migrate slow->fast second so the fast tier never holds both the
+        // outgoing and incoming working set at once.
+        for key in 0..trace.keys() {
+            if placement.tier_of(key) == MemTier::Slow {
+                self.engine.migrate(key, MemTier::Slow)?;
+            }
+        }
+        for key in 0..trace.keys() {
+            if placement.tier_of(key) == MemTier::Fast {
+                self.engine.migrate(key, MemTier::Fast)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute the trace with client-side pipelining of `depth`
+    /// outstanding requests (`redis-cli --pipe`-style): the fixed per-op
+    /// cost — network round-trip, protocol parsing, event-loop dispatch —
+    /// amortises across the batch, while the memory time of each request
+    /// is still paid in full. Deep pipelines therefore *increase* a
+    /// workload's hybrid-memory sensitivity (see the `pipelining`
+    /// experiment). `depth == 1` is exactly [`Self::run`].
+    pub fn run_pipelined(&mut self, trace: &Trace, depth: u32) -> RunReport {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        let amortised_away = self.engine.profile().fixed_op_ns * (1.0 - 1.0 / depth as f64);
+        let mut report = self.run(trace);
+        // Rescale every sample and the aggregates.
+        let mut runtime = 0.0;
+        let mut read_ns = 0.0;
+        let mut write_ns = 0.0;
+        let mut read_hist = Histogram::new();
+        let mut write_hist = Histogram::new();
+        for s in &mut report.samples {
+            s.service_ns = (s.service_ns - amortised_away).max(0.0);
+            runtime += s.service_ns;
+            match s.op {
+                Op::Read => {
+                    read_ns += s.service_ns;
+                    read_hist.record(s.service_ns);
+                }
+                Op::Update => {
+                    write_ns += s.service_ns;
+                    write_hist.record(s.service_ns);
+                }
+            }
+        }
+        report.runtime_ns = runtime;
+        report.read_ns_total = read_ns;
+        report.write_ns_total = write_ns;
+        report.read_hist = read_hist;
+        report.write_hist = write_hist;
+        report
+    }
+
+    /// Execute the trace and report measurements. Measurement state
+    /// (caches, device stats) is reset first, as between the paper's runs.
+    pub fn run(&mut self, trace: &Trace) -> RunReport {
+        self.engine.reset_measurement_state();
+        let mut clock = SimClock::new();
+        let mut report = RunReport {
+            store: self.store,
+            workload: trace.name.clone(),
+            requests: trace.len(),
+            runtime_ns: 0.0,
+            reads: 0,
+            writes: 0,
+            read_ns_total: 0.0,
+            write_ns_total: 0.0,
+            read_hist: Histogram::new(),
+            write_hist: Histogram::new(),
+            samples: Vec::with_capacity(trace.len()),
+        };
+        for r in &trace.requests {
+            let raw = match r.op {
+                Op::Read => self.engine.get(r.key),
+                Op::Update => self.engine.put(r.key),
+            }
+            .expect("trace references unloaded key");
+            let ns = self.noise.perturb(raw);
+            clock.advance(ns);
+            match r.op {
+                Op::Read => {
+                    report.reads += 1;
+                    report.read_ns_total += ns;
+                    report.read_hist.record(ns);
+                }
+                Op::Update => {
+                    report.writes += 1;
+                    report.write_ns_total += ns;
+                    report.write_hist.record(ns);
+                }
+            }
+            report.samples.push(RequestSample { key: r.key, op: r.op, service_ns: ns });
+        }
+        report.runtime_ns = clock.now_ns() as f64;
+        report
+    }
+
+    /// The engine (for inspection).
+    pub fn engine(&self) -> &dyn KvEngine {
+        self.engine.as_ref()
+    }
+
+    /// Mutable engine access (placement experiments).
+    pub fn engine_mut(&mut self) -> &mut dyn KvEngine {
+        self.engine.as_mut()
+    }
+
+    /// Which store this server simulates.
+    pub fn store(&self) -> StoreKind {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ycsb::WorkloadSpec;
+
+    fn trace() -> Trace {
+        WorkloadSpec::trending().scaled(200, 3_000).generate(42)
+    }
+
+    #[test]
+    fn fast_beats_slow_for_every_store() {
+        let t = trace();
+        for kind in StoreKind::ALL {
+            let fast = Server::build(kind, &t, Placement::AllFast).unwrap().run(&t);
+            let slow = Server::build(kind, &t, Placement::AllSlow).unwrap().run(&t);
+            assert!(
+                fast.throughput_ops_s() > slow.throughput_ops_s(),
+                "{kind}: fast {} <= slow {}",
+                fast.throughput_ops_s(),
+                slow.throughput_ops_s()
+            );
+        }
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let t = WorkloadSpec::edit_thumbnail().scaled(100, 2_000).generate(1);
+        let rep = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap().run(&t);
+        assert_eq!(rep.reads + rep.writes, rep.requests as u64);
+        assert_eq!(rep.samples.len(), rep.requests);
+        let sample_sum: f64 = rep.samples.iter().map(|s| s.service_ns).sum();
+        // Runtime is the rounded accumulation of sample times.
+        assert!((sample_sum - rep.runtime_ns).abs() / rep.runtime_ns < 1e-3);
+        assert!(rep.avg_read_ns() > 0.0);
+        assert!(rep.avg_write_ns() > 0.0);
+        assert!(rep.latency_quantile(0.99) >= rep.latency_quantile(0.5));
+    }
+
+    #[test]
+    fn partial_placement_lands_between_baselines() {
+        let t = trace();
+        let fast = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap().run(&t);
+        let slow = Server::build(StoreKind::Redis, &t, Placement::AllSlow).unwrap().run(&t);
+        // Hottest half of the keys (by trace counts) in FastMem.
+        let counts = t.key_counts();
+        let mut order: Vec<u64> = (0..t.keys()).collect();
+        order.sort_by_key(|&k| std::cmp::Reverse(counts[k as usize].0 + counts[k as usize].1));
+        let placement = Placement::fast_prefix(&order, 100);
+        let mid = Server::build(StoreKind::Redis, &t, placement).unwrap().run(&t);
+        assert!(mid.throughput_ops_s() < fast.throughput_ops_s());
+        assert!(mid.throughput_ops_s() > slow.throughput_ops_s());
+    }
+
+    #[test]
+    fn apply_placement_matches_fresh_build() {
+        let t = trace();
+        let placement = Placement::FastSet((0..100).collect());
+        let fresh = Server::build(StoreKind::Redis, &t, placement.clone()).unwrap().run(&t);
+        let mut server = Server::build(StoreKind::Redis, &t, Placement::AllSlow).unwrap();
+        server.apply_placement(&t, &placement).unwrap();
+        let migrated = server.run(&t);
+        let a = fresh.throughput_ops_s();
+        let b = migrated.throughput_ops_s();
+        assert!((a - b).abs() / a < 1e-6, "fresh {a} vs migrated {b}");
+    }
+
+    #[test]
+    fn noise_changes_measurements_but_not_much() {
+        let t = trace();
+        let clean = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap().run(&t);
+        let noisy = Server::build_with(
+            StoreKind::Redis,
+            HybridSpec::paper_testbed(),
+            NoiseConfig::default_jitter(7),
+            &t,
+            Placement::AllFast,
+        )
+        .unwrap()
+        .run(&t);
+        assert_ne!(clean.runtime_ns, noisy.runtime_ns);
+        let rel = (clean.runtime_ns - noisy.runtime_ns).abs() / clean.runtime_ns;
+        assert!(rel < 0.01, "relative drift {rel}");
+    }
+
+    #[test]
+    fn pipelining_amortises_fixed_cost_and_raises_sensitivity() {
+        let t = trace();
+        let sensitivity = |depth: u32| {
+            let fast = Server::build(StoreKind::Redis, &t, Placement::AllFast)
+                .unwrap()
+                .run_pipelined(&t, depth);
+            let slow = Server::build(StoreKind::Redis, &t, Placement::AllSlow)
+                .unwrap()
+                .run_pipelined(&t, depth);
+            fast.throughput_ops_s() / slow.throughput_ops_s()
+        };
+        let shallow = sensitivity(1);
+        let deep = sensitivity(32);
+        assert!(
+            deep > shallow * 1.5,
+            "deep pipelines expose memory time: depth-32 {deep:.2}x vs depth-1 {shallow:.2}x"
+        );
+        // Depth 1 is identical to plain run.
+        let a = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap().run(&t);
+        let b = Server::build(StoreKind::Redis, &t, Placement::AllFast)
+            .unwrap()
+            .run_pipelined(&t, 1);
+        assert!((a.runtime_ns - b.runtime_ns).abs() / a.runtime_ns < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unloaded key")]
+    fn running_against_missing_keys_panics() {
+        let t = trace();
+        let mut bad = t.clone();
+        bad.requests[0].key = 10_000; // beyond the dataset
+        let _ = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap().run(&bad);
+    }
+}

@@ -1,0 +1,236 @@
+//! Concurrent multi-shard deployment.
+//!
+//! The paper's servers are concurrent processes; the simulator's engines
+//! are single-threaded state machines. [`ShardedCluster`] recovers
+//! concurrency the way real deployments do: the key space is hash-split
+//! over `n` independent shards, each shard is driven by its own client
+//! thread (crossbeam scoped threads, parking_lot-locked engines), and the
+//! cluster-level runtime is the slowest shard's runtime — shards serve
+//! requests in parallel.
+
+use crate::engine::EngineError;
+use crate::profile::StoreKind;
+use crate::server::{Placement, RunReport, Server};
+use hybridmem::clock::NoiseConfig;
+use hybridmem::{Histogram, HybridSpec};
+use parking_lot::Mutex;
+use ycsb::Trace;
+
+/// A hash-sharded set of servers driven concurrently.
+pub struct ShardedCluster {
+    shards: Vec<Mutex<Server>>,
+}
+
+impl ShardedCluster {
+    /// Build `n` shards; each shard loads only its own keys under the
+    /// given placement. Shards get the full device bandwidth each (the
+    /// optimistic model); see [`Self::build_contended`] for the shared-bus
+    /// alternative.
+    pub fn build(
+        kind: StoreKind,
+        trace: &Trace,
+        placement: &Placement,
+        n: usize,
+    ) -> Result<ShardedCluster, EngineError> {
+        Self::build_with(kind, HybridSpec::paper_testbed(), NoiseConfig::disabled(), trace, placement, n)
+    }
+
+    /// Like [`Self::build`], but the testbed's device bandwidth is shared
+    /// across shards: each shard sees `1/n` of each tier's bandwidth
+    /// (latency is unaffected). This models co-located shards saturating
+    /// one memory bus — the regime where the paper's SlowMem (1.81 GB/s)
+    /// throttles scale-out hard while FastMem (14.9 GB/s) still has
+    /// headroom.
+    pub fn build_contended(
+        kind: StoreKind,
+        trace: &Trace,
+        placement: &Placement,
+        n: usize,
+    ) -> Result<ShardedCluster, EngineError> {
+        let mut spec = HybridSpec::paper_testbed();
+        let share = n.max(1) as f64;
+        spec.fast.bandwidth_bytes_per_ns /= share;
+        spec.slow.bandwidth_bytes_per_ns /= share;
+        Self::build_with(kind, spec, NoiseConfig::disabled(), trace, placement, n)
+    }
+
+    /// Fully parameterised constructor.
+    pub fn build_with(
+        kind: StoreKind,
+        spec: HybridSpec,
+        noise: NoiseConfig,
+        trace: &Trace,
+        placement: &Placement,
+        n: usize,
+    ) -> Result<ShardedCluster, EngineError> {
+        assert!(n >= 1, "need at least one shard");
+        let mut shards = Vec::with_capacity(n);
+        for shard in 0..n {
+            let sub = shard_trace(trace, shard, n);
+            let mut cfg = noise;
+            cfg.seed = noise.seed.wrapping_add(shard as u64);
+            let server = Server::build_with(kind, spec.clone(), cfg, &sub, placement.clone())?;
+            shards.push(Mutex::new(server));
+        }
+        Ok(ShardedCluster { shards })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Run the trace: requests are routed to their shard, shards execute
+    /// concurrently, and the merged report uses the slowest shard's
+    /// runtime as the cluster runtime.
+    pub fn run(&self, trace: &Trace) -> RunReport {
+        let n = self.shards.len();
+        let subs: Vec<Trace> = (0..n).map(|s| shard_trace(trace, s, n)).collect();
+        let mut reports: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
+        crossbeam::scope(|scope| {
+            for (slot, (shard, sub)) in reports.iter_mut().zip(self.shards.iter().zip(&subs)) {
+                scope.spawn(move |_| {
+                    let mut server = shard.lock();
+                    *slot = Some(server.run(sub));
+                });
+            }
+        })
+        .expect("shard thread panicked");
+        merge_reports(trace, reports.into_iter().map(|r| r.expect("missing shard report")))
+    }
+}
+
+/// The sub-trace (dataset + requests) owned by `shard` of `n`.
+///
+/// Key ids are preserved — each shard's server simply only loads and
+/// serves the keys hashing to it.
+fn shard_trace(trace: &Trace, shard: usize, n: usize) -> Trace {
+    let owns = |key: u64| (key as usize) % n == shard;
+    // Non-owned keys get a 1-byte stub so key ids stay aligned; the shard
+    // never receives requests for them.
+    let sizes = trace
+        .sizes
+        .iter()
+        .enumerate()
+        .map(|(k, &b)| if owns(k as u64) { b } else { 1 })
+        .collect();
+    let requests = trace.requests.iter().copied().filter(|r| owns(r.key)).collect();
+    Trace { name: format!("{} [shard {shard}/{n}]", trace.name), sizes, requests }
+}
+
+fn merge_reports(trace: &Trace, reports: impl Iterator<Item = RunReport>) -> RunReport {
+    let mut merged = RunReport {
+        store: StoreKind::Redis, // overwritten below
+        workload: trace.name.clone(),
+        requests: 0,
+        runtime_ns: 0.0,
+        reads: 0,
+        writes: 0,
+        read_ns_total: 0.0,
+        write_ns_total: 0.0,
+        read_hist: Histogram::new(),
+        write_hist: Histogram::new(),
+        samples: Vec::new(),
+    };
+    for r in reports {
+        merged.store = r.store;
+        merged.requests += r.requests;
+        merged.runtime_ns = merged.runtime_ns.max(r.runtime_ns);
+        merged.reads += r.reads;
+        merged.writes += r.writes;
+        merged.read_ns_total += r.read_ns_total;
+        merged.write_ns_total += r.write_ns_total;
+        merged.read_hist.merge(&r.read_hist);
+        merged.write_hist.merge(&r.write_hist);
+        merged.samples.extend(r.samples);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ycsb::WorkloadSpec;
+
+    fn trace() -> Trace {
+        WorkloadSpec::timeline().scaled(128, 4_000).generate(4)
+    }
+
+    #[test]
+    fn one_shard_equals_plain_server() {
+        let t = trace();
+        let cluster = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, 1).unwrap();
+        let cr = cluster.run(&t);
+        let sr = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap().run(&t);
+        assert_eq!(cr.requests, sr.requests);
+        let rel = (cr.runtime_ns - sr.runtime_ns).abs() / sr.runtime_ns;
+        assert!(rel < 0.02, "1-shard {} vs server {}", cr.runtime_ns, sr.runtime_ns);
+    }
+
+    #[test]
+    fn all_requests_are_served_exactly_once() {
+        let t = trace();
+        for n in [2, 4, 7] {
+            let cluster = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, n).unwrap();
+            let r = cluster.run(&t);
+            assert_eq!(r.requests, t.len(), "n={n}");
+            assert_eq!(r.reads + r.writes, t.len() as u64);
+            assert_eq!(r.samples.len(), t.len());
+        }
+    }
+
+    #[test]
+    fn sharding_reduces_cluster_runtime() {
+        let t = trace();
+        let one = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, 1).unwrap().run(&t);
+        let four = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, 4).unwrap().run(&t);
+        assert!(
+            four.runtime_ns < one.runtime_ns / 2.0,
+            "4 shards {} vs 1 shard {}",
+            four.runtime_ns,
+            one.runtime_ns
+        );
+    }
+
+    #[test]
+    fn shard_traces_partition_requests() {
+        let t = trace();
+        let n = 3;
+        let subs: Vec<Trace> = (0..n).map(|s| shard_trace(&t, s, n)).collect();
+        let total: usize = subs.iter().map(|s| s.len()).sum();
+        assert_eq!(total, t.len());
+        for (s, sub) in subs.iter().enumerate() {
+            for r in &sub.requests {
+                assert_eq!(r.key as usize % n, s);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let t = trace();
+        let _ = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, 0);
+    }
+
+    #[test]
+    fn contended_scaling_is_sublinear() {
+        let t = trace();
+        let runtime = |contended: bool, n: usize| {
+            let c = if contended {
+                ShardedCluster::build_contended(StoreKind::Redis, &t, &Placement::AllSlow, n)
+            } else {
+                ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllSlow, n)
+            }
+            .unwrap();
+            c.run(&t).runtime_ns
+        };
+        let free4 = runtime(false, 4);
+        let shared4 = runtime(true, 4);
+        assert!(shared4 > free4, "bandwidth sharing must cost time");
+        // And still faster than a single contended shard (latency and CPU
+        // parallelism still help).
+        let shared1 = runtime(true, 1);
+        assert!(shared4 < shared1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Trace (de)serialisation — the workload-descriptor file format.
+//!
+//! Mnemo's interface (paper §IV) expects "the target workload, in a form
+//! of a key sequence and the corresponding request type" plus the
+//! key-value sizes. This module defines a line-oriented text format for
+//! exactly that, so real captured workloads can be fed to the advisor:
+//!
+//! ```text
+//! # mnemo-trace v1
+//! name <workload name>
+//! keys <key count>
+//! size <key> <bytes>        # one per key, any order, all keys covered
+//! req <key> <R|U>           # one per request, in issue order
+//! ```
+//!
+//! Lines starting with `#` (after the magic first line) and blank lines
+//! are ignored.
+
+use crate::trace::{Op, Request, Trace};
+use std::io::{self, BufRead, Write};
+
+/// The format magic on line one.
+pub const MAGIC: &str = "# mnemo-trace v1";
+
+/// Parse errors with line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// First line is not the expected magic.
+    BadMagic,
+    /// A malformed or unknown directive.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A `size`/`req` key outside `0..keys`.
+    KeyOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending key.
+        key: u64,
+    },
+    /// Not every key received a `size` line.
+    MissingSizes {
+        /// How many keys lack a size.
+        missing: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadMagic => write!(f, "missing '{MAGIC}' header"),
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::KeyOutOfRange { line, key } => {
+                write!(f, "line {line}: key {key} out of range")
+            }
+            ParseError::MissingSizes { missing } => {
+                write!(f, "{missing} keys have no size line")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors from [`read_trace`]: I/O or parse.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Format violation.
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+            ReadError::Parse(e) => write!(f, "parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<ParseError> for ReadError {
+    fn from(e: ParseError) -> Self {
+        ReadError::Parse(e)
+    }
+}
+
+/// Serialise a trace.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "name {}", trace.name)?;
+    writeln!(w, "keys {}", trace.keys())?;
+    for (key, &bytes) in trace.sizes.iter().enumerate() {
+        writeln!(w, "size {key} {bytes}")?;
+    }
+    for r in &trace.requests {
+        let op = match r.op {
+            Op::Read => 'R',
+            Op::Update => 'U',
+        };
+        writeln!(w, "req {} {op}", r.key)?;
+    }
+    Ok(())
+}
+
+/// Serialise to a string.
+pub fn trace_to_string(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_trace(trace, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Deserialise a trace.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadError> {
+    let mut lines = r.lines();
+    let first = lines.next().ok_or(ParseError::BadMagic)??;
+    if first.trim() != MAGIC {
+        return Err(ParseError::BadMagic.into());
+    }
+    let mut name = String::from("unnamed");
+    let mut sizes: Vec<Option<u64>> = Vec::new();
+    let mut keys: Option<u64> = None;
+    let mut requests = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 2;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |reason: &str| ParseError::BadLine { line: line_no, reason: reason.into() };
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("name") => {
+                name = parts.collect::<Vec<_>>().join(" ");
+                if name.is_empty() {
+                    return Err(bad("empty name").into());
+                }
+            }
+            Some("keys") => {
+                let n: u64 = parts
+                    .next()
+                    .ok_or_else(|| bad("missing key count"))?
+                    .parse()
+                    .map_err(|_| bad("key count is not a number"))?;
+                keys = Some(n);
+                sizes = vec![None; n as usize];
+            }
+            Some("size") => {
+                let n = keys.ok_or_else(|| bad("'size' before 'keys'"))?;
+                let key: u64 = parts
+                    .next()
+                    .ok_or_else(|| bad("missing key"))?
+                    .parse()
+                    .map_err(|_| bad("key is not a number"))?;
+                if key >= n {
+                    return Err(ParseError::KeyOutOfRange { line: line_no, key }.into());
+                }
+                let bytes: u64 = parts
+                    .next()
+                    .ok_or_else(|| bad("missing byte count"))?
+                    .parse()
+                    .map_err(|_| bad("byte count is not a number"))?;
+                sizes[key as usize] = Some(bytes);
+            }
+            Some("req") => {
+                let n = keys.ok_or_else(|| bad("'req' before 'keys'"))?;
+                let key: u64 = parts
+                    .next()
+                    .ok_or_else(|| bad("missing key"))?
+                    .parse()
+                    .map_err(|_| bad("key is not a number"))?;
+                if key >= n {
+                    return Err(ParseError::KeyOutOfRange { line: line_no, key }.into());
+                }
+                let op = match parts.next() {
+                    Some("R") | Some("r") => Op::Read,
+                    Some("U") | Some("u") | Some("W") | Some("w") => Op::Update,
+                    Some(other) => return Err(bad(&format!("unknown op '{other}'")).into()),
+                    None => return Err(bad("missing op").into()),
+                };
+                requests.push(Request { key, op });
+            }
+            Some(other) => return Err(bad(&format!("unknown directive '{other}'")).into()),
+            None => unreachable!("blank lines were skipped"),
+        }
+    }
+    let missing = sizes.iter().filter(|s| s.is_none()).count();
+    if missing > 0 {
+        return Err(ParseError::MissingSizes { missing }.into());
+    }
+    Ok(Trace { name, sizes: sizes.into_iter().map(|s| s.expect("checked")).collect(), requests })
+}
+
+/// Deserialise from a string.
+pub fn trace_from_str(s: &str) -> Result<Trace, ReadError> {
+    read_trace(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let t = WorkloadSpec::edit_thumbnail().scaled(50, 400).generate(9);
+        let text = trace_to_string(&t);
+        let back = trace_from_str(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!(
+            "{MAGIC}\n# a comment\n\nname demo trace\nkeys 2\nsize 0 100\nsize 1 200\n\nreq 0 R\n# another\nreq 1 U\n"
+        );
+        let t = trace_from_str(&text).unwrap();
+        assert_eq!(t.name, "demo trace");
+        assert_eq!(t.sizes, vec![100, 200]);
+        assert_eq!(t.requests.len(), 2);
+        assert_eq!(t.requests[1].op, Op::Update);
+    }
+
+    #[test]
+    fn rejects_missing_magic() {
+        assert!(matches!(
+            trace_from_str("name x\n"),
+            Err(ReadError::Parse(ParseError::BadMagic))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_keys() {
+        let text = format!("{MAGIC}\nkeys 1\nsize 0 10\nreq 5 R\n");
+        match trace_from_str(&text) {
+            Err(ReadError::Parse(ParseError::KeyOutOfRange { key: 5, .. })) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_sizes() {
+        let text = format!("{MAGIC}\nkeys 3\nsize 0 10\nreq 0 R\n");
+        match trace_from_str(&text) {
+            Err(ReadError::Parse(ParseError::MissingSizes { missing: 2 })) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_ops_and_directives() {
+        let bad_op = format!("{MAGIC}\nkeys 1\nsize 0 10\nreq 0 X\n");
+        assert!(matches!(trace_from_str(&bad_op), Err(ReadError::Parse(ParseError::BadLine { .. }))));
+        let bad_dir = format!("{MAGIC}\nkeys 1\nsize 0 10\nfoo bar\n");
+        assert!(matches!(trace_from_str(&bad_dir), Err(ReadError::Parse(ParseError::BadLine { .. }))));
+        let early = format!("{MAGIC}\nsize 0 10\n");
+        assert!(matches!(trace_from_str(&early), Err(ReadError::Parse(ParseError::BadLine { .. }))));
+    }
+
+    #[test]
+    fn accepts_w_as_update_alias() {
+        let text = format!("{MAGIC}\nkeys 1\nsize 0 10\nreq 0 W\n");
+        let t = trace_from_str(&text).unwrap();
+        assert_eq!(t.requests[0].op, Op::Update);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_traces(
+            sizes in proptest::collection::vec(1u64..1_000_000, 1..40),
+            reqs in proptest::collection::vec((0usize..40, proptest::bool::ANY), 0..100),
+        ) {
+            let keys = sizes.len();
+            let requests = reqs
+                .into_iter()
+                .map(|(k, read)| Request {
+                    key: (k % keys) as u64,
+                    op: if read { Op::Read } else { Op::Update },
+                })
+                .collect();
+            let t = Trace { name: "prop".into(), sizes, requests };
+            let back = trace_from_str(&trace_to_string(&t)).unwrap();
+            prop_assert_eq!(t, back);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! YCSB-style workload substrate for the Mnemo reproduction.
+//!
+//! The paper drives its key-value stores with a modified Yahoo! Cloud
+//! Serving Benchmark client, using five custom workloads (Table III) that
+//! pair request distributions with social-media record-size classes. This
+//! crate rebuilds that client side:
+//!
+//! * [`dist`] — key choosers: zipfian (Gray et al., as in YCSB's
+//!   `ZipfianGenerator`), scrambled zipfian, hotspot, latest (with content
+//!   churn), uniform and sequential.
+//! * [`sizes`] — record-size classes from the paper's Fig. 4: thumbnail
+//!   (~100 KB), text post (~10 KB), photo caption (~1 KB), with lognormal
+//!   spread, plus per-key size assignment models.
+//! * [`workload`] — [`WorkloadSpec`] and the five
+//!   Table III presets (Trending, News Feed, Timeline, Edit Thumbnail,
+//!   Trending Preview).
+//! * [`trace`] — materialised request traces and the CDF utilities behind
+//!   Figs. 3 and 4.
+//! * [`sample`] — workload downsampling by random eviction at fixed
+//!   intervals (Section V, "Workload downsampling").
+//!
+//! # Example
+//!
+//! ```
+//! use ycsb::workload::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::trending();
+//! let trace = spec.generate(42);
+//! assert_eq!(trace.len(), spec.requests);
+//! // The hotspot distribution concentrates on 20% of the keys.
+//! let hot = trace.unique_keys_requested();
+//! assert!(hot > 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod fileio;
+pub mod fit;
+pub mod opmix;
+pub mod sample;
+pub mod sizes;
+pub mod trace;
+pub mod workload;
+
+pub use dist::{DistKind, KeyChooser};
+pub use opmix::{OpClass, OpMix};
+pub use sizes::{SizeClass, SizeModel};
+pub use trace::{Op, Request, Trace};
+pub use workload::WorkloadSpec;

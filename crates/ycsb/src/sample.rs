@@ -1,0 +1,134 @@
+//! Workload downsampling (Section V, "Workload downsampling").
+//!
+//! The paper downsizes workloads "via random sampling, where we choose to
+//! evict from the workload random key requests at fixed intervals. This
+//! reduces the number of requests issued, but ensures that the
+//! characteristics of the original key distribution are preserved."
+//!
+//! [`downsample`] implements exactly that: the trace is cut into
+//! fixed-size windows, and within each window a fixed number of randomly
+//! chosen requests is evicted, keeping `1/factor` of the workload.
+
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Default window over which random evictions are applied.
+pub const DEFAULT_WINDOW: usize = 100;
+
+/// Downsample `trace` by an integer `factor` (2 = keep half, 4 = keep a
+/// quarter, ...), evicting randomly within fixed windows of
+/// [`DEFAULT_WINDOW`] requests. `factor == 1` returns a clone.
+pub fn downsample(trace: &Trace, factor: usize, seed: u64) -> Trace {
+    downsample_with_window(trace, factor, DEFAULT_WINDOW, seed)
+}
+
+/// [`downsample`] with an explicit window size.
+pub fn downsample_with_window(trace: &Trace, factor: usize, window: usize, seed: u64) -> Trace {
+    assert!(factor >= 1, "factor must be >= 1");
+    assert!(window >= 1, "window must be >= 1");
+    if factor == 1 {
+        return trace.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut kept = Vec::with_capacity(trace.requests.len() / factor + window);
+    for chunk in trace.requests.chunks(window) {
+        // Keep ceil(len/factor) random positions of this window, in their
+        // original order (the temporal structure of the trace matters for
+        // distributions like `latest`).
+        let keep = chunk.len().div_ceil(factor);
+        let mut idx: Vec<usize> = (0..chunk.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(keep);
+        idx.sort_unstable();
+        kept.extend(idx.into_iter().map(|i| chunk[i]));
+    }
+    Trace {
+        name: format!("{} (1/{factor} sample)", trace.name),
+        sizes: trace.sizes.clone(),
+        requests: kept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+
+    fn base() -> Trace {
+        WorkloadSpec::trending().scaled(500, 20_000).generate(11)
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let t = base();
+        let s = downsample(&t, 1, 0);
+        assert_eq!(s.requests, t.requests);
+    }
+
+    #[test]
+    fn keeps_about_one_over_factor() {
+        let t = base();
+        for factor in [2, 4, 8, 16] {
+            let s = downsample(&t, factor, 1);
+            let expect = t.len() / factor;
+            let got = s.len();
+            assert!(
+                got >= expect && got <= expect + t.len() / DEFAULT_WINDOW + 1,
+                "factor {factor}: kept {got}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn preserves_dataset_and_order() {
+        let t = base();
+        let s = downsample(&t, 4, 2);
+        assert_eq!(s.sizes, t.sizes, "the dataset is not sampled, only requests");
+        // Kept requests appear in original relative order: verify the kept
+        // sequence is a subsequence of the original.
+        let mut it = t.requests.iter();
+        for r in &s.requests {
+            assert!(it.any(|o| o == r), "sampled request out of order or missing");
+        }
+    }
+
+    #[test]
+    fn preserves_distribution_shape() {
+        let t = base();
+        let s = downsample(&t, 8, 3);
+        let full = t.hot_mass_curve();
+        let samp = s.hot_mass_curve();
+        // Hot mass captured by the top 20% of keys should be within a few
+        // points of the full trace — the paper's preservation claim.
+        let k = t.sizes.len() / 5;
+        assert!(
+            (full[k - 1] - samp[k - 1]).abs() < 0.05,
+            "full {} vs sampled {}",
+            full[k - 1],
+            samp[k - 1]
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = base();
+        assert_eq!(downsample(&t, 4, 9).requests, downsample(&t, 4, 9).requests);
+        assert_ne!(downsample(&t, 4, 9).requests, downsample(&t, 4, 10).requests);
+    }
+
+    #[test]
+    fn factor_larger_than_trace_keeps_some() {
+        let t = base();
+        let s = downsample_with_window(&t, 1_000_000, 100, 0);
+        assert!(!s.is_empty(), "ceil keeps at least one request per window");
+        assert!(s.len() <= t.len() / 100 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn rejects_zero_factor() {
+        let _ = downsample(&base(), 0, 0);
+    }
+}

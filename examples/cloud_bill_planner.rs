@@ -1,0 +1,86 @@
+//! From workload to cloud bill: consult Mnemo, then price the
+//! recommended DRAM/NVM split as actual VM instances at each provider —
+//! the paper's envisioned use ("what capacity sizings of VMs with DRAM
+//! and VMs with NVM provide the best tradeoffs").
+//!
+//! ```sh
+//! cargo run --release --example cloud_bill_planner [trace-file]
+//! ```
+//!
+//! With a path argument, the workload is loaded from a mnemo-trace file
+//! (see `ycsb::fileio`); otherwise the paper's Trending workload is
+//! generated. The loaded/generated trace is also written to
+//! `target/trending.trace` as a format demonstration.
+
+use cloudcost::{Provider, ProviderKind};
+use kvsim::StoreKind;
+use mnemo::advisor::{Advisor, AdvisorConfig};
+use ycsb::WorkloadSpec;
+
+fn main() {
+    // 1. Obtain the workload: from file, or generate + persist.
+    let trace = match std::env::args().nth(1) {
+        Some(path) => {
+            let file = std::fs::File::open(&path).expect("cannot open trace file");
+            ycsb::fileio::read_trace(std::io::BufReader::new(file)).expect("malformed trace file")
+        }
+        None => {
+            let t = WorkloadSpec::trending().scaled(2_000, 20_000).generate(77);
+            std::fs::create_dir_all("target").ok();
+            let f = std::fs::File::create("target/trending.trace").expect("create trace file");
+            ycsb::fileio::write_trace(&t, std::io::BufWriter::new(f)).expect("write trace");
+            println!("(wrote the generated workload to target/trending.trace)");
+            t
+        }
+    };
+    println!(
+        "workload '{}': {} keys, {} requests, {:.1} MB\n",
+        trace.name,
+        trace.keys(),
+        trace.len(),
+        trace.dataset_bytes() as f64 / 1e6
+    );
+
+    // 2. Consult Mnemo (MnemoT ordering, 10% SLO).
+    let consultation = Advisor::new(AdvisorConfig::default())
+        .consult(StoreKind::Redis, &trace)
+        .expect("consultation");
+    let rec = consultation.recommend(0.10).expect("curve nonempty");
+    println!(
+        "Mnemo @10% SLO: {:.1}% of bytes in DRAM -> memory cost {:.0}% of DRAM-only\n",
+        rec.fast_ratio * 100.0,
+        rec.cost_reduction * 100.0
+    );
+
+    // 3. Price it. The demo dataset is small, so scale the split up to a
+    //    production-sized 256 GiB deployment with the same ratio.
+    let deploy_total: u64 = 256 << 30;
+    let fast = (deploy_total as f64 * rec.fast_ratio) as u64;
+    let slow = deploy_total - fast;
+    println!(
+        "pricing a 256 GiB deployment at the recommended ratio ({:.0} GiB DRAM + {:.0} GiB NVM):",
+        fast as f64 / (1u64 << 30) as f64,
+        slow as f64 / (1u64 << 30) as f64
+    );
+    println!(
+        "\n{:<24} {:<18} {:<18} {:>10} {:>10} {:>8}",
+        "provider", "DRAM instance", "NVM carrier", "$/h hybrid", "$/h DRAM", "savings"
+    );
+    for kind in ProviderKind::ALL {
+        let provider = Provider::new(kind);
+        match cloudcost::planner::plan(&provider, fast, slow, 0.2) {
+            Ok(plan) => println!(
+                "{:<24} {:<18} {:<18} {:>10.3} {:>10.3} {:>7.1}%",
+                kind.name(),
+                plan.dram_instance,
+                plan.nvm_instance.as_deref().unwrap_or("-"),
+                plan.hourly_usd,
+                plan.dram_only_hourly_usd,
+                plan.savings() * 100.0
+            ),
+            Err(e) => println!("{:<24} cannot plan: {e}", kind.name()),
+        }
+    }
+    println!("\n(NVM carrier memory is billed at 0.2x the fitted per-GB DRAM rate, the");
+    println!("paper's price-factor assumption for Optane-class NVDIMMs.)");
+}

@@ -1,0 +1,62 @@
+//! Profiling from a downsampled trace (§V "Workload downsampling"):
+//! when the full production workload is too big (or unavailable), Mnemo
+//! profiles a 1/N random sample and the resulting sizing still holds on
+//! the full workload.
+//!
+//! ```sh
+//! cargo run --release --example downsampled_profiling [factor]
+//! ```
+
+use kvsim::{Placement, Server, StoreKind};
+use mnemo::advisor::{Advisor, AdvisorConfig, OrderingKind};
+use mnemo::placement::PlacementEngine;
+use ycsb::sample::downsample;
+use ycsb::WorkloadSpec;
+
+fn main() {
+    let factor: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let full = WorkloadSpec::timeline().scaled(2_000, 40_000).generate(13);
+    let sampled = downsample(&full, factor, 1);
+    println!(
+        "full workload: {} requests; profiling on a 1/{} sample ({} requests)\n",
+        full.len(),
+        factor,
+        sampled.len()
+    );
+
+    // Profile entirely on the sample. The cache-aware correction matters
+    // here: the zipfian head is LLC-resident, so the plain model would
+    // over-credit promoting it and recommend too little FastMem.
+    let config = AdvisorConfig { ordering: OrderingKind::MnemoT, ..AdvisorConfig::default() }
+        .cache_aware();
+    let advisor = Advisor::new(config);
+    let consultation = advisor.consult(StoreKind::Redis, &sampled).expect("consultation");
+    let rec = consultation.recommend(0.10).expect("curve nonempty");
+    println!(
+        "sample says: {:.1}% FastMem -> cost {:.2}x, est slowdown {:.1}%",
+        rec.fast_ratio * 100.0,
+        rec.cost_reduction,
+        rec.est_slowdown * 100.0
+    );
+
+    // Apply that placement to the FULL workload and measure.
+    let placement = PlacementEngine::placement_for(
+        &consultation.order,
+        &consultation.curve.rows[rec.prefix],
+    );
+    let run = |p: Placement| {
+        Server::build(StoreKind::Redis, &full, p).expect("server").run(&full).throughput_ops_s()
+    };
+    let fast_only = run(Placement::AllFast);
+    let slow_only = run(Placement::AllSlow);
+    let chosen = run(placement);
+    let slowdown = 1.0 - chosen / fast_only;
+    println!("\nfull-workload verification:");
+    println!("  FastMem-only {fast_only:.0} ops/s, SlowMem-only {slow_only:.0} ops/s");
+    println!("  recommended split: {chosen:.0} ops/s ({:.1}% below FastMem-only)", slowdown * 100.0);
+    assert!(
+        slowdown < 0.10 + 0.03,
+        "sampled-profile recommendation broke the SLO on the full workload"
+    );
+    println!("\nThe 1/{factor} sample's sizing holds on the full workload.");
+}

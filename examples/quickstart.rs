@@ -1,0 +1,74 @@
+//! Quickstart: size a hybrid memory system for a trending-news cache.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full Mnemo pipeline on the paper's Trending workload:
+//! measure the two baselines, build the estimate curve, and read off the
+//! cheapest FastMem:SlowMem split within a 10% slowdown of the
+//! all-FastMem configuration.
+
+use kvsim::StoreKind;
+use mnemo::advisor::{Advisor, AdvisorConfig};
+use ycsb::WorkloadSpec;
+
+fn main() {
+    // 1. Describe the workload (Table III's Trending: 10k keys, 100k
+    //    requests, hotspot distribution, ~100 KB thumbnails). Scaled down
+    //    here so the example runs in a couple of seconds.
+    let spec = WorkloadSpec::trending().scaled(2_000, 20_000);
+    let trace = spec.generate(42);
+    println!(
+        "workload: {} — {} keys, {} requests, {:.1} MB dataset",
+        spec.name,
+        trace.keys(),
+        trace.len(),
+        trace.dataset_bytes() as f64 / 1e6
+    );
+
+    // 2. Consult Mnemo (runs the two baseline executions internally).
+    let advisor = Advisor::new(AdvisorConfig::default());
+    let consultation = advisor.consult(StoreKind::Redis, &trace).expect("consultation failed");
+    let b = &consultation.baselines;
+    println!(
+        "baselines: FastMem-only {:.0} ops/s, SlowMem-only {:.0} ops/s ({:+.1}% gap)",
+        b.fast.throughput_ops_s(),
+        b.slow.throughput_ops_s(),
+        b.sensitivity() * 100.0
+    );
+
+    // 3. The estimate curve: cost factor vs estimated throughput.
+    println!("\ncurve (10-point summary):");
+    for row in consultation.curve.thin(10) {
+        println!(
+            "  {:5.1}% FastMem -> cost {:.2}x, est {:.0} ops/s",
+            row.fast_bytes as f64 / consultation.curve.total_bytes as f64 * 100.0,
+            row.cost_reduction,
+            row.est_throughput_ops_s
+        );
+    }
+
+    // 4. The recommendation: cheapest split inside a 10% slowdown SLO.
+    let rec = consultation.recommend(0.10).expect("nonempty curve");
+    println!(
+        "\nrecommendation @10% SLO: keep {} of {} keys ({:.1}% of bytes) in FastMem",
+        rec.prefix,
+        trace.keys(),
+        rec.fast_ratio * 100.0
+    );
+    println!(
+        "  memory cost: {:.0}% of FastMem-only (floor is 20%)",
+        rec.cost_reduction * 100.0
+    );
+    println!(
+        "  estimated performance: {:.0} ops/s ({:.1}% below FastMem-only)",
+        rec.est_throughput_ops_s,
+        rec.est_slowdown * 100.0
+    );
+
+    // 5. Mnemo's CSV output (the paper's three-column format).
+    let csv = consultation.curve.to_csv();
+    let preview: Vec<&str> = csv.lines().take(4).collect();
+    println!("\ncsv output (first rows):\n  {}", preview.join("\n  "));
+}

@@ -1,0 +1,53 @@
+//! Capacity-sizing survey across the whole social-media workload suite
+//! and all three stores — a miniature of the paper's Fig. 9, with a
+//! configurable NVM price factor.
+//!
+//! ```sh
+//! cargo run --release --example social_cache_sizing [price_factor]
+//! # e.g. price_factor 0.3 models NVM at 30% of DRAM's per-byte price
+//! ```
+
+use kvsim::StoreKind;
+use mnemo::advisor::{Advisor, AdvisorConfig, OrderingKind};
+use ycsb::WorkloadSpec;
+
+fn main() {
+    let price_factor: f64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.2);
+    assert!(price_factor > 0.0 && price_factor < 1.0, "price factor must be in (0,1)");
+    println!(
+        "Sizing survey @10% slowdown SLO, SlowMem priced at {:.0}% of FastMem\n",
+        price_factor * 100.0
+    );
+
+    let stores = [StoreKind::Redis, StoreKind::Dynamo, StoreKind::Memcached];
+    println!(
+        "{:<18} {:>22} {:>22} {:>22}",
+        "workload", "Redis", "DynamoDB", "Memcached"
+    );
+    for spec in WorkloadSpec::table3() {
+        let spec = spec.scaled(1_000, 10_000);
+        let trace = spec.generate(3);
+        let mut cells = Vec::new();
+        for store in stores {
+            let config = AdvisorConfig {
+                price_factor,
+                ordering: OrderingKind::MnemoT,
+                ..AdvisorConfig::default()
+            };
+            let consultation =
+                Advisor::new(config).consult(store, &trace).expect("consultation");
+            let rec = consultation.recommend(0.10).expect("curve nonempty");
+            cells.push(format!(
+                "{:.2}x ({:>3.0}% fast)",
+                rec.cost_reduction,
+                rec.fast_ratio * 100.0
+            ));
+        }
+        println!("{:<18} {:>22} {:>22} {:>22}", spec.name, cells[0], cells[1], cells[2]);
+    }
+    println!(
+        "\nCells: memory cost vs DRAM-only, and the FastMem capacity share Mnemo chose."
+    );
+    println!("Floor is {price_factor:.2}x (everything on SlowMem).");
+}
