@@ -25,7 +25,11 @@ fn spec_with(kind: CacheKind, dataset: u64) -> HybridSpec {
 fn curve_delta_summary() {
     let trace = WorkloadSpec::trending().scaled(500, 5_000).generate(9);
     let mut results = Vec::new();
-    for kind in [CacheKind::None, CacheKind::ObjectLru, CacheKind::SetAssociative] {
+    for kind in [
+        CacheKind::None,
+        CacheKind::ObjectLru,
+        CacheKind::SetAssociative,
+    ] {
         let spec = spec_with(kind, trace.dataset_bytes());
         let report = Server::build_with(
             StoreKind::Redis,
@@ -56,7 +60,11 @@ fn bench_cache_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_model");
     group.sample_size(10);
     group.throughput(Throughput::Elements(trace.len() as u64));
-    for kind in [CacheKind::None, CacheKind::ObjectLru, CacheKind::SetAssociative] {
+    for kind in [
+        CacheKind::None,
+        CacheKind::ObjectLru,
+        CacheKind::SetAssociative,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("run_trace", format!("{kind:?}")),
             &kind,

@@ -14,15 +14,18 @@ use std::hint::black_box;
 use ycsb::WorkloadSpec;
 
 fn accuracy_summary() {
-    let trace = WorkloadSpec::trending_preview().scaled(1_000, 10_000).generate(5);
+    let trace = WorkloadSpec::trending_preview()
+        .scaled(1_000, 10_000)
+        .generate(5);
     for model in [ModelKind::GlobalAverage, ModelKind::SizeAware] {
         let mut config = AdvisorConfig::default();
         config.spec.cache.capacity_bytes = trace.dataset_bytes() / 85;
         config.model = model;
         config.ordering = OrderingKind::MnemoT;
         let spec = config.spec.clone();
-        let consultation =
-            Advisor::new(config).consult(StoreKind::Redis, &trace).expect("consultation");
+        let consultation = Advisor::new(config)
+            .consult(StoreKind::Redis, &trace)
+            .expect("consultation");
         let points = mnemo::accuracy::evaluate(
             StoreKind::Redis,
             &trace,
@@ -43,7 +46,9 @@ fn accuracy_summary() {
 
 fn bench_models(c: &mut Criterion) {
     accuracy_summary();
-    let trace = WorkloadSpec::trending_preview().scaled(1_000, 10_000).generate(5);
+    let trace = WorkloadSpec::trending_preview()
+        .scaled(1_000, 10_000)
+        .generate(5);
     let baselines = mnemo::SensitivityEngine::default()
         .measure(StoreKind::Redis, &trace)
         .expect("baselines");
@@ -53,14 +58,18 @@ fn bench_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("model");
     group.sample_size(20);
     for kind in [ModelKind::GlobalAverage, ModelKind::SizeAware] {
-        group.bench_with_input(BenchmarkId::new("fit", format!("{kind:?}")), &kind, |b, &kind| {
-            b.iter(|| PerfModel::fit(black_box(kind), &baselines, &trace.sizes))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fit", format!("{kind:?}")),
+            &kind,
+            |b, &kind| b.iter(|| PerfModel::fit(black_box(kind), &baselines, &trace.sizes)),
+        );
         let model = PerfModel::fit(kind, &baselines, &trace.sizes);
         let engine = EstimateEngine::new(model, cloudcost::CostModel::default());
-        group.bench_with_input(BenchmarkId::new("curve", format!("{kind:?}")), &kind, |b, _| {
-            b.iter(|| engine.curve(black_box(&pattern), black_box(&order)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("curve", format!("{kind:?}")),
+            &kind,
+            |b, _| b.iter(|| engine.curve(black_box(&pattern), black_box(&order))),
+        );
     }
     group.finish();
 }

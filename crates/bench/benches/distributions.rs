@@ -12,8 +12,20 @@ fn bench_choosers(c: &mut Criterion) {
         ("sequential", DistKind::Sequential),
         ("zipfian", DistKind::Zipfian { theta: 0.99 }),
         ("scrambled", DistKind::ScrambledZipfian { theta: 0.99 }),
-        ("hotspot", DistKind::Hotspot { hot_fraction: 0.2, hot_op_fraction: 0.8 }),
-        ("latest", DistKind::Latest { theta: 0.99, churn_period: 10 }),
+        (
+            "hotspot",
+            DistKind::Hotspot {
+                hot_fraction: 0.2,
+                hot_op_fraction: 0.8,
+            },
+        ),
+        (
+            "latest",
+            DistKind::Latest {
+                theta: 0.99,
+                churn_period: 10,
+            },
+        ),
     ];
     let mut group = c.benchmark_group("key_choosers");
     group.sample_size(20);
@@ -41,9 +53,13 @@ fn bench_trace_generation(c: &mut Criterion) {
     for spec in ycsb::WorkloadSpec::table3() {
         let spec = spec.scaled(10_000, 100_000);
         group.throughput(Throughput::Elements(spec.requests as u64));
-        group.bench_with_input(BenchmarkId::new("generate", spec.name.clone()), &spec, |b, spec| {
-            b.iter(|| black_box(spec.generate(7).len()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("generate", spec.name.clone()),
+            &spec,
+            |b, spec| {
+                b.iter(|| black_box(spec.generate(7).len()));
+            },
+        );
     }
     group.finish();
 }

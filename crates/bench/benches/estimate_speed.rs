@@ -14,11 +14,14 @@ fn bench_curve_scaling(c: &mut Criterion) {
     for keys in [1_000u64, 10_000, 50_000] {
         // Fit once on a small measured run; the curve cost is what scales.
         let small = WorkloadSpec::trending().scaled(200, 2_000).generate(1);
-        let baselines =
-            SensitivityEngine::default().measure(StoreKind::Redis, &small).expect("baselines");
+        let baselines = SensitivityEngine::default()
+            .measure(StoreKind::Redis, &small)
+            .expect("baselines");
         let model = PerfModel::fit(ModelKind::GlobalAverage, &baselines, &small.sizes);
 
-        let trace = WorkloadSpec::trending().scaled(keys, (keys as usize) * 4).generate(1);
+        let trace = WorkloadSpec::trending()
+            .scaled(keys, (keys as usize) * 4)
+            .generate(1);
         let pattern = PatternEngine::analyze(&trace);
         let order = pattern.hotness_order();
         let engine = EstimateEngine::new(model.clone(), cloudcost::CostModel::default());
@@ -34,7 +37,9 @@ fn bench_pattern_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("pattern_engine");
     group.sample_size(10);
     for requests in [10_000usize, 100_000, 400_000] {
-        let trace = WorkloadSpec::timeline().scaled(10_000, requests).generate(2);
+        let trace = WorkloadSpec::timeline()
+            .scaled(10_000, requests)
+            .generate(2);
         group.throughput(Throughput::Elements(requests as u64));
         group.bench_with_input(BenchmarkId::new("requests", requests), &requests, |b, _| {
             b.iter(|| black_box(PatternEngine::analyze(&trace).total_requests()));

@@ -14,7 +14,11 @@ fn tiering_items(n: usize, seed: u64) -> Vec<Item> {
             // Record-size-shaped weights (1 KB .. 128 KB) and zipf-ish values.
             let weight = 1u64 << rng.random_range(10..17);
             let value = 1.0 / (1.0 + (i as f64).powf(0.8)) * 1e6;
-            Item { id: i as u64, weight, value }
+            Item {
+                id: i as u64,
+                weight,
+                value,
+            }
         })
         .collect()
 }

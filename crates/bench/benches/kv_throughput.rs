@@ -16,8 +16,7 @@ fn bench_engines(c: &mut Criterion) {
         for placement in [Placement::AllFast, Placement::AllSlow] {
             let label = format!("{store}/{placement:?}");
             group.bench_with_input(BenchmarkId::new("run", label), &store, |b, &store| {
-                let mut server =
-                    Server::build(store, &trace, placement.clone()).expect("server");
+                let mut server = Server::build(store, &trace, placement.clone()).expect("server");
                 b.iter(|| black_box(server.run(&trace).runtime_ns));
             });
         }

@@ -13,15 +13,23 @@ fn bench_profilers(c: &mut Criterion) {
     let mut group = c.benchmark_group("profiling");
     group.sample_size(10);
     group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_with_input(BenchmarkId::new("mnemot", "pattern+weights"), &trace, |b, trace| {
-        b.iter(|| {
-            let pattern = PatternEngine::analyze(trace);
-            black_box(MnemoT::weight_order(&pattern).len())
-        });
-    });
-    group.bench_with_input(BenchmarkId::new("instrumented", "per-line"), &trace, |b, trace| {
-        b.iter(|| black_box(InstrumentedProfiler::profile(trace).events));
-    });
+    group.bench_with_input(
+        BenchmarkId::new("mnemot", "pattern+weights"),
+        &trace,
+        |b, trace| {
+            b.iter(|| {
+                let pattern = PatternEngine::analyze(trace);
+                black_box(MnemoT::weight_order(&pattern).len())
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("instrumented", "per-line"),
+        &trace,
+        |b, trace| {
+            b.iter(|| black_box(InstrumentedProfiler::profile(trace).events));
+        },
+    );
     group.finish();
 }
 

@@ -1,0 +1,41 @@
+//! Streaming profiler ingest throughput: events/sec through
+//! `StreamProfiler::observe` at several memory budgets. The profiler
+//! must keep up with a live KV server's request rate, so the per-event
+//! cost (a few hashes and counter bumps) is the figure of merit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mnemo_stream::{StreamConfig, StreamProfiler};
+use std::hint::black_box;
+use ycsb::{AccessEvent, DistKind, WorkloadSpec};
+
+fn bench_ingest(c: &mut Criterion) {
+    let spec = WorkloadSpec {
+        distribution: DistKind::ScrambledZipfian { theta: 0.99 },
+        ..WorkloadSpec::trending().scaled(10_000, 100_000)
+    };
+    let events: Vec<AccessEvent> = spec.generate(11).events().collect();
+
+    let mut group = c.benchmark_group("stream_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for budget_kib in [16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("budget_kib", budget_kib),
+            &budget_kib,
+            |b, &kib| {
+                let config = StreamConfig::with_budget_bytes(kib * 1024);
+                b.iter(|| {
+                    let mut profiler = StreamProfiler::new(config);
+                    for event in &events {
+                        profiler.observe(black_box(event));
+                    }
+                    black_box(profiler.events())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

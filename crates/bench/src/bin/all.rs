@@ -3,8 +3,25 @@
 use std::process::Command;
 
 const EXPERIMENTS: [&str; 19] = [
-    "fig1", "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig8", "fig9", "table4",
-    "downsampling", "ycsb_core", "sweep_slowmem", "dynamic_vs_static", "cache_mode", "model_limits", "pipelining", "variance", "appendix",
+    "fig1",
+    "table1",
+    "table2",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig9",
+    "table4",
+    "downsampling",
+    "ycsb_core",
+    "sweep_slowmem",
+    "dynamic_vs_static",
+    "cache_mode",
+    "model_limits",
+    "pipelining",
+    "variance",
+    "appendix",
 ];
 
 fn main() {
@@ -13,7 +30,15 @@ fn main() {
     for exp in EXPERIMENTS {
         println!("\n================ {exp} ================");
         let status = Command::new("cargo")
-            .args(["run", "--release", "--quiet", "-p", "mnemo-bench", "--bin", exp])
+            .args([
+                "run",
+                "--release",
+                "--quiet",
+                "-p",
+                "mnemo-bench",
+                "--bin",
+                exp,
+            ])
             .status()
             .expect("spawn experiment via cargo");
         assert!(status.success(), "{exp} failed");

@@ -19,7 +19,9 @@ fn main() {
         "no CSVs found — run `cargo run --release -p mnemo-bench --bin all` first"
     );
 
-    let mut md = String::from("# Experiment appendix\n\nGenerated from the CSV artifacts of the last full run.\n");
+    let mut md = String::from(
+        "# Experiment appendix\n\nGenerated from the CSV artifacts of the last full run.\n",
+    );
     for path in &entries {
         let name = path.file_stem().unwrap().to_string_lossy();
         let content = fs::read_to_string(path).expect("readable csv");
@@ -30,7 +32,11 @@ fn main() {
         };
         let _ = writeln!(md, "\n## {name}\n");
         let cols = header.split(',').count();
-        let _ = writeln!(md, "| {} |", header.split(',').collect::<Vec<_>>().join(" | "));
+        let _ = writeln!(
+            md,
+            "| {} |",
+            header.split(',').collect::<Vec<_>>().join(" | ")
+        );
         let _ = writeln!(md, "|{}", "---|".repeat(cols));
         let rows: Vec<&str> = lines.collect();
         // Large tables are elided to head+tail to keep the appendix readable.
@@ -52,5 +58,9 @@ fn main() {
     }
     let out = dir.join("APPENDIX.md");
     fs::write(&out, md).expect("write appendix");
-    println!("appendix with {} tables -> {}", entries.len(), out.display());
+    println!(
+        "appendix with {} tables -> {}",
+        entries.len(),
+        out.display()
+    );
 }

@@ -12,9 +12,7 @@
 //!    traffic at runtime);
 //! 3. **dynamic tiering** — epoch-based migration (Fig. 2b systems).
 
-use kvsim::{
-    CacheModeServer, DynamicConfig, DynamicTieringServer, Server, StoreKind,
-};
+use kvsim::{CacheModeServer, DynamicConfig, DynamicTieringServer, Server, StoreKind};
 use mnemo::advisor::OrderingKind;
 use mnemo::placement::PlacementEngine;
 use mnemo_bench::{consult, paper_workload, print_table, seed_for, testbed_for, write_csv};
@@ -25,7 +23,7 @@ fn main() {
     println!("Three deployments of the same FastMem capacity (Redis)");
     let mut csv = Vec::new();
     for workload in ["trending", "news feed", "edit thumbnail"] {
-        let spec = paper_workload(workload);
+        let spec = paper_workload(workload).unwrap_or_else(|e| panic!("{e}"));
         let trace = spec.generate(seed_for(&spec.name));
         let testbed = testbed_for(&trace);
         let consultation = consult(StoreKind::Redis, &trace, OrderingKind::MnemoT);
@@ -57,7 +55,10 @@ fn main() {
                 StoreKind::Redis,
                 testbed.clone(),
                 &trace,
-                DynamicConfig { epoch_requests: 2_000, ..DynamicConfig::new(budget) },
+                DynamicConfig {
+                    epoch_requests: 2_000,
+                    ..DynamicConfig::new(budget)
+                },
             )
             .expect("dynamic server");
             let dyn_tp = dt.run(&trace).throughput_ops_s();
@@ -68,7 +69,9 @@ fn main() {
         let rows: Vec<Vec<String>> = results
             .iter()
             .map(|(ratio, st, ca, hit, dy)| {
-                csv.push(format!("{workload},{ratio},{st:.1},{ca:.1},{hit:.4},{dy:.1}"));
+                csv.push(format!(
+                    "{workload},{ratio},{st:.1},{ca:.1},{hit:.4},{dy:.1}"
+                ));
                 vec![
                     format!("{:.0}%", ratio * 100.0),
                     format!("{st:8.0}"),

@@ -6,11 +6,10 @@
 use kvsim::StoreKind;
 use mnemo::accuracy::{evaluate, ErrorStats, EvalPoint};
 use mnemo::advisor::OrderingKind;
-use mnemo_bench::{
-    measurement_noise, paper_advisor, paper_workload, print_table, seed_for, testbed_for,
-    write_csv,
-};
 use mnemo::ModelKind;
+use mnemo_bench::{
+    measurement_noise, paper_advisor, paper_workload, print_table, seed_for, testbed_for, write_csv,
+};
 use ycsb::sample::downsample;
 
 const FACTORS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -18,7 +17,7 @@ const POINTS: usize = 7;
 
 fn main() {
     println!("Downsampling: estimate accuracy from sampled baselines (Trending, Redis)");
-    let spec = paper_workload("trending");
+    let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
     let full = spec.generate(seed_for(&spec.name));
 
     let results = mnemo_bench::parallel(FACTORS.len(), |i| {
@@ -26,7 +25,9 @@ fn main() {
         let sampled = downsample(&full, factor, 99);
         // Profile (baselines + pattern + curve) on the *sampled* trace...
         let advisor = paper_advisor(&sampled, OrderingKind::TouchOrder, ModelKind::GlobalAverage);
-        let consultation = advisor.consult(StoreKind::Redis, &sampled).expect("consultation");
+        let consultation = advisor
+            .consult(StoreKind::Redis, &sampled)
+            .expect("consultation");
         // ...then check the estimate against measured runs of the sampled
         // workload, and compare its sensitivity with the full one.
         let points = evaluate(
@@ -55,11 +56,20 @@ fn main() {
             format!("{:.3}%", stats.median),
             format!("{:.3}%", stats.max),
         ]);
-        csv.push(format!("{factor},{requests},{sensitivity:.5},{:.4},{:.4}", stats.median, stats.max));
+        csv.push(format!(
+            "{factor},{requests},{sensitivity:.5},{:.4},{:.4}",
+            stats.median, stats.max
+        ));
     }
     print_table(
         "sampled-workload baselines: sensitivity preserved, estimate accurate",
-        &["sample", "requests", "fast-vs-slow gain", "median |err|", "max |err|"],
+        &[
+            "sample",
+            "requests",
+            "fast-vs-slow gain",
+            "median |err|",
+            "max |err|",
+        ],
         &rows,
     );
     println!(

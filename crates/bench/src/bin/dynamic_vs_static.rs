@@ -17,7 +17,10 @@ use mnemo_bench::{consult, paper_workloads, print_table, seed_for, testbed_for, 
 const BUDGET_FRACTION: f64 = 0.2; // 20% of the dataset in FastMem
 
 fn main() {
-    println!("Static (Mnemo) vs dynamic tiering at a {:.0}% FastMem budget (Redis)", BUDGET_FRACTION * 100.0);
+    println!(
+        "Static (Mnemo) vs dynamic tiering at a {:.0}% FastMem budget (Redis)",
+        BUDGET_FRACTION * 100.0
+    );
     let workloads = paper_workloads();
     let results = mnemo_bench::parallel(workloads.len(), |i| {
         let spec = &workloads[i];
@@ -45,7 +48,11 @@ fn main() {
             StoreKind::Redis,
             testbed,
             &trace,
-            DynamicConfig { epoch_requests: 2_000, decay: 0.7, ..DynamicConfig::new(budget) },
+            DynamicConfig {
+                epoch_requests: 2_000,
+                decay: 0.7,
+                ..DynamicConfig::new(budget)
+            },
         )
         .expect("dynamic server");
         let dynamic_report = dynamic.run(&trace);
@@ -75,7 +82,14 @@ fn main() {
     }
     print_table(
         "measured throughput (ops/s): Mnemo static vs migrating tierer",
-        &["workload", "static", "dynamic", "dyn vs static", "migrations", "migration time"],
+        &[
+            "workload",
+            "static",
+            "dynamic",
+            "dyn vs static",
+            "migrations",
+            "migration time",
+        ],
         &rows,
     );
     write_csv(
@@ -95,7 +109,7 @@ fn main() {
 /// and watch dynamic tiering cross from losing to winning.
 fn churn_sweep() {
     println!("\n--- news feed churn sweep (Redis, dynamic vs static) ---");
-    let base = mnemo_bench::paper_workload("news feed");
+    let base = mnemo_bench::paper_workload("news feed").unwrap_or_else(|e| panic!("{e}"));
     let sweep: Vec<u64> = vec![
         (base.requests as u64 / base.keys).max(1), // paper pace: window rotates once per trace
         4 * (base.requests as u64 / base.keys).max(1),
@@ -104,7 +118,10 @@ fn churn_sweep() {
     let results = mnemo_bench::parallel(sweep.len(), |i| {
         let churn_period = sweep[i];
         let mut spec = base.clone();
-        spec.distribution = ycsb::DistKind::Latest { theta: 0.99, churn_period };
+        spec.distribution = ycsb::DistKind::Latest {
+            theta: 0.99,
+            churn_period,
+        };
         spec.name = format!("news feed (churn 1/{churn_period})");
         let trace = spec.generate(seed_for(&spec.name));
         let budget = (trace.dataset_bytes() as f64 * BUDGET_FRACTION) as u64;
@@ -126,11 +143,19 @@ fn churn_sweep() {
             StoreKind::Redis,
             testbed,
             &trace,
-            DynamicConfig { epoch_requests: 2_000, decay: 0.7, ..DynamicConfig::new(budget) },
+            DynamicConfig {
+                epoch_requests: 2_000,
+                decay: 0.7,
+                ..DynamicConfig::new(budget)
+            },
         )
         .expect("dynamic server");
         let dynamic_report = dynamic.run(&trace);
-        (churn_period, static_report.throughput_ops_s(), dynamic_report.throughput_ops_s())
+        (
+            churn_period,
+            static_report.throughput_ops_s(),
+            dynamic_report.throughput_ops_s(),
+        )
     });
     let rows: Vec<Vec<String>> = results
         .iter()

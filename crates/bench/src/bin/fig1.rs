@@ -35,6 +35,10 @@ fn main() {
             &rows,
         );
     }
-    write_csv("fig1_memory_share.csv", "provider,instance,memory_share", &csv_rows);
+    write_csv(
+        "fig1_memory_share.csv",
+        "provider,instance,memory_share",
+        &csv_rows,
+    );
     println!("\nPaper band: memory is ~60-85% of the VM cost for these instances.");
 }

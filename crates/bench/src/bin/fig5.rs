@@ -16,7 +16,7 @@ const POINTS: usize = 9;
 fn panel(letter: char, title: &str, workloads: &[&str], csv: &mut Vec<String>) {
     println!("\n--- Fig. 5{letter}: {title} ---");
     let results = mnemo_bench::parallel(workloads.len(), |i| {
-        let spec = paper_workload(workloads[i]);
+        let spec = paper_workload(workloads[i]).unwrap_or_else(|e| panic!("{e}"));
         let trace = spec.generate(seed_for(&spec.name));
         let consultation = consult(StoreKind::Redis, &trace, OrderingKind::TouchOrder);
         let points = eval_points(StoreKind::Redis, &trace, &consultation, POINTS);
@@ -43,7 +43,12 @@ fn panel(letter: char, title: &str, workloads: &[&str], csv: &mut Vec<String>) {
             .collect();
         print_table(
             &format!("{name} (Redis, throughput vs memory cost)"),
-            &["cost (xFast)", "measured ops/s", "meas +% vs slow", "est +% vs slow"],
+            &[
+                "cost (xFast)",
+                "measured ops/s",
+                "meas +% vs slow",
+                "est +% vs slow",
+            ],
             &rows,
         );
     }
@@ -54,13 +59,28 @@ fn main() {
     let mut csv = Vec::new();
     let run = |l: char| arg.is_none() || arg.as_deref() == Some(&l.to_string());
     if run('a') {
-        panel('a', "key distribution", &["trending", "news feed", "timeline"], &mut csv);
+        panel(
+            'a',
+            "key distribution",
+            &["trending", "news feed", "timeline"],
+            &mut csv,
+        );
     }
     if run('b') {
-        panel('b', "read:write ratio", &["timeline", "edit thumbnail"], &mut csv);
+        panel(
+            'b',
+            "read:write ratio",
+            &["timeline", "edit thumbnail"],
+            &mut csv,
+        );
     }
     if run('c') {
-        panel('c', "record size", &["trending", "trending preview"], &mut csv);
+        panel(
+            'c',
+            "record size",
+            &["trending", "trending preview"],
+            &mut csv,
+        );
     }
     write_csv(
         "fig5_curves.csv",

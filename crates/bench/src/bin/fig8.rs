@@ -10,8 +10,7 @@ use kvsim::StoreKind;
 use mnemo::accuracy::{ErrorStats, EvalPoint};
 use mnemo::advisor::OrderingKind;
 use mnemo_bench::{
-    consult, eval_points, paper_workload, paper_workloads, print_table, seed_for, stores,
-    write_csv,
+    consult, eval_points, paper_workload, paper_workloads, print_table, seed_for, stores, write_csv,
 };
 
 const POINTS: usize = 9;
@@ -38,7 +37,9 @@ fn panel_a() {
             .config()
             .clone();
             config.cache_correction = Some(config.spec.cache.capacity_bytes);
-            mnemo::Advisor::new(config).consult(store, &trace).expect("consultation")
+            mnemo::Advisor::new(config)
+                .consult(store, &trace)
+                .expect("consultation")
         } else {
             consult(store, &trace, OrderingKind::TouchOrder)
         };
@@ -80,11 +81,17 @@ fn panel_a() {
         };
         print_table(
             &format!("absolute estimate error — {title}"),
-            &["store", "min", "q1", "median", "q3", "max", "bias", "points"],
+            &[
+                "store", "min", "q1", "median", "q3", "max", "bias", "points",
+            ],
             &rows,
         );
     }
-    write_csv("fig8a_error_boxplots.csv", "store,cache_aware,min,q1,median,q3,max,bias", &csv);
+    write_csv(
+        "fig8a_error_boxplots.csv",
+        "store,cache_aware,min,q1,median,q3,max,bias",
+        &csv,
+    );
     println!("Paper: 0.07% median error across all stores.");
     println!("The corrected variant deliberately under-credits LLC-resident keys, so its");
     println!("larger errors are pessimistic bias (positive = estimate below measurement):");
@@ -93,7 +100,7 @@ fn panel_a() {
 }
 
 fn trending_points(store: StoreKind) -> Vec<EvalPoint> {
-    let spec = paper_workload("trending");
+    let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec.generate(seed_for(&spec.name));
     let consultation = consult(store, &trace, OrderingKind::TouchOrder);
     eval_points(store, &trace, &consultation, POINTS)
@@ -126,13 +133,19 @@ fn panel_b() {
             &rows,
         );
     }
-    write_csv("fig8b_store_comparison.csv", "store,cost_reduction,measured_ops_s,estimated_ops_s", &csv);
+    write_csv(
+        "fig8b_store_comparison.csv",
+        "store,cost_reduction,measured_ops_s,estimated_ops_s",
+        &csv,
+    );
     println!("Paper ordering: DynamoDB most impacted, Memcached barely influenced.");
 }
 
 fn panel_c_d_e() {
-    println!("\n--- Fig. 8c/8d/8e: average latency estimate and measured tails (Trending, Redis) ---");
-    let spec = paper_workload("trending");
+    println!(
+        "\n--- Fig. 8c/8d/8e: average latency estimate and measured tails (Trending, Redis) ---"
+    );
+    let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec.generate(seed_for(&spec.name));
     let consultation = consult(StoreKind::Redis, &trace, OrderingKind::TouchOrder);
     let points = eval_points(StoreKind::Redis, &trace, &consultation, POINTS);
@@ -169,7 +182,16 @@ fn panel_c_d_e() {
         .collect();
     print_table(
         "latency (us): average measured vs estimated; tails measured vs mixture estimate",
-        &["cost (xFast)", "avg meas", "avg est", "err", "p95 meas", "p95 est*", "p99 meas", "p99 est*"],
+        &[
+            "cost (xFast)",
+            "avg meas",
+            "avg est",
+            "err",
+            "p95 meas",
+            "p95 est*",
+            "p99 meas",
+            "p99 est*",
+        ],
         &rows,
     );
     write_csv(
@@ -183,10 +205,14 @@ fn panel_c_d_e() {
 
 fn panel_f() {
     println!("\n--- Fig. 8f: Mnemo vs MnemoT estimate (Timeline: scrambled zipfian) ---");
-    let spec = paper_workload("timeline");
+    let spec = paper_workload("timeline").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec.generate(seed_for(&spec.name));
     let both = mnemo_bench::parallel(2, |i| {
-        let ordering = if i == 0 { OrderingKind::TouchOrder } else { OrderingKind::MnemoT };
+        let ordering = if i == 0 {
+            OrderingKind::TouchOrder
+        } else {
+            OrderingKind::MnemoT
+        };
         let consultation = consult(StoreKind::Redis, &trace, ordering);
         let points = eval_points(StoreKind::Redis, &trace, &consultation, POINTS);
         (ordering, points)
@@ -203,7 +229,10 @@ fn panel_f() {
             .map(|p| {
                 csv.push(format!(
                     "{name},{:.4},{:.1},{:.1},{:+.3}",
-                    p.cost_reduction, p.measured_ops_s, p.estimated_ops_s, p.error_pct()
+                    p.cost_reduction,
+                    p.measured_ops_s,
+                    p.estimated_ops_s,
+                    p.error_pct()
                 ));
                 vec![
                     format!("{:.2}", p.cost_reduction),
@@ -213,7 +242,11 @@ fn panel_f() {
                 ]
             })
             .collect();
-        print_table(name, &["cost (xFast)", "measured ops/s", "estimated ops/s", "error"], &rows);
+        print_table(
+            name,
+            &["cost (xFast)", "measured ops/s", "estimated ops/s", "error"],
+            &rows,
+        );
     }
     // MnemoT's tiering must dominate touch order at interior costs.
     let (_, mnemo) = &both[0];
@@ -226,7 +259,11 @@ fn panel_f() {
         mnemo[mid].measured_ops_s,
         (mnemot[mid].measured_ops_s / mnemo[mid].measured_ops_s - 1.0) * 100.0
     );
-    write_csv("fig8f_mnemot.csv", "variant,cost_reduction,measured_ops_s,estimated_ops_s,error_pct", &csv);
+    write_csv(
+        "fig8f_mnemot.csv",
+        "variant,cost_reduction,measured_ops_s,estimated_ops_s,error_pct",
+        &csv,
+    );
 }
 
 fn main() {

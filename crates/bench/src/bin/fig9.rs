@@ -10,15 +10,18 @@ const SLO_SLOWDOWN: f64 = 0.10;
 fn main() {
     println!("Fig. 9: cost reduction at a 10% slowdown SLO (p = 0.2 floor)");
     let workloads = paper_workloads();
-    let jobs: Vec<(usize, usize)> =
-        (0..stores().len()).flat_map(|s| (0..workloads.len()).map(move |w| (s, w))).collect();
+    let jobs: Vec<(usize, usize)> = (0..stores().len())
+        .flat_map(|s| (0..workloads.len()).map(move |w| (s, w)))
+        .collect();
     let results = mnemo_bench::parallel(jobs.len(), |i| {
         let (s, w) = jobs[i];
         let store = stores()[s];
         let spec = &workloads[w];
         let trace = spec.generate(seed_for(&spec.name));
         let consultation = consult(store, &trace, OrderingKind::MnemoT);
-        let rec = consultation.recommend(SLO_SLOWDOWN).expect("nonempty curve");
+        let rec = consultation
+            .recommend(SLO_SLOWDOWN)
+            .expect("nonempty curve");
         (s, w, rec)
     });
 
@@ -32,7 +35,11 @@ fn main() {
                 .find(|(rs, rw, _)| *rs == s && *rw == w)
                 .map(|(_, _, r)| r)
                 .expect("job result present");
-            row.push(format!("{:.2} ({:>3.0}% fast)", rec.cost_reduction, rec.fast_ratio * 100.0));
+            row.push(format!(
+                "{:.2} ({:>3.0}% fast)",
+                rec.cost_reduction,
+                rec.fast_ratio * 100.0
+            ));
             csv.push(format!(
                 "{},{},{:.4},{:.4},{:.4}",
                 spec.name, store, rec.cost_reduction, rec.fast_ratio, rec.est_slowdown
@@ -45,7 +52,11 @@ fn main() {
         &["workload", "Redis", "DynamoDB", "Memcached"],
         &rows,
     );
-    write_csv("fig9_cost_reduction.csv", "workload,store,cost_reduction,fast_ratio,est_slowdown", &csv);
+    write_csv(
+        "fig9_cost_reduction.csv",
+        "workload,store,cost_reduction,fast_ratio,est_slowdown",
+        &csv,
+    );
     println!("\nPaper shape: Memcached hits the 0.20 floor everywhere; Redis saves most on");
     println!("trending-style workloads; News Feed offers little; DynamoDB saves ~20-30% at best.");
 }

@@ -18,11 +18,15 @@ const POINTS: usize = 9;
 
 fn main() {
     println!("Model limits: in-memory store vs storage-engaged store (Trending)");
-    let spec = paper_workload("trending");
+    let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec.generate(seed_for(&spec.name));
 
     let results = mnemo_bench::parallel(2, |i| {
-        let store = if i == 0 { StoreKind::Redis } else { StoreKind::Rocks };
+        let store = if i == 0 {
+            StoreKind::Redis
+        } else {
+            StoreKind::Rocks
+        };
         let consultation = consult(store, &trace, OrderingKind::TouchOrder);
         let points = eval_points(store, &trace, &consultation, POINTS);
         let sensitivity = consultation.baselines.sensitivity();
@@ -53,7 +57,13 @@ fn main() {
     }
     print_table(
         "estimate error: target-class store vs storage-engaged store",
-        &["store", "fast-vs-slow gain", "median |err|", "q3", "max |err|"],
+        &[
+            "store",
+            "fast-vs-slow gain",
+            "median |err|",
+            "q3",
+            "max |err|",
+        ],
         &rows,
     );
     write_csv(

@@ -17,7 +17,7 @@ const DEPTHS: [u32; 4] = [1, 4, 16, 64];
 
 fn main() {
     println!("Pipelining: amortised fixed cost exposes memory time (Trending, Redis)");
-    let spec = paper_workload("trending");
+    let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec.generate(seed_for(&spec.name));
     let testbed = testbed_for(&trace);
 
@@ -36,8 +36,7 @@ fn main() {
         };
         let fast_report = run(Placement::AllFast);
         let slow_report = run(Placement::AllSlow);
-        let sensitivity =
-            fast_report.throughput_ops_s() / slow_report.throughput_ops_s() - 1.0;
+        let sensitivity = fast_report.throughput_ops_s() / slow_report.throughput_ops_s() - 1.0;
 
         // Feed the pipelined baselines through the normal Mnemo pipeline.
         let baselines = Baselines {
@@ -63,8 +62,9 @@ fn main() {
             ordering: OrderingKind::MnemoT,
             ..AdvisorConfig::default()
         });
-        let consultation =
-            advisor.consult_with_baselines(baselines, &trace).expect("consultation");
+        let consultation = advisor
+            .consult_with_baselines(baselines, &trace)
+            .expect("consultation");
         let rec = consultation.recommend(0.10).expect("curve nonempty");
         (depth, sensitivity, rec)
     });
@@ -88,7 +88,11 @@ fn main() {
         &["depth", "fast-vs-slow gain", "cost", "FastMem share"],
         &rows,
     );
-    write_csv("pipelining.csv", "depth,sensitivity,cost_reduction,fast_ratio", &csv);
+    write_csv(
+        "pipelining.csv",
+        "depth,sensitivity,cost_reduction,fast_ratio",
+        &csv,
+    );
     println!("\nReading: the paper's ~40% gap is an artifact of a synchronous client.");
     println!("Pipelined clients amortise the fixed cost, memory dominates, and the same");
     println!("SLO needs much more FastMem — cost sizing depends on the client model too.");

@@ -22,15 +22,17 @@ const POINTS: [(&str, f64, f64); 6] = [
 
 fn main() {
     println!("SlowMem technology sweep (Trending, Redis, 10% SLO, p = 0.2)");
-    let spec_w = paper_workload("trending");
+    let spec_w = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec_w.generate(seed_for(&spec_w.name));
 
     let results = mnemo_bench::parallel(POINTS.len(), |i| {
         let (label, b, l) = POINTS[i];
         let mut spec = HybridSpec::paper_testbed();
         spec.slow = TierSpec::derived(&spec.fast, b, l);
-        spec.cache.capacity_bytes =
-            spec.cache.capacity_bytes.min((trace.dataset_bytes() / 85).max(1 << 16));
+        spec.cache.capacity_bytes = spec
+            .cache
+            .capacity_bytes
+            .min((trace.dataset_bytes() / 85).max(1 << 16));
         let advisor = Advisor::new(AdvisorConfig {
             spec,
             noise: measurement_noise(3),
@@ -39,7 +41,9 @@ fn main() {
             ordering: OrderingKind::MnemoT,
             cache_correction: None,
         });
-        let consultation = advisor.consult(StoreKind::Redis, &trace).expect("consultation");
+        let consultation = advisor
+            .consult(StoreKind::Redis, &trace)
+            .expect("consultation");
         let rec = consultation.recommend(0.10).expect("curve nonempty");
         (label, b, l, consultation.baselines.sensitivity(), rec)
     });
@@ -54,11 +58,20 @@ fn main() {
             format!("{:.2}x", rec.cost_reduction),
             format!("{:.0}%", rec.fast_ratio * 100.0),
         ]);
-        csv.push(format!("{label},{b},{l},{sens:.5},{:.4},{:.4}", rec.cost_reduction, rec.fast_ratio));
+        csv.push(format!(
+            "{label},{b},{l},{sens:.5},{:.4},{:.4}",
+            rec.cost_reduction, rec.fast_ratio
+        ));
     }
     print_table(
         "cost at 10% SLO vs SlowMem speed",
-        &["technology", "factors", "fast-vs-slow gain", "cost", "FastMem share"],
+        &[
+            "technology",
+            "factors",
+            "fast-vs-slow gain",
+            "cost",
+            "FastMem share",
+        ],
         &rows,
     );
     write_csv(

@@ -11,7 +11,11 @@ fn main() {
         "Table I: testbed bandwidth and latency",
         &["", "FastMem", "SlowMem"],
         &[
-            vec!["Factor".into(), "B:1 L:1".into(), format!("B:{b:.2} L:{l:.2}")],
+            vec![
+                "Factor".into(),
+                "B:1 L:1".into(),
+                format!("B:{b:.2} L:{l:.2}"),
+            ],
             vec![
                 "Latency (ns)".into(),
                 format!("{:.1}", spec.fast.read_latency_ns),

@@ -27,6 +27,10 @@ fn main() {
     println!("\nSweep of R(p) over FastMem ratio:");
     for point in model.sweep(total, 11) {
         let ratio = point.fast_bytes as f64 / total as f64;
-        println!("  fast ratio {:4.1}% -> cost {:.3}x", ratio * 100.0, point.reduction_factor);
+        println!(
+            "  fast ratio {:4.1}% -> cost {:.3}x",
+            ratio * 100.0,
+            point.reduction_factor
+        );
     }
 }

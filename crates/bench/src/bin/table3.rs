@@ -19,7 +19,11 @@ fn main() {
                 }
             };
             let rf = w.read_fraction();
-            let ratio = format!("{}:{}", (rf * 100.0).round() as u32, ((1.0 - rf) * 100.0).round() as u32);
+            let ratio = format!(
+                "{}:{}",
+                (rf * 100.0).round() as u32,
+                ((1.0 - rf) * 100.0).round() as u32
+            );
             vec![
                 w.name.clone(),
                 w.distribution.name().to_string(),
@@ -33,7 +37,15 @@ fn main() {
         .collect();
     print_table(
         "Table III: custom YCSB workloads",
-        &["Workload", "Distribution", "R:W", "Record sizes", "Keys", "Requests", "Use case"],
+        &[
+            "Workload",
+            "Distribution",
+            "R:W",
+            "Record sizes",
+            "Keys",
+            "Requests",
+            "Use case",
+        ],
         &rows,
     );
 }

@@ -20,9 +20,12 @@ use std::time::Instant;
 
 fn main() {
     println!("Table IV: profiling overhead comparison (wall-clock on this host)");
-    let spec = paper_workload("timeline");
+    let spec = paper_workload("timeline").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec.generate(seed_for(&spec.name));
-    let engine = SensitivityEngine::new(testbed_for(&trace), hybridmem::clock::NoiseConfig::disabled());
+    let engine = SensitivityEngine::new(
+        testbed_for(&trace),
+        hybridmem::clock::NoiseConfig::disabled(),
+    );
 
     // MnemoT: two baseline executions + description-only tiering.
     let t0 = Instant::now();
@@ -53,7 +56,9 @@ fn main() {
     let training_time = t3.elapsed();
     let profiler = MlBaselineProfiler::new(MlBaselineModel::train(&samples));
     let t4 = Instant::now();
-    let inferred = profiler.profile(&engine, StoreKind::Redis, &trace).expect("inference");
+    let inferred = profiler
+        .profile(&engine, StoreKind::Redis, &trace)
+        .expect("inference");
     let tahoe_profile_time = t4.elapsed();
     let real = engine.measure(StoreKind::Redis, &trace).expect("reference");
     let infer_err =
@@ -62,7 +67,12 @@ fn main() {
     let ms = |d: std::time::Duration| format!("{:.1} ms", d.as_secs_f64() * 1e3);
     print_table(
         "profiling step timings",
-        &["profiling step", "MnemoT", "instrumented (X-Mem-like)", "ML-baseline (Tahoe-like)"],
+        &[
+            "profiling step",
+            "MnemoT",
+            "instrumented (X-Mem-like)",
+            "ML-baseline (Tahoe-like)",
+        ],
         &[
             vec![
                 "input preparation".into(),
@@ -74,18 +84,30 @@ fn main() {
                 "performance baselines".into(),
                 format!("2 runs: {}", ms(baseline_time)),
                 format!("2 runs: {}", ms(baseline_time)),
-                format!("1 run + infer: {} (err {:.1}%)", ms(tahoe_profile_time), infer_err),
+                format!(
+                    "1 run + infer: {} (err {:.1}%)",
+                    ms(tahoe_profile_time),
+                    infer_err
+                ),
             ],
             vec![
                 "training data".into(),
                 "none".into(),
                 "none".into(),
-                format!("{} ({} workloads x 2 runs)", ms(training_time), train_traces.len()),
+                format!(
+                    "{} ({} workloads x 2 runs)",
+                    ms(training_time),
+                    train_traces.len()
+                ),
             ],
             vec![
                 "tiering calculation".into(),
                 ms(tiering_time),
-                format!("{} ({:.0}x events/request)", ms(instr_time), instrumented.amplification),
+                format!(
+                    "{} ({:.0}x events/request)",
+                    ms(instr_time),
+                    instrumented.amplification
+                ),
                 ms(tiering_time),
             ],
         ],
@@ -93,21 +115,26 @@ fn main() {
     let speedup = instr_time.as_secs_f64() / tiering_time.as_secs_f64().max(1e-9);
     let agreement = head_agreement(&trace, (trace.keys() / 5) as usize);
     println!("\nMnemoT tiering is {speedup:.0}x faster than instrumented profiling while agreeing");
-    println!("on {:.0}% of the hot head (top 20% of keys).", agreement * 100.0);
+    println!(
+        "on {:.0}% of the hot head (top 20% of keys).",
+        agreement * 100.0
+    );
     write_csv(
         "table4_overhead.csv",
         "step,mnemot_ms,instrumented_ms,tahoe_ms",
-        &[format!(
-            "tiering,{:.3},{:.3},{:.3}",
-            tiering_time.as_secs_f64() * 1e3,
-            instr_time.as_secs_f64() * 1e3,
-            tiering_time.as_secs_f64() * 1e3
-        ),
-        format!(
-            "baselines,{:.3},{:.3},{:.3}",
-            baseline_time.as_secs_f64() * 1e3,
-            baseline_time.as_secs_f64() * 1e3,
-            (training_time + tahoe_profile_time).as_secs_f64() * 1e3
-        )],
+        &[
+            format!(
+                "tiering,{:.3},{:.3},{:.3}",
+                tiering_time.as_secs_f64() * 1e3,
+                instr_time.as_secs_f64() * 1e3,
+                tiering_time.as_secs_f64() * 1e3
+            ),
+            format!(
+                "baselines,{:.3},{:.3},{:.3}",
+                baseline_time.as_secs_f64() * 1e3,
+                baseline_time.as_secs_f64() * 1e3,
+                (training_time + tahoe_profile_time).as_secs_f64() * 1e3
+            ),
+        ],
     );
 }

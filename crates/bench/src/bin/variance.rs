@@ -14,7 +14,7 @@ const POINTS: usize = 5;
 
 fn main() {
     println!("Measurement variance across {RUNS} independently-jittered runs (Trending, Redis)");
-    let spec = paper_workload("trending");
+    let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec.generate(seed_for(&spec.name));
     let consultation = consult(StoreKind::Redis, &trace, OrderingKind::TouchOrder);
 
@@ -54,7 +54,11 @@ fn main() {
         &["cost (xFast)", "mean ops/s", "sd", "cv", "mean |err|"],
         &rows,
     );
-    write_csv("variance.csv", "cost_reduction,mean_ops_s,sd_ops_s,mean_abs_err_pct", &csv);
+    write_csv(
+        "variance.csv",
+        "cost_reduction,mean_ops_s,sd_ops_s,mean_abs_err_pct",
+        &csv,
+    );
     println!("\nWith 2% per-request jitter over 100k requests, run-to-run throughput");
     println!("variation is tiny (law of large numbers), which is why the paper can");
     println!("report a 0.07% median estimate error from physical measurements.");

@@ -30,15 +30,18 @@ fn main() {
         })
         .collect();
 
-    let jobs: Vec<(usize, usize)> =
-        (0..stores().len()).flat_map(|s| (0..suite.len()).map(move |w| (s, w))).collect();
+    let jobs: Vec<(usize, usize)> = (0..stores().len())
+        .flat_map(|s| (0..suite.len()).map(move |w| (s, w)))
+        .collect();
     let results = mnemo_bench::parallel(jobs.len(), |i| {
         let (s, w) = jobs[i];
         let spec = &suite[w];
         let trace = spec.generate(seed_for(&spec.name));
         let consultation = consult(stores()[s], &trace, OrderingKind::MnemoT);
         let sensitivity = consultation.baselines.sensitivity();
-        let rec = consultation.recommend(SLO_SLOWDOWN).expect("nonempty curve");
+        let rec = consultation
+            .recommend(SLO_SLOWDOWN)
+            .expect("nonempty curve");
         (s, w, sensitivity, rec)
     });
 
@@ -56,7 +59,11 @@ fn main() {
                 .iter()
                 .find(|(rs, rw, _, _)| *rs == s && *rw == w)
                 .expect("result present");
-            row.push(format!("{:+.0}% / {:.2}x", sens * 100.0, rec.cost_reduction));
+            row.push(format!(
+                "{:+.0}% / {:.2}x",
+                sens * 100.0,
+                rec.cost_reduction
+            ));
             csv.push(format!(
                 "{},{},{:.4},{:.4},{:.4}",
                 spec.name, store, sens, rec.cost_reduction, rec.fast_ratio
@@ -66,10 +73,21 @@ fn main() {
     }
     print_table(
         "per store: Fast-vs-Slow sensitivity / cost at 10% SLO",
-        &["workload", "distribution", "mix", "Redis", "DynamoDB", "Memcached"],
+        &[
+            "workload",
+            "distribution",
+            "mix",
+            "Redis",
+            "DynamoDB",
+            "Memcached",
+        ],
         &rows,
     );
-    write_csv("ycsb_core.csv", "workload,store,sensitivity,cost_reduction,fast_ratio", &csv);
+    write_csv(
+        "ycsb_core.csv",
+        "workload,store,sensitivity,cost_reduction,fast_ratio",
+        &csv,
+    );
     println!("\nExpected shape: read-only C is the most savings-friendly zipfian workload;");
     println!("update-heavy A and RMW-heavy F are damped by write traffic; scan-heavy E");
     println!("streams large ranges and behaves like a read-only workload with a flatter");

@@ -23,7 +23,11 @@ use ycsb::{Trace, WorkloadSpec};
 /// harness honours `MNEMO_SCALE` (a divisor, default 1) so CI can run a
 /// reduced sweep: scale 10 → 1,000 keys / 10,000 requests.
 pub fn scale_divisor() -> u64 {
-    std::env::var("MNEMO_SCALE").ok().and_then(|s| s.parse().ok()).filter(|&d| d >= 1).unwrap_or(1)
+    std::env::var("MNEMO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&d| d >= 1)
+        .unwrap_or(1)
 }
 
 /// The Table III workloads at harness scale.
@@ -39,12 +43,19 @@ pub fn paper_workloads() -> Vec<WorkloadSpec> {
         .collect()
 }
 
-/// One named workload at harness scale.
-pub fn paper_workload(name: &str) -> WorkloadSpec {
-    paper_workloads()
-        .into_iter()
-        .find(|w| w.name == name)
-        .unwrap_or_else(|| panic!("unknown workload {name}"))
+/// One named workload at harness scale. Unknown names report the
+/// available set instead of panicking, so experiment binaries can fail
+/// with an actionable message.
+pub fn paper_workload(name: &str) -> Result<WorkloadSpec, String> {
+    let all = paper_workloads();
+    if let Some(w) = all.iter().find(|w| w.name == name) {
+        return Ok(w.clone());
+    }
+    let available: Vec<&str> = all.iter().map(|w| w.name.as_str()).collect();
+    Err(format!(
+        "unknown workload '{name}' (available: {})",
+        available.join(", ")
+    ))
 }
 
 /// The measurement testbed: the paper's Table I spec with the LLC scaled
@@ -112,12 +123,15 @@ pub fn parallel<T: Send, F: Fn(usize) -> T + Sync>(jobs: usize, f: F) -> Vec<T> 
         }
     })
     .expect("experiment job panicked");
-    out.into_iter().map(|o| o.expect("job produced no result")).collect()
+    out.into_iter()
+        .map(|o| o.expect("job produced no result"))
+        .collect()
 }
 
 /// Where experiment CSVs land.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(std::env::var("MNEMO_OUT").unwrap_or_else(|_| "target/experiments".into()));
+    let dir =
+        PathBuf::from(std::env::var("MNEMO_OUT").unwrap_or_else(|_| "target/experiments".into()));
     fs::create_dir_all(&dir).expect("cannot create experiment output dir");
     dir
 }
@@ -152,8 +166,18 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -166,7 +190,9 @@ pub fn stores() -> [StoreKind; 3] {
 
 /// Deterministic per-workload seed.
 pub fn seed_for(name: &str) -> u64 {
-    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 #[cfg(test)]
@@ -179,8 +205,19 @@ mod tests {
     }
 
     #[test]
+    fn unknown_workload_lists_the_available_names() {
+        let err = paper_workload("frobnicate").unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+        assert!(err.contains("available:"), "{err}");
+        assert!(err.contains("trending"), "{err}");
+    }
+
+    #[test]
     fn testbed_keeps_cache_proportion() {
-        let t = paper_workload("trending").scaled(100, 500).generate(1);
+        let t = paper_workload("trending")
+            .unwrap()
+            .scaled(100, 500)
+            .generate(1);
         let spec = testbed_for(&t);
         assert!(spec.cache.capacity_bytes <= t.dataset_bytes() / 85 + (1 << 16));
     }

@@ -22,7 +22,9 @@ impl Parsed {
         while let Some(token) = iter.next() {
             if let Some(name) = token.strip_prefix("--").or_else(|| token.strip_prefix('-')) {
                 let value = match iter.peek() {
-                    Some(next) if !next.starts_with('-') => iter.next().cloned().unwrap_or_default(),
+                    Some(next) if !next.starts_with('-') => {
+                        iter.next().cloned().unwrap_or_default()
+                    }
                     _ => String::new(),
                 };
                 parsed.options.insert(name.to_string(), value);
@@ -57,16 +59,19 @@ impl Parsed {
     /// Numeric option with a default.
     pub fn number_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.options.get(name) {
-            Some(v) if !v.is_empty() => {
-                v.parse().map_err(|_| format!("option --{name}: '{v}' is not a valid number"))
-            }
+            Some(v) if !v.is_empty() => v
+                .parse()
+                .map_err(|_| format!("option --{name}: '{v}' is not a valid number")),
             _ => Ok(default),
         }
     }
 
     /// First positional argument after the subcommand.
     pub fn positional_required(&self, what: &str) -> Result<&str, String> {
-        self.positional.first().map(String::as_str).ok_or_else(|| format!("missing {what}"))
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
     }
 }
 
@@ -80,7 +85,15 @@ mod tests {
 
     #[test]
     fn positionals_and_options_split() {
-        let p = parse(&["consult", "file.trace", "--store", "redis", "--cache-aware", "-o", "x"]);
+        let p = parse(&[
+            "consult",
+            "file.trace",
+            "--store",
+            "redis",
+            "--cache-aware",
+            "-o",
+            "x",
+        ]);
         assert_eq!(p.positional, vec!["consult", "file.trace"]);
         assert_eq!(p.get_or("store", "?"), "redis");
         assert!(p.flag("cache-aware"));

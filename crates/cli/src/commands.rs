@@ -4,7 +4,9 @@ use crate::args::Parsed;
 use cloudcost::{Provider, ProviderKind};
 use kvsim::StoreKind;
 use mnemo::advisor::{Advisor, AdvisorConfig, Consultation, OrderingKind};
+use mnemo::sensitivity::SensitivityEngine;
 use mnemo::ModelKind;
+use mnemo_stream::{Drift, DriftConfig, OnlineAdvisor, Readvice, StreamConfig};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -25,7 +27,9 @@ fn parse_store(s: &str) -> Result<StoreKind, String> {
         "redis" => Ok(StoreKind::Redis),
         "memcached" => Ok(StoreKind::Memcached),
         "dynamo" | "dynamodb" => Ok(StoreKind::Dynamo),
-        other => Err(format!("unknown store '{other}' (redis|memcached|dynamodb)")),
+        other => Err(format!(
+            "unknown store '{other}' (redis|memcached|dynamodb)"
+        )),
     }
 }
 
@@ -121,7 +125,10 @@ fn parse_config(parsed: &Parsed) -> Result<(StoreKind, f64, AdvisorConfig), Stri
     Ok((store, slo, config))
 }
 
-fn consultation_from(parsed: &Parsed, trace: &Trace) -> Result<(StoreKind, f64, Consultation), String> {
+fn consultation_from(
+    parsed: &Parsed,
+    trace: &Trace,
+) -> Result<(StoreKind, f64, Consultation), String> {
     let (store, slo, config) = parse_config(parsed)?;
     let consultation = Advisor::new(config)
         .consult(store, trace)
@@ -185,6 +192,106 @@ pub fn consult(parsed: &mut Parsed) -> Result<String, String> {
     Ok(out)
 }
 
+fn drift_label(drift: &Drift) -> String {
+    match drift {
+        Drift::Initial => "initial epoch".into(),
+        Drift::Theta { from, to } => format!("skew drift (theta {from:.2} -> {to:.2})"),
+        Drift::HotSet { overlap } => {
+            format!("hot-set rotation ({:.0}% overlap)", overlap * 100.0)
+        }
+        Drift::Stable => "stable".into(),
+    }
+}
+
+/// `mnemo watch <trace> [--epoch N] [--budget-kib N] + consult options`
+pub fn watch(parsed: &mut Parsed) -> Result<String, String> {
+    let path = parsed.positional_required("trace file")?.to_string();
+    let (store, slo, config) = parse_config(parsed)?;
+    let epoch_len: u64 = parsed.number_or("epoch", DriftConfig::default().epoch_len)?;
+    if epoch_len == 0 {
+        return Err("--epoch must be >= 1".into());
+    }
+    let budget_kib: usize = parsed.number_or("budget-kib", 64usize)?;
+    if budget_kib < 4 {
+        return Err("--budget-kib must be >= 4 (no useful summary fits below that)".into());
+    }
+    let trace = load_trace(&path)?;
+
+    // The Sensitivity Engine's two baseline runs happen once, up front;
+    // from then on the stream profiler carries the whole pipeline.
+    let baselines = SensitivityEngine::new(config.spec.clone(), config.noise)
+        .measure(store, &trace)
+        .map_err(|e| format!("baseline measurement failed: {e}"))?;
+    let mut stream_config = StreamConfig::with_budget_bytes(budget_kib * 1024);
+    stream_config.drift.epoch_len = epoch_len;
+    let mut online = OnlineAdvisor::new(stream_config, Advisor::new(config), baselines, slo);
+
+    // Replay the trace through a live server, tapping every served
+    // request into the online advisor — the same hook a production
+    // deployment would use.
+    let mut advice: Vec<Readvice> = Vec::new();
+    let mut server = kvsim::Server::build(store, &trace, kvsim::Placement::AllFast)
+        .map_err(|e| format!("cannot build server: {e}"))?;
+    let report = server.run_with_tap(&trace, &mut |event| {
+        advice.extend(online.on_event(&event));
+    });
+    let mut final_forced = false;
+    if advice.is_empty() {
+        // Stream shorter than one epoch: advise from what we saw.
+        advice.push(online.readvise(Drift::Initial));
+        final_forced = true;
+    }
+
+    let mut out = String::new();
+    let profiler = online.profiler();
+    let _ = writeln!(
+        out,
+        "watched '{}' on {}: {} requests at {:.0} ops/s",
+        trace.name,
+        store,
+        report.requests,
+        report.throughput_ops_s()
+    );
+    let _ = writeln!(
+        out,
+        "profiler: {:.1} KiB of {budget_kib} KiB budget, ~{} distinct keys, epochs of {epoch_len} events",
+        profiler.memory_bytes() as f64 / 1024.0,
+        profiler.distinct_keys(),
+    );
+    let _ = writeln!(
+        out,
+        "consultations: {} (re-advising only on drift)\n",
+        online.consultations()
+    );
+    for a in &advice {
+        let at = if final_forced {
+            "stream end".to_string()
+        } else {
+            format!("event {}", a.at_event)
+        };
+        match &a.recommendation {
+            Some(rec) => {
+                let _ = writeln!(
+                    out,
+                    "  {at}: {} -> {:.1}% FastMem bytes, cost {:.2}x, est slowdown {:.1}%",
+                    drift_label(&a.trigger),
+                    rec.fast_ratio * 100.0,
+                    rec.cost_reduction,
+                    rec.est_slowdown * 100.0
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  {at}: {} -> no recommendation",
+                    drift_label(&a.trigger)
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// `mnemo analyze <trace>`
 pub fn analyze(parsed: &mut Parsed) -> Result<String, String> {
     let path = parsed.positional_required("trace file")?.to_string();
@@ -199,18 +306,42 @@ pub fn analyze(parsed: &mut Parsed) -> Result<String, String> {
         trace.len(),
         trace.dataset_bytes() as f64 / 1e6
     );
-    let _ = writeln!(out, "  read fraction:      {:.1}%", trace.read_fraction() * 100.0);
-    let _ = writeln!(out, "  hottest 10% mass:   {:.1}%", report.hot10_mass * 100.0);
-    let _ = writeln!(out, "  hottest 20% mass:   {:.1}%", report.hot20_mass * 100.0);
-    let _ = writeln!(out, "  hottest 50% mass:   {:.1}%", report.hot50_mass * 100.0);
+    let _ = writeln!(
+        out,
+        "  read fraction:      {:.1}%",
+        trace.read_fraction() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  hottest 10% mass:   {:.1}%",
+        report.hot10_mass * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  hottest 20% mass:   {:.1}%",
+        report.hot20_mass * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  hottest 50% mass:   {:.1}%",
+        report.hot50_mass * 100.0
+    );
     let _ = writeln!(out, "  gini coefficient:   {:.3}", report.gini);
     if let Some(theta) = report.zipf_theta {
         let _ = writeln!(out, "  fitted zipf theta:  {theta:.2}");
     }
-    let _ = writeln!(out, "  untouched keys:     {:.1}%", report.untouched_fraction * 100.0);
+    let _ = writeln!(
+        out,
+        "  untouched keys:     {:.1}%",
+        report.untouched_fraction * 100.0
+    );
     let suggestion = report.suggest_distribution();
-    let _ = writeln!(out, "
-  synthetic equivalent: {} ({suggestion:?})", suggestion.name());
+    let _ = writeln!(
+        out,
+        "
+  synthetic equivalent: {} ({suggestion:?})",
+        suggestion.name()
+    );
     Ok(out)
 }
 
@@ -246,8 +377,10 @@ pub fn plan(parsed: &mut Parsed) -> Result<String, String> {
 
     // Scale the recommended ratio to the deployment size (default: the
     // dataset itself).
-    let deploy_gib: f64 =
-        parsed.number_or("deploy-gib", trace.dataset_bytes() as f64 / (1u64 << 30) as f64)?;
+    let deploy_gib: f64 = parsed.number_or(
+        "deploy-gib",
+        trace.dataset_bytes() as f64 / (1u64 << 30) as f64,
+    )?;
     let total = (deploy_gib * (1u64 << 30) as f64) as u64;
     let fast = (total as f64 * rec.fast_ratio) as u64;
     let slow = total - fast;

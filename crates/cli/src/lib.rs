@@ -40,6 +40,11 @@ COMMANDS:
       --cache-aware                      enable the LLC correction
       --csv <file>                       write the estimate curve CSV
       --report <file>                    write a Markdown report
+  watch <trace-file>             replay the trace through a live server and
+      profile it as a stream in O(k) memory, re-advising on workload drift
+      --epoch N                          events per drift epoch (default 50000)
+      --budget-kib N                     profiler memory budget (default 64)
+      plus consult's --store/--slo/--price/--ordering/--model options
   analyze <trace-file>           skew statistics + synthetic equivalent
   downsample <trace-file> --factor N -o <file>
       randomly downsize a trace (distribution-preserving)
@@ -66,6 +71,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "workloads" => commands::workloads(),
         "generate" => commands::generate(&mut parsed),
         "consult" => commands::consult(&mut parsed),
+        "watch" => commands::watch(&mut parsed),
         "analyze" => commands::analyze(&mut parsed),
         "downsample" => commands::downsample(&mut parsed),
         "plan" => commands::plan(&mut parsed),
@@ -114,7 +120,15 @@ mod tests {
         let sample = dir.join("s.trace");
 
         let out = run(&argv(&[
-            "generate", "trending", "--keys", "200", "--requests", "2000", "--seed", "5", "-o",
+            "generate",
+            "trending",
+            "--keys",
+            "200",
+            "--requests",
+            "2000",
+            "--seed",
+            "5",
+            "-o",
             trace.to_str().unwrap(),
         ]))
         .unwrap();
@@ -160,6 +174,54 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("n1-"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_profiles_a_stream_and_advises() {
+        let dir = std::env::temp_dir().join(format!("mnemo-cli-watch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("w.trace");
+        run(&argv(&[
+            "generate",
+            "trending",
+            "--keys",
+            "300",
+            "--requests",
+            "9000",
+            "--seed",
+            "3",
+            "-o",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let out = run(&argv(&[
+            "watch",
+            trace.to_str().unwrap(),
+            "--epoch",
+            "3000",
+            "--slo",
+            "0.10",
+        ]))
+        .unwrap();
+        assert!(out.contains("profiler:"), "{out}");
+        assert!(out.contains("initial epoch"), "{out}");
+        assert!(out.contains("FastMem bytes"), "{out}");
+
+        // Shorter than one epoch: the stream-end consultation covers it.
+        let out = run(&argv(&["watch", trace.to_str().unwrap()])).unwrap();
+        assert!(out.contains("stream end"), "{out}");
+
+        let err = run(&argv(&[
+            "watch",
+            trace.to_str().unwrap(),
+            "--budget-kib",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("budget"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -66,7 +66,10 @@ impl CostModel {
 
     /// `R(p)` for a FastMem capacity *ratio* in `[0, 1]`.
     pub fn reduction_for_ratio(&self, fast_ratio: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&fast_ratio), "ratio {fast_ratio} out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&fast_ratio),
+            "ratio {fast_ratio} out of [0,1]"
+        );
         fast_ratio + (1.0 - fast_ratio) * self.price_factor
     }
 

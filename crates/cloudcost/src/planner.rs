@@ -57,7 +57,10 @@ impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlanError::NoInstanceFits { gib, largest } => {
-                write!(f, "no instance fits {gib:.1} GiB (largest is {largest:.1} GiB)")
+                write!(
+                    f,
+                    "no instance fits {gib:.1} GiB (largest is {largest:.1} GiB)"
+                )
             }
             PlanError::Fit(e) => write!(f, "catalogue fit failed: {e}"),
         }
@@ -130,7 +133,12 @@ pub fn plan(
         None
     };
 
-    Ok(VmPlan { dram_instance, nvm_instance, hourly_usd: hourly, dram_only_hourly_usd: dram_only_hourly })
+    Ok(VmPlan {
+        dram_instance,
+        nvm_instance,
+        hourly_usd: hourly,
+        dram_only_hourly_usd: dram_only_hourly,
+    })
 }
 
 #[cfg(test)]
@@ -170,7 +178,11 @@ mod tests {
                 plan.hourly_usd,
                 plan.dram_only_hourly_usd
             );
-            assert!(plan.savings() > 0.15, "{kind:?}: savings {:.3}", plan.savings());
+            assert!(
+                plan.savings() > 0.15,
+                "{kind:?}: savings {:.3}",
+                plan.savings()
+            );
             assert!(plan.nvm_instance.is_some());
         }
     }

@@ -34,7 +34,10 @@ impl std::fmt::Display for FitError {
         match self {
             FitError::TooFewInstances => write!(f, "need at least two instances to fit"),
             FitError::Degenerate => {
-                write!(f, "instance shapes are collinear; cannot separate vCPU and GB rates")
+                write!(
+                    f,
+                    "instance shapes are collinear; cannot separate vCPU and GB rates"
+                )
             }
         }
     }
@@ -77,7 +80,11 @@ impl CostSplit {
         }
         let rms_relative_error = (sq / instances.len() as f64).sqrt();
 
-        Ok(CostSplit { per_vcpu, per_gb, rms_relative_error })
+        Ok(CostSplit {
+            per_vcpu,
+            per_gb,
+            rms_relative_error,
+        })
     }
 
     /// Predicted hourly price of an instance under this split.
@@ -112,14 +119,15 @@ pub struct MemoryShareRow {
 /// Compute the Fig. 1 series for a provider: fit the split over the whole
 /// catalogue, then report the memory share of every memory-optimized
 /// instance.
-pub fn memory_share_series(
-    instances: &[Instance],
-) -> Result<Vec<MemoryShareRow>, FitError> {
+pub fn memory_share_series(instances: &[Instance]) -> Result<Vec<MemoryShareRow>, FitError> {
     let split = CostSplit::fit(instances)?;
     Ok(instances
         .iter()
         .filter(|i| i.memory_optimized)
-        .map(|i| MemoryShareRow { instance: i.name, share: split.memory_share(i) })
+        .map(|i| MemoryShareRow {
+            instance: i.name,
+            share: split.memory_share(i),
+        })
         .collect())
 }
 
@@ -202,7 +210,10 @@ mod tests {
                 fit.rms_relative_error
             );
             assert!(fit.per_gb > 0.0, "{kind:?}: per-GB rate must be positive");
-            assert!(fit.per_vcpu > 0.0, "{kind:?}: per-vCPU rate must be positive");
+            assert!(
+                fit.per_vcpu > 0.0,
+                "{kind:?}: per-vCPU rate must be positive"
+            );
         }
     }
 

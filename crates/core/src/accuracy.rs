@@ -152,18 +152,25 @@ mod tests {
         // entire hot set and distort both measurement and estimate.
         config.spec.cache.capacity_bytes = trace.dataset_bytes() / 85;
         config.noise = if noise_sigma > 0.0 {
-            NoiseConfig { relative_sigma: noise_sigma, seed: 1 }
+            NoiseConfig {
+                relative_sigma: noise_sigma,
+                seed: 1,
+            }
         } else {
             NoiseConfig::disabled()
         };
-        let consultation =
-            Advisor::new(config.clone()).consult(StoreKind::Redis, &trace).unwrap();
+        let consultation = Advisor::new(config.clone())
+            .consult(StoreKind::Redis, &trace)
+            .unwrap();
         evaluate(
             StoreKind::Redis,
             &trace,
             &consultation,
             &config.spec,
-            NoiseConfig { relative_sigma: noise_sigma, seed: 99 },
+            NoiseConfig {
+                relative_sigma: noise_sigma,
+                seed: 99,
+            },
             7,
         )
         .unwrap()
@@ -192,7 +199,12 @@ mod tests {
     fn latency_estimate_tracks_measurement() {
         let points = eval(0.0);
         for p in &points {
-            assert!(p.latency_error_pct().abs() < 5.0, "prefix {}: {}", p.prefix, p.latency_error_pct());
+            assert!(
+                p.latency_error_pct().abs() < 5.0,
+                "prefix {}: {}",
+                p.prefix,
+                p.latency_error_pct()
+            );
             // Tails are above the average.
             assert!(p.measured_tail_ns.1 >= p.measured_tail_ns.0);
             assert!(p.measured_tail_ns.0 >= p.measured_avg_latency_ns * 0.5);

@@ -126,14 +126,21 @@ impl Consultation {
             fast_ratio: row.fast_bytes as f64 / total as f64,
             cost_reduction: row.cost_reduction,
             est_throughput_ops_s: row.est_throughput_ops_s,
-            est_slowdown: if best > 0.0 { 1.0 - row.est_throughput_ops_s / best } else { 0.0 },
+            est_slowdown: if best > 0.0 {
+                1.0 - row.est_throughput_ops_s / best
+            } else {
+                0.0
+            },
         })
     }
 
     /// The cost/performance frontier for several SLOs at once: one
     /// recommendation per slowdown budget, in the given order.
     pub fn frontier(&self, slowdowns: &[f64]) -> Vec<Recommendation> {
-        slowdowns.iter().filter_map(|&s| self.recommend(s)).collect()
+        slowdowns
+            .iter()
+            .filter_map(|&s| self.recommend(s))
+            .collect()
     }
 
     /// Re-price the curve for a different SlowMem price factor `p`
@@ -144,8 +151,7 @@ impl Consultation {
         let cost = CostModel::new(price_factor);
         let mut curve = self.curve.clone();
         for row in &mut curve.rows {
-            row.cost_reduction =
-                cost.reduction(row.fast_bytes, curve.total_bytes - row.fast_bytes);
+            row.cost_reduction = cost.reduction(row.fast_bytes, curve.total_bytes - row.fast_bytes);
         }
         curve
     }
@@ -185,7 +191,11 @@ impl Consultation {
             fast_ratio: row.fast_bytes as f64 / total as f64,
             cost_reduction: row.cost_reduction,
             est_throughput_ops_s: row.est_throughput_ops_s,
-            est_slowdown: if best > 0.0 { 1.0 - row.est_throughput_ops_s / best } else { 0.0 },
+            est_slowdown: if best > 0.0 {
+                1.0 - row.est_throughput_ops_s / best
+            } else {
+                0.0
+            },
         })
     }
 }
@@ -240,7 +250,14 @@ impl Advisor {
         )?;
         let measured = server.run(trace).throughput_ops_s();
         let best = consultation.baselines.fast.throughput_ops_s();
-        Ok((measured, if best > 0.0 { 1.0 - measured / best } else { 0.0 }))
+        Ok((
+            measured,
+            if best > 0.0 {
+                1.0 - measured / best
+            } else {
+                0.0
+            },
+        ))
     }
 
     /// Run the pipeline from pre-measured baselines (lets callers reuse
@@ -250,20 +267,39 @@ impl Advisor {
         baselines: Baselines,
         trace: &Trace,
     ) -> Result<Consultation, EngineError> {
-        let pattern = PatternEngine::analyze(trace);
+        self.consult_with_pattern(baselines, PatternEngine::analyze(trace))
+    }
+
+    /// Run the pipeline from pre-measured baselines and an externally
+    /// supplied pattern — the entry point for *streaming* profilers,
+    /// which hold no trace, only sketch-reconstructed per-key statistics
+    /// ([`PatternEngine::from_stats`]). The per-key sizes the estimation
+    /// model fits against come from the pattern itself.
+    pub fn consult_with_pattern(
+        &self,
+        baselines: Baselines,
+        pattern: PatternEngine,
+    ) -> Result<Consultation, EngineError> {
         let order = match self.config.ordering {
             OrderingKind::TouchOrder => pattern.touch_order().to_vec(),
             OrderingKind::Hotness => pattern.hotness_order(),
             OrderingKind::MnemoT => MnemoT::weight_order(&pattern),
         };
-        let model = PerfModel::fit(self.config.model, &baselines, &trace.sizes);
+        let sizes: Vec<u64> = pattern.stats().iter().map(|s| s.bytes).collect();
+        let model = PerfModel::fit(self.config.model, &baselines, &sizes);
         let mut estimator =
             EstimateEngine::new(model.clone(), CostModel::new(self.config.price_factor));
         if let Some(llc) = self.config.cache_correction {
             estimator = estimator.with_cache_correction(llc);
         }
         let curve = estimator.curve(&pattern, &order);
-        Ok(Consultation { baselines, pattern, model, order, curve })
+        Ok(Consultation {
+            baselines,
+            pattern,
+            model,
+            order,
+            curve,
+        })
     }
 }
 
@@ -274,23 +310,35 @@ mod tests {
 
     fn consult(store: StoreKind, spec: WorkloadSpec) -> Consultation {
         let trace = spec.generate(12);
-        Advisor::new(AdvisorConfig::default()).consult(store, &trace).unwrap()
+        Advisor::new(AdvisorConfig::default())
+            .consult(store, &trace)
+            .unwrap()
     }
 
     #[test]
     fn trending_allows_large_savings_on_redis() {
-        let c = consult(StoreKind::Redis, WorkloadSpec::trending().scaled(300, 4_000));
+        let c = consult(
+            StoreKind::Redis,
+            WorkloadSpec::trending().scaled(300, 4_000),
+        );
         let rec = c.recommend(0.10).unwrap();
         // The paper's headline: hot-set workloads reach well under half
         // of the FastMem-only cost within a 10% slowdown.
-        assert!(rec.cost_reduction < 0.6, "cost reduction {:.3}", rec.cost_reduction);
+        assert!(
+            rec.cost_reduction < 0.6,
+            "cost reduction {:.3}",
+            rec.cost_reduction
+        );
         assert!(rec.est_slowdown <= 0.10 + 1e-9);
         assert!(rec.fast_ratio < 0.5, "fast ratio {:.3}", rec.fast_ratio);
     }
 
     #[test]
     fn memcached_runs_fully_on_slowmem() {
-        let c = consult(StoreKind::Memcached, WorkloadSpec::trending().scaled(300, 4_000));
+        let c = consult(
+            StoreKind::Memcached,
+            WorkloadSpec::trending().scaled(300, 4_000),
+        );
         let rec = c.recommend(0.10).unwrap();
         // Fig. 9: memcached is non-sensitive -> maximum savings (the 0.2
         // floor).
@@ -304,7 +352,9 @@ mod tests {
     #[test]
     fn dynamo_needs_more_fastmem_than_redis() {
         let spec = WorkloadSpec::timeline().scaled(300, 4_000);
-        let redis = consult(StoreKind::Redis, spec.clone()).recommend(0.10).unwrap();
+        let redis = consult(StoreKind::Redis, spec.clone())
+            .recommend(0.10)
+            .unwrap();
         let dynamo = consult(StoreKind::Dynamo, spec).recommend(0.10).unwrap();
         assert!(
             dynamo.cost_reduction > redis.cost_reduction,
@@ -316,10 +366,16 @@ mod tests {
 
     #[test]
     fn news_feed_saves_less_than_trending() {
-        let trending =
-            consult(StoreKind::Redis, WorkloadSpec::trending().scaled(300, 6_000)).recommend(0.10);
-        let news =
-            consult(StoreKind::Redis, WorkloadSpec::news_feed().scaled(300, 6_000)).recommend(0.10);
+        let trending = consult(
+            StoreKind::Redis,
+            WorkloadSpec::trending().scaled(300, 6_000),
+        )
+        .recommend(0.10);
+        let news = consult(
+            StoreKind::Redis,
+            WorkloadSpec::news_feed().scaled(300, 6_000),
+        )
+        .recommend(0.10);
         let (t, n) = (trending.unwrap(), news.unwrap());
         assert!(
             n.cost_reduction > t.cost_reduction,
@@ -331,7 +387,10 @@ mod tests {
 
     #[test]
     fn tighter_slo_costs_more() {
-        let c = consult(StoreKind::Redis, WorkloadSpec::trending().scaled(200, 3_000));
+        let c = consult(
+            StoreKind::Redis,
+            WorkloadSpec::trending().scaled(200, 3_000),
+        );
         let strict = c.recommend(0.02).unwrap();
         let loose = c.recommend(0.30).unwrap();
         assert!(strict.cost_reduction >= loose.cost_reduction);
@@ -341,9 +400,18 @@ mod tests {
     #[test]
     fn orderings_produce_valid_curves() {
         let trace = WorkloadSpec::timeline().scaled(150, 2_000).generate(1);
-        for ordering in [OrderingKind::TouchOrder, OrderingKind::Hotness, OrderingKind::MnemoT] {
-            let config = AdvisorConfig { ordering, ..AdvisorConfig::default() };
-            let c = Advisor::new(config).consult(StoreKind::Redis, &trace).unwrap();
+        for ordering in [
+            OrderingKind::TouchOrder,
+            OrderingKind::Hotness,
+            OrderingKind::MnemoT,
+        ] {
+            let config = AdvisorConfig {
+                ordering,
+                ..AdvisorConfig::default()
+            };
+            let c = Advisor::new(config)
+                .consult(StoreKind::Redis, &trace)
+                .unwrap();
             assert_eq!(c.curve.rows.len(), 151);
             assert!(c.recommend(0.10).is_some());
         }
@@ -351,11 +419,17 @@ mod tests {
 
     #[test]
     fn frontier_is_monotone() {
-        let c = consult(StoreKind::Redis, WorkloadSpec::trending().scaled(200, 3_000));
+        let c = consult(
+            StoreKind::Redis,
+            WorkloadSpec::trending().scaled(200, 3_000),
+        );
         let f = c.frontier(&[0.01, 0.05, 0.10, 0.25]);
         assert_eq!(f.len(), 4);
         for w in f.windows(2) {
-            assert!(w[0].cost_reduction >= w[1].cost_reduction - 1e-12, "tighter SLO costs more");
+            assert!(
+                w[0].cost_reduction >= w[1].cost_reduction - 1e-12,
+                "tighter SLO costs more"
+            );
             assert!(w[0].fast_bytes >= w[1].fast_bytes);
         }
     }
@@ -379,13 +453,18 @@ mod tests {
 
     #[test]
     fn tail_slo_recommendation_meets_budget_minimally() {
-        let c = consult(StoreKind::Redis, WorkloadSpec::trending().scaled(250, 3_000));
+        let c = consult(
+            StoreKind::Redis,
+            WorkloadSpec::trending().scaled(250, 3_000),
+        );
         let tails = c.tail_estimator();
         let slow_p99 = tails.quantile_at_prefix(&c.order, 0, 0.99);
         let fast_p99 = tails.quantile_at_prefix(&c.order, c.order.len(), 0.99);
         assert!(fast_p99 < slow_p99);
         let budget = (slow_p99 + fast_p99) / 2.0;
-        let rec = c.recommend_by_tail(0.99, budget).expect("attainable budget");
+        let rec = c
+            .recommend_by_tail(0.99, budget)
+            .expect("attainable budget");
         // Meets the budget...
         assert!(tails.quantile_at_prefix(&c.order, rec.prefix, 0.99) <= budget);
         // ...minimally (one key less misses it), unless already at 0.
@@ -401,7 +480,10 @@ mod tests {
 
     #[test]
     fn repricing_changes_cost_only() {
-        let c = consult(StoreKind::Redis, WorkloadSpec::trending().scaled(150, 1_500));
+        let c = consult(
+            StoreKind::Redis,
+            WorkloadSpec::trending().scaled(150, 1_500),
+        );
         let repriced = c.repriced(0.5);
         assert_eq!(repriced.rows.len(), c.curve.rows.len());
         for (a, b) in c.curve.rows.iter().zip(&repriced.rows) {
@@ -418,7 +500,25 @@ mod tests {
         let trace = WorkloadSpec::trending().scaled(100, 1_000).generate(2);
         let advisor = Advisor::new(AdvisorConfig::default());
         let c1 = advisor.consult(StoreKind::Redis, &trace).unwrap();
-        let c2 = advisor.consult_with_baselines(c1.baselines.clone(), &trace).unwrap();
+        let c2 = advisor
+            .consult_with_baselines(c1.baselines.clone(), &trace)
+            .unwrap();
         assert_eq!(c1.curve, c2.curve);
+    }
+
+    #[test]
+    fn consult_with_pattern_matches_trace_path_on_exact_stats() {
+        let trace = WorkloadSpec::trending().scaled(100, 1_000).generate(2);
+        let advisor = Advisor::new(AdvisorConfig::default());
+        let c1 = advisor.consult(StoreKind::Redis, &trace).unwrap();
+        // An exact pattern fed through the streaming entry point must
+        // reproduce the offline curve (the default MnemoT ordering does
+        // not depend on touch order).
+        let exact = PatternEngine::from_stats(c1.pattern.stats().to_vec());
+        let c2 = advisor
+            .consult_with_pattern(c1.baselines.clone(), exact)
+            .unwrap();
+        assert_eq!(c1.curve, c2.curve);
+        assert_eq!(c1.order, c2.order);
     }
 }

@@ -78,14 +78,20 @@ impl InstrumentedProfiler {
         order.sort_by(|&a, &b| {
             let da = per_key[a as usize] as f64 / trace.sizes[a as usize].max(1) as f64;
             let db = per_key[b as usize] as f64 / trace.sizes[b as usize].max(1) as f64;
-            db.partial_cmp(&da).expect("densities finite").then(a.cmp(&b))
+            db.partial_cmp(&da)
+                .expect("densities finite")
+                .then(a.cmp(&b))
         });
         let amplification = if trace.is_empty() {
             0.0
         } else {
             events as f64 / trace.len() as f64
         };
-        InstrumentedProfile { order, events, amplification }
+        InstrumentedProfile {
+            order,
+            events,
+            amplification,
+        }
     }
 }
 
@@ -130,11 +136,20 @@ impl SamplingProfiler {
         order.sort_by(|&a, &b| {
             let da = per_key[a as usize] as f64 / trace.sizes[a as usize].max(1) as f64;
             let db = per_key[b as usize] as f64 / trace.sizes[b as usize].max(1) as f64;
-            db.partial_cmp(&da).expect("densities finite").then(a.cmp(&b))
+            db.partial_cmp(&da)
+                .expect("densities finite")
+                .then(a.cmp(&b))
         });
-        let amplification =
-            if trace.is_empty() { 0.0 } else { events as f64 / trace.len() as f64 };
-        InstrumentedProfile { order, events, amplification }
+        let amplification = if trace.is_empty() {
+            0.0
+        } else {
+            events as f64 / trace.len() as f64
+        };
+        InstrumentedProfile {
+            order,
+            events,
+            amplification,
+        }
     }
 }
 
@@ -154,8 +169,11 @@ pub struct WorkloadFeatures {
 impl WorkloadFeatures {
     /// Extract features from a slow-baseline report and its trace.
     pub fn extract(trace: &Trace, slow_report: &RunReport) -> WorkloadFeatures {
-        let bytes_requested: u64 =
-            trace.requests.iter().map(|r| trace.sizes[r.key as usize]).sum();
+        let bytes_requested: u64 = trace
+            .requests
+            .iter()
+            .map(|r| trace.sizes[r.key as usize])
+            .sum();
         WorkloadFeatures {
             slow_runtime_ns: slow_report.runtime_ns,
             reads: slow_report.reads as f64,
@@ -165,7 +183,12 @@ impl WorkloadFeatures {
     }
 
     fn vector(&self) -> [f64; 4] {
-        [self.slow_runtime_ns, self.reads, self.writes, self.bytes_requested]
+        [
+            self.slow_runtime_ns,
+            self.reads,
+            self.writes,
+            self.bytes_requested,
+        ]
     }
 }
 
@@ -205,7 +228,12 @@ impl MlBaselineModel {
     /// Predict the all-FastMem runtime (ns).
     pub fn predict(&self, features: &WorkloadFeatures) -> f64 {
         let x = features.vector();
-        self.coefficients.iter().zip(x).map(|(c, v)| c * v).sum::<f64>().max(0.0)
+        self.coefficients
+            .iter()
+            .zip(x)
+            .map(|(c, v)| c * v)
+            .sum::<f64>()
+            .max(0.0)
     }
 }
 
@@ -304,7 +332,12 @@ impl MlBaselineProfiler {
             avg_write_ns: slow.avg_write_ns * ratio,
             report: fast_report,
         };
-        Ok(Baselines { store, workload: trace.name.clone(), fast, slow })
+        Ok(Baselines {
+            store,
+            workload: trace.name.clone(),
+            fast,
+            slow,
+        })
     }
 }
 
@@ -330,7 +363,11 @@ mod tests {
         let p = InstrumentedProfiler::profile(&t);
         assert_eq!(p.order.len(), 100);
         // 100 KB thumbnails = ~1600 lines + 2 metadata events per request.
-        assert!(p.amplification > 1000.0, "amplification {}", p.amplification);
+        assert!(
+            p.amplification > 1000.0,
+            "amplification {}",
+            p.amplification
+        );
         assert!(p.events > t.len() as u64 * 1000);
     }
 
@@ -403,8 +440,7 @@ mod tests {
         let test = WorkloadSpec::trending().scaled(120, 1_500).generate(99);
         let inferred = profiler.profile(&engine, StoreKind::Redis, &test).unwrap();
         let real = engine.measure(StoreKind::Redis, &test).unwrap();
-        let rel =
-            (inferred.fast.runtime_ns - real.fast.runtime_ns).abs() / real.fast.runtime_ns;
+        let rel = (inferred.fast.runtime_ns - real.fast.runtime_ns).abs() / real.fast.runtime_ns;
         // The learned baseline is decent but visibly worse than actually
         // running the workload — the paper's argument for Mnemo's choice.
         assert!(rel < 0.25, "inferred fast baseline off by {rel}");
@@ -432,7 +468,10 @@ mod tests {
         let full = InstrumentedProfiler::profile(&t);
         let sampled = SamplingProfiler::new(1000).profile(&t);
         let ratio = full.events as f64 / sampled.events.max(1) as f64;
-        assert!((900.0..1100.0).contains(&ratio), "event reduction ratio {ratio}");
+        assert!(
+            (900.0..1100.0).contains(&ratio),
+            "event reduction ratio {ratio}"
+        );
     }
 
     #[test]
@@ -444,7 +483,10 @@ mod tests {
         let a: std::collections::HashSet<u64> = full.order.iter().take(head).copied().collect();
         let b: std::collections::HashSet<u64> = sampled.order.iter().take(head).copied().collect();
         let agreement = a.intersection(&b).count() as f64 / head as f64;
-        assert!(agreement > 0.7, "head agreement under 1/1000 sampling: {agreement}");
+        assert!(
+            agreement > 0.7,
+            "head agreement under 1/1000 sampling: {agreement}"
+        );
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub struct EstimateCurve {
 impl EstimateCurve {
     /// The all-SlowMem row (worst performance, lowest cost).
     pub fn slow_only(&self) -> &CurveRow {
-        self.rows.first().expect("curve always has the all-slow row")
+        self.rows
+            .first()
+            .expect("curve always has the all-slow row")
     }
 
     /// The all-FastMem row (best performance, full cost).
@@ -68,7 +70,10 @@ impl EstimateCurve {
     /// "sweet spot between cost efficiency and ensured performance".
     /// Returns `None` only for an empty curve.
     pub fn cheapest_within_slowdown(&self, slowdown: f64) -> Option<&CurveRow> {
-        assert!((0.0..=1.0).contains(&slowdown), "slowdown {slowdown} out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&slowdown),
+            "slowdown {slowdown} out of [0,1]"
+        );
         let target = self.fast_only().est_throughput_ops_s * (1.0 - slowdown);
         // Rows are ordered by increasing FastMem share, hence increasing
         // cost; the first row meeting the target is the cheapest.
@@ -111,7 +116,8 @@ impl EstimateCurve {
     /// CSV as a string.
     pub fn to_csv(&self) -> String {
         let mut buf = Vec::new();
-        self.write_csv(&mut buf).expect("writing to a Vec cannot fail");
+        self.write_csv(&mut buf)
+            .expect("writing to a Vec cannot fail");
         String::from_utf8(buf).expect("csv is ASCII")
     }
 
@@ -124,9 +130,7 @@ impl EstimateCurve {
             return self.rows.clone();
         }
         let last = self.rows.len() - 1;
-        (0..n)
-            .map(|i| self.rows[i * last / (n - 1)])
-            .collect()
+        (0..n).map(|i| self.rows[i * last / (n - 1)]).collect()
     }
 }
 
@@ -146,7 +150,11 @@ mod tests {
                 est_throughput_ops_s: 1000.0 + 100.0 * i as f64,
             })
             .collect();
-        EstimateCurve { rows, requests: 1000, total_bytes: 1000 }
+        EstimateCurve {
+            rows,
+            requests: 1000,
+            total_bytes: 1000,
+        }
     }
 
     #[test]

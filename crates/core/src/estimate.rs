@@ -29,7 +29,11 @@ pub struct EstimateEngine {
 impl EstimateEngine {
     /// Build from a fitted model and a cost model.
     pub fn new(model: PerfModel, cost: CostModel) -> EstimateEngine {
-        EstimateEngine { model, cost, cache_correction: None }
+        EstimateEngine {
+            model,
+            cost,
+            cache_correction: None,
+        }
     }
 
     /// Enable the **cache-aware correction** (an extension beyond the
@@ -77,8 +81,11 @@ impl EstimateEngine {
     /// model's full Slow-Fast runtime gap, so the curve endpoints are
     /// independent of the correction.
     pub fn key_deltas(&self, pattern: &PatternEngine) -> (f64, Vec<f64>) {
-        let fast_total: f64 =
-            pattern.stats().iter().map(|s| self.key_runtime(s, MemTier::Fast)).sum();
+        let fast_total: f64 = pattern
+            .stats()
+            .iter()
+            .map(|s| self.key_runtime(s, MemTier::Fast))
+            .sum();
         let mut deltas: Vec<f64> = pattern
             .stats()
             .iter()
@@ -93,7 +100,9 @@ impl EstimateEngine {
                 let sb = pattern.key(b);
                 let da = sa.accesses() as f64 / sa.bytes.max(1) as f64;
                 let db = sb.accesses() as f64 / sb.bytes.max(1) as f64;
-                db.partial_cmp(&da).expect("densities finite").then(a.cmp(&b))
+                db.partial_cmp(&da)
+                    .expect("densities finite")
+                    .then(a.cmp(&b))
             });
             let mut factors = vec![1.0f64; deltas.len()];
             let mut resident_bytes = 0u64;
@@ -107,8 +116,7 @@ impl EstimateEngine {
                 factors[k as usize] = 1.0 / stats.accesses().max(1) as f64;
             }
             let raw_total: f64 = deltas.iter().sum();
-            let damped_total: f64 =
-                deltas.iter().zip(&factors).map(|(d, f)| d * f).sum();
+            let damped_total: f64 = deltas.iter().zip(&factors).map(|(d, f)| d * f).sum();
             if damped_total > 0.0 && raw_total > 0.0 {
                 let scale = raw_total / damped_total;
                 for (d, f) in deltas.iter_mut().zip(&factors) {
@@ -170,7 +178,11 @@ impl EstimateEngine {
                 est_throughput_ops_s: throughput(runtime),
             });
         }
-        EstimateCurve { rows, requests, total_bytes }
+        EstimateCurve {
+            rows,
+            requests,
+            total_bytes,
+        }
     }
 }
 
@@ -184,9 +196,15 @@ mod tests {
 
     fn setup(spec: WorkloadSpec) -> (EstimateEngine, PatternEngine, Trace) {
         let t = spec.generate(6);
-        let b = SensitivityEngine::default().measure(StoreKind::Redis, &t).unwrap();
+        let b = SensitivityEngine::default()
+            .measure(StoreKind::Redis, &t)
+            .unwrap();
         let m = PerfModel::fit(ModelKind::GlobalAverage, &b, &t.sizes);
-        (EstimateEngine::new(m, CostModel::default()), PatternEngine::analyze(&t), t)
+        (
+            EstimateEngine::new(m, CostModel::default()),
+            PatternEngine::analyze(&t),
+            t,
+        )
     }
 
     #[test]
@@ -210,7 +228,9 @@ mod tests {
     #[test]
     fn endpoints_match_measured_baselines() {
         let t = WorkloadSpec::timeline().scaled(150, 2_000).generate(6);
-        let b = SensitivityEngine::default().measure(StoreKind::Redis, &t).unwrap();
+        let b = SensitivityEngine::default()
+            .measure(StoreKind::Redis, &t)
+            .unwrap();
         let m = PerfModel::fit(ModelKind::GlobalAverage, &b, &t.sizes);
         let eng = EstimateEngine::new(m, CostModel::default());
         let pattern = PatternEngine::analyze(&t);
@@ -247,8 +267,7 @@ mod tests {
         // And strictly better somewhere in the middle.
         let mid = hot_curve.rows.len() / 2;
         assert!(
-            hot_curve.rows[mid].est_throughput_ops_s
-                > cold_curve.rows[mid].est_throughput_ops_s
+            hot_curve.rows[mid].est_throughput_ops_s > cold_curve.rows[mid].est_throughput_ops_s
         );
     }
 
@@ -286,8 +305,14 @@ mod tests {
         // Endpoints must be identical: the correction only redistributes
         // the measured gap across keys.
         let close = |x: f64, y: f64| (x - y).abs() / x.max(1.0) < 1e-9;
-        assert!(close(a.slow_only().est_runtime_ns, b.slow_only().est_runtime_ns));
-        assert!(close(a.fast_only().est_runtime_ns, b.fast_only().est_runtime_ns));
+        assert!(close(
+            a.slow_only().est_runtime_ns,
+            b.slow_only().est_runtime_ns
+        ));
+        assert!(close(
+            a.fast_only().est_runtime_ns,
+            b.fast_only().est_runtime_ns
+        ));
         // But interior rows differ: the corrected curve credits the
         // cache-resident hottest keys far less.
         let mid = a.rows.len() / 20; // early in the hot head

@@ -37,9 +37,15 @@ pub fn greedy(items: &[Item], capacity: u64) -> Solution {
     order.sort_by(|a, b| {
         let da = a.value / a.weight.max(1) as f64;
         let db = b.value / b.weight.max(1) as f64;
-        db.partial_cmp(&da).expect("densities are finite").then(a.id.cmp(&b.id))
+        db.partial_cmp(&da)
+            .expect("densities are finite")
+            .then(a.id.cmp(&b.id))
     });
-    let mut solution = Solution { selected: Vec::new(), weight: 0, value: 0.0 };
+    let mut solution = Solution {
+        selected: Vec::new(),
+        weight: 0,
+        value: 0.0,
+    };
     for item in order {
         if solution.weight + item.weight <= capacity {
             solution.selected.push(item.id);
@@ -91,7 +97,11 @@ pub fn dp_exact(items: &[Item], capacity: u64, unit: u64) -> Solution {
         }
     }
     selected.reverse();
-    Solution { selected, weight, value }
+    Solution {
+        selected,
+        weight,
+        value,
+    }
 }
 
 /// Budget of DP table cells above which [`solve`] falls back to greedy.
@@ -158,7 +168,9 @@ mod tests {
 
     #[test]
     fn dp_respects_capacity_under_quantisation() {
-        let items: Vec<Item> = (0..20).map(|i| item(i, 100 + i * 7, (i + 1) as f64)).collect();
+        let items: Vec<Item> = (0..20)
+            .map(|i| item(i, 100 + i * 7, (i + 1) as f64))
+            .collect();
         for unit in [1, 8, 64, 512] {
             let s = dp_exact(&items, 1000, unit);
             assert!(s.weight <= 1000, "unit {unit}: weight {}", s.weight);
@@ -171,8 +183,9 @@ mod tests {
         let s = solve(&small, 10);
         assert_eq!(s.selected, vec![1, 2], "small instance must be exact");
         // Huge instance: just verify it completes and respects capacity.
-        let huge: Vec<Item> =
-            (0..200_000).map(|i| item(i, 1000 + (i % 977), 1.0 + (i % 13) as f64)).collect();
+        let huge: Vec<Item> = (0..200_000)
+            .map(|i| item(i, 1000 + (i % 977), 1.0 + (i % 13) as f64))
+            .collect();
         let s = solve(&huge, 50_000_000);
         assert!(s.weight <= 50_000_000);
         assert!(!s.selected.is_empty());

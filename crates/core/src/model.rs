@@ -36,7 +36,10 @@ struct AffineFit {
 }
 
 impl AffineFit {
-    const ZERO: AffineFit = AffineFit { intercept: 0.0, slope_per_byte: 0.0 };
+    const ZERO: AffineFit = AffineFit {
+        intercept: 0.0,
+        slope_per_byte: 0.0,
+    };
 
     /// Least-squares fit of `ns ~ a + b * bytes`. With fewer than two
     /// distinct sizes the slope degenerates to zero and the intercept to
@@ -56,10 +59,16 @@ impl AffineFit {
             var += dx * dx;
         }
         if var < 1e-9 {
-            return AffineFit { intercept: mean_y, slope_per_byte: 0.0 };
+            return AffineFit {
+                intercept: mean_y,
+                slope_per_byte: 0.0,
+            };
         }
         let slope = cov / var;
-        AffineFit { intercept: mean_y - slope * mean_x, slope_per_byte: slope }
+        AffineFit {
+            intercept: mean_y - slope * mean_x,
+            slope_per_byte: slope,
+        }
     }
 
     fn predict(&self, bytes: u64) -> f64 {
@@ -93,15 +102,20 @@ impl PerfModel {
     /// value size (from the workload descriptor).
     pub fn fit(kind: ModelKind, baselines: &Baselines, sizes: &[u64]) -> PerfModel {
         let mut fits = [AffineFit::ZERO; 4];
-        for (tier, run) in
-            [(MemTier::Fast, &baselines.fast), (MemTier::Slow, &baselines.slow)]
-        {
+        for (tier, run) in [
+            (MemTier::Fast, &baselines.fast),
+            (MemTier::Slow, &baselines.slow),
+        ] {
             match kind {
                 ModelKind::GlobalAverage => {
-                    fits[idx(tier, Op::Read)] =
-                        AffineFit { intercept: run.avg_read_ns, slope_per_byte: 0.0 };
-                    fits[idx(tier, Op::Update)] =
-                        AffineFit { intercept: run.avg_write_ns, slope_per_byte: 0.0 };
+                    fits[idx(tier, Op::Read)] = AffineFit {
+                        intercept: run.avg_read_ns,
+                        slope_per_byte: 0.0,
+                    };
+                    fits[idx(tier, Op::Update)] = AffineFit {
+                        intercept: run.avg_write_ns,
+                        slope_per_byte: 0.0,
+                    };
                 }
                 ModelKind::SizeAware => {
                     for op in [Op::Read, Op::Update] {
@@ -145,26 +159,34 @@ mod tests {
     use ycsb::WorkloadSpec;
 
     fn setup(kind: ModelKind) -> (PerfModel, ycsb::Trace) {
-        let t = WorkloadSpec::trending_preview().scaled(200, 3_000).generate(2);
+        let t = WorkloadSpec::trending_preview()
+            .scaled(200, 3_000)
+            .generate(2);
         // At this reduced test scale the whole hot set fits the paper's
         // 12 MB LLC (unlike the paper's 1 GB dataset), which would mask
         // the size dependence the test probes — shrink the cache to keep
         // the testbed proportionate.
         let mut spec = hybridmem::HybridSpec::paper_testbed();
         spec.cache.capacity_bytes = t.dataset_bytes() / 85;
-        let engine =
-            SensitivityEngine::new(spec, hybridmem::clock::NoiseConfig::disabled());
+        let engine = SensitivityEngine::new(spec, hybridmem::clock::NoiseConfig::disabled());
         let b = engine.measure(StoreKind::Redis, &t).unwrap();
         (PerfModel::fit(kind, &b, &t.sizes), t)
     }
 
     #[test]
     fn global_average_reproduces_baseline_means() {
-        let t = WorkloadSpec::edit_thumbnail().scaled(100, 2_000).generate(1);
-        let b = SensitivityEngine::default().measure(StoreKind::Redis, &t).unwrap();
+        let t = WorkloadSpec::edit_thumbnail()
+            .scaled(100, 2_000)
+            .generate(1);
+        let b = SensitivityEngine::default()
+            .measure(StoreKind::Redis, &t)
+            .unwrap();
         let m = PerfModel::fit(ModelKind::GlobalAverage, &b, &t.sizes);
         assert_eq!(m.predict(MemTier::Fast, Op::Read, 123), b.fast.avg_read_ns);
-        assert_eq!(m.predict(MemTier::Slow, Op::Update, 9_999_999), b.slow.avg_write_ns);
+        assert_eq!(
+            m.predict(MemTier::Slow, Op::Update, 9_999_999),
+            b.slow.avg_write_ns
+        );
     }
 
     #[test]
@@ -208,8 +230,9 @@ mod tests {
 
     #[test]
     fn affine_fit_recovers_exact_line() {
-        let samples: Vec<(u64, f64)> =
-            (1..100).map(|b| (b * 100, 500.0 + 0.25 * (b * 100) as f64)).collect();
+        let samples: Vec<(u64, f64)> = (1..100)
+            .map(|b| (b * 100, 500.0 + 0.25 * (b * 100) as f64))
+            .collect();
         let fit = AffineFit::fit(&samples);
         assert!((fit.intercept - 500.0).abs() < 1e-6);
         assert!((fit.slope_per_byte - 0.25).abs() < 1e-9);
@@ -227,7 +250,9 @@ mod tests {
     #[test]
     fn read_only_workload_has_zero_write_model() {
         let t = WorkloadSpec::trending().scaled(100, 1_000).generate(1);
-        let b = SensitivityEngine::default().measure(StoreKind::Redis, &t).unwrap();
+        let b = SensitivityEngine::default()
+            .measure(StoreKind::Redis, &t)
+            .unwrap();
         let m = PerfModel::fit(ModelKind::SizeAware, &b, &t.sizes);
         assert_eq!(m.predict(MemTier::Fast, Op::Update, 1000), 0.0);
     }

@@ -44,7 +44,10 @@ pub struct SharedAllocation {
 impl SharedAllocation {
     /// The worst per-tenant estimated slowdown — the fleet's SLO metric.
     pub fn worst_slowdown(&self) -> f64 {
-        self.tenants.iter().map(|t| t.est_slowdown).fold(0.0, f64::max)
+        self.tenants
+            .iter()
+            .map(|t| t.est_slowdown)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -71,7 +74,12 @@ pub fn allocate_shared(consultations: &[Consultation], budget_bytes: u64) -> Sha
         for (key, &delta) in deltas.iter().enumerate() {
             let bytes = c.pattern.key(key as u64).bytes;
             if delta > 0.0 && bytes > 0 {
-                candidates.push(Cand { tenant, key: key as u64, bytes, delta });
+                candidates.push(Cand {
+                    tenant,
+                    key: key as u64,
+                    bytes,
+                    delta,
+                });
             }
         }
     }
@@ -120,7 +128,11 @@ pub fn allocate_shared(consultations: &[Consultation], budget_bytes: u64) -> Sha
             }
         })
         .collect();
-    SharedAllocation { tenants, used_bytes: used, budget_bytes }
+    SharedAllocation {
+        tenants,
+        used_bytes: used,
+        budget_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -132,13 +144,21 @@ mod tests {
 
     fn consult(spec: WorkloadSpec, store: StoreKind) -> Consultation {
         let trace = spec.generate(5);
-        Advisor::new(AdvisorConfig::default()).consult(store, &trace).unwrap()
+        Advisor::new(AdvisorConfig::default())
+            .consult(store, &trace)
+            .unwrap()
     }
 
     fn two_tenants() -> Vec<Consultation> {
         vec![
-            consult(WorkloadSpec::trending().scaled(200, 2_500), StoreKind::Dynamo),
-            consult(WorkloadSpec::trending().scaled(200, 2_500), StoreKind::Memcached),
+            consult(
+                WorkloadSpec::trending().scaled(200, 2_500),
+                StoreKind::Dynamo,
+            ),
+            consult(
+                WorkloadSpec::trending().scaled(200, 2_500),
+                StoreKind::Memcached,
+            ),
         ]
     }
 
@@ -148,7 +168,10 @@ mod tests {
         let total: u64 = tenants.iter().map(|c| c.curve.total_bytes).sum();
         let alloc = allocate_shared(&tenants, total / 4);
         assert!(alloc.used_bytes <= alloc.budget_bytes);
-        assert!(alloc.used_bytes > alloc.budget_bytes / 2, "budget should be mostly used");
+        assert!(
+            alloc.used_bytes > alloc.budget_bytes / 2,
+            "budget should be mostly used"
+        );
         let granted: u64 = alloc.tenants.iter().map(|t| t.fast_bytes).sum();
         assert_eq!(granted, alloc.used_bytes);
     }
@@ -187,7 +210,12 @@ mod tests {
         let total: u64 = tenants.iter().map(|c| c.curve.total_bytes).sum();
         let alloc = allocate_shared(&tenants, total);
         for t in &alloc.tenants {
-            assert!(t.est_slowdown < 1e-9, "tenant {} slowdown {}", t.tenant, t.est_slowdown);
+            assert!(
+                t.est_slowdown < 1e-9,
+                "tenant {} slowdown {}",
+                t.tenant,
+                t.est_slowdown
+            );
         }
         assert!(alloc.worst_slowdown() < 1e-9);
     }

@@ -38,7 +38,11 @@ impl PatternEngine {
         let mut stats: Vec<KeyStats> = trace
             .sizes
             .iter()
-            .map(|&bytes| KeyStats { reads: 0, writes: 0, bytes })
+            .map(|&bytes| KeyStats {
+                reads: 0,
+                writes: 0,
+                bytes,
+            })
             .collect();
         let mut touch_order = Vec::new();
         let mut touched = vec![false; trace.sizes.len()];
@@ -60,6 +64,19 @@ impl PatternEngine {
                 touch_order.push(k as u64);
             }
         }
+        PatternEngine { stats, touch_order }
+    }
+
+    /// Build a Pattern Engine directly from per-key statistics, without
+    /// a materialised trace — the entry point for *approximate* patterns
+    /// reconstructed by a streaming profiler (where no request sequence
+    /// exists, only sketch-estimated `Req(keys)`).
+    ///
+    /// Since there is no request order to replay, the touch order is the
+    /// key-id order; streaming callers should prefer the hotness or
+    /// MnemoT orderings, which depend only on the statistics.
+    pub fn from_stats(stats: Vec<KeyStats>) -> PatternEngine {
+        let touch_order = (0..stats.len() as u64).collect();
         PatternEngine { stats, touch_order }
     }
 
@@ -109,7 +126,10 @@ impl PatternEngine {
     /// it must be a permutation of the key space.
     pub fn validate_order(&self, order: &[u64]) -> Result<(), OrderError> {
         if order.len() != self.stats.len() {
-            return Err(OrderError::WrongLength { got: order.len(), want: self.stats.len() });
+            return Err(OrderError::WrongLength {
+                got: order.len(),
+                want: self.stats.len(),
+            });
         }
         let mut seen = vec![false; self.stats.len()];
         for &k in order {
@@ -166,10 +186,22 @@ mod tests {
             name: "tiny".into(),
             sizes: vec![10, 20, 30, 40],
             requests: vec![
-                Request { key: 2, op: Op::Read },
-                Request { key: 0, op: Op::Update },
-                Request { key: 2, op: Op::Read },
-                Request { key: 1, op: Op::Read },
+                Request {
+                    key: 2,
+                    op: Op::Read,
+                },
+                Request {
+                    key: 0,
+                    op: Op::Update,
+                },
+                Request {
+                    key: 2,
+                    op: Op::Read,
+                },
+                Request {
+                    key: 1,
+                    op: Op::Read,
+                },
             ],
         }
     }
@@ -177,8 +209,22 @@ mod tests {
     #[test]
     fn stats_count_reads_and_writes() {
         let p = PatternEngine::analyze(&tiny());
-        assert_eq!(p.key(2), KeyStats { reads: 2, writes: 0, bytes: 30 });
-        assert_eq!(p.key(0), KeyStats { reads: 0, writes: 1, bytes: 10 });
+        assert_eq!(
+            p.key(2),
+            KeyStats {
+                reads: 2,
+                writes: 0,
+                bytes: 30
+            }
+        );
+        assert_eq!(
+            p.key(0),
+            KeyStats {
+                reads: 0,
+                writes: 1,
+                bytes: 10
+            }
+        );
         assert_eq!(p.key(3).accesses(), 0);
         assert_eq!(p.total_requests(), 4);
         assert_eq!(p.total_bytes(), 100);
@@ -209,13 +255,31 @@ mod tests {
     }
 
     #[test]
+    fn from_stats_matches_analyze_modulo_touch_order() {
+        let t = WorkloadSpec::trending().scaled(200, 2_000).generate(3);
+        let analyzed = PatternEngine::analyze(&t);
+        let rebuilt = PatternEngine::from_stats(analyzed.stats().to_vec());
+        assert_eq!(rebuilt.stats(), analyzed.stats());
+        assert_eq!(rebuilt.hotness_order(), analyzed.hotness_order());
+        assert_eq!(rebuilt.total_requests(), analyzed.total_requests());
+        assert_eq!(rebuilt.total_bytes(), analyzed.total_bytes());
+        rebuilt.validate_order(rebuilt.touch_order()).unwrap();
+    }
+
+    #[test]
     fn validate_order_rejects_bad_inputs() {
         let p = PatternEngine::analyze(&tiny());
         assert_eq!(
             p.validate_order(&[0, 1]),
             Err(OrderError::WrongLength { got: 2, want: 4 })
         );
-        assert_eq!(p.validate_order(&[0, 1, 2, 9]), Err(OrderError::UnknownKey(9)));
-        assert_eq!(p.validate_order(&[0, 1, 1, 2]), Err(OrderError::DuplicateKey(1)));
+        assert_eq!(
+            p.validate_order(&[0, 1, 2, 9]),
+            Err(OrderError::UnknownKey(9))
+        );
+        assert_eq!(
+            p.validate_order(&[0, 1, 1, 2]),
+            Err(OrderError::DuplicateKey(1))
+        );
     }
 }

@@ -73,7 +73,9 @@ mod tests {
 
     fn setup() -> (Trace, Vec<u64>, EstimateCurve) {
         let t = WorkloadSpec::trending().scaled(120, 1_500).generate(8);
-        let b = SensitivityEngine::default().measure(StoreKind::Redis, &t).unwrap();
+        let b = SensitivityEngine::default()
+            .measure(StoreKind::Redis, &t)
+            .unwrap();
         let m = PerfModel::fit(ModelKind::GlobalAverage, &b, &t.sizes);
         let p = PatternEngine::analyze(&t);
         let order = p.hotness_order();
@@ -120,7 +122,9 @@ mod tests {
     fn curve_rows_match_placement_accounting() {
         let (t, order, curve) = setup();
         for prefix in [0usize, 1, 17, 60, 120] {
-            assert!(PlacementEngine::verify_row(&order, &t.sizes, &curve, prefix));
+            assert!(PlacementEngine::verify_row(
+                &order, &t.sizes, &curve, prefix
+            ));
         }
     }
 }

@@ -17,8 +17,14 @@ const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█
 pub fn sparkline(consultation: &Consultation, width: usize) -> String {
     assert!(width >= 2, "sparkline needs at least two columns");
     let rows = consultation.curve.thin(width);
-    let lo = rows.iter().map(|r| r.est_throughput_ops_s).fold(f64::INFINITY, f64::min);
-    let hi = rows.iter().map(|r| r.est_throughput_ops_s).fold(0.0, f64::max);
+    let lo = rows
+        .iter()
+        .map(|r| r.est_throughput_ops_s)
+        .fold(f64::INFINITY, f64::min);
+    let hi = rows
+        .iter()
+        .map(|r| r.est_throughput_ops_s)
+        .fold(0.0, f64::max);
     rows.iter()
         .map(|r| {
             if hi <= lo {
@@ -37,7 +43,9 @@ pub fn markdown(consultation: &Consultation, slo_slowdown: f64) -> String {
     let b = &consultation.baselines;
     let curve = &consultation.curve;
     let _ = writeln!(out, "# Mnemo consultation: {}\n", b.workload);
-    let _ = writeln!(out, "Store: **{}** — {} keys, {} requests, {:.1} MB dataset.\n",
+    let _ = writeln!(
+        out,
+        "Store: **{}** — {} keys, {} requests, {:.1} MB dataset.\n",
         b.store,
         consultation.pattern.key_count(),
         curve.requests,
@@ -45,7 +53,10 @@ pub fn markdown(consultation: &Consultation, slo_slowdown: f64) -> String {
     );
 
     let _ = writeln!(out, "## Measured baselines\n");
-    let _ = writeln!(out, "| configuration | runtime | throughput | avg read | avg write |");
+    let _ = writeln!(
+        out,
+        "| configuration | runtime | throughput | avg read | avg write |"
+    );
     let _ = writeln!(out, "|---|---|---|---|---|");
     for run in [&b.fast, &b.slow] {
         let _ = writeln!(
@@ -65,11 +76,17 @@ pub fn markdown(consultation: &Consultation, slo_slowdown: f64) -> String {
     );
 
     let _ = writeln!(out, "## Estimate curve\n");
-    let _ = writeln!(out, "Throughput vs FastMem share (SlowMem-only → FastMem-only):\n");
+    let _ = writeln!(
+        out,
+        "Throughput vs FastMem share (SlowMem-only → FastMem-only):\n"
+    );
     let _ = writeln!(out, "```\n{}\n```\n", sparkline(consultation, 40));
 
     let _ = writeln!(out, "## Cost/performance frontier\n");
-    let _ = writeln!(out, "| slowdown budget | FastMem share | memory cost (×FastMem-only) |");
+    let _ = writeln!(
+        out,
+        "| slowdown budget | FastMem share | memory cost (×FastMem-only) |"
+    );
     let _ = writeln!(out, "|---|---|---|");
     for rec in consultation.frontier(&[0.02, 0.05, slo_slowdown, 0.25]) {
         let _ = writeln!(
@@ -82,7 +99,11 @@ pub fn markdown(consultation: &Consultation, slo_slowdown: f64) -> String {
     }
 
     if let Some(rec) = consultation.recommend(slo_slowdown) {
-        let _ = writeln!(out, "\n## Recommendation (≤{:.0}% slowdown)\n", slo_slowdown * 100.0);
+        let _ = writeln!(
+            out,
+            "\n## Recommendation (≤{:.0}% slowdown)\n",
+            slo_slowdown * 100.0
+        );
         let _ = writeln!(
             out,
             "Place the **{} hottest keys** ({:.1}% of dataset bytes) in FastMem.",
@@ -110,7 +131,9 @@ mod tests {
 
     fn consultation() -> Consultation {
         let trace = WorkloadSpec::trending().scaled(120, 1_200).generate(3);
-        Advisor::new(AdvisorConfig::default()).consult(StoreKind::Redis, &trace).unwrap()
+        Advisor::new(AdvisorConfig::default())
+            .consult(StoreKind::Redis, &trace)
+            .unwrap()
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl Baselines {
     /// The tier-latency deltas the estimate model is built on:
     /// `(SlowRead - FastRead, SlowWrite - FastWrite)` in ns.
     pub fn deltas(&self) -> (f64, f64) {
-        (self.slow.avg_read_ns - self.fast.avg_read_ns, self.slow.avg_write_ns - self.fast.avg_write_ns)
+        (
+            self.slow.avg_read_ns - self.fast.avg_read_ns,
+            self.slow.avg_write_ns - self.fast.avg_write_ns,
+        )
     }
 
     /// Relative throughput gap between the extremes: how sensitive this
@@ -105,7 +108,12 @@ impl SensitivityEngine {
     pub fn measure(&self, store: StoreKind, trace: &Trace) -> Result<Baselines, EngineError> {
         let fast = self.measure_one(store, trace, Placement::AllFast)?;
         let slow = self.measure_one(store, trace, Placement::AllSlow)?;
-        Ok(Baselines { store, workload: trace.name.clone(), fast, slow })
+        Ok(Baselines {
+            store,
+            workload: trace.name.clone(),
+            fast,
+            slow,
+        })
     }
 
     /// One extreme run.
@@ -148,8 +156,16 @@ impl SensitivityEngine {
             }
         }
         (
-            if read.1 == 0 { 0.0 } else { read.0 / read.1 as f64 },
-            if write.1 == 0 { 0.0 } else { write.0 / write.1 as f64 },
+            if read.1 == 0 {
+                0.0
+            } else {
+                read.0 / read.1 as f64
+            },
+            if write.1 == 0 {
+                0.0
+            } else {
+                write.0 / write.1 as f64
+            },
         )
     }
 }
@@ -165,7 +181,9 @@ mod tests {
 
     #[test]
     fn baselines_bound_the_tradeoff() {
-        let b = SensitivityEngine::default().measure(StoreKind::Redis, &trace()).unwrap();
+        let b = SensitivityEngine::default()
+            .measure(StoreKind::Redis, &trace())
+            .unwrap();
         assert!(b.fast.runtime_ns < b.slow.runtime_ns);
         assert!(b.fast.avg_read_ns < b.slow.avg_read_ns);
         assert!(b.sensitivity() > 0.0);
@@ -181,21 +199,32 @@ mod tests {
         let redis = eng.measure(StoreKind::Redis, &t).unwrap().sensitivity();
         let mem = eng.measure(StoreKind::Memcached, &t).unwrap().sensitivity();
         let dyn_ = eng.measure(StoreKind::Dynamo, &t).unwrap().sensitivity();
-        assert!(dyn_ > redis && redis > mem, "dyn {dyn_:.3} redis {redis:.3} mem {mem:.3}");
+        assert!(
+            dyn_ > redis && redis > mem,
+            "dyn {dyn_:.3} redis {redis:.3} mem {mem:.3}"
+        );
     }
 
     #[test]
     fn writes_see_smaller_deltas_than_reads() {
-        let t = WorkloadSpec::edit_thumbnail().scaled(150, 2_000).generate(3);
-        let b = SensitivityEngine::default().measure(StoreKind::Redis, &t).unwrap();
+        let t = WorkloadSpec::edit_thumbnail()
+            .scaled(150, 2_000)
+            .generate(3);
+        let b = SensitivityEngine::default()
+            .measure(StoreKind::Redis, &t)
+            .unwrap();
         let (dr, dw) = b.deltas();
         assert!(dw < dr, "write delta {dw} must be below read delta {dr}");
     }
 
     #[test]
     fn op_means_match_report_averages() {
-        let t = WorkloadSpec::edit_thumbnail().scaled(100, 1_000).generate(5);
-        let b = SensitivityEngine::default().measure(StoreKind::Redis, &t).unwrap();
+        let t = WorkloadSpec::edit_thumbnail()
+            .scaled(100, 1_000)
+            .generate(5);
+        let b = SensitivityEngine::default()
+            .measure(StoreKind::Redis, &t)
+            .unwrap();
         let (r, w) = SensitivityEngine::op_means(&b.fast.report);
         assert!((r - b.fast.avg_read_ns).abs() < 1e-6);
         assert!((w - b.fast.avg_write_ns).abs() < 1e-6);
@@ -204,7 +233,9 @@ mod tests {
     #[test]
     fn noisy_baselines_stay_close_to_clean() {
         let t = trace();
-        let clean = SensitivityEngine::default().measure(StoreKind::Redis, &t).unwrap();
+        let clean = SensitivityEngine::default()
+            .measure(StoreKind::Redis, &t)
+            .unwrap();
         let noisy =
             SensitivityEngine::new(HybridSpec::paper_testbed(), NoiseConfig::default_jitter(1))
                 .measure(StoreKind::Redis, &t)

@@ -36,12 +36,19 @@ impl<'a> TailEstimator<'a> {
     fn atoms<F: Fn(u64) -> bool>(&self, in_fast: F) -> Vec<(f64, u64)> {
         let mut atoms = Vec::with_capacity(self.pattern.key_count() * 2);
         for (k, stats) in self.pattern.stats().iter().enumerate() {
-            let tier = if in_fast(k as u64) { MemTier::Fast } else { MemTier::Slow };
+            let tier = if in_fast(k as u64) {
+                MemTier::Fast
+            } else {
+                MemTier::Slow
+            };
             if stats.reads > 0 {
                 atoms.push((self.model.predict(tier, Op::Read, stats.bytes), stats.reads));
             }
             if stats.writes > 0 {
-                atoms.push((self.model.predict(tier, Op::Update, stats.bytes), stats.writes));
+                atoms.push((
+                    self.model.predict(tier, Op::Update, stats.bytes),
+                    stats.writes,
+                ));
             }
         }
         atoms
@@ -71,10 +78,8 @@ impl<'a> TailEstimator<'a> {
     /// Quantiles for a prefix of a key ordering (the first `prefix` keys
     /// in FastMem) — the placement the estimate-curve rows describe.
     pub fn quantile_at_prefix(&self, order: &[u64], prefix: usize, q: f64) -> f64 {
-        let fast: std::collections::HashSet<u64> = order[..prefix.min(order.len())]
-            .iter()
-            .copied()
-            .collect();
+        let fast: std::collections::HashSet<u64> =
+            order[..prefix.min(order.len())].iter().copied().collect();
         self.quantile(|k| fast.contains(&k), q)
     }
 
@@ -110,9 +115,12 @@ mod tests {
     }
 
     fn setup() -> (PerfModel, PatternEngine, ycsb::Trace, HybridSpec) {
-        let t = WorkloadSpec::trending_preview().scaled(300, 5_000).generate(3);
+        let t = WorkloadSpec::trending_preview()
+            .scaled(300, 5_000)
+            .generate(3);
         let spec = cacheless_spec();
-        let engine = SensitivityEngine::new(spec.clone(), hybridmem::clock::NoiseConfig::disabled());
+        let engine =
+            SensitivityEngine::new(spec.clone(), hybridmem::clock::NoiseConfig::disabled());
         let b = engine.measure(StoreKind::Redis, &t).unwrap();
         let model = PerfModel::fit(ModelKind::SizeAware, &b, &t.sizes);
         (model, PatternEngine::analyze(&t), t, spec)
@@ -135,7 +143,10 @@ mod tests {
             let predicted = est.quantile(|_| false, q);
             let measured = report.latency_quantile(q);
             let rel = (predicted - measured).abs() / measured;
-            assert!(rel < 0.08, "q={q}: predicted {predicted:.0} vs measured {measured:.0}");
+            assert!(
+                rel < 0.08,
+                "q={q}: predicted {predicted:.0} vs measured {measured:.0}"
+            );
         }
     }
 
@@ -148,7 +159,10 @@ mod tests {
         assert_eq!(sweep.first().unwrap().0, 0);
         assert_eq!(sweep.last().unwrap().0, order.len());
         for w in sweep.windows(2) {
-            assert!(w[1].1 <= w[0].1 + 1e-6, "p99 must not rise with more FastMem: {sweep:?}");
+            assert!(
+                w[1].1 <= w[0].1 + 1e-6,
+                "p99 must not rise with more FastMem: {sweep:?}"
+            );
         }
         assert!(sweep.last().unwrap().1 < sweep.first().unwrap().1);
     }

@@ -38,7 +38,9 @@ impl MnemoT {
             let sb = pattern.key(b);
             let wa = Self::weight(sa.accesses(), sa.bytes);
             let wb = Self::weight(sb.accesses(), sb.bytes);
-            wb.partial_cmp(&wa).expect("weights are finite").then(a.cmp(&b))
+            wb.partial_cmp(&wa)
+                .expect("weights are finite")
+                .then(a.cmp(&b))
         });
         order
     }
@@ -93,8 +95,14 @@ mod tests {
 
     #[test]
     fn weight_prefers_hot_and_small() {
-        assert!(MnemoT::weight(100, 1000) > MnemoT::weight(10, 1000), "hotter wins");
-        assert!(MnemoT::weight(100, 100) > MnemoT::weight(100, 1000), "smaller wins");
+        assert!(
+            MnemoT::weight(100, 1000) > MnemoT::weight(10, 1000),
+            "hotter wins"
+        );
+        assert!(
+            MnemoT::weight(100, 100) > MnemoT::weight(100, 1000),
+            "smaller wins"
+        );
         assert_eq!(MnemoT::weight(5, 0), 5.0, "zero size is guarded");
     }
 
@@ -108,11 +116,26 @@ mod tests {
             name: "crafted".into(),
             sizes: vec![1000, 100, 100, 100],
             requests: vec![
-                Request { key: 0, op: Op::Read },
-                Request { key: 0, op: Op::Read },
-                Request { key: 1, op: Op::Read },
-                Request { key: 1, op: Op::Read },
-                Request { key: 2, op: Op::Read },
+                Request {
+                    key: 0,
+                    op: Op::Read,
+                },
+                Request {
+                    key: 0,
+                    op: Op::Read,
+                },
+                Request {
+                    key: 1,
+                    op: Op::Read,
+                },
+                Request {
+                    key: 1,
+                    op: Op::Read,
+                },
+                Request {
+                    key: 2,
+                    op: Op::Read,
+                },
             ],
         };
         let p = PatternEngine::analyze(&t);
@@ -121,7 +144,9 @@ mod tests {
 
     #[test]
     fn weight_order_is_a_permutation() {
-        let t = WorkloadSpec::trending_preview().scaled(400, 4_000).generate(1);
+        let t = WorkloadSpec::trending_preview()
+            .scaled(400, 4_000)
+            .generate(1);
         let p = PatternEngine::analyze(&t);
         p.validate_order(&MnemoT::weight_order(&p)).unwrap();
     }
@@ -136,14 +161,16 @@ mod tests {
         let p = PatternEngine::analyze(&t);
         let order = MnemoT::weight_order(&p);
         let total: u64 = p.total_requests();
-        let mass_in_order: u64 =
-            order[..100].iter().map(|&k| p.key(k).accesses()).sum();
+        let mass_in_order: u64 = order[..100].iter().map(|&k| p.key(k).accesses()).sum();
         let mass_by_id: u64 = (0..100).map(|k| p.key(k).accesses()).sum();
         assert!(
             mass_in_order as f64 / total as f64 > 0.5,
             "top-20% by weight carries the zipfian head: {mass_in_order}/{total}"
         );
-        assert!(mass_in_order > 2 * mass_by_id, "reordering concentrates the head");
+        assert!(
+            mass_in_order > 2 * mass_by_id,
+            "reordering concentrates the head"
+        );
     }
 
     #[test]
@@ -160,7 +187,9 @@ mod tests {
     #[test]
     fn knapsack_select_close_to_weight_fill() {
         let t = WorkloadSpec::trending().scaled(150, 2_000).generate(4);
-        let b = SensitivityEngine::default().measure(StoreKind::Redis, &t).unwrap();
+        let b = SensitivityEngine::default()
+            .measure(StoreKind::Redis, &t)
+            .unwrap();
         let m = PerfModel::fit(ModelKind::GlobalAverage, &b, &t.sizes);
         let p = PatternEngine::analyze(&t);
         let cap = p.total_bytes() / 3;

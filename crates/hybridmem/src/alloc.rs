@@ -141,12 +141,18 @@ impl ObjectTable {
 
     /// Look up a live object.
     pub fn get(&self, id: ObjectId) -> Result<Placement, AllocError> {
-        self.objects.get(&id).copied().ok_or(AllocError::UnknownObject(id))
+        self.objects
+            .get(&id)
+            .copied()
+            .ok_or(AllocError::UnknownObject(id))
     }
 
     /// Remove an object, returning its last placement.
     pub fn remove(&mut self, id: ObjectId) -> Result<Placement, AllocError> {
-        let p = self.objects.remove(&id).ok_or(AllocError::UnknownObject(id))?;
+        let p = self
+            .objects
+            .remove(&id)
+            .ok_or(AllocError::UnknownObject(id))?;
         self.arena(p.tier).dealloc(p.addr, p.bytes);
         Ok(p)
     }
@@ -164,14 +170,22 @@ impl ObjectTable {
         }
         self.arena(old.tier).dealloc(old.addr, old.bytes);
         let addr = self.arena(target).alloc(old.bytes);
-        let new = Placement { tier: target, addr, bytes: old.bytes };
+        let new = Placement {
+            tier: target,
+            addr,
+            bytes: old.bytes,
+        };
         self.objects.insert(id, new);
         Ok((old, new))
     }
 
     /// Resize an object in place (same tier, possibly new address),
     /// returning `(old, new)` placements.
-    pub fn resize(&mut self, id: ObjectId, bytes: u64) -> Result<(Placement, Placement), AllocError> {
+    pub fn resize(
+        &mut self,
+        id: ObjectId,
+        bytes: u64,
+    ) -> Result<(Placement, Placement), AllocError> {
         if bytes == 0 {
             return Err(AllocError::ZeroSize);
         }
@@ -183,7 +197,11 @@ impl ObjectTable {
         }
         self.arena(old.tier).dealloc(old.addr, old.bytes);
         let addr = self.arena(old.tier).alloc(bytes);
-        let new = Placement { tier: old.tier, addr, bytes };
+        let new = Placement {
+            tier: old.tier,
+            addr,
+            bytes,
+        };
         self.objects.insert(id, new);
         Ok((old, new))
     }
@@ -205,7 +223,11 @@ impl ObjectTable {
 
     /// Total live bytes in a tier.
     pub fn bytes_in(&self, tier: MemTier) -> u64 {
-        self.objects.values().filter(|p| p.tier == tier).map(|p| p.bytes).sum()
+        self.objects
+            .values()
+            .filter(|p| p.tier == tier)
+            .map(|p| p.bytes)
+            .sum()
     }
 }
 
@@ -229,7 +251,10 @@ mod tests {
     #[test]
     fn zero_size_rejected() {
         let mut t = ObjectTable::new();
-        assert_eq!(t.insert(0, MemTier::Fast).unwrap_err(), AllocError::ZeroSize);
+        assert_eq!(
+            t.insert(0, MemTier::Fast).unwrap_err(),
+            AllocError::ZeroSize
+        );
     }
 
     #[test]
@@ -244,7 +269,9 @@ mod tests {
     #[test]
     fn addresses_disjoint_per_tier() {
         let mut t = ObjectTable::new();
-        let ids: Vec<_> = (0..100).map(|_| t.insert(300, MemTier::Fast).unwrap()).collect();
+        let ids: Vec<_> = (0..100)
+            .map(|_| t.insert(300, MemTier::Fast).unwrap())
+            .collect();
         let mut addrs: Vec<u64> = ids.iter().map(|&i| t.get(i).unwrap().addr).collect();
         addrs.sort_unstable();
         addrs.dedup();

@@ -96,12 +96,18 @@ impl CacheConfig {
 
     /// Same geometry, no cache (for the cache ablation).
     pub fn disabled() -> CacheConfig {
-        CacheConfig { kind: CacheKind::None, ..CacheConfig::paper_llc() }
+        CacheConfig {
+            kind: CacheKind::None,
+            ..CacheConfig::paper_llc()
+        }
     }
 
     /// Same geometry, line-granular model.
     pub fn line_granular() -> CacheConfig {
-        CacheConfig { kind: CacheKind::SetAssociative, ..CacheConfig::paper_llc() }
+        CacheConfig {
+            kind: CacheKind::SetAssociative,
+            ..CacheConfig::paper_llc()
+        }
     }
 
     /// Build the configured cache model.
@@ -109,9 +115,11 @@ impl CacheConfig {
         match self.kind {
             CacheKind::None => Box::new(NoCache),
             CacheKind::ObjectLru => Box::new(ObjectLru::new(self.capacity_bytes)),
-            CacheKind::SetAssociative => {
-                Box::new(SetAssociative::new(self.capacity_bytes, self.line_bytes, self.ways))
-            }
+            CacheKind::SetAssociative => Box::new(SetAssociative::new(
+                self.capacity_bytes,
+                self.line_bytes,
+                self.ways,
+            )),
         }
     }
 
@@ -130,7 +138,10 @@ pub struct NoCache;
 
 impl Cache for NoCache {
     fn access(&mut self, _key: u64, bytes: u64) -> CacheOutcome {
-        CacheOutcome { hit_bytes: 0, miss_bytes: bytes }
+        CacheOutcome {
+            hit_bytes: 0,
+            miss_bytes: bytes,
+        }
     }
     fn invalidate(&mut self, _key: u64) {}
     fn clear(&mut self) {}
@@ -259,7 +270,12 @@ impl ObjectLru {
             self.used = self.used - cached + bytes;
             self.slab[idx].bytes = bytes;
         } else {
-            let node = Node { key, bytes, prev: None, next: None };
+            let node = Node {
+                key,
+                bytes,
+                prev: None,
+                next: None,
+            };
             let idx = match self.free.pop() {
                 Some(i) => {
                     self.slab[i] = node;
@@ -303,13 +319,19 @@ impl Cache for ObjectLru {
             self.detach(idx);
             self.push_front(idx);
             if bytes <= cached {
-                return CacheOutcome { hit_bytes: bytes, miss_bytes: 0 };
+                return CacheOutcome {
+                    hit_bytes: bytes,
+                    miss_bytes: 0,
+                };
             }
             let grow = bytes - cached;
             if self.used + grow <= self.capacity {
                 self.used += grow;
                 self.slab[idx].bytes = bytes;
-                return CacheOutcome { hit_bytes: cached, miss_bytes: grow };
+                return CacheOutcome {
+                    hit_bytes: cached,
+                    miss_bytes: grow,
+                };
             }
             // Cannot grow in place; fall through to full reinstall below.
             self.detach(idx);
@@ -319,12 +341,20 @@ impl Cache for ObjectLru {
         }
         if bytes > self.capacity {
             // Streaming object larger than the LLC: bypass.
-            return CacheOutcome { hit_bytes: 0, miss_bytes: bytes };
+            return CacheOutcome {
+                hit_bytes: 0,
+                miss_bytes: bytes,
+            };
         }
         while self.used + bytes > self.capacity {
             self.evict_lru();
         }
-        let node = Node { key, bytes, prev: None, next: None };
+        let node = Node {
+            key,
+            bytes,
+            prev: None,
+            next: None,
+        };
         let idx = match self.free.pop() {
             Some(i) => {
                 self.slab[i] = node;
@@ -338,7 +368,10 @@ impl Cache for ObjectLru {
         self.push_front(idx);
         self.map.insert(key, idx);
         self.used += bytes;
-        CacheOutcome { hit_bytes: 0, miss_bytes: bytes }
+        CacheOutcome {
+            hit_bytes: 0,
+            miss_bytes: bytes,
+        }
     }
 
     fn invalidate(&mut self, key: u64) {
@@ -383,7 +416,10 @@ impl SetAssociative {
     /// Build a cache of `capacity_bytes` with the given geometry. The set
     /// count is rounded down to a power of two.
     pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> SetAssociative {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways >= 1);
         let lines = (capacity_bytes / line_bytes).max(1);
         let sets = (lines as usize / ways).max(1).next_power_of_two() >> 1;
@@ -451,7 +487,10 @@ impl Cache for SetAssociative {
             }
         }
         let hit_bytes = (hit_lines * self.line_bytes).min(bytes);
-        CacheOutcome { hit_bytes, miss_bytes: bytes - hit_bytes }
+        CacheOutcome {
+            hit_bytes,
+            miss_bytes: bytes - hit_bytes,
+        }
     }
 
     fn invalidate(&mut self, key: u64) {
@@ -487,9 +526,21 @@ mod tests {
     fn object_lru_hits_after_install() {
         let mut c = ObjectLru::new(1 << 20);
         let first = c.access(1, 1000);
-        assert_eq!(first, CacheOutcome { hit_bytes: 0, miss_bytes: 1000 });
+        assert_eq!(
+            first,
+            CacheOutcome {
+                hit_bytes: 0,
+                miss_bytes: 1000
+            }
+        );
         let second = c.access(1, 1000);
-        assert_eq!(second, CacheOutcome { hit_bytes: 1000, miss_bytes: 0 });
+        assert_eq!(
+            second,
+            CacheOutcome {
+                hit_bytes: 1000,
+                miss_bytes: 0
+            }
+        );
         assert_eq!(c.resident_bytes(), 1000);
         assert_eq!(c.len(), 1);
     }
@@ -502,7 +553,11 @@ mod tests {
         c.access(1, 1024); // touch 1 so 2 is LRU
         c.access(3, 1024); // evicts 2
         assert_eq!(c.access(2, 1024).hit_bytes, 0, "2 was evicted");
-        assert_eq!(c.access(1, 1024).hit_bytes, 0, "1 evicted by reinstall of 2");
+        assert_eq!(
+            c.access(1, 1024).hit_bytes,
+            0,
+            "1 evicted by reinstall of 2"
+        );
     }
 
     #[test]
@@ -583,7 +638,10 @@ mod tests {
     fn insert_reporting_rejects_oversized() {
         let mut c = ObjectLru::new(100);
         c.insert_reporting(1, 50);
-        assert!(c.insert_reporting(2, 500).is_empty(), "no admission, no eviction");
+        assert!(
+            c.insert_reporting(2, 500).is_empty(),
+            "no admission, no eviction"
+        );
         assert!(c.contains(1));
         assert!(!c.contains(2));
     }
@@ -616,7 +674,7 @@ mod tests {
     #[test]
     fn set_associative_evicts_under_pressure() {
         let mut c = SetAssociative::new(8 << 10, 64, 4); // tiny: 128 lines
-        // Stream 64 distinct 1 KiB objects (16 lines each = 1024 lines).
+                                                         // Stream 64 distinct 1 KiB objects (16 lines each = 1024 lines).
         for k in 0..64u64 {
             c.access(k, 1024);
         }

@@ -58,14 +58,20 @@ pub struct NoiseConfig {
 impl NoiseConfig {
     /// No noise at all.
     pub fn disabled() -> NoiseConfig {
-        NoiseConfig { relative_sigma: 0.0, seed: 0 }
+        NoiseConfig {
+            relative_sigma: 0.0,
+            seed: 0,
+        }
     }
 
     /// The default measurement jitter used by the experiment harness: 2%
     /// relative sigma, which lands the estimate error distribution in the
     /// sub-percent band the paper reports.
     pub fn default_jitter(seed: u64) -> NoiseConfig {
-        NoiseConfig { relative_sigma: 0.02, seed }
+        NoiseConfig {
+            relative_sigma: 0.02,
+            seed,
+        }
     }
 }
 
@@ -81,7 +87,11 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// Build from a config.
     pub fn new(config: NoiseConfig) -> NoiseModel {
-        NoiseModel { sigma: config.relative_sigma, rng: StdRng::seed_from_u64(config.seed), spare: None }
+        NoiseModel {
+            sigma: config.relative_sigma,
+            rng: StdRng::seed_from_u64(config.seed),
+            spare: None,
+        }
     }
 
     /// A noiseless model.
@@ -172,7 +182,10 @@ mod tests {
 
     #[test]
     fn noise_mean_is_close_to_identity_and_never_negative() {
-        let mut n = NoiseModel::new(NoiseConfig { relative_sigma: 0.05, seed: 7 });
+        let mut n = NoiseModel::new(NoiseConfig {
+            relative_sigma: 0.05,
+            seed: 7,
+        });
         let samples: Vec<f64> = (0..20_000).map(|_| n.perturb(1000.0)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 1000.0).abs() < 5.0, "mean {mean}");

@@ -40,7 +40,13 @@ impl std::error::Error for CapacityError {}
 impl Device {
     /// Create a device of `capacity` bytes with the given timing.
     pub fn new(tier: MemTier, spec: TierSpec, capacity: u64) -> Device {
-        Device { tier, spec, capacity, used: 0, stats: AccessStats::default() }
+        Device {
+            tier,
+            spec,
+            capacity,
+            used: 0,
+            stats: AccessStats::default(),
+        }
     }
 
     /// Which tier this device implements.
@@ -75,7 +81,10 @@ impl Device {
     /// Reserve `bytes`; fails when the device is full.
     pub fn reserve(&mut self, bytes: u64) -> Result<(), CapacityError> {
         if bytes > self.free() {
-            return Err(CapacityError::OutOfMemory { requested: bytes, free: self.free() });
+            return Err(CapacityError::OutOfMemory {
+                requested: bytes,
+                free: self.free(),
+            });
         }
         self.used += bytes;
         Ok(())
@@ -128,7 +137,13 @@ mod tests {
         let mut d = dev();
         d.reserve(1000).unwrap();
         let err = d.reserve(100).unwrap_err();
-        assert_eq!(err, CapacityError::OutOfMemory { requested: 100, free: 24 });
+        assert_eq!(
+            err,
+            CapacityError::OutOfMemory {
+                requested: 100,
+                free: 24
+            }
+        );
         assert_eq!(d.used(), 1000, "failed reserve must not change usage");
     }
 

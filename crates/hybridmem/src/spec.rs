@@ -215,7 +215,8 @@ mod tests {
         for spec in [TierSpec::paper_fastmem(), TierSpec::paper_slowmem()] {
             for bytes in [64, 1024, 100 * 1024] {
                 assert!(
-                    spec.access_ns(AccessKind::Write, bytes) < spec.access_ns(AccessKind::Read, bytes),
+                    spec.access_ns(AccessKind::Write, bytes)
+                        < spec.access_ns(AccessKind::Read, bytes),
                     "bytes={bytes}"
                 );
             }

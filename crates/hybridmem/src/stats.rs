@@ -103,7 +103,10 @@ impl Histogram {
 
     /// Custom resolution.
     pub fn with_subdivisions(subdivisions: u32) -> Histogram {
-        assert!(subdivisions.is_power_of_two(), "subdivisions must be a power of two");
+        assert!(
+            subdivisions.is_power_of_two(),
+            "subdivisions must be a power of two"
+        );
         Histogram {
             counts: Vec::new(),
             total: 0,
@@ -139,7 +142,10 @@ impl Histogram {
 
     /// Record one sample (nanoseconds).
     pub fn record(&mut self, value_ns: f64) {
-        assert!(value_ns.is_finite() && value_ns >= 0.0, "invalid sample {value_ns}");
+        assert!(
+            value_ns.is_finite() && value_ns >= 0.0,
+            "invalid sample {value_ns}"
+        );
         let b = self.bucket_of(value_ns);
         if b >= self.counts.len() {
             self.counts.resize(b + 1, 0);

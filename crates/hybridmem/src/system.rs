@@ -82,7 +82,10 @@ impl HybridMemory {
     pub fn alloc(&mut self, bytes: u64, tier: MemTier) -> Result<ObjectId, AllocError> {
         self.device(tier)
             .reserve(bytes)
-            .map_err(|_| AllocError::OutOfMemory { tier, requested: bytes })?;
+            .map_err(|_| AllocError::OutOfMemory {
+                tier,
+                requested: bytes,
+            })?;
         match self.objects.insert(bytes, tier) {
             Ok(id) => Ok(id),
             Err(e) => {
@@ -110,8 +113,14 @@ impl HybridMemory {
         }
         self.device(target)
             .reserve(current.bytes)
-            .map_err(|_| AllocError::OutOfMemory { tier: target, requested: current.bytes })?;
-        let (old, _new) = self.objects.migrate(id, target).expect("object vanished mid-migration");
+            .map_err(|_| AllocError::OutOfMemory {
+                tier: target,
+                requested: current.bytes,
+            })?;
+        let (old, _new) = self
+            .objects
+            .migrate(id, target)
+            .expect("object vanished mid-migration");
         self.device(old.tier).release(old.bytes);
         self.cache.invalidate(id.0);
         let read = self.device(old.tier).access_ns(AccessKind::Read, old.bytes);
@@ -128,7 +137,10 @@ impl HybridMemory {
             let grow = bytes - current.bytes;
             self.device(current.tier)
                 .reserve(grow)
-                .map_err(|_| AllocError::OutOfMemory { tier: current.tier, requested: grow })?;
+                .map_err(|_| AllocError::OutOfMemory {
+                    tier: current.tier,
+                    requested: grow,
+                })?;
         } else {
             self.device(current.tier).release(current.bytes - bytes);
         }
@@ -278,7 +290,13 @@ mod tests {
         let mut mem = HybridMemory::new(small_spec());
         mem.alloc(1 << 20, MemTier::Fast).unwrap();
         let err = mem.alloc(1, MemTier::Fast).unwrap_err();
-        assert!(matches!(err, AllocError::OutOfMemory { tier: MemTier::Fast, .. }));
+        assert!(matches!(
+            err,
+            AllocError::OutOfMemory {
+                tier: MemTier::Fast,
+                ..
+            }
+        ));
         // Slow tier unaffected.
         mem.alloc(1, MemTier::Slow).unwrap();
     }

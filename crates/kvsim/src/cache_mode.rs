@@ -67,7 +67,12 @@ impl CacheModeServer {
         trace: &Trace,
         fast_capacity_bytes: u64,
     ) -> Result<CacheModeServer, EngineError> {
-        Self::build_with(kind, HybridSpec::paper_testbed(), trace, fast_capacity_bytes)
+        Self::build_with(
+            kind,
+            HybridSpec::paper_testbed(),
+            trace,
+            fast_capacity_bytes,
+        )
     }
 
     /// Build with an explicit testbed spec.
@@ -113,7 +118,10 @@ impl CacheModeServer {
     }
 
     fn serve(&mut self, key: u64, op: Op) -> f64 {
-        let bytes = self.engine.value_bytes(key).expect("trace references unloaded key");
+        let bytes = self
+            .engine
+            .value_bytes(key)
+            .expect("trace references unloaded key");
         let profile = *self.engine.profile();
         if self.directory.touch(key) {
             // Hit: the whole request path runs at FastMem speed — index
@@ -132,7 +140,10 @@ impl CacheModeServer {
             };
             profile.fixed_op_ns
                 + profile.index_touches as f64
-                    * self.spec.fast.access_ns(AccessKind::Read, profile.touch_bytes)
+                    * self
+                        .spec
+                        .fast
+                        .access_ns(AccessKind::Read, profile.touch_bytes)
                 + amp * self.spec.fast.access_ns(kind, bytes)
         } else {
             // Miss: serve from the SlowMem home through the engine (LLC
@@ -183,7 +194,11 @@ impl CacheModeServer {
                     report.write_hist.record(ns);
                 }
             }
-            report.samples.push(RequestSample { key: r.key, op: r.op, service_ns: ns });
+            report.samples.push(RequestSample {
+                key: r.key,
+                op: r.op,
+                service_ns: ns,
+            });
         }
         report.runtime_ns = clock.now_ns() as f64;
         report
@@ -210,7 +225,11 @@ mod tests {
             CacheModeServer::build_with(StoreKind::Redis, scaled_spec(&t), &t, budget).unwrap();
         let _ = server.run(&t);
         let stats = server.stats();
-        assert!(stats.hit_ratio() > 0.6, "hit ratio {:.3}", stats.hit_ratio());
+        assert!(
+            stats.hit_ratio() > 0.6,
+            "hit ratio {:.3}",
+            stats.hit_ratio()
+        );
     }
 
     #[test]
@@ -232,8 +251,14 @@ mod tests {
             .run(&t)
             .throughput_ops_s()
         };
-        assert!(cache_mode > run(Placement::AllSlow), "cache must help over no cache");
-        assert!(cache_mode < run(Placement::AllFast), "cache cannot beat all-DRAM");
+        assert!(
+            cache_mode > run(Placement::AllSlow),
+            "cache must help over no cache"
+        );
+        assert!(
+            cache_mode < run(Placement::AllFast),
+            "cache cannot beat all-DRAM"
+        );
     }
 
     #[test]
@@ -248,7 +273,9 @@ mod tests {
         assert_eq!(server.stats().writebacks, 0, "read-only => clean victims");
 
         // Update-heavy workload under the same pressure: write-backs.
-        let t = WorkloadSpec::edit_thumbnail().scaled(300, 5_000).generate(5);
+        let t = WorkloadSpec::edit_thumbnail()
+            .scaled(300, 5_000)
+            .generate(5);
         let mut server = CacheModeServer::build_with(
             StoreKind::Redis,
             scaled_spec(&t),
@@ -257,7 +284,10 @@ mod tests {
         )
         .unwrap();
         let _ = server.run(&t);
-        assert!(server.stats().writebacks > 0, "dirty victims must be written back");
+        assert!(
+            server.stats().writebacks > 0,
+            "dirty victims must be written back"
+        );
     }
 
     #[test]

@@ -65,7 +65,13 @@ impl TwoInstanceCluster {
                 slow.load(key, bytes, MemTier::Slow)?;
             }
         }
-        Ok(TwoInstanceCluster { fast, slow, fast_keys, noise: NoiseModel::new(noise), store: kind })
+        Ok(TwoInstanceCluster {
+            fast,
+            slow,
+            fast_keys,
+            noise: NoiseModel::new(noise),
+            store: kind,
+        })
     }
 
     /// Deploy from a [`Placement`].
@@ -74,7 +80,9 @@ impl TwoInstanceCluster {
         trace: &Trace,
         placement: &Placement,
     ) -> Result<TwoInstanceCluster, EngineError> {
-        let fast_keys = (0..trace.keys()).filter(|&k| placement.tier_of(k) == MemTier::Fast).collect();
+        let fast_keys = (0..trace.keys())
+            .filter(|&k| placement.tier_of(k) == MemTier::Fast)
+            .collect();
         TwoInstanceCluster::build(kind, trace, fast_keys)
     }
 
@@ -94,7 +102,10 @@ impl TwoInstanceCluster {
 
     /// Bytes held by each instance, `(fast, slow)`.
     pub fn byte_split(&self) -> (u64, u64) {
-        (self.fast.bytes_in(MemTier::Fast), self.slow.bytes_in(MemTier::Slow))
+        (
+            self.fast.bytes_in(MemTier::Fast),
+            self.slow.bytes_in(MemTier::Slow),
+        )
     }
 
     /// Execute the trace through the router.
@@ -140,7 +151,11 @@ impl TwoInstanceCluster {
                     report.write_hist.record(ns);
                 }
             }
-            report.samples.push(RequestSample { key: r.key, op: r.op, service_ns: ns });
+            report.samples.push(RequestSample {
+                key: r.key,
+                op: r.op,
+                service_ns: ns,
+            });
         }
         report.runtime_ns = clock.now_ns() as f64;
         report
@@ -175,11 +190,18 @@ mod tests {
         let fast: HashSet<u64> = (0..100).collect();
         let mut cluster = TwoInstanceCluster::build(StoreKind::Redis, &t, fast.clone()).unwrap();
         let cr = cluster.run(&t);
-        let sr = Server::build(StoreKind::Redis, &t, Placement::FastSet(fast)).unwrap().run(&t);
+        let sr = Server::build(StoreKind::Redis, &t, Placement::FastSet(fast))
+            .unwrap()
+            .run(&t);
         let rel = (cr.throughput_ops_s() - sr.throughput_ops_s()).abs() / sr.throughput_ops_s();
         // Separate per-instance LLCs and dict load factors leave a small
         // gap; the architectures must agree to a few percent.
-        assert!(rel < 0.05, "cluster {} vs server {}", cr.throughput_ops_s(), sr.throughput_ops_s());
+        assert!(
+            rel < 0.05,
+            "cluster {} vs server {}",
+            cr.throughput_ops_s(),
+            sr.throughput_ops_s()
+        );
     }
 
     #[test]
@@ -187,16 +209,23 @@ mod tests {
         let t = trace();
         let mut cluster = TwoInstanceCluster::build(StoreKind::Redis, &t, HashSet::new()).unwrap();
         let cr = cluster.run(&t);
-        let sr = Server::build(StoreKind::Redis, &t, Placement::AllSlow).unwrap().run(&t);
+        let sr = Server::build(StoreKind::Redis, &t, Placement::AllSlow)
+            .unwrap()
+            .run(&t);
         let rel = (cr.throughput_ops_s() - sr.throughput_ops_s()).abs() / sr.throughput_ops_s();
-        assert!(rel < 0.01, "cluster {} vs server {}", cr.throughput_ops_s(), sr.throughput_ops_s());
+        assert!(
+            rel < 0.01,
+            "cluster {} vs server {}",
+            cr.throughput_ops_s(),
+            sr.throughput_ops_s()
+        );
     }
 
     #[test]
     fn from_placement_constructor() {
         let t = trace();
-        let c =
-            TwoInstanceCluster::from_placement(StoreKind::Memcached, &t, &Placement::AllFast).unwrap();
+        let c = TwoInstanceCluster::from_placement(StoreKind::Memcached, &t, &Placement::AllFast)
+            .unwrap();
         assert_eq!(c.key_split().0, 200);
     }
 }

@@ -50,7 +50,13 @@ impl DynamicConfig {
     /// A reasonable default: re-tier every 1000 requests, ~3-epoch score
     /// memory, 50% residency bonus.
     pub fn new(fast_budget_bytes: u64) -> DynamicConfig {
-        DynamicConfig { epoch_requests: 1000, fast_budget_bytes, decay: 0.7, hysteresis: 0.5, promotion_threshold: 2.0 }
+        DynamicConfig {
+            epoch_requests: 1000,
+            fast_budget_bytes,
+            decay: 0.7,
+            hysteresis: 0.5,
+            promotion_threshold: 2.0,
+        }
     }
 }
 
@@ -128,8 +134,18 @@ impl DynamicTieringServer {
         };
         let mut order: Vec<u64> = (0..self.scores.len() as u64).collect();
         order.sort_by(|&a, &b| {
-            let sa = density(self.engine.as_ref(), &self.scores, self.config.hysteresis, a);
-            let sb = density(self.engine.as_ref(), &self.scores, self.config.hysteresis, b);
+            let sa = density(
+                self.engine.as_ref(),
+                &self.scores,
+                self.config.hysteresis,
+                a,
+            );
+            let sb = density(
+                self.engine.as_ref(),
+                &self.scores,
+                self.config.hysteresis,
+                b,
+            );
             sb.partial_cmp(&sa).expect("scores finite").then(a.cmp(&b))
         });
         // Desired FastMem set under the budget.
@@ -156,9 +172,9 @@ impl DynamicTieringServer {
         let mut cost = 0.0;
         let spec = self.engine.memory().spec().clone();
         let apply = |engine: &mut dyn KvEngine,
-                         stats: &mut MigrationStats,
-                         key: u64,
-                         target: MemTier|
+                     stats: &mut MigrationStats,
+                     key: u64,
+                     target: MemTier|
          -> f64 {
             let bytes = engine.value_bytes(key).unwrap_or(0);
             if engine.migrate(key, target).is_err() {
@@ -238,7 +254,11 @@ impl DynamicTieringServer {
                     report.write_hist.record(ns);
                 }
             }
-            report.samples.push(RequestSample { key: r.key, op: r.op, service_ns: ns });
+            report.samples.push(RequestSample {
+                key: r.key,
+                op: r.op,
+                service_ns: ns,
+            });
         }
         report.runtime_ns = clock.now_ns() as f64;
         report
@@ -297,7 +317,11 @@ mod tests {
             StoreKind::Redis,
             scaled_spec(&t),
             &t,
-            DynamicConfig { epoch_requests: 500, decay: 0.3, ..DynamicConfig::new(budget) },
+            DynamicConfig {
+                epoch_requests: 500,
+                decay: 0.3,
+                ..DynamicConfig::new(budget)
+            },
         )
         .unwrap();
         let dyn_report = dynamic.run(&t);
@@ -344,7 +368,11 @@ mod tests {
             StoreKind::Redis,
             scaled_spec(&t),
             &t,
-            DynamicConfig { epoch_requests: 500, decay: 0.3, ..DynamicConfig::new(budget) },
+            DynamicConfig {
+                epoch_requests: 500,
+                decay: 0.3,
+                ..DynamicConfig::new(budget)
+            },
         )
         .unwrap();
         let dyn_report = dynamic.run(&t);
@@ -385,7 +413,10 @@ mod tests {
         let mut server = DynamicTieringServer::build(
             StoreKind::Redis,
             &t,
-            DynamicConfig { epoch_requests: 200, ..DynamicConfig::new(budget_for(&t)) },
+            DynamicConfig {
+                epoch_requests: 200,
+                ..DynamicConfig::new(budget_for(&t))
+            },
         )
         .unwrap();
         let report = server.run(&t);
@@ -393,7 +424,10 @@ mod tests {
         assert!(stats.migration_ns > 0.0);
         // Runtime includes migration time on top of request service time.
         let service: f64 = report.samples.iter().map(|s| s.service_ns).sum();
-        assert!(report.runtime_ns > service, "migration must inflate runtime");
+        assert!(
+            report.runtime_ns > service,
+            "migration must inflate runtime"
+        );
     }
 
     #[test]
@@ -403,7 +437,10 @@ mod tests {
         let _ = DynamicTieringServer::build(
             StoreKind::Redis,
             &t,
-            DynamicConfig { epoch_requests: 0, ..DynamicConfig::new(100) },
+            DynamicConfig {
+                epoch_requests: 0,
+                ..DynamicConfig::new(100)
+            },
         );
     }
 }

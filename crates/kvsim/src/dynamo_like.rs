@@ -30,7 +30,9 @@ impl DynamoLike {
 
     /// Build with a custom profile (ablations).
     pub fn with_profile(profile: EngineProfile, spec: HybridSpec) -> DynamoLike {
-        DynamoLike { core: EngineCore::new(profile, HybridMemory::new(spec)) }
+        DynamoLike {
+            core: EngineCore::new(profile, HybridMemory::new(spec)),
+        }
     }
 
     /// Stored footprint of a value: inflated + fixed item overhead.
@@ -153,7 +155,10 @@ mod tests {
             slowdown_dynamo > slowdown_redis,
             "dynamo {slowdown_dynamo:.2} must exceed redis {slowdown_redis:.2}"
         );
-        assert!(slowdown_dynamo > 1.5, "dynamo slowdown {slowdown_dynamo:.2}");
+        assert!(
+            slowdown_dynamo > 1.5,
+            "dynamo slowdown {slowdown_dynamo:.2}"
+        );
     }
 
     #[test]

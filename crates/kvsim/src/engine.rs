@@ -95,7 +95,11 @@ pub struct EngineCore {
 impl EngineCore {
     /// Build a core over a memory system.
     pub fn new(profile: EngineProfile, mem: HybridMemory) -> EngineCore {
-        EngineCore { profile, mem, table: HashMap::new() }
+        EngineCore {
+            profile,
+            mem,
+            table: HashMap::new(),
+        }
     }
 
     /// The profile.
@@ -132,7 +136,10 @@ impl EngineCore {
 
     /// Look up a key.
     pub fn lookup(&self, key: u64) -> Result<(ObjectId, u64), EngineError> {
-        self.table.get(&key).copied().ok_or(EngineError::UnknownKey(key))
+        self.table
+            .get(&key)
+            .copied()
+            .ok_or(EngineError::UnknownKey(key))
     }
 
     /// The tier currently holding a key.
@@ -178,7 +185,10 @@ impl EngineCore {
 
     /// Remove a key, freeing its storage.
     pub fn remove(&mut self, key: u64) -> Result<u64, EngineError> {
-        let (id, value_bytes) = self.table.remove(&key).ok_or(EngineError::UnknownKey(key))?;
+        let (id, value_bytes) = self
+            .table
+            .remove(&key)
+            .ok_or(EngineError::UnknownKey(key))?;
         self.mem.free(id)?;
         Ok(value_bytes)
     }
@@ -231,7 +241,10 @@ mod tests {
         assert_eq!(c.key_count(), 1);
         assert_eq!(c.value_bytes(1), Some(100));
         assert_eq!(c.placement_of(1), Some(MemTier::Fast));
-        assert_eq!(c.load(1, 100, 128, MemTier::Fast).unwrap_err(), EngineError::DuplicateKey(1));
+        assert_eq!(
+            c.load(1, 100, 128, MemTier::Fast).unwrap_err(),
+            EngineError::DuplicateKey(1)
+        );
         assert_eq!(c.remove(1).unwrap(), 100);
         assert_eq!(c.lookup(1).unwrap_err(), EngineError::UnknownKey(1));
     }
@@ -269,7 +282,8 @@ mod tests {
         let mut spec = HybridSpec::paper_testbed();
         spec.fast_capacity = 1 << 24;
         spec.slow_capacity = 1 << 24;
-        let mut plain = EngineCore::new(StoreKind::Redis.profile(), HybridMemory::new(spec.clone()));
+        let mut plain =
+            EngineCore::new(StoreKind::Redis.profile(), HybridMemory::new(spec.clone()));
         let mut amped = EngineCore::new(StoreKind::Dynamo.profile(), HybridMemory::new(spec));
         plain.load(1, 50_000, 50_000, MemTier::Slow).unwrap();
         amped.load(1, 50_000, 50_000, MemTier::Slow).unwrap();

@@ -67,7 +67,10 @@ impl MemcachedLike {
     }
 
     fn class_index(bytes: u64) -> usize {
-        slab_classes().iter().position(|&c| bytes <= c).unwrap_or(slab_classes().len() - 1)
+        slab_classes()
+            .iter()
+            .position(|&c| bytes <= c)
+            .unwrap_or(slab_classes().len() - 1)
     }
 
     /// Slab-allocator internal fragmentation (chunk bytes reserved minus
@@ -98,19 +101,25 @@ impl KvEngine for MemcachedLike {
     }
 
     fn get(&mut self, key: u64) -> Result<f64, EngineError> {
-        let index = self.core.index_walk(key, self.core.profile().index_touches)?;
+        let index = self
+            .core
+            .index_walk(key, self.core.profile().index_touches)?;
         let value = self.core.value_traffic(key, AccessKind::Read)?;
         Ok(self.core.profile().fixed_op_ns + index + value)
     }
 
     fn put(&mut self, key: u64) -> Result<f64, EngineError> {
-        let index = self.core.index_walk(key, self.core.profile().index_touches)?;
+        let index = self
+            .core
+            .index_walk(key, self.core.profile().index_touches)?;
         let value = self.core.value_traffic(key, AccessKind::Write)?;
         Ok(self.core.profile().fixed_op_ns + index + value)
     }
 
     fn delete(&mut self, key: u64) -> Result<f64, EngineError> {
-        let index = self.core.index_walk(key, self.core.profile().index_touches)?;
+        let index = self
+            .core
+            .index_walk(key, self.core.profile().index_touches)?;
         let bytes = self.core.remove(key)?;
         self.core_value_sum = self.core_value_sum.saturating_sub(bytes);
         let chunk = slab_chunk_for(bytes + ITEM_HEADER_BYTES);
@@ -167,7 +176,10 @@ mod tests {
         for w in classes.windows(2) {
             assert!(w[1] > w[0]);
             let ratio = w[1] as f64 / w[0] as f64;
-            assert!(ratio <= 1.26 + 1e-9 || w[1] == SLAB_MAX_BYTES, "ratio {ratio}");
+            assert!(
+                ratio <= 1.26 + 1e-9 || w[1] == SLAB_MAX_BYTES,
+                "ratio {ratio}"
+            );
         }
     }
 
@@ -198,7 +210,11 @@ mod tests {
         e.reset_measurement_state();
         let f = e.get(1).unwrap();
         let s = e.get(2).unwrap();
-        assert!(s / f < 1.15, "memcached slowdown must stay small: {}", s / f);
+        assert!(
+            s / f < 1.15,
+            "memcached slowdown must stay small: {}",
+            s / f
+        );
     }
 
     #[test]

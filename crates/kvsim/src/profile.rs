@@ -252,9 +252,11 @@ mod tests {
         let spec = hybridmem::HybridSpec::paper_testbed();
         let profile = StoreKind::Redis.profile();
         let bytes = 100 * 1024;
-        let slowdown = profile.read_service_ns(&spec.slow, bytes)
-            / profile.read_service_ns(&spec.fast, bytes);
-        let x = profile.calibrate_fixed_cost(&spec, bytes, slowdown).unwrap();
+        let slowdown =
+            profile.read_service_ns(&spec.slow, bytes) / profile.read_service_ns(&spec.fast, bytes);
+        let x = profile
+            .calibrate_fixed_cost(&spec, bytes, slowdown)
+            .unwrap();
         assert!(
             (x - profile.fixed_op_ns).abs() / profile.fixed_op_ns < 1e-9,
             "recovered {x} vs preset {}",
@@ -266,7 +268,10 @@ mod tests {
     fn calibration_hits_arbitrary_targets() {
         let spec = hybridmem::HybridSpec::paper_testbed();
         for target in [1.1, 1.4, 2.0] {
-            let p = StoreKind::Redis.profile().calibrated(&spec, 100 * 1024, target).unwrap();
+            let p = StoreKind::Redis
+                .profile()
+                .calibrated(&spec, 100 * 1024, target)
+                .unwrap();
             let got = p.read_service_ns(&spec.slow, 100 * 1024)
                 / p.read_service_ns(&spec.fast, 100 * 1024);
             assert!((got - target).abs() < 1e-9, "target {target}, got {got}");
@@ -281,9 +286,14 @@ mod tests {
         assert!(profile.calibrate_fixed_cost(&spec, 1024, 0.5).is_none());
         // Beyond the zero-fixed-cost maximum slowdown.
         let max = {
-            let p = EngineProfile { fixed_op_ns: 0.0, ..profile };
+            let p = EngineProfile {
+                fixed_op_ns: 0.0,
+                ..profile
+            };
             p.read_service_ns(&spec.slow, 1024) / p.read_service_ns(&spec.fast, 1024)
         };
-        assert!(profile.calibrate_fixed_cost(&spec, 1024, max * 1.5).is_none());
+        assert!(profile
+            .calibrate_fixed_cost(&spec, 1024, max * 1.5)
+            .is_none());
     }
 }

@@ -29,7 +29,10 @@ impl RedisLike {
 
     /// Build with a custom profile (ablations).
     pub fn with_profile(profile: EngineProfile, spec: HybridSpec) -> RedisLike {
-        RedisLike { core: EngineCore::new(profile, HybridMemory::new(spec)), table_size: 4 }
+        RedisLike {
+            core: EngineCore::new(profile, HybridMemory::new(spec)),
+            table_size: 4,
+        }
     }
 
     /// Current dict load factor (keys per bucket).
@@ -47,7 +50,9 @@ impl RedisLike {
     /// Dict walk cost: the configured dependent touches, scaled by the
     /// expected chain length at the current load factor.
     fn index_cost(&mut self, key: u64) -> Result<f64, EngineError> {
-        let base = self.core.index_walk(key, self.core.profile().index_touches)?;
+        let base = self
+            .core
+            .index_walk(key, self.core.profile().index_touches)?;
         let extra = self.load_factor() / 2.0;
         Ok(base * (1.0 + extra))
     }
@@ -59,7 +64,8 @@ impl KvEngine for RedisLike {
     }
 
     fn load(&mut self, key: u64, bytes: u64, tier: MemTier) -> Result<(), EngineError> {
-        self.core.load(key, bytes, bytes + VALUE_HEADER_BYTES, tier)?;
+        self.core
+            .load(key, bytes, bytes + VALUE_HEADER_BYTES, tier)?;
         self.maybe_grow();
         Ok(())
     }

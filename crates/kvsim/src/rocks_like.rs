@@ -54,8 +54,8 @@ impl RocksLike {
     /// Build over a fresh memory system; the block cache is sized to a
     /// quarter of the configured memory capacity.
     pub fn new(spec: HybridSpec) -> RocksLike {
-        let cache_bytes = ((spec.fast_capacity + spec.slow_capacity) as f64
-            * BLOCK_CACHE_FRACTION) as u64;
+        let cache_bytes =
+            ((spec.fast_capacity + spec.slow_capacity) as f64 * BLOCK_CACHE_FRACTION) as u64;
         RocksLike::with_cache_bytes(spec, cache_bytes)
     }
 
@@ -113,7 +113,9 @@ impl KvEngine for RocksLike {
 
     fn get(&mut self, key: u64) -> Result<f64, EngineError> {
         let (_, bytes) = self.core.lookup(key)?;
-        let index = self.core.index_walk(key, self.core.profile().index_touches)?;
+        let index = self
+            .core
+            .index_walk(key, self.core.profile().index_touches)?;
         let data = if self.block_cache.touch(key) {
             // Block-cache hit: value served from memory in the key's tier.
             self.cache_reads += 1;
@@ -131,7 +133,9 @@ impl KvEngine for RocksLike {
 
     fn put(&mut self, key: u64) -> Result<f64, EngineError> {
         let (_, bytes) = self.core.lookup(key)?;
-        let index = self.core.index_walk(key, self.core.profile().index_touches)?;
+        let index = self
+            .core
+            .index_walk(key, self.core.profile().index_touches)?;
         // Memtable write in the key's tier + amortised compaction I/O.
         let memwrite = self.core.value_traffic(key, AccessKind::Write)?;
         let compaction = AMORTISED_WRITE_AMP * Self::ssd_ns(bytes);
@@ -141,7 +145,9 @@ impl KvEngine for RocksLike {
     }
 
     fn delete(&mut self, key: u64) -> Result<f64, EngineError> {
-        let index = self.core.index_walk(key, self.core.profile().index_touches)?;
+        let index = self
+            .core
+            .index_walk(key, self.core.profile().index_touches)?;
         self.block_cache.invalidate(key);
         self.core.remove(key)?;
         Ok(self.core.profile().fixed_op_ns + index)
@@ -197,7 +203,10 @@ mod tests {
         e.load(1, 100_000, MemTier::Fast).unwrap();
         let cold = e.get(1).unwrap();
         let warm = e.get(1).unwrap();
-        assert!(cold > warm + SSD_LATENCY_NS, "cold {cold} must include SSD time");
+        assert!(
+            cold > warm + SSD_LATENCY_NS,
+            "cold {cold} must include SSD time"
+        );
         assert_eq!(e.read_split(), (1, 1));
     }
 
@@ -210,7 +219,10 @@ mod tests {
         let slow = e.get(2).unwrap();
         // Both go to disk; only the admission write differs (small).
         let rel = (slow - fast) / fast;
-        assert!(rel < 0.25, "tier placement must barely matter on disk reads: {rel}");
+        assert!(
+            rel < 0.25,
+            "tier placement must barely matter on disk reads: {rel}"
+        );
     }
 
     #[test]
@@ -222,7 +234,10 @@ mod tests {
         e.get(2).unwrap(); // both now block-cached
         let fast = e.get(1).unwrap();
         let slow = e.get(2).unwrap();
-        assert!(slow > fast * 1.2, "cached reads expose the tier: {slow} vs {fast}");
+        assert!(
+            slow > fast * 1.2,
+            "cached reads expose the tier: {slow} vs {fast}"
+        );
     }
 
     #[test]
@@ -230,7 +245,10 @@ mod tests {
         let mut e = RocksLike::new(small_spec());
         e.load(1, 100_000, MemTier::Fast).unwrap();
         let w = e.put(1).unwrap();
-        assert!(w > AMORTISED_WRITE_AMP * SSD_LATENCY_NS, "compaction I/O charged: {w}");
+        assert!(
+            w > AMORTISED_WRITE_AMP * SSD_LATENCY_NS,
+            "compaction I/O charged: {w}"
+        );
         // And the write warms the block cache for the next read.
         let r = e.get(1).unwrap();
         assert!(r < w, "post-write read is a cache hit");

@@ -14,7 +14,7 @@ use crate::rocks_like::RocksLike;
 use hybridmem::clock::NoiseConfig;
 use hybridmem::{Histogram, HybridSpec, MemTier, NoiseModel, SimClock};
 use std::collections::HashSet;
-use ycsb::{Op, Trace};
+use ycsb::{AccessEvent, Op, Trace};
 
 /// Initial data placement for a run — the paper's `numactl` binding plus
 /// Mnemo's per-key static placement.
@@ -154,8 +154,18 @@ pub fn make_engine(kind: StoreKind, spec: HybridSpec) -> Box<dyn KvEngine> {
 impl Server {
     /// Build a server on the paper's testbed spec, load the trace's
     /// dataset under `placement`, with measurement noise disabled.
-    pub fn build(kind: StoreKind, trace: &Trace, placement: Placement) -> Result<Server, EngineError> {
-        Server::build_with(kind, HybridSpec::paper_testbed(), NoiseConfig::disabled(), trace, placement)
+    pub fn build(
+        kind: StoreKind,
+        trace: &Trace,
+        placement: Placement,
+    ) -> Result<Server, EngineError> {
+        Server::build_with(
+            kind,
+            HybridSpec::paper_testbed(),
+            NoiseConfig::disabled(),
+            trace,
+            placement,
+        )
     }
 
     /// Fully parameterised constructor.
@@ -170,11 +180,19 @@ impl Server {
         for (key, &bytes) in trace.sizes.iter().enumerate() {
             engine.load(key as u64, bytes, placement.tier_of(key as u64))?;
         }
-        Ok(Server { engine, noise: NoiseModel::new(noise), store: kind })
+        Ok(Server {
+            engine,
+            noise: NoiseModel::new(noise),
+            store: kind,
+        })
     }
 
     /// Re-place the dataset (static placement between runs; unmeasured).
-    pub fn apply_placement(&mut self, trace: &Trace, placement: &Placement) -> Result<(), EngineError> {
+    pub fn apply_placement(
+        &mut self,
+        trace: &Trace,
+        placement: &Placement,
+    ) -> Result<(), EngineError> {
         // Migrate slow->fast second so the fast tier never holds both the
         // outgoing and incoming working set at once.
         for key in 0..trace.keys() {
@@ -232,6 +250,17 @@ impl Server {
     /// Execute the trace and report measurements. Measurement state
     /// (caches, device stats) is reset first, as between the paper's runs.
     pub fn run(&mut self, trace: &Trace) -> RunReport {
+        self.run_with_tap(trace, &mut |_| {})
+    }
+
+    /// [`Self::run`] with an event tap: the observer is invoked once per
+    /// executed request with the key, operation and record size — the
+    /// feed a streaming profiler consumes. The tap deliberately does
+    /// *not* see service times: Mnemo's online mode, like its offline
+    /// mode, works from the access pattern alone, so anything a profiler
+    /// learns here it could equally learn from a production server's
+    /// request log.
+    pub fn run_with_tap(&mut self, trace: &Trace, tap: &mut dyn FnMut(AccessEvent)) -> RunReport {
         self.engine.reset_measurement_state();
         let mut clock = SimClock::new();
         let mut report = RunReport {
@@ -253,6 +282,11 @@ impl Server {
                 Op::Update => self.engine.put(r.key),
             }
             .expect("trace references unloaded key");
+            tap(AccessEvent {
+                key: r.key,
+                op: r.op,
+                bytes: trace.sizes[r.key as usize],
+            });
             let ns = self.noise.perturb(raw);
             clock.advance(ns);
             match r.op {
@@ -267,7 +301,11 @@ impl Server {
                     report.write_hist.record(ns);
                 }
             }
-            report.samples.push(RequestSample { key: r.key, op: r.op, service_ns: ns });
+            report.samples.push(RequestSample {
+                key: r.key,
+                op: r.op,
+                service_ns: ns,
+            });
         }
         report.runtime_ns = clock.now_ns() as f64;
         report
@@ -315,8 +353,12 @@ mod tests {
 
     #[test]
     fn report_accounting_is_consistent() {
-        let t = WorkloadSpec::edit_thumbnail().scaled(100, 2_000).generate(1);
-        let rep = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap().run(&t);
+        let t = WorkloadSpec::edit_thumbnail()
+            .scaled(100, 2_000)
+            .generate(1);
+        let rep = Server::build(StoreKind::Redis, &t, Placement::AllFast)
+            .unwrap()
+            .run(&t);
         assert_eq!(rep.reads + rep.writes, rep.requests as u64);
         assert_eq!(rep.samples.len(), rep.requests);
         let sample_sum: f64 = rep.samples.iter().map(|s| s.service_ns).sum();
@@ -330,14 +372,20 @@ mod tests {
     #[test]
     fn partial_placement_lands_between_baselines() {
         let t = trace();
-        let fast = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap().run(&t);
-        let slow = Server::build(StoreKind::Redis, &t, Placement::AllSlow).unwrap().run(&t);
+        let fast = Server::build(StoreKind::Redis, &t, Placement::AllFast)
+            .unwrap()
+            .run(&t);
+        let slow = Server::build(StoreKind::Redis, &t, Placement::AllSlow)
+            .unwrap()
+            .run(&t);
         // Hottest half of the keys (by trace counts) in FastMem.
         let counts = t.key_counts();
         let mut order: Vec<u64> = (0..t.keys()).collect();
         order.sort_by_key(|&k| std::cmp::Reverse(counts[k as usize].0 + counts[k as usize].1));
         let placement = Placement::fast_prefix(&order, 100);
-        let mid = Server::build(StoreKind::Redis, &t, placement).unwrap().run(&t);
+        let mid = Server::build(StoreKind::Redis, &t, placement)
+            .unwrap()
+            .run(&t);
         assert!(mid.throughput_ops_s() < fast.throughput_ops_s());
         assert!(mid.throughput_ops_s() > slow.throughput_ops_s());
     }
@@ -346,7 +394,9 @@ mod tests {
     fn apply_placement_matches_fresh_build() {
         let t = trace();
         let placement = Placement::FastSet((0..100).collect());
-        let fresh = Server::build(StoreKind::Redis, &t, placement.clone()).unwrap().run(&t);
+        let fresh = Server::build(StoreKind::Redis, &t, placement.clone())
+            .unwrap()
+            .run(&t);
         let mut server = Server::build(StoreKind::Redis, &t, Placement::AllSlow).unwrap();
         server.apply_placement(&t, &placement).unwrap();
         let migrated = server.run(&t);
@@ -358,7 +408,9 @@ mod tests {
     #[test]
     fn noise_changes_measurements_but_not_much() {
         let t = trace();
-        let clean = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap().run(&t);
+        let clean = Server::build(StoreKind::Redis, &t, Placement::AllFast)
+            .unwrap()
+            .run(&t);
         let noisy = Server::build_with(
             StoreKind::Redis,
             HybridSpec::paper_testbed(),
@@ -392,11 +444,34 @@ mod tests {
             "deep pipelines expose memory time: depth-32 {deep:.2}x vs depth-1 {shallow:.2}x"
         );
         // Depth 1 is identical to plain run.
-        let a = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap().run(&t);
+        let a = Server::build(StoreKind::Redis, &t, Placement::AllFast)
+            .unwrap()
+            .run(&t);
         let b = Server::build(StoreKind::Redis, &t, Placement::AllFast)
             .unwrap()
             .run_pipelined(&t, 1);
         assert!((a.runtime_ns - b.runtime_ns).abs() / a.runtime_ns < 1e-3);
+    }
+
+    #[test]
+    fn event_tap_sees_every_request_without_perturbing_the_run() {
+        let t = trace();
+        let clean = Server::build(StoreKind::Redis, &t, Placement::AllFast)
+            .unwrap()
+            .run(&t);
+        let mut events = Vec::new();
+        let tapped = Server::build(StoreKind::Redis, &t, Placement::AllFast)
+            .unwrap()
+            .run_with_tap(&t, &mut |e| events.push(e));
+        assert_eq!(events.len(), t.len());
+        for (e, r) in events.iter().zip(&t.requests) {
+            assert_eq!((e.key, e.op), (r.key, r.op));
+            assert_eq!(e.bytes, t.sizes[r.key as usize]);
+        }
+        assert_eq!(
+            clean.runtime_ns, tapped.runtime_ns,
+            "tap must not affect timing"
+        );
     }
 
     #[test]
@@ -405,6 +480,8 @@ mod tests {
         let t = trace();
         let mut bad = t.clone();
         bad.requests[0].key = 10_000; // beyond the dataset
-        let _ = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap().run(&bad);
+        let _ = Server::build(StoreKind::Redis, &t, Placement::AllFast)
+            .unwrap()
+            .run(&bad);
     }
 }

@@ -32,7 +32,14 @@ impl ShardedCluster {
         placement: &Placement,
         n: usize,
     ) -> Result<ShardedCluster, EngineError> {
-        Self::build_with(kind, HybridSpec::paper_testbed(), NoiseConfig::disabled(), trace, placement, n)
+        Self::build_with(
+            kind,
+            HybridSpec::paper_testbed(),
+            NoiseConfig::disabled(),
+            trace,
+            placement,
+            n,
+        )
     }
 
     /// Like [`Self::build`], but the testbed's device bandwidth is shared
@@ -96,7 +103,12 @@ impl ShardedCluster {
             }
         })
         .expect("shard thread panicked");
-        merge_reports(trace, reports.into_iter().map(|r| r.expect("missing shard report")))
+        merge_reports(
+            trace,
+            reports
+                .into_iter()
+                .map(|r| r.expect("missing shard report")),
+        )
     }
 }
 
@@ -114,8 +126,17 @@ fn shard_trace(trace: &Trace, shard: usize, n: usize) -> Trace {
         .enumerate()
         .map(|(k, &b)| if owns(k as u64) { b } else { 1 })
         .collect();
-    let requests = trace.requests.iter().copied().filter(|r| owns(r.key)).collect();
-    Trace { name: format!("{} [shard {shard}/{n}]", trace.name), sizes, requests }
+    let requests = trace
+        .requests
+        .iter()
+        .copied()
+        .filter(|r| owns(r.key))
+        .collect();
+    Trace {
+        name: format!("{} [shard {shard}/{n}]", trace.name),
+        sizes,
+        requests,
+    }
 }
 
 fn merge_reports(trace: &Trace, reports: impl Iterator<Item = RunReport>) -> RunReport {
@@ -161,17 +182,25 @@ mod tests {
         let t = trace();
         let cluster = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, 1).unwrap();
         let cr = cluster.run(&t);
-        let sr = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap().run(&t);
+        let sr = Server::build(StoreKind::Redis, &t, Placement::AllFast)
+            .unwrap()
+            .run(&t);
         assert_eq!(cr.requests, sr.requests);
         let rel = (cr.runtime_ns - sr.runtime_ns).abs() / sr.runtime_ns;
-        assert!(rel < 0.02, "1-shard {} vs server {}", cr.runtime_ns, sr.runtime_ns);
+        assert!(
+            rel < 0.02,
+            "1-shard {} vs server {}",
+            cr.runtime_ns,
+            sr.runtime_ns
+        );
     }
 
     #[test]
     fn all_requests_are_served_exactly_once() {
         let t = trace();
         for n in [2, 4, 7] {
-            let cluster = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, n).unwrap();
+            let cluster =
+                ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, n).unwrap();
             let r = cluster.run(&t);
             assert_eq!(r.requests, t.len(), "n={n}");
             assert_eq!(r.reads + r.writes, t.len() as u64);
@@ -182,8 +211,12 @@ mod tests {
     #[test]
     fn sharding_reduces_cluster_runtime() {
         let t = trace();
-        let one = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, 1).unwrap().run(&t);
-        let four = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, 4).unwrap().run(&t);
+        let one = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, 1)
+            .unwrap()
+            .run(&t);
+        let four = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, 4)
+            .unwrap()
+            .run(&t);
         assert!(
             four.runtime_ns < one.runtime_ns / 2.0,
             "4 shards {} vs 1 shard {}",

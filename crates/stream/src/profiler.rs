@@ -1,0 +1,438 @@
+//! The streaming Pattern Engine: bounded-memory `Req(keys)`.
+//!
+//! Where the offline [`mnemo::PatternEngine`] walks a materialised trace
+//! and holds one [`mnemo::KeyStats`] per key, the [`StreamProfiler`]
+//! consumes an unbounded [`ycsb::AccessEvent`] stream and keeps only:
+//!
+//! * a Space-Saving top-K of the hottest keys (with per-key read/write
+//!   split and a size EWMA) — the *head* of the distribution, tracked
+//!   exactly up to the summary's guaranteed error;
+//! * two Count-Min sketches (reads / writes) for point queries on any
+//!   key, with computed `eps * N` error bounds;
+//! * a linear-counting bitmap for the distinct-key cardinality;
+//! * a per-epoch skew tracker for drift detection.
+//!
+//! Memory is O(K + sketch area), independent of both key count and
+//! stream length; [`StreamProfiler::memory_bytes`] reports the exact
+//! footprint so callers can assert a budget.
+//!
+//! [`StreamProfiler::approx_pattern`] converts the summary back into a
+//! full per-key [`mnemo::PatternEngine`] the estimate/advisor pipeline
+//! accepts: monitored keys become individual synthetic keys with their
+//! tracked statistics ("head-exact"); the residual request mass is
+//! spread over the estimated remaining distinct keys as a power-law
+//! continuation of the head's rank-frequency curve, at the global mean
+//! record size ("tail-fitted").
+
+use crate::distinct::DistinctCounter;
+use crate::epoch::{Drift, DriftConfig, SkewTracker};
+use crate::sketch::CountMinSketch;
+use crate::topk::{SpaceSaving, TopEntry};
+use mnemo::{KeyStats, PatternEngine};
+use ycsb::fit::fit_zipf_theta;
+use ycsb::{AccessEvent, Op};
+
+/// Sizing of every bounded structure in the profiler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Keys monitored exactly (Space-Saving capacity).
+    pub top_k: usize,
+    /// Count-Min row width (rounded up to a power of two).
+    pub cm_width: usize,
+    /// Count-Min rows.
+    pub cm_depth: usize,
+    /// Distinct-counter bitmap bits, as a power of two (`2^log2_bits`).
+    pub distinct_log2_bits: u32,
+    /// Smoothing factor for per-key size EWMAs.
+    pub ewma_alpha: f64,
+    /// Epoch and drift thresholds.
+    pub drift: DriftConfig,
+}
+
+impl Default for StreamConfig {
+    /// The reference configuration: fits the 64 KiB default budget with
+    /// headroom (see `memory_bytes`), sized for workloads of ~10k keys.
+    fn default() -> Self {
+        StreamConfig {
+            top_k: 256,
+            cm_width: 1024,
+            cm_depth: 4,
+            distinct_log2_bits: 15,
+            ewma_alpha: 0.2,
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Scale the default configuration to approximately fit a memory
+    /// budget, splitting it in the default shape: about half to the two
+    /// Count-Min sketches, a quarter to the top-K summary, the rest to
+    /// the distinct bitmap and the epoch tracker. Panics below 4 KiB —
+    /// no useful summary fits there.
+    pub fn with_budget_bytes(budget: usize) -> StreamConfig {
+        assert!(budget >= 4 * 1024, "streaming budget below 4 KiB");
+        let scale = budget as f64 / (64.0 * 1024.0);
+        let default = StreamConfig::default();
+        let top_k = ((default.top_k as f64 * scale) as usize).max(16);
+        StreamConfig {
+            top_k,
+            cm_width: ((default.cm_width as f64 * scale) as usize).max(64),
+            cm_depth: default.cm_depth,
+            distinct_log2_bits: {
+                // Bitmap scales in power-of-two steps.
+                let target = (1u64 << default.distinct_log2_bits) as f64 * scale;
+                (target as u64).max(4096).ilog2()
+            },
+            ewma_alpha: default.ewma_alpha,
+            drift: DriftConfig {
+                epoch_top_k: (default.drift.epoch_top_k as f64 * scale).max(16.0) as usize,
+                ..default.drift
+            },
+        }
+    }
+}
+
+/// The streaming profiler.
+#[derive(Debug, Clone)]
+pub struct StreamProfiler {
+    config: StreamConfig,
+    top: SpaceSaving,
+    cm_reads: CountMinSketch,
+    cm_writes: CountMinSketch,
+    distinct: DistinctCounter,
+    skew: SkewTracker,
+    events: u64,
+    reads: u64,
+    writes: u64,
+    /// Global mean record size over events (exact; mass-weighted, which
+    /// biases toward hot keys' sizes — documented tail approximation).
+    bytes_sum: f64,
+}
+
+impl StreamProfiler {
+    /// Build a profiler.
+    pub fn new(config: StreamConfig) -> StreamProfiler {
+        StreamProfiler {
+            top: SpaceSaving::new(config.top_k, config.ewma_alpha),
+            cm_reads: CountMinSketch::new(config.cm_width, config.cm_depth),
+            cm_writes: CountMinSketch::new(config.cm_width, config.cm_depth),
+            distinct: DistinctCounter::new(config.distinct_log2_bits),
+            skew: SkewTracker::new(config.drift),
+            config,
+            events: 0,
+            reads: 0,
+            writes: 0,
+            bytes_sum: 0.0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Discard all accumulated state, keeping the configuration. Used
+    /// after a regime change: the sketches then describe a mixture of
+    /// the old and new workloads, and restarting yields advice for the
+    /// new regime alone after one fresh epoch.
+    pub fn reset(&mut self) {
+        *self = StreamProfiler::new(self.config);
+    }
+
+    /// Consume one event. Returns a drift decision at epoch boundaries.
+    pub fn observe(&mut self, event: &AccessEvent) -> Option<Drift> {
+        self.events += 1;
+        self.bytes_sum += event.bytes as f64;
+        match event.op {
+            Op::Read => {
+                self.reads += 1;
+                self.cm_reads.increment(event.key);
+            }
+            Op::Update => {
+                self.writes += 1;
+                self.cm_writes.increment(event.key);
+            }
+        }
+        self.top.observe(event);
+        self.distinct.insert(event.key);
+        self.skew.observe(event)
+    }
+
+    /// Events consumed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Estimated distinct keys seen.
+    pub fn distinct_keys(&self) -> u64 {
+        self.distinct.estimate()
+    }
+
+    /// The monitored heavy hitters, hottest first.
+    pub fn top_entries(&self) -> Vec<TopEntry> {
+        self.top.entries()
+    }
+
+    /// Sketch-estimated `(reads, writes)` of an arbitrary key — never
+    /// undercounts; over by at most [`Self::count_error_bound`] each.
+    pub fn estimate_key(&self, key: u64) -> (u64, u64) {
+        (self.cm_reads.estimate(key), self.cm_writes.estimate(key))
+    }
+
+    /// Count-Min one-sided error ceiling at the current stream length,
+    /// in requests (the larger of the two sketches' bounds).
+    pub fn count_error_bound(&self) -> u64 {
+        self.cm_reads
+            .error_bound()
+            .max(self.cm_writes.error_bound())
+    }
+
+    /// The epoch/drift tracker.
+    pub fn skew(&self) -> &SkewTracker {
+        &self.skew
+    }
+
+    /// Exact profiler state footprint in bytes: every bounded structure,
+    /// summed. Constant in stream length and key count.
+    pub fn memory_bytes(&self) -> usize {
+        self.top.memory_bytes()
+            + self.cm_reads.memory_bytes()
+            + self.cm_writes.memory_bytes()
+            + self.distinct.memory_bytes()
+            + self.skew.memory_bytes()
+    }
+
+    /// Reconstruct an approximate [`PatternEngine`].
+    ///
+    /// Head: each monitored key becomes one synthetic key. Its access
+    /// count is the Space-Saving *guaranteed* count (`count - error`,
+    /// never an overcount), split into reads/writes by the Count-Min
+    /// point estimates (clamped to the total), with its EWMA size. Tail:
+    /// the residual mass — total events minus head mass — spreads over
+    /// the estimated remaining distinct keys following the zipf exponent
+    /// fitted to the head (uniformly when the head is flat), at the
+    /// global mean record size. Key ids are synthetic (head first, then
+    /// tail); [`ApproxPattern::head_keys`] maps them back.
+    ///
+    /// The result feeds `Advisor::consult_with_pattern` unchanged: the
+    /// estimate curve depends only on the per-key statistics multiset,
+    /// not on key identity.
+    pub fn approx_pattern(&self) -> ApproxPattern {
+        let entries = self.top.entries();
+        let mut stats: Vec<KeyStats> = Vec::with_capacity(entries.len() + 1);
+        let mut head_keys: Vec<u64> = Vec::with_capacity(entries.len());
+        let mut head_mass = 0u64;
+        for e in &entries {
+            let total = e.guaranteed();
+            if total == 0 {
+                continue;
+            }
+            // Count-Min point estimates split the total into ops. Both
+            // are over-estimates, so normalise to the (reliable) total.
+            let (cm_r, cm_w) = self.estimate_key(e.key);
+            let reads = if cm_r + cm_w > 0 {
+                ((total as f64 * cm_r as f64 / (cm_r + cm_w) as f64).round() as u64).min(total)
+            } else {
+                e.reads.min(total)
+            };
+            stats.push(KeyStats {
+                reads,
+                writes: total - reads,
+                bytes: (e.size_ewma.round() as u64).max(1),
+            });
+            head_keys.push(e.key);
+            head_mass += total;
+        }
+
+        let tail_mass = self.events.saturating_sub(head_mass);
+        let tail_keys = self
+            .distinct
+            .estimate()
+            .saturating_sub(head_keys.len() as u64);
+        let mean_size = if self.events > 0 {
+            (self.bytes_sum / self.events as f64).round().max(1.0) as u64
+        } else {
+            1
+        };
+        if tail_keys > 0 {
+            // Continue the head's rank-frequency curve into the tail: fit
+            // the zipf exponent to the guaranteed head counts and give
+            // tail rank r weight (head + r)^-theta. A flat head (theta 0)
+            // degenerates to a uniform tail. Shape matters: a uniform
+            // tail makes the advisor buy far more FastMem than the real
+            // decaying distribution needs.
+            let guaranteed: Vec<u64> = entries.iter().map(|e| e.guaranteed()).collect();
+            let theta = fit_zipf_theta(&guaranteed).unwrap_or(0.0);
+            let head_len = head_keys.len() as u64;
+            let total_weight: f64 = (1..=tail_keys)
+                .map(|r| ((head_len + r) as f64).powf(-theta))
+                .sum();
+            let read_frac = if self.events > 0 {
+                self.reads as f64 / self.events as f64
+            } else {
+                0.0
+            };
+            // Cumulative rounding conserves the mass exactly; the last
+            // rank absorbs any float drift.
+            let mut cum = 0.0;
+            let mut assigned = 0u64;
+            for r in 1..=tail_keys {
+                cum += ((head_len + r) as f64).powf(-theta) / total_weight * tail_mass as f64;
+                let upto = if r == tail_keys {
+                    tail_mass
+                } else {
+                    (cum.round() as u64).min(tail_mass)
+                };
+                let total = upto - assigned;
+                assigned = upto;
+                let reads = (total as f64 * read_frac).round() as u64;
+                stats.push(KeyStats {
+                    reads,
+                    writes: total - reads,
+                    bytes: mean_size,
+                });
+            }
+        } else if tail_mass > 0 {
+            // Cardinality underestimated below the head size: keep the
+            // mass on one synthetic overflow key rather than lose it.
+            let reads =
+                (tail_mass as f64 * self.reads as f64 / self.events.max(1) as f64).round() as u64;
+            stats.push(KeyStats {
+                reads,
+                writes: tail_mass - reads,
+                bytes: mean_size,
+            });
+        }
+
+        ApproxPattern {
+            pattern: PatternEngine::from_stats(stats),
+            head_keys,
+        }
+    }
+}
+
+/// An approximate pattern plus the mapping from synthetic head ids back
+/// to real keys.
+#[derive(Debug, Clone)]
+pub struct ApproxPattern {
+    /// The reconstructed pattern (synthetic key ids: head entries first,
+    /// in descending hotness, then uniform tail keys).
+    pub pattern: PatternEngine,
+    /// Real key of each head id (`head_keys[i]` is synthetic key `i`).
+    pub head_keys: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ycsb::WorkloadSpec;
+
+    fn profile(spec: WorkloadSpec, seed: u64) -> (StreamProfiler, ycsb::Trace) {
+        let trace = spec.generate(seed);
+        let mut p = StreamProfiler::new(StreamConfig::default());
+        for e in trace.events() {
+            p.observe(&e);
+        }
+        (p, trace)
+    }
+
+    #[test]
+    fn default_config_fits_64_kib() {
+        let p = StreamProfiler::new(StreamConfig::default());
+        assert!(
+            p.memory_bytes() <= 64 * 1024,
+            "footprint {}",
+            p.memory_bytes()
+        );
+        // And it is a real summary, not a degenerate one.
+        assert!(
+            p.memory_bytes() >= 32 * 1024,
+            "footprint {}",
+            p.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn budget_scaling_is_monotone_and_respected() {
+        let mut last = 0;
+        for budget in [8 * 1024, 16 * 1024, 64 * 1024, 256 * 1024] {
+            let p = StreamProfiler::new(StreamConfig::with_budget_bytes(budget));
+            let used = p.memory_bytes();
+            assert!(used <= budget + budget / 2, "budget {budget} used {used}");
+            assert!(used > last, "more budget must buy more summary");
+            last = used;
+        }
+    }
+
+    #[test]
+    fn totals_and_cardinality_are_tracked() {
+        let (p, trace) = profile(WorkloadSpec::trending().scaled(2_000, 30_000), 7);
+        assert_eq!(p.events(), trace.len() as u64);
+        let true_distinct = trace.unique_keys_requested() as f64;
+        let est = p.distinct_keys() as f64;
+        assert!(
+            (est - true_distinct).abs() / true_distinct < 0.05,
+            "distinct est {est} vs true {true_distinct}"
+        );
+    }
+
+    #[test]
+    fn approx_pattern_conserves_request_mass() {
+        let (p, trace) = profile(WorkloadSpec::trending().scaled(2_000, 30_000), 8);
+        let approx = p.approx_pattern();
+        let total = approx.pattern.total_requests();
+        // Head uses guaranteed (lower-bound) counts, so the tail absorbs
+        // the difference: totals match exactly.
+        assert_eq!(total, trace.len() as u64);
+        // Reads/writes split approximately matches the workload mix.
+        let reads: u64 = approx.pattern.stats().iter().map(|s| s.reads).sum();
+        let true_reads = (trace.read_fraction() * trace.len() as f64).round();
+        assert!(
+            (reads as f64 - true_reads).abs() / true_reads.max(1.0) < 0.05,
+            "reads {reads} vs {true_reads}"
+        );
+    }
+
+    #[test]
+    fn head_keys_are_the_true_hottest_keys() {
+        // A zipfian head is steep enough that the hottest keys exceed the
+        // Space-Saving guarantee threshold `n / K` by a wide margin.
+        let spec = WorkloadSpec {
+            distribution: ycsb::DistKind::ScrambledZipfian { theta: 0.99 },
+            ..WorkloadSpec::trending().scaled(2_000, 30_000)
+        };
+        let (p, trace) = profile(spec, 9);
+        let counts = trace.key_counts();
+        let mut true_order: Vec<u64> = (0..trace.keys()).collect();
+        true_order.sort_by_key(|&k| std::cmp::Reverse(counts[k as usize].0 + counts[k as usize].1));
+        let approx = p.approx_pattern();
+        let head: std::collections::HashSet<u64> = approx.head_keys.iter().copied().collect();
+        // The 16 genuinely hottest keys must all be monitored.
+        for &k in &true_order[..16] {
+            assert!(head.contains(&k), "hot key {k} missing from head");
+        }
+    }
+
+    #[test]
+    fn point_estimates_never_undercount() {
+        let (p, trace) = profile(WorkloadSpec::timeline().scaled(1_000, 20_000), 10);
+        let counts = trace.key_counts();
+        let bound = p.count_error_bound();
+        for key in (0..trace.keys()).step_by(37) {
+            let (r, w) = p.estimate_key(key);
+            let (tr, tw) = counts[key as usize];
+            assert!(r >= tr && w >= tw, "undercount at {key}");
+            assert!(r <= tr + bound && w <= tw + bound, "bound blown at {key}");
+        }
+    }
+
+    #[test]
+    fn empty_profiler_reconstructs_an_empty_pattern() {
+        let p = StreamProfiler::new(StreamConfig::default());
+        let approx = p.approx_pattern();
+        assert_eq!(approx.pattern.key_count(), 0);
+        assert_eq!(approx.pattern.total_requests(), 0);
+        assert!(approx.head_keys.is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Space-Saving heavy hitters: the top-K keys of an unbounded stream in
+//! O(K) memory.
+//!
+//! Metwally, Agrawal & El Abbadi's algorithm: keep at most `K` monitored
+//! entries. A monitored key's arrival increments its counter; an
+//! unmonitored key evicts the entry with the *smallest* counter,
+//! inheriting that counter as its over-estimation `error`. Guarantees,
+//! for a stream of `n` events:
+//!
+//! * every entry satisfies `count - error <= true <= count`;
+//! * any key with true frequency `> n / K` is monitored — the reported
+//!   set is a **superset** of the true heavy hitters at that threshold.
+//!
+//! Beyond the textbook algorithm, each entry also tracks what Mnemo's
+//! Pattern Engine needs per key: the read/write split of its counted
+//! arrivals and an EWMA of the record sizes observed for it, so the
+//! monitored head of the distribution can be converted back into
+//! [`mnemo::KeyStats`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use ycsb::{AccessEvent, Op};
+
+/// One monitored key.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopEntry {
+    /// The key.
+    pub key: u64,
+    /// Upper bound on the key's true count.
+    pub count: u64,
+    /// Over-estimation inherited at takeover: `count - error` lower-bounds
+    /// the true count.
+    pub error: u64,
+    /// Read arrivals counted while monitored.
+    pub reads: u64,
+    /// Write arrivals counted while monitored.
+    pub writes: u64,
+    /// EWMA of record sizes observed for this key (bytes).
+    pub size_ewma: f64,
+}
+
+impl TopEntry {
+    /// Guaranteed lower bound on the true count.
+    pub fn guaranteed(&self) -> u64 {
+        self.count - self.error
+    }
+}
+
+/// The Space-Saving summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpaceSaving {
+    capacity: usize,
+    ewma_alpha: f64,
+    entries: Vec<TopEntry>,
+    /// key -> index into `entries`.
+    index: HashMap<u64, usize>,
+    observed: u64,
+}
+
+impl SpaceSaving {
+    /// Track up to `capacity` keys; `ewma_alpha` is the smoothing factor
+    /// for per-key size estimates (weight of the newest observation).
+    pub fn new(capacity: usize, ewma_alpha: f64) -> SpaceSaving {
+        assert!(capacity > 0, "capacity must be nonzero");
+        assert!((0.0..=1.0).contains(&ewma_alpha), "alpha out of [0,1]");
+        SpaceSaving {
+            capacity,
+            ewma_alpha,
+            entries: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            observed: 0,
+        }
+    }
+
+    /// Number of keys that can be monitored at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events observed so far (the `n` of the guarantees).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Record one access.
+    pub fn observe(&mut self, event: &AccessEvent) {
+        self.observed += 1;
+        if let Some(&i) = self.index.get(&event.key) {
+            self.bump(i, event);
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.index.insert(event.key, self.entries.len());
+            self.entries.push(TopEntry {
+                key: event.key,
+                count: 0,
+                error: 0,
+                reads: 0,
+                writes: 0,
+                size_ewma: event.bytes as f64,
+            });
+            let i = self.entries.len() - 1;
+            self.bump(i, event);
+            return;
+        }
+        // Take over the minimum-count entry; its count becomes our error.
+        let min = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.count)
+            .map(|(i, _)| i)
+            .expect("capacity > 0");
+        let evicted = self.entries[min];
+        self.index.remove(&evicted.key);
+        self.index.insert(event.key, min);
+        // The inherited count is all error; the op split and size of the
+        // evicted key do not transfer.
+        self.entries[min] = TopEntry {
+            key: event.key,
+            count: evicted.count,
+            error: evicted.count,
+            reads: 0,
+            writes: 0,
+            size_ewma: event.bytes as f64,
+        };
+        self.bump(min, event);
+    }
+
+    fn bump(&mut self, i: usize, event: &AccessEvent) {
+        let e = &mut self.entries[i];
+        e.count += 1;
+        match event.op {
+            Op::Read => e.reads += 1,
+            Op::Update => e.writes += 1,
+        }
+        e.size_ewma += self.ewma_alpha * (event.bytes as f64 - e.size_ewma);
+    }
+
+    /// Monitored entries, hottest first (descending count, ties by key).
+    pub fn entries(&self) -> Vec<TopEntry> {
+        let mut out = self.entries.clone();
+        out.sort_by_key(|e| (std::cmp::Reverse(e.count), e.key));
+        out
+    }
+
+    /// The monitored key set.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|e| e.key)
+    }
+
+    /// Whether `key` is currently monitored.
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Forget everything (capacity and alpha are kept). Used by the
+    /// per-epoch skew tracker between windows.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+        self.observed = 0;
+    }
+
+    /// Heap footprint in bytes: the entry array plus the key index
+    /// (estimated at one entry-slot pair per monitored key).
+    pub fn memory_bytes(&self) -> usize {
+        self.capacity * std::mem::size_of::<TopEntry>()
+            + self.capacity * (std::mem::size_of::<u64>() + std::mem::size_of::<usize>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(key: u64, bytes: u64) -> AccessEvent {
+        AccessEvent {
+            key,
+            op: Op::Read,
+            bytes,
+        }
+    }
+
+    fn write(key: u64, bytes: u64) -> AccessEvent {
+        AccessEvent {
+            key,
+            op: Op::Update,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut ss = SpaceSaving::new(8, 0.2);
+        for _ in 0..5 {
+            ss.observe(&read(1, 100));
+        }
+        ss.observe(&write(2, 200));
+        let entries = ss.entries();
+        assert_eq!(entries[0].key, 1);
+        assert_eq!(entries[0].count, 5);
+        assert_eq!(entries[0].error, 0);
+        assert_eq!(entries[0].reads, 5);
+        assert_eq!(
+            entries[1],
+            TopEntry {
+                key: 2,
+                count: 1,
+                error: 0,
+                reads: 0,
+                writes: 1,
+                size_ewma: 200.0,
+            }
+        );
+    }
+
+    #[test]
+    fn heavy_hitters_survive_churn() {
+        // Two heavy keys among a parade of one-shot keys: capacity 4
+        // must keep both heavies monitored with tight bounds.
+        let mut ss = SpaceSaving::new(4, 0.2);
+        for i in 0..1000u64 {
+            ss.observe(&read(1, 50));
+            ss.observe(&read(2, 50));
+            ss.observe(&read(1000 + i, 10)); // never repeats
+        }
+        assert!(ss.contains(1));
+        assert!(ss.contains(2));
+        let hot: Vec<_> = ss.entries().into_iter().take(2).collect();
+        for e in hot {
+            assert!(e.count >= 1000, "count {}", e.count);
+            assert!(e.guaranteed() <= 1000);
+        }
+    }
+
+    #[test]
+    fn takeover_inherits_count_as_error() {
+        let mut ss = SpaceSaving::new(1, 0.5);
+        for _ in 0..10 {
+            ss.observe(&read(7, 100));
+        }
+        ss.observe(&write(9, 40));
+        let e = ss.entries()[0];
+        assert_eq!(e.key, 9);
+        assert_eq!(e.count, 11);
+        assert_eq!(e.error, 10);
+        assert_eq!(e.guaranteed(), 1);
+        assert_eq!((e.reads, e.writes), (0, 1), "op split restarts at takeover");
+        assert_eq!(e.size_ewma, 40.0, "size restarts at takeover");
+    }
+
+    #[test]
+    fn size_ewma_tracks_observed_bytes() {
+        let mut ss = SpaceSaving::new(2, 0.5);
+        ss.observe(&read(3, 100));
+        ss.observe(&read(3, 200)); // 100 + 0.5*(200-100) = 150
+        let e = ss.entries()[0];
+        assert!((e.size_ewma - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_shape() {
+        let mut ss = SpaceSaving::new(3, 0.2);
+        for i in 0..10 {
+            ss.observe(&read(i, 10));
+        }
+        let mem = ss.memory_bytes();
+        ss.clear();
+        assert_eq!(ss.observed(), 0);
+        assert!(ss.entries().is_empty());
+        assert_eq!(
+            ss.memory_bytes(),
+            mem,
+            "budget is capacity-, not fill-, based"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the sketch guarantees, checked against exact
+//! per-key counts on seeded zipfian and uniform traces.
+//!
+//! * Count-Min estimates never undercount, and stay within the computed
+//!   `eps * N` ceiling.
+//! * Space-Saving monitors a superset of the true heavy hitters (every
+//!   key with frequency above `n / K`), and brackets each monitored
+//!   key's true count between `guaranteed()` and `count`.
+
+use mnemo_stream::{CountMinSketch, SpaceSaving};
+use proptest::prelude::*;
+use ycsb::{DistKind, Trace, WorkloadSpec};
+
+fn trace_for(uniform: bool, theta: f64, seed: u64) -> Trace {
+    let distribution = if uniform {
+        DistKind::Uniform
+    } else {
+        DistKind::ScrambledZipfian { theta }
+    };
+    WorkloadSpec {
+        distribution,
+        ..WorkloadSpec::trending().scaled(400, 6_000)
+    }
+    .generate(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn count_min_never_undercounts_and_stays_within_epsilon_n(
+        seed in 0u64..1_000_000,
+        theta in 0.5f64..0.99,
+        uniform in proptest::bool::ANY,
+    ) {
+        let trace = trace_for(uniform, theta, seed);
+        let mut cm = CountMinSketch::new(512, 5);
+        for e in trace.events() {
+            cm.increment(e.key);
+        }
+        let bound = cm.error_bound();
+        let counts = trace.key_counts();
+        for key in 0..trace.keys() {
+            let (r, w) = counts[key as usize];
+            let true_count = r + w;
+            let est = cm.estimate(key);
+            prop_assert!(
+                est >= true_count,
+                "undercount: key {} est {} true {}",
+                key, est, true_count
+            );
+            prop_assert!(
+                est <= true_count + bound,
+                "bound blown: key {} est {} true {} eps*N {}",
+                key, est, true_count, bound
+            );
+        }
+    }
+
+    #[test]
+    fn space_saving_monitors_a_superset_of_the_true_heavy_hitters(
+        seed in 0u64..1_000_000,
+        theta in 0.5f64..0.99,
+        uniform in proptest::bool::ANY,
+    ) {
+        let trace = trace_for(uniform, theta, seed);
+        let capacity = 64usize;
+        let mut ss = SpaceSaving::new(capacity, 0.2);
+        for e in trace.events() {
+            ss.observe(&e);
+        }
+        let by_key: std::collections::HashMap<u64, (u64, u64)> =
+            ss.entries().iter().map(|e| (e.key, (e.guaranteed(), e.count))).collect();
+        let counts = trace.key_counts();
+        let threshold = trace.len() as u64 / capacity as u64;
+        for key in 0..trace.keys() {
+            let (r, w) = counts[key as usize];
+            let true_count = r + w;
+            if true_count > threshold {
+                prop_assert!(
+                    by_key.contains_key(&key),
+                    "heavy hitter {} ({} > n/K {}) not monitored",
+                    key, true_count, threshold
+                );
+            }
+            if let Some(&(guaranteed, count)) = by_key.get(&key) {
+                prop_assert!(
+                    guaranteed <= true_count && true_count <= count,
+                    "key {}: true {} outside [{}, {}]",
+                    key, true_count, guaranteed, count
+                );
+            }
+        }
+    }
+}

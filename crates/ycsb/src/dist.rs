@@ -75,13 +75,28 @@ impl DistKind {
             DistKind::ScrambledZipfian { theta } => {
                 ChooserCore::Scrambled(Zipfian::new(keys, theta))
             }
-            DistKind::Hotspot { hot_fraction, hot_op_fraction } => {
-                assert!((0.0..=1.0).contains(&hot_fraction), "hot_fraction out of range");
-                assert!((0.0..=1.0).contains(&hot_op_fraction), "hot_op_fraction out of range");
+            DistKind::Hotspot {
+                hot_fraction,
+                hot_op_fraction,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(&hot_fraction),
+                    "hot_fraction out of range"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&hot_op_fraction),
+                    "hot_op_fraction out of range"
+                );
                 let hot_keys = ((keys as f64 * hot_fraction).round() as u64).clamp(1, keys);
-                ChooserCore::Hotspot { hot_keys, hot_op_fraction }
+                ChooserCore::Hotspot {
+                    hot_keys,
+                    hot_op_fraction,
+                }
             }
-            DistKind::Latest { theta, churn_period } => ChooserCore::Latest {
+            DistKind::Latest {
+                theta,
+                churn_period,
+            } => ChooserCore::Latest {
                 zipf: Zipfian::new(keys, theta),
                 churn_period,
                 head: keys - 1,
@@ -102,11 +117,21 @@ pub struct KeyChooser {
 #[derive(Debug, Clone)]
 enum ChooserCore {
     Uniform,
-    Sequential { next: u64 },
+    Sequential {
+        next: u64,
+    },
     Zipfian(Zipfian),
     Scrambled(Zipfian),
-    Hotspot { hot_keys: u64, hot_op_fraction: f64 },
-    Latest { zipf: Zipfian, churn_period: u64, head: u64, issued: u64 },
+    Hotspot {
+        hot_keys: u64,
+        hot_op_fraction: f64,
+    },
+    Latest {
+        zipf: Zipfian,
+        churn_period: u64,
+        head: u64,
+        issued: u64,
+    },
 }
 
 impl KeyChooser {
@@ -130,7 +155,10 @@ impl KeyChooser {
                 let rank = z.sample(rng);
                 fnv1a64(rank) % keys
             }
-            ChooserCore::Hotspot { hot_keys, hot_op_fraction } => {
+            ChooserCore::Hotspot {
+                hot_keys,
+                hot_op_fraction,
+            } => {
                 if rng.random_bool(*hot_op_fraction) {
                     rng.random_range(0..*hot_keys)
                 } else if *hot_keys == keys {
@@ -139,7 +167,12 @@ impl KeyChooser {
                     rng.random_range(*hot_keys..keys)
                 }
             }
-            ChooserCore::Latest { zipf, churn_period, head, issued } => {
+            ChooserCore::Latest {
+                zipf,
+                churn_period,
+                head,
+                issued,
+            } => {
                 if *churn_period > 0 && *issued > 0 && *issued % *churn_period == 0 {
                     *head = (*head + 1) % keys;
                 }
@@ -179,12 +212,21 @@ impl Zipfian {
     /// Build a sampler for `n` items with skew `theta` in `(0, 1)`.
     pub fn new(n: u64, theta: f64) -> Zipfian {
         assert!(n > 0, "need at least one item");
-        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1), got {theta}");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0,1), got {theta}"
+        );
         let zetan = zeta(n, theta);
         let zeta2 = zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipfian { n, theta, alpha, zetan, eta }
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     /// Draw a rank in `[0, n)`; rank 0 is the hottest item.
@@ -239,8 +281,14 @@ mod tests {
             DistKind::Sequential,
             DistKind::Zipfian { theta: 0.99 },
             DistKind::ScrambledZipfian { theta: 0.99 },
-            DistKind::Hotspot { hot_fraction: 0.2, hot_op_fraction: 0.8 },
-            DistKind::Latest { theta: 0.99, churn_period: 10 },
+            DistKind::Hotspot {
+                hot_fraction: 0.2,
+                hot_op_fraction: 0.8,
+            },
+            DistKind::Latest {
+                theta: 0.99,
+                churn_period: 10,
+            },
         ];
         for kind in kinds {
             let mut chooser = kind.chooser(97);
@@ -287,7 +335,10 @@ mod tests {
         // Heavy head, decaying tail.
         assert!(c[0] > c[1] && c[1] > c[5] && c[5] > c[500]);
         let head_share: u64 = c[..100].iter().sum();
-        assert!(head_share as f64 / draws as f64 > 0.5, "top-10% share {head_share}");
+        assert!(
+            head_share as f64 / draws as f64 > 0.5,
+            "top-10% share {head_share}"
+        );
     }
 
     #[test]
@@ -317,7 +368,10 @@ mod tests {
     fn hotspot_splits_mass_as_configured() {
         let keys = 1000u64;
         let c = counts(
-            DistKind::Hotspot { hot_fraction: 0.2, hot_op_fraction: 0.8 },
+            DistKind::Hotspot {
+                hot_fraction: 0.2,
+                hot_op_fraction: 0.8,
+            },
             keys,
             100_000,
             5,
@@ -329,7 +383,15 @@ mod tests {
 
     #[test]
     fn hotspot_full_hot_set_degenerates_to_uniform() {
-        let c = counts(DistKind::Hotspot { hot_fraction: 1.0, hot_op_fraction: 0.5 }, 50, 50_000, 6);
+        let c = counts(
+            DistKind::Hotspot {
+                hot_fraction: 1.0,
+                hot_op_fraction: 0.5,
+            },
+            50,
+            50_000,
+            6,
+        );
         for &n in &c {
             assert!(n > 500, "count {n}");
         }
@@ -338,7 +400,15 @@ mod tests {
     #[test]
     fn latest_without_churn_concentrates_on_newest() {
         let keys = 1000u64;
-        let c = counts(DistKind::Latest { theta: 0.99, churn_period: 0 }, keys, 100_000, 7);
+        let c = counts(
+            DistKind::Latest {
+                theta: 0.99,
+                churn_period: 0,
+            },
+            keys,
+            100_000,
+            7,
+        );
         // Newest key = keys-1 must be the hottest.
         let hottest = c.iter().enumerate().max_by_key(|(_, &n)| n).unwrap().0;
         assert_eq!(hottest, keys as usize - 1);
@@ -349,19 +419,39 @@ mod tests {
         let keys = 1000u64;
         // Head advances every 10 requests: over 100k requests it wraps the
         // key space 10 times, so aggregate counts are much flatter.
-        let c = counts(DistKind::Latest { theta: 0.99, churn_period: 10 }, keys, 100_000, 8);
+        let c = counts(
+            DistKind::Latest {
+                theta: 0.99,
+                churn_period: 10,
+            },
+            keys,
+            100_000,
+            8,
+        );
         let touched = c.iter().filter(|&&n| n > 0).count();
-        assert!(touched > 900, "churning latest should touch nearly all keys, got {touched}");
+        assert!(
+            touched > 900,
+            "churning latest should touch nearly all keys, got {touched}"
+        );
         let max = *c.iter().max().unwrap() as f64;
-        assert!(max / 100_000.0 < 0.05, "no single key should dominate, max share {max}");
+        assert!(
+            max / 100_000.0 < 0.05,
+            "no single key should dominate, max share {max}"
+        );
     }
 
     #[test]
     fn choosers_are_deterministic_per_seed() {
         for kind in [
             DistKind::Zipfian { theta: 0.99 },
-            DistKind::Hotspot { hot_fraction: 0.1, hot_op_fraction: 0.9 },
-            DistKind::Latest { theta: 0.99, churn_period: 5 },
+            DistKind::Hotspot {
+                hot_fraction: 0.1,
+                hot_op_fraction: 0.9,
+            },
+            DistKind::Latest {
+                theta: 0.99,
+                churn_period: 5,
+            },
         ] {
             let a: Vec<u64> = {
                 let mut ch = kind.chooser(100);

@@ -140,7 +140,10 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let bad = |reason: &str| ParseError::BadLine { line: line_no, reason: reason.into() };
+        let bad = |reason: &str| ParseError::BadLine {
+            line: line_no,
+            reason: reason.into(),
+        };
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("name") => {
@@ -201,7 +204,11 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadError> {
     if missing > 0 {
         return Err(ParseError::MissingSizes { missing }.into());
     }
-    Ok(Trace { name, sizes: sizes.into_iter().map(|s| s.expect("checked")).collect(), requests })
+    Ok(Trace {
+        name,
+        sizes: sizes.into_iter().map(|s| s.expect("checked")).collect(),
+        requests,
+    })
 }
 
 /// Deserialise from a string.
@@ -264,11 +271,20 @@ mod tests {
     #[test]
     fn rejects_unknown_ops_and_directives() {
         let bad_op = format!("{MAGIC}\nkeys 1\nsize 0 10\nreq 0 X\n");
-        assert!(matches!(trace_from_str(&bad_op), Err(ReadError::Parse(ParseError::BadLine { .. }))));
+        assert!(matches!(
+            trace_from_str(&bad_op),
+            Err(ReadError::Parse(ParseError::BadLine { .. }))
+        ));
         let bad_dir = format!("{MAGIC}\nkeys 1\nsize 0 10\nfoo bar\n");
-        assert!(matches!(trace_from_str(&bad_dir), Err(ReadError::Parse(ParseError::BadLine { .. }))));
+        assert!(matches!(
+            trace_from_str(&bad_dir),
+            Err(ReadError::Parse(ParseError::BadLine { .. }))
+        ));
         let early = format!("{MAGIC}\nsize 0 10\n");
-        assert!(matches!(trace_from_str(&early), Err(ReadError::Parse(ParseError::BadLine { .. }))));
+        assert!(matches!(
+            trace_from_str(&early),
+            Err(ReadError::Parse(ParseError::BadLine { .. }))
+        ));
     }
 
     #[test]

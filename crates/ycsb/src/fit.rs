@@ -17,6 +17,42 @@ use crate::dist::DistKind;
 use crate::trace::Trace;
 use serde::{Deserialize, Serialize};
 
+/// Fit the zipfian exponent `theta` to per-key request counts by least
+/// squares on the log-log rank-frequency curve. `counts` need not be
+/// sorted (ranking happens internally) and zero counts are ignored.
+/// Returns `None` when fewer than three distinct ranks were observed or
+/// every observed count is identical; otherwise a value clamped to
+/// `[0, 3]` (0 = uniform; YCSB's default skew is 0.99).
+///
+/// This is shared between offline trace analysis ([`SkewReport`]) and
+/// the streaming skew-drift detector, which fits it per epoch over a
+/// heavy-hitter summary instead of exact counts.
+pub fn fit_zipf_theta(counts: &[u64]) -> Option<f64> {
+    let mut sorted: Vec<u64> = counts.iter().copied().filter(|&c| c > 0).collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let points: Vec<(f64, f64)> = sorted
+        .iter()
+        .enumerate()
+        .map(|(rank, &c)| (((rank + 1) as f64).ln(), (c as f64).ln()))
+        .collect();
+    if points.len() < 3 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let (mut cov, mut var) = (0.0, 0.0);
+    for (x, y) in &points {
+        cov += (x - mx) * (y - my);
+        var += (x - mx) * (x - mx);
+    }
+    if var < 1e-12 {
+        None
+    } else {
+        Some((-cov / var).clamp(0.0, 3.0))
+    }
+}
+
 /// Skew statistics of an observed trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SkewReport {
@@ -54,31 +90,7 @@ impl SkewReport {
             sorted[..k].iter().sum::<u64>() as f64 / total as f64
         };
 
-        // Least-squares slope of ln(count) on ln(rank) over nonzero
-        // ranks; a zipfian has slope -theta.
-        let points: Vec<(f64, f64)> = sorted
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(rank, &c)| (((rank + 1) as f64).ln(), (c as f64).ln()))
-            .collect();
-        let zipf_theta = if points.len() < 3 {
-            None
-        } else {
-            let n = points.len() as f64;
-            let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
-            let my = points.iter().map(|p| p.1).sum::<f64>() / n;
-            let (mut cov, mut var) = (0.0, 0.0);
-            for (x, y) in &points {
-                cov += (x - mx) * (y - my);
-                var += (x - mx) * (x - mx);
-            }
-            if var < 1e-12 {
-                None
-            } else {
-                Some((-cov / var).clamp(0.0, 3.0))
-            }
-        };
+        let zipf_theta = fit_zipf_theta(&sorted);
 
         // Gini over the (ascending) count distribution.
         let gini = if total == 0 {
@@ -87,8 +99,11 @@ impl SkewReport {
             let mut asc = counts.clone();
             asc.sort_unstable();
             let n = asc.len() as f64;
-            let weighted: f64 =
-                asc.iter().enumerate().map(|(i, &c)| (i as f64 + 1.0) * c as f64).sum();
+            let weighted: f64 = asc
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (i as f64 + 1.0) * c as f64)
+                .sum();
             (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
         };
 
@@ -113,7 +128,11 @@ impl SkewReport {
         if self.gini < 0.15 {
             return DistKind::Uniform;
         }
-        let head_decay = if self.hot20_mass > 0.0 { self.hot10_mass / self.hot20_mass } else { 0.5 };
+        let head_decay = if self.hot20_mass > 0.0 {
+            self.hot10_mass / self.hot20_mass
+        } else {
+            0.5
+        };
         if self.hot20_mass > 0.5 && head_decay < 0.7 {
             return DistKind::Hotspot {
                 hot_fraction: 0.2,
@@ -151,7 +170,11 @@ mod tests {
         assert!(r.gini < 0.15, "gini {}", r.gini);
         // Order statistics over multinomial noise bias the "hottest 20%"
         // slightly above the nominal 0.20 even for a uniform workload.
-        assert!((0.18..0.30).contains(&r.hot20_mass), "hot20 {}", r.hot20_mass);
+        assert!(
+            (0.18..0.30).contains(&r.hot20_mass),
+            "hot20 {}",
+            r.hot20_mass
+        );
         assert_eq!(r.suggest_distribution().name(), "uniform");
     }
 
@@ -161,7 +184,10 @@ mod tests {
         let theta = r.zipf_theta.expect("enough ranks");
         assert!((theta - 0.99).abs() < 0.25, "fitted theta {theta}");
         assert!(r.gini > 0.5, "zipfian is concentrated: {}", r.gini);
-        assert!(matches!(r.suggest_distribution(), DistKind::ScrambledZipfian { .. }));
+        assert!(matches!(
+            r.suggest_distribution(),
+            DistKind::ScrambledZipfian { .. }
+        ));
     }
 
     #[test]
@@ -172,7 +198,9 @@ mod tests {
         }));
         assert!((r.hot20_mass - 0.8).abs() < 0.05, "hot20 {}", r.hot20_mass);
         match r.suggest_distribution() {
-            DistKind::Hotspot { hot_op_fraction, .. } => {
+            DistKind::Hotspot {
+                hot_op_fraction, ..
+            } => {
                 assert!((hot_op_fraction - 0.8).abs() < 0.1)
             }
             other => panic!("expected hotspot, got {other:?}"),
@@ -197,7 +225,11 @@ mod tests {
 
     #[test]
     fn empty_trace_is_safe() {
-        let t = Trace { name: "e".into(), sizes: vec![10, 10], requests: vec![] };
+        let t = Trace {
+            name: "e".into(),
+            sizes: vec![10, 10],
+            requests: vec![],
+        };
         let r = SkewReport::analyze(&t);
         assert_eq!(r.gini, 0.0);
         assert_eq!(r.hot20_mass, 0.0);
@@ -209,5 +241,24 @@ mod tests {
     fn untouched_fraction_counts_cold_keys() {
         let r = SkewReport::analyze(&trace_for(DistKind::Sequential));
         assert_eq!(r.untouched_fraction, 0.0, "sequential touches every key");
+    }
+
+    #[test]
+    fn fit_zipf_theta_accepts_unsorted_counts() {
+        // Exact zipfian counts c(r) = C * r^-theta, deliberately shuffled.
+        let theta = 0.8;
+        let mut counts: Vec<u64> = (1..=200)
+            .map(|r| (1e6 * (r as f64).powf(-theta)) as u64)
+            .collect();
+        counts.swap(0, 150);
+        counts.swap(3, 99);
+        counts.push(0); // ignored
+        let fitted = fit_zipf_theta(&counts).expect("enough ranks");
+        assert!((fitted - theta).abs() < 0.02, "fitted {fitted}");
+        // Degenerate inputs refuse to fit.
+        assert_eq!(fit_zipf_theta(&[5, 4]), None);
+        assert_eq!(fit_zipf_theta(&[]), None);
+        // Perfectly flat counts are a zipfian with theta 0.
+        assert_eq!(fit_zipf_theta(&[7, 7, 7, 7]), Some(0.0));
     }
 }

@@ -47,5 +47,5 @@ pub mod workload;
 pub use dist::{DistKind, KeyChooser};
 pub use opmix::{OpClass, OpMix};
 pub use sizes::{SizeClass, SizeModel};
-pub use trace::{Op, Request, Trace};
+pub use trace::{AccessEvent, Op, Request, Trace};
 pub use workload::WorkloadSpec;

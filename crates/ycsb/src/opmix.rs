@@ -46,23 +46,50 @@ pub struct OpMix {
 impl OpMix {
     /// A reads-only mix.
     pub fn read_only() -> OpMix {
-        OpMix { read: 1.0, update: 0.0, scan: 0.0, rmw: 0.0, max_scan_len: 1 }
+        OpMix {
+            read: 1.0,
+            update: 0.0,
+            scan: 0.0,
+            rmw: 0.0,
+            max_scan_len: 1,
+        }
     }
 
     /// A point read/update mix with the given read fraction.
     pub fn read_update(read_fraction: f64) -> OpMix {
-        assert!((0.0..=1.0).contains(&read_fraction), "read fraction out of range");
-        OpMix { read: read_fraction, update: 1.0 - read_fraction, scan: 0.0, rmw: 0.0, max_scan_len: 1 }
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction out of range"
+        );
+        OpMix {
+            read: read_fraction,
+            update: 1.0 - read_fraction,
+            scan: 0.0,
+            rmw: 0.0,
+            max_scan_len: 1,
+        }
     }
 
     /// YCSB workload E's mix: scan-heavy (95% scans, 5% updates).
     pub fn scan_heavy() -> OpMix {
-        OpMix { read: 0.0, update: 0.05, scan: 0.95, rmw: 0.0, max_scan_len: 100 }
+        OpMix {
+            read: 0.0,
+            update: 0.05,
+            scan: 0.95,
+            rmw: 0.0,
+            max_scan_len: 100,
+        }
     }
 
     /// YCSB workload F's mix: 50% reads, 50% read-modify-writes.
     pub fn rmw_heavy() -> OpMix {
-        OpMix { read: 0.5, update: 0.0, scan: 0.0, rmw: 0.5, max_scan_len: 1 }
+        OpMix {
+            read: 0.5,
+            update: 0.0,
+            scan: 0.0,
+            rmw: 0.5,
+            max_scan_len: 1,
+        }
     }
 
     fn total(&self) -> f64 {
@@ -173,11 +200,24 @@ mod tests {
     #[test]
     fn validation_catches_bad_mixes() {
         assert!(OpMix::read_only().validate().is_ok());
-        let negative = OpMix { read: -1.0, ..OpMix::read_only() };
+        let negative = OpMix {
+            read: -1.0,
+            ..OpMix::read_only()
+        };
         assert!(negative.validate().is_err());
-        let empty = OpMix { read: 0.0, update: 0.0, scan: 0.0, rmw: 0.0, max_scan_len: 1 };
+        let empty = OpMix {
+            read: 0.0,
+            update: 0.0,
+            scan: 0.0,
+            rmw: 0.0,
+            max_scan_len: 1,
+        };
         assert!(empty.validate().is_err());
-        let bad_scan = OpMix { scan: 1.0, max_scan_len: 0, ..OpMix::read_only() };
+        let bad_scan = OpMix {
+            scan: 1.0,
+            max_scan_len: 0,
+            ..OpMix::read_only()
+        };
         assert!(bad_scan.validate().is_err());
     }
 

@@ -85,12 +85,18 @@ mod tests {
     fn preserves_dataset_and_order() {
         let t = base();
         let s = downsample(&t, 4, 2);
-        assert_eq!(s.sizes, t.sizes, "the dataset is not sampled, only requests");
+        assert_eq!(
+            s.sizes, t.sizes,
+            "the dataset is not sampled, only requests"
+        );
         // Kept requests appear in original relative order: verify the kept
         // sequence is a subsequence of the original.
         let mut it = t.requests.iter();
         for r in &s.requests {
-            assert!(it.any(|o| o == r), "sampled request out of order or missing");
+            assert!(
+                it.any(|o| o == r),
+                "sampled request out of order or missing"
+            );
         }
     }
 
@@ -115,7 +121,10 @@ mod tests {
     fn deterministic_per_seed() {
         let t = base();
         assert_eq!(downsample(&t, 4, 9).requests, downsample(&t, 4, 9).requests);
-        assert_ne!(downsample(&t, 4, 9).requests, downsample(&t, 4, 10).requests);
+        assert_ne!(
+            downsample(&t, 4, 9).requests,
+            downsample(&t, 4, 10).requests
+        );
     }
 
     #[test]

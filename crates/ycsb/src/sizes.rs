@@ -23,7 +23,11 @@ pub enum SizeClass {
 
 impl SizeClass {
     /// All classes, largest first (presentation order of Fig. 4).
-    pub const ALL: [SizeClass; 3] = [SizeClass::Thumbnail, SizeClass::TextPost, SizeClass::Caption];
+    pub const ALL: [SizeClass; 3] = [
+        SizeClass::Thumbnail,
+        SizeClass::TextPost,
+        SizeClass::Caption,
+    ];
 
     /// Median size in bytes.
     pub fn median_bytes(self) -> u64 {
@@ -94,7 +98,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -126,12 +131,13 @@ impl SizeModel {
         match self {
             SizeModel::Single(c) => Some(*c),
             SizeModel::Mixed(parts) => {
-                assert!(!parts.is_empty(), "mixed size model needs at least one class");
+                assert!(
+                    !parts.is_empty(),
+                    "mixed size model needs at least one class"
+                );
                 let total: f64 = parts.iter().map(|(_, w)| w).sum();
                 // Map the key hash to [0, total) and walk the weights.
-                let h = crate::dist::fnv1a64(key ^ 0xABCD_EF01) as f64
-                    / u64::MAX as f64
-                    * total;
+                let h = crate::dist::fnv1a64(key ^ 0xABCD_EF01) as f64 / u64::MAX as f64 * total;
                 let mut acc = 0.0;
                 for (class, w) in parts {
                     acc += w;
@@ -150,7 +156,10 @@ impl SizeModel {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(seed ^ crate::dist::fnv1a64(key));
         match self {
-            SizeModel::Lognormal { median_bytes, sigma } => {
+            SizeModel::Lognormal {
+                median_bytes,
+                sigma,
+            } => {
                 let mu = (*median_bytes as f64).ln();
                 let z = standard_normal(&mut rng);
                 ((mu + sigma * z).exp().round() as u64).clamp(16, 1 << 20)
@@ -166,12 +175,16 @@ impl SizeModel {
             SizeModel::Single(c) => c.median_bytes() as f64,
             SizeModel::Mixed(parts) => {
                 let total: f64 = parts.iter().map(|(_, w)| w).sum();
-                parts.iter().map(|(c, w)| c.median_bytes() as f64 * w / total).sum()
+                parts
+                    .iter()
+                    .map(|(c, w)| c.median_bytes() as f64 * w / total)
+                    .sum()
             }
             // Lognormal mean = median * exp(sigma^2 / 2).
-            SizeModel::Lognormal { median_bytes, sigma } => {
-                *median_bytes as f64 * (sigma * sigma / 2.0).exp()
-            }
+            SizeModel::Lognormal {
+                median_bytes,
+                sigma,
+            } => *median_bytes as f64 * (sigma * sigma / 2.0).exp(),
         }
     }
 }
@@ -275,14 +288,16 @@ mod tests {
     fn approx_mean_bytes() {
         let single = SizeModel::Single(SizeClass::Caption);
         assert_eq!(single.approx_mean_bytes(), 1024.0);
-        let mixed =
-            SizeModel::Mixed(vec![(SizeClass::Thumbnail, 1.0), (SizeClass::Caption, 1.0)]);
+        let mixed = SizeModel::Mixed(vec![(SizeClass::Thumbnail, 1.0), (SizeClass::Caption, 1.0)]);
         assert!((mixed.approx_mean_bytes() - (102_400.0 + 1024.0) / 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn lognormal_model_centres_on_median() {
-        let m = SizeModel::Lognormal { median_bytes: 300, sigma: 1.2 };
+        let m = SizeModel::Lognormal {
+            median_bytes: 300,
+            sigma: 1.2,
+        };
         assert!(m.class_of(0).is_none());
         let mut sizes: Vec<u64> = (0..5000).map(|k| m.size_of(k, 9)).collect();
         sizes.sort_unstable();

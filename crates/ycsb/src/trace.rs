@@ -20,6 +20,24 @@ pub struct Request {
     pub op: Op,
 }
 
+/// One observed key-value access, as seen by a streaming consumer: the
+/// request plus the size of the record it touched.
+///
+/// This is the unit of Mnemo's *online* interface — where the offline
+/// pipeline receives a whole [`Trace`] up front, a streaming profiler
+/// receives an unbounded sequence of these (from [`Trace::events`] in
+/// replay, or from a live server's event tap) and must summarise it in
+/// bounded memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessEvent {
+    /// Key accessed.
+    pub key: u64,
+    /// Operation type.
+    pub op: Op,
+    /// Size of the stored record in bytes.
+    pub bytes: u64,
+}
+
 /// A full workload trace: the per-key dataset plus the request sequence.
 ///
 /// This is exactly the "workload descriptor" Mnemo's interface requires:
@@ -69,6 +87,17 @@ impl Trace {
             }
         }
         n
+    }
+
+    /// Stream the trace as [`AccessEvent`]s, in request order — the
+    /// replay form of a live server's event feed. The iterator borrows
+    /// the trace and materialises nothing.
+    pub fn events(&self) -> impl Iterator<Item = AccessEvent> + '_ {
+        self.requests.iter().map(|r| AccessEvent {
+            key: r.key,
+            op: r.op,
+            bytes: self.sizes[r.key as usize],
+        })
     }
 
     /// Per-key request counts (reads, writes).
@@ -147,10 +176,22 @@ mod tests {
             name: "tiny".into(),
             sizes: vec![100, 200, 300, 400],
             requests: vec![
-                Request { key: 0, op: Op::Read },
-                Request { key: 0, op: Op::Read },
-                Request { key: 1, op: Op::Update },
-                Request { key: 3, op: Op::Read },
+                Request {
+                    key: 0,
+                    op: Op::Read,
+                },
+                Request {
+                    key: 0,
+                    op: Op::Read,
+                },
+                Request {
+                    key: 1,
+                    op: Op::Update,
+                },
+                Request {
+                    key: 3,
+                    op: Op::Read,
+                },
             ],
         }
     }
@@ -200,15 +241,57 @@ mod tests {
     fn hot_mass_curve_sorts_hottest_first() {
         let t = tiny();
         let curve = t.hot_mass_curve();
-        assert!((curve[0] - 0.5).abs() < 1e-12, "hottest key has 2/4 requests");
+        assert!(
+            (curve[0] - 0.5).abs() < 1e-12,
+            "hottest key has 2/4 requests"
+        );
         assert!((curve[3] - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_trace_is_safe() {
-        let t = Trace { name: "e".into(), sizes: vec![10], requests: vec![] };
+        let t = Trace {
+            name: "e".into(),
+            sizes: vec![10],
+            requests: vec![],
+        };
         assert!(t.is_empty());
         assert_eq!(t.read_fraction(), 0.0);
         assert_eq!(t.key_cdf(), vec![0.0]);
+    }
+
+    #[test]
+    fn events_replay_requests_with_sizes() {
+        let t = tiny();
+        let events: Vec<AccessEvent> = t.events().collect();
+        assert_eq!(events.len(), t.len());
+        assert_eq!(
+            events[0],
+            AccessEvent {
+                key: 0,
+                op: Op::Read,
+                bytes: 100
+            }
+        );
+        assert_eq!(
+            events[2],
+            AccessEvent {
+                key: 1,
+                op: Op::Update,
+                bytes: 200
+            }
+        );
+        assert_eq!(
+            events[3],
+            AccessEvent {
+                key: 3,
+                op: Op::Read,
+                bytes: 400
+            }
+        );
+        for (e, r) in events.iter().zip(&t.requests) {
+            assert_eq!((e.key, e.op), (r.key, r.op));
+            assert_eq!(e.bytes, t.sizes[r.key as usize]);
+        }
     }
 }

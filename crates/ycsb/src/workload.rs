@@ -43,7 +43,10 @@ impl WorkloadSpec {
     pub fn trending() -> WorkloadSpec {
         WorkloadSpec {
             name: "trending".into(),
-            distribution: DistKind::Hotspot { hot_fraction: 0.2, hot_op_fraction: 0.8 },
+            distribution: DistKind::Hotspot {
+                hot_fraction: 0.2,
+                hot_op_fraction: 0.8,
+            },
             ops: OpMix::read_only(),
             sizes: SizeModel::Single(SizeClass::Thumbnail),
             keys: DEFAULT_KEYS,
@@ -106,7 +109,10 @@ impl WorkloadSpec {
     pub fn trending_preview() -> WorkloadSpec {
         WorkloadSpec {
             name: "trending preview".into(),
-            distribution: DistKind::Hotspot { hot_fraction: 0.2, hot_op_fraction: 0.8 },
+            distribution: DistKind::Hotspot {
+                hot_fraction: 0.2,
+                hot_op_fraction: 0.8,
+            },
             ops: OpMix::read_only(),
             sizes: SizeModel::Mixed(vec![
                 (SizeClass::Thumbnail, 1.0),
@@ -180,7 +186,10 @@ impl WorkloadSpec {
     pub fn ycsb_d() -> WorkloadSpec {
         Self::ycsb_core(
             "ycsb-d",
-            DistKind::Latest { theta: 0.99, churn_period: (DEFAULT_REQUESTS as u64 / DEFAULT_KEYS).max(1) },
+            DistKind::Latest {
+                theta: 0.99,
+                churn_period: (DEFAULT_REQUESTS as u64 / DEFAULT_KEYS).max(1),
+            },
             OpMix::read_update(0.95),
             "User status updates: read the latest",
         )
@@ -216,7 +225,10 @@ impl WorkloadSpec {
             name: "facebook-etc".into(),
             distribution: DistKind::Zipfian { theta: 0.99 },
             ops: OpMix::read_update(30.0 / 31.0),
-            sizes: SizeModel::Lognormal { median_bytes: 300, sigma: 1.2 },
+            sizes: SizeModel::Lognormal {
+                median_bytes: 300,
+                sigma: 1.2,
+            },
             keys: DEFAULT_KEYS,
             requests: DEFAULT_REQUESTS,
             use_case: "Facebook general-purpose memcached (ETC pool)".into(),
@@ -250,7 +262,11 @@ impl WorkloadSpec {
     pub fn scaled(&self, keys: u64, requests: usize) -> WorkloadSpec {
         let mut spec = self.clone();
         // Keep the latest-churn window sliding over the whole key space.
-        if let DistKind::Latest { theta, churn_period } = spec.distribution {
+        if let DistKind::Latest {
+            theta,
+            churn_period,
+        } = spec.distribution
+        {
             if churn_period > 0 {
                 spec.distribution = DistKind::Latest {
                     theta,
@@ -275,29 +291,45 @@ impl WorkloadSpec {
     pub fn generate(&self, seed: u64) -> Trace {
         assert!(self.keys > 0, "workload needs keys");
         self.ops.validate().expect("invalid operation mix");
-        let sizes: Vec<u64> = (0..self.keys).map(|k| self.sizes.size_of(k, seed)).collect();
+        let sizes: Vec<u64> = (0..self.keys)
+            .map(|k| self.sizes.size_of(k, seed))
+            .collect();
         let mut chooser = self.distribution.chooser(self.keys);
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
-        let mut requests =
-            Vec::with_capacity((self.requests as f64 * self.ops.expected_accesses_per_op()) as usize);
+        let mut requests = Vec::with_capacity(
+            (self.requests as f64 * self.ops.expected_accesses_per_op()) as usize,
+        );
         for _ in 0..self.requests {
             let key = chooser.next(&mut rng);
             match self.ops.sample(&mut rng) {
                 OpClass::Read => requests.push(Request { key, op: Op::Read }),
-                OpClass::Update => requests.push(Request { key, op: Op::Update }),
+                OpClass::Update => requests.push(Request {
+                    key,
+                    op: Op::Update,
+                }),
                 OpClass::Scan => {
                     let len = self.ops.scan_len(&mut rng);
                     for i in 0..len as u64 {
-                        requests.push(Request { key: (key + i) % self.keys, op: Op::Read });
+                        requests.push(Request {
+                            key: (key + i) % self.keys,
+                            op: Op::Read,
+                        });
                     }
                 }
                 OpClass::ReadModifyWrite => {
                     requests.push(Request { key, op: Op::Read });
-                    requests.push(Request { key, op: Op::Update });
+                    requests.push(Request {
+                        key,
+                        op: Op::Update,
+                    });
                 }
             }
         }
-        Trace { name: self.name.clone(), sizes, requests }
+        Trace {
+            name: self.name.clone(),
+            sizes,
+            requests,
+        }
     }
 }
 
@@ -337,7 +369,11 @@ mod tests {
     fn read_fraction_is_respected() {
         let spec = WorkloadSpec::edit_thumbnail().scaled(100, 20_000);
         let t = spec.generate(3);
-        assert!((t.read_fraction() - 0.5).abs() < 0.02, "{}", t.read_fraction());
+        assert!(
+            (t.read_fraction() - 0.5).abs() < 0.02,
+            "{}",
+            t.read_fraction()
+        );
         let ro = WorkloadSpec::timeline().scaled(100, 1000).generate(3);
         assert_eq!(ro.read_fraction(), 1.0);
     }
@@ -357,12 +393,18 @@ mod tests {
         let curve = t.hot_mass_curve();
         // Churning latest: the hottest 20% of keys capture far less than
         // trending's 80%.
-        assert!(curve[199] < 0.5, "news feed hot mass at 20%: {}", curve[199]);
+        assert!(
+            curve[199] < 0.5,
+            "news feed hot mass at 20%: {}",
+            curve[199]
+        );
     }
 
     #[test]
     fn mixed_sizes_in_preview() {
-        let t = WorkloadSpec::trending_preview().scaled(3000, 10).generate(1);
+        let t = WorkloadSpec::trending_preview()
+            .scaled(3000, 10)
+            .generate(1);
         let small = t.sizes.iter().filter(|&&s| s < 4 * 1024).count();
         let large = t.sizes.iter().filter(|&&s| s > 32 * 1024).count();
         assert!(small > 500, "captions present: {small}");
@@ -382,7 +424,10 @@ mod tests {
     #[should_panic(expected = "invalid operation mix")]
     fn generate_rejects_bad_op_mix() {
         let mut spec = WorkloadSpec::trending();
-        spec.ops = OpMix { read: -1.0, ..OpMix::read_only() };
+        spec.ops = OpMix {
+            read: -1.0,
+            ..OpMix::read_only()
+        };
         let _ = spec.generate(0);
     }
 
@@ -410,7 +455,11 @@ mod tests {
                 consecutive += 1;
             }
         }
-        assert!(consecutive as f64 / t.len() as f64 > 0.8, "{consecutive}/{}", t.len());
+        assert!(
+            consecutive as f64 / t.len() as f64 > 0.8,
+            "{consecutive}/{}",
+            t.len()
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ use ycsb::sample::downsample;
 use ycsb::WorkloadSpec;
 
 fn main() {
-    let factor: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let factor: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let full = WorkloadSpec::timeline().scaled(2_000, 40_000).generate(13);
     let sampled = downsample(&full, factor, 1);
     println!(
@@ -27,10 +30,15 @@ fn main() {
     // Profile entirely on the sample. The cache-aware correction matters
     // here: the zipfian head is LLC-resident, so the plain model would
     // over-credit promoting it and recommend too little FastMem.
-    let config = AdvisorConfig { ordering: OrderingKind::MnemoT, ..AdvisorConfig::default() }
-        .cache_aware();
+    let config = AdvisorConfig {
+        ordering: OrderingKind::MnemoT,
+        ..AdvisorConfig::default()
+    }
+    .cache_aware();
     let advisor = Advisor::new(config);
-    let consultation = advisor.consult(StoreKind::Redis, &sampled).expect("consultation");
+    let consultation = advisor
+        .consult(StoreKind::Redis, &sampled)
+        .expect("consultation");
     let rec = consultation.recommend(0.10).expect("curve nonempty");
     println!(
         "sample says: {:.1}% FastMem -> cost {:.2}x, est slowdown {:.1}%",
@@ -40,12 +48,13 @@ fn main() {
     );
 
     // Apply that placement to the FULL workload and measure.
-    let placement = PlacementEngine::placement_for(
-        &consultation.order,
-        &consultation.curve.rows[rec.prefix],
-    );
+    let placement =
+        PlacementEngine::placement_for(&consultation.order, &consultation.curve.rows[rec.prefix]);
     let run = |p: Placement| {
-        Server::build(StoreKind::Redis, &full, p).expect("server").run(&full).throughput_ops_s()
+        Server::build(StoreKind::Redis, &full, p)
+            .expect("server")
+            .run(&full)
+            .throughput_ops_s()
     };
     let fast_only = run(Placement::AllFast);
     let slow_only = run(Placement::AllSlow);
@@ -53,7 +62,10 @@ fn main() {
     let slowdown = 1.0 - chosen / fast_only;
     println!("\nfull-workload verification:");
     println!("  FastMem-only {fast_only:.0} ops/s, SlowMem-only {slow_only:.0} ops/s");
-    println!("  recommended split: {chosen:.0} ops/s ({:.1}% below FastMem-only)", slowdown * 100.0);
+    println!(
+        "  recommended split: {chosen:.0} ops/s ({:.1}% below FastMem-only)",
+        slowdown * 100.0
+    );
     assert!(
         slowdown < 0.10 + 0.03,
         "sampled-profile recommendation broke the SLO on the full workload"

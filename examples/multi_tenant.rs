@@ -13,15 +13,32 @@ use mnemo::multi::allocate_shared;
 use ycsb::WorkloadSpec;
 
 fn main() {
-    let budget_fraction: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
-    assert!((0.0..=1.0).contains(&budget_fraction), "budget fraction in [0,1]");
+    let budget_fraction: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    assert!(
+        (0.0..=1.0).contains(&budget_fraction),
+        "budget fraction in [0,1]"
+    );
 
     // Three tenants with very different needs on one box.
     let tenants: Vec<(&str, StoreKind, WorkloadSpec)> = vec![
-        ("trending cache", StoreKind::Redis, WorkloadSpec::trending().scaled(1_000, 10_000)),
-        ("user documents", StoreKind::Dynamo, WorkloadSpec::timeline().scaled(1_000, 10_000)),
-        ("session store", StoreKind::Memcached, WorkloadSpec::facebook_etc().scaled(1_000, 10_000)),
+        (
+            "trending cache",
+            StoreKind::Redis,
+            WorkloadSpec::trending().scaled(1_000, 10_000),
+        ),
+        (
+            "user documents",
+            StoreKind::Dynamo,
+            WorkloadSpec::timeline().scaled(1_000, 10_000),
+        ),
+        (
+            "session store",
+            StoreKind::Memcached,
+            WorkloadSpec::facebook_etc().scaled(1_000, 10_000),
+        ),
     ];
 
     println!("consulting {} tenants...", tenants.len());

@@ -29,7 +29,9 @@ fn main() {
 
     // 2. Consult Mnemo (runs the two baseline executions internally).
     let advisor = Advisor::new(AdvisorConfig::default());
-    let consultation = advisor.consult(StoreKind::Redis, &trace).expect("consultation failed");
+    let consultation = advisor
+        .consult(StoreKind::Redis, &trace)
+        .expect("consultation failed");
     let b = &consultation.baselines;
     println!(
         "baselines: FastMem-only {:.0} ops/s, SlowMem-only {:.0} ops/s ({:+.1}% gap)",

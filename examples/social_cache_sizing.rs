@@ -12,9 +12,14 @@ use mnemo::advisor::{Advisor, AdvisorConfig, OrderingKind};
 use ycsb::WorkloadSpec;
 
 fn main() {
-    let price_factor: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.2);
-    assert!(price_factor > 0.0 && price_factor < 1.0, "price factor must be in (0,1)");
+    let price_factor: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2);
+    assert!(
+        price_factor > 0.0 && price_factor < 1.0,
+        "price factor must be in (0,1)"
+    );
     println!(
         "Sizing survey @10% slowdown SLO, SlowMem priced at {:.0}% of FastMem\n",
         price_factor * 100.0
@@ -35,8 +40,9 @@ fn main() {
                 ordering: OrderingKind::MnemoT,
                 ..AdvisorConfig::default()
             };
-            let consultation =
-                Advisor::new(config).consult(store, &trace).expect("consultation");
+            let consultation = Advisor::new(config)
+                .consult(store, &trace)
+                .expect("consultation");
             let rec = consultation.recommend(0.10).expect("curve nonempty");
             cells.push(format!(
                 "{:.2}x ({:>3.0}% fast)",
@@ -44,10 +50,11 @@ fn main() {
                 rec.fast_ratio * 100.0
             ));
         }
-        println!("{:<18} {:>22} {:>22} {:>22}", spec.name, cells[0], cells[1], cells[2]);
+        println!(
+            "{:<18} {:>22} {:>22} {:>22}",
+            spec.name, cells[0], cells[1], cells[2]
+        );
     }
-    println!(
-        "\nCells: memory cost vs DRAM-only, and the FastMem capacity share Mnemo chose."
-    );
+    println!("\nCells: memory cost vs DRAM-only, and the FastMem capacity share Mnemo chose.");
     println!("Floor is {price_factor:.2}x (everything on SlowMem).");
 }

@@ -21,11 +21,19 @@ fn main() {
     let trace = WorkloadSpec::trending().scaled(2_000, 20_000).generate(7);
 
     // MnemoT: weight-based tiering (accesses / size) + estimate curve.
-    let config = AdvisorConfig { ordering: OrderingKind::MnemoT, ..AdvisorConfig::default() };
+    let config = AdvisorConfig {
+        ordering: OrderingKind::MnemoT,
+        ..AdvisorConfig::default()
+    };
     let advisor = Advisor::new(config);
-    let consultation = advisor.consult(StoreKind::Redis, &trace).expect("consultation");
+    let consultation = advisor
+        .consult(StoreKind::Redis, &trace)
+        .expect("consultation");
 
-    println!("SLO: at most {:.0}% below FastMem-only throughput\n", slo * 100.0);
+    println!(
+        "SLO: at most {:.0}% below FastMem-only throughput\n",
+        slo * 100.0
+    );
     for slo_try in [0.02, 0.05, slo, 0.25] {
         let rec = consultation.recommend(slo_try).expect("curve nonempty");
         println!(

@@ -1,0 +1,274 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the group/bench/throughput API surface the workspace's
+//! benches use, backed by a simple wall-clock loop: warm up briefly,
+//! time a handful of samples, report the best ns/iter (and elements/s
+//! when a throughput is set). No statistics, plots, or saved baselines.
+//! When invoked with `--test` (as `cargo test --benches` does), each
+//! benchmark body runs once so benches act as smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark id distinguished only by a parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { name }
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher<'a> {
+    test_mode: bool,
+    result_ns: &'a mut Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, storing the best observed ns/iter.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std_black_box(routine());
+            *self.result_ns = Some(f64::NAN);
+            return;
+        }
+        // Calibrate: grow the batch until one batch takes >= 10ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || batch >= 1 << 30 {
+                break;
+            }
+            batch = if elapsed < Duration::from_micros(100) {
+                batch.saturating_mul(64)
+            } else {
+                batch.saturating_mul(2)
+            };
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        *self.result_ns = Some(best);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim calibrates its own time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Report throughput alongside timings for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let mut result_ns = None;
+        f(&mut Bencher {
+            test_mode: self.criterion.test_mode,
+            result_ns: &mut result_ns,
+        });
+        self.criterion.report(&full, result_ns, self.throughput);
+        self
+    }
+
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo test --benches` / `cargo bench -- --test` pass --test;
+        // run each body once instead of timing it.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut result_ns = None;
+        f(&mut Bencher {
+            test_mode: self.test_mode,
+            result_ns: &mut result_ns,
+        });
+        let name = id.name.clone();
+        self.report(&name, result_ns, None);
+        self
+    }
+
+    fn report(&mut self, name: &str, result_ns: Option<f64>, throughput: Option<Throughput>) {
+        let Some(ns) = result_ns else {
+            println!("bench {name:<50} (no measurement: Bencher::iter not called)");
+            return;
+        };
+        if self.test_mode {
+            println!("bench {name:<50} ok (test mode)");
+            return;
+        }
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 * 1e9 / ns),
+            Throughput::Bytes(n) => {
+                format!("  {:>12.1} MiB/s", n as f64 * 1e9 / ns / (1 << 20) as f64)
+            }
+        });
+        println!(
+            "bench {name:<50} {ns:>12.1} ns/iter{}",
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Declare a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_roundtrip_in_test_mode() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u32;
+        group
+            .sample_size(10)
+            .throughput(Throughput::Elements(128))
+            .bench_function("count", |b| b.iter(|| runs += 1));
+        let input = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", input.len()), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(runs, 1, "test mode must run the body exactly once");
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::scope` for fork/join parallelism;
+//! std has provided scoped threads since 1.63, so this shim adapts
+//! crossbeam 0.8's call shape — spawn closures receive the scope, and
+//! `scope` returns `Err` when a thread panicked — onto
+//! [`std::thread::scope`].
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Panic payload from a scoped thread (matches `crossbeam`'s error type).
+pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// A scope handle: spawn threads that may borrow from the enclosing stack
+/// frame. Mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. As in crossbeam, the closure receives the
+    /// scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope; all threads spawned in it are joined before
+/// `scope` returns. Returns `Err` with the panic payload if the closure
+/// or any spawned thread panicked (crossbeam 0.8 semantics, so callers'
+/// `.expect(..)` / `.unwrap()` chains keep working).
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// `crossbeam::thread` module alias, for fully qualified callers.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_run_and_join_with_borrows() {
+        let mut slots = vec![0u64; 16];
+        super::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| *slot = i as u64 * 2);
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, (0..16).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let result = super::scope(|scope| {
+            let h = scope.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest's surface this workspace uses —
+//! `proptest!` test blocks, range/tuple/`Just`/`prop_oneof!`/`prop_map`
+//! strategies, `collection::vec`, `bool::ANY`, and the `prop_assert*`
+//! family — as a plain random-search harness. Differences from upstream,
+//! deliberate for an offline build:
+//!
+//! * **no shrinking** — a failing case reports the case number and the
+//!   assertion message, not a minimised input;
+//! * **deterministic seeding** — each test derives its RNG seed from its
+//!   module path and name, so failures reproduce exactly and CI never
+//!   flakes;
+//! * `ProptestConfig` honours `cases` and ignores the rest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy for `Vec<T>` with a length drawn from `size` and
+    /// elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Strategies over booleans.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy producing arbitrary booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Arbitrary booleans (50/50).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Everything a `proptest!` block needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure aborts the case
+/// with a message instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case (it does not count towards `cases`) unless
+/// the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let alternatives: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::strategy::Union::new(alternatives)
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` sampled
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] items — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(1000);
+            while accepted < config.cases {
+                if attempts >= max_attempts {
+                    panic!(
+                        "proptest '{}': too many rejected cases ({} accepted of {} wanted \
+                         after {} attempts)",
+                        stringify!($name),
+                        accepted,
+                        config.cases,
+                        attempts
+                    );
+                }
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome = (move || -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err(e) if e.is_rejection() => continue,
+                    ::core::result::Result::Err(e) => panic!(
+                        "proptest '{}' failed on case {}: {}",
+                        stringify!($name),
+                        accepted + 1,
+                        e
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 5u64..10, b in 0.25f64..0.75, c in 1u16..=3) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((0.25..0.75).contains(&b));
+            prop_assert!((1..=3).contains(&c));
+        }
+
+        #[test]
+        fn mapped_and_oneof_strategies_compose(
+            even in arb_even(),
+            pick in prop_oneof![Just(1u8), Just(2u8), 5u8..7],
+        ) {
+            prop_assert_eq!(even % 2, 0);
+            prop_assert!(pick == 1 || pick == 2 || pick == 5 || pick == 6, "pick {}", pick);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            items in crate::collection::vec((0u64..4, crate::bool::ANY), 1..50),
+        ) {
+            prop_assert!(!items.is_empty() && items.len() < 50);
+            for (n, _flag) in &items {
+                prop_assert!(*n < 4);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_and_assume_work(v in 0u64..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_ne!(v % 2, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("x::y");
+        let mut b = crate::test_runner::TestRng::deterministic("x::y");
+        let mut c = crate::test_runner::TestRng::deterministic("x::z");
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        assert_eq!(va, (0..4).map(|_| b.next_u64()).collect::<Vec<_>>());
+        assert_ne!(va, (0..4).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+}

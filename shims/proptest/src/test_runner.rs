@@ -1,0 +1,124 @@
+//! Minimal test-runner types: config, deterministic RNG, and the
+//! per-case error carried by `prop_assert!` / `prop_assume!`.
+
+use std::fmt;
+
+/// Configuration for a `proptest!` block. Only `cases` is honoured;
+/// `_non_exhaustive_compat` exists so callers can use struct-update
+/// syntax (`..ProptestConfig::default()`) exactly as with upstream.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+    #[doc(hidden)]
+    pub _non_exhaustive_compat: (),
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            _non_exhaustive_compat: (),
+        }
+    }
+}
+
+/// Deterministic RNG used to sample strategy values.
+///
+/// xoshiro256++ seeded via SplitMix64 from an FNV-1a hash of the test's
+/// full path, so every test gets an independent but reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from a test identifier (typically `module_path!() :: name`).
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+
+    /// Seed directly from an integer (SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut s = [next(), next(), next(), next()];
+        if s == [0, 0, 0, 0] {
+            s = [1, 2, 3, 4];
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at property-test sample counts.
+        self.next_u64() % bound
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property's precondition (`prop_assume!`) did not hold; the
+    /// case is discarded without counting against the budget.
+    Reject(String),
+    /// A `prop_assert!`-family assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// Whether this is a rejection (as opposed to a failure).
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, TestCaseError::Reject(_))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde shim.
+//!
+//! The workspace derives the serde traits on its data types so a future
+//! (network-enabled) build can swap the real serde back in, but no code
+//! path actually serialises through serde today — persistence goes through
+//! `ycsb::fileio`'s plain-text format. The shim traits are blanket
+//! implemented, so these derives have nothing to emit.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing: `serde::Serialize` is blanket-implemented in the shim.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing: `serde::Deserialize` is blanket-implemented in the shim.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

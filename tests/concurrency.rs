@@ -10,10 +10,14 @@ fn sharded_cluster_scales_and_conserves_requests() {
     let t = WorkloadSpec::trending().scaled(256, 8_000).generate(2);
     let mut runtimes = Vec::new();
     for shards in [1usize, 2, 4] {
-        let cluster = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, shards)
-            .unwrap();
+        let cluster =
+            ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, shards).unwrap();
         let report = cluster.run(&t);
-        assert_eq!(report.requests, t.len(), "{shards} shards must serve every request");
+        assert_eq!(
+            report.requests,
+            t.len(),
+            "{shards} shards must serve every request"
+        );
         assert_eq!(report.reads + report.writes, t.len() as u64);
         runtimes.push(report.runtime_ns);
     }
@@ -37,8 +41,10 @@ fn sharded_runs_are_deterministic() {
 fn parallel_consultations_match_sequential() {
     // The harness fans consultations out with crossbeam; results must be
     // identical to sequential runs.
-    let specs: Vec<_> =
-        WorkloadSpec::table3().into_iter().map(|w| w.scaled(100, 1_200)).collect();
+    let specs: Vec<_> = WorkloadSpec::table3()
+        .into_iter()
+        .map(|w| w.scaled(100, 1_200))
+        .collect();
     let sequential: Vec<_> = specs
         .iter()
         .map(|w| {
@@ -83,5 +89,8 @@ fn shard_counts_do_not_change_per_request_costs() {
     let one = avg(1);
     let four = avg(4);
     let rel = (one - four).abs() / one;
-    assert!(rel < 0.05, "avg request cost drifted with sharding: {one} vs {four}");
+    assert!(
+        rel < 0.05,
+        "avg request cost drifted with sharding: {one} vs {four}"
+    );
 }

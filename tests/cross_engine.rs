@@ -23,14 +23,19 @@ fn all_architectures_agree_on_throughput() {
             .unwrap()
             .run(&t)
             .throughput_ops_s();
-        let sharded =
-            ShardedCluster::build(store, &t, &Placement::FastSet(fast_keys.clone()), 1)
-                .unwrap()
-                .run(&t)
-                .throughput_ops_s();
+        let sharded = ShardedCluster::build(store, &t, &Placement::FastSet(fast_keys.clone()), 1)
+            .unwrap()
+            .run(&t)
+            .throughput_ops_s();
         let rel = |a: f64, b: f64| (a - b).abs() / a;
-        assert!(rel(single, cluster) < 0.05, "{store}: single {single} vs cluster {cluster}");
-        assert!(rel(single, sharded) < 0.05, "{store}: single {single} vs sharded {sharded}");
+        assert!(
+            rel(single, cluster) < 0.05,
+            "{store}: single {single} vs cluster {cluster}"
+        );
+        assert!(
+            rel(single, sharded) < 0.05,
+            "{store}: single {single} vs sharded {sharded}"
+        );
     }
 }
 
@@ -38,16 +43,26 @@ fn all_architectures_agree_on_throughput() {
 fn sensitivity_ordering_is_stable_across_workloads() {
     // §V-A: DynamoDB > Redis > Memcached in hybrid-memory sensitivity,
     // regardless of workload.
-    for spec in [WorkloadSpec::trending(), WorkloadSpec::timeline(), WorkloadSpec::edit_thumbnail()]
-    {
+    for spec in [
+        WorkloadSpec::trending(),
+        WorkloadSpec::timeline(),
+        WorkloadSpec::edit_thumbnail(),
+    ] {
         let t = spec.scaled(150, 2_000).generate(3);
         let gap = |store: StoreKind| {
-            let f = Server::build(store, &t, Placement::AllFast).unwrap().run(&t);
-            let s = Server::build(store, &t, Placement::AllSlow).unwrap().run(&t);
+            let f = Server::build(store, &t, Placement::AllFast)
+                .unwrap()
+                .run(&t);
+            let s = Server::build(store, &t, Placement::AllSlow)
+                .unwrap()
+                .run(&t);
             f.throughput_ops_s() / s.throughput_ops_s()
         };
-        let (redis, memcached, dynamo) =
-            (gap(StoreKind::Redis), gap(StoreKind::Memcached), gap(StoreKind::Dynamo));
+        let (redis, memcached, dynamo) = (
+            gap(StoreKind::Redis),
+            gap(StoreKind::Memcached),
+            gap(StoreKind::Dynamo),
+        );
         assert!(
             dynamo > redis && redis > memcached,
             "{}: dynamo {dynamo:.3} redis {redis:.3} memcached {memcached:.3}",
@@ -69,7 +84,10 @@ fn per_store_storage_overheads_differ() {
     let dynamo = bytes(StoreKind::Dynamo);
     assert!(redis > logical, "redis adds headers");
     assert!(memcached > logical, "memcached slab-rounds");
-    assert!(dynamo as f64 > logical as f64 * 1.4, "dynamo inflates object graphs");
+    assert!(
+        dynamo as f64 > logical as f64 * 1.4,
+        "dynamo inflates object graphs"
+    );
     assert!(dynamo > redis, "dynamo heaviest");
 }
 
@@ -82,8 +100,8 @@ fn migration_is_equivalent_to_fresh_placement_for_all_stores() {
         let mut migrated = Server::build(store, &t, Placement::AllSlow).unwrap();
         migrated.apply_placement(&t, &placement).unwrap();
         let rep = migrated.run(&t);
-        let rel = (fresh.throughput_ops_s() - rep.throughput_ops_s()).abs()
-            / fresh.throughput_ops_s();
+        let rel =
+            (fresh.throughput_ops_s() - rep.throughput_ops_s()).abs() / fresh.throughput_ops_s();
         assert!(rel < 1e-6, "{store}: fresh vs migrated drift {rel}");
     }
 }
@@ -105,8 +123,12 @@ fn storage_engaged_store_is_least_placement_sensitive() {
     // so its Fast-vs-Slow gap sits below every in-memory store's.
     let t = trace();
     let gap = |store: StoreKind| {
-        let f = Server::build(store, &t, Placement::AllFast).unwrap().run(&t);
-        let s = Server::build(store, &t, Placement::AllSlow).unwrap().run(&t);
+        let f = Server::build(store, &t, Placement::AllFast)
+            .unwrap()
+            .run(&t);
+        let s = Server::build(store, &t, Placement::AllSlow)
+            .unwrap()
+            .run(&t);
         f.throughput_ops_s() / s.throughput_ops_s()
     };
     assert!(gap(StoreKind::Rocks) < gap(StoreKind::Redis));

@@ -22,7 +22,9 @@ fn full_pipeline_recommendation_is_verified_by_execution() {
     config.ordering = OrderingKind::MnemoT;
     config.cache_correction = Some(config.spec.cache.capacity_bytes);
     let spec = config.spec.clone();
-    let consultation = Advisor::new(config).consult(StoreKind::Redis, &trace).unwrap();
+    let consultation = Advisor::new(config)
+        .consult(StoreKind::Redis, &trace)
+        .unwrap();
     let rec = consultation.recommend(0.10).unwrap();
 
     // Deploy the recommended placement and measure for real.
@@ -52,7 +54,11 @@ fn full_pipeline_recommendation_is_verified_by_execution() {
         "measured slowdown {slowdown:.3} should honour the 10% SLO (+3% tolerance)"
     );
     // And the savings must be real.
-    assert!(rec.cost_reduction < 0.7, "trending must save memory cost: {}", rec.cost_reduction);
+    assert!(
+        rec.cost_reduction < 0.7,
+        "trending must save memory cost: {}",
+        rec.cost_reduction
+    );
 }
 
 #[test]
@@ -85,14 +91,17 @@ fn estimate_accuracy_holds_across_stores_and_workloads() {
 #[test]
 fn csv_output_matches_curve() {
     let trace = WorkloadSpec::timeline().scaled(100, 1_000).generate(2);
-    let consultation =
-        Advisor::new(config_for(&trace)).consult(StoreKind::Redis, &trace).unwrap();
+    let consultation = Advisor::new(config_for(&trace))
+        .consult(StoreKind::Redis, &trace)
+        .unwrap();
     let csv = consultation.curve.to_csv();
     let lines: Vec<&str> = csv.lines().collect();
     assert_eq!(lines.len(), 102, "header + 101 rows");
     // Cost column is monotone non-decreasing down the file.
-    let costs: Vec<f64> =
-        lines[1..].iter().map(|l| l.rsplit(',').next().unwrap().parse().unwrap()).collect();
+    let costs: Vec<f64> = lines[1..]
+        .iter()
+        .map(|l| l.rsplit(',').next().unwrap().parse().unwrap())
+        .collect();
     for w in costs.windows(2) {
         assert!(w[1] >= w[0] - 1e-12);
     }
@@ -109,7 +118,9 @@ fn downsampled_profile_transfers_to_full_workload() {
     let mut config = config_for(&full);
     config.cache_correction = Some(config.spec.cache.capacity_bytes);
     let spec = config.spec.clone();
-    let consultation = Advisor::new(config).consult(StoreKind::Redis, &sampled).unwrap();
+    let consultation = Advisor::new(config)
+        .consult(StoreKind::Redis, &sampled)
+        .unwrap();
     let rec = consultation.recommend(0.10).unwrap();
     let placement =
         PlacementEngine::placement_for(&consultation.order, &consultation.curve.rows[rec.prefix]);
@@ -126,14 +137,19 @@ fn downsampled_profile_transfers_to_full_workload() {
         .throughput_ops_s()
     };
     let slowdown = 1.0 - run(placement) / run(Placement::AllFast);
-    assert!(slowdown <= 0.10 + 0.04, "sampled sizing broke SLO on full workload: {slowdown:.3}");
+    assert!(
+        slowdown <= 0.10 + 0.04,
+        "sampled sizing broke SLO on full workload: {slowdown:.3}"
+    );
 }
 
 #[test]
 fn tail_estimator_tracks_measured_tails_across_stores() {
     // Cache-free testbed: the SizeAware mixture should reproduce the
     // measured tail quantiles closely for every engine model.
-    let trace = WorkloadSpec::trending_preview().scaled(250, 4_000).generate(6);
+    let trace = WorkloadSpec::trending_preview()
+        .scaled(250, 4_000)
+        .generate(6);
     for store in [StoreKind::Redis, StoreKind::Memcached, StoreKind::Dynamo] {
         let mut config = AdvisorConfig::default();
         config.spec.cache = hybridmem::CacheConfig::disabled();
@@ -154,7 +170,10 @@ fn tail_estimator_tracks_measured_tails_across_stores() {
             let predicted = est.quantile(|_| false, q);
             let measured = report.latency_quantile(q);
             let rel = (predicted - measured).abs() / measured;
-            assert!(rel < 0.10, "{store} q={q}: predicted {predicted:.0} measured {measured:.0}");
+            assert!(
+                rel < 0.10,
+                "{store} q={q}: predicted {predicted:.0} measured {measured:.0}"
+            );
         }
     }
 }
@@ -162,8 +181,12 @@ fn tail_estimator_tracks_measured_tails_across_stores() {
 #[test]
 fn advisor_is_deterministic() {
     let trace = WorkloadSpec::news_feed().scaled(200, 2_000).generate(5);
-    let a = Advisor::new(config_for(&trace)).consult(StoreKind::Dynamo, &trace).unwrap();
-    let b = Advisor::new(config_for(&trace)).consult(StoreKind::Dynamo, &trace).unwrap();
+    let a = Advisor::new(config_for(&trace))
+        .consult(StoreKind::Dynamo, &trace)
+        .unwrap();
+    let b = Advisor::new(config_for(&trace))
+        .consult(StoreKind::Dynamo, &trace)
+        .unwrap();
     assert_eq!(a.curve, b.curve);
     assert_eq!(a.order, b.order);
 }

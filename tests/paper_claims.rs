@@ -48,7 +48,11 @@ fn trending_cost_reduction_with_10pct_slo() {
     .consult(StoreKind::Redis, &trace)
     .unwrap();
     let rec = consultation.recommend(0.10).unwrap();
-    assert!(rec.cost_reduction < 0.55, "cost reduction {:.3}", rec.cost_reduction);
+    assert!(
+        rec.cost_reduction < 0.55,
+        "cost reduction {:.3}",
+        rec.cost_reduction
+    );
 }
 
 /// §V-A: Memcached "is overall non-sensitive to execution over SlowMem,
@@ -75,14 +79,27 @@ fn memcached_hits_the_cost_floor() {
 /// patterns.
 #[test]
 fn dynamo_saves_least_but_still_saves() {
-    let trace = WorkloadSpec::edit_thumbnail().scaled(300, 4_000).generate(3);
+    let trace = WorkloadSpec::edit_thumbnail()
+        .scaled(300, 4_000)
+        .generate(3);
     let consult = |store| {
-        Advisor::new(scaled_config(&trace)).consult(store, &trace).unwrap().recommend(0.10).unwrap()
+        Advisor::new(scaled_config(&trace))
+            .consult(store, &trace)
+            .unwrap()
+            .recommend(0.10)
+            .unwrap()
     };
     let dynamo = consult(StoreKind::Dynamo);
     let redis = consult(StoreKind::Redis);
-    assert!(dynamo.cost_reduction > redis.cost_reduction, "dynamo saves less than redis");
-    assert!(dynamo.cost_reduction < 0.85, "but still saves: {:.3}", dynamo.cost_reduction);
+    assert!(
+        dynamo.cost_reduction > redis.cost_reduction,
+        "dynamo saves less than redis"
+    );
+    assert!(
+        dynamo.cost_reduction < 0.85,
+        "but still saves: {:.3}",
+        dynamo.cost_reduction
+    );
 }
 
 /// §V-A (Fig. 8a): sub-percent median estimate error; the paper reports
@@ -92,7 +109,9 @@ fn median_estimate_error_is_subpercent() {
     let trace = WorkloadSpec::trending().scaled(300, 5_000).generate(4);
     let config = scaled_config(&trace);
     let spec = config.spec.clone();
-    let consultation = Advisor::new(config).consult(StoreKind::Redis, &trace).unwrap();
+    let consultation = Advisor::new(config)
+        .consult(StoreKind::Redis, &trace)
+        .unwrap();
     let points = evaluate(
         StoreKind::Redis,
         &trace,
@@ -143,7 +162,9 @@ fn section3_trending_worked_example() {
 #[test]
 fn write_heavy_less_impacted() {
     let read_heavy = WorkloadSpec::timeline().scaled(300, 4_000).generate(5);
-    let write_heavy = WorkloadSpec::edit_thumbnail().scaled(300, 4_000).generate(5);
+    let write_heavy = WorkloadSpec::edit_thumbnail()
+        .scaled(300, 4_000)
+        .generate(5);
     let sensitivity = |t: &ycsb::Trace| {
         Advisor::new(scaled_config(t))
             .consult(StoreKind::Redis, t)
@@ -162,10 +183,14 @@ fn write_heavy_less_impacted() {
 /// and the estimate credits big records more per access.
 #[test]
 fn large_records_matter_more() {
-    let trace = WorkloadSpec::trending_preview().scaled(400, 6_000).generate(6);
+    let trace = WorkloadSpec::trending_preview()
+        .scaled(400, 6_000)
+        .generate(6);
     let mut config = scaled_config(&trace);
     config.model = mnemo::ModelKind::SizeAware;
-    let consultation = Advisor::new(config).consult(StoreKind::Redis, &trace).unwrap();
+    let consultation = Advisor::new(config)
+        .consult(StoreKind::Redis, &trace)
+        .unwrap();
     // Per-request promotion benefit must grow with record size.
     let model = mnemo::PerfModel::fit(
         mnemo::ModelKind::SizeAware,

@@ -13,14 +13,22 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
         Just(DistKind::Uniform),
         (0.5f64..0.95).prop_map(|t| DistKind::Zipfian { theta: t }),
         (0.5f64..0.95).prop_map(|t| DistKind::ScrambledZipfian { theta: t }),
-        ((0.05f64..0.5), (0.5f64..0.95))
-            .prop_map(|(h, o)| DistKind::Hotspot { hot_fraction: h, hot_op_fraction: o }),
-        (1u64..20).prop_map(|c| DistKind::Latest { theta: 0.9, churn_period: c }),
+        ((0.05f64..0.5), (0.5f64..0.95)).prop_map(|(h, o)| DistKind::Hotspot {
+            hot_fraction: h,
+            hot_op_fraction: o
+        }),
+        (1u64..20).prop_map(|c| DistKind::Latest {
+            theta: 0.9,
+            churn_period: c
+        }),
     ];
     let sizes = prop_oneof![
         Just(SizeModel::Single(SizeClass::Caption)),
         Just(SizeModel::Single(SizeClass::TextPost)),
-        Just(SizeModel::Mixed(vec![(SizeClass::TextPost, 1.0), (SizeClass::Caption, 2.0)])),
+        Just(SizeModel::Mixed(vec![
+            (SizeClass::TextPost, 1.0),
+            (SizeClass::Caption, 2.0)
+        ])),
     ];
     (dist, sizes, 20u64..80, 200usize..800, 0.3f64..1.0).prop_map(
         |(distribution, sizes, keys, requests, read_fraction)| WorkloadSpec {
