@@ -1,6 +1,11 @@
 //! Regenerate every table and figure in sequence (see EXPERIMENTS.md).
+//!
+//! Usage: `all [--jobs N]` — the flag is forwarded to every experiment,
+//! and a `timing-all.csv` per-experiment wall-clock summary lands next
+//! to the figure CSVs.
 
 use std::process::Command;
+use std::time::Instant;
 
 const EXPERIMENTS: [&str; 19] = [
     "fig1",
@@ -25,10 +30,14 @@ const EXPERIMENTS: [&str; 19] = [
 ];
 
 fn main() {
+    mnemo_bench::harness_args();
+    let jobs = mnemo_par::effective_jobs();
+    let mut timer = mnemo_bench::SweepTimer::new("all");
     // Run siblings through cargo so they are rebuilt if stale (spawning
     // target-dir executables directly can silently run old code).
     for exp in EXPERIMENTS {
         println!("\n================ {exp} ================");
+        let t = Instant::now();
         let status = Command::new("cargo")
             .args([
                 "run",
@@ -38,10 +47,15 @@ fn main() {
                 "mnemo-bench",
                 "--bin",
                 exp,
+                "--",
+                "--jobs",
+                &jobs.to_string(),
             ])
             .status()
             .expect("spawn experiment via cargo");
         assert!(status.success(), "{exp} failed");
+        timer.record(exp, 1, t.elapsed());
     }
+    mnemo_bench::write_timing(&timer);
     println!("\nAll experiments regenerated. CSVs in target/experiments/.");
 }

@@ -6,6 +6,7 @@ use std::fmt::Write as _;
 use std::fs;
 
 fn main() {
+    mnemo_bench::harness_args();
     let dir = mnemo_bench::out_dir();
     let mut entries: Vec<_> = fs::read_dir(&dir)
         .expect("experiment dir")

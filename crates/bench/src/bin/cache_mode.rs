@@ -20,6 +20,7 @@ use mnemo_bench::{consult, paper_workload, print_table, seed_for, testbed_for, w
 const RATIOS: [f64; 4] = [0.1, 0.2, 0.4, 0.6];
 
 fn main() {
+    mnemo_bench::harness_args();
     println!("Three deployments of the same FastMem capacity (Redis)");
     let mut csv = Vec::new();
     for workload in ["trending", "news feed", "edit thumbnail"] {

@@ -16,6 +16,7 @@ const FACTORS: [usize; 5] = [1, 2, 4, 8, 16];
 const POINTS: usize = 7;
 
 fn main() {
+    mnemo_bench::harness_args();
     println!("Downsampling: estimate accuracy from sampled baselines (Trending, Redis)");
     let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
     let full = spec.generate(seed_for(&spec.name));

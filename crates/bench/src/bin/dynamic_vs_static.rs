@@ -17,6 +17,7 @@ use mnemo_bench::{consult, paper_workloads, print_table, seed_for, testbed_for, 
 const BUDGET_FRACTION: f64 = 0.2; // 20% of the dataset in FastMem
 
 fn main() {
+    mnemo_bench::harness_args();
     println!(
         "Static (Mnemo) vs dynamic tiering at a {:.0}% FastMem budget (Redis)",
         BUDGET_FRACTION * 100.0

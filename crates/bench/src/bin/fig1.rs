@@ -10,6 +10,7 @@ use cloudcost::{Provider, ProviderKind};
 use mnemo_bench::{print_table, write_csv};
 
 fn main() {
+    mnemo_bench::harness_args();
     println!("Fig. 1: memory share of VM cost (Nov-2018 on-demand prices)");
     let mut csv_rows = Vec::new();
     for kind in ProviderKind::ALL {

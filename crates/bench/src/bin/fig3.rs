@@ -5,6 +5,7 @@
 use mnemo_bench::{paper_workloads, seed_for, write_csv};
 
 fn main() {
+    mnemo_bench::harness_args();
     println!("Fig. 3: key-space CDFs per distribution");
     let mut csv = Vec::new();
     for spec in paper_workloads() {

@@ -5,6 +5,7 @@ use mnemo_bench::write_csv;
 use ycsb::SizeClass;
 
 fn main() {
+    mnemo_bench::harness_args();
     println!("Fig. 4: record-size CDFs (bytes, log scale)");
     let probes: Vec<u64> = (6..=20).map(|e| 1u64 << e).collect(); // 64 B .. 1 MB
     let mut csv = Vec::new();

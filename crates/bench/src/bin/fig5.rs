@@ -5,7 +5,7 @@
 //! (b) read:write ratio (timeline vs edit thumbnail),
 //! (c) record size (trending vs trending preview).
 //!
-//! Usage: `fig5 [a|b|c]` (default: all panels).
+//! Usage: `fig5 [a|b|c] [--jobs N]` (default: all panels).
 
 use kvsim::StoreKind;
 use mnemo::advisor::OrderingKind;
@@ -55,38 +55,47 @@ fn panel(letter: char, title: &str, workloads: &[&str], csv: &mut Vec<String>) {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1);
+    let args = mnemo_bench::harness_args();
+    let arg = args.first().cloned();
+    let mut timer = mnemo_bench::SweepTimer::new("fig5");
     let mut csv = Vec::new();
     let run = |l: char| arg.is_none() || arg.as_deref() == Some(&l.to_string());
     if run('a') {
-        panel(
-            'a',
-            "key distribution",
-            &["trending", "news feed", "timeline"],
-            &mut csv,
-        );
+        timer.stage("panel-a", 3, || {
+            panel(
+                'a',
+                "key distribution",
+                &["trending", "news feed", "timeline"],
+                &mut csv,
+            )
+        });
     }
     if run('b') {
-        panel(
-            'b',
-            "read:write ratio",
-            &["timeline", "edit thumbnail"],
-            &mut csv,
-        );
+        timer.stage("panel-b", 2, || {
+            panel(
+                'b',
+                "read:write ratio",
+                &["timeline", "edit thumbnail"],
+                &mut csv,
+            )
+        });
     }
     if run('c') {
-        panel(
-            'c',
-            "record size",
-            &["trending", "trending preview"],
-            &mut csv,
-        );
+        timer.stage("panel-c", 2, || {
+            panel(
+                'c',
+                "record size",
+                &["trending", "trending preview"],
+                &mut csv,
+            )
+        });
     }
     write_csv(
         "fig5_curves.csv",
         "panel,workload,cost_reduction,measured_ops_s,estimated_ops_s,improvement_pct",
         &csv,
     );
+    mnemo_bench::write_timing(&timer);
     println!("\nPaper shape: throughput tracks the key-access CDF; trending gains ~31% of its");
     println!("~40% total improvement at ~36% of the FastMem-only cost.");
 }

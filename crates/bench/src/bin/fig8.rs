@@ -4,7 +4,7 @@
 //! Trending, (c) average-latency estimate, (d/e) tail latencies (not
 //! estimated, reported), (f) Mnemo vs MnemoT estimate.
 //!
-//! Usage: `fig8 [a|b|c|d|f]` (default: all panels).
+//! Usage: `fig8 [a|b|c|d|f] [--jobs N]` (default: all panels).
 
 use kvsim::StoreKind;
 use mnemo::accuracy::{ErrorStats, EvalPoint};
@@ -267,18 +267,21 @@ fn panel_f() {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1);
+    let args = mnemo_bench::harness_args();
+    let arg = args.first().cloned();
     let run = |l: &str| arg.is_none() || arg.as_deref() == Some(l);
+    let mut timer = mnemo_bench::SweepTimer::new("fig8");
     if run("a") {
-        panel_a();
+        timer.stage("panel-a", 0, panel_a);
     }
     if run("b") {
-        panel_b();
+        timer.stage("panel-b", 0, panel_b);
     }
     if run("c") || arg.as_deref() == Some("d") || arg.as_deref() == Some("e") {
-        panel_c_d_e();
+        timer.stage("panel-cde", 0, panel_c_d_e);
     }
     if run("f") {
-        panel_f();
+        timer.stage("panel-f", 0, panel_f);
     }
+    mnemo_bench::write_timing(&timer);
 }

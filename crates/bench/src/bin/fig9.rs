@@ -8,6 +8,7 @@ use mnemo_bench::{consult, paper_workloads, print_table, seed_for, stores, write
 const SLO_SLOWDOWN: f64 = 0.10;
 
 fn main() {
+    mnemo_bench::harness_args();
     println!("Fig. 9: cost reduction at a 10% slowdown SLO (p = 0.2 floor)");
     let workloads = paper_workloads();
     let jobs: Vec<(usize, usize)> = (0..stores().len())

@@ -17,6 +17,7 @@ use mnemo_bench::{consult, eval_points, paper_workload, print_table, seed_for, w
 const POINTS: usize = 9;
 
 fn main() {
+    mnemo_bench::harness_args();
     println!("Model limits: in-memory store vs storage-engaged store (Trending)");
     let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec.generate(seed_for(&spec.name));

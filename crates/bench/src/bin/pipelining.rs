@@ -16,6 +16,7 @@ use mnemo_bench::{paper_workload, print_table, seed_for, testbed_for, write_csv}
 const DEPTHS: [u32; 4] = [1, 4, 16, 64];
 
 fn main() {
+    mnemo_bench::harness_args();
     println!("Pipelining: amortised fixed cost exposes memory time (Trending, Redis)");
     let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec.generate(seed_for(&spec.name));

@@ -17,6 +17,7 @@ use mnemo_stream::{StreamConfig, StreamProfiler};
 use ycsb::{DistKind, WorkloadSpec};
 
 fn main() {
+    mnemo_bench::harness_args();
     let d = scale_divisor();
     let keys = (10_000u64 / d).max(100);
     let requests = (1_000_000usize / d as usize).max(1_000);

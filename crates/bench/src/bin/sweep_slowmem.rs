@@ -21,6 +21,7 @@ const POINTS: [(&str, f64, f64); 6] = [
 ];
 
 fn main() {
+    mnemo_bench::harness_args();
     println!("SlowMem technology sweep (Trending, Redis, 10% SLO, p = 0.2)");
     let spec_w = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec_w.generate(seed_for(&spec_w.name));

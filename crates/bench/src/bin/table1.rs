@@ -2,9 +2,10 @@
 //! emulated NVM (SlowMem).
 
 use hybridmem::HybridSpec;
-use mnemo_bench::print_table;
+use mnemo_bench::{print_table, write_csv};
 
 fn main() {
+    mnemo_bench::harness_args();
     let spec = HybridSpec::paper_testbed();
     let (b, l) = spec.slow_factors();
     print_table(
@@ -26,6 +27,20 @@ fn main() {
                 format!("{:.1}", spec.fast.bandwidth_bytes_per_ns),
                 format!("{:.2}", spec.slow.bandwidth_bytes_per_ns),
             ],
+        ],
+    );
+    write_csv(
+        "table1_testbed.csv",
+        "tier,bandwidth_factor,latency_factor,read_latency_ns,bandwidth_gb_s",
+        &[
+            format!(
+                "fastmem,1.00,1.00,{:.1},{:.2}",
+                spec.fast.read_latency_ns, spec.fast.bandwidth_bytes_per_ns
+            ),
+            format!(
+                "slowmem,{b:.2},{l:.2},{:.1},{:.2}",
+                spec.slow.read_latency_ns, spec.slow.bandwidth_bytes_per_ns
+            ),
         ],
     );
     println!(

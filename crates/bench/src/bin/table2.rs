@@ -5,6 +5,7 @@ use cloudcost::CostModel;
 use mnemo_bench::print_table;
 
 fn main() {
+    mnemo_bench::harness_args();
     let model = CostModel::default();
     let total: u64 = 1 << 30; // a nominal 1 GiB dataset (C bytes)
     let rows = model.table2(total, 0.2);

@@ -4,6 +4,7 @@ use mnemo_bench::{paper_workloads, print_table};
 use ycsb::SizeModel;
 
 fn main() {
+    mnemo_bench::harness_args();
     let rows: Vec<Vec<String>> = paper_workloads()
         .iter()
         .map(|w| {

@@ -19,6 +19,7 @@ use mnemo_bench::{paper_workload, paper_workloads, print_table, seed_for, testbe
 use std::time::Instant;
 
 fn main() {
+    mnemo_bench::harness_args();
     println!("Table IV: profiling overhead comparison (wall-clock on this host)");
     let spec = paper_workload("timeline").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec.generate(seed_for(&spec.name));

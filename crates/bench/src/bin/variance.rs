@@ -13,6 +13,7 @@ const RUNS: usize = 8;
 const POINTS: usize = 5;
 
 fn main() {
+    mnemo_bench::harness_args();
     println!("Measurement variance across {RUNS} independently-jittered runs (Trending, Redis)");
     let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
     let trace = spec.generate(seed_for(&spec.name));

@@ -10,6 +10,7 @@ use ycsb::WorkloadSpec;
 const SLO_SLOWDOWN: f64 = 0.10;
 
 fn main() {
+    mnemo_bench::harness_args();
     println!("YCSB core workloads (A-F): sensitivity and sizing at a 10% SLO");
     let d = scale_divisor();
     // The suite at YCSB's default ~1 KB records, plus a 100 KB "media"

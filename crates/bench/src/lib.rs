@@ -3,7 +3,9 @@
 //! Every `src/bin/<experiment>` binary regenerates one of the paper's
 //! tables or figures (see DESIGN.md's per-experiment index); this library
 //! holds what they share: the paper-scale workload set, the measurement
-//! configuration, parallel sweep helpers and plain-text table/CSV output.
+//! configuration, the bounded parallel sweep helpers (`--jobs N` /
+//! `MNEMO_JOBS`, see [`harness_args`]), per-stage [`SweepTimer`]
+//! instrumentation and plain-text table/CSV output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,6 +16,7 @@ use kvsim::StoreKind;
 use mnemo::accuracy::EvalPoint;
 use mnemo::advisor::{Advisor, AdvisorConfig, Consultation, OrderingKind};
 use mnemo::ModelKind;
+pub use mnemo_par::SweepTimer;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -112,20 +115,65 @@ pub fn eval_points(
     .expect("evaluation failed")
 }
 
-/// Run `jobs` closures on worker threads (one per job, crossbeam-scoped)
-/// and return their results in order.
+/// Run `jobs` closures as coarse jobs on the bounded worker pool and
+/// return their results in order. Unlike the old one-thread-per-job
+/// helper, a 64-point sweep on a 4-worker pool runs 4 threads, not 64;
+/// results are byte-identical for any `--jobs` value.
 pub fn parallel<T: Send, F: Fn(usize) -> T + Sync>(jobs: usize, f: F) -> Vec<T> {
-    let mut out: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
-    crossbeam::scope(|scope| {
-        for (i, slot) in out.iter_mut().enumerate() {
-            let f = &f;
-            scope.spawn(move |_| *slot = Some(f(i)));
+    mnemo_par::Pool::current().run_jobs(jobs, f)
+}
+
+/// Experiment-binary startup: honour the shared `--jobs N` flag (also
+/// `--jobs=N`; `MNEMO_JOBS` is the environment-variable equivalent) and
+/// return the remaining command-line arguments in order, so binaries
+/// with positional arguments (e.g. `fig5 [a|b|c]`) keep working.
+pub fn harness_args() -> Vec<String> {
+    let (jobs, rest) = strip_jobs_flag(std::env::args().skip(1).collect());
+    if let Some(n) = jobs {
+        mnemo_par::set_jobs(n);
+    }
+    rest
+}
+
+/// Split the `--jobs N` / `--jobs=N` flag out of an argument vector.
+/// Returns the requested worker count (last occurrence wins) and the
+/// remaining arguments in their original order.
+pub fn strip_jobs_flag(mut args: Vec<String>) -> (Option<usize>, Vec<String>) {
+    let parse = |v: &str| -> usize {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("--jobs needs a positive integer, got '{v}'"))
+    };
+    let mut jobs = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix("--jobs=") {
+            jobs = Some(parse(v));
+            args.remove(i);
+        } else if args[i] == "--jobs" {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--jobs needs a value"))
+                .clone();
+            jobs = Some(parse(&v));
+            args.drain(i..=i + 1);
+        } else {
+            i += 1;
         }
-    })
-    .expect("experiment job panicked");
-    out.into_iter()
-        .map(|o| o.expect("job produced no result"))
-        .collect()
+    }
+    (jobs, args)
+}
+
+/// Write a [`SweepTimer`]'s per-stage wall-clock summary as
+/// `timing-<label>.csv` in the experiment output dir and log a one-line
+/// summary to stderr. Timing artifacts are intentionally prefixed so the
+/// CI determinism/golden gates can exclude them — wall-clock values are
+/// not byte-stable.
+pub fn write_timing(timer: &SweepTimer) {
+    let path = out_dir().join(format!("timing-{}.csv", timer.label()));
+    fs::write(&path, timer.to_csv()).expect("cannot write timing csv");
+    eprintln!("{} -> {}", timer.summary(), path.display());
 }
 
 /// Where experiment CSVs land.
@@ -226,6 +274,34 @@ mod tests {
     fn parallel_preserves_order() {
         let out = parallel(8, |i| i * i);
         assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn parallel_is_bounded_and_deterministic() {
+        // Regardless of pool width, job results land in index order.
+        let a = parallel(64, |i| i as u64 * 3);
+        let b: Vec<u64> = (0..64).map(|i| i * 3).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jobs_flag_is_stripped_in_both_forms() {
+        let argv = |parts: &[&str]| parts.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (jobs, rest) = strip_jobs_flag(argv(&["a", "--jobs", "3", "b"]));
+        assert_eq!(jobs, Some(3));
+        assert_eq!(rest, argv(&["a", "b"]));
+        let (jobs, rest) = strip_jobs_flag(argv(&["--jobs=7"]));
+        assert_eq!(jobs, Some(7));
+        assert!(rest.is_empty());
+        let (jobs, rest) = strip_jobs_flag(argv(&["fig5", "a"]));
+        assert_eq!(jobs, None);
+        assert_eq!(rest, argv(&["fig5", "a"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn jobs_flag_rejects_garbage() {
+        let _ = strip_jobs_flag(vec!["--jobs=zero".to_string()]);
     }
 
     #[test]

@@ -53,6 +53,11 @@ COMMANDS:
       --deploy-gib N                     scale the split to N GiB
       --slo FRACTION --price FRACTION
 
+GLOBAL OPTIONS:
+  --jobs N     worker threads for parallel stages (default: all cores;
+               MNEMO_JOBS environment variable is the equivalent).
+               Output is byte-identical for every value of N.
+
 Run any command with --help for details.";
 
 /// Run the CLI on an argument vector (without the program name).
@@ -65,6 +70,16 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     };
     if parsed.flag("help") {
         return Ok(USAGE.to_string());
+    }
+    // Global --jobs N: bound the worker pool every parallel stage
+    // (baseline runs, curve construction, shard loops) draws from.
+    // Results are byte-identical for any value; this only tunes speed.
+    let jobs: usize = parsed.number_or("jobs", 0usize)?;
+    if parsed.flag("jobs") && jobs == 0 {
+        return Err("--jobs needs a positive integer".into());
+    }
+    if jobs > 0 {
+        mnemo_par::set_jobs(jobs);
     }
     parsed.positional.remove(0);
     match command.as_str() {
@@ -102,6 +117,22 @@ mod tests {
     fn unknown_command_is_an_error() {
         let err = run(&argv(&["frobnicate"])).unwrap_err();
         assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn jobs_flag_is_validated_and_accepted() {
+        assert!(run(&argv(&["workloads", "--jobs", "2"])).is_ok());
+        let err = run(&argv(&["workloads", "--jobs"])).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        assert!(run(&argv(&["workloads", "--jobs", "nope"])).is_err());
+        // Leave the global pool unbounded for the other tests.
+        mnemo_par::set_jobs(0);
+    }
+
+    #[test]
+    fn usage_documents_the_jobs_flag() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("--jobs N"));
     }
 
     #[test]

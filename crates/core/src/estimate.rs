@@ -81,16 +81,17 @@ impl EstimateEngine {
     /// model's full Slow-Fast runtime gap, so the curve endpoints are
     /// independent of the correction.
     pub fn key_deltas(&self, pattern: &PatternEngine) -> (f64, Vec<f64>) {
-        let fast_total: f64 = pattern
-            .stats()
-            .iter()
-            .map(|s| self.key_runtime(s, MemTier::Fast))
-            .sum();
-        let mut deltas: Vec<f64> = pattern
-            .stats()
-            .iter()
-            .map(|s| self.key_runtime(s, MemTier::Slow) - self.key_runtime(s, MemTier::Fast))
-            .collect();
+        // Per-key model predictions are independent; chunk them across
+        // the bounded pool. The reduction stays sequential over the
+        // index-ordered vector, so the totals (and therefore the curve)
+        // are bit-identical to the single-threaded path.
+        let pool = mnemo_par::Pool::current();
+        let fast_runtimes =
+            pool.map_slice(pattern.stats(), |_, s| self.key_runtime(s, MemTier::Fast));
+        let fast_total: f64 = fast_runtimes.iter().sum();
+        let mut deltas: Vec<f64> = pool.map_slice(pattern.stats(), |k, s| {
+            self.key_runtime(s, MemTier::Slow) - fast_runtimes[k]
+        });
         if let Some(llc) = self.cache_correction {
             // Keys resident in the LLC (hot-first by access density until
             // the capacity is filled) only miss on their cold accesses.
@@ -148,9 +149,6 @@ impl EstimateEngine {
         let requests: usize = pattern.total_requests() as usize;
         let total_bytes = pattern.total_bytes();
         let (fast_total, deltas) = self.key_deltas(pattern);
-        let mut runtime = fast_total + deltas.iter().sum::<f64>();
-        let mut fast_bytes = 0u64;
-        let mut rows = Vec::with_capacity(order.len() + 1);
         let throughput = |runtime_ns: f64| {
             if runtime_ns <= 0.0 {
                 0.0
@@ -158,26 +156,33 @@ impl EstimateEngine {
                 requests as f64 / (runtime_ns / 1e9)
             }
         };
-        rows.push(CurveRow {
-            prefix: 0,
-            key: None,
-            fast_bytes: 0,
-            cost_reduction: self.cost.reduction(0, total_bytes),
-            est_runtime_ns: runtime,
-            est_throughput_ops_s: throughput(runtime),
-        });
-        for (i, &key) in order.iter().enumerate() {
+        // Two passes. The prefix state — runtime after each promotion,
+        // cumulative FastMem bytes — is an inherently sequential fold of
+        // two scalar ops per key, so it is computed inline; the per-row
+        // work (cost model, throughput conversion) is then filled in
+        // parallel from that state. Each row applies exactly the
+        // operations the sequential loop applied to the same prefix
+        // values, so the curve is bit-identical for any worker count.
+        let mut runtime = fast_total + deltas.iter().sum::<f64>();
+        let mut fast_bytes = 0u64;
+        let mut prefix_state = Vec::with_capacity(order.len() + 1);
+        prefix_state.push((runtime, fast_bytes));
+        for &key in order {
             runtime -= deltas[key as usize];
             fast_bytes += pattern.key(key).bytes;
-            rows.push(CurveRow {
-                prefix: i + 1,
-                key: Some(key),
+            prefix_state.push((runtime, fast_bytes));
+        }
+        let rows = mnemo_par::Pool::current().map(order.len() + 1, |i| {
+            let (runtime, fast_bytes) = prefix_state[i];
+            CurveRow {
+                prefix: i,
+                key: if i == 0 { None } else { Some(order[i - 1]) },
                 fast_bytes,
                 cost_reduction: self.cost.reduction(fast_bytes, total_bytes - fast_bytes),
                 est_runtime_ns: runtime,
                 est_throughput_ops_s: throughput(runtime),
-            });
-        }
+            }
+        });
         EstimateCurve {
             rows,
             requests,

@@ -63,14 +63,22 @@ pub fn allocate_shared(consultations: &[Consultation], budget_bytes: u64) -> Sha
         bytes: u64,
         delta: f64,
     }
+    // Rebuild each tenant's engine to get its deltas (price factor does
+    // not matter for deltas; use the default model). Tenants are
+    // independent, so the delta evaluations run as coarse jobs on the
+    // bounded pool; gathering stays in tenant order, keeping the
+    // knapsack-style fill deterministic.
+    let per_tenant: Vec<(f64, Vec<f64>)> =
+        mnemo_par::Pool::current().run_jobs(consultations.len(), |tenant| {
+            let c = &consultations[tenant];
+            let engine = EstimateEngine::new(c.model.clone(), CostModel::default());
+            engine.key_deltas(&c.pattern)
+        });
     let mut candidates = Vec::new();
     let mut fast_totals = Vec::with_capacity(consultations.len());
     for (tenant, c) in consultations.iter().enumerate() {
-        // Rebuild the engine that produced the curve to get its deltas.
-        // Price factor does not matter for deltas; use the default model.
-        let engine = EstimateEngine::new(c.model.clone(), CostModel::default());
-        let (fast_total, deltas) = engine.key_deltas(&c.pattern);
-        fast_totals.push(fast_total);
+        let (fast_total, deltas) = &per_tenant[tenant];
+        fast_totals.push(*fast_total);
         for (key, &delta) in deltas.iter().enumerate() {
             let bytes = c.pattern.key(key as u64).bytes;
             if delta > 0.0 && bytes > 0 {

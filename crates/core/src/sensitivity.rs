@@ -104,16 +104,38 @@ impl SensitivityEngine {
         &self.spec
     }
 
-    /// Execute the workload "as-is" under both extreme placements.
+    /// Execute the workload "as-is" under both extreme placements. The
+    /// two runs are independent simulations with decorrelated jitter
+    /// seeds, so they execute concurrently on the bounded pool; results
+    /// are identical to running them back to back.
     pub fn measure(&self, store: StoreKind, trace: &Trace) -> Result<Baselines, EngineError> {
-        let fast = self.measure_one(store, trace, Placement::AllFast)?;
-        let slow = self.measure_one(store, trace, Placement::AllSlow)?;
+        let (fast, slow) = mnemo_par::Pool::current().join(
+            || self.measure_one(store, trace, Placement::AllFast),
+            || self.measure_one(store, trace, Placement::AllSlow),
+        );
         Ok(Baselines {
             store,
             workload: trace.name.clone(),
-            fast,
-            slow,
+            fast: fast?,
+            slow: slow?,
         })
+    }
+
+    /// Measure a whole grid of (store, trace) cells — the fan-out shape
+    /// of the paper-figure sweeps and store-comparison tables. Cells run
+    /// as coarse jobs on the bounded pool; the returned `Vec` is in cell
+    /// order and identical to measuring each cell sequentially.
+    pub fn measure_grid(
+        &self,
+        cells: &[(StoreKind, &Trace)],
+    ) -> Result<Vec<Baselines>, EngineError> {
+        mnemo_par::Pool::current()
+            .run_jobs(cells.len(), |i| {
+                let (store, trace) = cells[i];
+                self.measure(store, trace)
+            })
+            .into_iter()
+            .collect()
     }
 
     /// One extreme run.
@@ -228,6 +250,25 @@ mod tests {
         let (r, w) = SensitivityEngine::op_means(&b.fast.report);
         assert!((r - b.fast.avg_read_ns).abs() < 1e-6);
         assert!((w - b.fast.avg_write_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn measure_grid_matches_sequential_cells() {
+        let t = trace();
+        let eng = SensitivityEngine::default();
+        let cells: Vec<(StoreKind, &Trace)> = vec![
+            (StoreKind::Redis, &t),
+            (StoreKind::Dynamo, &t),
+            (StoreKind::Memcached, &t),
+        ];
+        let grid = eng.measure_grid(&cells).unwrap();
+        assert_eq!(grid.len(), 3);
+        for ((store, trace), cell) in cells.iter().zip(&grid) {
+            let solo = eng.measure(*store, trace).unwrap();
+            assert_eq!(cell.store, *store);
+            assert_eq!(cell.fast.runtime_ns, solo.fast.runtime_ns);
+            assert_eq!(cell.slow.runtime_ns, solo.slow.runtime_ns);
+        }
     }
 
     #[test]

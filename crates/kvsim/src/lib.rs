@@ -26,8 +26,8 @@
 //!   static placement suffices.
 //! * [`cache_mode`] — FastMem as a write-back DRAM cache of SlowMem
 //!   (Intel Memory Mode-style), the deployment the paper scopes out.
-//! * [`sharded`] — a concurrent multi-shard deployment driven by one
-//!   client thread per shard (crossbeam scoped threads).
+//! * [`sharded`] — a concurrent multi-shard deployment driven by the
+//!   bounded `mnemo-par` worker pool.
 //!
 //! # Example
 //!

@@ -3,8 +3,8 @@
 //! The paper's servers are concurrent processes; the simulator's engines
 //! are single-threaded state machines. [`ShardedCluster`] recovers
 //! concurrency the way real deployments do: the key space is hash-split
-//! over `n` independent shards, each shard is driven by its own client
-//! thread (crossbeam scoped threads, parking_lot-locked engines), and the
+//! over `n` independent shards, shards are driven as coarse jobs on the
+//! bounded `mnemo-par` pool (parking_lot-locked engines), and the
 //! cluster-level runtime is the slowest shard's runtime — shards serve
 //! requests in parallel.
 
@@ -88,27 +88,19 @@ impl ShardedCluster {
     }
 
     /// Run the trace: requests are routed to their shard, shards execute
-    /// concurrently, and the merged report uses the slowest shard's
-    /// runtime as the cluster runtime.
+    /// concurrently as coarse jobs on the bounded pool (a 64-shard
+    /// cluster no longer spawns 64 client threads), and the merged
+    /// report uses the slowest shard's runtime as the cluster runtime.
+    /// Shard runtimes are simulated clock time, so the merged report is
+    /// independent of the worker count.
     pub fn run(&self, trace: &Trace) -> RunReport {
         let n = self.shards.len();
         let subs: Vec<Trace> = (0..n).map(|s| shard_trace(trace, s, n)).collect();
-        let mut reports: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
-        crossbeam::scope(|scope| {
-            for (slot, (shard, sub)) in reports.iter_mut().zip(self.shards.iter().zip(&subs)) {
-                scope.spawn(move |_| {
-                    let mut server = shard.lock();
-                    *slot = Some(server.run(sub));
-                });
-            }
-        })
-        .expect("shard thread panicked");
-        merge_reports(
-            trace,
-            reports
-                .into_iter()
-                .map(|r| r.expect("missing shard report")),
-        )
+        let reports = mnemo_par::Pool::current().run_jobs(n, |s| {
+            let mut server = self.shards[s].lock();
+            server.run(&subs[s])
+        });
+        merge_reports(trace, reports.into_iter())
     }
 }
 
