@@ -5,7 +5,6 @@
 //! to the figure CSVs.
 
 use std::process::Command;
-use std::time::Instant;
 
 const EXPERIMENTS: [&str; 19] = [
     "fig1",
@@ -37,24 +36,30 @@ fn main() {
     // target-dir executables directly can silently run old code).
     for exp in EXPERIMENTS {
         println!("\n================ {exp} ================");
-        let t = Instant::now();
-        let status = Command::new("cargo")
-            .args([
-                "run",
-                "--release",
-                "--quiet",
-                "-p",
-                "mnemo-bench",
-                "--bin",
-                exp,
-                "--",
-                "--jobs",
-                &jobs.to_string(),
-            ])
-            .status()
-            .expect("spawn experiment via cargo");
+        // Each experiment is one telemetry span; the per-experiment
+        // wall-clock summary still lands in timing-all.csv.
+        let status = timer.stage(exp, 1, || {
+            let mut args = vec![
+                "run".to_string(),
+                "--release".into(),
+                "--quiet".into(),
+                "-p".into(),
+                "mnemo-bench".into(),
+                "--bin".into(),
+                exp.to_string(),
+                "--".into(),
+                "--jobs".into(),
+                jobs.to_string(),
+            ];
+            if let Some(dir) = mnemo_bench::telemetry_dir() {
+                args.push(format!("--telemetry={}", dir.display()));
+            }
+            Command::new("cargo")
+                .args(&args)
+                .status()
+                .expect("spawn experiment via cargo")
+        });
         assert!(status.success(), "{exp} failed");
-        timer.record(exp, 1, t.elapsed());
     }
     mnemo_bench::write_timing(&timer);
     println!("\nAll experiments regenerated. CSVs in target/experiments/.");

@@ -13,14 +13,32 @@ fn main() {
     mnemo_bench::harness_args();
     println!("Fig. 1: memory share of VM cost (Nov-2018 on-demand prices)");
     let mut csv_rows = Vec::new();
+    // The figure's inputs are a fixed price catalogue, so everything
+    // recorded here is scale- and jobs-independent: the export is the
+    // byte-stable golden the CI bench-smoke job diffs.
+    let mut tel = mnemo_telemetry::Recorder::new();
     for kind in ProviderKind::ALL {
+        let slug = match kind {
+            ProviderKind::Aws => "aws",
+            ProviderKind::Gcp => "gcp",
+            ProviderKind::Azure => "azure",
+        };
         let provider = Provider::new(kind);
         let split = CostSplit::fit(&provider.instances).expect("catalogue fit failed");
+        tel.count("fig1.providers", 1);
+        tel.count("fig1.catalogue_instances", provider.instances.len() as u64);
+        tel.gauge(
+            &format!("fig1.{slug}.fit_rms_error"),
+            split.rms_relative_error,
+        );
         let rows: Vec<Vec<String>> = memory_share_series(&provider.instances)
             .expect("series failed")
             .iter()
             .map(|r| {
                 csv_rows.push(format!("{},{},{:.4}", kind.name(), r.instance, r.share));
+                tel.count("fig1.instances", 1);
+                tel.gauge("fig1.memory_share", r.share);
+                tel.gauge(&format!("fig1.{slug}.memory_share"), r.share);
                 vec![r.instance.to_string(), format!("{:5.1}%", r.share * 100.0)]
             })
             .collect();
@@ -41,5 +59,6 @@ fn main() {
         "provider,instance,memory_share",
         &csv_rows,
     );
+    mnemo_bench::export_telemetry("fig1", &[tel.take_snapshot(0)]);
     println!("\nPaper band: memory is ~60-85% of the VM cost for these instances.");
 }

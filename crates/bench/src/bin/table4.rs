@@ -9,14 +9,21 @@
 //! * **One-baseline + ML** (Tahoe-like): one real baseline + model
 //!   inference, but only after a training corpus was collected by running
 //!   *both* baselines over many workloads.
+//!
+//! Every step runs inside a telemetry span ([`SweepTimer::stage`]), so
+//! the wall-clock comparison lands both in this table and in the
+//! standard `timing-table4.csv` artifact.
 
 use kvsim::StoreKind;
 use mnemo::baselines::{head_agreement, InstrumentedProfiler, MlBaselineModel, MlBaselineProfiler};
 use mnemo::pattern::PatternEngine;
 use mnemo::sensitivity::SensitivityEngine;
 use mnemo::tiering::MnemoT;
-use mnemo_bench::{paper_workload, paper_workloads, print_table, seed_for, testbed_for, write_csv};
-use std::time::Instant;
+use mnemo_bench::{
+    paper_workload, paper_workloads, print_table, seed_for, testbed_for, write_csv, write_timing,
+    SweepTimer,
+};
+use std::time::Duration;
 
 fn main() {
     mnemo_bench::harness_args();
@@ -27,45 +34,60 @@ fn main() {
         testbed_for(&trace),
         hybridmem::clock::NoiseConfig::disabled(),
     );
+    let mut timer = SweepTimer::new("table4");
 
     // MnemoT: two baseline executions + description-only tiering.
-    let t0 = Instant::now();
-    let baselines = engine.measure(StoreKind::Redis, &trace).expect("baselines");
-    let baseline_time = t0.elapsed();
-    let t1 = Instant::now();
-    let pattern = PatternEngine::analyze(&trace);
-    let order = MnemoT::weight_order(&pattern);
-    let tiering_time = t1.elapsed();
+    let baselines = timer.stage("baselines", 2, || {
+        engine.measure(StoreKind::Redis, &trace).expect("baselines")
+    });
+    let order = timer.stage("tiering", trace.keys() as usize, || {
+        let pattern = PatternEngine::analyze(&trace);
+        MnemoT::weight_order(&pattern)
+    });
     assert_eq!(order.len(), trace.keys() as usize);
     let _ = baselines;
 
     // Instrumentation-based: shadow execution at line granularity.
-    let t2 = Instant::now();
-    let instrumented = InstrumentedProfiler::profile(&trace);
-    let instr_time = t2.elapsed();
+    let instrumented = timer.stage("instrumentation", trace.len(), || {
+        InstrumentedProfiler::profile(&trace)
+    });
 
     // Tahoe-like: training-corpus collection (both baselines over the
     // other workloads) + one real baseline + inference.
-    let t3 = Instant::now();
     let train_traces: Vec<_> = paper_workloads()
         .iter()
         .filter(|w| w.name != "timeline")
         .map(|w| w.generate(seed_for(&w.name)))
         .collect();
-    let samples = MlBaselineProfiler::collect_training(&engine, StoreKind::Redis, &train_traces)
-        .expect("training corpus");
-    let training_time = t3.elapsed();
+    let samples = timer.stage("training", train_traces.len(), || {
+        MlBaselineProfiler::collect_training(&engine, StoreKind::Redis, &train_traces)
+            .expect("training corpus")
+    });
     let profiler = MlBaselineProfiler::new(MlBaselineModel::train(&samples));
-    let t4 = Instant::now();
-    let inferred = profiler
-        .profile(&engine, StoreKind::Redis, &trace)
-        .expect("inference");
-    let tahoe_profile_time = t4.elapsed();
+    let inferred = timer.stage("tahoe_profile", 1, || {
+        profiler
+            .profile(&engine, StoreKind::Redis, &trace)
+            .expect("inference")
+    });
     let real = engine.measure(StoreKind::Redis, &trace).expect("reference");
     let infer_err =
         (inferred.fast.runtime_ns - real.fast.runtime_ns).abs() / real.fast.runtime_ns * 100.0;
 
-    let ms = |d: std::time::Duration| format!("{:.1} ms", d.as_secs_f64() * 1e3);
+    let stages = timer.stages();
+    let wall = |name: &str| -> Duration {
+        stages
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.wall)
+            .expect("stage was recorded")
+    };
+    let baseline_time = wall("baselines");
+    let tiering_time = wall("tiering");
+    let instr_time = wall("instrumentation");
+    let training_time = wall("training");
+    let tahoe_profile_time = wall("tahoe_profile");
+
+    let ms = |d: Duration| format!("{:.1} ms", d.as_secs_f64() * 1e3);
     print_table(
         "profiling step timings",
         &[
@@ -138,4 +160,6 @@ fn main() {
             ),
         ],
     );
+    write_timing(&timer);
+    mnemo_bench::export_telemetry("table4", &[timer.snapshot()]);
 }

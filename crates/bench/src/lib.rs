@@ -20,7 +20,10 @@ pub use mnemo_par::SweepTimer;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use ycsb::{Trace, WorkloadSpec};
+
+static TELEMETRY_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 
 /// Paper scale: Table III uses 10,000 keys and 100,000 requests. The
 /// harness honours `MNEMO_SCALE` (a divisor, default 1) so CI can run a
@@ -125,14 +128,70 @@ pub fn parallel<T: Send, F: Fn(usize) -> T + Sync>(jobs: usize, f: F) -> Vec<T> 
 
 /// Experiment-binary startup: honour the shared `--jobs N` flag (also
 /// `--jobs=N`; `MNEMO_JOBS` is the environment-variable equivalent) and
-/// return the remaining command-line arguments in order, so binaries
-/// with positional arguments (e.g. `fig5 [a|b|c]`) keep working.
+/// the shared `--telemetry DIR` flag (`MNEMO_TELEMETRY` equivalent),
+/// and return the remaining command-line arguments in order, so
+/// binaries with positional arguments (e.g. `fig5 [a|b|c]`) keep
+/// working.
 pub fn harness_args() -> Vec<String> {
     let (jobs, rest) = strip_jobs_flag(std::env::args().skip(1).collect());
     if let Some(n) = jobs {
         mnemo_par::set_jobs(n);
     }
+    let (telemetry, rest) = strip_telemetry_flag(rest);
+    if let Some(dir) = telemetry {
+        *TELEMETRY_DIR.lock().unwrap() = Some(PathBuf::from(dir));
+    }
     rest
+}
+
+/// Split the `--telemetry DIR` / `--telemetry=DIR` flag out of an
+/// argument vector (last occurrence wins), mirroring
+/// [`strip_jobs_flag`].
+pub fn strip_telemetry_flag(mut args: Vec<String>) -> (Option<String>, Vec<String>) {
+    let mut dir = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix("--telemetry=") {
+            dir = Some(v.to_string());
+            args.remove(i);
+        } else if args[i] == "--telemetry" {
+            dir = Some(
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("--telemetry needs a directory"))
+                    .clone(),
+            );
+            args.drain(i..=i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    (dir, args)
+}
+
+/// Where telemetry exports land, if enabled: the `--telemetry DIR`
+/// flag (stripped by [`harness_args`]) or, failing that, the
+/// `MNEMO_TELEMETRY` environment variable. `None` means telemetry
+/// export is off.
+pub fn telemetry_dir() -> Option<PathBuf> {
+    if let Some(dir) = TELEMETRY_DIR.lock().unwrap().clone() {
+        return Some(dir);
+    }
+    std::env::var("MNEMO_TELEMETRY")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Export an experiment's telemetry snapshots to
+/// `<telemetry-dir>/telemetry-<label>/` when telemetry export is
+/// enabled; a no-op otherwise. Sim-domain artifacts in the export are
+/// byte-deterministic; wall-clock files carry the `timing-` filename
+/// prefix the CI determinism/golden gates exclude.
+pub fn export_telemetry(label: &str, snaps: &[mnemo_telemetry::Snapshot]) {
+    let Some(base) = telemetry_dir() else { return };
+    let dir = base.join(format!("telemetry-{label}"));
+    mnemo_telemetry::export::write_dir(&dir, snaps).expect("cannot write telemetry export");
+    println!("  [telemetry] {}", dir.display());
 }
 
 /// Split the `--jobs N` / `--jobs=N` flag out of an argument vector.
@@ -302,6 +361,34 @@ mod tests {
     #[should_panic(expected = "positive integer")]
     fn jobs_flag_rejects_garbage() {
         let _ = strip_jobs_flag(vec!["--jobs=zero".to_string()]);
+    }
+
+    #[test]
+    fn telemetry_flag_is_stripped_in_both_forms() {
+        let argv = |parts: &[&str]| parts.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (dir, rest) = strip_telemetry_flag(argv(&["a", "--telemetry", "out", "b"]));
+        assert_eq!(dir.as_deref(), Some("out"));
+        assert_eq!(rest, argv(&["a", "b"]));
+        let (dir, rest) = strip_telemetry_flag(argv(&["--telemetry=x/y"]));
+        assert_eq!(dir.as_deref(), Some("x/y"));
+        assert!(rest.is_empty());
+        let (dir, rest) = strip_telemetry_flag(argv(&["fig5", "a"]));
+        assert_eq!(dir, None);
+        assert_eq!(rest, argv(&["fig5", "a"]));
+    }
+
+    #[test]
+    fn export_telemetry_writes_under_the_configured_dir() {
+        let base = std::env::temp_dir().join(format!("mnemo-bench-tel-{}", std::process::id()));
+        *TELEMETRY_DIR.lock().unwrap() = Some(base.clone());
+        let mut tel = mnemo_telemetry::Recorder::new();
+        tel.count("x", 3);
+        export_telemetry("unit", &[tel.snapshot(0)]);
+        *TELEMETRY_DIR.lock().unwrap() = None;
+        let exported = base.join("telemetry-unit");
+        assert!(exported.join("telemetry.jsonl").exists());
+        assert!(exported.join("schema.csv").exists());
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -203,7 +203,8 @@ fn drift_label(drift: &Drift) -> String {
     }
 }
 
-/// `mnemo watch <trace> [--epoch N] [--budget-kib N] + consult options`
+/// `mnemo watch <trace> [--epoch N] [--budget-kib N] [--telemetry DIR]`
+/// plus the consult options.
 pub fn watch(parsed: &mut Parsed) -> Result<String, String> {
     let path = parsed.positional_required("trace file")?.to_string();
     let (store, slo, config) = parse_config(parsed)?;
@@ -215,6 +216,11 @@ pub fn watch(parsed: &mut Parsed) -> Result<String, String> {
     if budget_kib < 4 {
         return Err("--budget-kib must be >= 4 (no useful summary fits below that)".into());
     }
+    let telemetry_dir = parsed
+        .options
+        .get("telemetry")
+        .filter(|s| !s.is_empty())
+        .cloned();
     let trace = load_trace(&path)?;
 
     // The Sensitivity Engine's two baseline runs happen once, up front;
@@ -228,19 +234,25 @@ pub fn watch(parsed: &mut Parsed) -> Result<String, String> {
 
     // Replay the trace through a live server, tapping every served
     // request into the online advisor — the same hook a production
-    // deployment would use.
+    // deployment would use. Drift decisions and advise emissions go
+    // through the telemetry recorder, not just the printed summary.
+    let mut tel = mnemo_telemetry::Recorder::new();
     let mut advice: Vec<Readvice> = Vec::new();
     let mut server = kvsim::Server::build(store, &trace, kvsim::Placement::AllFast)
         .map_err(|e| format!("cannot build server: {e}"))?;
     let report = server.run_with_tap(&trace, &mut |event| {
-        advice.extend(online.on_event(&event));
+        advice.extend(online.on_event_telemetered(&event, &mut tel));
     });
     let mut final_forced = false;
     if advice.is_empty() {
         // Stream shorter than one epoch: advise from what we saw.
-        advice.push(online.readvise(Drift::Initial));
+        let forced = online.readvise(Drift::Initial);
+        mnemo_stream::telemetry::record_readvice(&mut tel, &forced);
+        advice.push(forced);
         final_forced = true;
     }
+    mnemo_stream::telemetry::record_profiler(&mut tel, online.profiler());
+    let snap = tel.take_snapshot(0);
 
     let mut out = String::new();
     let profiler = online.profiler();
@@ -257,6 +269,13 @@ pub fn watch(parsed: &mut Parsed) -> Result<String, String> {
         "profiler: {:.1} KiB of {budget_kib} KiB budget, ~{} distinct keys, epochs of {epoch_len} events",
         profiler.memory_bytes() as f64 / 1024.0,
         profiler.distinct_keys(),
+    );
+    let _ = writeln!(
+        out,
+        "telemetry: {} epochs closed, {} significant drifts, {} advise emissions",
+        snap.counter("stream.epochs"),
+        snap.counter("stream.drift.significant"),
+        snap.counter("stream.advise.emitted"),
     );
     let _ = writeln!(
         out,
@@ -288,6 +307,137 @@ pub fn watch(parsed: &mut Parsed) -> Result<String, String> {
                 );
             }
         }
+    }
+    if let Some(dir) = telemetry_dir {
+        let _ = writeln!(out, "\n{}", export_telemetry(&dir, &[snap])?);
+    }
+    Ok(out)
+}
+
+fn export_telemetry(dir: &str, snaps: &[mnemo_telemetry::Snapshot]) -> Result<String, String> {
+    mnemo_telemetry::export::write_dir(std::path::Path::new(dir), snaps)
+        .map_err(|e| format!("cannot write telemetry to '{dir}': {e}"))?;
+    Ok(format!(
+        "telemetry written to {dir} (telemetry.jsonl, telemetry.csv, schema.csv, columns/)"
+    ))
+}
+
+/// One rendered row of the `mnemo trace` table.
+fn trace_row(out: &mut String, label: &str, snap: &mnemo_telemetry::Snapshot) {
+    use mnemo_telemetry::MetricHistogram;
+    let requests = snap.counter("kv.requests");
+    let (p50, p99, ops) = match snap.histogram("kv.request.service_ns") {
+        Some(h) if h.count() > 0 => {
+            let sum_s = h.value_sum() / 1e9;
+            (
+                h.quantile_value(0.50),
+                h.quantile_value(0.99),
+                requests as f64 / sum_s.max(f64::MIN_POSITIVE),
+            )
+        }
+        _ => (0.0, 0.0, 0.0),
+    };
+    let fast = snap.counter("kv.tier.fast_hits");
+    let slow = snap.counter("kv.tier.slow_hits");
+    let llc_hits = snap.counter("kv.llc.hits");
+    let llc_total = llc_hits + snap.counter("kv.llc.misses");
+    let llc_pct = if llc_total > 0 {
+        llc_hits as f64 / llc_total as f64 * 100.0
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  {label:>6}  {requests:>9}  {p50:>9.0}  {p99:>9.0}  {ops:>11.0}  {fast:>9}  {slow:>9}  {llc_pct:>7.1}"
+    );
+}
+
+/// `mnemo trace <trace-file|preset> [--epoch N]`
+/// `[--placement fast|slow|advised] [--telemetry DIR]`
+/// plus the consult options.
+pub fn trace_cmd(parsed: &mut Parsed) -> Result<String, String> {
+    let source = parsed
+        .positional_required("trace file or preset name")?
+        .to_string();
+    let (store, slo, config) = parse_config(parsed)?;
+    let epoch_len: u64 = parsed.number_or("epoch", 20_000u64)?;
+    let placement_kind = parsed.get_or("placement", "advised").to_lowercase();
+    let telemetry_dir = parsed
+        .options
+        .get("telemetry")
+        .filter(|s| !s.is_empty())
+        .cloned();
+
+    // Accept a trace file, or any preset from `mnemo workloads`
+    // (generated in place, scaled by --keys/--requests/--seed).
+    let trace = if std::path::Path::new(&source).is_file() {
+        load_trace(&source)?
+    } else if let Some(spec) = WorkloadSpec::by_name(&source) {
+        let keys = parsed.number_or("keys", spec.keys)?;
+        let requests = parsed.number_or("requests", spec.requests)?;
+        let seed = parsed.number_or("seed", 42u64)?;
+        spec.scaled(keys, requests).generate(seed)
+    } else {
+        return Err(format!(
+            "'{source}' is neither a trace file nor a preset (see `mnemo workloads`)"
+        ));
+    };
+
+    let (placement, placement_desc) = match placement_kind.as_str() {
+        "fast" => (kvsim::Placement::AllFast, "all keys in FastMem".to_string()),
+        "slow" => (kvsim::Placement::AllSlow, "all keys in SlowMem".to_string()),
+        "advised" => {
+            let consultation = Advisor::new(config)
+                .consult(store, &trace)
+                .map_err(|e| format!("consultation failed: {e}"))?;
+            let rec = consultation.recommend(slo).ok_or("empty curve")?;
+            (
+                kvsim::Placement::fast_prefix(&consultation.order, rec.prefix),
+                format!(
+                    "advised @{:.0}% SLO: {} of {} keys ({:.1}% of bytes) in FastMem",
+                    slo * 100.0,
+                    rec.prefix,
+                    trace.keys(),
+                    rec.fast_ratio * 100.0
+                ),
+            )
+        }
+        other => return Err(format!("unknown placement '{other}' (fast|slow|advised)")),
+    };
+
+    let mut server = kvsim::Server::build(store, &trace, placement)
+        .map_err(|e| format!("cannot build server: {e}"))?;
+    let (report, snaps) = server.run_telemetered(&trace, epoch_len);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "traced '{}' on {}: {} requests, epochs of {} ({})",
+        trace.name,
+        store,
+        report.requests,
+        if epoch_len == 0 {
+            "the whole run".to_string()
+        } else {
+            format!("{epoch_len} requests")
+        },
+        placement_desc
+    );
+    let _ = writeln!(
+        out,
+        "\n  {:>6}  {:>9}  {:>9}  {:>9}  {:>11}  {:>9}  {:>9}  {:>7}",
+        "epoch", "requests", "p50_ns", "p99_ns", "ops/s", "fast_hits", "slow_hits", "llc_hit%"
+    );
+    let mut total = mnemo_telemetry::Snapshot::empty(0);
+    for snap in &snaps {
+        trace_row(&mut out, &snap.epoch().to_string(), snap);
+        total.fold(snap);
+    }
+    if snaps.len() > 1 {
+        trace_row(&mut out, "total", &total);
+    }
+    if let Some(dir) = telemetry_dir {
+        let _ = writeln!(out, "\n{}", export_telemetry(&dir, &snaps)?);
     }
     Ok(out)
 }

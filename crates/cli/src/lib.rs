@@ -44,7 +44,16 @@ COMMANDS:
       profile it as a stream in O(k) memory, re-advising on workload drift
       --epoch N                          events per drift epoch (default 50000)
       --budget-kib N                     profiler memory budget (default 64)
+      --telemetry <dir>                  export drift/advise telemetry
       plus consult's --store/--slo/--price/--ordering/--model options
+  trace <trace-file|preset>      run a workload with telemetry and print the
+      per-epoch summary (p50/p99 latency, throughput, tier hits)
+      --epoch N                          requests per epoch (default 20000;
+                                         0 = one epoch for the whole run)
+      --placement fast|slow|advised      key placement (default advised)
+      --telemetry <dir>                  export the per-epoch telemetry
+      plus consult's --store/--slo options; presets accept
+      --keys/--requests/--seed like generate
   analyze <trace-file>           skew statistics + synthetic equivalent
   downsample <trace-file> --factor N -o <file>
       randomly downsize a trace (distribution-preserving)
@@ -87,6 +96,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "generate" => commands::generate(&mut parsed),
         "consult" => commands::consult(&mut parsed),
         "watch" => commands::watch(&mut parsed),
+        "trace" => commands::trace_cmd(&mut parsed),
         "analyze" => commands::analyze(&mut parsed),
         "downsample" => commands::downsample(&mut parsed),
         "plan" => commands::plan(&mut parsed),
@@ -241,9 +251,20 @@ mod tests {
         assert!(out.contains("initial epoch"), "{out}");
         assert!(out.contains("FastMem bytes"), "{out}");
 
-        // Shorter than one epoch: the stream-end consultation covers it.
-        let out = run(&argv(&["watch", trace.to_str().unwrap()])).unwrap();
+        // Shorter than one epoch: the stream-end consultation covers it,
+        // and the forced advice still lands in the telemetry export.
+        let tel_dir = dir.join("watch-tel");
+        let out = run(&argv(&[
+            "watch",
+            trace.to_str().unwrap(),
+            "--telemetry",
+            tel_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert!(out.contains("stream end"), "{out}");
+        assert!(out.contains("telemetry written to"), "{out}");
+        let jsonl = std::fs::read_to_string(tel_dir.join("telemetry.jsonl")).unwrap();
+        assert!(jsonl.contains("stream.advise.emitted"), "{jsonl}");
 
         let err = run(&argv(&[
             "watch",
@@ -253,6 +274,58 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("budget"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_prints_per_epoch_table_and_exports() {
+        let dir = std::env::temp_dir().join(format!("mnemo-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tel_dir = dir.join("tel");
+
+        // A Table III preset, generated in place, split across epochs.
+        let out = run(&argv(&[
+            "trace",
+            "trending",
+            "--keys",
+            "300",
+            "--requests",
+            "8000",
+            "--epoch",
+            "2000",
+            "--telemetry",
+            tel_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("p50_ns"), "{out}");
+        assert!(out.contains("p99_ns"), "{out}");
+        assert!(out.contains("ops/s"), "{out}");
+        assert!(out.contains("fast_hits"), "{out}");
+        assert!(out.contains("slow_hits"), "{out}");
+        assert!(out.contains("total"), "{out}");
+        assert!(out.contains("advised"), "{out}");
+        assert!(tel_dir.join("telemetry.jsonl").exists());
+        assert!(tel_dir.join("schema.csv").exists());
+
+        // Fixed placements skip the consultation and still tabulate.
+        let out = run(&argv(&[
+            "trace",
+            "trending",
+            "--keys",
+            "200",
+            "--requests",
+            "3000",
+            "--placement",
+            "slow",
+            "--epoch",
+            "0",
+        ]))
+        .unwrap();
+        assert!(out.contains("the whole run"), "{out}");
+
+        let err = run(&argv(&["trace", "no-such-preset"])).unwrap_err();
+        assert!(err.contains("neither a trace file nor a preset"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -60,6 +60,22 @@ impl AccessStats {
         }
     }
 
+    /// The counters accumulated since `earlier`, an older snapshot of
+    /// the same device's stats. Saturating, so a stats reset between the
+    /// two snapshots yields zeros rather than wrapping. This is what
+    /// per-epoch telemetry records: window deltas of the cumulative
+    /// device counters.
+    pub fn since(&self, earlier: &AccessStats) -> AccessStats {
+        AccessStats {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            read_bytes: self.read_bytes.saturating_sub(earlier.read_bytes),
+            write_bytes: self.write_bytes.saturating_sub(earlier.write_bytes),
+            read_ns: (self.read_ns - earlier.read_ns).max(0.0),
+            write_ns: (self.write_ns - earlier.write_ns).max(0.0),
+        }
+    }
+
     /// Merge another stats block into this one.
     pub fn merge(&mut self, other: &AccessStats) {
         self.reads += other.reads;

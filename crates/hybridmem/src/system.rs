@@ -20,6 +20,18 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// The counters accumulated since `earlier`, an older snapshot of
+    /// the same system's stats. Saturating, so a reset between the two
+    /// snapshots yields zeros rather than wrapping.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            hit_bytes: self.hit_bytes.saturating_sub(earlier.hit_bytes),
+            miss_bytes: self.miss_bytes.saturating_sub(earlier.miss_bytes),
+        }
+    }
+
     /// Byte-level hit ratio; 0 when nothing was accessed.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hit_bytes + self.miss_bytes;

@@ -110,6 +110,28 @@ impl TwoInstanceCluster {
 
     /// Execute the trace through the router.
     pub fn run(&mut self, trace: &Trace) -> RunReport {
+        self.run_instrumented(trace, None)
+    }
+
+    /// [`Self::run`] with telemetry: one epoch snapshot every
+    /// `epoch_len` requests (0 = whole run), recording per-request
+    /// service times plus the router's decisions (`kv.route.fast` /
+    /// `kv.route.slow`) and each instance's LLC hit/miss deltas.
+    pub fn run_telemetered(
+        &mut self,
+        trace: &Trace,
+        epoch_len: u64,
+    ) -> (RunReport, Vec<mnemo_telemetry::Snapshot>) {
+        let mut log = mnemo_telemetry::EpochLog::new(epoch_len);
+        let report = self.run_instrumented(trace, Some(&mut log));
+        (report, log.finish())
+    }
+
+    fn run_instrumented(
+        &mut self,
+        trace: &Trace,
+        mut telemetry: Option<&mut mnemo_telemetry::EpochLog>,
+    ) -> RunReport {
         self.fast.reset_measurement_state();
         self.slow.reset_measurement_state();
         let mut clock = SimClock::new();
@@ -127,11 +149,13 @@ impl TwoInstanceCluster {
             samples: Vec::with_capacity(trace.len()),
         };
         for r in &trace.requests {
-            let instance = if self.fast_keys.contains(&r.key) {
+            let routed_fast = self.fast_keys.contains(&r.key);
+            let instance = if routed_fast {
                 self.fast.as_mut()
             } else {
                 self.slow.as_mut()
             };
+            let pre_cache = telemetry.as_ref().map(|_| instance.memory().cache_stats());
             let raw = match r.op {
                 Op::Read => instance.get(r.key),
                 Op::Update => instance.put(r.key),
@@ -139,6 +163,21 @@ impl TwoInstanceCluster {
             .expect("trace references unloaded key");
             let ns = self.noise.perturb(raw);
             clock.advance(ns);
+            if let (Some(log), Some(pre_cache)) = (telemetry.as_deref_mut(), pre_cache) {
+                let instance = if routed_fast { &self.fast } else { &self.slow };
+                let cache_delta = instance.memory().cache_stats().since(&pre_cache);
+                let tel = log.recorder();
+                tel.count("kv.requests", 1);
+                tel.observe("kv.request.service_ns", ns);
+                let (route_name, llc_prefix) = if routed_fast {
+                    ("kv.route.fast", "kv.llc.fast")
+                } else {
+                    ("kv.route.slow", "kv.llc.slow")
+                };
+                tel.count(route_name, 1);
+                tel.record_cache_stats(llc_prefix, &cache_delta);
+                log.tick();
+            }
             match r.op {
                 Op::Read => {
                     report.reads += 1;
@@ -219,6 +258,23 @@ mod tests {
             cr.throughput_ops_s(),
             sr.throughput_ops_s()
         );
+    }
+
+    #[test]
+    fn telemetered_cluster_counts_routing_decisions() {
+        let t = trace();
+        let fast: HashSet<u64> = (0..50).collect();
+        let mut cluster = TwoInstanceCluster::build(StoreKind::Redis, &t, fast.clone()).unwrap();
+        let (report, snaps) = cluster.run_telemetered(&t, 0);
+        assert_eq!(snaps.len(), 1);
+        let snap = &snaps[0];
+        let expected_fast = t.requests.iter().filter(|r| fast.contains(&r.key)).count() as u64;
+        assert_eq!(snap.counter("kv.route.fast"), expected_fast);
+        assert_eq!(
+            snap.counter("kv.route.fast") + snap.counter("kv.route.slow"),
+            report.requests as u64
+        );
+        assert!(snap.counter("kv.llc.fast.hits") + snap.counter("kv.llc.fast.misses") > 0);
     }
 
     #[test]

@@ -214,6 +214,30 @@ impl DynamicTieringServer {
     /// Execute the trace with periodic re-tiering; migration time is
     /// part of the measured runtime.
     pub fn run(&mut self, trace: &Trace) -> RunReport {
+        self.run_instrumented(trace, None)
+    }
+
+    /// [`Self::run`] with telemetry: one snapshot every `epoch_len`
+    /// requests (0 = whole run), recording per-request service times,
+    /// tier hits, and every re-tiering decision's migration events
+    /// (`kv.migration.promotions` / `demotions` counters and the
+    /// simulated copy cost as the `kv.migration.cost_ns` gauge, one
+    /// observation per re-tiering pass).
+    pub fn run_telemetered(
+        &mut self,
+        trace: &Trace,
+        epoch_len: u64,
+    ) -> (RunReport, Vec<mnemo_telemetry::Snapshot>) {
+        let mut log = mnemo_telemetry::EpochLog::new(epoch_len);
+        let report = self.run_instrumented(trace, Some(&mut log));
+        (report, log.finish())
+    }
+
+    fn run_instrumented(
+        &mut self,
+        trace: &Trace,
+        mut telemetry: Option<&mut mnemo_telemetry::EpochLog>,
+    ) -> RunReport {
         self.engine.reset_measurement_state();
         self.stats = MigrationStats::default();
         let mut clock = SimClock::new();
@@ -232,16 +256,44 @@ impl DynamicTieringServer {
         };
         for (i, r) in trace.requests.iter().enumerate() {
             if i > 0 && i % self.config.epoch_requests == 0 {
+                let before = self.stats;
                 let cost = self.retier();
                 clock.advance(cost);
+                if let Some(log) = telemetry.as_deref_mut() {
+                    let tel = log.recorder();
+                    tel.count("kv.migration.retierings", 1);
+                    tel.count(
+                        "kv.migration.promotions",
+                        self.stats.promotions - before.promotions,
+                    );
+                    tel.count(
+                        "kv.migration.demotions",
+                        self.stats.demotions - before.demotions,
+                    );
+                    tel.gauge("kv.migration.cost_ns", cost);
+                }
             }
             self.scores[r.key as usize] += 1.0;
+            let tier = telemetry
+                .as_ref()
+                .and_then(|_| self.engine.placement_of(r.key));
             let ns = match r.op {
                 Op::Read => self.engine.get(r.key),
                 Op::Update => self.engine.put(r.key),
             }
             .expect("trace references unloaded key");
             clock.advance(ns);
+            if let Some(log) = telemetry.as_deref_mut() {
+                let tel = log.recorder();
+                tel.count("kv.requests", 1);
+                tel.observe("kv.request.service_ns", ns);
+                match tier {
+                    Some(MemTier::Fast) => tel.count("kv.tier.fast_hits", 1),
+                    Some(MemTier::Slow) => tel.count("kv.tier.slow_hits", 1),
+                    None => {}
+                }
+                log.tick();
+            }
             match r.op {
                 Op::Read => {
                     report.reads += 1;
@@ -428,6 +480,33 @@ mod tests {
             report.runtime_ns > service,
             "migration must inflate runtime"
         );
+    }
+
+    #[test]
+    fn telemetered_run_records_migration_events() {
+        let t = WorkloadSpec::timeline().scaled(200, 6_000).generate(2);
+        let mut server = DynamicTieringServer::build(
+            StoreKind::Redis,
+            &t,
+            DynamicConfig {
+                epoch_requests: 200,
+                ..DynamicConfig::new(budget_for(&t))
+            },
+        )
+        .unwrap();
+        let (report, snaps) = server.run_telemetered(&t, 1_000);
+        let stats = server.migration_stats();
+        let sum = |name: &str| snaps.iter().map(|s| s.counter(name)).sum::<u64>();
+        assert_eq!(sum("kv.requests"), report.requests as u64);
+        assert_eq!(sum("kv.migration.promotions"), stats.promotions);
+        assert_eq!(sum("kv.migration.demotions"), stats.demotions);
+        let cost: f64 = snaps
+            .iter()
+            .filter_map(|s| s.gauge("kv.migration.cost_ns"))
+            .map(|g| g.sum)
+            .sum();
+        assert!((cost - stats.migration_ns).abs() < 1e-6 * stats.migration_ns.max(1.0));
+        assert!(sum("kv.migration.retierings") > 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::redis_like::RedisLike;
 use crate::rocks_like::RocksLike;
 use hybridmem::clock::NoiseConfig;
 use hybridmem::{Histogram, HybridSpec, MemTier, NoiseModel, SimClock};
+use mnemo_telemetry::{EpochLog, Snapshot};
 use std::collections::HashSet;
 use ycsb::{AccessEvent, Op, Trace};
 
@@ -261,6 +262,27 @@ impl Server {
     /// learns here it could equally learn from a production server's
     /// request log.
     pub fn run_with_tap(&mut self, trace: &Trace, tap: &mut dyn FnMut(AccessEvent)) -> RunReport {
+        self.run_instrumented(trace, tap, None)
+    }
+
+    /// [`Self::run`] with full telemetry: rolls an epoch snapshot every
+    /// `epoch_len` requests (0 = one epoch for the whole run) recording
+    /// per-request service times, tier hits, LLC hit/miss deltas and
+    /// per-tier device counters. All recorded quantities are sim-domain,
+    /// so the returned snapshots export byte-identically under any
+    /// `--jobs` value.
+    pub fn run_telemetered(&mut self, trace: &Trace, epoch_len: u64) -> (RunReport, Vec<Snapshot>) {
+        let mut log = EpochLog::new(epoch_len);
+        let report = self.run_instrumented(trace, &mut |_| {}, Some(&mut log));
+        (report, log.finish())
+    }
+
+    fn run_instrumented(
+        &mut self,
+        trace: &Trace,
+        tap: &mut dyn FnMut(AccessEvent),
+        mut telemetry: Option<&mut EpochLog>,
+    ) -> RunReport {
         self.engine.reset_measurement_state();
         let mut clock = SimClock::new();
         let mut report = RunReport {
@@ -277,6 +299,14 @@ impl Server {
             samples: Vec::with_capacity(trace.len()),
         };
         for r in &trace.requests {
+            // Pre-op state for telemetry deltas; skipped entirely when no
+            // telemetry is attached so `run` stays as cheap as before.
+            let pre = telemetry.as_ref().map(|_| {
+                let tier = self.engine.placement_of(r.key);
+                let mem = self.engine.memory();
+                let dev = tier.map(|t| *mem.tier_stats(t));
+                (tier, dev, mem.cache_stats())
+            });
             let raw = match r.op {
                 Op::Read => self.engine.get(r.key),
                 Op::Update => self.engine.put(r.key),
@@ -289,6 +319,31 @@ impl Server {
             });
             let ns = self.noise.perturb(raw);
             clock.advance(ns);
+            if let (Some(log), Some((tier, pre_dev, pre_cache))) = (telemetry.as_deref_mut(), pre) {
+                let mem = self.engine.memory();
+                let cache_delta = mem.cache_stats().since(&pre_cache);
+                let tel = log.recorder();
+                tel.count("kv.requests", 1);
+                tel.count(
+                    match r.op {
+                        Op::Read => "kv.reads",
+                        Op::Update => "kv.writes",
+                    },
+                    1,
+                );
+                tel.observe("kv.request.service_ns", ns);
+                if let (Some(tier), Some(pre_dev)) = (tier, pre_dev) {
+                    let (hit_name, dev_prefix) = match tier {
+                        MemTier::Fast => ("kv.tier.fast_hits", "kv.fast"),
+                        MemTier::Slow => ("kv.tier.slow_hits", "kv.slow"),
+                    };
+                    tel.count(hit_name, 1);
+                    let dev_delta = self.engine.memory().tier_stats(tier).since(&pre_dev);
+                    tel.record_access_stats(dev_prefix, &dev_delta);
+                }
+                tel.record_cache_stats("kv.llc", &cache_delta);
+                log.tick();
+            }
             match r.op {
                 Op::Read => {
                     report.reads += 1;
@@ -472,6 +527,38 @@ mod tests {
             clean.runtime_ns, tapped.runtime_ns,
             "tap must not affect timing"
         );
+    }
+
+    #[test]
+    fn telemetered_run_matches_plain_run_and_accounts_every_request() {
+        let t = trace();
+        let placement = Placement::FastSet((0..100).collect());
+        let clean = Server::build(StoreKind::Redis, &t, placement.clone())
+            .unwrap()
+            .run(&t);
+        let (report, snaps) = Server::build(StoreKind::Redis, &t, placement)
+            .unwrap()
+            .run_telemetered(&t, 1_000);
+        // Telemetry must be a pure observer.
+        assert_eq!(report.runtime_ns.to_bits(), clean.runtime_ns.to_bits());
+        assert_eq!(snaps.len(), t.len().div_ceil(1_000));
+        let sum = |name: &str| snaps.iter().map(|s| s.counter(name)).sum::<u64>();
+        assert_eq!(sum("kv.requests"), t.len() as u64);
+        assert_eq!(sum("kv.reads"), report.reads);
+        assert_eq!(sum("kv.writes"), report.writes);
+        assert_eq!(
+            sum("kv.tier.fast_hits") + sum("kv.tier.slow_hits"),
+            t.len() as u64
+        );
+        assert!(sum("kv.tier.fast_hits") > 0 && sum("kv.tier.slow_hits") > 0);
+        // LLC deltas accumulate to the engine's own cumulative stats.
+        let hist_count: u64 = snaps
+            .iter()
+            .filter_map(|s| s.histogram("kv.request.service_ns"))
+            .map(|h| h.count())
+            .sum();
+        assert_eq!(hist_count, t.len() as u64);
+        assert!(sum("kv.llc.hits") + sum("kv.llc.misses") > 0);
     }
 
     #[test]

@@ -102,6 +102,44 @@ impl ShardedCluster {
         });
         merge_reports(trace, reports.into_iter())
     }
+
+    /// [`Self::run`] with telemetry: every shard rolls its own epoch log
+    /// over its slice of the trace, and the per-shard snapshots are
+    /// folded epoch-index by epoch-index in *shard order* — not
+    /// completion order — so the merged snapshots (and their exported
+    /// bytes) are identical for every `--jobs` value. Each shard also
+    /// contributes its simulated runtime as the `kv.shard.runtime_ns`
+    /// gauge, whose max across shards is the cluster runtime.
+    pub fn run_telemetered(
+        &self,
+        trace: &Trace,
+        epoch_len: u64,
+    ) -> (RunReport, Vec<mnemo_telemetry::Snapshot>) {
+        let n = self.shards.len();
+        let subs: Vec<Trace> = (0..n).map(|s| shard_trace(trace, s, n)).collect();
+        // run_jobs returns results in shard-index order regardless of
+        // which worker finished first — the determinism anchor.
+        let results = mnemo_par::Pool::current().run_jobs(n, |s| {
+            let mut server = self.shards[s].lock();
+            server.run_telemetered(&subs[s], epoch_len)
+        });
+        let mut reports = Vec::with_capacity(n);
+        let mut per_shard = Vec::with_capacity(n);
+        for (report, snaps) in results {
+            reports.push(report);
+            per_shard.push(snaps);
+        }
+        let mut merged = mnemo_telemetry::epoch::merge_epoch_logs(&per_shard);
+        if let Some(last) = merged.last_mut() {
+            let mut cluster = mnemo_telemetry::Recorder::new();
+            cluster.count("kv.shards", n as u64);
+            for r in &reports {
+                cluster.gauge("kv.shard.runtime_ns", r.runtime_ns);
+            }
+            last.merge(&cluster.take_snapshot(last.epoch()));
+        }
+        (merge_reports(trace, reports.into_iter()), merged)
+    }
 }
 
 /// The sub-trace (dataset + requests) owned by `shard` of `n`.
@@ -229,6 +267,23 @@ mod tests {
                 assert_eq!(r.key as usize % n, s);
             }
         }
+    }
+
+    #[test]
+    fn telemetered_cluster_merges_shard_epochs() {
+        let t = trace();
+        let cluster = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, 4).unwrap();
+        let (report, snaps) = cluster.run_telemetered(&t, 500);
+        assert_eq!(report.requests, t.len());
+        assert!(!snaps.is_empty());
+        let requests: u64 = snaps.iter().map(|s| s.counter("kv.requests")).sum();
+        assert_eq!(requests, t.len() as u64);
+        // Cluster-level metrics land on the final epoch.
+        let last = snaps.last().unwrap();
+        assert_eq!(last.counter("kv.shards"), 4);
+        let runtime = last.gauge("kv.shard.runtime_ns").unwrap();
+        assert_eq!(runtime.count, 4);
+        assert_eq!(runtime.max, report.runtime_ns);
     }
 
     #[test]

@@ -223,12 +223,19 @@ pub struct StageSample {
 /// spot perf regressions. Timing output is *diagnostic* — it is written
 /// to separate `timing-*` artifacts precisely because wall-clock values
 /// are not byte-stable and must stay out of the determinism gate.
+///
+/// Internally this is a thin façade over a `mnemo-telemetry`
+/// [`Recorder`](mnemo_telemetry::Recorder): every stage becomes a
+/// wall-domain span, and the legacy `timing-*.csv`/JSON artifacts are
+/// rendered by the telemetry exporter, so the workspace has exactly one
+/// timing code path. The recorder is exposed so sweeps can attach
+/// counters/histograms to the same object and export the full set.
 #[derive(Debug)]
 pub struct SweepTimer {
     label: String,
     jobs: usize,
     started: Instant,
-    stages: Vec<StageSample>,
+    recorder: mnemo_telemetry::Recorder,
 }
 
 impl SweepTimer {
@@ -239,7 +246,7 @@ impl SweepTimer {
             label: label.to_string(),
             jobs: effective_jobs(),
             started: Instant::now(),
-            stages: Vec::new(),
+            recorder: mnemo_telemetry::Recorder::new(),
         }
     }
 
@@ -256,24 +263,31 @@ impl SweepTimer {
     /// Run `f` as a named stage over `items` items, recording its
     /// wall-clock time.
     pub fn stage<T>(&mut self, name: &str, items: usize, f: impl FnOnce() -> T) -> T {
-        let t = Instant::now();
-        let out = f();
-        self.record(name, items, t.elapsed());
-        out
+        self.recorder.time_wall(name, items as u64, f)
     }
 
     /// Record an externally timed stage.
     pub fn record(&mut self, name: &str, items: usize, wall: Duration) {
-        self.stages.push(StageSample {
-            name: name.to_string(),
-            wall,
-            items,
-        });
+        self.recorder.record_wall_span(name, items as u64, wall);
+    }
+
+    /// The underlying telemetry recorder, for sweeps that record more
+    /// than stage timings (counters, sim-domain histograms).
+    pub fn recorder(&mut self) -> &mut mnemo_telemetry::Recorder {
+        &mut self.recorder
     }
 
     /// The recorded stages, in execution order.
-    pub fn stages(&self) -> &[StageSample] {
-        &self.stages
+    pub fn stages(&self) -> Vec<StageSample> {
+        self.recorder
+            .spans()
+            .iter()
+            .map(|s| StageSample {
+                name: s.name.clone(),
+                wall: Duration::from_secs_f64(s.duration_ns / 1e9),
+                items: s.items as usize,
+            })
+            .collect()
     }
 
     /// Wall-clock time since the timer started.
@@ -281,49 +295,31 @@ impl SweepTimer {
         self.started.elapsed()
     }
 
-    /// CSV summary: one row per stage plus a `total` row.
+    /// Snapshot the timer's telemetry (spans aggregated as wall-domain
+    /// histograms plus any extra metrics recorded via [`Self::recorder`])
+    /// for export through the standard telemetry pipeline.
+    pub fn snapshot(&self) -> mnemo_telemetry::Snapshot {
+        self.recorder.snapshot(0)
+    }
+
+    /// CSV summary: one row per stage plus a `total` row (legacy
+    /// `timing-*.csv` format, rendered by the telemetry exporter).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("sweep,jobs,stage,items,wall_ms\n");
-        for s in &self.stages {
-            out.push_str(&format!(
-                "{},{},{},{},{:.3}\n",
-                self.label,
-                self.jobs,
-                s.name,
-                s.items,
-                s.wall.as_secs_f64() * 1e3
-            ));
-        }
-        out.push_str(&format!(
-            "{},{},total,{},{:.3}\n",
-            self.label,
+        mnemo_telemetry::export::timing_csv(
+            &self.label,
             self.jobs,
-            self.stages.iter().map(|s| s.items).sum::<usize>(),
-            self.total_wall().as_secs_f64() * 1e3
-        ));
-        out
+            self.recorder.spans(),
+            self.total_wall().as_secs_f64() * 1e3,
+        )
     }
 
     /// JSON summary (hand-rolled; stage names are plain identifiers).
     pub fn to_json(&self) -> String {
-        let stages: Vec<String> = self
-            .stages
-            .iter()
-            .map(|s| {
-                format!(
-                    "{{\"stage\":\"{}\",\"items\":{},\"wall_ms\":{:.3}}}",
-                    s.name,
-                    s.items,
-                    s.wall.as_secs_f64() * 1e3
-                )
-            })
-            .collect();
-        format!(
-            "{{\"sweep\":\"{}\",\"jobs\":{},\"total_ms\":{:.3},\"stages\":[{}]}}",
-            self.label,
+        mnemo_telemetry::export::timing_json(
+            &self.label,
             self.jobs,
+            self.recorder.spans(),
             self.total_wall().as_secs_f64() * 1e3,
-            stages.join(",")
         )
     }
 
@@ -333,7 +329,7 @@ impl SweepTimer {
             "[timing] {} ({} jobs): {} stages, {:.1} ms total",
             self.label,
             self.jobs,
-            self.stages.len(),
+            self.recorder.spans().len(),
             self.total_wall().as_secs_f64() * 1e3
         )
     }
@@ -444,5 +440,15 @@ mod tests {
         assert!(json.contains("\"sweep\":\"fig-test\""));
         assert!(json.contains("\"stage\":\"consult\""));
         assert!(t.summary().contains("2 stages"));
+        // The timer is a telemetry façade: stages surface in its
+        // snapshot as wall-domain spans, and extra metrics recorded on
+        // the inner recorder ride along.
+        t.recorder().count("sweep.rows", 9);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("span.consult.items"), 3);
+        assert_eq!(snap.counter("sweep.rows"), 9);
+        assert_eq!(snap.histogram("span.write.wall_ns").unwrap().count(), 1);
+        assert_eq!(t.stages().len(), 2);
+        assert_eq!(t.stages()[0].name, "consult");
     }
 }

@@ -85,8 +85,33 @@ impl OnlineAdvisor {
     /// return `None` — the advice follows one epoch later, from state
     /// that describes the new regime alone.
     pub fn on_event(&mut self, event: &AccessEvent) -> Option<Readvice> {
+        self.on_event_inner(event, None)
+    }
+
+    /// [`Self::on_event`], recording every epoch-boundary drift
+    /// decision, the profiler occupancy at each boundary, and any
+    /// advice emission into `tel` (see [`crate::telemetry`] for the
+    /// metric names). All recorded quantities derive from the event
+    /// stream alone, so the telemetry stays sim-domain deterministic.
+    pub fn on_event_telemetered(
+        &mut self,
+        event: &AccessEvent,
+        tel: &mut mnemo_telemetry::Recorder,
+    ) -> Option<Readvice> {
+        self.on_event_inner(event, Some(tel))
+    }
+
+    fn on_event_inner(
+        &mut self,
+        event: &AccessEvent,
+        mut tel: Option<&mut mnemo_telemetry::Recorder>,
+    ) -> Option<Readvice> {
         let drift = self.profiler.observe(event)?;
-        match drift {
+        if let Some(t) = tel.as_deref_mut() {
+            crate::telemetry::record_drift(t, &drift);
+            crate::telemetry::record_profiler(t, &self.profiler);
+        }
+        let advice = match drift {
             Drift::Initial => {
                 let trigger = self.pending.take().unwrap_or(Drift::Initial);
                 Some(self.readvise(trigger))
@@ -97,7 +122,11 @@ impl OnlineAdvisor {
                 None
             }
             _ => None,
+        };
+        if let (Some(t), Some(a)) = (tel, advice.as_ref()) {
+            crate::telemetry::record_readvice(t, a);
         }
+        advice
     }
 
     /// Force a consultation from the current sketch state (used at
@@ -195,5 +224,26 @@ mod tests {
         for a in &advice {
             assert!(a.profiler_bytes <= 64 * 1024);
         }
+    }
+
+    #[test]
+    fn telemetered_on_event_matches_plain_and_records_epochs() {
+        let trace = WorkloadSpec::trending().scaled(500, 20_000).generate(5);
+        let mut plain = online_for(&trace, 4_000);
+        let mut traced = online_for(&trace, 4_000);
+        let mut tel = mnemo_telemetry::Recorder::new();
+        for e in trace.events() {
+            let a = plain.on_event(&e);
+            let b = traced.on_event_telemetered(&e, &mut tel);
+            assert_eq!(a.is_some(), b.is_some(), "telemetry must not change advice");
+        }
+        let snap = tel.snapshot(0);
+        assert_eq!(snap.counter("stream.epochs"), 20_000 / 4_000);
+        assert_eq!(
+            snap.counter("stream.advise.emitted"),
+            traced.consultations(),
+            "every consultation shows up as an emission"
+        );
+        assert!(snap.gauge("stream.profiler.bytes").unwrap().max > 0.0);
     }
 }

@@ -22,7 +22,10 @@
 //!   [`mnemo::PatternEngine`];
 //! * [`advise`] — [`OnlineAdvisor`]: the incremental re-advise loop
 //!   feeding reconstructed patterns through `Advisor::consult_with_pattern`
-//!   and re-emitting an SLO sweet spot only on significant drift.
+//!   and re-emitting an SLO sweet spot only on significant drift;
+//! * [`telemetry`] — bridges mapping profiler occupancy, drift epochs
+//!   and re-advise emissions onto `mnemo-telemetry` metrics, shared by
+//!   `mnemo watch` and embedded consumers.
 //!
 //! Events come from [`ycsb::Trace::events`] in replay, or live from
 //! `kvsim::Server::run_with_tap`.
@@ -54,6 +57,7 @@ pub mod distinct;
 pub mod epoch;
 pub mod profiler;
 pub mod sketch;
+pub mod telemetry;
 pub mod topk;
 
 pub use advise::{OnlineAdvisor, Readvice};

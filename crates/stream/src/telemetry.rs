@@ -1,0 +1,136 @@
+//! Telemetry bridges for the streaming Pattern Engine.
+//!
+//! The streaming loop's observable state — sketch occupancy, distinct
+//! keys, drift decisions, re-advise emissions — maps onto the
+//! `mnemo-telemetry` metric types here, in one place, so `mnemo watch`
+//! and any embedded consumer record the identical metric names. All
+//! quantities are derived from the event stream alone (no wall clock),
+//! so everything recorded here is sim-domain and export-deterministic.
+
+use crate::advise::Readvice;
+use crate::epoch::Drift;
+use crate::profiler::StreamProfiler;
+use mnemo_telemetry::Recorder;
+
+/// The counter name a drift decision increments
+/// (`stream.drift.<kind>`).
+pub fn drift_counter(drift: &Drift) -> &'static str {
+    match drift {
+        Drift::Initial => "stream.drift.initial",
+        Drift::Theta { .. } => "stream.drift.theta",
+        Drift::HotSet { .. } => "stream.drift.hotset",
+        Drift::Stable => "stream.drift.stable",
+    }
+}
+
+/// Record one epoch-boundary drift decision.
+pub fn record_drift(tel: &mut Recorder, drift: &Drift) {
+    tel.count("stream.epochs", 1);
+    tel.count(drift_counter(drift), 1);
+    if drift.is_significant() {
+        tel.count("stream.drift.significant", 1);
+    }
+    match drift {
+        Drift::Theta { from, to } => {
+            tel.gauge("stream.drift.theta_delta", (to - from).abs());
+        }
+        Drift::HotSet { overlap } => {
+            tel.gauge("stream.drift.hotset_overlap", *overlap);
+        }
+        _ => {}
+    }
+}
+
+/// Record the profiler's current occupancy (gauges, so repeated
+/// sampling aggregates as min/mean/max rather than double-counting).
+pub fn record_profiler(tel: &mut Recorder, profiler: &StreamProfiler) {
+    tel.gauge("stream.profiler.bytes", profiler.memory_bytes() as f64);
+    tel.gauge(
+        "stream.profiler.distinct_keys",
+        profiler.distinct_keys() as f64,
+    );
+    tel.gauge(
+        "stream.profiler.count_error_bound",
+        profiler.count_error_bound() as f64,
+    );
+}
+
+/// Record a re-advise emission and the recommendation it carried.
+pub fn record_readvice(tel: &mut Recorder, advice: &Readvice) {
+    tel.count("stream.advise.emitted", 1);
+    tel.count(drift_counter(&advice.trigger), 1);
+    tel.gauge("stream.advise.profiler_bytes", advice.profiler_bytes as f64);
+    match &advice.recommendation {
+        Some(rec) => {
+            tel.count("stream.advise.with_recommendation", 1);
+            tel.gauge("stream.advise.fast_ratio", rec.fast_ratio);
+            tel.gauge("stream.advise.fast_bytes", rec.fast_bytes as f64);
+        }
+        None => {
+            tel.count("stream.advise.degenerate", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::StreamConfig;
+    use ycsb::WorkloadSpec;
+
+    #[test]
+    fn drift_decisions_map_to_distinct_counters() {
+        let mut tel = Recorder::new();
+        record_drift(&mut tel, &Drift::Initial);
+        record_drift(&mut tel, &Drift::Stable);
+        record_drift(&mut tel, &Drift::Theta { from: 0.6, to: 0.9 });
+        record_drift(&mut tel, &Drift::HotSet { overlap: 0.25 });
+        let snap = tel.snapshot(0);
+        assert_eq!(snap.counter("stream.epochs"), 4);
+        assert_eq!(snap.counter("stream.drift.initial"), 1);
+        assert_eq!(snap.counter("stream.drift.stable"), 1);
+        assert_eq!(snap.counter("stream.drift.significant"), 3);
+        let delta = snap.gauge("stream.drift.theta_delta").unwrap();
+        assert!((delta.max - 0.3).abs() < 1e-12);
+        assert_eq!(snap.gauge("stream.drift.hotset_overlap").unwrap().max, 0.25);
+    }
+
+    #[test]
+    fn profiler_occupancy_lands_as_gauges() {
+        let trace = WorkloadSpec::trending().scaled(300, 5_000).generate(7);
+        let mut profiler = StreamProfiler::new(StreamConfig::default());
+        let mut tel = Recorder::new();
+        for event in trace.events() {
+            profiler.observe(&event);
+        }
+        record_profiler(&mut tel, &profiler);
+        record_profiler(&mut tel, &profiler);
+        let snap = tel.snapshot(0);
+        let bytes = snap.gauge("stream.profiler.bytes").unwrap();
+        assert_eq!(bytes.count, 2, "sampling twice must not double-count");
+        assert!(bytes.max > 0.0);
+        assert!(snap.gauge("stream.profiler.distinct_keys").unwrap().max > 0.0);
+    }
+
+    #[test]
+    fn readvice_records_trigger_and_recommendation() {
+        let mut tel = Recorder::new();
+        record_readvice(
+            &mut tel,
+            &Readvice {
+                at_event: 100,
+                trigger: Drift::Initial,
+                recommendation: None,
+                profiler_bytes: 4096,
+            },
+        );
+        let snap = tel.snapshot(0);
+        assert_eq!(snap.counter("stream.advise.emitted"), 1);
+        assert_eq!(snap.counter("stream.advise.degenerate"), 1);
+        assert_eq!(snap.counter("stream.drift.initial"), 1);
+        assert_eq!(
+            snap.gauge("stream.advise.profiler_bytes").unwrap().max,
+            4096.0
+        );
+    }
+}

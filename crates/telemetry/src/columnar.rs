@@ -1,0 +1,197 @@
+//! A minimal self-contained columnar writer, inspired by
+//! otlp2parquet's telemetry→columnar conversion but with no Parquet
+//! dependency (the workspace builds offline against vendored shims).
+//!
+//! Layout under the target directory:
+//!
+//! * `schema.csv` — the versioned column manifest: one row per column
+//!   file with its kind, metric, domain and field. Readers check the
+//!   `version` column against [`SCHEMA_VERSION`].
+//! * `columns/` — one file per (metric, field): a one-line header
+//!   naming the column, then `epoch,value` rows. Column-per-field files
+//!   make single-metric reads cheap and diffs per-metric.
+//!
+//! Wall-domain column files are named with a `timing-` prefix, so the
+//! existing CI convention (`diff -r --exclude='timing-*'`) excludes
+//! them from determinism and golden gates without new machinery; the
+//! schema manifest likewise lists only sim-domain columns so that it is
+//! itself byte-stable.
+
+use crate::export::{fmt_f64, HIST_QUANTILES};
+use crate::recorder::{MetricHistogram, TimeDomain};
+use crate::snapshot::{Snapshot, SCHEMA_VERSION};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Make a metric name filesystem-safe without losing readability.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The file a column is written to. Wall-domain columns carry the
+/// `timing-` prefix that CI byte diffs exclude.
+fn column_file(kind: &str, metric: &str, field: &str, domain: TimeDomain) -> String {
+    let base = format!("{kind}.{}.{field}.col", sanitize(metric));
+    match domain {
+        TimeDomain::Sim => base,
+        TimeDomain::Wall => format!("timing-{base}"),
+    }
+}
+
+/// Write the columnar layout for `snapshots` under `dir` (see module
+/// docs). Deterministic: column order is (kind, metric, field) sorted,
+/// rows are in epoch order.
+pub fn write_columnar(dir: &Path, snapshots: &[Snapshot]) -> io::Result<()> {
+    let cols_dir = dir.join("columns");
+    fs::create_dir_all(&cols_dir)?;
+
+    // (kind, metric, field) -> (domain, rows of (epoch, rendered value))
+    type ColumnKey = (String, String, String);
+    type ColumnRows = (TimeDomain, Vec<(u64, String)>);
+    let mut columns: BTreeMap<ColumnKey, ColumnRows> = BTreeMap::new();
+    let mut push =
+        |kind: &str, metric: &str, field: &str, domain: TimeDomain, epoch: u64, value: String| {
+            columns
+                .entry((kind.to_string(), metric.to_string(), field.to_string()))
+                .or_insert_with(|| (domain, Vec::new()))
+                .1
+                .push((epoch, value));
+        };
+
+    for snap in snapshots {
+        let epoch = snap.epoch();
+        for (name, v) in snap.counters() {
+            push(
+                "counter",
+                name,
+                "value",
+                TimeDomain::Sim,
+                epoch,
+                v.to_string(),
+            );
+        }
+        for (name, domain, g) in snap.gauges() {
+            push("gauge", name, "sum", domain, epoch, fmt_f64(g.sum));
+            push("gauge", name, "count", domain, epoch, g.count.to_string());
+            push("gauge", name, "min", domain, epoch, fmt_f64(g.min));
+            push("gauge", name, "max", domain, epoch, fmt_f64(g.max));
+            push("gauge", name, "mean", domain, epoch, fmt_f64(g.mean()));
+        }
+        for (name, domain, h) in snap.histograms() {
+            push(
+                "hist",
+                name,
+                "count",
+                domain,
+                epoch,
+                h.samples().to_string(),
+            );
+            push("hist", name, "mean", domain, epoch, fmt_f64(h.mean_value()));
+            push("hist", name, "min", domain, epoch, fmt_f64(h.min_value()));
+            push("hist", name, "max", domain, epoch, fmt_f64(h.max_value()));
+            push("hist", name, "sum", domain, epoch, fmt_f64(h.value_sum()));
+            for (label, q) in HIST_QUANTILES {
+                push(
+                    "hist",
+                    name,
+                    label,
+                    domain,
+                    epoch,
+                    fmt_f64(h.quantile_value(q)),
+                );
+            }
+        }
+    }
+
+    let mut manifest = String::from("version,kind,metric,domain,field,file\n");
+    for ((kind, metric, field), (domain, rows)) in &columns {
+        let file = column_file(kind, metric, field, *domain);
+        if *domain == TimeDomain::Sim {
+            manifest.push_str(&format!(
+                "{SCHEMA_VERSION},{kind},{metric},{},{field},columns/{file}\n",
+                domain.name()
+            ));
+        }
+        let mut body = format!("epoch,{kind}.{metric}.{field}\n");
+        for (epoch, value) in rows {
+            body.push_str(&format!("{epoch},{value}\n"));
+        }
+        fs::write(cols_dir.join(file), body)?;
+    }
+    fs::write(dir.join("schema.csv"), manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn workspace(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mnemo-columnar-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn epochs() -> Vec<Snapshot> {
+        (0..3u64)
+            .map(|e| {
+                let mut r = Recorder::new();
+                r.count("kv.requests", 10 * (e + 1));
+                r.observe("kv.lat_ns", 100.0 * (e + 1) as f64);
+                r.observe_wall("host_ns", 7.0);
+                r.snapshot(e)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn writes_one_file_per_field_with_headers() {
+        let dir = workspace("fields");
+        write_columnar(&dir, &epochs()).unwrap();
+        let counter =
+            fs::read_to_string(dir.join("columns/counter.kv.requests.value.col")).unwrap();
+        assert_eq!(
+            counter,
+            "epoch,counter.kv.requests.value\n0,10\n1,20\n2,30\n"
+        );
+        let p50 = fs::read_to_string(dir.join("columns/hist.kv.lat_ns.p50.col")).unwrap();
+        assert!(p50.starts_with("epoch,hist.kv.lat_ns.p50\n"));
+        assert_eq!(p50.lines().count(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wall_columns_carry_timing_prefix_and_stay_out_of_schema() {
+        let dir = workspace("wall");
+        write_columnar(&dir, &epochs()).unwrap();
+        assert!(dir.join("columns/timing-hist.host_ns.count.col").exists());
+        let manifest = fs::read_to_string(dir.join("schema.csv")).unwrap();
+        assert!(manifest.starts_with("version,kind,metric,domain,field,file\n"));
+        assert!(manifest
+            .contains("1,counter,kv.requests,sim,value,columns/counter.kv.requests.value.col"));
+        assert!(
+            !manifest.contains("host_ns"),
+            "wall columns must not be in the gated manifest"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sanitizes_hostile_metric_names() {
+        assert_eq!(sanitize("a/b c"), "a_b_c");
+        assert_eq!(
+            column_file("gauge", "x/y", "sum", TimeDomain::Wall),
+            "timing-gauge.x_y.sum.col"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! The algebra behind `--jobs`-invariant telemetry, property-tested.
+//!
+//! Mirrors `histogram_merge_equals_combined` in `hybridmem/src/stats.rs`
+//! at the snapshot level: merging per-shard snapshots must be
+//! associative, commutative, and equal to recording every event into a
+//! single recorder. Snapshots are compared through their sim-domain
+//! JSONL rendering — the exact byte string the CI determinism gate
+//! diffs — so the properties are checked on what actually ships.
+
+use mnemo_telemetry::{DomainFilter, Recorder, Snapshot};
+use proptest::prelude::*;
+
+/// One synthetic recording event, spread across every metric type.
+#[derive(Debug, Clone)]
+enum Event {
+    Count(u8, u64),
+    Gauge(u8, f64),
+    Observe(u8, f64),
+}
+
+fn apply(r: &mut Recorder, e: &Event) {
+    match e {
+        Event::Count(k, n) => r.count(&format!("c{k}"), *n),
+        Event::Gauge(k, v) => r.gauge(&format!("g{k}"), *v),
+        Event::Observe(k, v) => r.observe(&format!("h{k}"), *v),
+    }
+}
+
+/// Gauge/histogram samples are integer-valued: IEEE f64 addition is
+/// commutative but *not* associative, so bytewise associativity only
+/// holds on exactly-representable sums. The runtime guarantee does not
+/// need float associativity — shards are folded in fixed index order —
+/// and that end-to-end path is covered by `tests/telemetry.rs`.
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u8..4, 0u64..1_000).prop_map(|(k, n)| Event::Count(k, n)),
+        (0u8..4, 0u64..1_000_000).prop_map(|(k, v)| Event::Gauge(k, v as f64)),
+        (0u8..4, 1u64..1_000_000_000).prop_map(|(k, v)| Event::Observe(k, v as f64)),
+    ]
+}
+
+fn rendered(snap: &Snapshot) -> String {
+    mnemo_telemetry::export::to_jsonl(std::slice::from_ref(snap), DomainFilter::SimOnly)
+}
+
+fn record_all(events: &[Event]) -> Snapshot {
+    let mut r = Recorder::new();
+    for e in events {
+        apply(&mut r, e);
+    }
+    r.snapshot(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec(event_strategy(), 0..40),
+        ys in proptest::collection::vec(event_strategy(), 0..40),
+    ) {
+        let a = record_all(&xs);
+        let b = record_all(&ys);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(rendered(&ab), rendered(&ba));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(event_strategy(), 0..30),
+        ys in proptest::collection::vec(event_strategy(), 0..30),
+        zs in proptest::collection::vec(event_strategy(), 0..30),
+    ) {
+        let (a, b, c) = (record_all(&xs), record_all(&ys), record_all(&zs));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(rendered(&left), rendered(&right));
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_recorder(
+        events in proptest::collection::vec(event_strategy(), 1..80),
+        shards in 2usize..6,
+    ) {
+        // Round-robin the events over N shard recorders, then merge.
+        let mut recorders: Vec<Recorder> = (0..shards).map(|_| Recorder::new()).collect();
+        for (i, e) in events.iter().enumerate() {
+            apply(&mut recorders[i % shards], e);
+        }
+        let mut merged = Snapshot::empty(0);
+        for r in &recorders {
+            merged.merge(&r.snapshot(0));
+        }
+        prop_assert_eq!(rendered(&merged), rendered(&record_all(&events)));
+    }
+
+    #[test]
+    fn empty_snapshot_is_identity(
+        events in proptest::collection::vec(event_strategy(), 0..40),
+    ) {
+        let a = record_all(&events);
+        let mut left = Snapshot::empty(0);
+        left.merge(&a);
+        let mut right = a.clone();
+        right.merge(&Snapshot::empty(0));
+        prop_assert_eq!(rendered(&left), rendered(&a));
+        prop_assert_eq!(rendered(&right), rendered(&a));
+    }
+}

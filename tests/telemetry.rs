@@ -1,0 +1,146 @@
+//! The telemetry subsystem's cross-crate guarantee: **sim-domain
+//! telemetry is byte-identical for every `--jobs` value**. A sharded
+//! run records per-shard, merges order-independently, and exports; the
+//! exported bytes must not depend on how many workers carried the
+//! shards. Wall-clock artifacts (everything under a `timing-` filename
+//! prefix) are explicitly outside the guarantee, mirroring the CI
+//! exclusion list.
+//!
+//! `mnemo_par::set_jobs` is process-global, so tests that vary it
+//! serialise on one lock, like `tests/determinism.rs`.
+
+use kvsim::{Placement, ShardedCluster, StoreKind};
+use mnemo_telemetry::{export, DomainFilter, Snapshot, TimeDomain};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Mutex;
+use ycsb::dist::DistKind;
+use ycsb::{OpMix, SizeClass, SizeModel, Trace, WorkloadSpec};
+
+/// Serialises tests that touch the process-global worker-count override.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_jobs<T>(jobs: usize, f: impl FnOnce() -> T) -> T {
+    mnemo_par::set_jobs(jobs);
+    let out = f();
+    mnemo_par::set_jobs(0);
+    out
+}
+
+fn trace() -> Trace {
+    WorkloadSpec {
+        name: "telemetry".into(),
+        distribution: DistKind::Zipfian { theta: 0.9 },
+        ops: OpMix::read_update(0.9),
+        sizes: SizeModel::Single(SizeClass::TextPost),
+        keys: 96,
+        requests: 4_000,
+        use_case: String::new(),
+    }
+    .generate(23)
+}
+
+fn telemetered_run(jobs: usize, epoch_len: u64) -> Vec<Snapshot> {
+    with_jobs(jobs, || {
+        ShardedCluster::build(StoreKind::Redis, &trace(), &Placement::AllFast, 6)
+            .unwrap()
+            .run_telemetered(&trace(), epoch_len)
+            .1
+    })
+}
+
+/// Every non-`timing-` file under `dir`, as relative path -> bytes.
+fn sim_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().to_string();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else if !name.starts_with("timing-") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .to_string();
+                out.insert(rel, std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+#[test]
+fn sim_domain_export_is_byte_identical_across_jobs() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let sequential = telemetered_run(1, 1_000);
+    for jobs in [2, 4] {
+        let parallel = telemetered_run(jobs, 1_000);
+        assert_eq!(sequential.len(), parallel.len(), "jobs={jobs}");
+        // The acceptance criterion, stated on the exported bytes: the
+        // JSONL and long-CSV renderings the CI golden gate diffs.
+        assert_eq!(
+            export::to_jsonl(&sequential, DomainFilter::SimOnly),
+            export::to_jsonl(&parallel, DomainFilter::SimOnly),
+            "jobs={jobs}"
+        );
+        assert_eq!(
+            export::to_csv(&sequential, DomainFilter::SimOnly),
+            export::to_csv(&parallel, DomainFilter::SimOnly),
+            "jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn full_export_directories_differ_only_in_timing_files() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let base = std::env::temp_dir().join(format!("mnemo-tel-int-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let dir_1 = base.join("jobs1");
+    let dir_4 = base.join("jobs4");
+    export::write_dir(&dir_1, &telemetered_run(1, 1_000)).unwrap();
+    export::write_dir(&dir_4, &telemetered_run(4, 1_000)).unwrap();
+    let files_1 = sim_files(&dir_1);
+    let files_4 = sim_files(&dir_4);
+    assert!(
+        files_1.contains_key("schema.csv") && files_1.contains_key("telemetry.jsonl"),
+        "export layout: {:?}",
+        files_1.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        files_1.keys().collect::<Vec<_>>(),
+        files_4.keys().collect::<Vec<_>>(),
+        "same sim-domain file set"
+    );
+    for (name, bytes) in &files_1 {
+        assert_eq!(bytes, &files_4[name], "file '{name}' differs between jobs");
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn sharded_epochs_cover_every_request_exactly_once() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let t = trace();
+    let snaps = telemetered_run(3, 500);
+    let total: u64 = snaps.iter().map(|s| s.counter("kv.requests")).sum();
+    assert_eq!(total, t.len() as u64);
+    let hits: u64 = snaps
+        .iter()
+        .map(|s| s.counter("kv.tier.fast_hits") + s.counter("kv.tier.slow_hits"))
+        .sum();
+    assert_eq!(hits, t.len() as u64);
+    // Epochs are numbered consecutively from zero.
+    for (i, s) in snaps.iter().enumerate() {
+        assert_eq!(s.epoch(), i as u64);
+    }
+    // The service-time histogram is sim-domain, so it survives the
+    // export filter; per-request latency is in the columnar schema.
+    let schema_covered = snaps
+        .iter()
+        .any(|s| s.domain_of("kv.request.service_ns") == Some(TimeDomain::Sim));
+    assert!(schema_covered);
+}
