@@ -41,6 +41,7 @@ fn main() {
             model: mnemo::ModelKind::GlobalAverage,
             ordering: OrderingKind::MnemoT,
             cache_correction: None,
+            fault_plan: None,
         });
         let consultation = advisor
             .consult(StoreKind::Redis, &trace)

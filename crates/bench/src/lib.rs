@@ -90,6 +90,7 @@ pub fn paper_advisor(trace: &Trace, ordering: OrderingKind, model: ModelKind) ->
         model,
         ordering,
         cache_correction: None,
+        fault_plan: None,
     })
 }
 

@@ -1,25 +1,57 @@
 //! The `mnemo` subcommands.
 
 use crate::args::Parsed;
+use crate::error::CliError;
 use cloudcost::{Provider, ProviderKind};
 use kvsim::StoreKind;
 use mnemo::advisor::{Advisor, AdvisorConfig, Consultation, OrderingKind};
 use mnemo::sensitivity::SensitivityEngine;
 use mnemo::ModelKind;
+use mnemo_faults::FaultPlan;
 use mnemo_stream::{Drift, DriftConfig, OnlineAdvisor, Readvice, StreamConfig};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use ycsb::{Trace, WorkloadSpec};
 
-fn load_trace(path: &str) -> Result<Trace, String> {
-    let file = File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
-    ycsb::fileio::read_trace(BufReader::new(file)).map_err(|e| format!("'{path}': {e}"))
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let file = File::open(path).map_err(|e| CliError::Io(format!("cannot open '{path}': {e}")))?;
+    ycsb::fileio::read_trace(BufReader::new(file))
+        .map_err(|e| CliError::Parse(format!("'{path}': {e}")))
 }
 
-fn save_trace(trace: &Trace, path: &str) -> Result<(), String> {
-    let file = File::create(path).map_err(|e| format!("cannot create '{path}': {e}"))?;
-    ycsb::fileio::write_trace(trace, BufWriter::new(file)).map_err(|e| format!("'{path}': {e}"))
+fn save_trace(trace: &Trace, path: &str) -> Result<(), CliError> {
+    let file =
+        File::create(path).map_err(|e| CliError::Io(format!("cannot create '{path}': {e}")))?;
+    ycsb::fileio::write_trace(trace, BufWriter::new(file))
+        .map_err(|e| CliError::Io(format!("'{path}': {e}")))
+}
+
+/// Load the `--faults` plan when the flag is present. Distinguishes an
+/// unreadable path (exit 3) from a malformed plan (exit 4, with the
+/// offending line number in the message).
+fn load_fault_plan(parsed: &Parsed) -> Result<Option<FaultPlan>, CliError> {
+    match parsed.options.get("faults").filter(|s| !s.is_empty()) {
+        None => {
+            if parsed.flag("faults") {
+                return Err(CliError::Usage(
+                    "--faults needs a plan file (TOML or JSON)".into(),
+                ));
+            }
+            Ok(None)
+        }
+        Some(path) => {
+            let plan = FaultPlan::load(std::path::Path::new(path)).map_err(|e| match e {
+                mnemo_faults::LoadError::Io(io) => {
+                    CliError::Io(format!("cannot read fault plan '{path}': {io}"))
+                }
+                mnemo_faults::LoadError::Parse(p) => {
+                    CliError::Parse(format!("fault plan '{path}': {p}"))
+                }
+            })?;
+            Ok(Some(plan))
+        }
+    }
 }
 
 fn parse_store(s: &str) -> Result<StoreKind, String> {
@@ -43,7 +75,7 @@ fn parse_provider(s: &str) -> Result<ProviderKind, String> {
 }
 
 /// `mnemo workloads`
-pub fn workloads() -> Result<String, String> {
+pub fn workloads() -> Result<String, CliError> {
     let mut out = String::from("built-in workload presets:\n\n  Table III (the paper's suite):\n");
     for w in WorkloadSpec::table3() {
         let _ = writeln!(
@@ -70,7 +102,7 @@ pub fn workloads() -> Result<String, String> {
 }
 
 /// `mnemo generate <preset> --keys N --requests N --seed S -o <file>`
-pub fn generate(parsed: &mut Parsed) -> Result<String, String> {
+pub fn generate(parsed: &mut Parsed) -> Result<String, CliError> {
     let preset = parsed.positional_required("preset name")?.to_string();
     let spec = WorkloadSpec::by_name(&preset)
         .ok_or_else(|| format!("unknown preset '{preset}' (see `mnemo workloads`)"))?;
@@ -128,16 +160,16 @@ fn parse_config(parsed: &Parsed) -> Result<(StoreKind, f64, AdvisorConfig), Stri
 fn consultation_from(
     parsed: &Parsed,
     trace: &Trace,
-) -> Result<(StoreKind, f64, Consultation), String> {
+) -> Result<(StoreKind, f64, Consultation), CliError> {
     let (store, slo, config) = parse_config(parsed)?;
     let consultation = Advisor::new(config)
         .consult(store, trace)
-        .map_err(|e| format!("consultation failed: {e}"))?;
+        .map_err(|e| CliError::Engine(format!("consultation failed: {e}")))?;
     Ok((store, slo, consultation))
 }
 
 /// `mnemo consult <trace> [--store ...] [--slo ...] [--csv file]`
-pub fn consult(parsed: &mut Parsed) -> Result<String, String> {
+pub fn consult(parsed: &mut Parsed) -> Result<String, CliError> {
     let path = parsed.positional_required("trace file")?.to_string();
     parse_config(parsed)?; // surface option errors before file I/O
     let trace = load_trace(&path)?;
@@ -163,7 +195,9 @@ pub fn consult(parsed: &mut Parsed) -> Result<String, String> {
             rec.cost_reduction
         );
     }
-    let rec = consultation.recommend(slo).ok_or("empty curve")?;
+    let rec = consultation
+        .recommend(slo)
+        .ok_or_else(|| CliError::Engine("empty curve".into()))?;
     let _ = writeln!(
         out,
         "\n  recommendation @{:.0}% SLO: {} of {} keys in FastMem ({:.1}% of bytes)",
@@ -181,12 +215,12 @@ pub fn consult(parsed: &mut Parsed) -> Result<String, String> {
     );
     if let Some(csv_path) = parsed.options.get("csv").filter(|s| !s.is_empty()) {
         std::fs::write(csv_path, consultation.curve.to_csv())
-            .map_err(|e| format!("cannot write '{csv_path}': {e}"))?;
+            .map_err(|e| CliError::Io(format!("cannot write '{csv_path}': {e}")))?;
         let _ = writeln!(out, "\n  estimate curve written to {csv_path}");
     }
     if let Some(report_path) = parsed.options.get("report").filter(|s| !s.is_empty()) {
         std::fs::write(report_path, mnemo::report::markdown(&consultation, slo))
-            .map_err(|e| format!("cannot write '{report_path}': {e}"))?;
+            .map_err(|e| CliError::Io(format!("cannot write '{report_path}': {e}")))?;
         let _ = writeln!(out, "  markdown report written to {report_path}");
     }
     Ok(out)
@@ -205,16 +239,20 @@ fn drift_label(drift: &Drift) -> String {
 
 /// `mnemo watch <trace> [--epoch N] [--budget-kib N] [--telemetry DIR]`
 /// plus the consult options.
-pub fn watch(parsed: &mut Parsed) -> Result<String, String> {
+pub fn watch(parsed: &mut Parsed) -> Result<String, CliError> {
     let path = parsed.positional_required("trace file")?.to_string();
-    let (store, slo, config) = parse_config(parsed)?;
+    let (store, slo, mut config) = parse_config(parsed)?;
+    let fault_plan = load_fault_plan(parsed)?;
+    config.fault_plan = fault_plan.clone();
     let epoch_len: u64 = parsed.number_or("epoch", DriftConfig::default().epoch_len)?;
     if epoch_len == 0 {
-        return Err("--epoch must be >= 1".into());
+        return Err(CliError::Usage("--epoch must be >= 1".into()));
     }
     let budget_kib: usize = parsed.number_or("budget-kib", 64usize)?;
     if budget_kib < 4 {
-        return Err("--budget-kib must be >= 4 (no useful summary fits below that)".into());
+        return Err(CliError::Usage(
+            "--budget-kib must be >= 4 (no useful summary fits below that)".into(),
+        ));
     }
     let telemetry_dir = parsed
         .options
@@ -224,10 +262,15 @@ pub fn watch(parsed: &mut Parsed) -> Result<String, String> {
     let trace = load_trace(&path)?;
 
     // The Sensitivity Engine's two baseline runs happen once, up front;
-    // from then on the stream profiler carries the whole pipeline.
-    let baselines = SensitivityEngine::new(config.spec.clone(), config.noise)
+    // from then on the stream profiler carries the whole pipeline. Under
+    // --faults the baselines describe the faulted testbed.
+    let mut sensitivity = SensitivityEngine::new(config.spec.clone(), config.noise);
+    if let Some(plan) = &fault_plan {
+        sensitivity = sensitivity.with_fault_plan(plan.clone());
+    }
+    let baselines = sensitivity
         .measure(store, &trace)
-        .map_err(|e| format!("baseline measurement failed: {e}"))?;
+        .map_err(|e| CliError::Engine(format!("baseline measurement failed: {e}")))?;
     let mut stream_config = StreamConfig::with_budget_bytes(budget_kib * 1024);
     stream_config.drift.epoch_len = epoch_len;
     let mut online = OnlineAdvisor::new(stream_config, Advisor::new(config), baselines, slo);
@@ -239,7 +282,12 @@ pub fn watch(parsed: &mut Parsed) -> Result<String, String> {
     let mut tel = mnemo_telemetry::Recorder::new();
     let mut advice: Vec<Readvice> = Vec::new();
     let mut server = kvsim::Server::build(store, &trace, kvsim::Placement::AllFast)
-        .map_err(|e| format!("cannot build server: {e}"))?;
+        .map_err(|e| CliError::Engine(format!("cannot build server: {e}")))?;
+    if let Some(plan) = &fault_plan {
+        // The live replay suffers the plan's degradation windows and
+        // shard-0 crashes, so the profiled stream is the faulted one.
+        server.install_fault_plan(plan);
+    }
     let report = server.run_with_tap(&trace, &mut |event| {
         advice.extend(online.on_event_telemetered(&event, &mut tel));
     });
@@ -270,6 +318,14 @@ pub fn watch(parsed: &mut Parsed) -> Result<String, String> {
         profiler.memory_bytes() as f64 / 1024.0,
         profiler.distinct_keys(),
     );
+    if let Some(plan) = &fault_plan {
+        let _ = writeln!(
+            out,
+            "fault plan: {} event(s), seed {} (applied to baselines and the live replay)",
+            plan.events.len(),
+            plan.seed
+        );
+    }
     let _ = writeln!(
         out,
         "telemetry: {} epochs closed, {} significant drifts, {} advise emissions",
@@ -314,16 +370,18 @@ pub fn watch(parsed: &mut Parsed) -> Result<String, String> {
     Ok(out)
 }
 
-fn export_telemetry(dir: &str, snaps: &[mnemo_telemetry::Snapshot]) -> Result<String, String> {
+fn export_telemetry(dir: &str, snaps: &[mnemo_telemetry::Snapshot]) -> Result<String, CliError> {
     mnemo_telemetry::export::write_dir(std::path::Path::new(dir), snaps)
-        .map_err(|e| format!("cannot write telemetry to '{dir}': {e}"))?;
+        .map_err(|e| CliError::Io(format!("cannot write telemetry to '{dir}': {e}")))?;
     Ok(format!(
         "telemetry written to {dir} (telemetry.jsonl, telemetry.csv, schema.csv, columns/)"
     ))
 }
 
-/// One rendered row of the `mnemo trace` table.
-fn trace_row(out: &mut String, label: &str, snap: &mnemo_telemetry::Snapshot) {
+/// One rendered row of the `mnemo trace` table. With `faults` the row
+/// grows the recovery columns: requests served inside an active
+/// degradation window and shard crashes recovered this epoch.
+fn trace_row(out: &mut String, label: &str, snap: &mnemo_telemetry::Snapshot, faults: bool) {
     use mnemo_telemetry::MetricHistogram;
     let requests = snap.counter("kv.requests");
     let (p50, p99, ops) = match snap.histogram("kv.request.service_ns") {
@@ -346,20 +404,28 @@ fn trace_row(out: &mut String, label: &str, snap: &mnemo_telemetry::Snapshot) {
     } else {
         0.0
     };
-    let _ = writeln!(
+    let _ = write!(
         out,
         "  {label:>6}  {requests:>9}  {p50:>9.0}  {p99:>9.0}  {ops:>11.0}  {fast:>9}  {slow:>9}  {llc_pct:>7.1}"
     );
+    if faults {
+        let degraded = snap.counter("kv.fault.degraded_requests");
+        let crashes = snap.counter("kv.fault.shard_crashes");
+        let _ = write!(out, "  {degraded:>9}  {crashes:>7}");
+    }
+    out.push('\n');
 }
 
 /// `mnemo trace <trace-file|preset> [--epoch N]`
 /// `[--placement fast|slow|advised] [--telemetry DIR]`
 /// plus the consult options.
-pub fn trace_cmd(parsed: &mut Parsed) -> Result<String, String> {
+pub fn trace_cmd(parsed: &mut Parsed) -> Result<String, CliError> {
     let source = parsed
         .positional_required("trace file or preset name")?
         .to_string();
-    let (store, slo, config) = parse_config(parsed)?;
+    let (store, slo, mut config) = parse_config(parsed)?;
+    let fault_plan = load_fault_plan(parsed)?;
+    config.fault_plan = fault_plan.clone();
     let epoch_len: u64 = parsed.number_or("epoch", 20_000u64)?;
     let placement_kind = parsed.get_or("placement", "advised").to_lowercase();
     let telemetry_dir = parsed
@@ -378,9 +444,9 @@ pub fn trace_cmd(parsed: &mut Parsed) -> Result<String, String> {
         let seed = parsed.number_or("seed", 42u64)?;
         spec.scaled(keys, requests).generate(seed)
     } else {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "'{source}' is neither a trace file nor a preset (see `mnemo workloads`)"
-        ));
+        )));
     };
 
     let (placement, placement_desc) = match placement_kind.as_str() {
@@ -389,24 +455,39 @@ pub fn trace_cmd(parsed: &mut Parsed) -> Result<String, String> {
         "advised" => {
             let consultation = Advisor::new(config)
                 .consult(store, &trace)
-                .map_err(|e| format!("consultation failed: {e}"))?;
-            let rec = consultation.recommend(slo).ok_or("empty curve")?;
+                .map_err(|e| CliError::Engine(format!("consultation failed: {e}")))?;
+            // The resilient path never fails: under a fault plan that
+            // makes the SLO unattainable, the nearest-feasible split is
+            // used and the degradation is called out.
+            let resilient = consultation.recommend_resilient(slo);
+            let rec = resilient.recommendation;
+            let mut desc = format!(
+                "advised @{:.0}% SLO: {} of {} keys ({:.1}% of bytes) in FastMem",
+                slo * 100.0,
+                rec.prefix,
+                trace.keys(),
+                rec.fast_ratio * 100.0
+            );
+            if let Some(reason) = resilient.degraded {
+                let _ = write!(desc, "; degraded: {reason:?}");
+            }
             (
                 kvsim::Placement::fast_prefix(&consultation.order, rec.prefix),
-                format!(
-                    "advised @{:.0}% SLO: {} of {} keys ({:.1}% of bytes) in FastMem",
-                    slo * 100.0,
-                    rec.prefix,
-                    trace.keys(),
-                    rec.fast_ratio * 100.0
-                ),
+                desc,
             )
         }
-        other => return Err(format!("unknown placement '{other}' (fast|slow|advised)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown placement '{other}' (fast|slow|advised)"
+            )))
+        }
     };
 
     let mut server = kvsim::Server::build(store, &trace, placement)
-        .map_err(|e| format!("cannot build server: {e}"))?;
+        .map_err(|e| CliError::Engine(format!("cannot build server: {e}")))?;
+    if let Some(plan) = &fault_plan {
+        server.install_fault_plan(plan);
+    }
     let (report, snaps) = server.run_telemetered(&trace, epoch_len);
 
     let mut out = String::new();
@@ -423,18 +504,31 @@ pub fn trace_cmd(parsed: &mut Parsed) -> Result<String, String> {
         },
         placement_desc
     );
-    let _ = writeln!(
+    let faults_active = fault_plan.is_some();
+    if let Some(plan) = &fault_plan {
+        let _ = writeln!(
+            out,
+            "fault plan: {} event(s), seed {} — degraded/crash recovery shown per epoch",
+            plan.events.len(),
+            plan.seed
+        );
+    }
+    let _ = write!(
         out,
         "\n  {:>6}  {:>9}  {:>9}  {:>9}  {:>11}  {:>9}  {:>9}  {:>7}",
         "epoch", "requests", "p50_ns", "p99_ns", "ops/s", "fast_hits", "slow_hits", "llc_hit%"
     );
+    if faults_active {
+        let _ = write!(out, "  {:>9}  {:>7}", "degraded", "crashes");
+    }
+    out.push('\n');
     let mut total = mnemo_telemetry::Snapshot::empty(0);
     for snap in &snaps {
-        trace_row(&mut out, &snap.epoch().to_string(), snap);
+        trace_row(&mut out, &snap.epoch().to_string(), snap, faults_active);
         total.fold(snap);
     }
     if snaps.len() > 1 {
-        trace_row(&mut out, "total", &total);
+        trace_row(&mut out, "total", &total, faults_active);
     }
     if let Some(dir) = telemetry_dir {
         let _ = writeln!(out, "\n{}", export_telemetry(&dir, &snaps)?);
@@ -443,7 +537,7 @@ pub fn trace_cmd(parsed: &mut Parsed) -> Result<String, String> {
 }
 
 /// `mnemo analyze <trace>`
-pub fn analyze(parsed: &mut Parsed) -> Result<String, String> {
+pub fn analyze(parsed: &mut Parsed) -> Result<String, CliError> {
     let path = parsed.positional_required("trace file")?.to_string();
     let trace = load_trace(&path)?;
     let report = ycsb::fit::SkewReport::analyze(&trace);
@@ -496,11 +590,11 @@ pub fn analyze(parsed: &mut Parsed) -> Result<String, String> {
 }
 
 /// `mnemo downsample <trace> --factor N -o <file>`
-pub fn downsample(parsed: &mut Parsed) -> Result<String, String> {
+pub fn downsample(parsed: &mut Parsed) -> Result<String, CliError> {
     let path = parsed.positional_required("trace file")?.to_string();
     let factor: usize = parsed.number_or("factor", 2usize)?;
     if factor < 1 {
-        return Err("--factor must be >= 1".into());
+        return Err(CliError::Usage("--factor must be >= 1".into()));
     }
     let seed = parsed.number_or("seed", 1u64)?;
     let output = parsed.require("o")?;
@@ -517,12 +611,14 @@ pub fn downsample(parsed: &mut Parsed) -> Result<String, String> {
 }
 
 /// `mnemo plan <trace> [--provider ...] [--deploy-gib N]`
-pub fn plan(parsed: &mut Parsed) -> Result<String, String> {
+pub fn plan(parsed: &mut Parsed) -> Result<String, CliError> {
     let path = parsed.positional_required("trace file")?.to_string();
     parse_config(parsed)?; // surface option errors before file I/O
     let trace = load_trace(&path)?;
     let (_, slo, consultation) = consultation_from(parsed, &trace)?;
-    let rec = consultation.recommend(slo).ok_or("empty curve")?;
+    let rec = consultation
+        .recommend(slo)
+        .ok_or_else(|| CliError::Engine("empty curve".into()))?;
     let price: f64 = parsed.number_or("price", 0.20)?;
 
     // Scale the recommended ratio to the deployment size (default: the

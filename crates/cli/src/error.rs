@@ -1,0 +1,104 @@
+//! Typed CLI errors with distinct process exit codes.
+//!
+//! Every fatal path through the tool is classified so scripts can react
+//! to *why* `mnemo` failed without scraping stderr:
+//!
+//! | class             | exit code | examples                                   |
+//! |-------------------|-----------|--------------------------------------------|
+//! | [`CliError::Usage`]  | 2      | unknown command, bad flag value            |
+//! | [`CliError::Io`]     | 3      | unreadable trace path, unwritable output   |
+//! | [`CliError::Parse`]  | 4      | malformed trace line, invalid fault plan   |
+//! | [`CliError::Engine`] | 5      | simulation / advisor pipeline failure      |
+
+/// A fatal CLI error carrying its process exit code class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad invocation: unknown command, missing argument, out-of-range
+    /// or unparsable option value. Exit code 2.
+    Usage(String),
+    /// Filesystem failure on a user-supplied path. Exit code 3.
+    Io(String),
+    /// A user-supplied file exists but its contents are malformed
+    /// (trace file, fault plan). Exit code 4.
+    Parse(String),
+    /// The simulation or advisor pipeline failed on valid input.
+    /// Exit code 5.
+    Engine(String),
+}
+
+impl CliError {
+    /// The process exit code for this error class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Parse(_) => 4,
+            CliError::Engine(_) => 5,
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Parse(m) | CliError::Engine(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The argument-parsing helpers report plain strings; at the CLI
+/// boundary those are always usage errors.
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::Usage(message)
+    }
+}
+
+/// Classify a fault-plan load failure: unreadable file vs malformed
+/// contents (which carries the offending line number).
+impl From<mnemo_faults::LoadError> for CliError {
+    fn from(e: mnemo_faults::LoadError) -> CliError {
+        match e {
+            mnemo_faults::LoadError::Io(io) => CliError::Io(io.to_string()),
+            mnemo_faults::LoadError::Parse(p) => CliError::Parse(p.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_stable() {
+        let errors = [
+            CliError::Usage("u".into()),
+            CliError::Io("i".into()),
+            CliError::Parse("p".into()),
+            CliError::Engine("e".into()),
+        ];
+        let codes: Vec<i32> = errors.iter().map(|e| e.exit_code()).collect();
+        assert_eq!(codes, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn display_is_the_bare_message() {
+        assert_eq!(
+            CliError::Io("no such file".into()).to_string(),
+            "no such file"
+        );
+    }
+
+    #[test]
+    fn strings_classify_as_usage() {
+        let e: CliError = String::from("bad flag").into();
+        assert_eq!(e.exit_code(), 2);
+    }
+}

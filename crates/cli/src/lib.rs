@@ -14,9 +14,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod args;
 pub mod commands;
+pub mod error;
+
+pub use error::CliError;
 
 use std::fmt::Write as _;
 
@@ -45,6 +50,8 @@ COMMANDS:
       --epoch N                          events per drift epoch (default 50000)
       --budget-kib N                     profiler memory budget (default 64)
       --telemetry <dir>                  export drift/advise telemetry
+      --faults <plan>                    inject a fault plan (TOML/JSON) into
+                                         the baselines and the live replay
       plus consult's --store/--slo/--price/--ordering/--model options
   trace <trace-file|preset>      run a workload with telemetry and print the
       per-epoch summary (p50/p99 latency, throughput, tier hits)
@@ -52,6 +59,9 @@ COMMANDS:
                                          0 = one epoch for the whole run)
       --placement fast|slow|advised      key placement (default advised)
       --telemetry <dir>                  export the per-epoch telemetry
+      --faults <plan>                    inject a fault plan (TOML/JSON);
+                                         adds degraded/crash columns and
+                                         nearest-feasible degraded advising
       plus consult's --store/--slo options; presets accept
       --keys/--requests/--seed like generate
   analyze <trace-file>           skew statistics + synthetic equivalent
@@ -67,11 +77,16 @@ GLOBAL OPTIONS:
                MNEMO_JOBS environment variable is the equivalent).
                Output is byte-identical for every value of N.
 
+EXIT CODES:
+  0 success    2 usage error    3 I/O error    4 malformed input
+  5 simulation/advisor failure
+
 Run any command with --help for details.";
 
 /// Run the CLI on an argument vector (without the program name).
-/// Returns the text to print, or an error message.
-pub fn run(argv: &[String]) -> Result<String, String> {
+/// Returns the text to print, or a classified [`CliError`] whose
+/// [`CliError::exit_code`] the binary propagates to the process.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
     let mut parsed = args::Parsed::parse(argv);
     let command = match parsed.positional.first().cloned() {
         None => return Ok(USAGE.to_string()),
@@ -85,7 +100,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     // Results are byte-identical for any value; this only tunes speed.
     let jobs: usize = parsed.number_or("jobs", 0usize)?;
     if parsed.flag("jobs") && jobs == 0 {
-        return Err("--jobs needs a positive integer".into());
+        return Err(CliError::Usage("--jobs needs a positive integer".into()));
     }
     if jobs > 0 {
         mnemo_par::set_jobs(jobs);
@@ -104,7 +119,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
             let mut msg = String::new();
             let _ = writeln!(msg, "unknown command '{other}'");
             let _ = write!(msg, "{USAGE}");
-            Err(msg)
+            Err(CliError::Usage(msg))
         }
     }
 }
@@ -126,14 +141,16 @@ mod tests {
     #[test]
     fn unknown_command_is_an_error() {
         let err = run(&argv(&["frobnicate"])).unwrap_err();
-        assert!(err.contains("unknown command"));
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("unknown command"));
     }
 
     #[test]
     fn jobs_flag_is_validated_and_accepted() {
         assert!(run(&argv(&["workloads", "--jobs", "2"])).is_ok());
         let err = run(&argv(&["workloads", "--jobs"])).unwrap_err();
-        assert!(err.contains("positive integer"), "{err}");
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("positive integer"), "{err}");
         assert!(run(&argv(&["workloads", "--jobs", "nope"])).is_err());
         // Leave the global pool unbounded for the other tests.
         mnemo_par::set_jobs(0);
@@ -273,7 +290,7 @@ mod tests {
             "2",
         ]))
         .unwrap_err();
-        assert!(err.contains("budget"), "{err}");
+        assert!(err.to_string().contains("budget"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -325,7 +342,76 @@ mod tests {
         assert!(out.contains("the whole run"), "{out}");
 
         let err = run(&argv(&["trace", "no-such-preset"])).unwrap_err();
-        assert!(err.contains("neither a trace file nor a preset"), "{err}");
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(
+            err.to_string()
+                .contains("neither a trace file nor a preset"),
+            "{err}"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_with_fault_plan_adds_columns_and_classifies_plan_errors() {
+        let dir = std::env::temp_dir().join(format!("mnemo-cli-faults-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("plan.toml");
+        std::fs::write(
+            &plan,
+            "seed = 7\n\n[[event]]\nkind = \"latency_spike\"\ntier = \"slow\"\nstart_ns = 0\nend_ns = 500000000\nfactor = 8.0\n",
+        )
+        .unwrap();
+
+        let out = run(&argv(&[
+            "trace",
+            "trending",
+            "--keys",
+            "200",
+            "--requests",
+            "3000",
+            "--placement",
+            "slow",
+            "--epoch",
+            "1000",
+            "--faults",
+            plan.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("fault plan: 1 event(s), seed 7"), "{out}");
+        assert!(out.contains("degraded"), "{out}");
+        assert!(out.contains("crashes"), "{out}");
+
+        // An unreadable plan path is an I/O error (3); a malformed plan
+        // is a parse error (4) carrying the offending line number.
+        let err = run(&argv(&[
+            "trace",
+            "trending",
+            "--keys",
+            "200",
+            "--requests",
+            "3000",
+            "--faults",
+            dir.join("missing.toml").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+
+        let bad = dir.join("bad.toml");
+        std::fs::write(&bad, "seed = 1\nnot a directive\n").unwrap();
+        let err = run(&argv(&[
+            "trace",
+            "trending",
+            "--keys",
+            "200",
+            "--requests",
+            "3000",
+            "--faults",
+            bad.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -333,12 +419,14 @@ mod tests {
     #[test]
     fn consult_rejects_bad_store() {
         let err = run(&argv(&["consult", "/nonexistent", "--store", "oracle"])).unwrap_err();
-        assert!(err.contains("store"), "{err}");
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("store"), "{err}");
     }
 
     #[test]
     fn generate_requires_output() {
         let err = run(&argv(&["generate", "trending"])).unwrap_err();
-        assert!(err.contains("-o"), "{err}");
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("-o"), "{err}");
     }
 }

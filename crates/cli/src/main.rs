@@ -1,12 +1,23 @@
 //! The `mnemo` binary: forwards arguments to the library.
 
+#![warn(clippy::unwrap_used)]
+
+use std::io::Write;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match mnemo_cli::run(&argv) {
-        Ok(output) => println!("{output}"),
-        Err(message) => {
-            eprintln!("error: {message}");
-            std::process::exit(1);
+        Ok(output) => {
+            // A closed pipe (`mnemo ... | head`) is a normal way to end
+            // output early, not a crash.
+            let stdout = std::io::stdout();
+            if writeln!(stdout.lock(), "{output}").is_err() {
+                std::process::exit(0);
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(err.exit_code());
         }
     }
 }

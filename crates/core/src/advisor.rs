@@ -7,7 +7,7 @@
 //! [`Consultation::recommend`] does the choosing (e.g. the 10% slowdown
 //! SLO of Fig. 9).
 
-use crate::curve::EstimateCurve;
+use crate::curve::{CurveRow, EstimateCurve};
 use crate::estimate::EstimateEngine;
 use crate::model::{ModelKind, PerfModel};
 use crate::pattern::PatternEngine;
@@ -49,6 +49,11 @@ pub struct AdvisorConfig {
     /// the paper), passing the server's LLC capacity. `None` keeps the
     /// paper's plain model.
     pub cache_correction: Option<u64>,
+    /// Measure the baselines under this fault plan (degradation windows
+    /// and crash schedules installed on the baseline servers), so the
+    /// estimate curve — and every recommendation derived from it —
+    /// describes the *faulted* testbed. `None` keeps the healthy testbed.
+    pub fault_plan: Option<mnemo_faults::FaultPlan>,
 }
 
 impl Default for AdvisorConfig {
@@ -60,6 +65,7 @@ impl Default for AdvisorConfig {
             model: ModelKind::GlobalAverage,
             ordering: OrderingKind::MnemoT,
             cache_correction: None,
+            fault_plan: None,
         }
     }
 }
@@ -90,6 +96,53 @@ pub struct Recommendation {
     pub est_slowdown: f64,
 }
 
+/// Why a resilient recommendation could not simply comply with the SLO.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DegradedReason {
+    /// The requested slowdown budget was outside `[0, 1]` and was clamped
+    /// before searching (a plain [`Consultation::recommend`] would panic
+    /// on such input).
+    SloClamped {
+        /// The budget as requested.
+        requested: f64,
+        /// The budget actually used.
+        clamped: f64,
+    },
+    /// No split on the (possibly faulted) curve reaches the budget
+    /// against the reference throughput; the best-performing row is
+    /// returned together with the slowdown it actually achieves.
+    SloUnattainable {
+        /// The requested slowdown budget.
+        requested: f64,
+        /// The slowdown of the returned nearest-feasible configuration.
+        achievable: f64,
+    },
+    /// The curve has no rows (empty workload); a zero-sized placement is
+    /// returned.
+    EmptyCurve,
+}
+
+/// A recommendation that is always produced: compliant when possible,
+/// otherwise the nearest-feasible configuration tagged with the
+/// machine-readable reason it is degraded. This is the advisor's
+/// fault-tolerant output contract — under any fault profile it never
+/// panics and never returns nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResilientRecommendation {
+    /// The recommended configuration.
+    pub recommendation: Recommendation,
+    /// `None` when the SLO is met outright; otherwise why (and how far
+    /// off) the advisor had to degrade.
+    pub degraded: Option<DegradedReason>,
+}
+
+impl ResilientRecommendation {
+    /// Whether the recommendation meets the requested SLO outright.
+    pub fn is_compliant(&self) -> bool {
+        self.degraded.is_none()
+    }
+}
+
 /// The full result of one consultation.
 #[derive(Debug, Clone)]
 pub struct Consultation {
@@ -114,24 +167,108 @@ impl Consultation {
 }
 
 impl Consultation {
-    /// The cheapest configuration within `slowdown` (e.g. `0.10`) of
-    /// FastMem-only performance. `None` only for empty workloads.
-    pub fn recommend(&self, slowdown: f64) -> Option<Recommendation> {
-        let row = self.curve.cheapest_within_slowdown(slowdown)?;
-        let best = self.curve.fast_only().est_throughput_ops_s;
+    /// Build a recommendation from a curve row, with the slowdown column
+    /// measured against `reference_ops_s`.
+    fn rec_from_row(&self, row: &CurveRow, reference_ops_s: f64) -> Recommendation {
         let total = self.curve.total_bytes.max(1);
-        Some(Recommendation {
+        Recommendation {
             prefix: row.prefix,
             fast_bytes: row.fast_bytes,
             fast_ratio: row.fast_bytes as f64 / total as f64,
             cost_reduction: row.cost_reduction,
             est_throughput_ops_s: row.est_throughput_ops_s,
-            est_slowdown: if best > 0.0 {
-                1.0 - row.est_throughput_ops_s / best
+            est_slowdown: if reference_ops_s > 0.0 {
+                1.0 - row.est_throughput_ops_s / reference_ops_s
             } else {
                 0.0
             },
-        })
+        }
+    }
+
+    /// The cheapest configuration within `slowdown` (e.g. `0.10`) of
+    /// FastMem-only performance. `None` only for empty workloads.
+    pub fn recommend(&self, slowdown: f64) -> Option<Recommendation> {
+        let row = self.curve.cheapest_within_slowdown(slowdown)?;
+        let best = self.curve.fast_only().est_throughput_ops_s;
+        Some(self.rec_from_row(row, best))
+    }
+
+    /// Degraded-mode recommend: never panics and never returns nothing.
+    /// The slowdown budget is measured against this curve's own
+    /// all-FastMem throughput; see [`Self::recommend_resilient_vs`] for
+    /// an external (e.g. healthy-testbed) reference.
+    pub fn recommend_resilient(&self, slowdown: f64) -> ResilientRecommendation {
+        self.recommend_resilient_vs(slowdown, None)
+    }
+
+    /// [`Self::recommend_resilient`] with an explicit reference
+    /// throughput the budget is measured against. When this consultation
+    /// was produced under a fault plan, passing the *healthy* testbed's
+    /// all-FastMem throughput asks "which split keeps us within the SLO
+    /// of normal operation?" — and when even all-FastMem cannot (the
+    /// faulted devices are simply too slow), the answer is the
+    /// best-performing split tagged [`DegradedReason::SloUnattainable`]
+    /// with the slowdown it actually achieves.
+    pub fn recommend_resilient_vs(
+        &self,
+        slowdown: f64,
+        reference_ops_s: Option<f64>,
+    ) -> ResilientRecommendation {
+        if self.curve.rows.is_empty() {
+            return ResilientRecommendation {
+                recommendation: Recommendation {
+                    prefix: 0,
+                    fast_bytes: 0,
+                    fast_ratio: 0.0,
+                    cost_reduction: 0.0,
+                    est_throughput_ops_s: 0.0,
+                    est_slowdown: 0.0,
+                },
+                degraded: Some(DegradedReason::EmptyCurve),
+            };
+        }
+        let clamped = if slowdown.is_finite() {
+            slowdown.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let reference = reference_ops_s
+            .filter(|r| r.is_finite() && *r > 0.0)
+            .unwrap_or(self.curve.fast_only().est_throughput_ops_s);
+        let target = reference * (1.0 - clamped);
+        if let Some(row) = self
+            .curve
+            .rows
+            .iter()
+            .find(|r| r.est_throughput_ops_s >= target)
+        {
+            let degraded = (clamped != slowdown).then_some(DegradedReason::SloClamped {
+                requested: slowdown,
+                clamped,
+            });
+            return ResilientRecommendation {
+                recommendation: self.rec_from_row(row, reference),
+                degraded,
+            };
+        }
+        // Nearest-feasible: the best-performing row, cheapest among ties
+        // (strict `>` keeps the first maximum).
+        let mut best = self.curve.fast_only();
+        let mut best_thr = f64::NEG_INFINITY;
+        for r in &self.curve.rows {
+            if r.est_throughput_ops_s.is_finite() && r.est_throughput_ops_s > best_thr {
+                best_thr = r.est_throughput_ops_s;
+                best = r;
+            }
+        }
+        let recommendation = self.rec_from_row(best, reference);
+        ResilientRecommendation {
+            recommendation,
+            degraded: Some(DegradedReason::SloUnattainable {
+                requested: slowdown,
+                achievable: recommendation.est_slowdown,
+            }),
+        }
     }
 
     /// The cost/performance frontier for several SLOs at once: one
@@ -184,19 +321,7 @@ impl Consultation {
         }
         let row = self.curve.rows[hi];
         let best = self.curve.fast_only().est_throughput_ops_s;
-        let total = self.curve.total_bytes.max(1);
-        Some(Recommendation {
-            prefix: row.prefix,
-            fast_bytes: row.fast_bytes,
-            fast_ratio: row.fast_bytes as f64 / total as f64,
-            cost_reduction: row.cost_reduction,
-            est_throughput_ops_s: row.est_throughput_ops_s,
-            est_slowdown: if best > 0.0 {
-                1.0 - row.est_throughput_ops_s / best
-            } else {
-                0.0
-            },
-        })
+        Some(self.rec_from_row(&row, best))
     }
 }
 
@@ -219,7 +344,10 @@ impl Advisor {
 
     /// Run the full pipeline for one store and workload.
     pub fn consult(&self, store: StoreKind, trace: &Trace) -> Result<Consultation, EngineError> {
-        let sensitivity = SensitivityEngine::new(self.config.spec.clone(), self.config.noise);
+        let mut sensitivity = SensitivityEngine::new(self.config.spec.clone(), self.config.noise);
+        if let Some(plan) = &self.config.fault_plan {
+            sensitivity = sensitivity.with_fault_plan(plan.clone());
+        }
         let baselines = sensitivity.measure(store, trace)?;
         self.consult_with_baselines(baselines, trace)
     }
@@ -476,6 +604,116 @@ mod tests {
         // Trivial budgets cost nothing.
         let trivial = c.recommend_by_tail(0.99, slow_p99 * 2.0).unwrap();
         assert_eq!(trivial.prefix, 0);
+    }
+
+    #[test]
+    fn resilient_recommendation_matches_plain_when_attainable() {
+        let c = consult(
+            StoreKind::Redis,
+            WorkloadSpec::trending().scaled(200, 3_000),
+        );
+        let plain = c.recommend(0.10).unwrap();
+        let res = c.recommend_resilient(0.10);
+        assert!(res.is_compliant());
+        assert_eq!(res.recommendation, plain);
+    }
+
+    #[test]
+    fn resilient_clamps_out_of_range_budgets_instead_of_panicking() {
+        let c = consult(
+            StoreKind::Redis,
+            WorkloadSpec::trending().scaled(150, 2_000),
+        );
+        let res = c.recommend_resilient(1.7);
+        match res.degraded {
+            Some(DegradedReason::SloClamped { requested, clamped }) => {
+                assert_eq!(requested, 1.7);
+                assert_eq!(clamped, 1.0);
+            }
+            other => panic!("expected SloClamped, got {other:?}"),
+        }
+        // A full-slack budget admits the all-SlowMem row.
+        assert_eq!(res.recommendation.prefix, 0);
+        // Negative budgets clamp to zero slack -> all-FastMem.
+        let strict = c.recommend_resilient(-0.5);
+        assert!(matches!(
+            strict.degraded,
+            Some(DegradedReason::SloClamped { .. })
+        ));
+        // Zero slack admits only rows at or above the all-fast
+        // throughput (the curve is not strictly monotone, so a cheaper
+        // row may already match it).
+        assert!(
+            strict.recommendation.est_throughput_ops_s >= c.curve.fast_only().est_throughput_ops_s
+        );
+    }
+
+    #[test]
+    fn faulted_consultation_degrades_with_machine_readable_reason() {
+        use mnemo_faults::{FaultEvent, FaultPlan};
+        let trace = WorkloadSpec::trending().scaled(200, 2_500).generate(9);
+        let mut config = AdvisorConfig::default();
+        // Shrink the LLC so device speed dominates (the full 12 MB cache
+        // would absorb this reduced-scale dataset and mask the fault).
+        config.spec.cache.capacity_bytes = (trace.dataset_bytes() / 85).max(1 << 16);
+        let healthy = Advisor::new(config.clone())
+            .consult(StoreKind::Redis, &trace)
+            .unwrap();
+        let nominal = healthy.curve.fast_only().est_throughput_ops_s;
+
+        // Both tiers run at 50x latency / 1/50 bandwidth for the whole
+        // run: even all-FastMem cannot stay within 10% of nominal.
+        let mut plan = FaultPlan::new(5);
+        for tier in [hybridmem::MemTier::Fast, hybridmem::MemTier::Slow] {
+            plan = plan
+                .with(FaultEvent::LatencySpike {
+                    tier,
+                    start_ns: 0,
+                    end_ns: u128::MAX,
+                    factor: 50.0,
+                })
+                .with(FaultEvent::BandwidthThrottle {
+                    tier,
+                    start_ns: 0,
+                    end_ns: u128::MAX,
+                    factor: 0.02,
+                });
+        }
+        config.fault_plan = Some(plan);
+        let faulted = Advisor::new(config)
+            .consult(StoreKind::Redis, &trace)
+            .unwrap();
+        assert!(
+            faulted.curve.fast_only().est_throughput_ops_s < nominal * 0.9,
+            "the fault must make the nominal SLO unattainable"
+        );
+
+        let res = faulted.recommend_resilient_vs(0.10, Some(nominal));
+        match res.degraded {
+            Some(DegradedReason::SloUnattainable {
+                requested,
+                achievable,
+            }) => {
+                assert_eq!(requested, 0.10);
+                assert!(achievable > 0.10, "achievable {achievable:.3}");
+                assert!(
+                    (achievable - res.recommendation.est_slowdown).abs() < 1e-12,
+                    "the tag reports the returned row's own slowdown"
+                );
+            }
+            other => panic!("expected SloUnattainable, got {other:?}"),
+        }
+        // Nearest-feasible = the best-performing split on the faulted
+        // curve (nothing beats it, so nothing else can be closer).
+        let best_thr = faulted
+            .curve
+            .rows
+            .iter()
+            .map(|r| r.est_throughput_ops_s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(res.recommendation.est_throughput_ops_s, best_thr);
+        // Against its own faulted baseline the budget is attainable.
+        assert!(faulted.recommend_resilient(0.10).is_compliant());
     }
 
     #[test]

@@ -80,7 +80,9 @@ pub mod tail;
 pub mod tiering;
 
 pub use accuracy::{ErrorStats, EvalPoint};
-pub use advisor::{Advisor, AdvisorConfig, Consultation, Recommendation};
+pub use advisor::{
+    Advisor, AdvisorConfig, Consultation, DegradedReason, Recommendation, ResilientRecommendation,
+};
 pub use curve::{CurveRow, EstimateCurve};
 pub use estimate::EstimateEngine;
 pub use model::{ModelKind, PerfModel};

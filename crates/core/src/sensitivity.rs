@@ -85,6 +85,7 @@ impl Baselines {
 pub struct SensitivityEngine {
     spec: HybridSpec,
     noise: NoiseConfig,
+    fault_plan: Option<mnemo_faults::FaultPlan>,
 }
 
 impl Default for SensitivityEngine {
@@ -96,7 +97,19 @@ impl Default for SensitivityEngine {
 impl SensitivityEngine {
     /// Engine over a given testbed spec and measurement-noise model.
     pub fn new(spec: HybridSpec, noise: NoiseConfig) -> SensitivityEngine {
-        SensitivityEngine { spec, noise }
+        SensitivityEngine {
+            spec,
+            noise,
+            fault_plan: None,
+        }
+    }
+
+    /// Measure under a fault plan: both baseline servers get the plan's
+    /// degradation windows and crash schedule installed before running,
+    /// so the resulting estimate curve describes the *faulted* testbed.
+    pub fn with_fault_plan(mut self, plan: mnemo_faults::FaultPlan) -> SensitivityEngine {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// The testbed spec in use.
@@ -157,6 +170,9 @@ impl SensitivityEngine {
             MemTier::Slow => 0x5eed_510e,
         });
         let mut server = Server::build_with(store, self.spec.clone(), noise, trace, placement)?;
+        if let Some(plan) = &self.fault_plan {
+            server.install_fault_plan(plan);
+        }
         Ok(BaselineRun::from_report(tier, server.run(trace)))
     }
 

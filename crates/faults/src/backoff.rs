@@ -1,0 +1,103 @@
+//! Capped exponential retry backoff for failed migrations.
+
+/// A capped-exponential backoff policy.
+///
+/// Attempt `k` (0-based) waits `min(base_ns * factor^k, cap_ns)` simulated
+/// nanoseconds before retrying; after `max_retries` failed attempts the
+/// caller gives up and falls back (for tiering: the key stays in SlowMem).
+/// All delays are simulated time, charged to the run like any other cost,
+/// so retried runs stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    /// Delay before the first retry, in simulated nanoseconds.
+    pub base_ns: f64,
+    /// Multiplier applied per attempt (>= 1).
+    pub factor: f64,
+    /// Upper bound on any single delay.
+    pub cap_ns: f64,
+    /// Retries after the initial attempt before giving up.
+    pub max_retries: u32,
+}
+
+impl Backoff {
+    /// The default tiering policy: 1 µs base, doubling, capped at 64 µs,
+    /// at most 5 retries.
+    pub fn default_policy() -> Backoff {
+        Backoff {
+            base_ns: 1_000.0,
+            factor: 2.0,
+            cap_ns: 64_000.0,
+            max_retries: 5,
+        }
+    }
+
+    /// Validate the policy's fields.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.base_ns.is_finite() && self.base_ns >= 0.0) {
+            return Err(format!(
+                "backoff base_ns must be >= 0, got {}",
+                self.base_ns
+            ));
+        }
+        if !(self.factor.is_finite() && self.factor >= 1.0) {
+            return Err(format!("backoff factor must be >= 1, got {}", self.factor));
+        }
+        if !(self.cap_ns.is_finite() && self.cap_ns >= 0.0) {
+            return Err(format!("backoff cap_ns must be >= 0, got {}", self.cap_ns));
+        }
+        Ok(())
+    }
+
+    /// The delay charged before retry number `attempt` (0-based).
+    pub fn delay_ns(&self, attempt: u32) -> f64 {
+        let exp = self.factor.powi(attempt.min(1_000) as i32);
+        (self.base_ns * exp).min(self.cap_ns)
+    }
+
+    /// Total simulated time a fully-exhausted retry sequence charges.
+    pub fn worst_case_delay_ns(&self) -> f64 {
+        (0..self.max_retries).map(|k| self.delay_ns(k)).sum()
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff::default_policy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_then_cap() {
+        let b = Backoff::default_policy();
+        assert_eq!(b.delay_ns(0), 1_000.0);
+        assert_eq!(b.delay_ns(1), 2_000.0);
+        assert_eq!(b.delay_ns(5), 32_000.0);
+        assert_eq!(b.delay_ns(6), 64_000.0);
+        assert_eq!(b.delay_ns(100), 64_000.0, "cap holds for huge attempts");
+    }
+
+    #[test]
+    fn worst_case_is_the_sum_of_capped_delays() {
+        let b = Backoff {
+            base_ns: 10.0,
+            factor: 2.0,
+            cap_ns: 40.0,
+            max_retries: 4,
+        };
+        // 10 + 20 + 40 + 40
+        assert_eq!(b.worst_case_delay_ns(), 110.0);
+    }
+
+    #[test]
+    fn validation_rejects_shrinking_factor() {
+        let mut b = Backoff::default_policy();
+        b.factor = 0.5;
+        assert!(b.validate().is_err());
+        b.factor = 1.0;
+        assert!(b.validate().is_ok());
+    }
+}

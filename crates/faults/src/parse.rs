@@ -1,0 +1,837 @@
+//! Hand-rolled TOML- and JSON-subset parsers for fault plans.
+//!
+//! The build environment vendors a marker-only `serde` shim (derives emit
+//! nothing), so plan files are parsed by hand. Both formats map onto the
+//! same raw records before validation, and every syntax or schema error
+//! carries the 1-based line it was found on.
+
+use crate::backoff::Backoff;
+use crate::plan::{FaultEvent, FaultPlan};
+use hybridmem::MemTier;
+
+/// A plan-file parse or validation error, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// 1-based line number; 0 for document-level errors.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl PlanError {
+    fn at(line: usize, reason: impl Into<String>) -> PlanError {
+        PlanError {
+            line,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "fault plan: {}", self.reason)
+        } else {
+            write!(f, "fault plan line {}: {}", self.line, self.reason)
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Errors from [`FaultPlan::load`].
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file's contents were not a valid plan.
+    Parse(PlanError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "cannot read fault plan: {e}"),
+            LoadError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// One parsed scalar value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(u128),
+    Float(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+        }
+    }
+}
+
+/// A flat key/value record plus the line each key appeared on.
+#[derive(Debug, Default, Clone)]
+struct Record {
+    line: usize,
+    fields: Vec<(String, Value, usize)>,
+}
+
+impl Record {
+    fn insert(&mut self, key: String, value: Value, line: usize) -> Result<(), PlanError> {
+        if self.fields.iter().any(|(k, _, _)| *k == key) {
+            return Err(PlanError::at(line, format!("duplicate key `{key}`")));
+        }
+        self.fields.push((key, value, line));
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Option<(&Value, usize)> {
+        self.fields
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, l)| (v, *l))
+    }
+
+    fn str(&self, key: &str) -> Result<Option<(&str, usize)>, PlanError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some((Value::Str(s), l)) => Ok(Some((s, l))),
+            Some((v, l)) => Err(PlanError::at(
+                l,
+                format!("`{key}` must be a string, got {}", v.type_name()),
+            )),
+        }
+    }
+
+    fn u128(&self, key: &str) -> Result<Option<u128>, PlanError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some((Value::Int(n), _)) => Ok(Some(*n)),
+            Some((v, l)) => Err(PlanError::at(
+                l,
+                format!(
+                    "`{key}` must be a non-negative integer, got {}",
+                    v.type_name()
+                ),
+            )),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<Option<u64>, PlanError> {
+        match self.u128(key)? {
+            None => Ok(None),
+            Some(n) => u64::try_from(n).map(Some).map_err(|_| {
+                let l = self.get(key).map(|(_, l)| l).unwrap_or(self.line);
+                PlanError::at(l, format!("`{key}` exceeds 64 bits"))
+            }),
+        }
+    }
+
+    fn f64(&self, key: &str) -> Result<Option<f64>, PlanError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some((Value::Float(x), _)) => Ok(Some(*x)),
+            Some((Value::Int(n), _)) => Ok(Some(*n as f64)),
+            Some((v, l)) => Err(PlanError::at(
+                l,
+                format!("`{key}` must be a number, got {}", v.type_name()),
+            )),
+        }
+    }
+
+    fn require_f64(&self, key: &str) -> Result<f64, PlanError> {
+        self.f64(key)?
+            .ok_or_else(|| PlanError::at(self.line, format!("missing required field `{key}`")))
+    }
+
+    fn tier(&self) -> Result<MemTier, PlanError> {
+        let (name, line) = self
+            .str("tier")?
+            .ok_or_else(|| PlanError::at(self.line, "missing required field `tier`"))?;
+        match name.to_ascii_lowercase().as_str() {
+            "fast" | "fastmem" | "dram" => Ok(MemTier::Fast),
+            "slow" | "slowmem" | "nvm" => Ok(MemTier::Slow),
+            other => Err(PlanError::at(
+                line,
+                format!("unknown tier `{other}` (expected `fast` or `slow`)"),
+            )),
+        }
+    }
+
+    fn known_keys(&self, allowed: &[&str]) -> Result<(), PlanError> {
+        for (k, _, l) in &self.fields {
+            if !allowed.contains(&k.as_str()) {
+                return Err(PlanError::at(*l, format!("unknown field `{k}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Both front-ends produce this shape, then share the schema builder.
+#[derive(Debug, Default)]
+struct RawPlan {
+    top: Record,
+    backoff: Option<Record>,
+    events: Vec<Record>,
+}
+
+fn build(raw: RawPlan) -> Result<FaultPlan, PlanError> {
+    raw.top.known_keys(&["seed"])?;
+    let seed = raw.top.u64("seed")?.unwrap_or(0);
+    let mut plan = FaultPlan::new(seed);
+    if let Some(b) = &raw.backoff {
+        b.known_keys(&["base_ns", "factor", "cap_ns", "max_retries"])?;
+        let d = Backoff::default_policy();
+        plan.backoff = Backoff {
+            base_ns: b.f64("base_ns")?.unwrap_or(d.base_ns),
+            factor: b.f64("factor")?.unwrap_or(d.factor),
+            cap_ns: b.f64("cap_ns")?.unwrap_or(d.cap_ns),
+            max_retries: b
+                .u64("max_retries")?
+                .map(|n| {
+                    u32::try_from(n)
+                        .map_err(|_| PlanError::at(b.line, "`max_retries` exceeds 32 bits"))
+                })
+                .transpose()?
+                .unwrap_or(d.max_retries),
+        };
+    }
+    for e in &raw.events {
+        let (kind, kind_line) = e
+            .str("kind")?
+            .ok_or_else(|| PlanError::at(e.line, "event is missing `kind`"))?;
+        let start_ns = e.u128("start_ns")?.unwrap_or(0);
+        let end_ns = e.u128("end_ns")?.unwrap_or(u128::MAX);
+        let event = match kind {
+            "latency_spike" => {
+                e.known_keys(&["kind", "tier", "start_ns", "end_ns", "factor"])?;
+                FaultEvent::LatencySpike {
+                    tier: e.tier()?,
+                    start_ns,
+                    end_ns,
+                    factor: e.require_f64("factor")?,
+                }
+            }
+            "bandwidth_throttle" => {
+                e.known_keys(&["kind", "tier", "start_ns", "end_ns", "factor"])?;
+                FaultEvent::BandwidthThrottle {
+                    tier: e.tier()?,
+                    start_ns,
+                    end_ns,
+                    factor: e.require_f64("factor")?,
+                }
+            }
+            "capacity_shrink" => {
+                e.known_keys(&["kind", "tier", "start_ns", "end_ns", "bytes"])?;
+                FaultEvent::CapacityShrink {
+                    tier: e.tier()?,
+                    start_ns,
+                    end_ns,
+                    bytes: e
+                        .u64("bytes")?
+                        .ok_or_else(|| PlanError::at(e.line, "missing required field `bytes`"))?,
+                }
+            }
+            "migration_failure" => {
+                e.known_keys(&["kind", "start_ns", "end_ns", "probability"])?;
+                FaultEvent::MigrationFailure {
+                    start_ns,
+                    end_ns,
+                    probability: e.require_f64("probability")?,
+                }
+            }
+            "shard_crash" => {
+                e.known_keys(&["kind", "shard", "at_ns", "restart_ns", "rebuild_ns_per_key"])?;
+                FaultEvent::ShardCrash {
+                    shard: e
+                        .u64("shard")?
+                        .ok_or_else(|| PlanError::at(e.line, "missing required field `shard`"))?
+                        as usize,
+                    at_ns: e
+                        .u128("at_ns")?
+                        .ok_or_else(|| PlanError::at(e.line, "missing required field `at_ns`"))?,
+                    restart_ns: e.f64("restart_ns")?.unwrap_or(0.0),
+                    rebuild_ns_per_key: e.f64("rebuild_ns_per_key")?.unwrap_or(0.0),
+                }
+            }
+            other => {
+                return Err(PlanError::at(
+                    kind_line,
+                    format!("unknown event kind `{other}`"),
+                ))
+            }
+        };
+        plan.events.push(event);
+    }
+    plan.validate().map_err(|reason| PlanError::at(0, reason))?;
+    Ok(plan)
+}
+
+// ---------------------------------------------------------------- TOML --
+
+/// Strip a trailing comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar(text: &str, line: usize) -> Result<Value, PlanError> {
+    let t = text.trim();
+    if t.is_empty() {
+        return Err(PlanError::at(line, "missing value"));
+    }
+    if let Some(stripped) = t.strip_prefix('"') {
+        let Some(inner) = stripped.strip_suffix('"') else {
+            return Err(PlanError::at(line, format!("unterminated string {t}")));
+        };
+        if inner.contains('"') {
+            return Err(PlanError::at(line, format!("malformed string {t}")));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    match t {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let digits = t.replace('_', "");
+    if let Ok(n) = digits.parse::<u128>() {
+        return Ok(Value::Int(n));
+    }
+    if let Ok(x) = digits.parse::<f64>() {
+        if x.is_finite() {
+            return Ok(Value::Float(x));
+        }
+    }
+    Err(PlanError::at(line, format!("cannot parse value `{t}`")))
+}
+
+enum TomlSection {
+    Top,
+    Backoff,
+    Event,
+}
+
+fn parse_toml(text: &str) -> Result<RawPlan, PlanError> {
+    let mut raw = RawPlan::default();
+    let mut section = TomlSection::Top;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            match header.trim() {
+                "event" | "events" => {
+                    raw.events.push(Record {
+                        line: lineno,
+                        fields: Vec::new(),
+                    });
+                    section = TomlSection::Event;
+                }
+                other => {
+                    return Err(PlanError::at(
+                        lineno,
+                        format!("unknown array table `[[{other}]]`"),
+                    ))
+                }
+            }
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            match header.trim() {
+                "backoff" => {
+                    if raw.backoff.is_some() {
+                        return Err(PlanError::at(lineno, "duplicate [backoff] section"));
+                    }
+                    raw.backoff = Some(Record {
+                        line: lineno,
+                        fields: Vec::new(),
+                    });
+                    section = TomlSection::Backoff;
+                }
+                other => {
+                    return Err(PlanError::at(
+                        lineno,
+                        format!("unknown section `[{other}]`"),
+                    ))
+                }
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(PlanError::at(
+                lineno,
+                format!("expected `key = value`, got `{line}`"),
+            ));
+        };
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(PlanError::at(lineno, format!("invalid key `{key}`")));
+        }
+        let value = parse_scalar(value, lineno)?;
+        let record = match section {
+            TomlSection::Top => &mut raw.top,
+            TomlSection::Backoff => raw.backoff.as_mut().expect("section set"),
+            TomlSection::Event => raw.events.last_mut().expect("section set"),
+        };
+        record.insert(key.to_string(), value, lineno)?;
+    }
+    Ok(raw)
+}
+
+// ---------------------------------------------------------------- JSON --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Value(Value),
+    Array(Vec<(Json, usize)>),
+    Object(Vec<(String, Json, usize)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> JsonParser<'a> {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn line(&self) -> usize {
+        1 + self.bytes[..self.pos.min(self.bytes.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+    }
+
+    fn err(&self, reason: impl Into<String>) -> PlanError {
+        PlanError::at(self.line(), reason.into())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), PlanError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, PlanError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Value(Value::Str(self.parse_string()?))),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Json, PlanError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(Json::Value(value))
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, PlanError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-scan as UTF-8 from the byte before.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, PlanError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(n) = text.parse::<u128>() {
+                return Ok(Json::Value(Value::Int(n)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Value(Value::Float(x))),
+            _ => Err(self.err(format!("cannot parse number `{text}`"))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, PlanError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            let line = self.line();
+            items.push((self.parse_value()?, line));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, PlanError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let line = self.line();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value, line));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn json_record(fields: Vec<(String, Json, usize)>, line: usize) -> Result<Record, PlanError> {
+    let mut record = Record {
+        line,
+        fields: Vec::new(),
+    };
+    for (key, value, l) in fields {
+        match value {
+            Json::Value(v) => record.insert(key, v, l)?,
+            _ => {
+                return Err(PlanError::at(
+                    l,
+                    format!("`{key}` must be a scalar in this position"),
+                ))
+            }
+        }
+    }
+    Ok(record)
+}
+
+fn parse_json(text: &str) -> Result<RawPlan, PlanError> {
+    let mut parser = JsonParser::new(text);
+    let doc = parser.parse_object()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing content after plan object"));
+    }
+    let Json::Object(fields) = doc else {
+        unreachable!("parse_object returns objects")
+    };
+    let mut raw = RawPlan::default();
+    for (key, value, line) in fields {
+        match (key.as_str(), value) {
+            ("seed", Json::Value(v)) => raw.top.insert(key, v, line)?,
+            ("backoff", Json::Object(f)) => raw.backoff = Some(json_record(f, line)?),
+            ("events" | "event", Json::Array(items)) => {
+                for (item, item_line) in items {
+                    match item {
+                        Json::Object(f) => raw.events.push(json_record(f, item_line)?),
+                        _ => return Err(PlanError::at(item_line, "events must be objects")),
+                    }
+                }
+            }
+            (k, _) => {
+                return Err(PlanError::at(
+                    line,
+                    format!("unknown or malformed top-level field `{k}`"),
+                ))
+            }
+        }
+    }
+    Ok(raw)
+}
+
+// -------------------------------------------------------------- facade --
+
+impl FaultPlan {
+    /// Parse a plan from the TOML subset (`seed`, `[backoff]`,
+    /// `[[event]]` tables of scalars).
+    pub fn parse_toml(text: &str) -> Result<FaultPlan, PlanError> {
+        build(parse_toml(text)?)
+    }
+
+    /// Parse a plan from the JSON subset (`{"seed", "backoff", "events"}`).
+    pub fn parse_json(text: &str) -> Result<FaultPlan, PlanError> {
+        build(parse_json(text)?)
+    }
+
+    /// Parse either format, sniffed from the first non-space character.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanError> {
+        if text.trim_start().starts_with('{') {
+            FaultPlan::parse_json(text)
+        } else {
+            FaultPlan::parse_toml(text)
+        }
+    }
+
+    /// Load a plan file (`.json` forces JSON; anything else is sniffed).
+    pub fn load(path: &std::path::Path) -> Result<FaultPlan, LoadError> {
+        let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+        let plan = if path.extension().is_some_and(|e| e == "json") {
+            FaultPlan::parse_json(&text)
+        } else {
+            FaultPlan::parse(&text)
+        };
+        plan.map_err(LoadError::Parse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOML_PLAN: &str = r#"
+# a representative plan
+seed = 42
+
+[backoff]
+base_ns = 500
+factor = 2.0
+cap_ns = 8_000
+max_retries = 3
+
+[[event]]
+kind = "latency_spike"
+tier = "slow"          # the NVM side
+start_ns = 0
+end_ns = 1000000
+factor = 3.0
+
+[[event]]
+kind = "bandwidth_throttle"
+tier = "slow"
+start_ns = 250000
+end_ns = 750000
+factor = 0.25
+
+[[event]]
+kind = "capacity_shrink"
+tier = "fast"
+start_ns = 100
+bytes = 1048576
+
+[[event]]
+kind = "migration_failure"
+start_ns = 0
+end_ns = 500000
+probability = 0.5
+
+[[event]]
+kind = "shard_crash"
+shard = 1
+at_ns = 300000
+restart_ns = 50000
+rebuild_ns_per_key = 120.5
+"#;
+
+    const JSON_PLAN: &str = r#"{
+  "seed": 42,
+  "backoff": {"base_ns": 500, "factor": 2.0, "cap_ns": 8000, "max_retries": 3},
+  "events": [
+    {"kind": "latency_spike", "tier": "slow", "start_ns": 0, "end_ns": 1000000, "factor": 3.0},
+    {"kind": "bandwidth_throttle", "tier": "slow", "start_ns": 250000, "end_ns": 750000, "factor": 0.25},
+    {"kind": "capacity_shrink", "tier": "fast", "start_ns": 100, "bytes": 1048576},
+    {"kind": "migration_failure", "start_ns": 0, "end_ns": 500000, "probability": 0.5},
+    {"kind": "shard_crash", "shard": 1, "at_ns": 300000, "restart_ns": 50000, "rebuild_ns_per_key": 120.5}
+  ]
+}"#;
+
+    #[test]
+    fn toml_and_json_parse_to_the_same_plan() {
+        let toml = FaultPlan::parse_toml(TOML_PLAN).unwrap();
+        let json = FaultPlan::parse_json(JSON_PLAN).unwrap();
+        assert_eq!(toml, json);
+        assert_eq!(toml.seed, 42);
+        assert_eq!(toml.backoff.max_retries, 3);
+        assert_eq!(toml.events.len(), 5);
+        assert!(matches!(
+            toml.events[2],
+            FaultEvent::CapacityShrink {
+                tier: MemTier::Fast,
+                start_ns: 100,
+                end_ns: u128::MAX,
+                bytes: 1_048_576,
+            }
+        ));
+    }
+
+    #[test]
+    fn sniffing_dispatches_by_first_character() {
+        assert_eq!(
+            FaultPlan::parse(TOML_PLAN).unwrap(),
+            FaultPlan::parse(JSON_PLAN).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_valid_and_empty() {
+        let plan = FaultPlan::parse_toml("seed = 9\n").unwrap();
+        assert_eq!(plan.seed, 9);
+        assert!(plan.is_empty());
+        assert_eq!(plan.backoff, Backoff::default_policy());
+        let plan = FaultPlan::parse_json("{}").unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = FaultPlan::parse_toml("seed = 1\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = FaultPlan::parse_toml("[[event]]\nkind = \"latency_spike\"\n").unwrap_err();
+        assert!(err.reason.contains("tier"), "{err}");
+        let err =
+            FaultPlan::parse_toml("[[event]]\nkind = \"warp_drive\"\ntier = \"fast\"").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("warp_drive"));
+        let err = FaultPlan::parse_json("{\n  \"seed\": 1,\n  \"events\": oops\n}").unwrap_err();
+        assert_eq!(err.line, 3, "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_and_duplicates_are_rejected() {
+        let err = FaultPlan::parse_toml("seed = 1\nseed = 2\n").unwrap_err();
+        assert!(err.reason.contains("duplicate"), "{err}");
+        let err = FaultPlan::parse_toml(
+            "[[event]]\nkind = \"migration_failure\"\nprobability = 0.5\ntypo_field = 1\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.reason.contains("typo_field"));
+    }
+
+    #[test]
+    fn semantic_validation_is_applied_after_parse() {
+        let err =
+            FaultPlan::parse_toml("[[event]]\nkind = \"migration_failure\"\nprobability = 1.5\n")
+                .unwrap_err();
+        assert!(err.reason.contains("probability"), "{err}");
+    }
+
+    #[test]
+    fn load_distinguishes_io_from_parse_errors() {
+        let missing = FaultPlan::load(std::path::Path::new("/definitely/not/here.toml"));
+        assert!(matches!(missing, Err(LoadError::Io(_))));
+        let dir = std::env::temp_dir().join("mnemo-faults-parse-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.toml");
+        std::fs::write(&path, TOML_PLAN).unwrap();
+        let plan = FaultPlan::load(&path).unwrap();
+        assert_eq!(plan.seed, 42);
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{ not json").unwrap();
+        assert!(matches!(FaultPlan::load(&bad), Err(LoadError::Parse(_))));
+    }
+}

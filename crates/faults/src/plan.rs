@@ -1,0 +1,493 @@
+//! The fault plan: seeded, sim-clock-scheduled fault events.
+
+use crate::backoff::Backoff;
+use hybridmem::degrade::{DegradationProfile, DegradationWindow};
+use hybridmem::MemTier;
+
+/// One scheduled fault. Time windows are half-open `[start_ns, end_ns)`
+/// in simulated nanoseconds; `end_ns = u128::MAX` means "until the end of
+/// the run".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// The tier's access latency is multiplied by `factor` (>= 1) while
+    /// the window is active.
+    LatencySpike {
+        /// Degraded tier.
+        tier: MemTier,
+        /// Window start (inclusive).
+        start_ns: u128,
+        /// Window end (exclusive).
+        end_ns: u128,
+        /// Latency multiplier.
+        factor: f64,
+    },
+    /// The tier's bandwidth is reduced to `factor` (in `(0, 1]`) of
+    /// nominal while the window is active.
+    BandwidthThrottle {
+        /// Degraded tier.
+        tier: MemTier,
+        /// Window start (inclusive).
+        start_ns: u128,
+        /// Window end (exclusive).
+        end_ns: u128,
+        /// Remaining bandwidth fraction.
+        factor: f64,
+    },
+    /// The tier loses `bytes` of usable capacity while the window is
+    /// active (wear-out or reservation loss). Existing reservations are
+    /// kept; new ones see the reduced ceiling.
+    CapacityShrink {
+        /// Degraded tier.
+        tier: MemTier,
+        /// Window start (inclusive).
+        start_ns: u128,
+        /// Window end (exclusive).
+        end_ns: u128,
+        /// Bytes removed from capacity.
+        bytes: u64,
+    },
+    /// Migrations attempted inside the window fail with the given
+    /// probability (seeded per `(plan seed, key, attempt)`, so the same
+    /// plan fails the same migrations on every run and worker count).
+    MigrationFailure {
+        /// Window start (inclusive).
+        start_ns: u128,
+        /// Window end (exclusive).
+        end_ns: u128,
+        /// Failure probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Shard `shard` crashes the first time its clock reaches `at_ns`:
+    /// the run charges a fixed restart plus a per-key rebuild cost, and
+    /// the shard restarts with a cold cache.
+    ShardCrash {
+        /// Crashing shard index.
+        shard: usize,
+        /// Simulated time of the crash.
+        at_ns: u128,
+        /// Fixed restart cost in simulated nanoseconds.
+        restart_ns: f64,
+        /// Rebuild cost per loaded key in simulated nanoseconds.
+        rebuild_ns_per_key: f64,
+    },
+}
+
+/// One crash scheduled for a specific shard (compiled view).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardCrash {
+    /// Simulated time of the crash.
+    pub at_ns: u128,
+    /// Fixed restart cost in simulated nanoseconds.
+    pub restart_ns: f64,
+    /// Rebuild cost per loaded key in simulated nanoseconds.
+    pub rebuild_ns_per_key: f64,
+}
+
+impl ShardCrash {
+    /// Total simulated cost of recovering a shard holding `keys` keys.
+    pub fn recovery_ns(&self, keys: usize) -> f64 {
+        self.restart_ns + self.rebuild_ns_per_key * keys as f64
+    }
+}
+
+/// The compiled migration-failure schedule: a pure, seeded function of
+/// `(now_ns, key, attempt)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigrationFaults {
+    seed: u64,
+    /// `(start_ns, end_ns, probability)` windows.
+    windows: Vec<(u128, u128, f64)>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl MigrationFaults {
+    /// Whether the schedule can ever fail a migration.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The combined failure probability at `now_ns` (overlapping windows
+    /// compose as independent failure sources).
+    pub fn probability_at(&self, now_ns: u128) -> f64 {
+        let mut survive = 1.0;
+        for &(start, end, p) in &self.windows {
+            if start <= now_ns && now_ns < end {
+                survive *= 1.0 - p;
+            }
+        }
+        1.0 - survive
+    }
+
+    /// Whether the migration of `key` on retry `attempt` at `now_ns` is
+    /// injected to fail. Deterministic: a seeded hash of
+    /// `(seed, key, attempt)` is compared against the window probability,
+    /// with no RNG state carried between calls — the verdict depends only
+    /// on the arguments, never on execution order or worker count.
+    pub fn fails(&self, now_ns: u128, key: u64, attempt: u32) -> bool {
+        let p = self.probability_at(now_ns);
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let h = splitmix64(self.seed ^ splitmix64(key) ^ splitmix64(0x5EED ^ attempt as u64));
+        // 53 high bits -> uniform in [0, 1).
+        let draw = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        draw < p
+    }
+}
+
+/// A complete, validated fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic decisions (migration failures).
+    pub seed: u64,
+    /// Retry policy for failed migrations.
+    pub backoff: Backoff,
+    /// Scheduled fault events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, default backoff).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            backoff: Backoff::default_policy(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Builder-style event append.
+    pub fn with(mut self, event: FaultEvent) -> FaultPlan {
+        self.events.push(event);
+        self
+    }
+
+    /// Whether the plan schedules any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validate every event's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        self.backoff.validate()?;
+        for (i, e) in self.events.iter().enumerate() {
+            let window = |start: u128, end: u128| -> Result<(), String> {
+                if start >= end {
+                    Err(format!("event {i}: empty window [{start}, {end})"))
+                } else {
+                    Ok(())
+                }
+            };
+            match *e {
+                FaultEvent::LatencySpike {
+                    start_ns,
+                    end_ns,
+                    factor,
+                    ..
+                } => {
+                    window(start_ns, end_ns)?;
+                    if !(factor.is_finite() && factor >= 1.0) {
+                        return Err(format!(
+                            "event {i}: latency factor must be >= 1, got {factor}"
+                        ));
+                    }
+                }
+                FaultEvent::BandwidthThrottle {
+                    start_ns,
+                    end_ns,
+                    factor,
+                    ..
+                } => {
+                    window(start_ns, end_ns)?;
+                    if !(factor > 0.0 && factor <= 1.0) {
+                        return Err(format!(
+                            "event {i}: bandwidth factor must be in (0, 1], got {factor}"
+                        ));
+                    }
+                }
+                FaultEvent::CapacityShrink {
+                    start_ns, end_ns, ..
+                } => window(start_ns, end_ns)?,
+                FaultEvent::MigrationFailure {
+                    start_ns,
+                    end_ns,
+                    probability,
+                } => {
+                    window(start_ns, end_ns)?;
+                    if !(0.0..=1.0).contains(&probability) {
+                        return Err(format!(
+                            "event {i}: migration failure probability must be in [0, 1], got {probability}"
+                        ));
+                    }
+                }
+                FaultEvent::ShardCrash {
+                    restart_ns,
+                    rebuild_ns_per_key,
+                    ..
+                } => {
+                    if !(restart_ns.is_finite() && restart_ns >= 0.0) {
+                        return Err(format!("event {i}: restart_ns must be >= 0"));
+                    }
+                    if !(rebuild_ns_per_key.is_finite() && rebuild_ns_per_key >= 0.0) {
+                        return Err(format!("event {i}: rebuild_ns_per_key must be >= 0"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile the device-side events into a [`DegradationProfile`] for
+    /// `hybridmem` to consult. Migration failures and shard crashes are
+    /// not device degradation and are exposed separately.
+    pub fn degradation_profile(&self) -> DegradationProfile {
+        let mut profile = DegradationProfile::new();
+        for e in &self.events {
+            match *e {
+                FaultEvent::LatencySpike {
+                    tier,
+                    start_ns,
+                    end_ns,
+                    factor,
+                } => profile.push(DegradationWindow {
+                    latency_mult: factor,
+                    ..DegradationWindow::nominal(tier, start_ns, end_ns)
+                }),
+                FaultEvent::BandwidthThrottle {
+                    tier,
+                    start_ns,
+                    end_ns,
+                    factor,
+                } => profile.push(DegradationWindow {
+                    bandwidth_mult: factor,
+                    ..DegradationWindow::nominal(tier, start_ns, end_ns)
+                }),
+                FaultEvent::CapacityShrink {
+                    tier,
+                    start_ns,
+                    end_ns,
+                    bytes,
+                } => profile.push(DegradationWindow {
+                    capacity_shrink: bytes,
+                    ..DegradationWindow::nominal(tier, start_ns, end_ns)
+                }),
+                FaultEvent::MigrationFailure { .. } | FaultEvent::ShardCrash { .. } => {}
+            }
+        }
+        profile
+    }
+
+    /// Compile the migration-failure schedule.
+    pub fn migration_faults(&self) -> MigrationFaults {
+        let windows = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::MigrationFailure {
+                    start_ns,
+                    end_ns,
+                    probability,
+                } => Some((start_ns, end_ns, probability)),
+                _ => None,
+            })
+            .collect();
+        MigrationFaults {
+            seed: self.seed,
+            windows,
+        }
+    }
+
+    /// The crashes scheduled for one shard, sorted by crash time.
+    pub fn shard_crashes(&self, shard: usize) -> Vec<ShardCrash> {
+        let mut crashes: Vec<ShardCrash> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::ShardCrash {
+                    shard: s,
+                    at_ns,
+                    restart_ns,
+                    rebuild_ns_per_key,
+                } if s == shard => Some(ShardCrash {
+                    at_ns,
+                    restart_ns,
+                    rebuild_ns_per_key,
+                }),
+                _ => None,
+            })
+            .collect();
+        crashes.sort_by_key(|c| c.at_ns);
+        crashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan::new(7)
+            .with(FaultEvent::LatencySpike {
+                tier: MemTier::Slow,
+                start_ns: 0,
+                end_ns: 1_000,
+                factor: 3.0,
+            })
+            .with(FaultEvent::BandwidthThrottle {
+                tier: MemTier::Slow,
+                start_ns: 500,
+                end_ns: 2_000,
+                factor: 0.25,
+            })
+            .with(FaultEvent::CapacityShrink {
+                tier: MemTier::Fast,
+                start_ns: 0,
+                end_ns: u128::MAX,
+                bytes: 4096,
+            })
+            .with(FaultEvent::MigrationFailure {
+                start_ns: 0,
+                end_ns: 10_000,
+                probability: 0.5,
+            })
+            .with(FaultEvent::ShardCrash {
+                shard: 1,
+                at_ns: 5_000,
+                restart_ns: 100.0,
+                rebuild_ns_per_key: 10.0,
+            })
+    }
+
+    #[test]
+    fn compiles_device_events_to_profile() {
+        let plan = sample_plan();
+        plan.validate().unwrap();
+        let profile = plan.degradation_profile();
+        assert_eq!(profile.windows().len(), 3);
+        let f = profile.factors_at(MemTier::Slow, 750);
+        assert_eq!(f.latency_mult, 3.0);
+        assert_eq!(f.bandwidth_mult, 0.25);
+        assert_eq!(profile.factors_at(MemTier::Fast, 750).capacity_shrink, 4096);
+    }
+
+    #[test]
+    fn migration_faults_are_deterministic_and_windowed() {
+        let faults = sample_plan().migration_faults();
+        assert!(!faults.is_empty());
+        assert_eq!(faults.probability_at(5_000), 0.5);
+        assert_eq!(faults.probability_at(10_000), 0.0);
+        // Same arguments, same verdict, forever.
+        for key in 0..200u64 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    faults.fails(5_000, key, attempt),
+                    faults.fails(5_000, key, attempt)
+                );
+            }
+            assert!(!faults.fails(10_000, key, 0), "outside the window");
+        }
+        // Roughly half the keys fail at p = 0.5.
+        let failures = (0..1000u64).filter(|&k| faults.fails(5_000, k, 0)).count();
+        assert!((350..=650).contains(&failures), "failures {failures}");
+        // Different seeds give different verdict patterns.
+        let mut other = sample_plan();
+        other.seed = 8;
+        let other = other.migration_faults();
+        assert!((0..1000u64).any(|k| faults.fails(5_000, k, 0) != other.fails(5_000, k, 0)));
+    }
+
+    #[test]
+    fn overlapping_failure_windows_compose() {
+        let plan = FaultPlan::new(1)
+            .with(FaultEvent::MigrationFailure {
+                start_ns: 0,
+                end_ns: 100,
+                probability: 0.5,
+            })
+            .with(FaultEvent::MigrationFailure {
+                start_ns: 50,
+                end_ns: 150,
+                probability: 0.5,
+            });
+        let faults = plan.migration_faults();
+        assert_eq!(faults.probability_at(75), 0.75);
+        assert_eq!(faults.probability_at(125), 0.5);
+    }
+
+    #[test]
+    fn certain_failure_and_certain_success() {
+        let always = FaultPlan::new(1)
+            .with(FaultEvent::MigrationFailure {
+                start_ns: 0,
+                end_ns: 100,
+                probability: 1.0,
+            })
+            .migration_faults();
+        assert!((0..50u64).all(|k| always.fails(10, k, 0)));
+        let never = FaultPlan::new(1)
+            .with(FaultEvent::MigrationFailure {
+                start_ns: 0,
+                end_ns: 100,
+                probability: 0.0,
+            })
+            .migration_faults();
+        assert!((0..50u64).all(|k| !never.fails(10, k, 0)));
+    }
+
+    #[test]
+    fn shard_crashes_filter_and_sort() {
+        let plan = sample_plan()
+            .with(FaultEvent::ShardCrash {
+                shard: 1,
+                at_ns: 1_000,
+                restart_ns: 50.0,
+                rebuild_ns_per_key: 5.0,
+            })
+            .with(FaultEvent::ShardCrash {
+                shard: 0,
+                at_ns: 2_000,
+                restart_ns: 50.0,
+                rebuild_ns_per_key: 5.0,
+            });
+        let c1 = plan.shard_crashes(1);
+        assert_eq!(c1.len(), 2);
+        assert!(c1[0].at_ns < c1[1].at_ns);
+        assert_eq!(plan.shard_crashes(0).len(), 1);
+        assert!(plan.shard_crashes(9).is_empty());
+        assert_eq!(c1[0].recovery_ns(10), 50.0 + 5.0 * 10.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        let bad = FaultPlan::new(0).with(FaultEvent::LatencySpike {
+            tier: MemTier::Fast,
+            start_ns: 10,
+            end_ns: 10,
+            factor: 2.0,
+        });
+        assert!(bad.validate().unwrap_err().contains("empty window"));
+        let bad = FaultPlan::new(0).with(FaultEvent::MigrationFailure {
+            start_ns: 0,
+            end_ns: 1,
+            probability: 1.5,
+        });
+        assert!(bad.validate().unwrap_err().contains("probability"));
+        let bad = FaultPlan::new(0).with(FaultEvent::BandwidthThrottle {
+            tier: MemTier::Slow,
+            start_ns: 0,
+            end_ns: 1,
+            factor: 0.0,
+        });
+        assert!(bad.validate().unwrap_err().contains("bandwidth"));
+    }
+}

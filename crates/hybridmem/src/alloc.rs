@@ -12,6 +12,7 @@
 //! addresses only need to be stable and disjoint (they seed the cache
 //! models), not contiguous.
 
+use crate::device::CapacityError;
 use crate::spec::MemTier;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -41,12 +42,15 @@ pub struct Placement {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocError {
     /// The target tier does not have room (capacity enforced by the owning
-    /// [`Device`](crate::device::Device)).
+    /// [`Device`](crate::device::Device)). Carries the device's own
+    /// [`CapacityError`] so callers see both the request and the free
+    /// bytes at the moment of failure — over-committed splits surface as
+    /// diagnosable errors, never panics.
     OutOfMemory {
         /// Tier that was full.
         tier: MemTier,
-        /// Bytes requested.
-        requested: u64,
+        /// The device-level capacity error that caused this.
+        source: CapacityError,
     },
     /// The object id is unknown (double free, migrate after free, ...).
     UnknownObject(ObjectId),
@@ -57,8 +61,8 @@ pub enum AllocError {
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AllocError::OutOfMemory { tier, requested } => {
-                write!(f, "{tier}: cannot place {requested} bytes")
+            AllocError::OutOfMemory { tier, source } => {
+                write!(f, "{tier}: {source}")
             }
             AllocError::UnknownObject(id) => write!(f, "unknown object {id}"),
             AllocError::ZeroSize => write!(f, "zero-sized allocation"),
@@ -66,7 +70,14 @@ impl std::fmt::Display for AllocError {
     }
 }
 
-impl std::error::Error for AllocError {}
+impl std::error::Error for AllocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AllocError::OutOfMemory { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Size-class segregated free list of simulated address ranges for one
 /// tier. Blocks are recycled exactly (per rounded size class), so reuse

@@ -1,7 +1,9 @@
 //! Per-tier memory device: capacity accounting plus access timing.
 
+use crate::degrade::{DegradationProfile, TierFactors};
 use crate::spec::{AccessKind, MemTier, TierSpec};
 use crate::stats::AccessStats;
+use std::sync::Arc;
 
 /// One memory device (a NUMA node in the paper's testbed).
 #[derive(Debug, Clone)]
@@ -11,6 +13,11 @@ pub struct Device {
     capacity: u64,
     used: u64,
     stats: AccessStats,
+    /// Device-local view of simulated time, set by the driving server.
+    now_ns: u128,
+    /// Optional time-varying degradation, consulted on every access
+    /// charge and reservation at `now_ns`.
+    degradation: Option<Arc<DegradationProfile>>,
 }
 
 /// Capacity errors raised by a device.
@@ -46,6 +53,37 @@ impl Device {
             capacity,
             used: 0,
             stats: AccessStats::default(),
+            now_ns: 0,
+            degradation: None,
+        }
+    }
+
+    /// Install (or clear) a degradation profile. Shared via `Arc` so both
+    /// devices of a system consult the same compiled plan.
+    pub fn set_degradation(&mut self, profile: Option<Arc<DegradationProfile>>) {
+        self.degradation = profile;
+    }
+
+    /// Advance the device's view of simulated time (monotonicity is the
+    /// caller's concern; the profile lookup is a pure function of time).
+    pub fn set_now_ns(&mut self, now_ns: u128) {
+        self.now_ns = now_ns;
+    }
+
+    /// The device's current view of simulated time.
+    pub fn now_ns(&self) -> u128 {
+        self.now_ns
+    }
+
+    /// The degradation factors in effect right now; `None` when nominal,
+    /// so the hot path stays a branch on an almost-always-`None` option.
+    fn active_factors(&self) -> Option<TierFactors> {
+        let profile = self.degradation.as_deref()?;
+        let f = profile.factors_at(self.tier, self.now_ns);
+        if f.is_nominal() {
+            None
+        } else {
+            Some(f)
         }
     }
 
@@ -63,9 +101,20 @@ impl Device {
         &self.spec
     }
 
-    /// Total capacity in bytes.
+    /// Total nominal capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.capacity
+    }
+
+    /// Capacity usable right now: nominal capacity minus any active
+    /// degradation shrink. Existing reservations are never revoked — a
+    /// shrink below `used` only blocks *new* reservations.
+    pub fn effective_capacity(&self) -> u64 {
+        let shrink = self
+            .active_factors()
+            .map(|f| f.capacity_shrink)
+            .unwrap_or(0);
+        self.capacity.saturating_sub(shrink)
     }
 
     /// Bytes currently reserved.
@@ -73,9 +122,9 @@ impl Device {
         self.used
     }
 
-    /// Bytes still free.
+    /// Bytes still free under the current effective capacity.
     pub fn free(&self) -> u64 {
-        self.capacity - self.used
+        self.effective_capacity().saturating_sub(self.used)
     }
 
     /// Reserve `bytes`; fails when the device is full.
@@ -97,8 +146,19 @@ impl Device {
     }
 
     /// Nanoseconds to serve `bytes` from this device, recorded in stats.
+    /// With an active degradation window the latency component is
+    /// multiplied and the transfer component divided by the window's
+    /// bandwidth factor; nominal accesses take the original single-call
+    /// path so undegraded runs stay bit-identical to before.
     pub fn access_ns(&mut self, kind: AccessKind, bytes: u64) -> f64 {
-        let ns = self.spec.access_ns(kind, bytes);
+        let ns = match self.active_factors() {
+            Some(f) => {
+                let latency = self.spec.access_ns(kind, 0);
+                let transfer = self.spec.access_ns(kind, bytes) - latency;
+                latency * f.latency_mult + transfer / f.bandwidth_mult
+            }
+            None => self.spec.access_ns(kind, bytes),
+        };
         self.stats.record(kind, bytes, ns);
         ns
     }
@@ -145,6 +205,52 @@ mod tests {
             }
         );
         assert_eq!(d.used(), 1000, "failed reserve must not change usage");
+    }
+
+    #[test]
+    fn degradation_scales_latency_and_bandwidth() {
+        use crate::degrade::{DegradationProfile, DegradationWindow};
+        let mut d = dev();
+        let nominal = d.access_ns(AccessKind::Read, 14_900);
+        let profile = DegradationProfile::new().with(DegradationWindow {
+            latency_mult: 2.0,
+            bandwidth_mult: 0.5,
+            ..DegradationWindow::nominal(MemTier::Fast, 1000, 2000)
+        });
+        d.set_degradation(Some(Arc::new(profile)));
+        // Outside the window: unchanged (bit-identical path).
+        assert_eq!(d.access_ns(AccessKind::Read, 14_900), nominal);
+        d.set_now_ns(1500);
+        let degraded = d.access_ns(AccessKind::Read, 14_900);
+        // 65.7 * 2 + 1000 / 0.5 = 2131.4 vs nominal 1065.7.
+        assert!(
+            (degraded - (65.7 * 2.0 + 2000.0)).abs() < 1e-6,
+            "{degraded}"
+        );
+        d.set_now_ns(2000);
+        assert_eq!(d.access_ns(AccessKind::Read, 14_900), nominal);
+    }
+
+    #[test]
+    fn capacity_shrink_blocks_new_reservations_only() {
+        use crate::degrade::{DegradationProfile, DegradationWindow};
+        let mut d = dev();
+        d.reserve(1000).unwrap();
+        let profile = DegradationProfile::new().with(DegradationWindow {
+            capacity_shrink: 512,
+            ..DegradationWindow::nominal(MemTier::Fast, 0, u128::MAX)
+        });
+        d.set_degradation(Some(Arc::new(profile)));
+        // 1024 - 512 shrink leaves effective capacity below used: nothing
+        // is revoked, but no new bytes fit.
+        assert_eq!(d.effective_capacity(), 512);
+        assert_eq!(d.used(), 1000);
+        assert_eq!(d.free(), 0);
+        assert!(d.reserve(1).is_err());
+        d.release(600);
+        // 512 effective - 400 used = 112 free again.
+        assert_eq!(d.free(), 112);
+        d.reserve(100).unwrap();
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   nanoseconds for reads and writes.
 //! * [`clock`] — simulated nanosecond clock and a seeded Gaussian noise
 //!   model standing in for real-hardware measurement variability.
+//! * [`degrade`] — time-varying per-tier degradation profiles (latency
+//!   spikes, bandwidth throttles, capacity shrink), the device-side
+//!   mechanism behind the `mnemo-faults` injection crate.
 //! * [`stats`] — access counters and service-time histograms.
 //!
 //! The simulator charges time per *object access*, front-ended by the LLC
@@ -47,6 +50,7 @@
 pub mod alloc;
 pub mod cache;
 pub mod clock;
+pub mod degrade;
 pub mod device;
 pub mod spec;
 pub mod stats;
@@ -55,7 +59,8 @@ pub mod system;
 pub use alloc::{AllocError, ObjectId};
 pub use cache::{Cache, CacheConfig, CacheKind};
 pub use clock::{NoiseModel, SimClock};
-pub use device::Device;
+pub use degrade::{DegradationProfile, DegradationWindow, TierFactors};
+pub use device::{CapacityError, Device};
 pub use spec::{AccessKind, HybridSpec, MemTier, TierSpec};
 pub use stats::{AccessStats, Histogram};
 pub use system::HybridMemory;

@@ -2,9 +2,11 @@
 
 use crate::alloc::{AllocError, ObjectId, ObjectTable, Placement};
 use crate::cache::{Cache, CacheConfig};
+use crate::degrade::DegradationProfile;
 use crate::device::Device;
 use crate::spec::{AccessKind, HybridSpec, MemTier};
 use crate::stats::AccessStats;
+use std::sync::Arc;
 
 /// Cache-level counters for a whole system.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +57,7 @@ pub struct HybridMemory {
     objects: ObjectTable,
     cache: Box<dyn Cache>,
     cache_stats: CacheStats,
+    degradation: Option<Arc<DegradationProfile>>,
 }
 
 impl HybridMemory {
@@ -67,6 +70,7 @@ impl HybridMemory {
             objects: ObjectTable::new(),
             cache,
             cache_stats: CacheStats::default(),
+            degradation: None,
             spec,
         }
     }
@@ -76,6 +80,36 @@ impl HybridMemory {
         self.spec.cache = config;
         self.cache = config.build();
         self.cache_stats = CacheStats::default();
+    }
+
+    /// Install (or clear) a time-varying degradation profile on both
+    /// devices. Accesses and reservations consult it at the time last set
+    /// via [`Self::set_now_ns`].
+    pub fn set_degradation(&mut self, profile: Option<DegradationProfile>) {
+        let shared = profile.map(Arc::new);
+        self.fast.set_degradation(shared.clone());
+        self.slow.set_degradation(shared.clone());
+        self.degradation = shared;
+    }
+
+    /// The installed degradation profile, if any.
+    pub fn degradation(&self) -> Option<&DegradationProfile> {
+        self.degradation.as_deref()
+    }
+
+    /// Set the simulated time at which both devices evaluate their
+    /// degradation profile. Drivers call this once per request with their
+    /// `SimClock` reading; without a profile installed it is free of
+    /// observable effect.
+    pub fn set_now_ns(&mut self, now_ns: u128) {
+        self.fast.set_now_ns(now_ns);
+        self.slow.set_now_ns(now_ns);
+    }
+
+    /// Drop all cached state without touching device statistics — a cold
+    /// restart after a crash, mid-measurement.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
     }
 
     /// The system specification.
@@ -94,10 +128,7 @@ impl HybridMemory {
     pub fn alloc(&mut self, bytes: u64, tier: MemTier) -> Result<ObjectId, AllocError> {
         self.device(tier)
             .reserve(bytes)
-            .map_err(|_| AllocError::OutOfMemory {
-                tier,
-                requested: bytes,
-            })?;
+            .map_err(|source| AllocError::OutOfMemory { tier, source })?;
         match self.objects.insert(bytes, tier) {
             Ok(id) => Ok(id),
             Err(e) => {
@@ -125,9 +156,9 @@ impl HybridMemory {
         }
         self.device(target)
             .reserve(current.bytes)
-            .map_err(|_| AllocError::OutOfMemory {
+            .map_err(|source| AllocError::OutOfMemory {
                 tier: target,
-                requested: current.bytes,
+                source,
             })?;
         let (old, _new) = self
             .objects
@@ -149,9 +180,9 @@ impl HybridMemory {
             let grow = bytes - current.bytes;
             self.device(current.tier)
                 .reserve(grow)
-                .map_err(|_| AllocError::OutOfMemory {
+                .map_err(|source| AllocError::OutOfMemory {
                     tier: current.tier,
-                    requested: grow,
+                    source,
                 })?;
         } else {
             self.device(current.tier).release(current.bytes - bytes);
@@ -311,6 +342,75 @@ mod tests {
         ));
         // Slow tier unaffected.
         mem.alloc(1, MemTier::Slow).unwrap();
+    }
+
+    #[test]
+    fn over_commit_surfaces_capacity_details() {
+        use crate::device::CapacityError;
+        let mut mem = HybridMemory::new(small_spec());
+        mem.alloc((1 << 20) - 100, MemTier::Fast).unwrap();
+        let err = mem.alloc(500, MemTier::Fast).unwrap_err();
+        assert_eq!(
+            err,
+            AllocError::OutOfMemory {
+                tier: MemTier::Fast,
+                source: CapacityError::OutOfMemory {
+                    requested: 500,
+                    free: 100,
+                },
+            }
+        );
+        // The device-level cause is reachable through Error::source.
+        let dyn_err: &dyn std::error::Error = &err;
+        assert!(dyn_err.source().is_some());
+    }
+
+    #[test]
+    fn degradation_profile_slows_accesses_in_window() {
+        use crate::degrade::{DegradationProfile, DegradationWindow};
+        let mut spec = small_spec();
+        spec.cache = CacheConfig::disabled();
+        let mut mem = HybridMemory::new(spec);
+        let id = mem.alloc(100_000, MemTier::Slow).unwrap();
+        let nominal = mem.access(id, AccessKind::Read);
+        mem.set_degradation(Some(DegradationProfile::new().with(DegradationWindow {
+            latency_mult: 4.0,
+            bandwidth_mult: 0.25,
+            ..DegradationWindow::nominal(MemTier::Slow, 1_000, 2_000)
+        })));
+        assert!(mem.degradation().is_some());
+        mem.set_now_ns(500);
+        assert_eq!(mem.access(id, AccessKind::Read), nominal);
+        mem.set_now_ns(1_500);
+        let degraded = mem.access(id, AccessKind::Read);
+        assert!(degraded > 3.0 * nominal, "degraded {degraded} vs {nominal}");
+        mem.set_now_ns(2_000);
+        assert_eq!(mem.access(id, AccessKind::Read), nominal);
+        mem.set_degradation(None);
+        mem.set_now_ns(1_500);
+        assert_eq!(mem.access(id, AccessKind::Read), nominal);
+    }
+
+    #[test]
+    fn capacity_shrink_fails_allocations_during_window() {
+        use crate::degrade::{DegradationProfile, DegradationWindow};
+        let mut mem = HybridMemory::new(small_spec());
+        mem.set_degradation(Some(DegradationProfile::new().with(DegradationWindow {
+            capacity_shrink: 1 << 20,
+            ..DegradationWindow::nominal(MemTier::Fast, 100, 200)
+        })));
+        mem.set_now_ns(150);
+        let err = mem.alloc(1, MemTier::Fast).unwrap_err();
+        assert!(matches!(
+            err,
+            AllocError::OutOfMemory {
+                tier: MemTier::Fast,
+                ..
+            }
+        ));
+        // The window passes and the same allocation succeeds.
+        mem.set_now_ns(200);
+        mem.alloc(1, MemTier::Fast).unwrap();
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::engine::{EngineError, KvEngine};
 use crate::profile::StoreKind;
 use crate::server::{make_engine, RequestSample, RunReport};
 use hybridmem::{Histogram, HybridSpec, MemTier, SimClock};
+use mnemo_faults::{Backoff, FaultPlan, MigrationFaults};
 use ycsb::{Op, Trace};
 
 /// Configuration of the dynamic tierer.
@@ -69,6 +70,15 @@ pub struct MigrationStats {
     pub demotions: u64,
     /// Total simulated nanoseconds spent copying data between tiers.
     pub migration_ns: f64,
+    /// Migration attempts re-issued after an injected failure.
+    pub retries: u64,
+    /// Injected migration failures (each failed attempt counts once).
+    pub failures: u64,
+    /// Migrations abandoned after exhausting the retry budget — the key
+    /// gracefully stays in its current (SlowMem) placement.
+    pub fallbacks: u64,
+    /// Total simulated nanoseconds spent in backoff delays.
+    pub retry_ns: f64,
 }
 
 /// A server whose placement is continuously re-tiered at runtime.
@@ -79,6 +89,13 @@ pub struct DynamicTieringServer {
     /// Decayed per-key access score.
     scores: Vec<f64>,
     stats: MigrationStats,
+    /// Seeded migration-failure schedule (empty = no injection).
+    faults: MigrationFaults,
+    /// Retry policy applied when a migration fails.
+    backoff: Backoff,
+    /// Whether a degradation profile is installed (drives per-request
+    /// sim-time pushes into the devices).
+    degraded: bool,
 }
 
 impl DynamicTieringServer {
@@ -112,6 +129,9 @@ impl DynamicTieringServer {
             store: kind,
             scores: vec![0.0; trace.sizes.len()],
             stats: MigrationStats::default(),
+            faults: MigrationFaults::default(),
+            backoff: Backoff::default(),
+            degraded: false,
         })
     }
 
@@ -120,9 +140,27 @@ impl DynamicTieringServer {
         self.stats
     }
 
+    /// Install a fault plan: device degradation windows plus the seeded
+    /// migration-failure schedule and its retry policy.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        let profile = plan.degradation_profile();
+        self.degraded = !profile.is_empty();
+        self.engine
+            .memory_mut()
+            .set_degradation(if profile.is_empty() {
+                None
+            } else {
+                Some(profile)
+            });
+        self.faults = plan.migration_faults();
+        self.backoff = plan.backoff;
+    }
+
     /// Re-tier: fill the budget with the top-density keys (residents
-    /// enjoy the hysteresis bonus); return the simulated migration cost.
-    fn retier(&mut self) -> f64 {
+    /// enjoy the hysteresis bonus); return the simulated migration cost,
+    /// including any backoff delays spent retrying injected failures.
+    /// `now_ns` anchors the failure schedule to simulated time.
+    fn retier(&mut self, now_ns: u128) -> f64 {
         // Density order over scored keys, hysteresis-boosted residents.
         let density = |engine: &dyn KvEngine, scores: &[f64], hysteresis: f64, key: u64| -> f64 {
             let base = scores[key as usize] / engine.value_bytes(key).unwrap_or(1).max(1) as f64;
@@ -169,38 +207,79 @@ impl DynamicTieringServer {
         // Apply: demote first (to free capacity), then promote. The
         // engine's migrate is unmetered, so charge the copy cost by the
         // memory system's own arithmetic: read source + write target.
+        // Injected failures drive a capped-exponential retry loop; a key
+        // that exhausts the budget gracefully keeps its current placement
+        // (for promotions, that is the SlowMem fallback) and only the
+        // backoff delays are charged.
         let mut cost = 0.0;
         let spec = self.engine.memory().spec().clone();
         let apply = |engine: &mut dyn KvEngine,
                      stats: &mut MigrationStats,
+                     faults: &MigrationFaults,
+                     backoff: &Backoff,
                      key: u64,
                      target: MemTier|
          -> f64 {
             let bytes = engine.value_bytes(key).unwrap_or(0);
-            if engine.migrate(key, target).is_err() {
-                return 0.0;
+            let mut delay = 0.0f64;
+            let mut attempt = 0u32;
+            loop {
+                // Delays push the attempt forward in simulated time, so a
+                // failure window can expire mid-backoff.
+                let at = now_ns + delay as u128;
+                if !faults.is_empty() && faults.fails(at, key, attempt) {
+                    stats.failures += 1;
+                    if attempt >= backoff.max_retries {
+                        stats.fallbacks += 1;
+                        stats.retry_ns += delay;
+                        return delay;
+                    }
+                    delay += backoff.delay_ns(attempt);
+                    stats.retries += 1;
+                    attempt += 1;
+                    continue;
+                }
+                stats.retry_ns += delay;
+                if engine.migrate(key, target).is_err() {
+                    return delay;
+                }
+                match target {
+                    MemTier::Fast => stats.promotions += 1,
+                    MemTier::Slow => stats.demotions += 1,
+                }
+                let (src, dst) = match target {
+                    MemTier::Fast => (&spec.slow, &spec.fast),
+                    MemTier::Slow => (&spec.fast, &spec.slow),
+                };
+                return delay
+                    + src.access_ns(hybridmem::AccessKind::Read, bytes)
+                    + dst.access_ns(hybridmem::AccessKind::Write, bytes);
             }
-            match target {
-                MemTier::Fast => stats.promotions += 1,
-                MemTier::Slow => stats.demotions += 1,
-            }
-            let (src, dst) = match target {
-                MemTier::Fast => (&spec.slow, &spec.fast),
-                MemTier::Slow => (&spec.fast, &spec.slow),
-            };
-            src.access_ns(hybridmem::AccessKind::Read, bytes)
-                + dst.access_ns(hybridmem::AccessKind::Write, bytes)
         };
         for key in 0..self.scores.len() as u64 {
             let current = self.engine.placement_of(key);
             if current == Some(MemTier::Fast) && !want_fast[key as usize] {
-                cost += apply(self.engine.as_mut(), &mut self.stats, key, MemTier::Slow);
+                cost += apply(
+                    self.engine.as_mut(),
+                    &mut self.stats,
+                    &self.faults,
+                    &self.backoff,
+                    key,
+                    MemTier::Slow,
+                );
             }
         }
         for key in 0..self.scores.len() as u64 {
             let current = self.engine.placement_of(key);
             if current == Some(MemTier::Slow) && want_fast[key as usize] {
-                cost += apply(self.engine.as_mut(), &mut self.stats, key, MemTier::Fast);
+                cost += apply(
+                    self.engine.as_mut(),
+                    &mut self.stats,
+                    &self.faults,
+                    &self.backoff,
+                    key,
+                    MemTier::Fast,
+                );
             }
         }
         // Decay the history.
@@ -257,7 +336,7 @@ impl DynamicTieringServer {
         for (i, r) in trace.requests.iter().enumerate() {
             if i > 0 && i % self.config.epoch_requests == 0 {
                 let before = self.stats;
-                let cost = self.retier();
+                let cost = self.retier(clock.now_ns());
                 clock.advance(cost);
                 if let Some(log) = telemetry.as_deref_mut() {
                     let tel = log.recorder();
@@ -271,7 +350,25 @@ impl DynamicTieringServer {
                         self.stats.demotions - before.demotions,
                     );
                     tel.gauge("kv.migration.cost_ns", cost);
+                    tel.count("kv.migration.retries", self.stats.retries - before.retries);
+                    tel.count(
+                        "kv.fault.migration_failures",
+                        self.stats.failures - before.failures,
+                    );
+                    tel.count(
+                        "kv.migration.fallbacks",
+                        self.stats.fallbacks - before.fallbacks,
+                    );
+                    if self.stats.retry_ns > before.retry_ns {
+                        tel.gauge(
+                            "kv.migration.retry_ns",
+                            self.stats.retry_ns - before.retry_ns,
+                        );
+                    }
                 }
+            }
+            if self.degraded {
+                self.engine.memory_mut().set_now_ns(clock.now_ns());
             }
             self.scores[r.key as usize] += 1.0;
             let tier = telemetry
@@ -507,6 +604,78 @@ mod tests {
             .sum();
         assert!((cost - stats.migration_ns).abs() < 1e-6 * stats.migration_ns.max(1.0));
         assert!(sum("kv.migration.retierings") > 0);
+    }
+
+    #[test]
+    fn injected_migration_failures_fall_back_gracefully() {
+        use mnemo_faults::FaultEvent;
+        let t = WorkloadSpec::timeline().scaled(200, 6_000).generate(2);
+        let cfg = DynamicConfig {
+            epoch_requests: 200,
+            ..DynamicConfig::new(budget_for(&t))
+        };
+        let mut server = DynamicTieringServer::build(StoreKind::Redis, &t, cfg).unwrap();
+        server.install_fault_plan(&FaultPlan::new(9).with(FaultEvent::MigrationFailure {
+            start_ns: 0,
+            end_ns: u128::MAX,
+            probability: 1.0,
+        }));
+        let report = server.run(&t);
+        let stats = server.migration_stats();
+        assert_eq!(stats.promotions, 0, "every migration is injected to fail");
+        assert_eq!(stats.demotions, 0);
+        assert!(stats.fallbacks > 0, "abandoned migrations must be counted");
+        let cap = u64::from(Backoff::default().max_retries);
+        assert_eq!(
+            stats.retries,
+            stats.fallbacks * cap,
+            "retry count is bounded by the backoff cap"
+        );
+        assert_eq!(stats.failures, stats.fallbacks * (cap + 1));
+        assert!(stats.retry_ns > 0.0, "backoff delays are charged");
+        assert_eq!(server.fast_bytes(), 0, "keys gracefully stay in SlowMem");
+        let service: f64 = report.samples.iter().map(|s| s.service_ns).sum();
+        assert!(
+            report.runtime_ns > service + stats.retry_ns * 0.99,
+            "retry delays inflate the measured runtime"
+        );
+    }
+
+    #[test]
+    fn faulted_dynamic_runs_are_deterministic_and_counted() {
+        use mnemo_faults::FaultEvent;
+        let t = WorkloadSpec::timeline().scaled(200, 6_000).generate(2);
+        let plan = FaultPlan::new(7).with(FaultEvent::MigrationFailure {
+            start_ns: 0,
+            end_ns: u128::MAX,
+            probability: 0.5,
+        });
+        let run = || {
+            let cfg = DynamicConfig {
+                epoch_requests: 200,
+                ..DynamicConfig::new(budget_for(&t))
+            };
+            let mut server = DynamicTieringServer::build(StoreKind::Redis, &t, cfg).unwrap();
+            server.install_fault_plan(&plan);
+            let out = server.run_telemetered(&t, 0);
+            (out, server.migration_stats())
+        };
+        let ((r1, snaps), s1) = run();
+        let ((r2, _), s2) = run();
+        assert_eq!(r1.runtime_ns.to_bits(), r2.runtime_ns.to_bits());
+        assert_eq!(s1, s2, "seeded injection must be reproducible");
+        assert!(s1.retries > 0, "p=0.5 must fail some attempts");
+        assert!(s1.promotions > 0, "p=0.5 must let some retries through");
+        let sum = |name: &str| snaps.iter().map(|s| s.counter(name)).sum::<u64>();
+        assert_eq!(sum("kv.migration.retries"), s1.retries);
+        assert_eq!(sum("kv.fault.migration_failures"), s1.failures);
+        assert_eq!(sum("kv.migration.fallbacks"), s1.fallbacks);
+        let retry_ns: f64 = snaps
+            .iter()
+            .filter_map(|s| s.gauge("kv.migration.retry_ns"))
+            .map(|g| g.sum)
+            .sum();
+        assert!((retry_ns - s1.retry_ns).abs() < 1e-6 * s1.retry_ns.max(1.0));
     }
 
     #[test]

@@ -108,6 +108,10 @@ impl KvEngine for DynamoLike {
     fn memory(&self) -> &HybridMemory {
         self.core.memory()
     }
+
+    fn memory_mut(&mut self) -> &mut HybridMemory {
+        self.core.memory_mut()
+    }
 }
 
 #[cfg(test)]

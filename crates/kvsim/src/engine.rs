@@ -79,6 +79,11 @@ pub trait KvEngine: Send {
 
     /// Access the underlying memory system (stats, cache counters).
     fn memory(&self) -> &HybridMemory;
+
+    /// Mutable access to the memory system — drivers use it to advance
+    /// the devices' view of simulated time and install degradation
+    /// profiles (fault injection).
+    fn memory_mut(&mut self) -> &mut HybridMemory;
 }
 
 /// Shared implementation: key table, memory system, value traffic.

@@ -154,6 +154,10 @@ impl KvEngine for MemcachedLike {
     fn memory(&self) -> &HybridMemory {
         self.core.memory()
     }
+
+    fn memory_mut(&mut self) -> &mut HybridMemory {
+        self.core.memory_mut()
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,10 @@ impl KvEngine for RedisLike {
     fn memory(&self) -> &HybridMemory {
         self.core.memory()
     }
+
+    fn memory_mut(&mut self) -> &mut HybridMemory {
+        self.core.memory_mut()
+    }
 }
 
 #[cfg(test)]

@@ -183,6 +183,10 @@ impl KvEngine for RocksLike {
     fn memory(&self) -> &HybridMemory {
         self.core.memory()
     }
+
+    fn memory_mut(&mut self) -> &mut HybridMemory {
+        self.core.memory_mut()
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,8 @@ use crate::profile::StoreKind;
 use crate::redis_like::RedisLike;
 use crate::rocks_like::RocksLike;
 use hybridmem::clock::NoiseConfig;
-use hybridmem::{Histogram, HybridSpec, MemTier, NoiseModel, SimClock};
+use hybridmem::{DegradationProfile, Histogram, HybridSpec, MemTier, NoiseModel, SimClock};
+use mnemo_faults::{FaultPlan, ShardCrash};
 use mnemo_telemetry::{EpochLog, Snapshot};
 use std::collections::HashSet;
 use ycsb::{AccessEvent, Op, Trace};
@@ -140,6 +141,11 @@ pub struct Server {
     engine: Box<dyn KvEngine>,
     noise: NoiseModel,
     store: StoreKind,
+    /// Whether a degradation profile is installed (guards the per-request
+    /// sim-time push so unfaulted runs stay on the original fast path).
+    degraded: bool,
+    /// Crash schedule for this server, sorted by crash time.
+    crashes: Vec<ShardCrash>,
 }
 
 /// Instantiate an engine of `kind` over `spec`.
@@ -185,7 +191,42 @@ impl Server {
             engine,
             noise: NoiseModel::new(noise),
             store: kind,
+            degraded: false,
+            crashes: Vec::new(),
         })
+    }
+
+    /// Install (or clear) a time-varying device degradation profile.
+    /// While installed, every request pushes the sim clock into the
+    /// memory system before being served, so accesses and reservations
+    /// see the profile's windows at the right virtual time.
+    pub fn set_degradation(&mut self, profile: Option<DegradationProfile>) {
+        self.degraded = profile.is_some();
+        self.engine.memory_mut().set_degradation(profile);
+        if !self.degraded {
+            self.engine.memory_mut().set_now_ns(0);
+        }
+    }
+
+    /// Install a crash schedule (sorted by time; [`FaultPlan::shard_crashes`]
+    /// returns it sorted). When the run's sim clock reaches a scheduled
+    /// crash the server charges the restart plus per-key rebuild cost and
+    /// restarts with a cold cache. Each crash fires at most once per run.
+    pub fn set_crash_schedule(&mut self, crashes: Vec<ShardCrash>) {
+        self.crashes = crashes;
+    }
+
+    /// Install the device-side parts of a fault plan on a standalone
+    /// server (degradation windows plus shard-0 crashes). Sharded
+    /// clusters install per-shard schedules instead.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        let profile = plan.degradation_profile();
+        self.set_degradation(if profile.is_empty() {
+            None
+        } else {
+            Some(profile)
+        });
+        self.set_crash_schedule(plan.shard_crashes(0));
     }
 
     /// Re-place the dataset (static placement between runs; unmeasured).
@@ -298,7 +339,35 @@ impl Server {
             write_hist: Histogram::new(),
             samples: Vec::with_capacity(trace.len()),
         };
+        let mut next_crash = 0usize;
         for r in &trace.requests {
+            // Fire any crash whose time has come: charge the recovery
+            // cost and restart with a cold cache. Crash costs are part of
+            // the measured runtime whether or not telemetry observes them.
+            while next_crash < self.crashes.len()
+                && clock.now_ns() >= self.crashes[next_crash].at_ns
+            {
+                let crash = self.crashes[next_crash];
+                next_crash += 1;
+                let recovery = crash.recovery_ns(self.engine.key_count());
+                clock.advance(recovery);
+                self.engine.memory_mut().clear_cache();
+                if let Some(log) = telemetry.as_deref_mut() {
+                    let tel = log.recorder();
+                    tel.count("kv.fault.shard_crashes", 1);
+                    tel.gauge("kv.fault.recovery_ns", recovery);
+                }
+            }
+            if self.degraded {
+                self.engine.memory_mut().set_now_ns(clock.now_ns());
+            }
+            let degraded_now = self.degraded
+                && telemetry.is_some()
+                && self
+                    .engine
+                    .memory()
+                    .degradation()
+                    .is_some_and(|p| p.is_active_at(clock.now_ns()));
             // Pre-op state for telemetry deltas; skipped entirely when no
             // telemetry is attached so `run` stays as cheap as before.
             let pre = telemetry.as_ref().map(|_| {
@@ -332,6 +401,9 @@ impl Server {
                     1,
                 );
                 tel.observe("kv.request.service_ns", ns);
+                if degraded_now {
+                    tel.count("kv.fault.degraded_requests", 1);
+                }
                 if let (Some(tier), Some(pre_dev)) = (tier, pre_dev) {
                     let (hit_name, dev_prefix) = match tier {
                         MemTier::Fast => ("kv.tier.fast_hits", "kv.fast"),
@@ -559,6 +631,90 @@ mod tests {
             .sum();
         assert_eq!(hist_count, t.len() as u64);
         assert!(sum("kv.llc.hits") + sum("kv.llc.misses") > 0);
+    }
+
+    #[test]
+    fn degradation_window_slows_the_run_and_is_counted() {
+        use mnemo_faults::{FaultEvent, FaultPlan};
+        let t = trace();
+        let clean = Server::build(StoreKind::Redis, &t, Placement::AllSlow)
+            .unwrap()
+            .run(&t);
+        let mut server = Server::build(StoreKind::Redis, &t, Placement::AllSlow).unwrap();
+        // Slow tier runs at 32x latency and 1/32 bandwidth for the whole
+        // run. The LLC absorbs most device traffic, so the end-to-end
+        // slowdown is modest but must be clearly visible.
+        server.install_fault_plan(
+            &FaultPlan::new(1)
+                .with(FaultEvent::LatencySpike {
+                    tier: hybridmem::MemTier::Slow,
+                    start_ns: 0,
+                    end_ns: u128::MAX,
+                    factor: 32.0,
+                })
+                .with(FaultEvent::BandwidthThrottle {
+                    tier: hybridmem::MemTier::Slow,
+                    start_ns: 0,
+                    end_ns: u128::MAX,
+                    factor: 1.0 / 32.0,
+                }),
+        );
+        let (faulted, snaps) = server.run_telemetered(&t, 0);
+        assert!(
+            faulted.runtime_ns > clean.runtime_ns * 1.05,
+            "faulted {} vs clean {}",
+            faulted.runtime_ns,
+            clean.runtime_ns
+        );
+        let degraded: u64 = snaps
+            .iter()
+            .map(|s| s.counter("kv.fault.degraded_requests"))
+            .sum();
+        assert_eq!(degraded, t.len() as u64);
+        // Clearing the plan restores the exact nominal timing.
+        server.set_degradation(None);
+        server.set_crash_schedule(Vec::new());
+        let restored = server.run(&t);
+        assert_eq!(restored.runtime_ns.to_bits(), clean.runtime_ns.to_bits());
+    }
+
+    #[test]
+    fn crash_schedule_charges_recovery_once() {
+        use mnemo_faults::ShardCrash;
+        let t = trace();
+        let clean = Server::build(StoreKind::Redis, &t, Placement::AllFast)
+            .unwrap()
+            .run(&t);
+        let mut server = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap();
+        let crash = ShardCrash {
+            at_ns: (clean.runtime_ns / 2.0) as u128,
+            restart_ns: 1e6,
+            rebuild_ns_per_key: 100.0,
+        };
+        server.set_crash_schedule(vec![crash]);
+        let (crashed, snaps) = server.run_telemetered(&t, 0);
+        let recovery = crash.recovery_ns(t.keys() as usize);
+        assert!(
+            crashed.runtime_ns > clean.runtime_ns + recovery * 0.9,
+            "crashed {} clean {} recovery {}",
+            crashed.runtime_ns,
+            clean.runtime_ns,
+            recovery
+        );
+        let crashes: u64 = snaps
+            .iter()
+            .map(|s| s.counter("kv.fault.shard_crashes"))
+            .sum();
+        assert_eq!(crashes, 1, "each scheduled crash fires at most once");
+        // A crash scheduled beyond the end of the run never fires.
+        let mut server = Server::build(StoreKind::Redis, &t, Placement::AllFast).unwrap();
+        server.set_crash_schedule(vec![ShardCrash {
+            at_ns: u128::MAX,
+            restart_ns: 1e6,
+            rebuild_ns_per_key: 0.0,
+        }]);
+        let r = server.run(&t);
+        assert_eq!(r.runtime_ns.to_bits(), clean.runtime_ns.to_bits());
     }
 
     #[test]

@@ -87,6 +87,24 @@ impl ShardedCluster {
         self.shards.len()
     }
 
+    /// Install a fault plan across the cluster: every shard gets the
+    /// plan's degradation profile, and shard crash schedules are routed
+    /// to their shard index. Injection is keyed off each shard's own
+    /// simulated clock, so faulted runs stay byte-identical for every
+    /// `--jobs` worker count.
+    pub fn install_fault_plan(&self, plan: &mnemo_faults::FaultPlan) {
+        let profile = plan.degradation_profile();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut server = shard.lock();
+            server.set_degradation(if profile.is_empty() {
+                None
+            } else {
+                Some(profile.clone())
+            });
+            server.set_crash_schedule(plan.shard_crashes(i));
+        }
+    }
+
     /// Run the trace: requests are routed to their shard, shards execute
     /// concurrently as coarse jobs on the bounded pool (a 64-shard
     /// cluster no longer spawns 64 client threads), and the merged
@@ -284,6 +302,35 @@ mod tests {
         let runtime = last.gauge("kv.shard.runtime_ns").unwrap();
         assert_eq!(runtime.count, 4);
         assert_eq!(runtime.max, report.runtime_ns);
+    }
+
+    #[test]
+    fn fault_plan_routes_crashes_to_their_shard() {
+        use mnemo_faults::{FaultEvent, FaultPlan};
+        let t = trace();
+        let cluster = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllFast, 4).unwrap();
+        let clean = cluster.run(&t);
+        let restart = clean.runtime_ns * 4.0;
+        cluster.install_fault_plan(&FaultPlan::new(3).with(FaultEvent::ShardCrash {
+            shard: 1,
+            at_ns: 0,
+            restart_ns: restart,
+            rebuild_ns_per_key: 0.0,
+        }));
+        let (faulted, snaps) = cluster.run_telemetered(&t, 0);
+        let crashes: u64 = snaps
+            .iter()
+            .map(|s| s.counter("kv.fault.shard_crashes"))
+            .sum();
+        assert_eq!(crashes, 1, "only shard 1 crashes");
+        // The crashed shard's recovery dominates the cluster runtime.
+        assert!(
+            faulted.runtime_ns > clean.runtime_ns + restart * 0.9,
+            "faulted {} vs clean {} + restart {}",
+            faulted.runtime_ns,
+            clean.runtime_ns,
+            restart
+        );
     }
 
     #[test]

@@ -405,6 +405,55 @@ mod tests {
     }
 
     #[test]
+    fn fallible_stages_yield_the_first_error_at_every_worker_count() {
+        // A sweep stage whose per-item closure is fallible: results come
+        // back in index order, so collecting into `Result` must surface
+        // the error of the *lowest failing index* — not whichever worker
+        // happened to hit its failure first in wall-clock time.
+        let run = |workers: usize| -> Result<Vec<usize>, String> {
+            Pool::new(workers)
+                .run_jobs(64, |i| {
+                    if i % 17 == 9 {
+                        Err(format!("item {i} failed"))
+                    } else {
+                        Ok(i * i)
+                    }
+                })
+                .into_iter()
+                .collect()
+        };
+        for workers in [1, 2, 4, 8] {
+            assert_eq!(
+                run(workers),
+                Err("item 9 failed".into()),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn fallible_stages_succeed_and_drain_in_order() {
+        // No failures: the fallible path must be byte-identical to the
+        // sequential collect, including after partial-chunk reassembly.
+        let expect: Vec<usize> = (0..37).map(|i| i + 100).collect();
+        for workers in [1, 3, 7] {
+            let got: Result<Vec<usize>, String> = Pool::new(workers)
+                .map_chunked(37, 4, |i| Ok(i + 100))
+                .into_iter()
+                .collect();
+            assert_eq!(got.as_deref(), Ok(&expect[..]), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fallible_join_carries_both_results() {
+        let (a, b): (Result<u32, String>, Result<u32, String>) =
+            Pool::new(2).join(|| Ok(4), || Err("right baseline failed".into()));
+        assert_eq!(a, Ok(4));
+        assert_eq!(b, Err("right baseline failed".into()));
+    }
+
+    #[test]
     fn join_returns_both_and_propagates_panics() {
         let (a, b) = Pool::new(2).join(|| 1 + 1, || "two");
         assert_eq!((a, b), (2, "two"));

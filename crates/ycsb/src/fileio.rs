@@ -22,6 +22,11 @@ use std::io::{self, BufRead, Write};
 /// The format magic on line one.
 pub const MAGIC: &str = "# mnemo-trace v1";
 
+/// Upper bound on the declared key count. The parser eagerly allocates
+/// one slot per key, so a corrupt `keys` line must not be allowed to
+/// request an absurd allocation before any `size` line is read.
+pub const MAX_KEYS: u64 = 1 << 32;
+
 /// Parse errors with line numbers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
@@ -153,11 +158,17 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadError> {
                 }
             }
             Some("keys") => {
+                if keys.is_some() {
+                    return Err(bad("duplicate 'keys' directive").into());
+                }
                 let n: u64 = parts
                     .next()
                     .ok_or_else(|| bad("missing key count"))?
                     .parse()
                     .map_err(|_| bad("key count is not a number"))?;
+                if n > MAX_KEYS {
+                    return Err(bad(&format!("key count {n} exceeds the {MAX_KEYS} limit")).into());
+                }
                 keys = Some(n);
                 sizes = vec![None; n as usize];
             }
@@ -285,6 +296,38 @@ mod tests {
             trace_from_str(&early),
             Err(ReadError::Parse(ParseError::BadLine { .. }))
         ));
+    }
+
+    #[test]
+    fn corrupt_fixtures_fail_with_line_numbers_not_allocations() {
+        // A fuzzer-style corrupt descriptor: a key count large enough
+        // that eagerly allocating a slot per key would exhaust memory.
+        // The parser must refuse it at the directive, with the line.
+        let absurd = format!("{MAGIC}\n# corrupted capture\nkeys 18446744073709551615\n");
+        match trace_from_str(&absurd) {
+            Err(ReadError::Parse(ParseError::BadLine { line: 3, reason })) => {
+                assert!(reason.contains("exceeds"), "{reason}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // Just over the limit is rejected; the limit itself would be
+        // accepted (not exercised: that allocation is legitimately big).
+        let over = format!("{MAGIC}\nkeys {}\n", MAX_KEYS + 1);
+        assert!(matches!(
+            trace_from_str(&over),
+            Err(ReadError::Parse(ParseError::BadLine { line: 2, .. }))
+        ));
+
+        // A second `keys` directive would silently discard every size
+        // recorded so far; it is now an error instead.
+        let dup = format!("{MAGIC}\nkeys 2\nsize 0 10\nsize 1 20\nkeys 2\nreq 0 R\n");
+        match trace_from_str(&dup) {
+            Err(ReadError::Parse(ParseError::BadLine { line: 5, reason })) => {
+                assert!(reason.contains("duplicate 'keys'"), "{reason}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Fault-injection guarantees, end to end:
+//!
+//! 1. a seeded fault plan perturbs the simulation *deterministically* —
+//!    faulted cluster runs (reports and telemetry exports) are
+//!    byte-identical for every `--jobs` value;
+//! 2. migration retries are bounded by the plan's capped-exponential
+//!    backoff policy — no unbounded retry storms;
+//! 3. the advisor never panics under faults: every query returns a
+//!    recommendation that is either SLO-compliant or tagged with a
+//!    machine-readable [`DegradedReason`].
+
+use kvsim::{DynamicConfig, DynamicTieringServer, Placement, ShardedCluster, StoreKind};
+use mnemo::advisor::{Advisor, AdvisorConfig, DegradedReason};
+use mnemo_faults::{Backoff, FaultEvent, FaultPlan};
+use mnemo_telemetry::DomainFilter;
+use std::sync::Mutex;
+use ycsb::{Trace, WorkloadSpec};
+
+/// Serialises tests that touch the process-global worker-count override.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_jobs<T>(jobs: usize, f: impl FnOnce() -> T) -> T {
+    mnemo_par::set_jobs(jobs);
+    let out = f();
+    mnemo_par::set_jobs(0);
+    out
+}
+
+fn trace() -> Trace {
+    WorkloadSpec::trending().scaled(250, 5_000).generate(17)
+}
+
+/// A plan that exercises every fault class at once.
+fn stormy_plan() -> FaultPlan {
+    FaultPlan::new(99)
+        .with(FaultEvent::LatencySpike {
+            tier: hybridmem::MemTier::Slow,
+            start_ns: 0,
+            end_ns: u128::MAX,
+            factor: 24.0,
+        })
+        .with(FaultEvent::BandwidthThrottle {
+            tier: hybridmem::MemTier::Slow,
+            start_ns: 0,
+            end_ns: u128::MAX,
+            factor: 1.0 / 12.0,
+        })
+        .with(FaultEvent::MigrationFailure {
+            start_ns: 0,
+            end_ns: u128::MAX,
+            probability: 0.6,
+        })
+        .with(FaultEvent::ShardCrash {
+            shard: 1,
+            at_ns: 50_000,
+            restart_ns: 2_000_000.0,
+            rebuild_ns_per_key: 150.0,
+        })
+}
+
+fn faulted_cluster_run(jobs: usize) -> (u64, String) {
+    with_jobs(jobs, || {
+        let t = trace();
+        let cluster = ShardedCluster::build(StoreKind::Redis, &t, &Placement::AllSlow, 4).unwrap();
+        cluster.install_fault_plan(&stormy_plan());
+        let (report, snaps) = cluster.run_telemetered(&t, 1_000);
+        let jsonl = mnemo_telemetry::export::to_jsonl(&snaps, DomainFilter::SimOnly);
+        // Bit pattern, not `==`: the guarantee is byte identity.
+        (report.runtime_ns.to_bits(), jsonl)
+    })
+}
+
+#[test]
+fn faulted_runs_are_byte_identical_for_every_jobs_value() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let (runtime_1, jsonl_1) = faulted_cluster_run(1);
+    for jobs in [2, 4] {
+        let (runtime_n, jsonl_n) = faulted_cluster_run(jobs);
+        assert_eq!(runtime_1, runtime_n, "runtime drifted at jobs={jobs}");
+        assert_eq!(jsonl_1, jsonl_n, "telemetry bytes drifted at jobs={jobs}");
+    }
+    // The plan actually fired: the crashed shard counted its crash and
+    // the degradation windows were observed.
+    assert!(jsonl_1.contains("kv.fault.shard_crashes"), "{jsonl_1}");
+    assert!(jsonl_1.contains("kv.fault.degraded_requests"), "{jsonl_1}");
+}
+
+#[test]
+fn migration_retries_are_bounded_by_the_backoff_cap() {
+    let t = trace();
+    let mut plan = FaultPlan::new(5).with(FaultEvent::MigrationFailure {
+        start_ns: 0,
+        end_ns: u128::MAX,
+        probability: 1.0, // every attempt fails: worst case
+    });
+    plan.backoff = Backoff {
+        base_ns: 1_000.0,
+        factor: 2.0,
+        cap_ns: 16_000.0,
+        max_retries: 4,
+    };
+    let budget = (t.dataset_bytes() as f64 * 0.3) as u64;
+    let mut server = DynamicTieringServer::build_with(
+        StoreKind::Redis,
+        hybridmem::HybridSpec::paper_testbed(),
+        &t,
+        DynamicConfig {
+            epoch_requests: 1_000,
+            ..DynamicConfig::new(budget)
+        },
+    )
+    .unwrap();
+    server.install_fault_plan(&plan);
+    server.run(&t);
+    let stats = server.migration_stats();
+
+    // With p = 1.0 every attempted migration is abandoned after exactly
+    // `max_retries` retries — never more — and falls back to SlowMem.
+    assert!(stats.fallbacks > 0, "no migrations were even attempted");
+    assert_eq!(stats.promotions + stats.demotions, 0);
+    assert_eq!(
+        stats.retries,
+        stats.fallbacks * u64::from(plan.backoff.max_retries)
+    );
+    assert_eq!(
+        stats.failures,
+        stats.fallbacks * u64::from(plan.backoff.max_retries + 1)
+    );
+    // The charged wait per abandoned migration is bounded by the capped
+    // sum of delays, so the total is too.
+    let worst = plan.backoff.worst_case_delay_ns() * stats.fallbacks as f64;
+    assert!(
+        stats.retry_ns <= worst * 1.000001,
+        "retry_ns {} exceeds the policy bound {}",
+        stats.retry_ns,
+        worst
+    );
+}
+
+#[test]
+fn advisor_under_faults_always_answers_compliant_or_tagged() {
+    let t = trace();
+    // Degrade *both* tiers so that even FastMem-only misses the healthy
+    // throughput — the regime where plain `recommend` would give up.
+    let plan = FaultPlan::new(3)
+        .with(FaultEvent::LatencySpike {
+            tier: hybridmem::MemTier::Fast,
+            start_ns: 0,
+            end_ns: u128::MAX,
+            factor: 50.0,
+        })
+        .with(FaultEvent::LatencySpike {
+            tier: hybridmem::MemTier::Slow,
+            start_ns: 0,
+            end_ns: u128::MAX,
+            factor: 50.0,
+        })
+        .with(FaultEvent::BandwidthThrottle {
+            tier: hybridmem::MemTier::Fast,
+            start_ns: 0,
+            end_ns: u128::MAX,
+            factor: 0.02,
+        })
+        .with(FaultEvent::BandwidthThrottle {
+            tier: hybridmem::MemTier::Slow,
+            start_ns: 0,
+            end_ns: u128::MAX,
+            factor: 0.02,
+        });
+    // Scale the LLC to the dataset (the paper's ~85:1 proportion);
+    // otherwise the cache absorbs every device access and hides the
+    // injected latency entirely.
+    let mut spec = hybridmem::HybridSpec::paper_testbed();
+    spec.cache.capacity_bytes = spec
+        .cache
+        .capacity_bytes
+        .min((t.dataset_bytes() / 85).max(1 << 16));
+    let healthy = Advisor::new(AdvisorConfig {
+        spec: spec.clone(),
+        ..AdvisorConfig::default()
+    })
+    .consult(StoreKind::Redis, &t)
+    .unwrap();
+    let faulted = Advisor::new(AdvisorConfig {
+        spec,
+        fault_plan: Some(plan),
+        ..AdvisorConfig::default()
+    })
+    .consult(StoreKind::Redis, &t)
+    .unwrap();
+    let healthy_ops = healthy.curve.fast_only().est_throughput_ops_s;
+
+    // Hostile SLO inputs: none may panic, every answer must be a real
+    // row that is compliant or carries a reason.
+    for slo in [0.10, 0.0, 1.0, 2.0, -1.0, f64::NAN, f64::INFINITY] {
+        let r = faulted.recommend_resilient(slo);
+        assert!(r.recommendation.est_throughput_ops_s > 0.0, "slo={slo}");
+        assert!(
+            r.is_compliant() || r.degraded.is_some(),
+            "slo={slo}: neither compliant nor tagged"
+        );
+    }
+
+    // Judged against the *healthy* reference, the faulted hardware
+    // cannot reach within 10%: the advisor degrades gracefully to the
+    // nearest-feasible row and says why, instead of returning nothing.
+    let vs = faulted.recommend_resilient_vs(0.10, Some(healthy_ops));
+    match vs.degraded {
+        Some(DegradedReason::SloUnattainable {
+            requested,
+            achievable,
+        }) => {
+            assert_eq!(requested, 0.10);
+            assert!(achievable > 0.10, "achievable={achievable}");
+        }
+        other => panic!("expected SloUnattainable, got {other:?}"),
+    }
+    // Nearest-feasible == the best the degraded curve can do.
+    let best = faulted
+        .curve
+        .rows
+        .iter()
+        .map(|r| r.est_throughput_ops_s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert_eq!(vs.recommendation.est_throughput_ops_s, best);
+}
