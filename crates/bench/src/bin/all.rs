@@ -28,8 +28,8 @@ const EXPERIMENTS: [&str; 19] = [
     "appendix",
 ];
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     let jobs = mnemo_par::effective_jobs();
     let mut timer = mnemo_bench::SweepTimer::new("all");
     // Run siblings through cargo so they are rebuilt if stale (spawning
@@ -54,13 +54,12 @@ fn main() {
             if let Some(dir) = mnemo_bench::telemetry_dir() {
                 args.push(format!("--telemetry={}", dir.display()));
             }
-            Command::new("cargo")
-                .args(&args)
-                .status()
-                .expect("spawn experiment via cargo")
+            Command::new("cargo").args(&args).status()
         });
+        let status = status.map_err(|e| format!("cannot spawn {exp} via cargo: {e}"))?;
         assert!(status.success(), "{exp} failed");
     }
-    mnemo_bench::write_timing(&timer);
+    mnemo_bench::write_timing(&timer)?;
     println!("\nAll experiments regenerated. CSVs in target/experiments/.");
+    Ok(())
 }

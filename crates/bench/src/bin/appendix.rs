@@ -5,11 +5,11 @@
 use std::fmt::Write as _;
 use std::fs;
 
-fn main() {
-    mnemo_bench::harness_args();
-    let dir = mnemo_bench::out_dir();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
+    let dir = mnemo_bench::out_dir()?;
     let mut entries: Vec<_> = fs::read_dir(&dir)
-        .expect("experiment dir")
+        .map_err(|e| format!("cannot read experiment dir {}: {e}", dir.display()))?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|x| x == "csv"))
@@ -24,8 +24,12 @@ fn main() {
         "# Experiment appendix\n\nGenerated from the CSV artifacts of the last full run.\n",
     );
     for path in &entries {
-        let name = path.file_stem().unwrap().to_string_lossy();
-        let content = fs::read_to_string(path).expect("readable csv");
+        let name = path
+            .file_stem()
+            .unwrap_or(path.as_os_str())
+            .to_string_lossy();
+        let content =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let mut lines = content.lines();
         let header = match lines.next() {
             Some(h) => h,
@@ -58,10 +62,11 @@ fn main() {
         }
     }
     let out = dir.join("APPENDIX.md");
-    fs::write(&out, md).expect("write appendix");
+    fs::write(&out, md).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!(
         "appendix with {} tables -> {}",
         entries.len(),
         out.display()
     );
+    Ok(())
 }

@@ -19,17 +19,17 @@ use mnemo_bench::{consult, paper_workload, print_table, seed_for, testbed_for, w
 
 const RATIOS: [f64; 4] = [0.1, 0.2, 0.4, 0.6];
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!("Three deployments of the same FastMem capacity (Redis)");
     let mut csv = Vec::new();
     for workload in ["trending", "news feed", "edit thumbnail"] {
-        let spec = paper_workload(workload).unwrap_or_else(|e| panic!("{e}"));
+        let spec = paper_workload(workload)?;
         let trace = spec.generate(seed_for(&spec.name));
         let testbed = testbed_for(&trace);
-        let consultation = consult(StoreKind::Redis, &trace, OrderingKind::MnemoT);
+        let consultation = consult(StoreKind::Redis, &trace, OrderingKind::MnemoT)?;
 
-        let results = mnemo_bench::parallel(RATIOS.len(), |i| {
+        let results = mnemo_bench::parallel(RATIOS.len(), |i| -> Result<_, String> {
             let ratio = RATIOS[i];
             let budget = (trace.dataset_bytes() as f64 * ratio) as u64;
 
@@ -42,13 +42,13 @@ fn main() {
                 &trace,
                 placement,
             )
-            .expect("server")
+            .map_err(|e| format!("static server build failed: {e}"))?
             .run(&trace)
             .throughput_ops_s();
 
             let mut cm =
                 CacheModeServer::build_with(StoreKind::Redis, testbed.clone(), &trace, budget)
-                    .expect("cache-mode server");
+                    .map_err(|e| format!("cache-mode server build failed: {e}"))?;
             let cache_tp = cm.run(&trace).throughput_ops_s();
             let hit_ratio = cm.stats().hit_ratio();
 
@@ -61,11 +61,12 @@ fn main() {
                     ..DynamicConfig::new(budget)
                 },
             )
-            .expect("dynamic server");
+            .map_err(|e| format!("dynamic server build failed: {e}"))?;
             let dyn_tp = dt.run(&trace).throughput_ops_s();
 
-            (ratio, static_tp, cache_tp, hit_ratio, dyn_tp)
+            Ok((ratio, static_tp, cache_tp, hit_ratio, dyn_tp))
         });
+        let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
         let rows: Vec<Vec<String>> = results
             .iter()
@@ -91,9 +92,10 @@ fn main() {
         "cache_mode.csv",
         "workload,fast_ratio,static_ops_s,cache_ops_s,hit_ratio,dynamic_ops_s",
         &csv,
-    );
+    )?;
     println!("\nReading: planned static placement avoids all runtime traffic and wins when");
     println!("the hot set is stable and known; cache mode needs no planning and adapts");
     println!("instantly (strongest on sliding news-feed patterns) but pays admission and");
     println!("write-back bandwidth — most visible on the update-heavy workload.");
+    Ok(())
 }

@@ -15,20 +15,20 @@ use ycsb::sample::downsample;
 const FACTORS: [usize; 5] = [1, 2, 4, 8, 16];
 const POINTS: usize = 7;
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!("Downsampling: estimate accuracy from sampled baselines (Trending, Redis)");
-    let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
+    let spec = paper_workload("trending")?;
     let full = spec.generate(seed_for(&spec.name));
 
-    let results = mnemo_bench::parallel(FACTORS.len(), |i| {
+    let results = mnemo_bench::parallel(FACTORS.len(), |i| -> Result<_, String> {
         let factor = FACTORS[i];
         let sampled = downsample(&full, factor, 99);
         // Profile (baselines + pattern + curve) on the *sampled* trace...
         let advisor = paper_advisor(&sampled, OrderingKind::TouchOrder, ModelKind::GlobalAverage);
         let consultation = advisor
             .consult(StoreKind::Redis, &sampled)
-            .expect("consultation");
+            .map_err(|e| format!("consultation failed: {e}"))?;
         // ...then check the estimate against measured runs of the sampled
         // workload, and compare its sensitivity with the full one.
         let points = evaluate(
@@ -39,10 +39,11 @@ fn main() {
             measurement_noise(5),
             POINTS,
         )
-        .expect("evaluation");
+        .map_err(|e| format!("evaluation failed: {e}"))?;
         let sensitivity = consultation.baselines.sensitivity();
-        (factor, sampled.len(), sensitivity, points)
+        Ok((factor, sampled.len(), sensitivity, points))
     });
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -81,5 +82,6 @@ fn main() {
         "downsampling.csv",
         "factor,requests,sensitivity,median_err_pct,max_err_pct",
         &csv,
-    );
+    )?;
+    Ok(())
 }

@@ -16,21 +16,21 @@ use mnemo_bench::{consult, paper_workloads, print_table, seed_for, testbed_for, 
 
 const BUDGET_FRACTION: f64 = 0.2; // 20% of the dataset in FastMem
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!(
         "Static (Mnemo) vs dynamic tiering at a {:.0}% FastMem budget (Redis)",
         BUDGET_FRACTION * 100.0
     );
     let workloads = paper_workloads();
-    let results = mnemo_bench::parallel(workloads.len(), |i| {
+    let results = mnemo_bench::parallel(workloads.len(), |i| -> Result<_, String> {
         let spec = &workloads[i];
         let trace = spec.generate(seed_for(&spec.name));
         let budget = (trace.dataset_bytes() as f64 * BUDGET_FRACTION) as u64;
         let testbed = testbed_for(&trace);
 
         // Mnemo: static placement from the MnemoT ordering at the budget.
-        let consultation = consult(StoreKind::Redis, &trace, OrderingKind::MnemoT);
+        let consultation = consult(StoreKind::Redis, &trace, OrderingKind::MnemoT)?;
         let placement =
             PlacementEngine::placement_for_budget(&consultation.order, &trace.sizes, budget);
         let static_report = Server::build_with(
@@ -40,7 +40,7 @@ fn main() {
             &trace,
             placement,
         )
-        .expect("server")
+        .map_err(|e| format!("static server build failed: {e}"))?
         .run(&trace);
 
         // Dynamic tierer at the same budget (discovers the hot set online,
@@ -55,11 +55,12 @@ fn main() {
                 ..DynamicConfig::new(budget)
             },
         )
-        .expect("dynamic server");
+        .map_err(|e| format!("dynamic server build failed: {e}"))?;
         let dynamic_report = dynamic.run(&trace);
         let stats = dynamic.migration_stats();
-        (spec.name.clone(), static_report, dynamic_report, stats)
+        Ok((spec.name.clone(), static_report, dynamic_report, stats))
     });
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -97,26 +98,27 @@ fn main() {
         "dynamic_vs_static.csv",
         "workload,static_ops_s,dynamic_ops_s,migrations,migration_ms",
         &csv,
-    );
+    )?;
     println!("\nReading: on stable hot sets Mnemo's one-shot placement wins outright — the");
     println!("tierer pays migration bandwidth for nothing. On news feed the gap narrows but");
     println!("whether migration *wins* depends on how fast the window slides vs how fast");
     println!("data can be copied, which the churn sweep below isolates.");
 
-    churn_sweep();
+    churn_sweep()?;
+    Ok(())
 }
 
 /// News-feed churn sweep: slow the content churn (requests per new item)
 /// and watch dynamic tiering cross from losing to winning.
-fn churn_sweep() {
+fn churn_sweep() -> Result<(), mnemo_bench::HarnessError> {
     println!("\n--- news feed churn sweep (Redis, dynamic vs static) ---");
-    let base = mnemo_bench::paper_workload("news feed").unwrap_or_else(|e| panic!("{e}"));
+    let base = mnemo_bench::paper_workload("news feed")?;
     let sweep: Vec<u64> = vec![
         (base.requests as u64 / base.keys).max(1), // paper pace: window rotates once per trace
         4 * (base.requests as u64 / base.keys).max(1),
         16 * (base.requests as u64 / base.keys).max(1),
     ];
-    let results = mnemo_bench::parallel(sweep.len(), |i| {
+    let results = mnemo_bench::parallel(sweep.len(), |i| -> Result<_, String> {
         let churn_period = sweep[i];
         let mut spec = base.clone();
         spec.distribution = ycsb::DistKind::Latest {
@@ -128,7 +130,7 @@ fn churn_sweep() {
         let budget = (trace.dataset_bytes() as f64 * BUDGET_FRACTION) as u64;
         let testbed = testbed_for(&trace);
 
-        let consultation = consult(StoreKind::Redis, &trace, OrderingKind::MnemoT);
+        let consultation = consult(StoreKind::Redis, &trace, OrderingKind::MnemoT)?;
         let placement =
             PlacementEngine::placement_for_budget(&consultation.order, &trace.sizes, budget);
         let static_report = Server::build_with(
@@ -138,7 +140,7 @@ fn churn_sweep() {
             &trace,
             placement,
         )
-        .expect("server")
+        .map_err(|e| format!("static server build failed: {e}"))?
         .run(&trace);
         let mut dynamic = DynamicTieringServer::build_with(
             StoreKind::Redis,
@@ -150,14 +152,15 @@ fn churn_sweep() {
                 ..DynamicConfig::new(budget)
             },
         )
-        .expect("dynamic server");
+        .map_err(|e| format!("dynamic server build failed: {e}"))?;
         let dynamic_report = dynamic.run(&trace);
-        (
+        Ok((
             churn_period,
             static_report.throughput_ops_s(),
             dynamic_report.throughput_ops_s(),
-        )
+        ))
     });
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|(churn, st, dy)| {
@@ -180,4 +183,5 @@ fn churn_sweep() {
     println!("moderate churn (enough reuse per item to reward tracking, little enough");
     println!("migration bandwidth). This reinforces Fig. 9: news-feed-like patterns simply");
     println!("need DRAM; neither static placement nor page migration recovers the gap.");
+    Ok(())
 }

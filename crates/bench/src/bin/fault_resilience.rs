@@ -71,8 +71,8 @@ fn advisor_with(trace: &ycsb::Trace, plan: Option<FaultPlan>) -> Advisor {
     })
 }
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!(
         "Fault resilience: fault intensity vs attainment of a {:.0}% slowdown SLO (Redis, trending)",
         SLO_SLOWDOWN * 100.0
@@ -84,17 +84,17 @@ fn main() {
     // hardware delivered before it degraded".
     let healthy = advisor_with(&trace, None)
         .consult(StoreKind::Redis, &trace)
-        .expect("healthy consultation");
+        .map_err(|e| format!("healthy consultation failed: {e}"))?;
     let healthy_fast_ops = healthy.curve.fast_only().est_throughput_ops_s;
 
-    let results = mnemo_bench::parallel(INTENSITIES.len(), |i| {
+    let results = mnemo_bench::parallel(INTENSITIES.len(), |i| -> Result<_, String> {
         let intensity = INTENSITIES[i];
         let plan = plan_at(intensity);
 
         // Advise on the faulted hardware, judged against the healthy SLO.
         let consultation = advisor_with(&trace, Some(plan.clone()))
             .consult(StoreKind::Redis, &trace)
-            .expect("faulted consultation");
+            .map_err(|e| format!("faulted consultation failed: {e}"))?;
         let resilient = consultation.recommend_resilient_vs(SLO_SLOWDOWN, Some(healthy_fast_ops));
 
         // Replay the advised placement through clean and faulted servers.
@@ -103,7 +103,7 @@ fn main() {
             &trace.sizes,
             resilient.recommendation.fast_bytes,
         );
-        let build = |faulted: bool| {
+        let build = |faulted: bool| -> Result<_, String> {
             let mut server = Server::build_with(
                 StoreKind::Redis,
                 testbed.clone(),
@@ -111,14 +111,14 @@ fn main() {
                 &trace,
                 placement.clone(),
             )
-            .expect("server");
+            .map_err(|e| format!("server build failed: {e}"))?;
             if faulted {
                 server.install_fault_plan(&plan);
             }
-            server.run(&trace)
+            Ok(server.run(&trace))
         };
-        let clean = build(false);
-        let faulted = build(true);
+        let clean = build(false)?;
+        let faulted = build(true)?;
         let measured_slowdown = 1.0 - faulted.throughput_ops_s() / clean.throughput_ops_s();
 
         // The dynamic tierer under the same plan: migrations fail with
@@ -134,13 +134,14 @@ fn main() {
                 ..DynamicConfig::new(budget)
             },
         )
-        .expect("dynamic server");
+        .map_err(|e| format!("dynamic server build failed: {e}"))?;
         dynamic.install_fault_plan(&plan);
         dynamic.run(&trace);
         let mig = dynamic.migration_stats();
 
-        (intensity, resilient, measured_slowdown, mig)
+        Ok((intensity, resilient, measured_slowdown, mig))
     });
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -204,9 +205,10 @@ fn main() {
         "fault_resilience.csv",
         "intensity,est_slowdown,fast_ratio,compliant,degraded,measured_slowdown,retries,failures,fallbacks",
         &csv,
-    );
-    mnemo_bench::export_telemetry("fault_resilience", &[tel.take_snapshot(0)]);
+    )?;
+    mnemo_bench::export_telemetry("fault_resilience", &[tel.take_snapshot(0)])?;
     println!("\nShape: low intensities stay compliant by buying more FastMem; past the point");
     println!("where even FastMem-only misses the healthy SLO the advisor returns the");
     println!("nearest-feasible row tagged SloUnattainable instead of failing.");
+    Ok(())
 }

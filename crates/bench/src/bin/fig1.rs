@@ -9,8 +9,8 @@ use cloudcost::regression::{memory_share_series, CostSplit};
 use cloudcost::{Provider, ProviderKind};
 use mnemo_bench::{print_table, write_csv};
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!("Fig. 1: memory share of VM cost (Nov-2018 on-demand prices)");
     let mut csv_rows = Vec::new();
     // The figure's inputs are a fixed price catalogue, so everything
@@ -24,7 +24,8 @@ fn main() {
             ProviderKind::Azure => "azure",
         };
         let provider = Provider::new(kind);
-        let split = CostSplit::fit(&provider.instances).expect("catalogue fit failed");
+        let split = CostSplit::fit(&provider.instances)
+            .map_err(|e| format!("catalogue fit failed: {e}"))?;
         tel.count("fig1.providers", 1);
         tel.count("fig1.catalogue_instances", provider.instances.len() as u64);
         tel.gauge(
@@ -32,7 +33,7 @@ fn main() {
             split.rms_relative_error,
         );
         let rows: Vec<Vec<String>> = memory_share_series(&provider.instances)
-            .expect("series failed")
+            .map_err(|e| format!("memory-share series failed: {e}"))?
             .iter()
             .map(|r| {
                 csv_rows.push(format!("{},{},{:.4}", kind.name(), r.instance, r.share));
@@ -58,7 +59,8 @@ fn main() {
         "fig1_memory_share.csv",
         "provider,instance,memory_share",
         &csv_rows,
-    );
-    mnemo_bench::export_telemetry("fig1", &[tel.take_snapshot(0)]);
+    )?;
+    mnemo_bench::export_telemetry("fig1", &[tel.take_snapshot(0)])?;
     println!("\nPaper band: memory is ~60-85% of the VM cost for these instances.");
+    Ok(())
 }

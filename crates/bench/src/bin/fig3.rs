@@ -4,8 +4,8 @@
 
 use mnemo_bench::{paper_workloads, seed_for, write_csv};
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!("Fig. 3: key-space CDFs per distribution");
     let mut csv = Vec::new();
     for spec in paper_workloads() {
@@ -26,5 +26,6 @@ fn main() {
         }
     }
     println!("  (columns: cumulative request probability at each decile of the key space)");
-    write_csv("fig3_key_cdfs.csv", "workload,key_id,cum_probability", &csv);
+    write_csv("fig3_key_cdfs.csv", "workload,key_id,cum_probability", &csv)?;
+    Ok(())
 }

@@ -4,8 +4,8 @@
 use mnemo_bench::write_csv;
 use ycsb::SizeClass;
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!("Fig. 4: record-size CDFs (bytes, log scale)");
     let probes: Vec<u64> = (6..=20).map(|e| 1u64 << e).collect(); // 64 B .. 1 MB
     let mut csv = Vec::new();
@@ -24,7 +24,8 @@ fn main() {
         println!();
     }
     println!("  (median sizes: thumbnail 100 KB, text post 10 KB, caption 1 KB)");
-    write_csv("fig4_size_cdfs.csv", "class,bytes,cum_probability", &csv);
+    write_csv("fig4_size_cdfs.csv", "class,bytes,cum_probability", &csv)?;
+    Ok(())
 }
 
 fn human(bytes: u64) -> String {

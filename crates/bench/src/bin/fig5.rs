@@ -13,17 +13,26 @@ use mnemo_bench::{consult, eval_points, paper_workload, print_table, seed_for, w
 
 const POINTS: usize = 9;
 
-fn panel(letter: char, title: &str, workloads: &[&str], csv: &mut Vec<String>) {
+fn panel(
+    letter: char,
+    title: &str,
+    workloads: &[&str],
+    csv: &mut Vec<String>,
+) -> Result<(), mnemo_bench::HarnessError> {
     println!("\n--- Fig. 5{letter}: {title} ---");
-    let results = mnemo_bench::parallel(workloads.len(), |i| {
-        let spec = paper_workload(workloads[i]).unwrap_or_else(|e| panic!("{e}"));
+    let results = mnemo_bench::parallel(workloads.len(), |i| -> Result<_, String> {
+        let spec = paper_workload(workloads[i])?;
         let trace = spec.generate(seed_for(&spec.name));
-        let consultation = consult(StoreKind::Redis, &trace, OrderingKind::TouchOrder);
-        let points = eval_points(StoreKind::Redis, &trace, &consultation, POINTS);
-        (spec.name.clone(), points)
+        let consultation = consult(StoreKind::Redis, &trace, OrderingKind::TouchOrder)?;
+        let points = eval_points(StoreKind::Redis, &trace, &consultation, POINTS)?;
+        Ok((spec.name.clone(), points))
     });
-    for (name, points) in results {
-        let slow = points.first().expect("endpoints present").measured_ops_s;
+    for result in results {
+        let (name, points) = result?;
+        let slow = points
+            .first()
+            .ok_or("evaluation returned no points")?
+            .measured_ops_s;
         let rows: Vec<Vec<String>> = points
             .iter()
             .map(|p| {
@@ -52,10 +61,11 @@ fn panel(letter: char, title: &str, workloads: &[&str], csv: &mut Vec<String>) {
             &rows,
         );
     }
+    Ok(())
 }
 
-fn main() {
-    let args = mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    let args = mnemo_bench::harness_args()?;
     let arg = args.first().cloned();
     let mut timer = mnemo_bench::SweepTimer::new("fig5");
     let mut csv = Vec::new();
@@ -68,7 +78,7 @@ fn main() {
                 &["trending", "news feed", "timeline"],
                 &mut csv,
             )
-        });
+        })?;
     }
     if run('b') {
         timer.stage("panel-b", 2, || {
@@ -78,7 +88,7 @@ fn main() {
                 &["timeline", "edit thumbnail"],
                 &mut csv,
             )
-        });
+        })?;
     }
     if run('c') {
         timer.stage("panel-c", 2, || {
@@ -88,14 +98,15 @@ fn main() {
                 &["trending", "trending preview"],
                 &mut csv,
             )
-        });
+        })?;
     }
     write_csv(
         "fig5_curves.csv",
         "panel,workload,cost_reduction,measured_ops_s,estimated_ops_s,improvement_pct",
         &csv,
-    );
-    mnemo_bench::write_timing(&timer);
+    )?;
+    mnemo_bench::write_timing(&timer)?;
     println!("\nPaper shape: throughput tracks the key-access CDF; trending gains ~31% of its");
     println!("~40% total improvement at ~36% of the FastMem-only cost.");
+    Ok(())
 }

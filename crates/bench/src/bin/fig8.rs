@@ -15,7 +15,7 @@ use mnemo_bench::{
 
 const POINTS: usize = 9;
 
-fn panel_a() {
+fn panel_a() -> Result<(), mnemo_bench::HarnessError> {
     println!("\n--- Fig. 8a: estimate percentage error per store (boxplots) ---");
     let workloads = paper_workloads();
     // Run the paper's plain model and, as an extension comparison, the
@@ -24,7 +24,7 @@ fn panel_a() {
         .iter()
         .flat_map(|&s| (0..workloads.len()).flat_map(move |w| [(s, w, false), (s, w, true)]))
         .collect();
-    let results = mnemo_bench::parallel(jobs.len(), |i| {
+    let results = mnemo_bench::parallel(jobs.len(), |i| -> Result<_, String> {
         let (store, w, corrected) = jobs[i];
         let spec = &workloads[w];
         let trace = spec.generate(seed_for(&spec.name));
@@ -39,13 +39,14 @@ fn panel_a() {
             config.cache_correction = Some(config.spec.cache.capacity_bytes);
             mnemo::Advisor::new(config)
                 .consult(store, &trace)
-                .expect("consultation")
+                .map_err(|e| format!("consultation failed: {e}"))?
         } else {
-            consult(store, &trace, OrderingKind::TouchOrder)
+            consult(store, &trace, OrderingKind::TouchOrder)?
         };
-        let points = eval_points(store, &trace, &consultation, POINTS);
-        (store, corrected, points)
+        let points = eval_points(store, &trace, &consultation, POINTS)?;
+        Ok((store, corrected, points))
     });
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let mut csv = Vec::new();
     for corrected in [false, true] {
         let mut rows = Vec::new();
@@ -91,28 +92,36 @@ fn panel_a() {
         "fig8a_error_boxplots.csv",
         "store,cache_aware,min,q1,median,q3,max,bias",
         &csv,
-    );
+    )?;
     println!("Paper: 0.07% median error across all stores.");
     println!("The corrected variant deliberately under-credits LLC-resident keys, so its");
     println!("larger errors are pessimistic bias (positive = estimate below measurement):");
     println!("recommendations over-provision FastMem rather than violate the SLO. It pays");
     println!("off where the plain model over-promises (sharp zipfian heads, see Fig. 8f).");
+    Ok(())
 }
 
-fn trending_points(store: StoreKind) -> Vec<EvalPoint> {
-    let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
+fn trending_points(store: StoreKind) -> Result<Vec<EvalPoint>, String> {
+    let spec = paper_workload("trending")?;
     let trace = spec.generate(seed_for(&spec.name));
-    let consultation = consult(store, &trace, OrderingKind::TouchOrder);
+    let consultation = consult(store, &trace, OrderingKind::TouchOrder)?;
     eval_points(store, &trace, &consultation, POINTS)
 }
 
-fn panel_b() {
+fn panel_b() -> Result<(), mnemo_bench::HarnessError> {
     println!("\n--- Fig. 8b: store comparison (Trending) ---");
     let all = mnemo_bench::parallel(3, |i| trending_points(stores()[i]));
+    let all = all.into_iter().collect::<Result<Vec<_>, _>>()?;
     let mut csv = Vec::new();
     for (store, points) in stores().iter().zip(all) {
-        let slow = points.first().expect("endpoints").measured_ops_s;
-        let fast = points.last().expect("endpoints").measured_ops_s;
+        let slow = points
+            .first()
+            .ok_or("evaluation returned no points")?
+            .measured_ops_s;
+        let fast = points
+            .last()
+            .ok_or("evaluation returned no points")?
+            .measured_ops_s;
         let rows: Vec<Vec<String>> = points
             .iter()
             .map(|p| {
@@ -137,18 +146,19 @@ fn panel_b() {
         "fig8b_store_comparison.csv",
         "store,cost_reduction,measured_ops_s,estimated_ops_s",
         &csv,
-    );
+    )?;
     println!("Paper ordering: DynamoDB most impacted, Memcached barely influenced.");
+    Ok(())
 }
 
-fn panel_c_d_e() {
+fn panel_c_d_e() -> Result<(), mnemo_bench::HarnessError> {
     println!(
         "\n--- Fig. 8c/8d/8e: average latency estimate and measured tails (Trending, Redis) ---"
     );
-    let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
+    let spec = paper_workload("trending")?;
     let trace = spec.generate(seed_for(&spec.name));
-    let consultation = consult(StoreKind::Redis, &trace, OrderingKind::TouchOrder);
-    let points = eval_points(StoreKind::Redis, &trace, &consultation, POINTS);
+    let consultation = consult(StoreKind::Redis, &trace, OrderingKind::TouchOrder)?;
+    let points = eval_points(StoreKind::Redis, &trace, &consultation, POINTS)?;
     // The paper reports tails without estimating them; the mixture-model
     // tail estimator (extension, mnemo::tail) is shown alongside.
     let tails = consultation.tail_estimator();
@@ -198,25 +208,27 @@ fn panel_c_d_e() {
         "fig8cde_latency.csv",
         "cost_reduction,measured_avg_us,estimated_avg_us,p95_us,p99_us,est_p95_us,est_p99_us",
         &csv,
-    );
+    )?;
     println!("Paper: the average-latency estimate is extremely accurate; the paper does NOT");
     println!("estimate tails — the est* columns come from this repo's mixture-model extension.");
+    Ok(())
 }
 
-fn panel_f() {
+fn panel_f() -> Result<(), mnemo_bench::HarnessError> {
     println!("\n--- Fig. 8f: Mnemo vs MnemoT estimate (Timeline: scrambled zipfian) ---");
-    let spec = paper_workload("timeline").unwrap_or_else(|e| panic!("{e}"));
+    let spec = paper_workload("timeline")?;
     let trace = spec.generate(seed_for(&spec.name));
-    let both = mnemo_bench::parallel(2, |i| {
+    let both = mnemo_bench::parallel(2, |i| -> Result<_, String> {
         let ordering = if i == 0 {
             OrderingKind::TouchOrder
         } else {
             OrderingKind::MnemoT
         };
-        let consultation = consult(StoreKind::Redis, &trace, ordering);
-        let points = eval_points(StoreKind::Redis, &trace, &consultation, POINTS);
-        (ordering, points)
+        let consultation = consult(StoreKind::Redis, &trace, ordering)?;
+        let points = eval_points(StoreKind::Redis, &trace, &consultation, POINTS)?;
+        Ok((ordering, points))
     });
+    let both = both.into_iter().collect::<Result<Vec<_>, _>>()?;
     let mut csv = Vec::new();
     for (ordering, points) in &both {
         let name = match ordering {
@@ -263,25 +275,27 @@ fn panel_f() {
         "fig8f_mnemot.csv",
         "variant,cost_reduction,measured_ops_s,estimated_ops_s,error_pct",
         &csv,
-    );
+    )?;
+    Ok(())
 }
 
-fn main() {
-    let args = mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    let args = mnemo_bench::harness_args()?;
     let arg = args.first().cloned();
     let run = |l: &str| arg.is_none() || arg.as_deref() == Some(l);
     let mut timer = mnemo_bench::SweepTimer::new("fig8");
     if run("a") {
-        timer.stage("panel-a", 0, panel_a);
+        timer.stage("panel-a", 0, panel_a)?;
     }
     if run("b") {
-        timer.stage("panel-b", 0, panel_b);
+        timer.stage("panel-b", 0, panel_b)?;
     }
     if run("c") || arg.as_deref() == Some("d") || arg.as_deref() == Some("e") {
-        timer.stage("panel-cde", 0, panel_c_d_e);
+        timer.stage("panel-cde", 0, panel_c_d_e)?;
     }
     if run("f") {
-        timer.stage("panel-f", 0, panel_f);
+        timer.stage("panel-f", 0, panel_f)?;
     }
-    mnemo_bench::write_timing(&timer);
+    mnemo_bench::write_timing(&timer)?;
+    Ok(())
 }

@@ -7,24 +7,25 @@ use mnemo_bench::{consult, paper_workloads, print_table, seed_for, stores, write
 
 const SLO_SLOWDOWN: f64 = 0.10;
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!("Fig. 9: cost reduction at a 10% slowdown SLO (p = 0.2 floor)");
     let workloads = paper_workloads();
     let jobs: Vec<(usize, usize)> = (0..stores().len())
         .flat_map(|s| (0..workloads.len()).map(move |w| (s, w)))
         .collect();
-    let results = mnemo_bench::parallel(jobs.len(), |i| {
+    let results = mnemo_bench::parallel(jobs.len(), |i| -> Result<_, String> {
         let (s, w) = jobs[i];
         let store = stores()[s];
         let spec = &workloads[w];
         let trace = spec.generate(seed_for(&spec.name));
-        let consultation = consult(store, &trace, OrderingKind::MnemoT);
+        let consultation = consult(store, &trace, OrderingKind::MnemoT)?;
         let rec = consultation
             .recommend(SLO_SLOWDOWN)
-            .expect("nonempty curve");
-        (s, w, rec)
+            .ok_or("recommendation on an empty curve")?;
+        Ok((s, w, rec))
     });
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -35,7 +36,7 @@ fn main() {
                 .iter()
                 .find(|(rs, rw, _)| *rs == s && *rw == w)
                 .map(|(_, _, r)| r)
-                .expect("job result present");
+                .ok_or("job result missing from sweep output")?;
             row.push(format!(
                 "{:.2} ({:>3.0}% fast)",
                 rec.cost_reduction,
@@ -57,7 +58,8 @@ fn main() {
         "fig9_cost_reduction.csv",
         "workload,store,cost_reduction,fast_ratio,est_slowdown",
         &csv,
-    );
+    )?;
     println!("\nPaper shape: Memcached hits the 0.20 floor everywhere; Redis saves most on");
     println!("trending-style workloads; News Feed offers little; DynamoDB saves ~20-30% at best.");
+    Ok(())
 }

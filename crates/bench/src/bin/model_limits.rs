@@ -16,23 +16,24 @@ use mnemo_bench::{consult, eval_points, paper_workload, print_table, seed_for, w
 
 const POINTS: usize = 9;
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!("Model limits: in-memory store vs storage-engaged store (Trending)");
-    let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
+    let spec = paper_workload("trending")?;
     let trace = spec.generate(seed_for(&spec.name));
 
-    let results = mnemo_bench::parallel(2, |i| {
+    let results = mnemo_bench::parallel(2, |i| -> Result<_, String> {
         let store = if i == 0 {
             StoreKind::Redis
         } else {
             StoreKind::Rocks
         };
-        let consultation = consult(store, &trace, OrderingKind::TouchOrder);
-        let points = eval_points(store, &trace, &consultation, POINTS);
+        let consultation = consult(store, &trace, OrderingKind::TouchOrder)?;
+        let points = eval_points(store, &trace, &consultation, POINTS)?;
         let sensitivity = consultation.baselines.sensitivity();
-        (store, sensitivity, points)
+        Ok((store, sensitivity, points))
     });
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let mut csv = Vec::new();
     let mut rows = Vec::new();
@@ -71,7 +72,7 @@ fn main() {
         "model_limits.csv",
         "store,cost_reduction,measured_ops_s,estimated_ops_s,error_pct",
         &csv,
-    );
+    )?;
     let redis_med = {
         let (_, _, pts) = &results[0];
         ErrorStats::from_errors(&pts.iter().map(EvalPoint::error_pct).collect::<Vec<_>>()).median
@@ -87,4 +88,5 @@ fn main() {
     println!("the paper's \"Target applications\" caveat, quantified: disk time is");
     println!("placement-independent, so the per-key promotion benefits the model assigns");
     println!("from baseline averages misattribute the gap.");
+    Ok(())
 }

@@ -15,28 +15,28 @@ use mnemo_bench::{paper_workload, print_table, seed_for, testbed_for, write_csv}
 
 const DEPTHS: [u32; 4] = [1, 4, 16, 64];
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!("Pipelining: amortised fixed cost exposes memory time (Trending, Redis)");
-    let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
+    let spec = paper_workload("trending")?;
     let trace = spec.generate(seed_for(&spec.name));
     let testbed = testbed_for(&trace);
 
-    let results = mnemo_bench::parallel(DEPTHS.len(), |i| {
+    let results = mnemo_bench::parallel(DEPTHS.len(), |i| -> Result<_, String> {
         let depth = DEPTHS[i];
-        let run = |placement: Placement| {
-            Server::build_with(
+        let run = |placement: Placement| -> Result<_, String> {
+            Ok(Server::build_with(
                 StoreKind::Redis,
                 testbed.clone(),
                 hybridmem::clock::NoiseConfig::disabled(),
                 &trace,
                 placement,
             )
-            .expect("server")
-            .run_pipelined(&trace, depth)
+            .map_err(|e| format!("server build failed: {e}"))?
+            .run_pipelined(&trace, depth))
         };
-        let fast_report = run(Placement::AllFast);
-        let slow_report = run(Placement::AllSlow);
+        let fast_report = run(Placement::AllFast)?;
+        let slow_report = run(Placement::AllSlow)?;
         let sensitivity = fast_report.throughput_ops_s() / slow_report.throughput_ops_s() - 1.0;
 
         // Feed the pipelined baselines through the normal Mnemo pipeline.
@@ -65,10 +65,13 @@ fn main() {
         });
         let consultation = advisor
             .consult_with_baselines(baselines, &trace)
-            .expect("consultation");
-        let rec = consultation.recommend(0.10).expect("curve nonempty");
-        (depth, sensitivity, rec)
+            .map_err(|e| format!("consultation failed: {e}"))?;
+        let rec = consultation
+            .recommend(0.10)
+            .ok_or("estimate curve is empty")?;
+        Ok((depth, sensitivity, rec))
     });
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -93,8 +96,9 @@ fn main() {
         "pipelining.csv",
         "depth,sensitivity,cost_reduction,fast_ratio",
         &csv,
-    );
+    )?;
     println!("\nReading: the paper's ~40% gap is an artifact of a synchronous client.");
     println!("Pipelined clients amortise the fixed cost, memory dominates, and the same");
     println!("SLO needs much more FastMem — cost sizing depends on the client model too.");
+    Ok(())
 }

@@ -16,8 +16,8 @@ use mnemo_bench::{measurement_noise, print_table, scale_divisor, testbed_for, wr
 use mnemo_stream::{StreamConfig, StreamProfiler};
 use ycsb::{DistKind, WorkloadSpec};
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     let d = scale_divisor();
     let keys = (10_000u64 / d).max(100);
     let requests = (1_000_000usize / d as usize).max(1_000);
@@ -42,15 +42,15 @@ fn main() {
     };
     let baselines = SensitivityEngine::new(config.spec.clone(), config.noise)
         .measure(StoreKind::Redis, &trace)
-        .expect("baseline measurement failed");
+        .map_err(|e| format!("baseline measurement failed: {e}"))?;
     let advisor = Advisor::new(config);
 
     // The reference: the offline Pattern Engine with exact per-key stats.
     let exact = advisor
         .consult_with_baselines(baselines.clone(), &trace)
-        .expect("offline consultation failed")
+        .map_err(|e| format!("offline consultation failed: {e}"))?
         .recommend(slo)
-        .expect("empty curve");
+        .ok_or("offline estimate curve is empty")?;
     println!(
         "exact offline MnemoT @{:.0}% SLO: {:.1}% FastMem bytes, cost {:.3}x\n",
         slo * 100.0,
@@ -70,9 +70,9 @@ fn main() {
         let head = approx.head_keys.len();
         let streamed = advisor
             .consult_with_pattern(baselines.clone(), approx.pattern)
-            .expect("streaming consultation failed")
+            .map_err(|e| format!("streaming consultation failed: {e}"))?
             .recommend(slo)
-            .expect("empty streamed curve");
+            .ok_or("streamed estimate curve is empty")?;
         let rel_err = (streamed.cost_reduction - exact.cost_reduction).abs() / exact.cost_reduction;
         rows.push(vec![
             format!("{kib}"),
@@ -110,5 +110,6 @@ fn main() {
         "streaming_accuracy.csv",
         "budget_kib,used_bytes,head_keys,distinct_est,fast_ratio,cost_stream,cost_exact,rel_err",
         &csv,
-    );
+    )?;
+    Ok(())
 }

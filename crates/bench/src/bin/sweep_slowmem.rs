@@ -20,13 +20,13 @@ const POINTS: [(&str, f64, f64); 6] = [
     ("extreme", 0.02, 20.0),
 ];
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!("SlowMem technology sweep (Trending, Redis, 10% SLO, p = 0.2)");
-    let spec_w = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
+    let spec_w = paper_workload("trending")?;
     let trace = spec_w.generate(seed_for(&spec_w.name));
 
-    let results = mnemo_bench::parallel(POINTS.len(), |i| {
+    let results = mnemo_bench::parallel(POINTS.len(), |i| -> Result<_, String> {
         let (label, b, l) = POINTS[i];
         let mut spec = HybridSpec::paper_testbed();
         spec.slow = TierSpec::derived(&spec.fast, b, l);
@@ -45,10 +45,13 @@ fn main() {
         });
         let consultation = advisor
             .consult(StoreKind::Redis, &trace)
-            .expect("consultation");
-        let rec = consultation.recommend(0.10).expect("curve nonempty");
-        (label, b, l, consultation.baselines.sensitivity(), rec)
+            .map_err(|e| format!("consultation failed: {e}"))?;
+        let rec = consultation
+            .recommend(0.10)
+            .ok_or("recommendation on an empty curve")?;
+        Ok((label, b, l, consultation.baselines.sensitivity(), rec))
     });
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -80,8 +83,9 @@ fn main() {
         "sweep_slowmem.csv",
         "label,bandwidth_factor,latency_factor,sensitivity,cost_reduction,fast_ratio",
         &csv,
-    );
+    )?;
     println!("\nExpected shape: the faster the NVM, the less FastMem the SLO needs and the");
     println!("closer the bill falls to the 0.20 floor; very slow NVM forces FastMem to hold");
     println!("most of the hot set and erodes the savings.");
+    Ok(())
 }

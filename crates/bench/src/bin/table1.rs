@@ -4,8 +4,8 @@
 use hybridmem::HybridSpec;
 use mnemo_bench::{print_table, write_csv};
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     let spec = HybridSpec::paper_testbed();
     let (b, l) = spec.slow_factors();
     print_table(
@@ -42,7 +42,7 @@ fn main() {
                 spec.slow.read_latency_ns, spec.slow.bandwidth_bytes_per_ns
             ),
         ],
-    );
+    )?;
     println!(
         "\nLLC: {} MB ({} model), line {} B, {}-way",
         spec.cache.capacity_bytes >> 20,
@@ -54,4 +54,5 @@ fn main() {
         spec.cache.line_bytes,
         spec.cache.ways
     );
+    Ok(())
 }

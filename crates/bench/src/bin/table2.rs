@@ -4,8 +4,8 @@
 use cloudcost::CostModel;
 use mnemo_bench::print_table;
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     let model = CostModel::default();
     let total: u64 = 1 << 30; // a nominal 1 GiB dataset (C bytes)
     let rows = model.table2(total, 0.2);
@@ -34,4 +34,5 @@ fn main() {
             point.reduction_factor
         );
     }
+    Ok(())
 }

@@ -3,8 +3,8 @@
 use mnemo_bench::{paper_workloads, print_table};
 use ycsb::SizeModel;
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     let rows: Vec<Vec<String>> = paper_workloads()
         .iter()
         .map(|w| {
@@ -49,4 +49,5 @@ fn main() {
         ],
         &rows,
     );
+    Ok(())
 }

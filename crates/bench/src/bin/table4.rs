@@ -25,10 +25,10 @@ use mnemo_bench::{
 };
 use std::time::Duration;
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!("Table IV: profiling overhead comparison (wall-clock on this host)");
-    let spec = paper_workload("timeline").unwrap_or_else(|e| panic!("{e}"));
+    let spec = paper_workload("timeline")?;
     let trace = spec.generate(seed_for(&spec.name));
     let engine = SensitivityEngine::new(
         testbed_for(&trace),
@@ -38,8 +38,10 @@ fn main() {
 
     // MnemoT: two baseline executions + description-only tiering.
     let baselines = timer.stage("baselines", 2, || {
-        engine.measure(StoreKind::Redis, &trace).expect("baselines")
-    });
+        engine
+            .measure(StoreKind::Redis, &trace)
+            .map_err(|e| format!("baseline measurement failed: {e}"))
+    })?;
     let order = timer.stage("tiering", trace.keys() as usize, || {
         let pattern = PatternEngine::analyze(&trace);
         MnemoT::weight_order(&pattern)
@@ -61,31 +63,33 @@ fn main() {
         .collect();
     let samples = timer.stage("training", train_traces.len(), || {
         MlBaselineProfiler::collect_training(&engine, StoreKind::Redis, &train_traces)
-            .expect("training corpus")
-    });
+            .map_err(|e| format!("training-corpus collection failed: {e}"))
+    })?;
     let profiler = MlBaselineProfiler::new(MlBaselineModel::train(&samples));
     let inferred = timer.stage("tahoe_profile", 1, || {
         profiler
             .profile(&engine, StoreKind::Redis, &trace)
-            .expect("inference")
-    });
-    let real = engine.measure(StoreKind::Redis, &trace).expect("reference");
+            .map_err(|e| format!("inference failed: {e}"))
+    })?;
+    let real = engine
+        .measure(StoreKind::Redis, &trace)
+        .map_err(|e| format!("reference measurement failed: {e}"))?;
     let infer_err =
         (inferred.fast.runtime_ns - real.fast.runtime_ns).abs() / real.fast.runtime_ns * 100.0;
 
     let stages = timer.stages();
-    let wall = |name: &str| -> Duration {
+    let wall = |name: &str| -> Result<Duration, String> {
         stages
             .iter()
             .find(|s| s.name == name)
             .map(|s| s.wall)
-            .expect("stage was recorded")
+            .ok_or_else(|| format!("stage {name} was not recorded"))
     };
-    let baseline_time = wall("baselines");
-    let tiering_time = wall("tiering");
-    let instr_time = wall("instrumentation");
-    let training_time = wall("training");
-    let tahoe_profile_time = wall("tahoe_profile");
+    let baseline_time = wall("baselines")?;
+    let tiering_time = wall("tiering")?;
+    let instr_time = wall("instrumentation")?;
+    let training_time = wall("training")?;
+    let tahoe_profile_time = wall("tahoe_profile")?;
 
     let ms = |d: Duration| format!("{:.1} ms", d.as_secs_f64() * 1e3);
     print_table(
@@ -159,7 +163,8 @@ fn main() {
                 (training_time + tahoe_profile_time).as_secs_f64() * 1e3
             ),
         ],
-    );
-    write_timing(&timer);
-    mnemo_bench::export_telemetry("table4", &[timer.snapshot()]);
+    )?;
+    write_timing(&timer)?;
+    mnemo_bench::export_telemetry("table4", &[timer.snapshot()])?;
+    Ok(())
 }

@@ -12,15 +12,15 @@ use mnemo_bench::{consult, paper_workload, print_table, seed_for, testbed_for, w
 const RUNS: usize = 8;
 const POINTS: usize = 5;
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!("Measurement variance across {RUNS} independently-jittered runs (Trending, Redis)");
-    let spec = paper_workload("trending").unwrap_or_else(|e| panic!("{e}"));
+    let spec = paper_workload("trending")?;
     let trace = spec.generate(seed_for(&spec.name));
-    let consultation = consult(StoreKind::Redis, &trace, OrderingKind::TouchOrder);
+    let consultation = consult(StoreKind::Redis, &trace, OrderingKind::TouchOrder)?;
 
     // One evaluation campaign per noise seed.
-    let campaigns: Vec<Vec<EvalPoint>> = mnemo_bench::parallel(RUNS, |i| {
+    let campaigns = mnemo_bench::parallel(RUNS, |i| -> Result<_, String> {
         mnemo::accuracy::evaluate(
             StoreKind::Redis,
             &trace,
@@ -29,8 +29,9 @@ fn main() {
             hybridmem::clock::NoiseConfig::default_jitter(1000 + i as u64),
             POINTS,
         )
-        .expect("evaluation")
+        .map_err(|e| format!("evaluation failed: {e}"))
     });
+    let campaigns: Vec<Vec<EvalPoint>> = campaigns.into_iter().collect::<Result<_, _>>()?;
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -59,8 +60,9 @@ fn main() {
         "variance.csv",
         "cost_reduction,mean_ops_s,sd_ops_s,mean_abs_err_pct",
         &csv,
-    );
+    )?;
     println!("\nWith 2% per-request jitter over 100k requests, run-to-run throughput");
     println!("variation is tiny (law of large numbers), which is why the paper can");
     println!("report a 0.07% median estimate error from physical measurements.");
+    Ok(())
 }

@@ -9,8 +9,8 @@ use ycsb::WorkloadSpec;
 
 const SLO_SLOWDOWN: f64 = 0.10;
 
-fn main() {
-    mnemo_bench::harness_args();
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
     println!("YCSB core workloads (A-F): sensitivity and sizing at a 10% SLO");
     let d = scale_divisor();
     // The suite at YCSB's default ~1 KB records, plus a 100 KB "media"
@@ -34,17 +34,18 @@ fn main() {
     let jobs: Vec<(usize, usize)> = (0..stores().len())
         .flat_map(|s| (0..suite.len()).map(move |w| (s, w)))
         .collect();
-    let results = mnemo_bench::parallel(jobs.len(), |i| {
+    let results = mnemo_bench::parallel(jobs.len(), |i| -> Result<_, String> {
         let (s, w) = jobs[i];
         let spec = &suite[w];
         let trace = spec.generate(seed_for(&spec.name));
-        let consultation = consult(stores()[s], &trace, OrderingKind::MnemoT);
+        let consultation = consult(stores()[s], &trace, OrderingKind::MnemoT)?;
         let sensitivity = consultation.baselines.sensitivity();
         let rec = consultation
             .recommend(SLO_SLOWDOWN)
-            .expect("nonempty curve");
-        (s, w, sensitivity, rec)
+            .ok_or("recommendation on an empty curve")?;
+        Ok((s, w, sensitivity, rec))
     });
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -59,7 +60,7 @@ fn main() {
             let (_, _, sens, rec) = results
                 .iter()
                 .find(|(rs, rw, _, _)| *rs == s && *rw == w)
-                .expect("result present");
+                .ok_or_else(|| format!("missing result for store {s} workload {w}"))?;
             row.push(format!(
                 "{:+.0}% / {:.2}x",
                 sens * 100.0,
@@ -88,9 +89,10 @@ fn main() {
         "ycsb_core.csv",
         "workload,store,sensitivity,cost_reduction,fast_ratio",
         &csv,
-    );
+    )?;
     println!("\nExpected shape: read-only C is the most savings-friendly zipfian workload;");
     println!("update-heavy A and RMW-heavy F are damped by write traffic; scan-heavy E");
     println!("streams large ranges and behaves like a read-only workload with a flatter");
     println!("access CDF (scan starts are zipfian but scans sweep cold keys too).");
+    Ok(())
 }

@@ -23,6 +23,11 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 use ycsb::{Trace, WorkloadSpec};
 
+/// Harness-level error: a human-readable message. Experiment mains
+/// return `Result<(), HarnessError>` so failures exit nonzero through
+/// `main`'s `Termination` instead of panicking mid-run.
+pub type HarnessError = String;
+
 static TELEMETRY_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 
 /// Paper scale: Table III uses 10,000 keys and 100,000 requests. The
@@ -95,10 +100,14 @@ pub fn paper_advisor(trace: &Trace, ordering: OrderingKind, model: ModelKind) ->
 }
 
 /// Consult with the standard configuration.
-pub fn consult(store: StoreKind, trace: &Trace, ordering: OrderingKind) -> Consultation {
+pub fn consult(
+    store: StoreKind,
+    trace: &Trace,
+    ordering: OrderingKind,
+) -> Result<Consultation, HarnessError> {
     paper_advisor(trace, ordering, ModelKind::GlobalAverage)
         .consult(store, trace)
-        .expect("consultation failed")
+        .map_err(|e| format!("consultation failed: {e}"))
 }
 
 /// Measured-vs-estimated points along a consultation's curve.
@@ -107,7 +116,7 @@ pub fn eval_points(
     trace: &Trace,
     consultation: &Consultation,
     points: usize,
-) -> Vec<EvalPoint> {
+) -> Result<Vec<EvalPoint>, HarnessError> {
     mnemo::accuracy::evaluate(
         store,
         trace,
@@ -116,7 +125,7 @@ pub fn eval_points(
         measurement_noise(1234),
         points,
     )
-    .expect("evaluation failed")
+    .map_err(|e| format!("evaluation failed: {e}"))
 }
 
 /// Run `jobs` closures as coarse jobs on the bounded worker pool and
@@ -133,22 +142,32 @@ pub fn parallel<T: Send, F: Fn(usize) -> T + Sync>(jobs: usize, f: F) -> Vec<T> 
 /// and return the remaining command-line arguments in order, so
 /// binaries with positional arguments (e.g. `fig5 [a|b|c]`) keep
 /// working.
-pub fn harness_args() -> Vec<String> {
-    let (jobs, rest) = strip_jobs_flag(std::env::args().skip(1).collect());
+pub fn harness_args() -> Result<Vec<String>, HarnessError> {
+    let (jobs, rest) = strip_jobs_flag(std::env::args().skip(1).collect())?;
     if let Some(n) = jobs {
         mnemo_par::set_jobs(n);
     }
-    let (telemetry, rest) = strip_telemetry_flag(rest);
+    let (telemetry, rest) = strip_telemetry_flag(rest)?;
     if let Some(dir) = telemetry {
-        *TELEMETRY_DIR.lock().unwrap() = Some(PathBuf::from(dir));
+        *lock_telemetry_dir() = Some(PathBuf::from(dir));
     }
-    rest
+    Ok(rest)
+}
+
+/// The telemetry-directory override cell; poison recovery keeps the
+/// harness total even if a panicking test held the lock.
+fn lock_telemetry_dir() -> std::sync::MutexGuard<'static, Option<PathBuf>> {
+    TELEMETRY_DIR
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Split the `--telemetry DIR` / `--telemetry=DIR` flag out of an
 /// argument vector (last occurrence wins), mirroring
 /// [`strip_jobs_flag`].
-pub fn strip_telemetry_flag(mut args: Vec<String>) -> (Option<String>, Vec<String>) {
+pub fn strip_telemetry_flag(
+    mut args: Vec<String>,
+) -> Result<(Option<String>, Vec<String>), HarnessError> {
     let mut dir = None;
     let mut i = 0;
     while i < args.len() {
@@ -158,7 +177,7 @@ pub fn strip_telemetry_flag(mut args: Vec<String>) -> (Option<String>, Vec<Strin
         } else if args[i] == "--telemetry" {
             dir = Some(
                 args.get(i + 1)
-                    .unwrap_or_else(|| panic!("--telemetry needs a directory"))
+                    .ok_or("--telemetry needs a directory")?
                     .clone(),
             );
             args.drain(i..=i + 1);
@@ -166,7 +185,7 @@ pub fn strip_telemetry_flag(mut args: Vec<String>) -> (Option<String>, Vec<Strin
             i += 1;
         }
     }
-    (dir, args)
+    Ok((dir, args))
 }
 
 /// Where telemetry exports land, if enabled: the `--telemetry DIR`
@@ -174,7 +193,7 @@ pub fn strip_telemetry_flag(mut args: Vec<String>) -> (Option<String>, Vec<Strin
 /// `MNEMO_TELEMETRY` environment variable. `None` means telemetry
 /// export is off.
 pub fn telemetry_dir() -> Option<PathBuf> {
-    if let Some(dir) = TELEMETRY_DIR.lock().unwrap().clone() {
+    if let Some(dir) = lock_telemetry_dir().clone() {
         return Some(dir);
     }
     std::env::var("MNEMO_TELEMETRY")
@@ -188,41 +207,47 @@ pub fn telemetry_dir() -> Option<PathBuf> {
 /// enabled; a no-op otherwise. Sim-domain artifacts in the export are
 /// byte-deterministic; wall-clock files carry the `timing-` filename
 /// prefix the CI determinism/golden gates exclude.
-pub fn export_telemetry(label: &str, snaps: &[mnemo_telemetry::Snapshot]) {
-    let Some(base) = telemetry_dir() else { return };
+pub fn export_telemetry(
+    label: &str,
+    snaps: &[mnemo_telemetry::Snapshot],
+) -> Result<(), HarnessError> {
+    let Some(base) = telemetry_dir() else {
+        return Ok(());
+    };
     let dir = base.join(format!("telemetry-{label}"));
-    mnemo_telemetry::export::write_dir(&dir, snaps).expect("cannot write telemetry export");
+    mnemo_telemetry::export::write_dir(&dir, snaps)
+        .map_err(|e| format!("cannot write telemetry export to {}: {e}", dir.display()))?;
     println!("  [telemetry] {}", dir.display());
+    Ok(())
 }
 
 /// Split the `--jobs N` / `--jobs=N` flag out of an argument vector.
 /// Returns the requested worker count (last occurrence wins) and the
 /// remaining arguments in their original order.
-pub fn strip_jobs_flag(mut args: Vec<String>) -> (Option<usize>, Vec<String>) {
-    let parse = |v: &str| -> usize {
+pub fn strip_jobs_flag(
+    mut args: Vec<String>,
+) -> Result<(Option<usize>, Vec<String>), HarnessError> {
+    let parse = |v: &str| -> Result<usize, HarnessError> {
         v.parse::<usize>()
             .ok()
             .filter(|&n| n >= 1)
-            .unwrap_or_else(|| panic!("--jobs needs a positive integer, got '{v}'"))
+            .ok_or_else(|| format!("--jobs needs a positive integer, got '{v}'"))
     };
     let mut jobs = None;
     let mut i = 0;
     while i < args.len() {
         if let Some(v) = args[i].strip_prefix("--jobs=") {
-            jobs = Some(parse(v));
+            jobs = Some(parse(v)?);
             args.remove(i);
         } else if args[i] == "--jobs" {
-            let v = args
-                .get(i + 1)
-                .unwrap_or_else(|| panic!("--jobs needs a value"))
-                .clone();
-            jobs = Some(parse(&v));
+            let v = args.get(i + 1).ok_or("--jobs needs a value")?.clone();
+            jobs = Some(parse(&v)?);
             args.drain(i..=i + 1);
         } else {
             i += 1;
         }
     }
-    (jobs, args)
+    Ok((jobs, args))
 }
 
 /// Write a [`SweepTimer`]'s per-stage wall-clock summary as
@@ -230,29 +255,34 @@ pub fn strip_jobs_flag(mut args: Vec<String>) -> (Option<usize>, Vec<String>) {
 /// summary to stderr. Timing artifacts are intentionally prefixed so the
 /// CI determinism/golden gates can exclude them — wall-clock values are
 /// not byte-stable.
-pub fn write_timing(timer: &SweepTimer) {
-    let path = out_dir().join(format!("timing-{}.csv", timer.label()));
-    fs::write(&path, timer.to_csv()).expect("cannot write timing csv");
+pub fn write_timing(timer: &SweepTimer) -> Result<(), HarnessError> {
+    let path = out_dir()?.join(format!("timing-{}.csv", timer.label()));
+    fs::write(&path, timer.to_csv())
+        .map_err(|e| format!("cannot write timing csv {}: {e}", path.display()))?;
     eprintln!("{} -> {}", timer.summary(), path.display());
+    Ok(())
 }
 
 /// Where experiment CSVs land.
-pub fn out_dir() -> PathBuf {
+pub fn out_dir() -> Result<PathBuf, HarnessError> {
     let dir =
         PathBuf::from(std::env::var("MNEMO_OUT").unwrap_or_else(|_| "target/experiments".into()));
-    fs::create_dir_all(&dir).expect("cannot create experiment output dir");
-    dir
+    fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create experiment output dir {}: {e}", dir.display()))?;
+    Ok(dir)
 }
 
 /// Write a CSV artifact and report its path on stdout.
-pub fn write_csv(name: &str, header: &str, rows: &[String]) {
-    let path = out_dir().join(name);
-    let mut f = fs::File::create(&path).expect("cannot create csv");
-    writeln!(f, "{header}").unwrap();
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> Result<(), HarnessError> {
+    let path = out_dir()?.join(name);
+    let err = |e: std::io::Error| format!("cannot write csv {}: {e}", path.display());
+    let mut f = fs::File::create(&path).map_err(err)?;
+    writeln!(f, "{header}").map_err(err)?;
     for row in rows {
-        writeln!(f, "{row}").unwrap();
+        writeln!(f, "{row}").map_err(err)?;
     }
     println!("  [csv] {}", path.display());
+    Ok(())
 }
 
 /// Print an aligned plain-text table.
@@ -347,33 +377,33 @@ mod tests {
     #[test]
     fn jobs_flag_is_stripped_in_both_forms() {
         let argv = |parts: &[&str]| parts.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        let (jobs, rest) = strip_jobs_flag(argv(&["a", "--jobs", "3", "b"]));
+        let (jobs, rest) = strip_jobs_flag(argv(&["a", "--jobs", "3", "b"])).unwrap();
         assert_eq!(jobs, Some(3));
         assert_eq!(rest, argv(&["a", "b"]));
-        let (jobs, rest) = strip_jobs_flag(argv(&["--jobs=7"]));
+        let (jobs, rest) = strip_jobs_flag(argv(&["--jobs=7"])).unwrap();
         assert_eq!(jobs, Some(7));
         assert!(rest.is_empty());
-        let (jobs, rest) = strip_jobs_flag(argv(&["fig5", "a"]));
+        let (jobs, rest) = strip_jobs_flag(argv(&["fig5", "a"])).unwrap();
         assert_eq!(jobs, None);
         assert_eq!(rest, argv(&["fig5", "a"]));
     }
 
     #[test]
-    #[should_panic(expected = "positive integer")]
     fn jobs_flag_rejects_garbage() {
-        let _ = strip_jobs_flag(vec!["--jobs=zero".to_string()]);
+        let err = strip_jobs_flag(vec!["--jobs=zero".to_string()]).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
     }
 
     #[test]
     fn telemetry_flag_is_stripped_in_both_forms() {
         let argv = |parts: &[&str]| parts.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        let (dir, rest) = strip_telemetry_flag(argv(&["a", "--telemetry", "out", "b"]));
+        let (dir, rest) = strip_telemetry_flag(argv(&["a", "--telemetry", "out", "b"])).unwrap();
         assert_eq!(dir.as_deref(), Some("out"));
         assert_eq!(rest, argv(&["a", "b"]));
-        let (dir, rest) = strip_telemetry_flag(argv(&["--telemetry=x/y"]));
+        let (dir, rest) = strip_telemetry_flag(argv(&["--telemetry=x/y"])).unwrap();
         assert_eq!(dir.as_deref(), Some("x/y"));
         assert!(rest.is_empty());
-        let (dir, rest) = strip_telemetry_flag(argv(&["fig5", "a"]));
+        let (dir, rest) = strip_telemetry_flag(argv(&["fig5", "a"])).unwrap();
         assert_eq!(dir, None);
         assert_eq!(rest, argv(&["fig5", "a"]));
     }
@@ -381,11 +411,11 @@ mod tests {
     #[test]
     fn export_telemetry_writes_under_the_configured_dir() {
         let base = std::env::temp_dir().join(format!("mnemo-bench-tel-{}", std::process::id()));
-        *TELEMETRY_DIR.lock().unwrap() = Some(base.clone());
+        *lock_telemetry_dir() = Some(base.clone());
         let mut tel = mnemo_telemetry::Recorder::new();
         tel.count("x", 3);
-        export_telemetry("unit", &[tel.snapshot(0)]);
-        *TELEMETRY_DIR.lock().unwrap() = None;
+        export_telemetry("unit", &[tel.snapshot(0)]).unwrap();
+        *lock_telemetry_dir() = None;
         let exported = base.join("telemetry-unit");
         assert!(exported.join("telemetry.jsonl").exists());
         assert!(exported.join("schema.csv").exists());

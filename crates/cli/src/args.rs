@@ -1,7 +1,7 @@
 //! Minimal argument parsing (the approved dependency set has no CLI
 //! parser, and four subcommands do not justify one).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parsed arguments: positional words plus `--flag [value]` options.
 #[derive(Debug, Clone, Default)]
@@ -9,7 +9,7 @@ pub struct Parsed {
     /// Positional arguments in order (the first is the subcommand).
     pub positional: Vec<String>,
     /// `--key value` / `-k value` options; bare flags map to `""`.
-    pub options: HashMap<String, String>,
+    pub options: BTreeMap<String, String>,
 }
 
 impl Parsed {

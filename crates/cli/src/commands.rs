@@ -666,3 +666,27 @@ pub fn plan(parsed: &mut Parsed) -> Result<String, CliError> {
     }
     Ok(out)
 }
+
+/// `mnemo lint [--root DIR] [--format human|json] [--deny-warnings]`
+///
+/// Runs the workspace determinism/robustness linter (the same engine as
+/// the standalone `mnemo-lint` binary). The rendered report is returned
+/// on success; when unallowed findings exist it comes back as
+/// [`CliError::Lint`] so the process exits 1 with the report on stdout.
+pub fn lint(parsed: &mut Parsed) -> Result<String, CliError> {
+    let root = parsed.get_or("root", ".").to_string();
+    let format = match parsed.options.get("format").filter(|v| !v.is_empty()) {
+        None => mnemo_lint::Format::Human,
+        Some(v) => mnemo_lint::Format::parse(v)
+            .ok_or_else(|| CliError::Usage(format!("unknown format '{v}' (human|json)")))?,
+    };
+    let deny_warnings = parsed.flag("deny-warnings");
+    let report = mnemo_lint::lint_tree(std::path::Path::new(&root))
+        .map_err(|e| CliError::Io(format!("cannot scan '{root}': {e}")))?;
+    let rendered = mnemo_lint::render(&report, format);
+    if report.is_failure(deny_warnings) {
+        Err(CliError::Lint(rendered))
+    } else {
+        Ok(rendered)
+    }
+}

@@ -5,6 +5,7 @@
 //!
 //! | class             | exit code | examples                                   |
 //! |-------------------|-----------|--------------------------------------------|
+//! | [`CliError::Lint`]   | 1      | `mnemo lint` found rule violations         |
 //! | [`CliError::Usage`]  | 2      | unknown command, bad flag value            |
 //! | [`CliError::Io`]     | 3      | unreadable trace path, unwritable output   |
 //! | [`CliError::Parse`]  | 4      | malformed trace line, invalid fault plan   |
@@ -13,6 +14,11 @@
 /// A fatal CLI error carrying its process exit code class.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CliError {
+    /// `mnemo lint` ran successfully but found violations; the message
+    /// is the full rendered report (printed on stdout, not stderr, so
+    /// `--format json` output stays machine-readable). Exit code 1,
+    /// matching the standalone `mnemo-lint` binary.
+    Lint(String),
     /// Bad invocation: unknown command, missing argument, out-of-range
     /// or unparsable option value. Exit code 2.
     Usage(String),
@@ -30,6 +36,7 @@ impl CliError {
     /// The process exit code for this error class.
     pub fn exit_code(&self) -> i32 {
         match self {
+            CliError::Lint(_) => 1,
             CliError::Usage(_) => 2,
             CliError::Io(_) => 3,
             CliError::Parse(_) => 4,
@@ -40,7 +47,11 @@ impl CliError {
     /// The human-readable message.
     pub fn message(&self) -> &str {
         match self {
-            CliError::Usage(m) | CliError::Io(m) | CliError::Parse(m) | CliError::Engine(m) => m,
+            CliError::Lint(m)
+            | CliError::Usage(m)
+            | CliError::Io(m)
+            | CliError::Parse(m)
+            | CliError::Engine(m) => m,
         }
     }
 }
@@ -79,13 +90,14 @@ mod tests {
     #[test]
     fn exit_codes_are_distinct_and_stable() {
         let errors = [
+            CliError::Lint("l".into()),
             CliError::Usage("u".into()),
             CliError::Io("i".into()),
             CliError::Parse("p".into()),
             CliError::Engine("e".into()),
         ];
         let codes: Vec<i32> = errors.iter().map(|e| e.exit_code()).collect();
-        assert_eq!(codes, vec![2, 3, 4, 5]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

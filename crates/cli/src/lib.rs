@@ -67,6 +67,11 @@ COMMANDS:
   analyze <trace-file>           skew statistics + synthetic equivalent
   downsample <trace-file> --factor N -o <file>
       randomly downsize a trace (distribution-preserving)
+  lint                           run the workspace determinism/robustness
+      linter over crates/ (see CONTRIBUTING.md \"Determinism rules\")
+      --root DIR                         workspace root (default .)
+      --format human|json                (default human)
+      --deny-warnings                    stale/malformed allows also fail
   plan <trace-file>              price the recommendation as cloud VMs
       --provider aws|gcp|azure           (default all)
       --deploy-gib N                     scale the split to N GiB
@@ -78,8 +83,8 @@ GLOBAL OPTIONS:
                Output is byte-identical for every value of N.
 
 EXIT CODES:
-  0 success    2 usage error    3 I/O error    4 malformed input
-  5 simulation/advisor failure
+  0 success    1 lint findings    2 usage error    3 I/O error
+  4 malformed input    5 simulation/advisor failure
 
 Run any command with --help for details.";
 
@@ -115,6 +120,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "analyze" => commands::analyze(&mut parsed),
         "downsample" => commands::downsample(&mut parsed),
         "plan" => commands::plan(&mut parsed),
+        "lint" => commands::lint(&mut parsed),
         other => {
             let mut msg = String::new();
             let _ = writeln!(msg, "unknown command '{other}'");

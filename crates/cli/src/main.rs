@@ -16,7 +16,13 @@ fn main() {
             }
         }
         Err(err) => {
-            eprintln!("error: {err}");
+            // Lint findings are the command's *output* (possibly JSON for
+            // machine consumers), not a diagnostic: keep them on stdout.
+            if let mnemo_cli::CliError::Lint(report) = &err {
+                print!("{report}");
+            } else {
+                eprintln!("error: {err}");
+            }
             std::process::exit(err.exit_code());
         }
     }

@@ -93,6 +93,7 @@ impl ErrorStats {
             q1: q(0.25),
             median: q(0.5),
             q3: q(0.75),
+            // mnemo-lint: allow(R001, "from_errors asserts non-emptiness on entry, so the sorted magnitudes have a last element")
             max: *mags.last().expect("nonempty"),
             mean: mags.iter().sum::<f64>() / mags.len() as f64,
             count: mags.len(),

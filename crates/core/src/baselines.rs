@@ -21,9 +21,8 @@
 
 use crate::pattern::PatternEngine;
 use crate::sensitivity::{BaselineRun, Baselines, SensitivityEngine};
-use hybridmem::MemTier;
+use hybridmem::{DetHashMap, DetHashSet, MemTier};
 use kvsim::{EngineError, RunReport, StoreKind};
-use std::collections::HashMap;
 use ycsb::Trace;
 
 /// Cache-line size assumed by the instrumentation shadow.
@@ -49,7 +48,7 @@ impl InstrumentedProfiler {
     /// Shadow-execute the trace, counting every cache line touched per
     /// object, and derive the weight ordering from the counts.
     pub fn profile(trace: &Trace) -> InstrumentedProfile {
-        let mut line_counts: HashMap<u64, u64> = HashMap::new();
+        let mut line_counts: DetHashMap<u64, u64> = DetHashMap::default();
         let mut events: u64 = 0;
         for r in &trace.requests {
             let bytes = trace.sizes[r.key as usize];
@@ -78,9 +77,7 @@ impl InstrumentedProfiler {
         order.sort_by(|&a, &b| {
             let da = per_key[a as usize] as f64 / trace.sizes[a as usize].max(1) as f64;
             let db = per_key[b as usize] as f64 / trace.sizes[b as usize].max(1) as f64;
-            db.partial_cmp(&da)
-                .expect("densities finite")
-                .then(a.cmp(&b))
+            db.total_cmp(&da).then(a.cmp(&b))
         });
         let amplification = if trace.is_empty() {
             0.0
@@ -136,9 +133,7 @@ impl SamplingProfiler {
         order.sort_by(|&a, &b| {
             let da = per_key[a as usize] as f64 / trace.sizes[a as usize].max(1) as f64;
             let db = per_key[b as usize] as f64 / trace.sizes[b as usize].max(1) as f64;
-            db.partial_cmp(&da)
-                .expect("densities finite")
-                .then(a.cmp(&b))
+            db.total_cmp(&da).then(a.cmp(&b))
         });
         let amplification = if trace.is_empty() {
             0.0
@@ -245,7 +240,7 @@ fn solve_linear(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> [f64; 4] {
         // Pivot.
         let pivot = (col..D)
             .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
-            .expect("nonempty range");
+            .unwrap_or(col);
         a.swap(col, pivot);
         b.swap(col, pivot);
         let diag = a[col][col];
@@ -347,8 +342,8 @@ pub fn head_agreement(trace: &Trace, head: usize) -> f64 {
     let instrumented = InstrumentedProfiler::profile(trace);
     let pattern = PatternEngine::analyze(trace);
     let mnemot = crate::tiering::MnemoT::weight_order(&pattern);
-    let a: std::collections::HashSet<u64> = instrumented.order.iter().take(head).copied().collect();
-    let b: std::collections::HashSet<u64> = mnemot.iter().take(head).copied().collect();
+    let a: DetHashSet<u64> = instrumented.order.iter().take(head).copied().collect();
+    let b: DetHashSet<u64> = mnemot.iter().take(head).copied().collect();
     a.intersection(&b).count() as f64 / head.max(1) as f64
 }
 

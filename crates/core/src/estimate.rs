@@ -101,9 +101,7 @@ impl EstimateEngine {
                 let sb = pattern.key(b);
                 let da = sa.accesses() as f64 / sa.bytes.max(1) as f64;
                 let db = sb.accesses() as f64 / sb.bytes.max(1) as f64;
-                db.partial_cmp(&da)
-                    .expect("densities finite")
-                    .then(a.cmp(&b))
+                db.total_cmp(&da).then(a.cmp(&b))
             });
             let mut factors = vec![1.0f64; deltas.len()];
             let mut resident_bytes = 0u64;
@@ -145,6 +143,7 @@ impl EstimateEngine {
     pub fn curve(&self, pattern: &PatternEngine, order: &[u64]) -> EstimateCurve {
         pattern
             .validate_order(order)
+            // mnemo-lint: allow(R001, "a non-permutation ordering is a caller programming error; surfacing it eagerly beats silently mis-estimating")
             .expect("ordering must be a permutation of the key space");
         let requests: usize = pattern.total_requests() as usize;
         let total_bytes = pattern.total_bytes();

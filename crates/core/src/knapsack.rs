@@ -37,9 +37,7 @@ pub fn greedy(items: &[Item], capacity: u64) -> Solution {
     order.sort_by(|a, b| {
         let da = a.value / a.weight.max(1) as f64;
         let db = b.value / b.weight.max(1) as f64;
-        db.partial_cmp(&da)
-            .expect("densities are finite")
-            .then(a.id.cmp(&b.id))
+        db.total_cmp(&da).then(a.id.cmp(&b.id))
     });
     let mut solution = Solution {
         selected: Vec::new(),

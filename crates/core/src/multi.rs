@@ -94,8 +94,7 @@ pub fn allocate_shared(consultations: &[Consultation], budget_bytes: u64) -> Sha
     candidates.sort_by(|a, b| {
         let da = a.delta / a.bytes as f64;
         let db = b.delta / b.bytes as f64;
-        db.partial_cmp(&da)
-            .expect("densities finite")
+        db.total_cmp(&da)
             .then(a.tenant.cmp(&b.tenant))
             .then(a.key.cmp(&b.key))
     });

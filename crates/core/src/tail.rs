@@ -78,7 +78,7 @@ impl<'a> TailEstimator<'a> {
     /// Quantiles for a prefix of a key ordering (the first `prefix` keys
     /// in FastMem) — the placement the estimate-curve rows describe.
     pub fn quantile_at_prefix(&self, order: &[u64], prefix: usize, q: f64) -> f64 {
-        let fast: std::collections::HashSet<u64> =
+        let fast: hybridmem::DetHashSet<u64> =
             order[..prefix.min(order.len())].iter().copied().collect();
         self.quantile(|k| fast.contains(&k), q)
     }

@@ -16,7 +16,7 @@
 use crate::knapsack::{self, Item, Solution};
 use crate::model::PerfModel;
 use crate::pattern::PatternEngine;
-use std::collections::HashSet;
+use hybridmem::DetHashSet;
 use ycsb::Op;
 
 /// MnemoT's tiering engine.
@@ -38,9 +38,7 @@ impl MnemoT {
             let sb = pattern.key(b);
             let wa = Self::weight(sa.accesses(), sa.bytes);
             let wb = Self::weight(sb.accesses(), sb.bytes);
-            wb.partial_cmp(&wa)
-                .expect("weights are finite")
-                .then(a.cmp(&b))
+            wb.total_cmp(&wa).then(a.cmp(&b))
         });
         order
     }
@@ -71,9 +69,9 @@ impl MnemoT {
     /// The FastMem key set chosen by the weight ordering for a fixed
     /// capacity (greedy fill in weight order, skipping keys that no
     /// longer fit) — the cheap ordering-based equivalent of the knapsack.
-    pub fn fill_capacity(pattern: &PatternEngine, capacity_bytes: u64) -> HashSet<u64> {
+    pub fn fill_capacity(pattern: &PatternEngine, capacity_bytes: u64) -> DetHashSet<u64> {
         let mut used = 0u64;
-        let mut set = HashSet::new();
+        let mut set = DetHashSet::default();
         for key in Self::weight_order(pattern) {
             let bytes = pattern.key(key).bytes;
             if used + bytes <= capacity_bytes {
@@ -198,7 +196,7 @@ mod tests {
         // The knapsack value must be at least as good as the greedy
         // weight-order fill scored under the same value function.
         let fill = MnemoT::fill_capacity(&p, cap);
-        let value_of = |keys: &HashSet<u64>| -> f64 {
+        let value_of = |keys: &DetHashSet<u64>| -> f64 {
             keys.iter()
                 .map(|&k| {
                     let s = p.key(k);

@@ -391,8 +391,14 @@ fn parse_toml(text: &str) -> Result<RawPlan, PlanError> {
         let value = parse_scalar(value, lineno)?;
         let record = match section {
             TomlSection::Top => &mut raw.top,
-            TomlSection::Backoff => raw.backoff.as_mut().expect("section set"),
-            TomlSection::Event => raw.events.last_mut().expect("section set"),
+            TomlSection::Backoff => {
+                // mnemo-lint: allow(R001, "entering [backoff] always initialises raw.backoff before any key line can reach this arm")
+                raw.backoff.as_mut().expect("section set")
+            }
+            TomlSection::Event => {
+                // mnemo-lint: allow(R001, "entering [[event]] always pushes a record before any key line can reach this arm")
+                raw.events.last_mut().expect("section set")
+            }
         };
         record.insert(key.to_string(), value, lineno)?;
     }
@@ -443,7 +449,7 @@ impl<'a> JsonParser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), PlanError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), PlanError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -476,7 +482,7 @@ impl<'a> JsonParser<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, PlanError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let Some(&b) = self.bytes.get(self.pos) else {
@@ -523,6 +529,7 @@ impl<'a> JsonParser<'a> {
                     let start = self.pos - 1;
                     let s = std::str::from_utf8(&self.bytes[start..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
+                    // mnemo-lint: allow(R001, "from_utf8 succeeded on a slice that starts at an in-bounds byte, so there is at least one char")
                     let c = s.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos = start + c.len_utf8();
@@ -541,6 +548,7 @@ impl<'a> JsonParser<'a> {
         {
             self.pos += 1;
         }
+        // mnemo-lint: allow(R001, "the scan loop above only advances past ASCII digit/sign/exponent bytes, which are valid UTF-8")
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
         if !text.contains(['.', 'e', 'E', '-']) {
             if let Ok(n) = text.parse::<u128>() {
@@ -554,7 +562,7 @@ impl<'a> JsonParser<'a> {
     }
 
     fn parse_array(&mut self) -> Result<Json, PlanError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
@@ -576,7 +584,7 @@ impl<'a> JsonParser<'a> {
     }
 
     fn parse_object(&mut self) -> Result<Json, PlanError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -586,7 +594,7 @@ impl<'a> JsonParser<'a> {
             self.skip_ws();
             let line = self.line();
             let key = self.parse_string()?;
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.parse_value()?;
             fields.push((key, value, line));
             match self.peek() {

@@ -12,10 +12,10 @@
 //! addresses only need to be stable and disjoint (they seed the cache
 //! models), not contiguous.
 
+use crate::det::DetHashMap;
 use crate::device::CapacityError;
 use crate::spec::MemTier;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Stable identifier of a simulated object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -86,7 +86,7 @@ impl std::error::Error for AllocError {
 struct TierArena {
     bump: u64,
     /// size-class -> freed addresses.
-    free: HashMap<u64, Vec<u64>>,
+    free: DetHashMap<u64, Vec<u64>>,
 }
 
 /// Round a size up to its allocation class: next power of two, with a
@@ -118,7 +118,7 @@ impl TierArena {
 #[derive(Debug, Default, Clone)]
 pub struct ObjectTable {
     next_id: u64,
-    objects: HashMap<ObjectId, Placement>,
+    objects: DetHashMap<ObjectId, Placement>,
     fast: TierArena,
     slow: TierArena,
 }

@@ -15,8 +15,9 @@
 //!   `ablation_cache` bench.
 //! * [`NoCache`] — pass-through (every byte misses).
 
+use crate::det::DetHashMap;
+use crate::num;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Outcome of pushing one object access through a cache model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -160,7 +161,7 @@ impl Cache for NoCache {
 pub struct ObjectLru {
     capacity: u64,
     used: u64,
-    map: HashMap<u64, usize>,
+    map: DetHashMap<u64, usize>,
     slab: Vec<Node>,
     free: Vec<usize>,
     head: Option<usize>, // most recently used
@@ -181,7 +182,7 @@ impl ObjectLru {
         ObjectLru {
             capacity,
             used: 0,
-            map: HashMap::new(),
+            map: DetHashMap::default(),
             slab: Vec::new(),
             free: Vec::new(),
             head: None,
@@ -292,7 +293,9 @@ impl ObjectLru {
         }
         let mut evicted = Vec::new();
         while self.used > self.capacity {
-            let tail = self.tail.expect("over budget implies a resident tail");
+            // Over budget implies a resident tail; bail defensively if
+            // the invariant is ever violated rather than spinning.
+            let Some(tail) = self.tail else { break };
             // Never evict the object just installed (it is at the head;
             // capacity guards ensure this only triggers for others).
             let victim_key = self.slab[tail].key;
@@ -422,7 +425,10 @@ impl SetAssociative {
         );
         assert!(ways >= 1);
         let lines = (capacity_bytes / line_bytes).max(1);
-        let sets = (lines as usize / ways).max(1).next_power_of_two() >> 1;
+        let sets = (num::usize_from_u64(lines) / ways)
+            .max(1)
+            .next_power_of_two()
+            >> 1;
         let sets = sets.max(1);
         SetAssociative {
             line_bytes,
@@ -437,7 +443,7 @@ impl SetAssociative {
     fn set_index(&self, line_addr: u64) -> usize {
         // Multiplicative hash spreads object-id high bits into sets.
         let h = line_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (h >> 32) as usize & (self.sets - 1)
+        num::usize_from_u64(h >> 32) & (self.sets - 1)
     }
 
     fn touch_line(&mut self, line_addr: u64) -> bool {

@@ -32,7 +32,7 @@ impl SimClock {
     /// costs are rejected.
     pub fn advance(&mut self, ns: f64) {
         assert!(ns.is_finite() && ns >= 0.0, "invalid time advance: {ns}");
-        self.now_ns += ns.round() as u128;
+        self.now_ns += crate::num::u128_from_f64(ns);
     }
 
     /// Elapsed virtual seconds.

@@ -46,12 +46,20 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Byte-size/nanosecond arithmetic must not silently truncate or drop
+// sign: casts go through the audited helpers in [`num`] (statically
+// enforced as mnemo-lint R002; the clippy pair below backs it up at
+// the compiler level for the float-domain casts R002 leaves to clippy).
+#![warn(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+#![cfg_attr(test, allow(clippy::cast_possible_truncation, clippy::cast_sign_loss))]
 
 pub mod alloc;
 pub mod cache;
 pub mod clock;
 pub mod degrade;
+pub mod det;
 pub mod device;
+pub mod num;
 pub mod spec;
 pub mod stats;
 pub mod system;
@@ -60,6 +68,7 @@ pub use alloc::{AllocError, ObjectId};
 pub use cache::{Cache, CacheConfig, CacheKind};
 pub use clock::{NoiseModel, SimClock};
 pub use degrade::{DegradationProfile, DegradationWindow, TierFactors};
+pub use det::{det_map, det_set, BuildDetHasher, DetHashMap, DetHashSet};
 pub use device::{CapacityError, Device};
 pub use spec::{AccessKind, HybridSpec, MemTier, TierSpec};
 pub use stats::{AccessStats, Histogram};

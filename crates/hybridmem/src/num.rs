@@ -1,0 +1,79 @@
+//! Checked numeric conversions for byte-size and nanosecond arithmetic.
+//!
+//! The simulator mixes `u64` byte counts, `u128` virtual nanoseconds,
+//! `f64` model outputs, and `usize` indices. A bare `as` cast between
+//! them silently truncates or drops sign — which is why the R002 lint
+//! bans `as`-to-integer in this crate. These helpers make the intended
+//! semantics explicit: lossless where the platform guarantees it,
+//! *saturating* where the source can exceed the target (an off-scale
+//! byte count clamps instead of wrapping into a plausible-looking
+//! small number).
+
+/// `u64` → `usize`, saturating (lossless on 64-bit targets).
+#[inline]
+pub fn usize_from_u64(v: u64) -> usize {
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+/// `usize` → `u64`, saturating (lossless on every supported target).
+#[inline]
+pub fn u64_from_usize(v: usize) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+/// Non-negative `f64` → `u64`, truncating toward zero and saturating at
+/// the ends; NaN maps to 0. Used for nanosecond values that were
+/// computed in the float domain.
+#[inline]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // audited: saturation is the contract
+pub fn u64_from_f64(v: f64) -> u64 {
+    // mnemo-lint: allow(R002, "float-to-int `as` is the checked primitive: it saturates and maps NaN to 0 by language definition")
+    v as u64
+}
+
+/// Non-negative `f64` nanoseconds → `u128`, rounding to the nearest
+/// integer, saturating, NaN → 0.
+#[inline]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // audited: saturation is the contract
+pub fn u128_from_f64(v: f64) -> u128 {
+    // mnemo-lint: allow(R002, "float-to-int `as` is the checked primitive: it saturates and maps NaN to 0 by language definition")
+    v.round() as u128
+}
+
+/// `u64` → `i32` exponent, saturating. For power-of-two bucket math
+/// (`2f64.powi(...)`), where saturation turns an absurd exponent into
+/// `inf` rather than wrapping into a negative power.
+#[inline]
+pub fn i32_exp_from_u64(v: u64) -> i32 {
+    i32::try_from(v).unwrap_or(i32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usize_u64_round_trip_is_lossless_in_range() {
+        for v in [0u64, 1, 255, 1 << 32, u64::from(u32::MAX)] {
+            assert_eq!(u64_from_usize(usize_from_u64(v)), v);
+        }
+    }
+
+    #[test]
+    fn f64_conversions_truncate_saturate_and_absorb_nan() {
+        assert_eq!(u64_from_f64(0.0), 0);
+        assert_eq!(u64_from_f64(1.9), 1);
+        assert_eq!(u64_from_f64(-5.0), 0);
+        assert_eq!(u64_from_f64(f64::NAN), 0);
+        assert_eq!(u64_from_f64(f64::INFINITY), u64::MAX);
+        assert_eq!(u128_from_f64(100.4), 100);
+        assert_eq!(u128_from_f64(100.6), 101);
+        assert_eq!(u128_from_f64(f64::NAN), 0);
+    }
+
+    #[test]
+    fn exponent_saturates() {
+        assert_eq!(i32_exp_from_u64(31), 31);
+        assert_eq!(i32_exp_from_u64(u64::MAX), i32::MAX);
+    }
+}

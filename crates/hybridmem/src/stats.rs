@@ -1,5 +1,6 @@
 //! Access statistics and service-time histograms.
 
+use crate::num;
 use crate::spec::AccessKind;
 use serde::{Deserialize, Serialize};
 
@@ -134,26 +135,28 @@ impl Histogram {
     }
 
     fn bucket_of(&self, value_ns: f64) -> usize {
-        let v = value_ns.max(0.0) as u64;
-        if v < self.subdivisions as u64 {
-            return v as usize;
+        let v = num::u64_from_f64(value_ns.max(0.0));
+        if v < u64::from(self.subdivisions) {
+            return num::usize_from_u64(v);
         }
         let exp = 63 - v.leading_zeros(); // floor(log2 v)
         let shift = exp - self.subdivisions.trailing_zeros();
-        let sub = (v >> shift) - self.subdivisions as u64; // 0..subdivisions
-        ((exp - self.subdivisions.trailing_zeros() + 1) as u64 * self.subdivisions as u64 + sub)
-            as usize
+        let sub = (v >> shift) - u64::from(self.subdivisions); // 0..subdivisions
+        num::usize_from_u64(
+            u64::from(exp - self.subdivisions.trailing_zeros() + 1) * u64::from(self.subdivisions)
+                + sub,
+        )
     }
 
     fn bucket_lower(&self, bucket: usize) -> f64 {
-        let subs = self.subdivisions as u64;
-        let b = bucket as u64;
+        let subs = u64::from(self.subdivisions);
+        let b = num::u64_from_usize(bucket);
         if b < subs {
             return b as f64;
         }
         let tier = b / subs; // >= 1
         let sub = b % subs;
-        ((subs + sub) as f64) * 2f64.powi(tier as i32 - 1)
+        ((subs + sub) as f64) * 2f64.powi(num::i32_exp_from_u64(tier) - 1)
     }
 
     /// Record one sample (nanoseconds).
@@ -213,7 +216,7 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let rank = num::u64_from_f64((q * self.total as f64).ceil()).clamp(1, self.total);
         let mut seen = 0;
         for (b, &c) in self.counts.iter().enumerate() {
             seen += c;

@@ -160,10 +160,9 @@ impl HybridMemory {
                 tier: target,
                 source,
             })?;
-        let (old, _new) = self
-            .objects
-            .migrate(id, target)
-            .expect("object vanished mid-migration");
+        // `get(id)` above proved the object is live, so this cannot
+        // fail; if it ever does, propagate rather than abort.
+        let (old, _new) = self.objects.migrate(id, target)?;
         self.device(old.tier).release(old.bytes);
         self.cache.invalidate(id.0);
         let read = self.device(old.tier).access_ns(AccessKind::Read, old.bytes);

@@ -17,15 +17,14 @@ use crate::engine::EngineError;
 use crate::profile::StoreKind;
 use crate::server::{make_engine, Placement, RequestSample, RunReport};
 use hybridmem::clock::NoiseConfig;
-use hybridmem::{Histogram, HybridSpec, MemTier, NoiseModel, SimClock};
-use std::collections::HashSet;
+use hybridmem::{DetHashSet, Histogram, HybridSpec, MemTier, NoiseModel, SimClock};
 use ycsb::{Op, Trace};
 
 /// A FastMem server + SlowMem server pair with client-side routing.
 pub struct TwoInstanceCluster {
     fast: Box<dyn crate::engine::KvEngine>,
     slow: Box<dyn crate::engine::KvEngine>,
-    fast_keys: HashSet<u64>,
+    fast_keys: DetHashSet<u64>,
     noise: NoiseModel,
     store: StoreKind,
 }
@@ -36,7 +35,7 @@ impl TwoInstanceCluster {
     pub fn build(
         kind: StoreKind,
         trace: &Trace,
-        fast_keys: HashSet<u64>,
+        fast_keys: DetHashSet<u64>,
     ) -> Result<TwoInstanceCluster, EngineError> {
         TwoInstanceCluster::build_with(
             kind,
@@ -53,7 +52,7 @@ impl TwoInstanceCluster {
         spec: HybridSpec,
         noise: NoiseConfig,
         trace: &Trace,
-        fast_keys: HashSet<u64>,
+        fast_keys: DetHashSet<u64>,
     ) -> Result<TwoInstanceCluster, EngineError> {
         let mut fast = make_engine(kind, spec.clone());
         let mut slow = make_engine(kind, spec);
@@ -160,6 +159,7 @@ impl TwoInstanceCluster {
                 Op::Read => instance.get(r.key),
                 Op::Update => instance.put(r.key),
             }
+            // mnemo-lint: allow(R001, "build() loads every key of the trace into one of the two instances, so routing cannot hit an unloaded key")
             .expect("trace references unloaded key");
             let ns = self.noise.perturb(raw);
             clock.advance(ns);
@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn routing_respects_fast_set() {
         let t = trace();
-        let fast: HashSet<u64> = (0..50).collect();
+        let fast: DetHashSet<u64> = (0..50).collect();
         let c = TwoInstanceCluster::build(StoreKind::Redis, &t, fast).unwrap();
         assert_eq!(c.route(10), MemTier::Fast);
         assert_eq!(c.route(60), MemTier::Slow);
@@ -226,7 +226,7 @@ mod tests {
     #[test]
     fn cluster_agrees_with_single_placement_aware_server() {
         let t = trace();
-        let fast: HashSet<u64> = (0..100).collect();
+        let fast: DetHashSet<u64> = (0..100).collect();
         let mut cluster = TwoInstanceCluster::build(StoreKind::Redis, &t, fast.clone()).unwrap();
         let cr = cluster.run(&t);
         let sr = Server::build(StoreKind::Redis, &t, Placement::FastSet(fast))
@@ -246,7 +246,8 @@ mod tests {
     #[test]
     fn empty_fast_set_equals_all_slow() {
         let t = trace();
-        let mut cluster = TwoInstanceCluster::build(StoreKind::Redis, &t, HashSet::new()).unwrap();
+        let mut cluster =
+            TwoInstanceCluster::build(StoreKind::Redis, &t, DetHashSet::default()).unwrap();
         let cr = cluster.run(&t);
         let sr = Server::build(StoreKind::Redis, &t, Placement::AllSlow)
             .unwrap()
@@ -263,7 +264,7 @@ mod tests {
     #[test]
     fn telemetered_cluster_counts_routing_decisions() {
         let t = trace();
-        let fast: HashSet<u64> = (0..50).collect();
+        let fast: DetHashSet<u64> = (0..50).collect();
         let mut cluster = TwoInstanceCluster::build(StoreKind::Redis, &t, fast.clone()).unwrap();
         let (report, snaps) = cluster.run_telemetered(&t, 0);
         assert_eq!(snaps.len(), 1);

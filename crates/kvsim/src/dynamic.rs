@@ -184,7 +184,7 @@ impl DynamicTieringServer {
                 self.config.hysteresis,
                 b,
             );
-            sb.partial_cmp(&sa).expect("scores finite").then(a.cmp(&b))
+            sb.total_cmp(&sa).then(a.cmp(&b))
         });
         // Desired FastMem set under the budget.
         let mut budget = self.config.fast_budget_bytes;
@@ -378,6 +378,7 @@ impl DynamicTieringServer {
                 Op::Read => self.engine.get(r.key),
                 Op::Update => self.engine.put(r.key),
             }
+            // mnemo-lint: allow(R001, "the dynamic server loads every key of the trace before run, so requests cannot hit an unloaded key")
             .expect("trace references unloaded key");
             clock.advance(ns);
             if let Some(log) = telemetry.as_deref_mut() {
@@ -480,7 +481,7 @@ mod tests {
         let mut order: Vec<u64> = (0..t.keys()).collect();
         order.sort_by_key(|&k| std::cmp::Reverse(counts[k as usize].0 + counts[k as usize].1));
         let mut used = 0u64;
-        let fast: std::collections::HashSet<u64> = order
+        let fast: hybridmem::DetHashSet<u64> = order
             .iter()
             .copied()
             .take_while(|&k| {
@@ -530,7 +531,7 @@ mod tests {
         let mut order: Vec<u64> = (0..t.keys()).collect();
         order.sort_by_key(|&k| std::cmp::Reverse(counts[k as usize].0 + counts[k as usize].1));
         let mut used = 0u64;
-        let fast: std::collections::HashSet<u64> = order
+        let fast: hybridmem::DetHashSet<u64> = order
             .iter()
             .copied()
             .take_while(|&k| {

@@ -8,8 +8,7 @@
 //! [`Server`](crate::server::Server) accumulates.
 
 use crate::profile::EngineProfile;
-use hybridmem::{AccessKind, AllocError, HybridMemory, MemTier, ObjectId};
-use std::collections::HashMap;
+use hybridmem::{AccessKind, AllocError, DetHashMap, HybridMemory, MemTier, ObjectId};
 
 /// Errors surfaced by engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +93,7 @@ pub struct EngineCore {
     profile: EngineProfile,
     mem: HybridMemory,
     /// key -> (object, logical value bytes).
-    table: HashMap<u64, (ObjectId, u64)>,
+    table: DetHashMap<u64, (ObjectId, u64)>,
 }
 
 impl EngineCore {
@@ -103,7 +102,7 @@ impl EngineCore {
         EngineCore {
             profile,
             mem,
-            table: HashMap::new(),
+            table: DetHashMap::default(),
         }
     }
 

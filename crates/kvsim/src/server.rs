@@ -12,10 +12,11 @@ use crate::profile::StoreKind;
 use crate::redis_like::RedisLike;
 use crate::rocks_like::RocksLike;
 use hybridmem::clock::NoiseConfig;
-use hybridmem::{DegradationProfile, Histogram, HybridSpec, MemTier, NoiseModel, SimClock};
+use hybridmem::{
+    DegradationProfile, DetHashSet, Histogram, HybridSpec, MemTier, NoiseModel, SimClock,
+};
 use mnemo_faults::{FaultPlan, ShardCrash};
 use mnemo_telemetry::{EpochLog, Snapshot};
-use std::collections::HashSet;
 use ycsb::{AccessEvent, Op, Trace};
 
 /// Initial data placement for a run — the paper's `numactl` binding plus
@@ -27,7 +28,7 @@ pub enum Placement {
     /// Everything on the throttled node (worst-case baseline).
     AllSlow,
     /// The listed keys in FastMem, the rest in SlowMem.
-    FastSet(HashSet<u64>),
+    FastSet(DetHashSet<u64>),
 }
 
 impl Placement {
@@ -380,6 +381,7 @@ impl Server {
                 Op::Read => self.engine.get(r.key),
                 Op::Update => self.engine.put(r.key),
             }
+            // mnemo-lint: allow(R001, "Server::build loads every key of the trace before run, so requests cannot hit an unloaded key")
             .expect("trace references unloaded key");
             tap(AccessEvent {
                 key: r.key,

@@ -1,0 +1,159 @@
+//! Marks the token ranges that live under `#[cfg(test)]` / `#[test]`
+//! items, so rule code can skip them: the determinism and robustness
+//! invariants bind production code, not tests.
+//!
+//! Heuristic, by design (no full parse): a test attribute marks the
+//! item that follows it — everything up to and including the matching
+//! close of the first `{` after the attribute. `#[cfg(not(test))]` and
+//! `#[cfg_attr(test, …)]` do **not** mark a region.
+
+use crate::lexer::{Token, TokenKind};
+
+/// For each token, is it inside a test-gated item?
+pub fn test_region_mask(src: &str, tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !is_punct(src, tokens, i, "#") || !is_punct(src, tokens, i + 1, "[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let attr_start = i + 2;
+        let mut depth = 1u32;
+        let mut j = attr_start;
+        while j < tokens.len() && depth > 0 {
+            match tokens[j].text(src) {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr_end = j; // one past `]`
+        if !attribute_is_test(src, &tokens[attr_start..attr_end.saturating_sub(1)]) {
+            i = attr_end;
+            continue;
+        }
+        // Mark the attribute itself plus the following item. The item
+        // body is the first `{ … }` group after the attribute; an item
+        // without a body (e.g. `mod tests;`) ends at the `;`.
+        let mut k = attr_end;
+        while k < tokens.len() {
+            let text = tokens[k].text(src);
+            if text == "{" {
+                let mut body = 1u32;
+                k += 1;
+                while k < tokens.len() && body > 0 {
+                    match tokens[k].text(src) {
+                        "{" => body += 1,
+                        "}" => body -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                break;
+            }
+            if text == ";" {
+                k += 1;
+                break;
+            }
+            k += 1;
+        }
+        for m in mask.iter_mut().take(k.min(tokens.len())).skip(i) {
+            *m = true;
+        }
+        i = k.max(attr_end);
+    }
+    mask
+}
+
+/// Does this attribute token sequence gate on `test`?
+fn attribute_is_test(src: &str, attr: &[Token]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text(src))
+        .collect();
+    match idents.as_slice() {
+        // #[test]
+        ["test"] => true,
+        // #[cfg(test)]
+        ["cfg", "test"] => true,
+        // #[cfg(any(test, …))] / #[cfg(all(test, …))] — but never
+        // #[cfg(not(test))] or #[cfg_attr(test, …)].
+        ["cfg", rest @ ..] => rest.contains(&"test") && !rest.contains(&"not"),
+        _ => false,
+    }
+}
+
+fn is_punct(src: &str, tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    /// The mask value covering the token whose text is `needle`.
+    fn masked(src: &str, needle: &str) -> bool {
+        let tokens = lex(src);
+        let mask = test_region_mask(src, &tokens);
+        let idx = tokens
+            .iter()
+            .position(|t| t.text(src) == needle)
+            .unwrap_or_else(|| panic!("{needle} not found"));
+        mask[idx]
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked_code_before_is_not() {
+        let src =
+            "fn real() { work(); }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(!masked(src, "work"));
+        assert!(masked(src, "unwrap"));
+    }
+
+    #[test]
+    fn test_attribute_masks_one_fn() {
+        let src = "#[test]\nfn t() { a(); }\nfn prod() { b(); }\n";
+        assert!(masked(src, "a"));
+        assert!(!masked(src, "b"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn prod() { a(); }\n";
+        assert!(!masked(src, "a"));
+    }
+
+    #[test]
+    fn cfg_attr_test_is_not_masked() {
+        let src = "#![cfg_attr(test, allow(clippy::unwrap_used))]\nfn prod() { a(); }\n";
+        assert!(!masked(src, "a"));
+    }
+
+    #[test]
+    fn nested_braces_stay_inside_the_region() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { if x { y() } }\n}\nfn after() { z(); }\n";
+        assert!(masked(src, "y"));
+        assert!(!masked(src, "z"));
+    }
+
+    #[test]
+    fn stacked_attributes_still_find_the_body() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() { q(); } }\nfn after() { r(); }\n";
+        assert!(masked(src, "q"));
+        assert!(!masked(src, "r"));
+    }
+
+    #[test]
+    fn bodyless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() { a(); }\n";
+        assert!(!masked(src, "a"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Lint codes, severities, and findings.
+
+use std::fmt;
+
+/// Every lint the pass enforces. Codes are stable public API: CI
+/// artifacts, allow directives, and CONTRIBUTING.md all refer to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Wall-clock reads (`Instant::now`, `SystemTime`, …) outside the
+    /// telemetry wall-time module. Wall time is nondeterministic; sim
+    /// results must be functions of `SimClock` and the seed only.
+    D001,
+    /// `HashMap`/`HashSet` with the default `RandomState` hasher in
+    /// non-test code: iteration order varies per process.
+    D002,
+    /// `thread::spawn` / raw `crossbeam::scope` outside `mnemo-par`,
+    /// the one crate allowed to fork.
+    D003,
+    /// Floating-point `sum()`/`fold`/`product` inside a closure passed
+    /// to a `mnemo-par` pool: reduction order would depend on the
+    /// worker count. Reduce over the index-ordered result instead.
+    D004,
+    /// `unwrap()`/`expect()`/`panic!` outside tests and benches.
+    R001,
+    /// Bare `as` integer cast in `hybridmem` byte/nanosecond
+    /// arithmetic: silently truncates or loses sign. Use the checked
+    /// helpers in `hybridmem::num`.
+    R002,
+    /// `std::process::exit` outside `main.rs`: skips destructors and
+    /// makes library code untestable.
+    S001,
+    /// Malformed `mnemo-lint:` directive (unknown code, or missing the
+    /// mandatory justification string).
+    M001,
+    /// An allow directive that suppressed nothing — stale escape
+    /// hatches get deleted, not collected.
+    M002,
+}
+
+/// All enforceable codes, in report order.
+pub const ALL_CODES: [Code; 9] = [
+    Code::D001,
+    Code::D002,
+    Code::D003,
+    Code::D004,
+    Code::R001,
+    Code::R002,
+    Code::S001,
+    Code::M001,
+    Code::M002,
+];
+
+impl Code {
+    /// Parse a code name as written in an allow directive.
+    pub fn parse(s: &str) -> Option<Code> {
+        ALL_CODES.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    /// The stable code string (`"D001"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::D001 => "D001",
+            Code::D002 => "D002",
+            Code::D003 => "D003",
+            Code::D004 => "D004",
+            Code::R001 => "R001",
+            Code::R002 => "R002",
+            Code::S001 => "S001",
+            Code::M001 => "M001",
+            Code::M002 => "M002",
+        }
+    }
+
+    /// One-line rationale, shown with every finding.
+    pub fn explain(&self) -> &'static str {
+        match self {
+            Code::D001 => {
+                "wall-clock read outside the telemetry wall-time module breaks \
+                           --jobs byte-determinism"
+            }
+            Code::D002 => {
+                "default-hasher HashMap/HashSet iterates in per-process random order; \
+                           use BTreeMap/BTreeSet or hybridmem::det::{DetHashMap, DetHashSet}"
+            }
+            Code::D003 => {
+                "thread creation outside mnemo-par bypasses the bounded deterministic \
+                           pool"
+            }
+            Code::D004 => {
+                "float reduction inside a pool closure depends on worker scheduling; \
+                           reduce over the index-ordered results instead"
+            }
+            Code::R001 => {
+                "unwrap/expect/panic in non-test code turns recoverable failures into \
+                           aborts; propagate a typed error"
+            }
+            Code::R002 => {
+                "bare `as` integer cast on byte/ns arithmetic can truncate; use \
+                           hybridmem::num helpers"
+            }
+            Code::S001 => {
+                "process::exit outside main.rs skips destructors and exits from \
+                           library code"
+            }
+            Code::M001 => {
+                "malformed mnemo-lint directive: expected \
+                           `mnemo-lint: allow(CODE, \"justification\")`"
+            }
+            Code::M002 => "allow directive suppressed nothing; delete it",
+        }
+    }
+
+    /// Findings in D/R/S codes are errors; directive hygiene (M*) is a
+    /// warning unless `--deny-warnings` promotes it.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Code::M001 | Code::M002 => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a finding gates the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fails the run only under `--deny-warnings`.
+    Warning,
+    /// Always fails the run.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One lint hit at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub code: Code,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// What was matched (e.g. `` `.unwrap()` ``), prepended to the
+    /// code's rationale in reports.
+    pub message: String,
+}
+
+impl Finding {
+    /// Stable sort key: file, then position, then code.
+    pub fn sort_key(&self) -> (String, u32, u32, Code) {
+        (self.file.clone(), self.line, self.col, self.code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_have_docs() {
+        for code in ALL_CODES {
+            assert_eq!(Code::parse(code.as_str()), Some(code));
+            assert!(!code.explain().is_empty());
+        }
+        assert_eq!(Code::parse("D999"), None);
+    }
+
+    #[test]
+    fn meta_codes_are_warnings_rule_codes_are_errors() {
+        assert_eq!(Code::M001.severity(), Severity::Warning);
+        assert_eq!(Code::M002.severity(), Severity::Warning);
+        for code in [Code::D001, Code::D004, Code::R001, Code::S001] {
+            assert_eq!(code.severity(), Severity::Error);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Orchestration: walk the tree, lint each file, apply allow
+//! directives, and assemble a deterministic [`Report`].
+
+use crate::allow::parse_directives;
+use crate::context::test_region_mask;
+use crate::diag::{Code, Finding, Severity};
+use crate::lexer::{lex, TokenKind};
+use crate::rules::{apply_rules, FileContext};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The result of linting a tree (or a single source).
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Surviving findings, sorted by (file, line, col, code).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a justified allow directive.
+    pub allowed: usize,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.code.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings.len() - self.errors()
+    }
+
+    /// Does this report fail the build?
+    pub fn is_failure(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && self.warnings() > 0)
+    }
+
+    fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.allowed += other.allowed;
+        self.files_scanned += other.files_scanned;
+    }
+}
+
+/// Lint one source file under its repo-relative `path` (the path drives
+/// per-rule policy: wall-clock module, `mnemo-par`, entry points, …).
+pub fn lint_source(path: &str, src: &str) -> Report {
+    let all_tokens = lex(src);
+    let mask = test_region_mask(src, &all_tokens);
+    let (directives, mut findings) = parse_directives(path, src, &all_tokens);
+
+    // Rules see only code tokens, with the test mask carried along.
+    let mut tokens = Vec::with_capacity(all_tokens.len());
+    let mut in_test = Vec::with_capacity(all_tokens.len());
+    for (t, m) in all_tokens.into_iter().zip(mask) {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            tokens.push(t);
+            in_test.push(m);
+        }
+    }
+    let raw = apply_rules(&FileContext {
+        path,
+        src,
+        tokens: &tokens,
+        in_test: &in_test,
+    });
+
+    // Apply allows: a directive suppresses matching-code findings on
+    // its target line. M-codes (directive hygiene) are not allowable.
+    let mut used = vec![false; directives.len()];
+    let mut allowed = 0usize;
+    for f in raw {
+        let slot = directives
+            .iter()
+            .position(|d| d.code == f.code && d.applies_to == f.line);
+        match slot {
+            Some(i) => {
+                used[i] = true;
+                allowed += 1;
+            }
+            None => findings.push(f),
+        }
+    }
+    for (d, used) in directives.iter().zip(&used) {
+        if !used {
+            findings.push(Finding {
+                code: Code::M002,
+                file: path.to_string(),
+                line: d.line,
+                col: 1,
+                message: format!("allow({}) with no matching finding", d.code),
+            });
+        }
+    }
+
+    findings.sort_by_key(Finding::sort_key);
+    Report {
+        findings,
+        allowed,
+        files_scanned: 1,
+    }
+}
+
+/// Lint every `crates/**/*.rs` file under `root` (the workspace root).
+/// `target/`, `tests/`, and `benches/` directories are skipped — the
+/// invariants bind production sources.
+pub fn lint_tree(root: &Path) -> io::Result<Report> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "{} is not a workspace root (no crates/ dir)",
+                root.display()
+            ),
+        ));
+    }
+    let mut files = Vec::new();
+    collect_rs_files(&crates_dir, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for file in &files {
+        let bytes = fs::read(file)?;
+        let src = String::from_utf8_lossy(&bytes);
+        let rel = relative_path(root, file);
+        report.merge(lint_source(&rel, &src));
+    }
+    report.findings.sort_by_key(Finding::sort_key);
+    Ok(report)
+}
+
+const SKIP_DIRS: [&str; 3] = ["target", "tests", "benches"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_on_same_line_suppresses_and_counts() {
+        let src = "fn f() { x.unwrap(); } // mnemo-lint: allow(R001, \"infallible: set above\")\n";
+        let r = lint_source("crates/core/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.allowed, 1);
+    }
+
+    #[test]
+    fn standalone_allow_suppresses_next_line() {
+        let src = "fn f() {\n    // mnemo-lint: allow(R001, \"checked\")\n    x.unwrap();\n}\n";
+        let r = lint_source("crates/core/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.allowed, 1);
+    }
+
+    #[test]
+    fn allow_with_wrong_code_does_not_suppress_and_goes_stale() {
+        let src = "fn f() { x.unwrap(); } // mnemo-lint: allow(D001, \"wrong code\")\n";
+        let r = lint_source("crates/core/src/x.rs", src);
+        let codes: Vec<Code> = r.findings.iter().map(|f| f.code).collect();
+        // Both findings land on line 1; the stale directive (col 1)
+        // sorts before the unsuppressed unwrap.
+        assert_eq!(codes, vec![Code::M002, Code::R001]);
+        assert_eq!(r.allowed, 0);
+    }
+
+    #[test]
+    fn one_allow_covers_multiple_hits_on_its_line() {
+        let src = "fn f() { a.unwrap(); b.unwrap(); } // mnemo-lint: allow(R001, \"both set\")\n";
+        let r = lint_source("crates/core/src/x.rs", src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.allowed, 2);
+    }
+
+    #[test]
+    fn malformed_directive_is_a_warning_finding() {
+        let src = "// mnemo-lint: allow(R001)\nfn f() { x.unwrap(); }\n";
+        let r = lint_source("crates/core/src/x.rs", src);
+        let codes: Vec<Code> = r.findings.iter().map(|f| f.code).collect();
+        assert_eq!(codes, vec![Code::M001, Code::R001]);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(r.is_failure(false));
+    }
+
+    #[test]
+    fn clean_source_passes() {
+        let src = "fn f() -> Result<u32, String> { Ok(1) }\n";
+        let r = lint_source("crates/core/src/x.rs", src);
+        assert!(r.findings.is_empty());
+        assert!(!r.is_failure(true));
+    }
+
+    #[test]
+    fn warnings_fail_only_under_deny() {
+        let src = "// mnemo-lint: allow(R001, \"stale\")\nfn f() {}\n";
+        let r = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.is_failure(false));
+        assert!(r.is_failure(true));
+    }
+}

@@ -1,0 +1,420 @@
+//! A minimal hand-rolled Rust lexer — just enough token structure for
+//! the line-and-token lints in [`crate::rules`].
+//!
+//! The workspace builds offline against vendored shims, so pulling in
+//! `syn`/`proc-macro2` for a full parse is off the table. The lints we
+//! enforce only need a faithful *token* view: identifiers, punctuation,
+//! and — crucially — correct skipping of string/char literals and
+//! comments so that `"Instant::now"` inside a doc string never trips
+//! D001. The lexer is total: it never panics, on any input, and every
+//! span it emits is in-bounds (property-tested in `tests/`).
+//!
+//! Limitations, by design: no macro expansion, no type information, and
+//! raw identifiers (`r#type`) lex as plain identifiers. Lints built on
+//! top are documented as heuristic.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`).
+    Ident,
+    /// Integer or float literal, including suffixed forms (`0.5f64`).
+    Number,
+    /// String literal: `"…"`, raw `r"…"`/`r#"…"#`, byte `b"…"`.
+    Str,
+    /// Character or byte-character literal (`'a'`, `b'\n'`). Lifetimes
+    /// (`'static`) lex as [`TokenKind::Lifetime`], not `Char`.
+    Char,
+    /// Lifetime token (`'a` with no closing quote).
+    Lifetime,
+    /// A `//` line comment (payload includes the slashes).
+    LineComment,
+    /// A `/* … */` block comment (nesting handled).
+    BlockComment,
+    /// Any single punctuation byte (`.`, `:`, `{`, `!`, …).
+    Punct,
+}
+
+/// One lexeme with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, within the scanned text.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lex `src` into tokens. Whitespace is dropped; comments are kept as
+/// tokens because the allow-directive parser reads them.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.bytes.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advance one byte, tracking line/col.
+    fn bump(&mut self) {
+        if self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment();
+                    self.emit(TokenKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.string_literal();
+                    self.emit(TokenKind::Str, start, line, col);
+                }
+                b'r' | b'b' => {
+                    if self.raw_or_byte_string() {
+                        self.emit(TokenKind::Str, start, line, col);
+                    } else if b == b'b' && self.peek(1) == b'\'' {
+                        self.bump(); // b
+                        let kind = self.char_or_lifetime();
+                        self.emit(kind, start, line, col);
+                    } else {
+                        self.ident();
+                        self.emit(TokenKind::Ident, start, line, col);
+                    }
+                }
+                b'\'' => {
+                    let kind = self.char_or_lifetime();
+                    self.emit(kind, start, line, col);
+                }
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                    self.ident();
+                    self.emit(TokenKind::Ident, start, line, col);
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.emit(TokenKind::Number, start, line, col);
+                }
+                0x80.. => {
+                    // Non-ASCII (inside identifiers we don't care about,
+                    // or stray bytes): consume the whole UTF-8 scalar so
+                    // spans stay on char boundaries.
+                    self.bump();
+                    while self.pos < self.bytes.len() && (self.peek(0) & 0xC0) == 0x80 {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Punct, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.emit(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Identifier/keyword tail (the first byte is already known good).
+    fn ident(&mut self) {
+        while matches!(self.peek(0), b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9') {
+            self.bump();
+        }
+    }
+
+    /// `/* … */` with nesting; unterminated comments run to EOF.
+    fn block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// `"…"` with escapes; unterminated strings run to EOF.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Try to lex `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` at the current
+    /// position. Returns false (consuming nothing) if this is not a raw
+    /// or byte string start.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut ahead = 0;
+        if self.peek(ahead) == b'b' {
+            ahead += 1;
+        }
+        let raw = self.peek(ahead) == b'r';
+        if raw {
+            ahead += 1;
+        }
+        let mut hashes = 0usize;
+        while raw && self.peek(ahead) == b'#' {
+            hashes += 1;
+            ahead += 1;
+        }
+        if self.peek(ahead) != b'"' || (!raw && hashes > 0) {
+            return false;
+        }
+        if !raw {
+            // b"…" — plain escaping rules.
+            self.bump_n(ahead);
+            self.string_literal();
+            return true;
+        }
+        // r#*"…"#* — no escapes; closed by a quote followed by the same
+        // number of hashes. Unterminated raw strings run to EOF.
+        self.bump_n(ahead + 1);
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                let mut got = 0usize;
+                while got < hashes && self.peek(1 + got) == b'#' {
+                    got += 1;
+                }
+                if got == hashes {
+                    self.bump_n(1 + hashes);
+                    return true;
+                }
+            }
+            self.bump();
+        }
+        true
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime). Called at the
+    /// opening quote.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // A char literal closes within a few bytes: 'x', '\n', '\u{…}'.
+        // A lifetime never has a closing quote before a non-ident byte.
+        let mut ahead = 1;
+        if self.peek(ahead) == b'\\' {
+            // Escaped char literal: scan to the closing quote.
+            ahead += 2;
+            while ahead < 16 && self.peek(ahead) != b'\'' && self.peek(ahead) != 0 {
+                ahead += 1;
+            }
+            let n = ahead + usize::from(self.peek(ahead) == b'\'');
+            self.bump_n(n);
+            // The 16-byte scan cap can land inside a multi-byte scalar
+            // on garbage input; spans must stay on char boundaries.
+            while self.pos < self.bytes.len() && (self.peek(0) & 0xC0) == 0x80 {
+                self.bump();
+            }
+            return TokenKind::Char;
+        }
+        // Unescaped: consume one UTF-8 scalar, then check for `'`.
+        let first = self.peek(ahead);
+        let scalar_len = match first {
+            0 => 0, // EOF sentinel (a real NUL byte also takes the lifetime path)
+            0x01..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        };
+        ahead += scalar_len;
+        if scalar_len > 0 && self.peek(ahead) == b'\'' {
+            self.bump_n(ahead + 1);
+            return TokenKind::Char;
+        }
+        // Lifetime: quote plus the identifier after it.
+        self.bump();
+        while matches!(self.peek(0), b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9') {
+            self.bump();
+        }
+        TokenKind::Lifetime
+    }
+
+    /// Numeric literal, loosely: digits, `_`, `.` (not `..`), exponent,
+    /// type suffix. Precision doesn't matter for the lints; termination
+    /// and span correctness do.
+    fn number(&mut self) {
+        while matches!(
+            self.peek(0),
+            b'0'..=b'9' | b'_' | b'a'..=b'f' | b'A'..=b'F' | b'x' | b'o'
+        ) {
+            self.bump();
+        }
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Exponent / suffix (e.g. `e9`, `f64`, `usize`).
+        while matches!(self.peek(0), b'a'..=b'z' | b'0'..=b'9') {
+            self.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("foo.unwrap()");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "foo"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "unwrap"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Punct, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let x = "Instant::now() . unwrap()";"#);
+        assert!(toks.iter().all(|(_, t)| *t != "unwrap"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = r##"r#"contains "quotes" and unwrap()"# + x"##;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks.last().unwrap().1, "x");
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("'a' 'static '\\n' &'a str");
+        assert_eq!(toks[0].0, TokenKind::Char);
+        assert_eq!(toks[1].0, TokenKind::Lifetime);
+        assert_eq!(toks[2].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let src = "x // mnemo-lint: allow(D001, \"why\")\n/* block */ y";
+        let toks = kinds(src);
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert!(toks[1].1.contains("allow(D001"));
+        assert_eq!(toks[2].0, TokenKind::BlockComment);
+        assert_eq!(toks[3].1, "y");
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = kinds("/* outer /* inner */ still */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "after");
+    }
+
+    #[test]
+    fn line_and_col_are_one_based() {
+        let src = "a\n  bb\n";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_everything_reaches_eof() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"x"] {
+            let toks = lex(src);
+            assert!(toks.iter().all(|t| t.end <= src.len()), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_spans_stay_on_char_boundaries() {
+        let src = "let α = \"β\"; // γ";
+        for t in lex(src) {
+            assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        }
+    }
+}

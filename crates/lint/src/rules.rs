@@ -1,0 +1,391 @@
+//! The lint rules themselves.
+//!
+//! Each rule is a pass over the *code* token stream (comments removed,
+//! test-gated regions masked out by [`crate::context`]). Rules are
+//! token-pattern heuristics, not type-checked analyses — the precise
+//! patterns each one matches are documented per rule and pinned by the
+//! fixture corpus in `tests/fixtures/lint/`.
+
+use crate::diag::{Code, Finding};
+use crate::lexer::{Token, TokenKind};
+
+/// Everything a rule needs to know about one file.
+pub struct FileContext<'a> {
+    /// Repo-relative path, forward slashes (`crates/kvsim/src/engine.rs`).
+    pub path: &'a str,
+    /// File contents.
+    pub src: &'a str,
+    /// Code tokens only (comments stripped).
+    pub tokens: &'a [Token],
+    /// Parallel to `tokens`: inside a `#[cfg(test)]`/`#[test]` item?
+    pub in_test: &'a [bool],
+}
+
+impl<'a> FileContext<'a> {
+    fn text(&self, i: usize) -> &'a str {
+        self.tokens.get(i).map_or("", |t| t.text(self.src))
+    }
+
+    fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text(self.src) == name)
+    }
+
+    fn is_punct(&self, i: usize, text: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text(self.src) == text)
+    }
+
+    /// `::` is two punct tokens in this lexer.
+    fn is_path_sep(&self, i: usize) -> bool {
+        self.is_punct(i, ":") && self.is_punct(i + 1, ":")
+    }
+
+    fn finding(&self, code: Code, i: usize, matched: &str) -> Finding {
+        let t = &self.tokens[i];
+        Finding {
+            code,
+            file: self.path.to_string(),
+            line: t.line,
+            col: t.col,
+            message: format!("`{matched}`"),
+        }
+    }
+}
+
+/// File-level policy: where each rule applies.
+struct Policy {
+    /// D001 exemption: the one module allowed to read the wall clock.
+    wall_clock_ok: bool,
+    /// D003/D004 exemption: `mnemo-par` itself.
+    in_par: bool,
+    /// R002 scope: only `hybridmem` is audited for bare casts.
+    in_hybridmem: bool,
+    /// S001 exemption: binary entry points.
+    is_entry_point: bool,
+}
+
+impl Policy {
+    fn for_path(path: &str) -> Policy {
+        Policy {
+            wall_clock_ok: path == "crates/telemetry/src/recorder.rs",
+            in_par: path.starts_with("crates/par/"),
+            in_hybridmem: path.starts_with("crates/hybridmem/"),
+            is_entry_point: path.ends_with("/main.rs") || path.contains("/src/bin/"),
+        }
+    }
+}
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Pool methods that take a closure and fan it out across workers.
+const PAR_ENTRY_POINTS: [&str; 5] = ["map", "map_slice", "map_chunked", "run_jobs", "join"];
+
+/// Run every rule over one file.
+pub fn apply_rules(ctx: &FileContext) -> Vec<Finding> {
+    let policy = Policy::for_path(ctx.path);
+    let mut out = Vec::new();
+    for i in 0..ctx.tokens.len() {
+        if ctx.in_test[i] || ctx.tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        d001_wall_clock(ctx, &policy, i, &mut out);
+        d002_default_hasher(ctx, i, &mut out);
+        d003_thread_spawn(ctx, &policy, i, &mut out);
+        d004_par_float_reduction(ctx, &policy, i, &mut out);
+        r001_unwrap_expect_panic(ctx, i, &mut out);
+        r002_bare_cast(ctx, &policy, i, &mut out);
+        s001_process_exit(ctx, &policy, i, &mut out);
+    }
+    out
+}
+
+/// D001 — wall-clock reads: `Instant::now()`, any `SystemTime` use,
+/// `Utc::now()` / `Local::now()` (chrono-style).
+fn d001_wall_clock(ctx: &FileContext, policy: &Policy, i: usize, out: &mut Vec<Finding>) {
+    if policy.wall_clock_ok {
+        return;
+    }
+    let t = ctx.text(i);
+    if (t == "Instant" || t == "Utc" || t == "Local")
+        && ctx.is_path_sep(i + 1)
+        && ctx.is_ident(i + 3, "now")
+    {
+        out.push(ctx.finding(Code::D001, i, &format!("{t}::now()")));
+    } else if t == "SystemTime" {
+        out.push(ctx.finding(Code::D001, i, "SystemTime"));
+    }
+}
+
+/// D002 — any mention of `HashMap`/`HashSet` outside tests. Determinism
+/// paths must use `BTreeMap`/`BTreeSet` or the fixed-seed aliases in
+/// `hybridmem::det` (whose own definition carries the one allow).
+fn d002_default_hasher(ctx: &FileContext, i: usize, out: &mut Vec<Finding>) {
+    let t = ctx.text(i);
+    if t == "HashMap" || t == "HashSet" {
+        out.push(ctx.finding(Code::D002, i, t));
+    }
+}
+
+/// D003 — thread creation outside `mnemo-par`: `thread::spawn`,
+/// `crossbeam::scope` / `crossbeam::thread`, and `.spawn(` method calls
+/// (scoped-thread handles).
+fn d003_thread_spawn(ctx: &FileContext, policy: &Policy, i: usize, out: &mut Vec<Finding>) {
+    if policy.in_par {
+        return;
+    }
+    let t = ctx.text(i);
+    let after_sep = |name: &str| i >= 3 && ctx.is_ident(i - 3, name) && ctx.is_path_sep(i - 2);
+    if t == "spawn" && (after_sep("thread") || ctx.is_punct(i.wrapping_sub(1), ".")) {
+        out.push(ctx.finding(Code::D003, i, "spawn"));
+    } else if (t == "scope" || t == "thread") && after_sep("crossbeam") {
+        out.push(ctx.finding(Code::D003, i, &format!("crossbeam::{t}")));
+    }
+}
+
+/// D004 — float reductions inside a pool closure. Matched pattern: a
+/// method call `<pool-ish receiver>.map/map_slice/map_chunked/run_jobs/
+/// join( … )` whose argument span contains `.sum::<f32|f64>()`,
+/// `.product::<f32|f64>()`, or `.fold(<float literal>, …)`. The
+/// receiver is "pool-ish" when one of the few tokens before the call is
+/// the `Pool` type or an identifier containing "pool".
+fn d004_par_float_reduction(ctx: &FileContext, policy: &Policy, i: usize, out: &mut Vec<Finding>) {
+    if policy.in_par {
+        return;
+    }
+    if !PAR_ENTRY_POINTS.contains(&ctx.text(i))
+        || !ctx.is_punct(i.wrapping_sub(1), ".")
+        || !ctx.is_punct(i + 1, "(")
+    {
+        return;
+    }
+    let receiver_is_pool = (i.saturating_sub(8)..i).any(|j| {
+        let t = ctx.text(j);
+        ctx.tokens[j].kind == TokenKind::Ident && (t == "Pool" || t.to_lowercase().contains("pool"))
+    });
+    if !receiver_is_pool {
+        return;
+    }
+    // Walk the call's argument span, tracking paren depth.
+    let mut depth = 1u32;
+    let mut j = i + 2;
+    while j < ctx.tokens.len() && depth > 0 {
+        match ctx.text(j) {
+            "(" => depth += 1,
+            ")" => depth -= 1,
+            "sum" | "product" if ctx.is_punct(j.wrapping_sub(1), ".") => {
+                if let Some(fty) = turbofish_float(ctx, j) {
+                    out.push(ctx.finding(
+                        Code::D004,
+                        j,
+                        &format!(".{}::<{fty}>() in a pool closure", ctx.text(j)),
+                    ));
+                }
+            }
+            "fold" if ctx.is_punct(j.wrapping_sub(1), ".") && ctx.is_punct(j + 1, "(") => {
+                let seed = ctx.text(j + 2);
+                let is_float_literal = ctx
+                    .tokens
+                    .get(j + 2)
+                    .is_some_and(|t| t.kind == TokenKind::Number)
+                    && (seed.contains('.') || seed.ends_with("f32") || seed.ends_with("f64"));
+                if is_float_literal {
+                    out.push(ctx.finding(Code::D004, j, ".fold(<float>, …) in a pool closure"));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+/// `sum::<f64>` — returns the float type name if present.
+fn turbofish_float<'a>(ctx: &FileContext<'a>, i: usize) -> Option<&'a str> {
+    if ctx.is_path_sep(i + 1) && ctx.is_punct(i + 3, "<") {
+        let ty = ctx.text(i + 4);
+        if ty == "f32" || ty == "f64" {
+            return Some(ty);
+        }
+    }
+    None
+}
+
+/// R001 — `.unwrap()` / `.expect(` / `Option::unwrap` path form /
+/// `panic!(`. `std::panic::catch_unwind` and friends (no `!`) are fine.
+fn r001_unwrap_expect_panic(ctx: &FileContext, i: usize, out: &mut Vec<Finding>) {
+    let t = ctx.text(i);
+    if (t == "unwrap" || t == "expect")
+        && (ctx.is_punct(i.wrapping_sub(1), ".") || (i >= 2 && ctx.is_path_sep(i - 2)))
+        && ctx.is_punct(i + 1, "(")
+    {
+        out.push(ctx.finding(Code::R001, i, &format!(".{t}()")));
+    } else if t == "panic" && ctx.is_punct(i + 1, "!") {
+        out.push(ctx.finding(Code::R001, i, "panic!"));
+    }
+}
+
+/// R002 — bare `as` integer casts in `hybridmem` (`x as u64`,
+/// `len as usize`, …). Float targets (`as f64`) are out of scope: they
+/// widen for statistics and are covered by clippy's cast lints.
+fn r002_bare_cast(ctx: &FileContext, policy: &Policy, i: usize, out: &mut Vec<Finding>) {
+    if !policy.in_hybridmem || ctx.text(i) != "as" {
+        return;
+    }
+    let target = ctx.text(i + 1);
+    if ctx
+        .tokens
+        .get(i + 1)
+        .is_some_and(|t| t.kind == TokenKind::Ident)
+        && INT_TYPES.contains(&target)
+    {
+        out.push(ctx.finding(Code::R002, i, &format!("as {target}")));
+    }
+}
+
+/// S001 — `process::exit` outside `main.rs` / `src/bin/`.
+fn s001_process_exit(ctx: &FileContext, policy: &Policy, i: usize, out: &mut Vec<Finding>) {
+    if policy.is_entry_point {
+        return;
+    }
+    if ctx.text(i) == "exit" && i >= 3 && ctx.is_ident(i - 3, "process") && ctx.is_path_sep(i - 2) {
+        out.push(ctx.finding(Code::S001, i, "process::exit"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_region_mask;
+    use crate::lexer::lex;
+
+    fn lint_at(path: &str, src: &str) -> Vec<(Code, u32)> {
+        let all = lex(src);
+        let mask = test_region_mask(src, &all);
+        let mut tokens = Vec::new();
+        let mut in_test = Vec::new();
+        for (t, m) in all.into_iter().zip(mask) {
+            if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                tokens.push(t);
+                in_test.push(m);
+            }
+        }
+        let ctx = FileContext {
+            path,
+            src,
+            tokens: &tokens,
+            in_test: &in_test,
+        };
+        apply_rules(&ctx)
+            .into_iter()
+            .map(|f| (f.code, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn d001_fires_outside_the_wall_module_only() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(
+            lint_at("crates/kvsim/src/engine.rs", src),
+            vec![(Code::D001, 1)]
+        );
+        assert_eq!(lint_at("crates/telemetry/src/recorder.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d001_matches_systemtime_but_not_a_use_of_instant() {
+        assert_eq!(
+            lint_at("crates/core/src/x.rs", "use std::time::SystemTime;\n"),
+            vec![(Code::D001, 1)]
+        );
+        assert_eq!(
+            lint_at(
+                "crates/core/src/x.rs",
+                "use std::time::Instant;\nfn f(t: Instant) {}\n"
+            ),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn d002_flags_both_map_and_set() {
+        let src = "use std::collections::HashMap;\nfn f() { let s: HashSet<u8> = x(); }\n";
+        assert_eq!(
+            lint_at("crates/core/src/x.rs", src),
+            vec![(Code::D002, 1), (Code::D002, 2)]
+        );
+    }
+
+    #[test]
+    fn d003_spawn_and_crossbeam_outside_par() {
+        let src = "fn f() { std::thread::spawn(|| {}); crossbeam::scope(|s| {}); }\n";
+        assert_eq!(
+            lint_at("crates/kvsim/src/x.rs", src),
+            vec![(Code::D003, 1), (Code::D003, 1)]
+        );
+        assert_eq!(lint_at("crates/par/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d004_catches_float_reductions_in_pool_closures() {
+        let hit = "fn f(pool: &Pool) { pool.run_jobs(8, |i| xs[i].iter().sum::<f64>()); }\n";
+        assert_eq!(lint_at("crates/core/src/x.rs", hit), vec![(Code::D004, 1)]);
+        let fold = "fn f() { Pool::current().map(n, |i| v.iter().fold(0.0, |a, b| a + b)); }\n";
+        assert_eq!(lint_at("crates/core/src/x.rs", fold), vec![(Code::D004, 1)]);
+        // Integer reductions and non-pool iterators stay clean.
+        let int = "fn f(pool: &Pool) { pool.map(n, |i| xs[i].iter().sum::<u64>()); }\n";
+        assert_eq!(lint_at("crates/core/src/x.rs", int), vec![]);
+        let iter = "fn f() { let s: f64 = rows.iter().map(|r| r.x).sum::<f64>(); }\n";
+        assert_eq!(lint_at("crates/core/src/x.rs", iter), vec![]);
+    }
+
+    #[test]
+    fn r001_unwrap_expect_panic_but_not_panic_module() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); }\n";
+        assert_eq!(
+            lint_at("crates/core/src/x.rs", src),
+            vec![(Code::R001, 1), (Code::R001, 1), (Code::R001, 1)]
+        );
+        assert_eq!(
+            lint_at(
+                "crates/core/src/x.rs",
+                "fn f() { panic::resume_unwind(p); }\n"
+            ),
+            vec![]
+        );
+        assert_eq!(
+            lint_at("crates/core/src/x.rs", "fn f() { x.unwrap_or(0); }\n"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn r001_skips_test_regions() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n";
+        assert_eq!(lint_at("crates/core/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn r002_only_in_hybridmem_and_only_int_targets() {
+        let src = "fn f(x: u64) -> usize { let y = x as usize; let z = x as f64; y }\n";
+        assert_eq!(
+            lint_at("crates/hybridmem/src/stats.rs", src),
+            vec![(Code::R002, 1)]
+        );
+        assert_eq!(lint_at("crates/core/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn s001_exempts_entry_points() {
+        let src = "fn f() { std::process::exit(2); }\n";
+        assert_eq!(
+            lint_at("crates/core/src/lib.rs", src),
+            vec![(Code::S001, 1)]
+        );
+        assert_eq!(lint_at("crates/cli/src/main.rs", src), vec![]);
+        assert_eq!(lint_at("crates/bench/src/bin/fig1.rs", src), vec![]);
+    }
+}

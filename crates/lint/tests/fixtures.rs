@@ -1,0 +1,164 @@
+//! Fixture-driven corpus tests: every rule's exact matching behaviour
+//! is pinned by the snippets in `tests/fixtures/lint/` (repo root) and
+//! the byte-exact `golden.json` report over the whole corpus.
+//!
+//! Fixture contract (see the corpus README): `<code>_positive.rs` must
+//! fire the code, `<code>_negative.rs` must be clean, and
+//! `<code>_allowed.rs` must be clean with `allowed > 0`. The first line
+//! of each fixture is a `//@ path:` header giving the virtual repo path
+//! the snippet is linted under, since rule policy is path-driven.
+
+use mnemo_lint::{lint_source, render, Code, Finding, Format, Report};
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/lint")
+}
+
+/// All corpus fixtures as (file name, virtual path, source), in
+/// filename order so the combined report is deterministic.
+fn fixtures() -> Vec<(String, String, String)> {
+    let mut names: Vec<String> = fs::read_dir(corpus_dir())
+        .expect("fixture corpus directory exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "empty fixture corpus");
+    names
+        .into_iter()
+        .map(|name| {
+            let src = fs::read_to_string(corpus_dir().join(&name)).unwrap();
+            let virt = src
+                .lines()
+                .next()
+                .and_then(|l| l.strip_prefix("//@ path: "))
+                .unwrap_or_else(|| panic!("fixture {name} lacks a `//@ path:` header"))
+                .trim()
+                .to_string();
+            (name, virt, src)
+        })
+        .collect()
+}
+
+fn lint_corpus() -> Report {
+    let mut combined = Report::default();
+    for (_, virt, src) in fixtures() {
+        let r = lint_source(&virt, &src);
+        combined.findings.extend(r.findings);
+        combined.allowed += r.allowed;
+        combined.files_scanned += r.files_scanned;
+    }
+    combined.findings.sort_by_key(Finding::sort_key);
+    combined
+}
+
+/// The code a fixture exercises, from its `d001_positive.rs`-style name.
+fn code_of(name: &str) -> Code {
+    let prefix = name.split('_').next().unwrap().to_uppercase();
+    Code::parse(&prefix).unwrap_or_else(|| panic!("fixture {name} names unknown code {prefix}"))
+}
+
+#[test]
+fn corpus_covers_every_rule_code_three_ways() {
+    let names: Vec<String> = fixtures().into_iter().map(|(n, _, _)| n).collect();
+    for code in ["d001", "d002", "d003", "d004", "r001", "r002", "s001"] {
+        for case in ["positive", "negative", "allowed"] {
+            let want = format!("{code}_{case}.rs");
+            assert!(names.contains(&want), "missing fixture {want}");
+        }
+    }
+}
+
+#[test]
+fn positive_fixtures_fire_their_code() {
+    for (name, virt, src) in fixtures() {
+        if !name.ends_with("_positive.rs") {
+            continue;
+        }
+        let code = code_of(&name);
+        let r = lint_source(&virt, &src);
+        assert!(
+            r.findings.iter().any(|f| f.code == code),
+            "{name}: expected a {code} finding, got {:?}",
+            r.findings
+        );
+        assert!(r.is_failure(false), "{name}: positive must fail the build");
+        // Spans point at real source: 1-based and within the file.
+        for f in &r.findings {
+            assert!(
+                f.line >= 1 && (f.line as usize) <= src.lines().count(),
+                "{name}: {f:?}"
+            );
+            assert!(f.col >= 1, "{name}: {f:?}");
+            assert_eq!(f.file, virt, "{name}: finding carries the linted path");
+        }
+    }
+}
+
+#[test]
+fn negative_fixtures_are_clean() {
+    for (name, virt, src) in fixtures() {
+        if !name.ends_with("_negative.rs") {
+            continue;
+        }
+        let r = lint_source(&virt, &src);
+        assert!(
+            r.findings.is_empty(),
+            "{name}: expected clean, got {:?}",
+            r.findings
+        );
+        assert_eq!(r.allowed, 0, "{name}: negatives must not need allows");
+    }
+}
+
+#[test]
+fn allowed_fixtures_are_suppressed_not_clean() {
+    for (name, virt, src) in fixtures() {
+        if !name.ends_with("_allowed.rs") {
+            continue;
+        }
+        let r = lint_source(&virt, &src);
+        assert!(
+            r.findings.is_empty(),
+            "{name}: expected suppressed, got {:?}",
+            r.findings
+        );
+        assert!(
+            r.allowed > 0,
+            "{name}: the allow directive must have bitten"
+        );
+    }
+}
+
+/// Reintroducing any fixture violation into a scanned tree must fail
+/// the run — the acceptance criterion for the CI gate.
+#[test]
+fn reintroduced_violations_fail_the_run() {
+    for (name, virt, src) in fixtures() {
+        if name.ends_with("_positive.rs") {
+            assert!(
+                lint_source(&virt, &src).is_failure(true),
+                "{name} would slip through the gate"
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_matches_golden_json() {
+    let got = render(&lint_corpus(), Format::Json);
+    let golden_path = corpus_dir().join("golden.json");
+    if std::env::var_os("UPDATE_LINT_GOLDEN").is_some() {
+        fs::write(&golden_path, &got).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&golden_path)
+        .expect("golden.json exists (UPDATE_LINT_GOLDEN=1 to regenerate)");
+    assert_eq!(
+        got, want,
+        "corpus JSON drifted from tests/fixtures/lint/golden.json; \
+         rerun with UPDATE_LINT_GOLDEN=1 if the change is intentional"
+    );
+}

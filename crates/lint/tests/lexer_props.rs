@@ -1,0 +1,77 @@
+//! Property tests: the lexer is *total* — it never panics, on any
+//! input — and every span it emits is in-bounds, on char boundaries,
+//! and strictly ordered. The whole lint front end inherits the same
+//! guarantee via `lint_source`.
+
+use mnemo_lint::lexer::{lex, TokenKind};
+use mnemo_lint::lint_source;
+use proptest::prelude::*;
+
+/// Check every lexer invariant over one input.
+fn check_lex_invariants(src: &str) -> Result<(), proptest::test_runner::TestCaseError> {
+    let tokens = lex(src);
+    let mut prev_end = 0usize;
+    for t in &tokens {
+        prop_assert!(t.start < t.end, "empty span {t:?}");
+        prop_assert!(t.end <= src.len(), "span past EOF {t:?}");
+        prop_assert!(src.is_char_boundary(t.start), "start mid-char {t:?}");
+        prop_assert!(src.is_char_boundary(t.end), "end mid-char {t:?}");
+        prop_assert!(t.start >= prev_end, "overlapping tokens at {t:?}");
+        prop_assert!(t.line >= 1 && t.col >= 1, "0-based span {t:?}");
+        // text() must not panic and must be non-empty.
+        prop_assert!(!t.text(src).is_empty());
+        prev_end = t.end;
+    }
+    Ok(())
+}
+
+/// Bytes drawn from the characters that exercise the lexer's tricky
+/// state machine: comment openers, string/char quotes, raw-string
+/// guards, escapes, newlines, and plain code.
+fn rusty_char(b: u8) -> char {
+    const ALPHABET: &[u8] = b"ab_9 \n\t\"'\\/*(){}<>!.:#r;=-";
+    ALPHABET[b as usize % ALPHABET.len()] as char
+}
+
+proptest! {
+    #[test]
+    fn lexer_total_on_arbitrary_utf8(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        check_lex_invariants(&src)?;
+    }
+
+    #[test]
+    fn lexer_total_on_adversarial_rust_soup(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        let src: String = bytes.iter().map(|&b| rusty_char(b)).collect();
+        check_lex_invariants(&src)?;
+    }
+
+    #[test]
+    fn lint_source_total_and_spans_in_bounds(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        let src: String = bytes.iter().map(|&b| rusty_char(b)).collect();
+        // Both a policy-free path and the special-cased ones.
+        for path in ["crates/core/src/x.rs", "crates/hybridmem/src/x.rs", "crates/par/src/lib.rs"] {
+            let report = lint_source(path, &src);
+            for f in &report.findings {
+                prop_assert!(f.line >= 1, "{f:?}");
+                prop_assert!((f.line as usize) <= src.lines().count().max(1), "{f:?}");
+                prop_assert!(f.col >= 1, "{f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn comments_never_leak_into_code_tokens(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let inner: String = bytes.iter().map(|&b| rusty_char(b)).filter(|&c| c != '\n').collect();
+        let src = format!("// {inner}\nfn f() {{}}\n");
+        let tokens = lex(&src);
+        // The whole first line is one comment token; `unwrap` etc.
+        // inside it must not become Ident tokens.
+        let idents: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(&src))
+            .collect();
+        prop_assert_eq!(idents, vec!["fn", "f"]);
+    }
+}

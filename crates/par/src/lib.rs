@@ -245,6 +245,7 @@ impl SweepTimer {
         SweepTimer {
             label: label.to_string(),
             jobs: effective_jobs(),
+            // mnemo-lint: allow(D001, "SweepTimer is the diagnostic wall-clock; its timing-* artifacts are excluded from the determinism gates")
             started: Instant::now(),
             recorder: mnemo_telemetry::Recorder::new(),
         }

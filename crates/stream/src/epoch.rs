@@ -154,7 +154,7 @@ impl SkewTracker {
                 .map(|e| e.key)
                 .collect(),
         };
-        let monitored: std::collections::HashSet<u64> = entries.iter().map(|e| e.key).collect();
+        let monitored: hybridmem::DetHashSet<u64> = entries.iter().map(|e| e.key).collect();
         self.window.clear();
         self.in_epoch = 0;
         self.completed += 1;
@@ -174,7 +174,7 @@ impl SkewTracker {
         config: &DriftConfig,
         reference: &EpochSummary,
         now: &EpochSummary,
-        now_monitored: &std::collections::HashSet<u64>,
+        now_monitored: &hybridmem::DetHashSet<u64>,
     ) -> Drift {
         if let (Some(from), Some(to)) = (reference.theta, now.theta) {
             if (from - to).abs() > config.theta_threshold {

@@ -17,8 +17,8 @@
 //! monitored head of the distribution can be converted back into
 //! [`mnemo::KeyStats`].
 
+use hybridmem::DetHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use ycsb::{AccessEvent, Op};
 
 /// One monitored key.
@@ -53,7 +53,7 @@ pub struct SpaceSaving {
     ewma_alpha: f64,
     entries: Vec<TopEntry>,
     /// key -> index into `entries`.
-    index: HashMap<u64, usize>,
+    index: DetHashMap<u64, usize>,
     observed: u64,
 }
 
@@ -67,7 +67,7 @@ impl SpaceSaving {
             capacity,
             ewma_alpha,
             entries: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
+            index: DetHashMap::with_capacity_and_hasher(capacity, Default::default()),
             observed: 0,
         }
     }
@@ -110,6 +110,7 @@ impl SpaceSaving {
             .enumerate()
             .min_by_key(|(_, e)| e.count)
             .map(|(i, _)| i)
+            // mnemo-lint: allow(R001, "new() asserts capacity > 0 and this branch only runs when entries is full, hence nonempty")
             .expect("capacity > 0");
         let evicted = self.entries[min];
         self.index.remove(&evicted.key);

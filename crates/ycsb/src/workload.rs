@@ -290,6 +290,7 @@ impl WorkloadSpec {
     /// read + update of the same key. Deterministic per `(spec, seed)`.
     pub fn generate(&self, seed: u64) -> Trace {
         assert!(self.keys > 0, "workload needs keys");
+        // mnemo-lint: allow(R001, "an invalid operation mix is a spec programming error; generate() documents the panic")
         self.ops.validate().expect("invalid operation mix");
         let sizes: Vec<u64> = (0..self.keys)
             .map(|k| self.sizes.size_of(k, seed))

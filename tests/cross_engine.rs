@@ -2,8 +2,8 @@
 //! the paper's two-instance cluster and the sharded cluster must agree
 //! on what they measure, for every engine model.
 
+use hybridmem::DetHashSet;
 use kvsim::{Placement, Server, ShardedCluster, StoreKind, TwoInstanceCluster};
-use std::collections::HashSet;
 use ycsb::WorkloadSpec;
 
 fn trace() -> ycsb::Trace {
@@ -13,7 +13,7 @@ fn trace() -> ycsb::Trace {
 #[test]
 fn all_architectures_agree_on_throughput() {
     let t = trace();
-    let fast_keys: HashSet<u64> = (0..60).collect();
+    let fast_keys: DetHashSet<u64> = (0..60).collect();
     for store in [StoreKind::Redis, StoreKind::Memcached, StoreKind::Dynamo] {
         let single = Server::build(store, &t, Placement::FastSet(fast_keys.clone()))
             .unwrap()

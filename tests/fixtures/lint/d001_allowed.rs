@@ -1,0 +1,7 @@
+//@ path: crates/core/src/d001_allowed.rs
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // mnemo-lint: allow(D001, "fixture: diagnostic-only timer excluded from determinism gates")
+    Instant::now()
+}

@@ -1,0 +1,6 @@
+//@ path: crates/telemetry/src/recorder.rs
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

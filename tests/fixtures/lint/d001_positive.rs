@@ -1,0 +1,6 @@
+//@ path: crates/core/src/d001_positive.rs
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

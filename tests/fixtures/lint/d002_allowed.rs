@@ -1,0 +1,6 @@
+//@ path: crates/core/src/d002_allowed.rs
+use std::collections::HashMap; // mnemo-lint: allow(D002, "fixture: probe-only map, never iterated")
+
+pub fn probe(map: &HashMap<u64, usize>, k: u64) -> bool { // mnemo-lint: allow(D002, "fixture: probe-only map, never iterated")
+    map.contains_key(&k)
+}

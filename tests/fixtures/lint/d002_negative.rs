@@ -1,0 +1,6 @@
+//@ path: crates/core/src/d002_negative.rs
+use std::collections::BTreeMap;
+
+pub fn index(keys: &[u64]) -> BTreeMap<u64, usize> {
+    keys.iter().enumerate().map(|(i, &k)| (k, i)).collect()
+}

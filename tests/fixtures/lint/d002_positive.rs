@@ -1,0 +1,6 @@
+//@ path: crates/core/src/d002_positive.rs
+use std::collections::HashMap;
+
+pub fn index(keys: &[u64]) -> HashMap<u64, usize> {
+    keys.iter().enumerate().map(|(i, &k)| (k, i)).collect()
+}

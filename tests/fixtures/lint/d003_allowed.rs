@@ -1,0 +1,5 @@
+//@ path: crates/kvsim/src/d003_allowed.rs
+pub fn background(work: impl FnOnce() + Send + 'static) {
+    // mnemo-lint: allow(D003, "fixture: fire-and-forget logging thread, output order irrelevant")
+    std::thread::spawn(work);
+}

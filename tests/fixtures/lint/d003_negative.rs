@@ -1,0 +1,4 @@
+//@ path: crates/par/src/d003_negative.rs
+pub fn background(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}

@@ -1,0 +1,4 @@
+//@ path: crates/kvsim/src/d003_positive.rs
+pub fn background(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}

@@ -1,0 +1,5 @@
+//@ path: crates/core/src/d004_allowed.rs
+pub fn totals(pool: &Pool, xs: &[Vec<f64>]) -> Vec<f64> {
+    // mnemo-lint: allow(D004, "fixture: each closure reduces one pre-sharded slice sequentially")
+    pool.map(xs.len(), |i| xs[i].iter().sum::<f64>())
+}

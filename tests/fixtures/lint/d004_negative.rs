@@ -1,0 +1,4 @@
+//@ path: crates/core/src/d004_negative.rs
+pub fn totals(pool: &Pool, xs: &[Vec<u64>]) -> Vec<u64> {
+    pool.map(xs.len(), |i| xs[i].iter().sum::<u64>())
+}

@@ -1,0 +1,4 @@
+//@ path: crates/core/src/d004_positive.rs
+pub fn totals(pool: &Pool, xs: &[Vec<f64>]) -> Vec<f64> {
+    pool.map(xs.len(), |i| xs[i].iter().sum::<f64>())
+}

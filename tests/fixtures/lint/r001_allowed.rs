@@ -1,0 +1,5 @@
+//@ path: crates/core/src/r001_allowed.rs
+pub fn first(xs: &[u64]) -> u64 {
+    // mnemo-lint: allow(R001, "fixture: caller asserts non-emptiness on entry")
+    *xs.first().unwrap()
+}

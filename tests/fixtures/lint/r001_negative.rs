@@ -1,0 +1,12 @@
+//@ path: crates/core/src/r001_negative.rs
+pub fn first(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn first_of_nonempty() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,4 @@
+//@ path: crates/core/src/r001_positive.rs
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,5 @@
+//@ path: crates/hybridmem/src/r002_allowed.rs
+pub fn bytes_of(pages: u32) -> u64 {
+    // mnemo-lint: allow(R002, "fixture: u32 * 4096 always fits u64, widening cast")
+    (pages * 4096) as u64
+}

@@ -1,0 +1,4 @@
+//@ path: crates/hybridmem/src/r002_negative.rs
+pub fn fill_ratio(used: u64, total: u64) -> f64 {
+    used as f64 / total as f64
+}

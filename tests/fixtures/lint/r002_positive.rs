@@ -1,0 +1,4 @@
+//@ path: crates/hybridmem/src/r002_positive.rs
+pub fn bytes_of(pages: u32) -> u64 {
+    (pages * 4096) as u64
+}

@@ -1,0 +1,6 @@
+//@ path: crates/core/src/s001_allowed.rs
+pub fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    // mnemo-lint: allow(S001, "fixture: fatal-signal handler, destructors already ran")
+    std::process::exit(2)
+}

@@ -1,0 +1,5 @@
+//@ path: crates/cli/src/bin/s001_negative.rs
+pub fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}

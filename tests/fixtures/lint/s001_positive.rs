@@ -1,0 +1,5 @@
+//@ path: crates/core/src/s001_positive.rs
+pub fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
