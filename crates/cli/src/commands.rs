@@ -8,6 +8,7 @@ use mnemo::advisor::{Advisor, AdvisorConfig, Consultation, OrderingKind};
 use mnemo::sensitivity::SensitivityEngine;
 use mnemo::ModelKind;
 use mnemo_faults::FaultPlan;
+use mnemo_serve::{engine::ServeConfig, ServeError};
 use mnemo_stream::{Drift, DriftConfig, OnlineAdvisor, Readvice, StreamConfig};
 use std::fmt::Write as _;
 use std::fs::File;
@@ -240,6 +241,11 @@ fn drift_label(drift: &Drift) -> String {
 /// `mnemo watch <trace> [--epoch N] [--budget-kib N] [--telemetry DIR]`
 /// plus the consult options.
 pub fn watch(parsed: &mut Parsed) -> Result<String, CliError> {
+    // `--follow <socket>`: instead of replaying a trace locally, attach
+    // to a running `mnemo serve` daemon and stream its advice rows.
+    if parsed.flag("follow") {
+        return watch_follow(parsed);
+    }
     let path = parsed.positional_required("trace file")?.to_string();
     let (store, slo, mut config) = parse_config(parsed)?;
     let fault_plan = load_fault_plan(parsed)?;
@@ -368,6 +374,171 @@ pub fn watch(parsed: &mut Parsed) -> Result<String, CliError> {
         let _ = writeln!(out, "\n{}", export_telemetry(&dir, &[snap])?);
     }
     Ok(out)
+}
+
+/// Classify a serve-layer failure onto the CLI exit-code ladder.
+fn serve_error(e: ServeError) -> CliError {
+    match e {
+        ServeError::Usage(m) => CliError::Usage(m),
+        ServeError::Io(m) => CliError::Io(m),
+        ServeError::Proto { .. } => CliError::Parse(e.to_string()),
+        ServeError::Engine(m) => CliError::Engine(m),
+    }
+}
+
+/// `mnemo watch --follow <socket> [--rows N]` — attach to a running
+/// serve daemon and copy its advice rows to stdout as they are emitted.
+fn watch_follow(parsed: &mut Parsed) -> Result<String, CliError> {
+    let sock = parsed
+        .options
+        .get("follow")
+        .filter(|s| !s.is_empty())
+        .cloned()
+        .ok_or_else(|| CliError::Usage("--follow needs the serve socket path".into()))?;
+    let rows: u64 = parsed.number_or("rows", 0u64)?;
+    let limit = if rows == 0 { None } else { Some(rows) };
+    let mut stdout = std::io::stdout();
+    let n = mnemo_serve::follow(std::path::Path::new(&sock), limit, &mut stdout)
+        .map_err(serve_error)?;
+    Ok(format!("followed {n} row(s) from {sock}"))
+}
+
+/// Assemble the daemon configuration shared by every `serve` front end.
+fn parse_serve_config(parsed: &Parsed) -> Result<ServeConfig, CliError> {
+    let (store, slo, advisor) = parse_config(parsed)?;
+    let faults = load_fault_plan(parsed)?;
+    let tick_events: u64 = parsed.number_or("epoch", 2_048u64)?;
+    if tick_events == 0 {
+        return Err(CliError::Usage("--epoch must be >= 1".into()));
+    }
+    let drift_epoch: u64 = parsed.number_or("drift-epoch", 1_024u64)?;
+    if drift_epoch == 0 {
+        return Err(CliError::Usage("--drift-epoch must be >= 1".into()));
+    }
+    let budget_kib: usize = parsed.number_or("budget-kib", 64usize)?;
+    if budget_kib < 4 {
+        return Err(CliError::Usage(
+            "--budget-kib must be >= 4 (no useful summary fits below that)".into(),
+        ));
+    }
+    let queue_cap: usize = parsed.number_or("queue", 8_192usize)?;
+    if queue_cap == 0 {
+        return Err(CliError::Usage("--queue must be >= 1".into()));
+    }
+    let replan_every: u64 = parsed.number_or("replan-every", 1u64)?;
+    if replan_every == 0 {
+        return Err(CliError::Usage("--replan-every must be >= 1".into()));
+    }
+    let max_tenants: usize = parsed.number_or("max-tenants", 64usize)?;
+    let share_mib: u64 = parsed.number_or("share-mib", 64u64)?;
+    let mut stream = StreamConfig::with_budget_bytes(budget_kib * 1024);
+    stream.drift.epoch_len = drift_epoch;
+    Ok(ServeConfig {
+        store,
+        slo,
+        advisor,
+        stream,
+        tick_events,
+        queue_cap,
+        max_tenants,
+        share_bytes: share_mib << 20,
+        replan_every,
+        faults,
+        ..ServeConfig::default()
+    })
+}
+
+/// `mnemo serve [--replay file | --socket path]` — the long-lived
+/// multi-tenant advisor daemon. With `--replay` the request log runs on
+/// the virtual clock and the transcript (byte-identical for any
+/// `--jobs N`) is the whole output; with `--socket` the daemon listens
+/// on a framed Unix socket until a `shutdown` command; with neither it
+/// reads newline-delimited requests from stdin.
+pub fn serve(parsed: &mut Parsed) -> Result<String, CliError> {
+    let config = parse_serve_config(parsed)?;
+    let telemetry_dir = parsed
+        .options
+        .get("telemetry")
+        .filter(|s| !s.is_empty())
+        .cloned();
+    let state_path = parsed
+        .options
+        .get("state")
+        .filter(|s| !s.is_empty())
+        .cloned();
+    let state_every: u64 = parsed.number_or("state-every", 16u64)?;
+
+    if let Some(path) = parsed
+        .options
+        .get("replay")
+        .filter(|s| !s.is_empty())
+        .cloned()
+    {
+        let input = std::fs::read_to_string(&path)
+            .map_err(|e| CliError::Io(format!("cannot read request log '{path}': {e}")))?;
+        let outcome = mnemo_serve::run_replay(&input, config).map_err(serve_error)?;
+        if let Some(state) = &state_path {
+            let dump = mnemo_serve::state::dump(&outcome.engine);
+            mnemo_serve::state::write_atomic(std::path::Path::new(state), &dump)
+                .map_err(serve_error)?;
+        }
+        if let Some(dir) = &telemetry_dir {
+            // Silent on success: stdout stays a pure row transcript so
+            // it can be byte-diffed against a golden file.
+            export_telemetry(dir, outcome.engine.snapshots())?;
+        }
+        // `main` appends one newline; hand it the rows without the
+        // trailing one so stdout is exactly the transcript.
+        return Ok(outcome.transcript.trim_end_matches('\n').to_string());
+    }
+
+    let policy = mnemo_serve::StatePolicy {
+        path: state_path.as_ref().map(std::path::PathBuf::from),
+        every_ticks: state_every,
+    };
+    if let Some(sock) = parsed
+        .options
+        .get("socket")
+        .filter(|s| !s.is_empty())
+        .cloned()
+    {
+        let mut served = mnemo_serve::ServeLoop::bind(std::path::Path::new(&sock), config, policy)
+            .map_err(serve_error)?;
+        // Announce readiness immediately; `run` blocks until shutdown.
+        println!("serving on {sock} (send {{\"v\":1,\"cmd\":\"shutdown\"}} to stop)");
+        use std::io::Write as _;
+        std::io::stdout()
+            .flush()
+            .map_err(|e| CliError::Io(format!("stdout: {e}")))?;
+        let rows = served.run().map_err(serve_error)?;
+        let mut out = String::new();
+        for row in rows {
+            let _ = writeln!(out, "{row}");
+        }
+        if let Some(dir) = &telemetry_dir {
+            let _ = writeln!(
+                out,
+                "{}",
+                export_telemetry(dir, served.engine().snapshots())?
+            );
+        }
+        let _ = writeln!(out, "shutdown after {} tick(s)", served.engine().ticks());
+        return Ok(out);
+    }
+
+    let mut input = String::new();
+    std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut input)
+        .map_err(|e| CliError::Io(format!("cannot read stdin: {e}")))?;
+    let outcome = mnemo_serve::run_replay(&input, config).map_err(serve_error)?;
+    if let Some(state) = &state_path {
+        let dump = mnemo_serve::state::dump(&outcome.engine);
+        mnemo_serve::state::write_atomic(std::path::Path::new(state), &dump)
+            .map_err(serve_error)?;
+    }
+    if let Some(dir) = &telemetry_dir {
+        export_telemetry(dir, outcome.engine.snapshots())?;
+    }
+    Ok(outcome.transcript.trim_end_matches('\n').to_string())
 }
 
 fn export_telemetry(dir: &str, snaps: &[mnemo_telemetry::Snapshot]) -> Result<String, CliError> {

@@ -53,6 +53,32 @@ COMMANDS:
       --faults <plan>                    inject a fault plan (TOML/JSON) into
                                          the baselines and the live replay
       plus consult's --store/--slo/--price/--ordering/--model options
+      --follow <socket>                  attach to a running `mnemo serve`
+                                         daemon instead and stream its advice
+                                         rows to stdout (--rows N to stop)
+  serve                          long-lived multi-tenant advisor daemon:
+      online JSONL ingest, bounded-latency advising, periodic shared-capacity
+      re-planning across tenants
+      --replay <file>                    drive a request log on the virtual
+                                         clock; stdout is the row transcript
+                                         (byte-identical for any --jobs N)
+      --socket <path>                    listen on a length-framed Unix socket
+                                         until a shutdown command
+      (with neither, requests are read from stdin)
+      --epoch N                          offered events per scheduler tick
+                                         (default 2048)
+      --drift-epoch N                    events per tenant drift epoch
+                                         (default 1024)
+      --budget-kib N                     per-tenant profiler budget (default 64)
+      --queue N                          per-tenant queue bound (default 8192)
+      --max-tenants N                    admission ceiling (default 64)
+      --share-mib N                      shared FastMem pool re-planned across
+                                         tenants (default 64)
+      --replan-every N                   re-plan every N ticks (default 1)
+      --state <file> --state-every N     crash-safe state dumps / warm restart
+      --telemetry <dir>                  export serve telemetry
+      --faults <plan>                    fault plan; events with a tenant key
+                                         apply only to that tenant
   trace <trace-file|preset>      run a workload with telemetry and print the
       per-epoch summary (p50/p99 latency, throughput, tier hits)
       --epoch N                          requests per epoch (default 20000;
@@ -116,6 +142,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "generate" => commands::generate(&mut parsed),
         "consult" => commands::consult(&mut parsed),
         "watch" => commands::watch(&mut parsed),
+        "serve" => commands::serve(&mut parsed),
         "trace" => commands::trace_cmd(&mut parsed),
         "analyze" => commands::analyze(&mut parsed),
         "downsample" => commands::downsample(&mut parsed),

@@ -213,9 +213,15 @@ fn build(raw: RawPlan) -> Result<FaultPlan, PlanError> {
             .ok_or_else(|| PlanError::at(e.line, "event is missing `kind`"))?;
         let start_ns = e.u128("start_ns")?.unwrap_or(0);
         let end_ns = e.u128("end_ns")?.unwrap_or(u128::MAX);
+        // Any event kind may carry a `tenant = "name"` scope; serve-mode
+        // consumers narrow the plan per tenant, everything else ignores it.
+        let tenant = match e.str("tenant")? {
+            Some(("", line)) => return Err(PlanError::at(line, "`tenant` must not be empty")),
+            other => other.map(|(name, _)| name.to_string()),
+        };
         let event = match kind {
             "latency_spike" => {
-                e.known_keys(&["kind", "tier", "start_ns", "end_ns", "factor"])?;
+                e.known_keys(&["kind", "tier", "start_ns", "end_ns", "factor", "tenant"])?;
                 FaultEvent::LatencySpike {
                     tier: e.tier()?,
                     start_ns,
@@ -224,7 +230,7 @@ fn build(raw: RawPlan) -> Result<FaultPlan, PlanError> {
                 }
             }
             "bandwidth_throttle" => {
-                e.known_keys(&["kind", "tier", "start_ns", "end_ns", "factor"])?;
+                e.known_keys(&["kind", "tier", "start_ns", "end_ns", "factor", "tenant"])?;
                 FaultEvent::BandwidthThrottle {
                     tier: e.tier()?,
                     start_ns,
@@ -233,7 +239,7 @@ fn build(raw: RawPlan) -> Result<FaultPlan, PlanError> {
                 }
             }
             "capacity_shrink" => {
-                e.known_keys(&["kind", "tier", "start_ns", "end_ns", "bytes"])?;
+                e.known_keys(&["kind", "tier", "start_ns", "end_ns", "bytes", "tenant"])?;
                 FaultEvent::CapacityShrink {
                     tier: e.tier()?,
                     start_ns,
@@ -244,7 +250,7 @@ fn build(raw: RawPlan) -> Result<FaultPlan, PlanError> {
                 }
             }
             "migration_failure" => {
-                e.known_keys(&["kind", "start_ns", "end_ns", "probability"])?;
+                e.known_keys(&["kind", "start_ns", "end_ns", "probability", "tenant"])?;
                 FaultEvent::MigrationFailure {
                     start_ns,
                     end_ns,
@@ -252,7 +258,14 @@ fn build(raw: RawPlan) -> Result<FaultPlan, PlanError> {
                 }
             }
             "shard_crash" => {
-                e.known_keys(&["kind", "shard", "at_ns", "restart_ns", "rebuild_ns_per_key"])?;
+                e.known_keys(&[
+                    "kind",
+                    "shard",
+                    "at_ns",
+                    "restart_ns",
+                    "rebuild_ns_per_key",
+                    "tenant",
+                ])?;
                 FaultEvent::ShardCrash {
                     shard: e
                         .u64("shard")?
@@ -272,6 +285,9 @@ fn build(raw: RawPlan) -> Result<FaultPlan, PlanError> {
                 ))
             }
         };
+        if let Some(name) = tenant {
+            plan.tenant_scope.push((plan.events.len(), name));
+        }
         plan.events.push(event);
     }
     plan.validate().map_err(|reason| PlanError::at(0, reason))?;
@@ -818,6 +834,52 @@ rebuild_ns_per_key = 120.5
         .unwrap_err();
         assert_eq!(err.line, 4);
         assert!(err.reason.contains("typo_field"));
+    }
+
+    #[test]
+    fn tenant_key_scopes_events_in_both_formats() {
+        let toml = FaultPlan::parse_toml(
+            "[[event]]\nkind = \"shard_crash\"\nshard = 0\nat_ns = 100\ntenant = \"beta\"\n\
+             \n[[event]]\nkind = \"migration_failure\"\nprobability = 0.2\nstart_ns = 0\nend_ns = 10\n",
+        )
+        .unwrap();
+        let json = FaultPlan::parse_json(
+            r#"{"events": [
+                {"kind": "shard_crash", "shard": 0, "at_ns": 100, "tenant": "beta"},
+                {"kind": "migration_failure", "probability": 0.2, "start_ns": 0, "end_ns": 10}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(toml, json);
+        assert_eq!(toml.tenant_of(0), Some("beta"));
+        assert_eq!(toml.tenant_of(1), None);
+        assert_eq!(toml.for_tenant("beta").events.len(), 2);
+        assert_eq!(toml.for_tenant("alpha").events.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_tenant_fields_are_rejected_with_line_numbers() {
+        // Non-string tenant: typed error on the offending line.
+        let err = FaultPlan::parse_toml(
+            "[[event]]\nkind = \"migration_failure\"\nprobability = 0.2\ntenant = 5\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.reason.contains("must be a string"), "{err}");
+        // Empty tenant name.
+        let err = FaultPlan::parse_toml(
+            "[[event]]\nkind = \"migration_failure\"\ntenant = \"\"\nprobability = 0.2\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.reason.contains("must not be empty"), "{err}");
+        // Duplicate tenant key.
+        let err = FaultPlan::parse_json(
+            "{\"events\": [\n{\"kind\": \"migration_failure\", \"probability\": 0.2,\n\"tenant\": \"a\",\n\"tenant\": \"b\"}]}",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.reason.contains("duplicate"), "{err}");
     }
 
     #[test]

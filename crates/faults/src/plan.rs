@@ -154,6 +154,12 @@ pub struct FaultPlan {
     pub backoff: Backoff,
     /// Scheduled fault events.
     pub events: Vec<FaultEvent>,
+    /// Tenant scoping for serve-mode plans: `(event index, tenant name)`
+    /// pairs, sparse — an event with no entry applies to every tenant.
+    /// Device-level consumers (kvsim, hybridmem) ignore scoping; the
+    /// serve daemon narrows a plan with [`FaultPlan::for_tenant`] before
+    /// installing it.
+    pub tenant_scope: Vec<(usize, String)>,
 }
 
 impl FaultPlan {
@@ -163,6 +169,7 @@ impl FaultPlan {
             seed,
             backoff: Backoff::default_policy(),
             events: Vec::new(),
+            tenant_scope: Vec::new(),
         }
     }
 
@@ -170,6 +177,42 @@ impl FaultPlan {
     pub fn with(mut self, event: FaultEvent) -> FaultPlan {
         self.events.push(event);
         self
+    }
+
+    /// Builder-style append of an event scoped to one tenant.
+    pub fn with_for_tenant(mut self, event: FaultEvent, tenant: &str) -> FaultPlan {
+        self.tenant_scope
+            .push((self.events.len(), tenant.to_string()));
+        self.events.push(event);
+        self
+    }
+
+    /// The tenant an event is scoped to, if any.
+    pub fn tenant_of(&self, event_index: usize) -> Option<&str> {
+        self.tenant_scope
+            .iter()
+            .find(|(i, _)| *i == event_index)
+            .map(|(_, t)| t.as_str())
+    }
+
+    /// Narrow the plan to what one tenant experiences: every unscoped
+    /// event plus the events scoped to `tenant`, in their original
+    /// order. The result carries no scoping — it is that tenant's whole
+    /// world — and keeps the seed and backoff policy, so probabilistic
+    /// draws and retry tiers stay identical to the full plan's.
+    pub fn for_tenant(&self, tenant: &str) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            backoff: self.backoff,
+            events: self
+                .events
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.tenant_of(*i).is_none_or(|t| t == tenant))
+                .map(|(_, e)| *e)
+                .collect(),
+            tenant_scope: Vec::new(),
+        }
     }
 
     /// Whether the plan schedules any fault at all.
@@ -180,6 +223,17 @@ impl FaultPlan {
     /// Validate every event's parameters.
     pub fn validate(&self) -> Result<(), String> {
         self.backoff.validate()?;
+        for (i, tenant) in &self.tenant_scope {
+            if *i >= self.events.len() {
+                return Err(format!(
+                    "tenant scope references event {i} but the plan has {}",
+                    self.events.len()
+                ));
+            }
+            if tenant.is_empty() {
+                return Err(format!("event {i}: tenant name must not be empty"));
+            }
+        }
         for (i, e) in self.events.iter().enumerate() {
             let window = |start: u128, end: u128| -> Result<(), String> {
                 if start >= end {
@@ -465,6 +519,67 @@ mod tests {
         assert_eq!(plan.shard_crashes(0).len(), 1);
         assert!(plan.shard_crashes(9).is_empty());
         assert_eq!(c1[0].recovery_ns(10), 50.0 + 5.0 * 10.0);
+    }
+
+    #[test]
+    fn tenant_scoping_narrows_the_plan() {
+        let plan = FaultPlan::new(7)
+            .with(FaultEvent::MigrationFailure {
+                start_ns: 0,
+                end_ns: 100,
+                probability: 0.5,
+            })
+            .with_for_tenant(
+                FaultEvent::ShardCrash {
+                    shard: 0,
+                    at_ns: 50,
+                    restart_ns: 10.0,
+                    rebuild_ns_per_key: 1.0,
+                },
+                "beta",
+            )
+            .with_for_tenant(
+                FaultEvent::BandwidthThrottle {
+                    tier: MemTier::Slow,
+                    start_ns: 0,
+                    end_ns: 100,
+                    factor: 0.5,
+                },
+                "gamma",
+            );
+        plan.validate().unwrap();
+        assert_eq!(plan.tenant_of(0), None);
+        assert_eq!(plan.tenant_of(1), Some("beta"));
+        assert_eq!(plan.tenant_of(2), Some("gamma"));
+        // Each tenant sees the unscoped event plus its own.
+        let beta = plan.for_tenant("beta");
+        assert_eq!(beta.events.len(), 2);
+        assert_eq!(beta.shard_crashes(0).len(), 1);
+        assert!(beta.tenant_scope.is_empty());
+        assert_eq!(beta.seed, plan.seed, "draws stay seed-identical");
+        let gamma = plan.for_tenant("gamma");
+        assert_eq!(gamma.events.len(), 2);
+        assert!(gamma.shard_crashes(0).is_empty());
+        let alpha = plan.for_tenant("alpha");
+        assert_eq!(alpha.events.len(), 1, "only the unscoped event");
+    }
+
+    #[test]
+    fn validation_catches_bad_tenant_scope() {
+        let mut plan = FaultPlan::new(0).with(FaultEvent::MigrationFailure {
+            start_ns: 0,
+            end_ns: 1,
+            probability: 0.1,
+        });
+        plan.tenant_scope.push((5, "ghost".into()));
+        assert!(plan.validate().unwrap_err().contains("references event"));
+        let mut plan = FaultPlan::new(0).with(FaultEvent::MigrationFailure {
+            start_ns: 0,
+            end_ns: 1,
+            probability: 0.1,
+        });
+        plan.tenant_scope.push((0, String::new()));
+        assert!(plan.validate().unwrap_err().contains("must not be empty"));
     }
 
     #[test]

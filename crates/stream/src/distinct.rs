@@ -68,6 +68,43 @@ impl DistinctCounter {
     pub fn memory_bytes(&self) -> usize {
         self.bits.len() * std::mem::size_of::<u64>()
     }
+
+    /// Serialisable snapshot of the bitmap, for warm restarts of
+    /// long-lived consumers. The zero count is derivable and is
+    /// recomputed on import.
+    pub fn export_state(&self) -> DistinctState {
+        DistinctState {
+            bits: self.bits.clone(),
+        }
+    }
+
+    /// Rebuild a counter from an exported bitmap. Fails when the word
+    /// count is not a power-of-two bitmap in the supported size range.
+    pub fn import_state(state: &DistinctState) -> Result<DistinctCounter, String> {
+        let words = state.bits.len() as u64;
+        if words == 0 || !words.is_power_of_two() {
+            return Err(format!("bitmap of {words} words is not a power of two"));
+        }
+        let m = words * 64;
+        let log2 = m.ilog2();
+        if !(6..=30).contains(&log2) {
+            return Err(format!("bitmap of {m} bits out of supported range"));
+        }
+        let ones: u64 = state.bits.iter().map(|w| w.count_ones() as u64).sum();
+        Ok(DistinctCounter {
+            bits: state.bits.clone(),
+            mask: m - 1,
+            zeros: m - ones,
+        })
+    }
+}
+
+/// Exported [`DistinctCounter`] state (see
+/// [`DistinctCounter::export_state`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistinctState {
+    /// The bitmap, as 64-bit words.
+    pub bits: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -99,5 +136,24 @@ mod tests {
     #[test]
     fn empty_counter_estimates_zero() {
         assert_eq!(DistinctCounter::new(10).estimate(), 0);
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut d = DistinctCounter::new(10);
+        for key in 0..300u64 {
+            d.insert(key * 7);
+        }
+        let back = DistinctCounter::import_state(&d.export_state()).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.estimate(), d.estimate());
+    }
+
+    #[test]
+    fn import_rejects_corrupt_state() {
+        let mut state = DistinctCounter::new(10).export_state();
+        state.bits.pop();
+        assert!(DistinctCounter::import_state(&state).is_err());
+        assert!(DistinctCounter::import_state(&DistinctState { bits: vec![] }).is_err());
     }
 }

@@ -95,6 +95,9 @@ pub struct SkewTracker {
     window: SpaceSaving,
     in_epoch: u64,
     completed: u64,
+    /// Consecutive epochs that elapsed with no traffic (see
+    /// [`SkewTracker::note_idle_epoch`]). Reset by every closed epoch.
+    idle_streak: u64,
     /// The last epoch accepted as the drift reference (set on `Initial`
     /// and on every significant drift).
     reference: Option<EpochSummary>,
@@ -111,6 +114,7 @@ impl SkewTracker {
             config,
             in_epoch: 0,
             completed: 0,
+            idle_streak: 0,
             reference: None,
             last: None,
         }
@@ -158,6 +162,7 @@ impl SkewTracker {
         self.window.clear();
         self.in_epoch = 0;
         self.completed += 1;
+        self.idle_streak = 0;
 
         let decision = match &self.reference {
             None => Drift::Initial,
@@ -201,11 +206,86 @@ impl SkewTracker {
         Drift::Stable
     }
 
+    /// Note that one epoch's worth of scheduler time elapsed with *no*
+    /// traffic. Drivers with their own clock (the serve daemon's epoch
+    /// tick) call this instead of [`SkewTracker::observe`] when a tenant
+    /// was silent for the whole epoch.
+    ///
+    /// One idle epoch is tolerated — brief gaps between bursts carry no
+    /// drift signal. Beyond that the retained reference and last
+    /// summaries describe traffic that is now stale, so they are
+    /// dropped: when the tenant resumes, the next completed epoch
+    /// compares against nothing and yields [`Drift::Initial`], forcing a
+    /// fresh consultation instead of a comparison with a frozen
+    /// pre-idle snapshot. Without this, a tenant idle for hours would
+    /// come back and be judged "stable" against advice sized for
+    /// traffic that no longer exists.
+    pub fn note_idle_epoch(&mut self) {
+        self.completed += 1;
+        self.idle_streak += 1;
+        if self.idle_streak > 1 {
+            self.reference = None;
+            self.last = None;
+        }
+    }
+
+    /// Consecutive idle epochs noted since the last closed epoch.
+    pub fn idle_streak(&self) -> u64 {
+        self.idle_streak
+    }
+
     /// Heap footprint in bytes (the per-epoch summary window; the two
     /// retained summaries are bounded by `2 * epoch_top_k` keys).
     pub fn memory_bytes(&self) -> usize {
         self.window.memory_bytes() + 2 * self.config.epoch_top_k * std::mem::size_of::<u64>()
     }
+
+    /// Serialisable snapshot of the tracker, for warm restarts.
+    pub fn export_state(&self) -> TrackerState {
+        TrackerState {
+            window: self.window.export_state(),
+            in_epoch: self.in_epoch,
+            completed: self.completed,
+            idle_streak: self.idle_streak,
+            reference: self.reference.clone(),
+            last: self.last.clone(),
+        }
+    }
+
+    /// Rebuild a tracker from an exported state under `config`.
+    pub fn import_state(config: DriftConfig, state: &TrackerState) -> Result<SkewTracker, String> {
+        if state.in_epoch >= config.epoch_len {
+            return Err(format!(
+                "in-epoch count {} at or above epoch length {}",
+                state.in_epoch, config.epoch_len
+            ));
+        }
+        let mut out = SkewTracker::new(config);
+        out.window = SpaceSaving::import_state(config.epoch_top_k, 0.2, &state.window)?;
+        out.in_epoch = state.in_epoch;
+        out.completed = state.completed;
+        out.idle_streak = state.idle_streak;
+        out.reference = state.reference.clone();
+        out.last = state.last.clone();
+        Ok(out)
+    }
+}
+
+/// Exported [`SkewTracker`] state (see [`SkewTracker::export_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackerState {
+    /// The in-progress epoch's heavy-hitter window.
+    pub window: crate::topk::TopKState,
+    /// Events in the in-progress epoch.
+    pub in_epoch: u64,
+    /// Completed epochs.
+    pub completed: u64,
+    /// Consecutive idle epochs.
+    pub idle_streak: u64,
+    /// The drift reference epoch, if any.
+    pub reference: Option<EpochSummary>,
+    /// The most recently completed epoch, if any.
+    pub last: Option<EpochSummary>,
 }
 
 #[cfg(test)]
@@ -308,6 +388,87 @@ mod tests {
             !significant.is_empty(),
             "rotated hot set must drift: {decisions:?}"
         );
+    }
+
+    #[test]
+    fn idle_gap_resets_the_drift_reference() {
+        let config = DriftConfig {
+            epoch_len: 5_000,
+            ..DriftConfig::default()
+        };
+        let mut tracker = SkewTracker::new(config);
+        // Two active epochs establish a reference...
+        let events = events_for(DistKind::Zipfian { theta: 0.99 }, 11, 10_000);
+        let decisions = drive(&mut tracker, &events);
+        assert_eq!(decisions[0], Drift::Initial);
+        assert!(tracker.last_epoch().is_some());
+        // ...then the tenant goes idle for more than one epoch.
+        tracker.note_idle_epoch();
+        assert!(
+            tracker.last_epoch().is_some(),
+            "a single idle epoch is tolerated"
+        );
+        tracker.note_idle_epoch();
+        assert_eq!(tracker.idle_streak(), 2);
+        assert!(
+            tracker.last_epoch().is_none(),
+            "an idle gap must drop the stale summaries"
+        );
+        // Traffic resumes: the first completed epoch re-advises from
+        // scratch instead of comparing against the pre-idle snapshot.
+        let resumed = events_for(DistKind::Zipfian { theta: 0.99 }, 12, 5_000);
+        let decisions = drive(&mut tracker, &resumed);
+        assert_eq!(decisions, vec![Drift::Initial]);
+        assert_eq!(tracker.idle_streak(), 0, "traffic clears the streak");
+    }
+
+    #[test]
+    fn single_idle_epoch_keeps_the_reference() {
+        let config = DriftConfig {
+            epoch_len: 5_000,
+            ..DriftConfig::default()
+        };
+        let mut tracker = SkewTracker::new(config);
+        drive(
+            &mut tracker,
+            &events_for(DistKind::Zipfian { theta: 0.99 }, 13, 10_000),
+        );
+        tracker.note_idle_epoch();
+        // The same steady workload after a one-epoch gap stays stable.
+        let decisions = drive(
+            &mut tracker,
+            &events_for(DistKind::Zipfian { theta: 0.99 }, 13, 5_000),
+        );
+        assert_eq!(decisions, vec![Drift::Stable]);
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let config = DriftConfig {
+            epoch_len: 5_000,
+            ..DriftConfig::default()
+        };
+        let mut tracker = SkewTracker::new(config);
+        let events = events_for(DistKind::Zipfian { theta: 0.99 }, 14, 12_500);
+        drive(&mut tracker, &events);
+        let back = SkewTracker::import_state(config, &tracker.export_state()).unwrap();
+        assert_eq!(back.last_epoch(), tracker.last_epoch());
+        // Both continue identically.
+        let more = events_for(DistKind::Zipfian { theta: 0.99 }, 15, 7_500);
+        let mut a = tracker;
+        let mut b = back;
+        assert_eq!(drive(&mut a, &more), drive(&mut b, &more));
+    }
+
+    #[test]
+    fn import_rejects_overfull_epoch() {
+        let config = DriftConfig {
+            epoch_len: 100,
+            ..DriftConfig::default()
+        };
+        let mut state = SkewTracker::new(config).export_state();
+        state.in_epoch = 100;
+        assert!(SkewTracker::import_state(config, &state).is_err());
     }
 
     #[test]

@@ -61,8 +61,8 @@ pub mod telemetry;
 pub mod topk;
 
 pub use advise::{OnlineAdvisor, Readvice};
-pub use distinct::DistinctCounter;
-pub use epoch::{Drift, DriftConfig, EpochSummary, SkewTracker};
-pub use profiler::{ApproxPattern, StreamConfig, StreamProfiler};
-pub use sketch::CountMinSketch;
-pub use topk::{SpaceSaving, TopEntry};
+pub use distinct::{DistinctCounter, DistinctState};
+pub use epoch::{Drift, DriftConfig, EpochSummary, SkewTracker, TrackerState};
+pub use profiler::{ApproxPattern, ProfilerState, StreamConfig, StreamProfiler};
+pub use sketch::{CountMinSketch, SketchState};
+pub use topk::{SpaceSaving, TopEntry, TopKState};

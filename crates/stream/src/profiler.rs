@@ -24,10 +24,10 @@
 //! continuation of the head's rank-frequency curve, at the global mean
 //! record size ("tail-fitted").
 
-use crate::distinct::DistinctCounter;
-use crate::epoch::{Drift, DriftConfig, SkewTracker};
-use crate::sketch::CountMinSketch;
-use crate::topk::{SpaceSaving, TopEntry};
+use crate::distinct::{DistinctCounter, DistinctState};
+use crate::epoch::{Drift, DriftConfig, SkewTracker, TrackerState};
+use crate::sketch::{CountMinSketch, SketchState};
+use crate::topk::{SpaceSaving, TopEntry, TopKState};
 use mnemo::{KeyStats, PatternEngine};
 use ycsb::fit::fit_zipf_theta;
 use ycsb::{AccessEvent, Op};
@@ -157,6 +157,20 @@ impl StreamProfiler {
         self.top.observe(event);
         self.distinct.insert(event.key);
         self.skew.observe(event)
+    }
+
+    /// Apply one idle epoch's decay. Long-lived consumers whose
+    /// scheduler (not the event count) defines epochs call this when a
+    /// tenant saw no traffic for a whole epoch: the heavy-hitter counts
+    /// halve and the size EWMAs relax instead of freezing at their
+    /// last-traffic values, and after more than one idle epoch the
+    /// drift reference is dropped so resuming traffic re-advises fresh
+    /// (see [`SkewTracker::note_idle_epoch`]). The Count-Min sketches
+    /// and the distinct bitmap are whole-stream totals, not rates, and
+    /// are left untouched.
+    pub fn note_idle_epoch(&mut self) {
+        self.top.decay_idle_epoch();
+        self.skew.note_idle_epoch();
     }
 
     /// Events consumed so far.
@@ -310,6 +324,88 @@ impl StreamProfiler {
             head_keys,
         }
     }
+
+    /// Serialisable snapshot of the whole profiler, for warm restarts of
+    /// long-lived consumers (the serve daemon's state dump).
+    pub fn export_state(&self) -> ProfilerState {
+        ProfilerState {
+            top: self.top.export_state(),
+            cm_reads: self.cm_reads.export_state(),
+            cm_writes: self.cm_writes.export_state(),
+            distinct: self.distinct.export_state(),
+            skew: self.skew.export_state(),
+            events: self.events,
+            reads: self.reads,
+            writes: self.writes,
+            bytes_sum: self.bytes_sum,
+        }
+    }
+
+    /// Rebuild a profiler from an exported state under `config`. The
+    /// state must have come from a profiler of the same shape; any
+    /// structural mismatch (sketch dimensions, over-capacity summaries)
+    /// fails with a description rather than resuming silently wrong.
+    pub fn from_state(
+        config: StreamConfig,
+        state: &ProfilerState,
+    ) -> Result<StreamProfiler, String> {
+        let reference = StreamProfiler::new(config);
+        let cm_reads = CountMinSketch::import_state(&state.cm_reads)?;
+        let cm_writes = CountMinSketch::import_state(&state.cm_writes)?;
+        if cm_reads.width() != reference.cm_reads.width()
+            || cm_reads.depth() != reference.cm_reads.depth()
+            || cm_writes.width() != reference.cm_writes.width()
+            || cm_writes.depth() != reference.cm_writes.depth()
+        {
+            return Err("sketch dimensions do not match the configuration".into());
+        }
+        let distinct = DistinctCounter::import_state(&state.distinct)?;
+        if distinct.memory_bytes() != reference.distinct.memory_bytes() {
+            return Err("distinct bitmap size does not match the configuration".into());
+        }
+        if !state.bytes_sum.is_finite() || state.bytes_sum < 0.0 {
+            return Err(format!(
+                "bytes_sum {} is not a valid total",
+                state.bytes_sum
+            ));
+        }
+        Ok(StreamProfiler {
+            top: SpaceSaving::import_state(config.top_k, config.ewma_alpha, &state.top)?,
+            cm_reads,
+            cm_writes,
+            distinct,
+            skew: SkewTracker::import_state(config.drift, &state.skew)?,
+            config,
+            events: state.events,
+            reads: state.reads,
+            writes: state.writes,
+            bytes_sum: state.bytes_sum,
+        })
+    }
+}
+
+/// Exported [`StreamProfiler`] state (see
+/// [`StreamProfiler::export_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfilerState {
+    /// Heavy-hitter summary.
+    pub top: TopKState,
+    /// Read-op sketch.
+    pub cm_reads: SketchState,
+    /// Write-op sketch.
+    pub cm_writes: SketchState,
+    /// Distinct-key bitmap.
+    pub distinct: DistinctState,
+    /// Epoch/drift tracker.
+    pub skew: TrackerState,
+    /// Events consumed.
+    pub events: u64,
+    /// Read events.
+    pub reads: u64,
+    /// Write events.
+    pub writes: u64,
+    /// Sum of event sizes in bytes.
+    pub bytes_sum: f64,
 }
 
 /// An approximate pattern plus the mapping from synthetic head ids back
@@ -425,6 +521,62 @@ mod tests {
             assert!(r >= tr && w >= tw, "undercount at {key}");
             assert!(r <= tr + bound && w <= tw + bound, "bound blown at {key}");
         }
+    }
+
+    #[test]
+    fn idle_decay_shrinks_head_and_resumes_fresh() {
+        let spec = WorkloadSpec::trending().scaled(500, 12_000);
+        let (mut p, _) = profile(spec, 11);
+        let hot_before = p.top_entries()[0].count;
+        let ewma_before = p.top_entries()[0].size_ewma;
+        p.note_idle_epoch();
+        p.note_idle_epoch();
+        let top = p.top_entries();
+        assert!(top[0].count < hot_before, "counts must decay while idle");
+        assert!(
+            top[0].size_ewma < ewma_before,
+            "sizes must decay while idle"
+        );
+        assert!(
+            p.skew().last_epoch().is_none(),
+            "idle gap must drop the drift reference"
+        );
+    }
+
+    #[test]
+    fn state_round_trip_preserves_behaviour() {
+        let spec = WorkloadSpec::trending().scaled(800, 15_000);
+        let trace = spec.generate(12);
+        let config = StreamConfig::default();
+        let mut p = StreamProfiler::new(config);
+        for e in trace.events().take(9_000) {
+            p.observe(&e);
+        }
+        let back = StreamProfiler::from_state(config, &p.export_state()).unwrap();
+        assert_eq!(back.events(), p.events());
+        assert_eq!(back.distinct_keys(), p.distinct_keys());
+        assert_eq!(back.top_entries(), p.top_entries());
+        // Continuing both with the rest of the trace stays identical.
+        let mut a = p;
+        let mut b = back;
+        for e in trace.events().skip(9_000) {
+            assert_eq!(a.observe(&e), b.observe(&e));
+        }
+        assert_eq!(
+            a.approx_pattern().pattern.stats(),
+            b.approx_pattern().pattern.stats()
+        );
+    }
+
+    #[test]
+    fn from_state_rejects_mismatched_config() {
+        let p = StreamProfiler::new(StreamConfig::default());
+        let state = p.export_state();
+        let other = StreamConfig {
+            cm_width: 64,
+            ..StreamConfig::default()
+        };
+        assert!(StreamProfiler::from_state(other, &state).is_err());
     }
 
     #[test]

@@ -118,6 +118,56 @@ impl CountMinSketch {
     pub fn memory_bytes(&self) -> usize {
         self.counters.len() * std::mem::size_of::<u32>()
     }
+
+    /// Serialisable snapshot of the sketch, for warm restarts of
+    /// long-lived consumers.
+    pub fn export_state(&self) -> SketchState {
+        SketchState {
+            width: self.width,
+            depth: self.depth,
+            counters: self.counters.clone(),
+            total: self.total,
+        }
+    }
+
+    /// Rebuild a sketch from an exported state. Fails on inconsistent
+    /// dimensions (width not a power of two, counter grid of the wrong
+    /// size).
+    pub fn import_state(state: &SketchState) -> Result<CountMinSketch, String> {
+        if state.width == 0 || !state.width.is_power_of_two() {
+            return Err(format!("sketch width {} not a power of two", state.width));
+        }
+        if state.depth == 0 {
+            return Err("sketch depth is zero".into());
+        }
+        if state.counters.len() != state.width * state.depth {
+            return Err(format!(
+                "sketch grid holds {} counters, expected {}",
+                state.counters.len(),
+                state.width * state.depth
+            ));
+        }
+        Ok(CountMinSketch {
+            width: state.width,
+            depth: state.depth,
+            counters: state.counters.clone(),
+            total: state.total,
+        })
+    }
+}
+
+/// Exported [`CountMinSketch`] state (see
+/// [`CountMinSketch::export_state`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchState {
+    /// Row width (a power of two).
+    pub width: usize,
+    /// Number of rows.
+    pub depth: usize,
+    /// The `depth × width` counter grid, row-major.
+    pub counters: Vec<u32>,
+    /// Total increments recorded.
+    pub total: u64,
 }
 
 #[cfg(test)]
@@ -161,6 +211,27 @@ mod tests {
                 s.error_bound()
             );
         }
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut s = CountMinSketch::new(128, 3);
+        for key in 0..500u64 {
+            s.increment(key % 40);
+        }
+        let back = CountMinSketch::import_state(&s.export_state()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.estimate(7), s.estimate(7));
+    }
+
+    #[test]
+    fn import_rejects_corrupt_state() {
+        let mut state = CountMinSketch::new(128, 3).export_state();
+        state.counters.pop();
+        assert!(CountMinSketch::import_state(&state).is_err());
+        let mut bad_width = CountMinSketch::new(128, 3).export_state();
+        bad_width.width = 100;
+        assert!(CountMinSketch::import_state(&bad_width).is_err());
     }
 
     #[test]

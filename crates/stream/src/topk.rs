@@ -46,6 +46,16 @@ impl TopEntry {
     }
 }
 
+/// Exported [`SpaceSaving`] state, for warm restarts of long-lived
+/// consumers (see [`SpaceSaving::export_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKState {
+    /// Monitored entries, in internal (not sorted) order.
+    pub entries: Vec<TopEntry>,
+    /// Events observed.
+    pub observed: u64,
+}
+
 /// The Space-Saving summary.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SpaceSaving {
@@ -163,6 +173,73 @@ impl SpaceSaving {
         self.observed = 0;
     }
 
+    /// Decay every monitored entry for one epoch that saw *no* traffic.
+    ///
+    /// A long-lived consumer (the serve daemon) calls this once per idle
+    /// epoch so a tenant that stops sending requests sees its rate
+    /// statistics halve and its size EWMAs relax toward zero instead of
+    /// freezing at their last-traffic values forever. Counts, errors and
+    /// the read/write split halve (integer floor, which preserves
+    /// `error <= count` and hence the `guaranteed()` lower bound); the
+    /// size EWMA takes one smoothing step toward zero — the same update
+    /// the live path would apply to a zero-byte pseudo-observation.
+    /// Entries whose count reaches zero are dropped and `observed`
+    /// halves with them, keeping the `n / K` guarantee consistent.
+    pub fn decay_idle_epoch(&mut self) {
+        for e in &mut self.entries {
+            e.count /= 2;
+            e.error /= 2;
+            e.reads /= 2;
+            e.writes /= 2;
+            e.size_ewma -= self.ewma_alpha * e.size_ewma;
+        }
+        self.entries.retain(|e| e.count > 0);
+        self.index.clear();
+        for (i, e) in self.entries.iter().enumerate() {
+            self.index.insert(e.key, i);
+        }
+        self.observed /= 2;
+    }
+
+    /// Serialisable snapshot of the summary: the monitored entries (in
+    /// internal order) and the observation count. Capacity and alpha are
+    /// configuration and travel separately.
+    pub fn export_state(&self) -> TopKState {
+        TopKState {
+            entries: self.entries.clone(),
+            observed: self.observed,
+        }
+    }
+
+    /// Rebuild a summary from an exported state under the given
+    /// configuration. Fails when the state cannot have come from a
+    /// summary of this shape (too many entries, duplicate keys, or an
+    /// entry whose error exceeds its count).
+    pub fn import_state(
+        capacity: usize,
+        ewma_alpha: f64,
+        state: &TopKState,
+    ) -> Result<SpaceSaving, String> {
+        if state.entries.len() > capacity {
+            return Err(format!(
+                "top-k state holds {} entries but capacity is {capacity}",
+                state.entries.len()
+            ));
+        }
+        let mut out = SpaceSaving::new(capacity, ewma_alpha);
+        for (i, e) in state.entries.iter().enumerate() {
+            if e.error > e.count {
+                return Err(format!("entry for key {} has error > count", e.key));
+            }
+            if out.index.insert(e.key, i).is_some() {
+                return Err(format!("duplicate key {} in top-k state", e.key));
+            }
+            out.entries.push(*e);
+        }
+        out.observed = state.observed;
+        Ok(out)
+    }
+
     /// Heap footprint in bytes: the entry array plus the key index
     /// (estimated at one entry-slot pair per monitored key).
     pub fn memory_bytes(&self) -> usize {
@@ -258,6 +335,95 @@ mod tests {
         ss.observe(&read(3, 200)); // 100 + 0.5*(200-100) = 150
         let e = ss.entries()[0];
         assert!((e.size_ewma - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_decay_halves_counts_and_relaxes_sizes() {
+        let mut ss = SpaceSaving::new(4, 0.2);
+        for _ in 0..8 {
+            ss.observe(&read(1, 100));
+        }
+        ss.observe(&write(2, 50));
+        ss.decay_idle_epoch();
+        let entries = ss.entries();
+        assert_eq!(entries[0].key, 1);
+        assert_eq!(entries[0].count, 4);
+        assert_eq!(entries[0].reads, 4);
+        assert!(entries[0].size_ewma < 100.0, "EWMA must relax, not freeze");
+        // Key 2 had count 1 -> halves to 0 -> dropped entirely.
+        assert!(!ss.contains(2), "zero-count entries are dropped");
+        assert_eq!(ss.observed(), 4);
+        // Repeated idle epochs drain the summary completely.
+        for _ in 0..8 {
+            ss.decay_idle_epoch();
+        }
+        assert!(ss.entries().is_empty());
+    }
+
+    #[test]
+    fn idle_decay_preserves_guarantee_invariant() {
+        let mut ss = SpaceSaving::new(1, 0.2);
+        for _ in 0..9 {
+            ss.observe(&read(7, 10));
+        }
+        ss.observe(&read(8, 10)); // takeover: count 10, error 9
+        ss.decay_idle_epoch();
+        let e = ss.entries()[0];
+        assert!(e.error <= e.count, "error {} > count {}", e.error, e.count);
+        assert_eq!(e.guaranteed(), 1);
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut ss = SpaceSaving::new(4, 0.2);
+        for i in 0..20u64 {
+            ss.observe(&read(i % 6, 10 + i));
+        }
+        let state = ss.export_state();
+        let back = SpaceSaving::import_state(4, 0.2, &state).unwrap();
+        assert_eq!(back.entries(), ss.entries());
+        assert_eq!(back.observed(), ss.observed());
+        // And the rebuilt index keeps working.
+        let mut a = ss.clone();
+        let mut b = back;
+        for i in 0..50u64 {
+            a.observe(&read(i % 9, 64));
+            b.observe(&read(i % 9, 64));
+        }
+        assert_eq!(a.entries(), b.entries());
+    }
+
+    #[test]
+    fn import_rejects_corrupt_state() {
+        let over = TopKState {
+            entries: (0..5)
+                .map(|k| TopEntry {
+                    key: k,
+                    count: 1,
+                    error: 0,
+                    reads: 1,
+                    writes: 0,
+                    size_ewma: 1.0,
+                })
+                .collect(),
+            observed: 5,
+        };
+        assert!(SpaceSaving::import_state(4, 0.2, &over).is_err());
+        let dup = TopKState {
+            entries: vec![
+                TopEntry {
+                    key: 1,
+                    count: 2,
+                    error: 0,
+                    reads: 2,
+                    writes: 0,
+                    size_ewma: 1.0,
+                };
+                2
+            ],
+            observed: 4,
+        };
+        assert!(SpaceSaving::import_state(4, 0.2, &dup).is_err());
     }
 
     #[test]

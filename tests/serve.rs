@@ -1,0 +1,213 @@
+//! Serving-layer integration: transcript determinism across worker
+//! counts, multi-tenant isolation, cold-start degradation, crash
+//! recovery, and crash-safe state round-trips.
+
+use mnemo_serve::engine::{ServeConfig, ServeEngine};
+use mnemo_serve::proto::EventV1;
+use mnemo_serve::{run_replay, state};
+use mnemo_stream::StreamConfig;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/serve/events.jsonl"
+);
+const CRASH_PLAN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/serve/crash.toml"
+);
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/serve/replay.jsonl"
+);
+const GOLDEN_CRASH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/serve/replay-crash.jsonl"
+);
+
+/// The exact configuration the CI smoke job runs the fixture with:
+/// `--epoch 600 --drift-epoch 300 --budget-kib 16`.
+fn fixture_config() -> ServeConfig {
+    let mut stream = StreamConfig::with_budget_bytes(16 * 1024);
+    stream.drift.epoch_len = 300;
+    ServeConfig {
+        stream,
+        tick_events: 600,
+        ..ServeConfig::default()
+    }
+}
+
+fn fixture_input() -> String {
+    std::fs::read_to_string(FIXTURE).expect("fixture present")
+}
+
+fn event(tenant: &str, key: u64, bytes: u64) -> EventV1 {
+    EventV1 {
+        tenant: tenant.to_string(),
+        key,
+        op: ycsb::Op::Read,
+        bytes,
+    }
+}
+
+#[test]
+fn replay_transcript_is_jobs_invariant_and_matches_the_golden() {
+    let input = fixture_input();
+    mnemo_par::set_jobs(1);
+    let jobs1 = run_replay(&input, fixture_config())
+        .expect("replay")
+        .transcript;
+    mnemo_par::set_jobs(4);
+    let jobs4 = run_replay(&input, fixture_config())
+        .expect("replay")
+        .transcript;
+    mnemo_par::set_jobs(0);
+    assert_eq!(
+        jobs1, jobs4,
+        "transcripts must be byte-identical for any --jobs N"
+    );
+
+    let golden = std::fs::read_to_string(GOLDEN).expect("golden transcript present");
+    assert_eq!(
+        jobs1, golden,
+        "replay transcript drifted from tests/golden/serve/replay.jsonl \
+         (regenerate it deliberately if the change is intended)"
+    );
+}
+
+#[test]
+fn a_tenants_flood_does_not_change_anothers_advice() {
+    // beta alone, exactly as in the interleaved run below.
+    let beta_line = |i: u64| {
+        format!(
+            "{{\"v\":1,\"tenant\":\"beta\",\"key\":{},\"op\":\"read\",\"bytes\":96}}\n",
+            if i % 10 < 8 { i % 6 } else { 500 + i * 7 % 300 }
+        )
+    };
+    let mut alone = String::new();
+    for i in 0..1_200 {
+        alone.push_str(&beta_line(i));
+    }
+    // Same beta stream, with alpha flooding three events for each of
+    // beta's. Flood traffic is interleaved, so beta is never idle for a
+    // whole scheduler epoch — its drift epochs land on the same events.
+    let mut flooded = String::new();
+    for i in 0..1_200 {
+        for f in 0..3 {
+            flooded.push_str(&format!(
+                "{{\"v\":1,\"tenant\":\"alpha\",\"key\":{},\"op\":\"update\",\"bytes\":4096}}\n",
+                (i * 3 + f) % 997
+            ));
+        }
+        flooded.push_str(&beta_line(i));
+    }
+    let beta_rows = |transcript: &str| {
+        transcript
+            .lines()
+            .filter(|l| l.contains("\"row\":\"advise\"") && l.contains("\"tenant\":\"beta\""))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    let alone_rows = beta_rows(&run_replay(&alone, fixture_config()).expect("ok").transcript);
+    let flooded_rows = beta_rows(
+        &run_replay(&flooded, fixture_config())
+            .expect("ok")
+            .transcript,
+    );
+    assert!(!alone_rows.is_empty(), "beta must advise at least once");
+    assert_eq!(
+        alone_rows, flooded_rows,
+        "alpha's flood must not perturb beta's advice"
+    );
+}
+
+#[test]
+fn cold_tenant_gets_degraded_advice_not_silence() {
+    let mut engine = ServeEngine::new(fixture_config()).expect("engine");
+    let row = engine.advise_now("brand-new");
+    assert!(row.contains("\"row\":\"advise\""), "{row}");
+    assert!(row.contains("\"degraded\":\"empty_curve\""), "{row}");
+}
+
+#[test]
+fn crash_mid_replay_degrades_and_recovers_matching_the_golden() {
+    let plan = mnemo_faults::FaultPlan::load(std::path::Path::new(CRASH_PLAN)).expect("plan");
+    let config = ServeConfig {
+        faults: Some(plan),
+        ..fixture_config()
+    };
+    let transcript = run_replay(&fixture_input(), config)
+        .expect("replay")
+        .transcript;
+    assert!(
+        transcript.contains("\"row\":\"crash\",\"tenant\":\"beta\""),
+        "the outage must be reported"
+    );
+    let beta_advises: Vec<&str> = transcript
+        .lines()
+        .filter(|l| l.contains("\"row\":\"advise\"") && l.contains("\"tenant\":\"beta\""))
+        .collect();
+    assert!(
+        beta_advises
+            .iter()
+            .any(|l| l.contains("\"degraded\":\"empty_curve\"")),
+        "the crashed tenant answers degraded, never absent: {beta_advises:?}"
+    );
+    assert!(
+        beta_advises
+            .iter()
+            .any(|l| l.contains("\"trigger\":\"initial\"") && l.contains("\"degraded\":null")),
+        "after rebuilding, advice must recover: {beta_advises:?}"
+    );
+    let golden = std::fs::read_to_string(GOLDEN_CRASH).expect("crash golden present");
+    assert_eq!(transcript, golden, "crash replay drifted from its golden");
+}
+
+#[test]
+fn state_dump_reload_continues_byte_identically() {
+    let config = || ServeConfig {
+        replan_every: 1_000_000, // consultations are not serialised;
+        // keep re-planning out of the comparison window
+        ..fixture_config()
+    };
+    let feed = |engine: &mut ServeEngine, range: std::ops::Range<u64>| {
+        let mut rows = Vec::new();
+        for i in range {
+            for tenant in ["a", "b"] {
+                let key = if i % 10 < 7 { i % 9 } else { 200 + i % 333 };
+                rows.extend(
+                    engine
+                        .ingest(event(tenant, key, 64 + i % 128))
+                        .expect("ingest"),
+                );
+            }
+        }
+        rows
+    };
+
+    // First half on the original engine, dumped at a tick boundary
+    // (600 offered events per tenant pair = an exact multiple of
+    // tick_events, so the bounded queues are empty in the dump).
+    let mut original = ServeEngine::new(config()).expect("engine");
+    feed(&mut original, 0..600);
+    let dir = std::env::temp_dir().join(format!("mnemo-serve-state-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let dump_path = dir.join("serve-state.json");
+    state::write_atomic(&dump_path, &state::dump(&original)).expect("dump");
+
+    // A fresh engine warm-restarts from the dump; both continue.
+    let mut restored = ServeEngine::new(config()).expect("engine");
+    let loaded = state::reload(&mut restored, &dump_path).expect("reload");
+    assert_eq!(loaded, 2, "both tenants restored");
+    let after_original = feed(&mut original, 600..1_200);
+    let after_restored = feed(&mut restored, 600..1_200);
+    assert_eq!(
+        after_original, after_restored,
+        "a reloaded engine must continue exactly where the original would"
+    );
+    assert_eq!(
+        state::dump(&original),
+        state::dump(&restored),
+        "final states must be byte-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
