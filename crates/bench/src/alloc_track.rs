@@ -1,0 +1,75 @@
+//! Heap-allocation accounting for the perf trajectory.
+//!
+//! Installs a counting [`GlobalAlloc`] wrapper around the system
+//! allocator so `mnemo perf` can report *allocation counts* per bench —
+//! a deterministic proxy for hot-path heap churn that, unlike wall
+//! clock, survives machine-to-machine comparison. The counters are
+//! process-wide relaxed atomics: two uncontended `fetch_add`s per
+//! allocation, cheap enough to leave on for every bench binary.
+//!
+//! Counts are deterministic for a fixed binary, argv, and environment
+//! when the suite runs single-worker (the perf harness pins `--jobs 1`);
+//! toolchain bumps can shift them by a few permille, which is why the
+//! compare gate takes a small relative tolerance instead of exact
+//! equality (see `perf::Thresholds::alloc_tolerance`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts every allocation event
+/// (`alloc`, `alloc_zeroed`, and the allocating half of `realloc`).
+pub struct CountingAlloc;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// `(allocation events, bytes requested)` since process start.
+/// Monotonic; diff two readings to charge a code region.
+pub fn allocation_counts() -> (u64, u64) {
+    (
+        ALLOC_COUNT.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_counted() {
+        let (c0, b0) = allocation_counts();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        let (c1, b1) = allocation_counts();
+        drop(v);
+        assert!(c1 > c0, "allocation event counted");
+        assert!(b1 - b0 >= 4096, "bytes charged: {}", b1 - b0);
+    }
+}

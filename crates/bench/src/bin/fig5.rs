@@ -1,112 +1,16 @@
-//! Fig. 5 — Redis client performance as a function of memory cost for
-//! incremental FastMem:SlowMem capacity ratios, with Mnemo's estimate.
-//!
-//! Panels: (a) key distribution (trending / news feed / timeline),
-//! (b) read:write ratio (timeline vs edit thumbnail),
-//! (c) record size (trending vs trending preview).
+//! Fig. 5 harness entry point; the body lives in
+//! `mnemo_bench::suite::fig5` so `mnemo perf` can run it in-process.
 //!
 //! Usage: `fig5 [a|b|c] [--jobs N]` (default: all panels).
 
-use kvsim::StoreKind;
-use mnemo::advisor::OrderingKind;
-use mnemo_bench::{consult, eval_points, paper_workload, print_table, seed_for, write_csv};
-
-const POINTS: usize = 9;
-
-fn panel(
-    letter: char,
-    title: &str,
-    workloads: &[&str],
-    csv: &mut Vec<String>,
-) -> Result<(), mnemo_bench::HarnessError> {
-    println!("\n--- Fig. 5{letter}: {title} ---");
-    let results = mnemo_bench::parallel(workloads.len(), |i| -> Result<_, String> {
-        let spec = paper_workload(workloads[i])?;
-        let trace = spec.generate(seed_for(&spec.name));
-        let consultation = consult(StoreKind::Redis, &trace, OrderingKind::TouchOrder)?;
-        let points = eval_points(StoreKind::Redis, &trace, &consultation, POINTS)?;
-        Ok((spec.name.clone(), points))
-    });
-    for result in results {
-        let (name, points) = result?;
-        let slow = points
-            .first()
-            .ok_or("evaluation returned no points")?
-            .measured_ops_s;
-        let rows: Vec<Vec<String>> = points
-            .iter()
-            .map(|p| {
-                let meas = (p.measured_ops_s / slow - 1.0) * 100.0;
-                let est = (p.estimated_ops_s / slow - 1.0) * 100.0;
-                csv.push(format!(
-                    "{letter},{name},{:.4},{:.1},{:.1},{:.1}",
-                    p.cost_reduction, p.measured_ops_s, p.estimated_ops_s, meas
-                ));
-                vec![
-                    format!("{:.2}", p.cost_reduction),
-                    format!("{:8.1}", p.measured_ops_s),
-                    format!("{:+5.1}%", meas),
-                    format!("{:+5.1}%", est),
-                ]
-            })
-            .collect();
-        print_table(
-            &format!("{name} (Redis, throughput vs memory cost)"),
-            &[
-                "cost (xFast)",
-                "measured ops/s",
-                "meas +% vs slow",
-                "est +% vs slow",
-            ],
-            &rows,
-        );
-    }
-    Ok(())
-}
-
 fn main() -> Result<(), mnemo_bench::HarnessError> {
     let args = mnemo_bench::harness_args()?;
-    let arg = args.first().cloned();
-    let mut timer = mnemo_bench::SweepTimer::new("fig5");
-    let mut csv = Vec::new();
-    let run = |l: char| arg.is_none() || arg.as_deref() == Some(&l.to_string());
-    if run('a') {
-        timer.stage("panel-a", 3, || {
-            panel(
-                'a',
-                "key distribution",
-                &["trending", "news feed", "timeline"],
-                &mut csv,
-            )
-        })?;
-    }
-    if run('b') {
-        timer.stage("panel-b", 2, || {
-            panel(
-                'b',
-                "read:write ratio",
-                &["timeline", "edit thumbnail"],
-                &mut csv,
-            )
-        })?;
-    }
-    if run('c') {
-        timer.stage("panel-c", 2, || {
-            panel(
-                'c',
-                "record size",
-                &["trending", "trending preview"],
-                &mut csv,
-            )
-        })?;
-    }
-    write_csv(
-        "fig5_curves.csv",
-        "panel,workload,cost_reduction,measured_ops_s,estimated_ops_s,improvement_pct",
-        &csv,
-    )?;
-    mnemo_bench::write_timing(&timer)?;
-    println!("\nPaper shape: throughput tracks the key-access CDF; trending gains ~31% of its");
-    println!("~40% total improvement at ~36% of the FastMem-only cost.");
-    Ok(())
+    let only = match args.first().map(String::as_str) {
+        None => None,
+        Some("a") => Some('a'),
+        Some("b") => Some('b'),
+        Some("c") => Some('c'),
+        Some(other) => return Err(format!("unknown panel `{other}` (expected a, b, or c)")),
+    };
+    mnemo_bench::suite::fig5::run(mnemo_bench::scale_divisor(), only).map(|_| ())
 }

@@ -1,143 +1,10 @@
-//! Serving-layer throughput (extension experiment).
-//!
-//! Drives the `mnemo-serve` engine with N concurrent tenant streams and
-//! measures sustained ingest throughput (requests/s through admission,
-//! the bounded queues, the sharded drain, drift-triggered advising, and
-//! the periodic shared-capacity re-plan) plus bounded-latency advising
-//! quantiles (p50/p99 of `span.serve.advise.wall_ns`, straight from the
-//! daemon's own telemetry histograms).
-//!
-//! Emits one machine-readable JSON row per tenant count; the repo-root
-//! `BENCH_SERVE.json` pins the first recorded baseline.
+//! Serving-layer throughput harness entry point; the body lives in
+//! `mnemo_bench::suite::serve_throughput` so `mnemo perf` can run it
+//! in-process.
 //!
 //! `MNEMO_SCALE` shrinks the streams for CI (divisor, default 1).
 
-use mnemo_bench::{print_table, scale_divisor};
-use mnemo_serve::engine::{ServeConfig, ServeEngine};
-use mnemo_serve::proto::EventV1;
-use mnemo_stream::StreamConfig;
-use mnemo_telemetry::MetricHistogram;
-use ycsb::WorkloadSpec;
-
 fn main() -> Result<(), mnemo_bench::HarnessError> {
     mnemo_bench::harness_args()?;
-    let d = scale_divisor();
-    let per_tenant = (200_000usize / d as usize).max(2_000);
-    let keys = (20_000u64 / d).max(200);
-
-    let mut timer = mnemo_par::SweepTimer::new("serve_throughput");
-    let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
-    for &tenants in &[1usize, 2, 4, 8] {
-        // One deterministic stream per tenant, round-robin interleaved —
-        // the daemon's worst case: every tick touches every tenant.
-        let streams: Vec<Vec<ycsb::AccessEvent>> = (0..tenants)
-            .map(|t| {
-                WorkloadSpec::trending()
-                    .scaled(keys, per_tenant)
-                    .generate(42 + t as u64)
-                    .events()
-                    .collect()
-            })
-            .collect();
-        let names: Vec<String> = (0..tenants).map(|t| format!("tenant-{t}")).collect();
-
-        let mut stream_config = StreamConfig::with_budget_bytes(32 * 1024);
-        stream_config.drift.epoch_len = 20_000;
-        let mut engine = ServeEngine::new(ServeConfig {
-            stream: stream_config,
-            tick_events: 4_096,
-            ..ServeConfig::default()
-        })
-        .map_err(|e| format!("cannot build serve engine: {e}"))?;
-
-        let total = per_tenant * tenants;
-        let label = format!("ingest-{tenants}t");
-        let advice: Result<u64, String> = timer.stage(&label, total, || {
-            let mut advice = 0u64;
-            for i in 0..per_tenant {
-                for (t, stream) in streams.iter().enumerate() {
-                    let e = &stream[i];
-                    let emitted = engine
-                        .ingest(EventV1 {
-                            tenant: names[t].clone(),
-                            key: e.key,
-                            op: e.op,
-                            bytes: e.bytes,
-                        })
-                        .map_err(|err| format!("ingest failed: {err}"))?;
-                    advice += emitted
-                        .iter()
-                        .filter(|r| r.contains("\"row\":\"advise\""))
-                        .count() as u64;
-                }
-            }
-            advice += engine
-                .finish()
-                .iter()
-                .filter(|r| r.contains("\"row\":\"advise\""))
-                .count() as u64;
-            Ok(advice)
-        });
-        let advice = advice?;
-
-        let stages = timer.stages();
-        let wall = stages
-            .iter()
-            .rev()
-            .find(|s| s.name == label)
-            .map(|s| s.wall.as_secs_f64())
-            .unwrap_or(0.0);
-        let req_s = if wall > 0.0 { total as f64 / wall } else { 0.0 };
-        let snap = engine.folded_snapshot();
-        let (p50_us, p99_us, consults) = snap
-            .histogram("span.serve.advise.wall_ns")
-            .map(|h| {
-                (
-                    h.quantile_value(0.50) / 1e3,
-                    h.quantile_value(0.99) / 1e3,
-                    h.samples(),
-                )
-            })
-            .unwrap_or((0.0, 0.0, 0));
-
-        rows.push(vec![
-            format!("{tenants}"),
-            format!("{total}"),
-            format!("{:.0}", req_s / 1e3),
-            format!("{advice}"),
-            format!("{p50_us:.0}"),
-            format!("{p99_us:.0}"),
-        ]);
-        json_rows.push(format!(
-            "{{\"bench\":\"serve_throughput\",\"tenants\":{tenants},\"requests\":{total},\
-             \"req_per_s\":{req_s:.0},\"advice_rows\":{advice},\"consultations\":{consults},\
-             \"advise_p50_us\":{p50_us:.1},\"advise_p99_us\":{p99_us:.1}}}"
-        ));
-    }
-
-    print_table(
-        "serve engine ingest throughput (drift-triggered advising enabled)",
-        &[
-            "tenants",
-            "requests",
-            "kreq/s",
-            "advice",
-            "advise p50 us",
-            "advise p99 us",
-        ],
-        &rows,
-    );
-    println!();
-    for row in &json_rows {
-        println!("{row}");
-    }
-
-    let out = mnemo_bench::out_dir()?.join("serve_throughput.json");
-    let mut doc = json_rows.join("\n");
-    doc.push('\n');
-    std::fs::write(&out, doc).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
-    eprintln!("json rows -> {}", out.display());
-    mnemo_bench::write_timing(&timer)?;
-    Ok(())
+    mnemo_bench::suite::serve_throughput::run(mnemo_bench::scale_divisor()).map(|_| ())
 }

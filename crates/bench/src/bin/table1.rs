@@ -1,58 +1,7 @@
-//! Table I — testbed bandwidth and latency values for DRAM (FastMem) and
-//! emulated NVM (SlowMem).
-
-use hybridmem::HybridSpec;
-use mnemo_bench::{print_table, write_csv};
+//! Table I harness entry point; the body lives in
+//! `mnemo_bench::suite::table1` so `mnemo perf` can run it in-process.
 
 fn main() -> Result<(), mnemo_bench::HarnessError> {
     mnemo_bench::harness_args()?;
-    let spec = HybridSpec::paper_testbed();
-    let (b, l) = spec.slow_factors();
-    print_table(
-        "Table I: testbed bandwidth and latency",
-        &["", "FastMem", "SlowMem"],
-        &[
-            vec![
-                "Factor".into(),
-                "B:1 L:1".into(),
-                format!("B:{b:.2} L:{l:.2}"),
-            ],
-            vec![
-                "Latency (ns)".into(),
-                format!("{:.1}", spec.fast.read_latency_ns),
-                format!("{:.1}", spec.slow.read_latency_ns),
-            ],
-            vec![
-                "BW (GB/s)".into(),
-                format!("{:.1}", spec.fast.bandwidth_bytes_per_ns),
-                format!("{:.2}", spec.slow.bandwidth_bytes_per_ns),
-            ],
-        ],
-    );
-    write_csv(
-        "table1_testbed.csv",
-        "tier,bandwidth_factor,latency_factor,read_latency_ns,bandwidth_gb_s",
-        &[
-            format!(
-                "fastmem,1.00,1.00,{:.1},{:.2}",
-                spec.fast.read_latency_ns, spec.fast.bandwidth_bytes_per_ns
-            ),
-            format!(
-                "slowmem,{b:.2},{l:.2},{:.1},{:.2}",
-                spec.slow.read_latency_ns, spec.slow.bandwidth_bytes_per_ns
-            ),
-        ],
-    )?;
-    println!(
-        "\nLLC: {} MB ({} model), line {} B, {}-way",
-        spec.cache.capacity_bytes >> 20,
-        match spec.cache.kind {
-            hybridmem::CacheKind::None => "disabled",
-            hybridmem::CacheKind::ObjectLru => "object-LRU",
-            hybridmem::CacheKind::SetAssociative => "set-associative",
-        },
-        spec.cache.line_bytes,
-        spec.cache.ways
-    );
-    Ok(())
+    mnemo_bench::suite::table1::run().map(|_| ())
 }

@@ -7,8 +7,16 @@
 //! `MNEMO_JOBS`, see [`harness_args`]), per-stage [`SweepTimer`]
 //! instrumentation and plain-text table/CSV output.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+// The one unsafe item in the harness: the counting global allocator the
+// perf trajectory reports allocation counts through (GlobalAlloc is an
+// unsafe trait). Everything else stays unsafe-free under the deny above.
+#[allow(unsafe_code)]
+pub mod alloc_track;
+pub mod perf;
+pub mod suite;
 
 use hybridmem::clock::NoiseConfig;
 use hybridmem::HybridSpec;
@@ -43,12 +51,18 @@ pub fn scale_divisor() -> u64 {
 
 /// The Table III workloads at harness scale.
 pub fn paper_workloads() -> Vec<WorkloadSpec> {
-    let d = scale_divisor();
+    paper_workloads_at(scale_divisor())
+}
+
+/// The Table III workloads at an explicit scale divisor. The perf
+/// harness pins its suites to fixed divisors through this entry point
+/// instead of mutating `MNEMO_SCALE` process-wide.
+pub fn paper_workloads_at(d: u64) -> Vec<WorkloadSpec> {
     WorkloadSpec::table3()
         .into_iter()
         .map(|w| {
-            let keys = (w.keys / d).max(10);
-            let requests = (w.requests / d as usize).max(100);
+            let keys = (w.keys / d.max(1)).max(10);
+            let requests = (w.requests / d.max(1) as usize).max(100);
             w.scaled(keys, requests)
         })
         .collect()
@@ -58,7 +72,12 @@ pub fn paper_workloads() -> Vec<WorkloadSpec> {
 /// available set instead of panicking, so experiment binaries can fail
 /// with an actionable message.
 pub fn paper_workload(name: &str) -> Result<WorkloadSpec, String> {
-    let all = paper_workloads();
+    paper_workload_at(scale_divisor(), name)
+}
+
+/// One named workload at an explicit scale divisor.
+pub fn paper_workload_at(d: u64, name: &str) -> Result<WorkloadSpec, String> {
+    let all = paper_workloads_at(d);
     if let Some(w) = all.iter().find(|w| w.name == name) {
         return Ok(w.clone());
     }

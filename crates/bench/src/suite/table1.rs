@@ -1,0 +1,65 @@
+//! Table I — testbed bandwidth and latency values for DRAM (FastMem)
+//! and emulated NVM (SlowMem).
+
+use super::SuiteOutcome;
+use crate::{print_table, write_csv, HarnessError};
+use hybridmem::HybridSpec;
+
+const CSV_HEADER: &str = "tier,bandwidth_factor,latency_factor,read_latency_ns,bandwidth_gb_s";
+
+/// Print Table I and emit `table1_testbed.csv`. Scale-independent.
+pub fn run() -> Result<SuiteOutcome, HarnessError> {
+    let spec = HybridSpec::paper_testbed();
+    let (b, l) = spec.slow_factors();
+    print_table(
+        "Table I: testbed bandwidth and latency",
+        &["", "FastMem", "SlowMem"],
+        &[
+            vec![
+                "Factor".into(),
+                "B:1 L:1".into(),
+                format!("B:{b:.2} L:{l:.2}"),
+            ],
+            vec![
+                "Latency (ns)".into(),
+                format!("{:.1}", spec.fast.read_latency_ns),
+                format!("{:.1}", spec.slow.read_latency_ns),
+            ],
+            vec![
+                "BW (GB/s)".into(),
+                format!("{:.1}", spec.fast.bandwidth_bytes_per_ns),
+                format!("{:.2}", spec.slow.bandwidth_bytes_per_ns),
+            ],
+        ],
+    );
+    let csv_rows = [
+        format!(
+            "fastmem,1.00,1.00,{:.1},{:.2}",
+            spec.fast.read_latency_ns, spec.fast.bandwidth_bytes_per_ns
+        ),
+        format!(
+            "slowmem,{b:.2},{l:.2},{:.1},{:.2}",
+            spec.slow.read_latency_ns, spec.slow.bandwidth_bytes_per_ns
+        ),
+    ];
+    write_csv("table1_testbed.csv", CSV_HEADER, &csv_rows)?;
+    println!(
+        "\nLLC: {} MB ({} model), line {} B, {}-way",
+        spec.cache.capacity_bytes >> 20,
+        match spec.cache.kind {
+            hybridmem::CacheKind::None => "disabled",
+            hybridmem::CacheKind::ObjectLru => "object-LRU",
+            hybridmem::CacheKind::SetAssociative => "set-associative",
+        },
+        spec.cache.line_bytes,
+        spec.cache.ways
+    );
+
+    let mut outcome = SuiteOutcome {
+        items: csv_rows.len() as u64,
+        ..SuiteOutcome::default()
+    };
+    outcome.counter("rows", csv_rows.len() as u64);
+    outcome.counter("csv_fnv", super::csv_fnv(CSV_HEADER, &csv_rows));
+    Ok(outcome)
+}

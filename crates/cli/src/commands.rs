@@ -861,3 +861,104 @@ pub fn lint(parsed: &mut Parsed) -> Result<String, CliError> {
         Ok(rendered)
     }
 }
+
+/// `mnemo perf [run|baseline|compare] ...`
+///
+/// The perf-audit harness: `run` executes the pinned bench suite and
+/// prints the trajectory, `baseline` additionally writes it to a JSON
+/// file for later comparison, and `compare` diffs two trajectory files
+/// into findings — exiting 6 ([`CliError::Perf`]) when any finding
+/// fails the gate (wall-clock regression over the tolerance, any
+/// deterministic-counter drift, a missing bench).
+pub fn perf(parsed: &mut Parsed) -> Result<String, CliError> {
+    let sub = if parsed.positional.is_empty() {
+        "run".to_string()
+    } else {
+        parsed.positional.remove(0)
+    };
+    match sub.as_str() {
+        "run" => perf_run(parsed, None),
+        "baseline" => {
+            let out = parsed.get_or("out", "perf/BENCH_CORE.json").to_string();
+            perf_run(parsed, Some(out))
+        }
+        "compare" => perf_compare(parsed),
+        other => Err(CliError::Usage(format!(
+            "unknown perf subcommand '{other}' (run|baseline|compare)"
+        ))),
+    }
+}
+
+fn perf_run(parsed: &mut Parsed, out_override: Option<String>) -> Result<String, CliError> {
+    let suite_name = parsed.get_or("suite", "smoke").to_string();
+    let spec = mnemo_bench::perf::suite_spec(&suite_name)
+        .ok_or_else(|| CliError::Usage(format!("unknown suite '{suite_name}' (smoke|core)")))?;
+    let scale: u64 = parsed.number_or("scale", spec.default_scale)?;
+    if scale == 0 {
+        return Err(CliError::Usage("--scale needs a positive integer".into()));
+    }
+    let out = out_override.or_else(|| parsed.options.get("out").filter(|v| !v.is_empty()).cloned());
+    let report = mnemo_bench::perf::run_suite(spec, scale).map_err(CliError::Engine)?;
+    let mut summary = mnemo_bench::perf::run_summary(&report);
+    if let Some(path) = &out {
+        write_creating_parents(path, &report.to_json())?;
+        summary.push_str(&format!("trajectory -> {path}\n"));
+    }
+    Ok(summary)
+}
+
+fn perf_compare(parsed: &mut Parsed) -> Result<String, CliError> {
+    let base_path = parsed
+        .positional_required("baseline trajectory JSON")?
+        .to_string();
+    parsed.positional.remove(0);
+    let cur_path = parsed
+        .positional_required("current trajectory JSON")?
+        .to_string();
+    parsed.positional.remove(0);
+    let defaults = mnemo_bench::perf::Thresholds::default();
+    let thresholds = mnemo_bench::perf::Thresholds {
+        wall_tolerance: parsed.number_or("wall-tolerance", defaults.wall_tolerance)?,
+        alloc_tolerance: parsed.number_or("alloc-tolerance", defaults.alloc_tolerance)?,
+        ..defaults
+    };
+    if !thresholds.wall_tolerance.is_finite() || thresholds.wall_tolerance < 1.0 {
+        return Err(CliError::Usage("--wall-tolerance must be >= 1.0".into()));
+    }
+    if !thresholds.alloc_tolerance.is_finite() || thresholds.alloc_tolerance < 0.0 {
+        return Err(CliError::Usage("--alloc-tolerance must be >= 0".into()));
+    }
+    let baseline = load_trajectory(&base_path)?;
+    let current = load_trajectory(&cur_path)?;
+    let cmp = mnemo_bench::perf::compare(&baseline, &current, &thresholds);
+    if let Some(path) = parsed
+        .options
+        .get("findings")
+        .filter(|v| !v.is_empty())
+        .cloned()
+    {
+        write_creating_parents(&path, &mnemo_bench::perf::findings_json(&cmp, &thresholds))?;
+    }
+    let summary = mnemo_bench::perf::human_summary(&baseline, &current, &cmp);
+    if cmp.failures() > 0 {
+        Err(CliError::Perf(summary))
+    } else {
+        Ok(summary)
+    }
+}
+
+fn load_trajectory(path: &str) -> Result<mnemo_bench::perf::CoreReport, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    mnemo_bench::perf::CoreReport::from_json(&src)
+        .map_err(|e| CliError::Parse(format!("{path}: {e}")))
+}
+
+fn write_creating_parents(path: &str, contents: &str) -> Result<(), CliError> {
+    let p = std::path::Path::new(path);
+    if let Some(dir) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Io(format!("cannot create {}: {e}", dir.display())))?;
+    }
+    std::fs::write(p, contents).map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))
+}

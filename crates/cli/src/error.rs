@@ -10,6 +10,7 @@
 //! | [`CliError::Io`]     | 3      | unreadable trace path, unwritable output   |
 //! | [`CliError::Parse`]  | 4      | malformed trace line, invalid fault plan   |
 //! | [`CliError::Engine`] | 5      | simulation / advisor pipeline failure      |
+//! | [`CliError::Perf`]   | 6      | `mnemo perf compare` found regressions     |
 
 /// A fatal CLI error carrying its process exit code class.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +31,12 @@ pub enum CliError {
     /// The simulation or advisor pipeline failed on valid input.
     /// Exit code 5.
     Engine(String),
+    /// `mnemo perf compare` ran successfully but found findings that
+    /// fail the gate (wall regression over threshold, deterministic
+    /// counter drift, missing bench). Like [`CliError::Lint`], the
+    /// message is the full rendered summary and goes to stdout.
+    /// Exit code 6.
+    Perf(String),
 }
 
 impl CliError {
@@ -41,6 +48,7 @@ impl CliError {
             CliError::Io(_) => 3,
             CliError::Parse(_) => 4,
             CliError::Engine(_) => 5,
+            CliError::Perf(_) => 6,
         }
     }
 
@@ -51,7 +59,8 @@ impl CliError {
             | CliError::Usage(m)
             | CliError::Io(m)
             | CliError::Parse(m)
-            | CliError::Engine(m) => m,
+            | CliError::Engine(m)
+            | CliError::Perf(m) => m,
         }
     }
 }
@@ -95,9 +104,10 @@ mod tests {
             CliError::Io("i".into()),
             CliError::Parse("p".into()),
             CliError::Engine("e".into()),
+            CliError::Perf("p".into()),
         ];
         let codes: Vec<i32> = errors.iter().map(|e| e.exit_code()).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6]);
     }
 
     #[test]

@@ -102,6 +102,17 @@ COMMANDS:
       --provider aws|gcp|azure           (default all)
       --deploy-gib N                     scale the split to N GiB
       --slo FRACTION --price FRACTION
+  perf [run|baseline|compare]    perf-audit harness over the bench suite
+      run [--suite smoke|core]           run the suite, print the trajectory
+      --scale N                          override the suite's scale divisor
+      --out <file>                       also write BENCH_CORE.json there
+      baseline --out <file>              run the suite and write the baseline
+                                         trajectory (default perf/BENCH_CORE.json)
+      compare <base.json> <cur.json>     diff two trajectories; non-zero exit
+                                         on regression/counter drift
+      --findings <file>                  write machine-readable findings.json
+      --wall-tolerance X                 wall-clock regression gate (default 1.5)
+      --alloc-tolerance X                allocation-count drift gate (default 0.02)
 
 GLOBAL OPTIONS:
   --jobs N     worker threads for parallel stages (default: all cores;
@@ -110,7 +121,7 @@ GLOBAL OPTIONS:
 
 EXIT CODES:
   0 success    1 lint findings    2 usage error    3 I/O error
-  4 malformed input    5 simulation/advisor failure
+  4 malformed input    5 simulation/advisor failure    6 perf regression
 
 Run any command with --help for details.";
 
@@ -148,6 +159,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "downsample" => commands::downsample(&mut parsed),
         "plan" => commands::plan(&mut parsed),
         "lint" => commands::lint(&mut parsed),
+        "perf" => commands::perf(&mut parsed),
         other => {
             let mut msg = String::new();
             let _ = writeln!(msg, "unknown command '{other}'");
@@ -461,5 +473,144 @@ mod tests {
         let err = run(&argv(&["generate", "trending"])).unwrap_err();
         assert_eq!(err.exit_code(), 2, "{err}");
         assert!(err.to_string().contains("-o"), "{err}");
+    }
+
+    fn perf_report(wall_ns: u64) -> mnemo_bench::perf::CoreReport {
+        mnemo_bench::perf::CoreReport {
+            schema: mnemo_bench::perf::SCHEMA.to_string(),
+            suite: "smoke".to_string(),
+            scale: 50,
+            jobs: 1,
+            benches: vec![mnemo_bench::perf::BenchRecord {
+                name: "fig5".to_string(),
+                wall_ns,
+                items: 100,
+                ops_per_s: 1000.0,
+                peak_rss_kib: 0,
+                alloc_count: 10_000,
+                alloc_bytes: 640_000,
+                stages: Vec::new(),
+                counters: vec![("csv_fnv".to_string(), 42)],
+            }],
+        }
+    }
+
+    #[test]
+    fn perf_usage_errors_are_classified() {
+        let err = run(&argv(&["perf", "--suite", "giant"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = run(&argv(&["perf", "frobnicate"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = run(&argv(&["perf", "compare"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = run(&argv(&[
+            "perf",
+            "compare",
+            "a",
+            "b",
+            "--wall-tolerance",
+            "0.5",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+    }
+
+    #[test]
+    fn perf_compare_gates_on_regression() {
+        let dir = std::env::temp_dir().join(format!("mnemo-cli-perf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fast = dir.join("fast.json");
+        let slow = dir.join("slow.json");
+        std::fs::write(&base, perf_report(1_000_000_000).to_json()).unwrap();
+        std::fs::write(&fast, perf_report(400_000_000).to_json()).unwrap();
+        std::fs::write(&slow, perf_report(2_000_000_000).to_json()).unwrap();
+
+        // Improvement: informational, exit 0, summary still rendered.
+        let out = run(&argv(&[
+            "perf",
+            "compare",
+            base.to_str().unwrap(),
+            fast.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("faster"), "{out}");
+
+        // Regression past the default 1.5x: exit 6 with the summary as
+        // the payload, and findings.json written where asked.
+        let findings = dir.join("findings.json");
+        let err = run(&argv(&[
+            "perf",
+            "compare",
+            base.to_str().unwrap(),
+            slow.to_str().unwrap(),
+            "--findings",
+            findings.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        assert!(err.to_string().contains("FAIL"), "{err}");
+        let doc = std::fs::read_to_string(&findings).unwrap();
+        assert!(doc.contains("wall_regression"), "{doc}");
+
+        // The same regression passes under a wider tolerance.
+        let out = run(&argv(&[
+            "perf",
+            "compare",
+            base.to_str().unwrap(),
+            slow.to_str().unwrap(),
+            "--wall-tolerance",
+            "3.0",
+        ]))
+        .unwrap();
+        assert!(out.contains("no findings"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perf_compare_corrupt_json_is_a_line_numbered_parse_error() {
+        let dir = std::env::temp_dir().join(format!("mnemo-cli-perfbad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        let bad = dir.join("bad.json");
+        std::fs::write(&good, perf_report(1_000_000).to_json()).unwrap();
+        std::fs::write(
+            &bad,
+            "{\n  \"schema\": \"mnemo-bench-core/v1\",\n  \"scale\": oops\n}\n",
+        )
+        .unwrap();
+        let err = run(&argv(&[
+            "perf",
+            "compare",
+            good.to_str().unwrap(),
+            bad.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perf_compare_rejects_schema_mismatch() {
+        let dir = std::env::temp_dir().join(format!("mnemo-cli-perfschema-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let other = dir.join("other.json");
+        std::fs::write(&base, perf_report(1_000_000).to_json()).unwrap();
+        let mut v2 = perf_report(1_000_000);
+        v2.schema = "mnemo-bench-core/v2".to_string();
+        std::fs::write(&other, v2.to_json()).unwrap();
+        let err = run(&argv(&[
+            "perf",
+            "compare",
+            base.to_str().unwrap(),
+            other.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        assert!(err.to_string().contains("not comparable"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -16,12 +16,14 @@ fn main() {
             }
         }
         Err(err) => {
-            // Lint findings are the command's *output* (possibly JSON for
-            // machine consumers), not a diagnostic: keep them on stdout.
-            if let mnemo_cli::CliError::Lint(report) = &err {
-                print!("{report}");
-            } else {
-                eprintln!("error: {err}");
+            // Lint findings and perf-compare summaries are the command's
+            // *output* (possibly JSON for machine consumers), not a
+            // diagnostic: keep them on stdout.
+            match &err {
+                mnemo_cli::CliError::Lint(report) | mnemo_cli::CliError::Perf(report) => {
+                    print!("{report}");
+                }
+                other => eprintln!("error: {other}"),
             }
             std::process::exit(err.exit_code());
         }

@@ -14,6 +14,7 @@
 
 use crate::det::DetHashMap;
 use crate::device::CapacityError;
+use crate::num;
 use crate::spec::MemTier;
 use serde::{Deserialize, Serialize};
 
@@ -115,10 +116,15 @@ impl TierArena {
 }
 
 /// Object table: id -> placement, plus per-tier arenas.
+///
+/// Ids are handed out sequentially and never reused, so placements live
+/// in a slab indexed by id — the per-request placement probe is a
+/// bounds-checked load instead of a hash probe. Freed slots stay `None`.
 #[derive(Debug, Default, Clone)]
 pub struct ObjectTable {
-    next_id: u64,
-    objects: DetHashMap<ObjectId, Placement>,
+    /// Slot `i` holds the placement of `ObjectId(i)`; `None` once freed.
+    slots: Vec<Option<Placement>>,
+    live: usize,
     fast: TierArena,
     slow: TierArena,
 }
@@ -143,27 +149,33 @@ impl ObjectTable {
         if bytes == 0 {
             return Err(AllocError::ZeroSize);
         }
-        let id = ObjectId(self.next_id);
-        self.next_id += 1;
+        let id = ObjectId(num::u64_from_usize(self.slots.len()));
         let addr = self.arena(tier).alloc(bytes);
-        self.objects.insert(id, Placement { tier, addr, bytes });
+        self.slots.push(Some(Placement { tier, addr, bytes }));
+        self.live += 1;
         Ok(id)
     }
 
     /// Look up a live object.
+    #[inline]
     pub fn get(&self, id: ObjectId) -> Result<Placement, AllocError> {
-        self.objects
-            .get(&id)
-            .copied()
-            .ok_or(AllocError::UnknownObject(id))
+        match self.slots.get(num::usize_from_u64(id.0)) {
+            Some(&Some(p)) => Ok(p),
+            _ => Err(AllocError::UnknownObject(id)),
+        }
+    }
+
+    fn slot_mut(&mut self, id: ObjectId) -> Option<&mut Option<Placement>> {
+        self.slots.get_mut(num::usize_from_u64(id.0))
     }
 
     /// Remove an object, returning its last placement.
     pub fn remove(&mut self, id: ObjectId) -> Result<Placement, AllocError> {
         let p = self
-            .objects
-            .remove(&id)
+            .slot_mut(id)
+            .and_then(|slot| slot.take())
             .ok_or(AllocError::UnknownObject(id))?;
+        self.live -= 1;
         self.arena(p.tier).dealloc(p.addr, p.bytes);
         Ok(p)
     }
@@ -186,7 +198,9 @@ impl ObjectTable {
             addr,
             bytes: old.bytes,
         };
-        self.objects.insert(id, new);
+        if let Some(slot) = self.slot_mut(id) {
+            *slot = Some(new);
+        }
         Ok((old, new))
     }
 
@@ -201,41 +215,46 @@ impl ObjectTable {
             return Err(AllocError::ZeroSize);
         }
         let old = self.get(id)?;
-        if size_class(bytes) == size_class(old.bytes) {
-            let new = Placement { bytes, ..old };
-            self.objects.insert(id, new);
-            return Ok((old, new));
-        }
-        self.arena(old.tier).dealloc(old.addr, old.bytes);
-        let addr = self.arena(old.tier).alloc(bytes);
-        let new = Placement {
-            tier: old.tier,
-            addr,
-            bytes,
+        let new = if size_class(bytes) == size_class(old.bytes) {
+            Placement { bytes, ..old }
+        } else {
+            self.arena(old.tier).dealloc(old.addr, old.bytes);
+            let addr = self.arena(old.tier).alloc(bytes);
+            Placement {
+                tier: old.tier,
+                addr,
+                bytes,
+            }
         };
-        self.objects.insert(id, new);
+        if let Some(slot) = self.slot_mut(id) {
+            *slot = Some(new);
+        }
         Ok((old, new))
     }
 
     /// Number of live objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.live
     }
 
     /// True when no objects are live.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.live == 0
     }
 
-    /// Iterate over live objects.
+    /// Iterate over live objects in id order.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, Placement)> + '_ {
-        self.objects.iter().map(|(&id, &p)| (id, p))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.map(|p| (ObjectId(num::u64_from_usize(i)), p)))
     }
 
     /// Total live bytes in a tier.
     pub fn bytes_in(&self, tier: MemTier) -> u64 {
-        self.objects
-            .values()
+        self.slots
+            .iter()
+            .flatten()
             .filter(|p| p.tier == tier)
             .map(|p| p.bytes)
             .sum()

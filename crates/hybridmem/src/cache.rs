@@ -15,7 +15,7 @@
 //!   `ablation_cache` bench.
 //! * [`NoCache`] — pass-through (every byte misses).
 
-use crate::det::DetHashMap;
+use crate::dense::DenseU64Map;
 use crate::num;
 use serde::{Deserialize, Serialize};
 
@@ -161,7 +161,7 @@ impl Cache for NoCache {
 pub struct ObjectLru {
     capacity: u64,
     used: u64,
-    map: DetHashMap<u64, usize>,
+    map: DenseU64Map<usize>,
     slab: Vec<Node>,
     free: Vec<usize>,
     head: Option<usize>, // most recently used
@@ -182,7 +182,7 @@ impl ObjectLru {
         ObjectLru {
             capacity,
             used: 0,
-            map: DetHashMap::default(),
+            map: DenseU64Map::new(),
             slab: Vec::new(),
             free: Vec::new(),
             head: None,
@@ -221,7 +221,7 @@ impl ObjectLru {
             let key = self.slab[t].key;
             let bytes = self.slab[t].bytes;
             self.detach(t);
-            self.map.remove(&key);
+            self.map.remove(key);
             self.free.push(t);
             self.used -= bytes;
         }
@@ -239,13 +239,13 @@ impl ObjectLru {
 
     /// Is an object resident?
     pub fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+        self.map.contains_key(key)
     }
 
     /// Mark an object most-recently-used without changing its footprint.
     /// Returns false when the object is not resident.
     pub fn touch(&mut self, key: u64) -> bool {
-        if let Some(&idx) = self.map.get(&key) {
+        if let Some(&idx) = self.map.get(key) {
             self.detach(idx);
             self.push_front(idx);
             true
@@ -263,7 +263,7 @@ impl ObjectLru {
         if bytes == 0 || bytes > self.capacity {
             return Vec::new();
         }
-        if let Some(&idx) = self.map.get(&key) {
+        if let Some(&idx) = self.map.get(key) {
             // Refresh: adjust footprint in place, then ensure capacity.
             let cached = self.slab[idx].bytes;
             self.detach(idx);
@@ -314,7 +314,7 @@ impl Cache for ObjectLru {
         if bytes == 0 {
             return CacheOutcome::default();
         }
-        if let Some(&idx) = self.map.get(&key) {
+        if let Some(&idx) = self.map.get(key) {
             // Size may have changed (value overwritten with a new size):
             // treat a size change as a miss of the delta, conservatively a
             // full miss if it grew beyond the cached footprint.
@@ -338,7 +338,7 @@ impl Cache for ObjectLru {
             }
             // Cannot grow in place; fall through to full reinstall below.
             self.detach(idx);
-            self.map.remove(&key);
+            self.map.remove(key);
             self.free.push(idx);
             self.used -= cached;
         }
@@ -378,7 +378,7 @@ impl Cache for ObjectLru {
     }
 
     fn invalidate(&mut self, key: u64) {
-        if let Some(idx) = self.map.remove(&key) {
+        if let Some(idx) = self.map.remove(key) {
             self.used -= self.slab[idx].bytes;
             self.detach(idx);
             self.free.push(idx);

@@ -1,0 +1,197 @@
+//! Dense-keyed map for the per-request hot paths.
+//!
+//! The simulator's three per-request indexes — the engines' key table,
+//! the object table and the LLC model's residency map — are all keyed
+//! by small dense integers: trace keys run `0..keys` and [`ObjectId`]s
+//! are handed out sequentially. A hash probe per lookup (FNV mixing
+//! plus a random-access bucket load) is the single largest per-request
+//! cost, and it buys nothing for keys that are already valid indices.
+//!
+//! [`DenseU64Map`] stores values for keys below a fixed dense bound in
+//! a plain vector indexed by key and spills larger keys into a
+//! [`DetHashMap`], so arbitrary `u64` keys still work. Lookup order is
+//! never exposed (there is deliberately no iterator), so swapping this
+//! in for a hash map cannot perturb any deterministic output.
+//!
+//! [`ObjectId`]: crate::alloc::ObjectId
+
+use crate::det::DetHashMap;
+use crate::num;
+
+/// Keys below this bound are stored in the dense vector; the vector
+/// grows to the largest such key actually inserted, so the bound caps
+/// worst-case slack at `LIMIT * size_of::<Option<V>>()` only for
+/// workloads that really use keys that large.
+const DENSE_LIMIT: u64 = 1 << 24;
+
+/// A `u64 -> V` map that is a vector for dense keys and a hash map for
+/// sparse ones. See the module docs for why the hot paths want this.
+#[derive(Debug, Clone)]
+pub struct DenseU64Map<V> {
+    dense: Vec<Option<V>>,
+    spill: DetHashMap<u64, V>,
+    len: usize,
+}
+
+impl<V> Default for DenseU64Map<V> {
+    fn default() -> DenseU64Map<V> {
+        DenseU64Map {
+            dense: Vec::new(),
+            spill: DetHashMap::default(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> DenseU64Map<V> {
+    /// Empty map.
+    pub fn new() -> DenseU64Map<V> {
+        DenseU64Map::default()
+    }
+
+    /// Value stored under `key`, if any.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        if key < DENSE_LIMIT {
+            match self.dense.get(num::usize_from_u64(key)) {
+                Some(slot) => slot.as_ref(),
+                None => None,
+            }
+        } else {
+            self.spill.get(&key)
+        }
+    }
+
+    /// Mutable value stored under `key`, if any.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        if key < DENSE_LIMIT {
+            match self.dense.get_mut(num::usize_from_u64(key)) {
+                Some(slot) => slot.as_mut(),
+                None => None,
+            }
+        } else {
+            self.spill.get_mut(&key)
+        }
+    }
+
+    /// Is `key` present?
+    #[inline]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert `value` under `key`, returning the previous value if the
+    /// key was already present.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        let old = if key < DENSE_LIMIT {
+            let idx = num::usize_from_u64(key);
+            if idx >= self.dense.len() {
+                self.dense.resize_with(idx + 1, || None);
+            }
+            self.dense[idx].replace(value)
+        } else {
+            self.spill.insert(key, value)
+        };
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let old = if key < DENSE_LIMIT {
+            match self.dense.get_mut(num::usize_from_u64(key)) {
+                Some(slot) => slot.take(),
+                None => None,
+            }
+        } else {
+            self.spill.remove(&key)
+        };
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every entry, keeping the dense allocation for reuse.
+    pub fn clear(&mut self) {
+        self.dense.clear();
+        self.spill.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = DenseU64Map::new();
+        assert_eq!(m.insert(3, "a"), None);
+        assert_eq!(m.insert(3, "b"), Some("a"));
+        assert_eq!(m.get(3), Some(&"b"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(3), Some("b"));
+        assert_eq!(m.remove(3), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn sparse_keys_spill_and_behave_identically() {
+        let mut m = DenseU64Map::new();
+        let sparse = DENSE_LIMIT + 12_345;
+        m.insert(7, 1u32);
+        m.insert(sparse, 2u32);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(7), Some(&1));
+        assert_eq!(m.get(sparse), Some(&2));
+        assert!(m.contains_key(sparse));
+        assert_eq!(m.remove(sparse), Some(2));
+        assert_eq!(m.len(), 1);
+        // The dense side never allocated for the sparse key.
+        assert!(m.dense.len() <= 8);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut m = DenseU64Map::new();
+        m.insert(5, 10u64);
+        if let Some(v) = m.get_mut(5) {
+            *v += 1;
+        }
+        assert_eq!(m.get(5), Some(&11));
+        assert_eq!(m.get_mut(99), None);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m = DenseU64Map::new();
+        m.insert(1, 1u8);
+        m.insert(DENSE_LIMIT + 1, 2u8);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.get(DENSE_LIMIT + 1), None);
+    }
+
+    #[test]
+    fn missing_keys_report_absent_without_growing() {
+        let m: DenseU64Map<u8> = DenseU64Map::new();
+        assert_eq!(m.get(1_000_000), None);
+        assert!(!m.contains_key(0));
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -5,6 +5,38 @@ use crate::spec::{AccessKind, MemTier, TierSpec};
 use crate::stats::AccessStats;
 use std::sync::Arc;
 
+/// Precomputed per-kind charge coefficients: `latency_ns + bytes /
+/// bandwidth` is the whole nominal charge, so the per-access dispatch
+/// over [`TierSpec::access_ns`]'s write factors happens once at
+/// construction instead of on every access.
+#[derive(Debug, Clone, Copy)]
+struct ChargeRow {
+    /// Fixed latency term (read latency, or read latency times the
+    /// write latency factor).
+    latency_ns: f64,
+    /// Effective transfer bandwidth (raw, or scaled by the write
+    /// overlap factor) in bytes per nanosecond.
+    bandwidth: f64,
+}
+
+impl ChargeRow {
+    fn table(spec: &TierSpec) -> [ChargeRow; 2] {
+        [
+            ChargeRow {
+                latency_ns: spec.read_latency_ns,
+                bandwidth: spec.bandwidth_bytes_per_ns,
+            },
+            ChargeRow {
+                // The same products `TierSpec::access_ns` computes per
+                // write, hoisted: identical operations on identical
+                // inputs, so the charges stay bit-identical.
+                latency_ns: spec.read_latency_ns * spec.write_latency_factor,
+                bandwidth: spec.bandwidth_bytes_per_ns * spec.write_overlap_factor,
+            },
+        ]
+    }
+}
+
 /// One memory device (a NUMA node in the paper's testbed).
 #[derive(Debug, Clone)]
 pub struct Device {
@@ -18,6 +50,12 @@ pub struct Device {
     /// Optional time-varying degradation, consulted on every access
     /// charge and reservation at `now_ns`.
     degradation: Option<Arc<DegradationProfile>>,
+    /// Per-kind flattened charge table (see [`ChargeRow`]).
+    charge: [ChargeRow; 2],
+    /// Degradation factors in effect at `now_ns`, re-resolved only on
+    /// [`Device::set_now_ns`]/[`Device::set_degradation`] boundaries so
+    /// the access path never walks the profile's windows.
+    active: Option<TierFactors>,
 }
 
 /// Capacity errors raised by a device.
@@ -47,6 +85,7 @@ impl std::error::Error for CapacityError {}
 impl Device {
     /// Create a device of `capacity` bytes with the given timing.
     pub fn new(tier: MemTier, spec: TierSpec, capacity: u64) -> Device {
+        let charge = ChargeRow::table(&spec);
         Device {
             tier,
             spec,
@@ -55,6 +94,8 @@ impl Device {
             stats: AccessStats::default(),
             now_ns: 0,
             degradation: None,
+            charge,
+            active: None,
         }
     }
 
@@ -62,12 +103,14 @@ impl Device {
     /// devices of a system consult the same compiled plan.
     pub fn set_degradation(&mut self, profile: Option<Arc<DegradationProfile>>) {
         self.degradation = profile;
+        self.refresh_active();
     }
 
     /// Advance the device's view of simulated time (monotonicity is the
     /// caller's concern; the profile lookup is a pure function of time).
     pub fn set_now_ns(&mut self, now_ns: u128) {
         self.now_ns = now_ns;
+        self.refresh_active();
     }
 
     /// The device's current view of simulated time.
@@ -75,16 +118,24 @@ impl Device {
         self.now_ns
     }
 
-    /// The degradation factors in effect right now; `None` when nominal,
-    /// so the hot path stays a branch on an almost-always-`None` option.
+    /// Re-resolve the degradation factors in effect at `now_ns`. Called
+    /// only on time/profile boundaries, so the per-access path is a
+    /// branch on a cached, almost-always-`None` option instead of a
+    /// window walk.
+    fn refresh_active(&mut self) {
+        self.active = self.degradation.as_deref().and_then(|profile| {
+            let f = profile.factors_at(self.tier, self.now_ns);
+            if f.is_nominal() {
+                None
+            } else {
+                Some(f)
+            }
+        });
+    }
+
+    /// The degradation factors in effect right now; `None` when nominal.
     fn active_factors(&self) -> Option<TierFactors> {
-        let profile = self.degradation.as_deref()?;
-        let f = profile.factors_at(self.tier, self.now_ns);
-        if f.is_nominal() {
-            None
-        } else {
-            Some(f)
-        }
+        self.active
     }
 
     /// Which tier this device implements.
@@ -145,22 +196,47 @@ impl Device {
         self.used = self.used.saturating_sub(bytes);
     }
 
+    /// The nanosecond charge for one access, without recording it. The
+    /// flattened row reproduces `TierSpec::access_ns` exactly (same
+    /// float operations on the same inputs), and the degraded split —
+    /// latency multiplied, transfer divided — matches the window
+    /// arithmetic bit for bit since `access_ns(kind, 0)` is the latency
+    /// term itself.
+    fn charge_ns(&self, kind: AccessKind, bytes: u64) -> f64 {
+        let row = match kind {
+            AccessKind::Read => self.charge[0],
+            AccessKind::Write => self.charge[1],
+        };
+        let full = row.latency_ns + bytes as f64 / row.bandwidth;
+        match self.active {
+            Some(f) => row.latency_ns * f.latency_mult + (full - row.latency_ns) / f.bandwidth_mult,
+            None => full,
+        }
+    }
+
     /// Nanoseconds to serve `bytes` from this device, recorded in stats.
     /// With an active degradation window the latency component is
     /// multiplied and the transfer component divided by the window's
     /// bandwidth factor; nominal accesses take the original single-call
     /// path so undegraded runs stay bit-identical to before.
     pub fn access_ns(&mut self, kind: AccessKind, bytes: u64) -> f64 {
-        let ns = match self.active_factors() {
-            Some(f) => {
-                let latency = self.spec.access_ns(kind, 0);
-                let transfer = self.spec.access_ns(kind, bytes) - latency;
-                latency * f.latency_mult + transfer / f.bandwidth_mult
-            }
-            None => self.spec.access_ns(kind, bytes),
-        };
+        let ns = self.charge_ns(kind, bytes);
         self.stats.record(kind, bytes, ns);
         ns
+    }
+
+    /// Charge `n` identical accesses in one call, returning their summed
+    /// cost. The per-access charge is resolved once and accumulated by
+    /// repeated addition, so both the stats and the returned total are
+    /// bit-identical to `n` separate [`Device::access_ns`] calls.
+    pub fn access_ns_n(&mut self, kind: AccessKind, bytes: u64, n: u64) -> f64 {
+        let ns = self.charge_ns(kind, bytes);
+        self.stats.record_n(kind, bytes, ns, n);
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += ns;
+        }
+        total
     }
 
     /// Accumulated access statistics.
@@ -251,6 +327,35 @@ mod tests {
         // 512 effective - 400 used = 112 free again.
         assert_eq!(d.free(), 112);
         d.reserve(100).unwrap();
+    }
+
+    #[test]
+    fn batched_access_is_bit_identical_to_n_singles() {
+        use crate::degrade::{DegradationProfile, DegradationWindow};
+        let mut singles = dev();
+        let mut batched = dev();
+        let profile = DegradationProfile::new().with(DegradationWindow {
+            latency_mult: 1.7,
+            bandwidth_mult: 0.3,
+            ..DegradationWindow::nominal(MemTier::Fast, 0, 1000)
+        });
+        singles.set_degradation(Some(Arc::new(profile.clone())));
+        batched.set_degradation(Some(Arc::new(profile)));
+        for now in [500u128, 5000] {
+            singles.set_now_ns(now);
+            batched.set_now_ns(now);
+            let mut sum = 0.0;
+            for _ in 0..9 {
+                sum += singles.access_ns(AccessKind::Read, 100);
+            }
+            let total = batched.access_ns_n(AccessKind::Read, 100, 9);
+            assert_eq!(sum.to_bits(), total.to_bits(), "now={now}");
+            assert_eq!(singles.stats(), batched.stats(), "now={now}");
+            assert_eq!(
+                singles.stats().read_ns.to_bits(),
+                batched.stats().read_ns.to_bits()
+            );
+        }
     }
 
     #[test]

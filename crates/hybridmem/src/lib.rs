@@ -57,6 +57,7 @@ pub mod alloc;
 pub mod cache;
 pub mod clock;
 pub mod degrade;
+pub mod dense;
 pub mod det;
 pub mod device;
 pub mod num;
@@ -68,6 +69,7 @@ pub use alloc::{AllocError, ObjectId};
 pub use cache::{Cache, CacheConfig, CacheKind};
 pub use clock::{NoiseModel, SimClock};
 pub use degrade::{DegradationProfile, DegradationWindow, TierFactors};
+pub use dense::DenseU64Map;
 pub use det::{det_map, det_set, BuildDetHasher, DetHashMap, DetHashSet};
 pub use device::{CapacityError, Device};
 pub use spec::{AccessKind, HybridSpec, MemTier, TierSpec};

@@ -38,6 +38,29 @@ impl AccessStats {
         }
     }
 
+    /// Record `n` identical accesses of `bytes` bytes at `ns` each. The
+    /// nanosecond totals accumulate by repeated addition so the result
+    /// is bit-identical to `n` separate [`AccessStats::record`] calls
+    /// (f64 addition is not distributive over multiplication).
+    pub fn record_n(&mut self, kind: AccessKind, bytes: u64, ns: f64, n: u64) {
+        match kind {
+            AccessKind::Read => {
+                self.reads += n;
+                self.read_bytes += bytes * n;
+                for _ in 0..n {
+                    self.read_ns += ns;
+                }
+            }
+            AccessKind::Write => {
+                self.writes += n;
+                self.write_bytes += bytes * n;
+                for _ in 0..n {
+                    self.write_ns += ns;
+                }
+            }
+        }
+    }
+
     /// Total accesses.
     pub fn total_accesses(&self) -> u64 {
         self.reads + self.writes
@@ -257,6 +280,23 @@ mod tests {
         assert_eq!(s.total_accesses(), 3);
         assert_eq!(s.mean_read_ns(), 100.0);
         assert_eq!(s.mean_write_ns(), 30.0);
+    }
+
+    #[test]
+    fn record_n_is_bit_identical_to_n_records() {
+        let mut looped = AccessStats::default();
+        let mut batched = AccessStats::default();
+        // 0.1 is inexact in binary, so repeated addition diverges from
+        // multiplication — exactly the case record_n must reproduce.
+        for _ in 0..7 {
+            looped.record(AccessKind::Read, 64, 0.1);
+            looped.record(AccessKind::Write, 32, 0.3);
+        }
+        batched.record_n(AccessKind::Read, 64, 0.1, 7);
+        batched.record_n(AccessKind::Write, 32, 0.3, 7);
+        assert_eq!(looped, batched);
+        assert_eq!(looped.read_ns.to_bits(), batched.read_ns.to_bits());
+        assert_eq!(looped.write_ns.to_bits(), batched.write_ns.to_bits());
     }
 
     #[test]

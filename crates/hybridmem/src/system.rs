@@ -238,6 +238,23 @@ impl HybridMemory {
         self.device(tier).access_ns(kind, bytes)
     }
 
+    /// `n` identical raw device accesses in one call. The charge is
+    /// resolved once and accumulated, so the returned total and the
+    /// device stats are bit-identical to `n` separate [`Self::touch`]
+    /// calls — this is how engines batch their pointer-chase chains.
+    pub fn touch_n(&mut self, tier: MemTier, kind: AccessKind, bytes: u64, n: u64) -> f64 {
+        self.device(tier).access_ns_n(kind, bytes, n)
+    }
+
+    /// Access the whole object through a placement the caller already
+    /// resolved via [`Self::placement`], skipping the second object-table
+    /// probe on the request hot path. The placement must be current —
+    /// callers use it immediately after the lookup, before any
+    /// migrate/resize/free.
+    pub fn access_at(&mut self, id: ObjectId, p: Placement, kind: AccessKind) -> f64 {
+        self.access_placed(id, p, kind, p.bytes)
+    }
+
     /// Device statistics for one tier.
     pub fn tier_stats(&self, tier: MemTier) -> &AccessStats {
         match tier {

@@ -62,16 +62,14 @@ impl KvEngine for DynamoLike {
 
     fn get(&mut self, key: u64) -> Result<f64, EngineError> {
         let depth = self.index_depth();
-        let index = self.core.index_walk(key, depth)?;
-        let value = self.core.value_traffic(key, AccessKind::Read)?;
-        Ok(self.core.profile().fixed_op_ns + index + value)
+        let op = self.core.charge_op(key, AccessKind::Read, depth)?;
+        Ok(self.core.profile().fixed_op_ns + op.index_ns + op.value_ns)
     }
 
     fn put(&mut self, key: u64) -> Result<f64, EngineError> {
         let depth = self.index_depth();
-        let index = self.core.index_walk(key, depth)?;
-        let value = self.core.value_traffic(key, AccessKind::Write)?;
-        Ok(self.core.profile().fixed_op_ns + index + value)
+        let op = self.core.charge_op(key, AccessKind::Write, depth)?;
+        Ok(self.core.profile().fixed_op_ns + op.index_ns + op.value_ns)
     }
 
     fn delete(&mut self, key: u64) -> Result<f64, EngineError> {

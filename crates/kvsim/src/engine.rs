@@ -8,7 +8,7 @@
 //! [`Server`](crate::server::Server) accumulates.
 
 use crate::profile::EngineProfile;
-use hybridmem::{AccessKind, AllocError, DetHashMap, HybridMemory, MemTier, ObjectId};
+use hybridmem::{AccessKind, AllocError, DenseU64Map, HybridMemory, MemTier, ObjectId};
 
 /// Errors surfaced by engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +85,16 @@ pub trait KvEngine: Send {
     fn memory_mut(&mut self) -> &mut HybridMemory;
 }
 
+/// The two cost components of one index-plus-value operation, resolved
+/// by [`EngineCore::charge_op`] with a single key lookup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCharge {
+    /// Cost of the engine's dependent index pointer-chases.
+    pub index_ns: f64,
+    /// Cost of moving the value (including amplification passes).
+    pub value_ns: f64,
+}
+
 /// Shared implementation: key table, memory system, value traffic.
 ///
 /// Concrete engines embed an `EngineCore` and add their index-walk and
@@ -92,8 +102,9 @@ pub trait KvEngine: Send {
 pub struct EngineCore {
     profile: EngineProfile,
     mem: HybridMemory,
-    /// key -> (object, logical value bytes).
-    table: DetHashMap<u64, (ObjectId, u64)>,
+    /// key -> (object, logical value bytes). Trace keys are dense, so
+    /// the hot-path lookup is a vector index, not a hash probe.
+    table: DenseU64Map<(ObjectId, u64)>,
 }
 
 impl EngineCore {
@@ -102,7 +113,7 @@ impl EngineCore {
         EngineCore {
             profile,
             mem,
-            table: DetHashMap::default(),
+            table: DenseU64Map::new(),
         }
     }
 
@@ -130,7 +141,7 @@ impl EngineCore {
         stored_bytes: u64,
         tier: MemTier,
     ) -> Result<(), EngineError> {
-        if self.table.contains_key(&key) {
+        if self.table.contains_key(key) {
             return Err(EngineError::DuplicateKey(key));
         }
         let id = self.mem.alloc(stored_bytes.max(1), tier)?;
@@ -141,14 +152,14 @@ impl EngineCore {
     /// Look up a key.
     pub fn lookup(&self, key: u64) -> Result<(ObjectId, u64), EngineError> {
         self.table
-            .get(&key)
+            .get(key)
             .copied()
             .ok_or(EngineError::UnknownKey(key))
     }
 
     /// The tier currently holding a key.
     pub fn placement_of(&self, key: u64) -> Option<MemTier> {
-        let (id, _) = self.table.get(&key).copied()?;
+        let (id, _) = self.table.get(key).copied()?;
         self.mem.placement(id).ok().map(|p| p.tier)
     }
 
@@ -179,20 +190,54 @@ impl EngineCore {
     }
 
     /// `touches` dependent metadata pointer-chases in the key's tier.
+    /// Resolved with one lookup and charged as a batch — bit-identical
+    /// to `touches` separate [`EngineCore::index_touch`] calls, since
+    /// every touch in the chain is the same size in the same tier.
     pub fn index_walk(&mut self, key: u64, touches: u32) -> Result<f64, EngineError> {
-        let mut ns = 0.0;
-        for _ in 0..touches {
-            ns += self.index_touch(key)?;
+        if touches == 0 {
+            return Ok(0.0);
         }
-        Ok(ns)
+        let (id, _) = self.lookup(key)?;
+        let tier = self.mem.placement(id).map_err(EngineError::Memory)?.tier;
+        let bytes = self.profile.touch_bytes;
+        Ok(self
+            .mem
+            .touch_n(tier, AccessKind::Read, bytes, u64::from(touches)))
+    }
+
+    /// The full index + value charge of one operation, with the key
+    /// lookup and placement probe done once instead of once per
+    /// component. Charges the index walk first, then the value traffic
+    /// — the same device-access order as the unbatched sequence, so
+    /// stats and totals stay bit-identical.
+    pub fn charge_op(
+        &mut self,
+        key: u64,
+        kind: AccessKind,
+        touches: u32,
+    ) -> Result<OpCharge, EngineError> {
+        let (id, value_bytes) = self.lookup(key)?;
+        let p = self.mem.placement(id).map_err(EngineError::Memory)?;
+        let index_ns = self.mem.touch_n(
+            p.tier,
+            AccessKind::Read,
+            self.profile.touch_bytes,
+            u64::from(touches),
+        );
+        let amp = match kind {
+            AccessKind::Read => self.profile.read_amplification,
+            AccessKind::Write => self.profile.write_amplification,
+        };
+        let mut value_ns = self.mem.access_at(id, p, kind);
+        if amp > 1.0 {
+            value_ns += (amp - 1.0) * self.mem.touch(p.tier, kind, value_bytes);
+        }
+        Ok(OpCharge { index_ns, value_ns })
     }
 
     /// Remove a key, freeing its storage.
     pub fn remove(&mut self, key: u64) -> Result<u64, EngineError> {
-        let (id, value_bytes) = self
-            .table
-            .remove(&key)
-            .ok_or(EngineError::UnknownKey(key))?;
+        let (id, value_bytes) = self.table.remove(key).ok_or(EngineError::UnknownKey(key))?;
         self.mem.free(id)?;
         Ok(value_bytes)
     }
@@ -211,7 +256,7 @@ impl EngineCore {
 
     /// Logical value bytes of a key.
     pub fn value_bytes(&self, key: u64) -> Option<u64> {
-        self.table.get(&key).map(|&(_, b)| b)
+        self.table.get(key).map(|&(_, b)| b)
     }
 
     /// Engine bytes in a tier (device accounting).
@@ -270,6 +315,37 @@ mod tests {
         let one = c.index_walk(1, 1).unwrap();
         let ten = c.index_walk(1, 10).unwrap();
         assert!((ten - 10.0 * one).abs() < 1e-6);
+    }
+
+    #[test]
+    fn charge_op_is_bit_identical_to_unbatched_components() {
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            let mut split = core();
+            let mut fused = core();
+            for c in [&mut split, &mut fused] {
+                c.load(1, 100_000, 100_000, MemTier::Slow).unwrap();
+                // Warm the cache so both paths see the same hit pattern.
+                c.value_traffic(1, kind).unwrap();
+            }
+            let index = split.index_walk(1, 5).unwrap();
+            let value = split.value_traffic(1, kind).unwrap();
+            let op = fused.charge_op(1, kind, 5).unwrap();
+            assert_eq!(index.to_bits(), op.index_ns.to_bits(), "{kind:?}");
+            assert_eq!(value.to_bits(), op.value_ns.to_bits(), "{kind:?}");
+            assert_eq!(
+                split.memory().tier_stats(MemTier::Slow),
+                fused.memory().tier_stats(MemTier::Slow)
+            );
+        }
+    }
+
+    #[test]
+    fn charge_op_unknown_key_errors() {
+        let mut c = core();
+        assert_eq!(
+            c.charge_op(9, AccessKind::Read, 3).unwrap_err(),
+            EngineError::UnknownKey(9)
+        );
     }
 
     #[test]

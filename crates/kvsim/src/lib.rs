@@ -61,7 +61,7 @@ pub mod sharded;
 pub use cache_mode::{CacheModeServer, CacheModeStats};
 pub use cluster::TwoInstanceCluster;
 pub use dynamic::{DynamicConfig, DynamicTieringServer};
-pub use engine::{EngineError, KvEngine};
+pub use engine::{EngineError, KvEngine, OpCharge};
 pub use profile::{EngineProfile, StoreKind};
 pub use server::{Placement, RequestSample, RunReport, Server};
 pub use sharded::ShardedCluster;

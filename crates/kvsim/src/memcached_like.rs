@@ -101,19 +101,17 @@ impl KvEngine for MemcachedLike {
     }
 
     fn get(&mut self, key: u64) -> Result<f64, EngineError> {
-        let index = self
+        let op = self
             .core
-            .index_walk(key, self.core.profile().index_touches)?;
-        let value = self.core.value_traffic(key, AccessKind::Read)?;
-        Ok(self.core.profile().fixed_op_ns + index + value)
+            .charge_op(key, AccessKind::Read, self.core.profile().index_touches)?;
+        Ok(self.core.profile().fixed_op_ns + op.index_ns + op.value_ns)
     }
 
     fn put(&mut self, key: u64) -> Result<f64, EngineError> {
-        let index = self
+        let op = self
             .core
-            .index_walk(key, self.core.profile().index_touches)?;
-        let value = self.core.value_traffic(key, AccessKind::Write)?;
-        Ok(self.core.profile().fixed_op_ns + index + value)
+            .charge_op(key, AccessKind::Write, self.core.profile().index_touches)?;
+        Ok(self.core.profile().fixed_op_ns + op.index_ns + op.value_ns)
     }
 
     fn delete(&mut self, key: u64) -> Result<f64, EngineError> {

@@ -53,8 +53,12 @@ impl RedisLike {
         let base = self
             .core
             .index_walk(key, self.core.profile().index_touches)?;
-        let extra = self.load_factor() / 2.0;
-        Ok(base * (1.0 + extra))
+        Ok(base * self.chain_scale())
+    }
+
+    /// Expected chain-length multiplier at the current load factor.
+    fn chain_scale(&self) -> f64 {
+        1.0 + self.load_factor() / 2.0
     }
 }
 
@@ -71,15 +75,19 @@ impl KvEngine for RedisLike {
     }
 
     fn get(&mut self, key: u64) -> Result<f64, EngineError> {
-        let index = self.index_cost(key)?;
-        let value = self.core.value_traffic(key, AccessKind::Read)?;
-        Ok(self.core.profile().fixed_op_ns + index + value)
+        let op = self
+            .core
+            .charge_op(key, AccessKind::Read, self.core.profile().index_touches)?;
+        let index = op.index_ns * self.chain_scale();
+        Ok(self.core.profile().fixed_op_ns + index + op.value_ns)
     }
 
     fn put(&mut self, key: u64) -> Result<f64, EngineError> {
-        let index = self.index_cost(key)?;
-        let value = self.core.value_traffic(key, AccessKind::Write)?;
-        Ok(self.core.profile().fixed_op_ns + index + value)
+        let op = self
+            .core
+            .charge_op(key, AccessKind::Write, self.core.profile().index_touches)?;
+        let index = op.index_ns * self.chain_scale();
+        Ok(self.core.profile().fixed_op_ns + index + op.value_ns)
     }
 
     fn delete(&mut self, key: u64) -> Result<f64, EngineError> {

@@ -16,7 +16,7 @@ use hybridmem::{
     DegradationProfile, DetHashSet, Histogram, HybridSpec, MemTier, NoiseModel, SimClock,
 };
 use mnemo_faults::{FaultPlan, ShardCrash};
-use mnemo_telemetry::{EpochLog, Snapshot};
+use mnemo_telemetry::{AccessStatKeys, CacheStatKeys, EpochLog, Snapshot};
 use ycsb::{AccessEvent, Op, Trace};
 
 /// Initial data placement for a run — the paper's `numactl` binding plus
@@ -341,6 +341,15 @@ impl Server {
             samples: Vec::with_capacity(trace.len()),
         };
         let mut next_crash = 0usize;
+        // Metric names for the per-request telemetry block, formatted
+        // once per run instead of ten times per request.
+        let stat_keys = telemetry.as_ref().map(|_| {
+            (
+                AccessStatKeys::new("kv.fast"),
+                AccessStatKeys::new("kv.slow"),
+                CacheStatKeys::new("kv.llc"),
+            )
+        });
         for r in &trace.requests {
             // Fire any crash whose time has come: charge the recovery
             // cost and restart with a cold cache. Crash costs are part of
@@ -406,16 +415,20 @@ impl Server {
                 if degraded_now {
                     tel.count("kv.fault.degraded_requests", 1);
                 }
-                if let (Some(tier), Some(pre_dev)) = (tier, pre_dev) {
-                    let (hit_name, dev_prefix) = match tier {
-                        MemTier::Fast => ("kv.tier.fast_hits", "kv.fast"),
-                        MemTier::Slow => ("kv.tier.slow_hits", "kv.slow"),
-                    };
-                    tel.count(hit_name, 1);
-                    let dev_delta = self.engine.memory().tier_stats(tier).since(&pre_dev);
-                    tel.record_access_stats(dev_prefix, &dev_delta);
+                // stat_keys is Some exactly when telemetry is, so this
+                // if-let always enters inside the telemetry block.
+                if let Some((fast_keys, slow_keys, llc_keys)) = stat_keys.as_ref() {
+                    if let (Some(tier), Some(pre_dev)) = (tier, pre_dev) {
+                        let (hit_name, dev_keys) = match tier {
+                            MemTier::Fast => ("kv.tier.fast_hits", fast_keys),
+                            MemTier::Slow => ("kv.tier.slow_hits", slow_keys),
+                        };
+                        tel.count(hit_name, 1);
+                        let dev_delta = self.engine.memory().tier_stats(tier).since(&pre_dev);
+                        tel.record_access_stats_with(dev_keys, &dev_delta);
+                    }
+                    tel.record_cache_stats_with(llc_keys, &cache_delta);
                 }
-                tel.record_cache_stats("kv.llc", &cache_delta);
                 log.tick();
             }
             match r.op {

@@ -20,6 +20,11 @@ pub enum Code {
     /// to a `mnemo-par` pool: reduction order would depend on the
     /// worker count. Reduce over the index-ordered result instead.
     D004,
+    /// Raw `std::time::Instant` mentioned inside `crates/bench` outside
+    /// the perf harness: bench wall-clock must flow through the
+    /// telemetry-span `SweepTimer` so it lands in the `timing-*` /
+    /// `BENCH_CORE.json` artifacts instead of ad-hoc prints.
+    D005,
     /// `unwrap()`/`expect()`/`panic!` outside tests and benches.
     R001,
     /// Bare `as` integer cast in `hybridmem` byte/nanosecond
@@ -38,11 +43,12 @@ pub enum Code {
 }
 
 /// All enforceable codes, in report order.
-pub const ALL_CODES: [Code; 9] = [
+pub const ALL_CODES: [Code; 10] = [
     Code::D001,
     Code::D002,
     Code::D003,
     Code::D004,
+    Code::D005,
     Code::R001,
     Code::R002,
     Code::S001,
@@ -63,6 +69,7 @@ impl Code {
             Code::D002 => "D002",
             Code::D003 => "D003",
             Code::D004 => "D004",
+            Code::D005 => "D005",
             Code::R001 => "R001",
             Code::R002 => "R002",
             Code::S001 => "S001",
@@ -89,6 +96,11 @@ impl Code {
             Code::D004 => {
                 "float reduction inside a pool closure depends on worker scheduling; \
                            reduce over the index-ordered results instead"
+            }
+            Code::D005 => {
+                "ad-hoc Instant timing in crates/bench bypasses the SweepTimer span \
+                           pipeline; time stages through mnemo_par::SweepTimer so the \
+                           perf harness sees them"
             }
             Code::R001 => {
                 "unwrap/expect/panic in non-test code turns recoverable failures into \

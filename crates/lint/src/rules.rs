@@ -65,6 +65,9 @@ struct Policy {
     in_hybridmem: bool,
     /// S001 exemption: binary entry points.
     is_entry_point: bool,
+    /// D005 scope: bench-crate code outside the perf harness must time
+    /// through `SweepTimer` spans, never a raw `Instant`.
+    in_bench_timed: bool,
 }
 
 impl Policy {
@@ -74,6 +77,8 @@ impl Policy {
             in_par: path.starts_with("crates/par/"),
             in_hybridmem: path.starts_with("crates/hybridmem/"),
             is_entry_point: path.ends_with("/main.rs") || path.contains("/src/bin/"),
+            in_bench_timed: path.starts_with("crates/bench/")
+                && !path.starts_with("crates/bench/src/perf/"),
         }
     }
 }
@@ -97,6 +102,7 @@ pub fn apply_rules(ctx: &FileContext) -> Vec<Finding> {
         d002_default_hasher(ctx, i, &mut out);
         d003_thread_spawn(ctx, &policy, i, &mut out);
         d004_par_float_reduction(ctx, &policy, i, &mut out);
+        d005_bench_adhoc_timing(ctx, &policy, i, &mut out);
         r001_unwrap_expect_panic(ctx, i, &mut out);
         r002_bare_cast(ctx, &policy, i, &mut out);
         s001_process_exit(ctx, &policy, i, &mut out);
@@ -214,6 +220,18 @@ fn turbofish_float<'a>(ctx: &FileContext<'a>, i: usize) -> Option<&'a str> {
     None
 }
 
+/// D005 — any mention of `Instant` inside `crates/bench` outside the
+/// perf harness (`crates/bench/src/perf/`). Stricter than D001, which
+/// only fires on `Instant::now()`: in the bench crate even holding an
+/// `Instant` means a stage is timed outside the `SweepTimer` span
+/// pipeline, so its wall clock never reaches the `timing-*` artifacts
+/// or `BENCH_CORE.json` and the perf trajectory under-reports it.
+fn d005_bench_adhoc_timing(ctx: &FileContext, policy: &Policy, i: usize, out: &mut Vec<Finding>) {
+    if policy.in_bench_timed && ctx.text(i) == "Instant" {
+        out.push(ctx.finding(Code::D005, i, "Instant"));
+    }
+}
+
 /// R001 — `.unwrap()` / `.expect(` / `Option::unwrap` path form /
 /// `panic!(`. `std::panic::catch_unwind` and friends (no `!`) are fine.
 fn r001_unwrap_expect_panic(ctx: &FileContext, i: usize, out: &mut Vec<Finding>) {
@@ -308,6 +326,38 @@ mod tests {
             ),
             vec![]
         );
+    }
+
+    #[test]
+    fn d005_flags_bare_instant_only_in_bench_outside_perf() {
+        // In crates/bench even a bare mention is ad-hoc timing…
+        assert_eq!(
+            lint_at(
+                "crates/bench/src/bin/fig9.rs",
+                "use std::time::Instant;\nfn f(t: Instant) {}\n"
+            ),
+            vec![(Code::D005, 1), (Code::D005, 2)]
+        );
+        // …but the perf harness itself and other crates are out of scope
+        // (D001 still covers actual `::now()` calls everywhere).
+        assert_eq!(
+            lint_at("crates/bench/src/perf/mod.rs", "use std::time::Instant;\n"),
+            vec![]
+        );
+        assert_eq!(
+            lint_at("crates/core/src/x.rs", "use std::time::Instant;\n"),
+            vec![]
+        );
+        // `Instant::now()` in bench fires both D001 and D005.
+        let codes: Vec<Code> = lint_at(
+            "crates/bench/src/lib.rs",
+            "fn f() { let _t = std::time::Instant::now(); }\n",
+        )
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect();
+        assert!(codes.contains(&Code::D001), "{codes:?}");
+        assert!(codes.contains(&Code::D005), "{codes:?}");
     }
 
     #[test]

@@ -63,7 +63,9 @@ fn code_of(name: &str) -> Code {
 #[test]
 fn corpus_covers_every_rule_code_three_ways() {
     let names: Vec<String> = fixtures().into_iter().map(|(n, _, _)| n).collect();
-    for code in ["d001", "d002", "d003", "d004", "r001", "r002", "s001"] {
+    for code in [
+        "d001", "d002", "d003", "d004", "d005", "r001", "r002", "s001",
+    ] {
         for case in ["positive", "negative", "allowed"] {
             let want = format!("{code}_{case}.rs");
             assert!(names.contains(&want), "missing fixture {want}");

@@ -66,5 +66,7 @@ pub mod snapshot;
 pub use columnar::write_columnar;
 pub use epoch::EpochLog;
 pub use export::DomainFilter;
-pub use recorder::{MetricHistogram, Recorder, SimSpan, SpanRecord, TimeDomain};
+pub use recorder::{
+    AccessStatKeys, CacheStatKeys, MetricHistogram, Recorder, SimSpan, SpanRecord, TimeDomain,
+};
 pub use snapshot::{GaugeAgg, Snapshot, SCHEMA_VERSION};

@@ -121,6 +121,55 @@ impl SimSpan {
     }
 }
 
+/// Precomputed metric names for one [`AccessStats`] prefix, so the
+/// per-request telemetry block formats each name once per run instead
+/// of six times per request.
+#[derive(Debug, Clone)]
+pub struct AccessStatKeys {
+    reads: String,
+    writes: String,
+    read_bytes: String,
+    write_bytes: String,
+    read_ns: String,
+    write_ns: String,
+}
+
+impl AccessStatKeys {
+    /// Build the six metric names under `prefix` (e.g. `kv.fast`).
+    pub fn new(prefix: &str) -> AccessStatKeys {
+        AccessStatKeys {
+            reads: format!("{prefix}.reads"),
+            writes: format!("{prefix}.writes"),
+            read_bytes: format!("{prefix}.read_bytes"),
+            write_bytes: format!("{prefix}.write_bytes"),
+            read_ns: format!("{prefix}.read_ns"),
+            write_ns: format!("{prefix}.write_ns"),
+        }
+    }
+}
+
+/// Precomputed metric names for one [`CacheStats`] prefix (e.g.
+/// `kv.llc`); the cache-stats analogue of [`AccessStatKeys`].
+#[derive(Debug, Clone)]
+pub struct CacheStatKeys {
+    hits: String,
+    misses: String,
+    hit_bytes: String,
+    miss_bytes: String,
+}
+
+impl CacheStatKeys {
+    /// Build the four metric names under `prefix`.
+    pub fn new(prefix: &str) -> CacheStatKeys {
+        CacheStatKeys {
+            hits: format!("{prefix}.hits"),
+            misses: format!("{prefix}.misses"),
+            hit_bytes: format!("{prefix}.hit_bytes"),
+            miss_bytes: format!("{prefix}.miss_bytes"),
+        }
+    }
+}
+
 /// A single-owner metrics recorder.
 #[derive(Debug, Default, Clone)]
 pub struct Recorder {
@@ -137,9 +186,16 @@ impl Recorder {
     }
 
     /// Add `n` to a counter. Counters are logical counts — always
-    /// sim-domain, always deterministic.
+    /// sim-domain, always deterministic. The name is only copied the
+    /// first time a counter is seen, so steady-state recording does not
+    /// allocate.
     pub fn count(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += n;
+        match self.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                self.counters.insert(name.to_string(), n);
+            }
+        }
     }
 
     /// Record a sim-domain gauge observation (aggregated as
@@ -154,12 +210,17 @@ impl Recorder {
     }
 
     fn gauge_in(&mut self, name: &str, domain: TimeDomain, value: f64) {
-        let entry = self
-            .gauges
-            .entry(name.to_string())
-            .or_insert_with(|| (domain, GaugeAgg::default()));
-        debug_assert_eq!(entry.0, domain, "gauge '{name}' changed time domain");
-        entry.1.observe(value);
+        match self.gauges.get_mut(name) {
+            Some(entry) => {
+                debug_assert_eq!(entry.0, domain, "gauge '{name}' changed time domain");
+                entry.1.observe(value);
+            }
+            None => {
+                let mut agg = GaugeAgg::default();
+                agg.observe(value);
+                self.gauges.insert(name.to_string(), (domain, agg));
+            }
+        }
     }
 
     /// Record a sample into a sim-domain histogram.
@@ -173,12 +234,17 @@ impl Recorder {
     }
 
     fn observe_in(&mut self, name: &str, domain: TimeDomain, value: f64) {
-        let entry = self
-            .hists
-            .entry(name.to_string())
-            .or_insert_with(|| (domain, Histogram::new()));
-        debug_assert_eq!(entry.0, domain, "histogram '{name}' changed time domain");
-        entry.1.observe(value);
+        match self.hists.get_mut(name) {
+            Some(entry) => {
+                debug_assert_eq!(entry.0, domain, "histogram '{name}' changed time domain");
+                entry.1.observe(value);
+            }
+            None => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                self.hists.insert(name.to_string(), (domain, h));
+            }
+        }
     }
 
     /// Record a completed span: kept in execution order and aggregated
@@ -221,23 +287,39 @@ impl Recorder {
 
     /// Fold a device's [`AccessStats`] into counters/gauges under
     /// `prefix` (e.g. `kv.fast`): access + byte counters (sim domain)
-    /// and total service-nanosecond gauges.
+    /// and total service-nanosecond gauges. Per-request callers should
+    /// precompute an [`AccessStatKeys`] once and use
+    /// [`Recorder::record_access_stats_with`] instead, which skips the
+    /// six name formats.
     pub fn record_access_stats(&mut self, prefix: &str, stats: &AccessStats) {
-        self.count(&format!("{prefix}.reads"), stats.reads);
-        self.count(&format!("{prefix}.writes"), stats.writes);
-        self.count(&format!("{prefix}.read_bytes"), stats.read_bytes);
-        self.count(&format!("{prefix}.write_bytes"), stats.write_bytes);
-        self.gauge(&format!("{prefix}.read_ns"), stats.read_ns);
-        self.gauge(&format!("{prefix}.write_ns"), stats.write_ns);
+        self.record_access_stats_with(&AccessStatKeys::new(prefix), stats);
+    }
+
+    /// [`Recorder::record_access_stats`] through precomputed names — no
+    /// per-call allocation.
+    pub fn record_access_stats_with(&mut self, keys: &AccessStatKeys, stats: &AccessStats) {
+        self.count(&keys.reads, stats.reads);
+        self.count(&keys.writes, stats.writes);
+        self.count(&keys.read_bytes, stats.read_bytes);
+        self.count(&keys.write_bytes, stats.write_bytes);
+        self.gauge(&keys.read_ns, stats.read_ns);
+        self.gauge(&keys.write_ns, stats.write_ns);
     }
 
     /// Fold LLC [`CacheStats`] into counters under `prefix` (e.g.
-    /// `kv.llc`).
+    /// `kv.llc`). Per-request callers should precompute a
+    /// [`CacheStatKeys`] and use [`Recorder::record_cache_stats_with`].
     pub fn record_cache_stats(&mut self, prefix: &str, stats: &CacheStats) {
-        self.count(&format!("{prefix}.hits"), stats.hits);
-        self.count(&format!("{prefix}.misses"), stats.misses);
-        self.count(&format!("{prefix}.hit_bytes"), stats.hit_bytes);
-        self.count(&format!("{prefix}.miss_bytes"), stats.miss_bytes);
+        self.record_cache_stats_with(&CacheStatKeys::new(prefix), stats);
+    }
+
+    /// [`Recorder::record_cache_stats`] through precomputed names — no
+    /// per-call allocation.
+    pub fn record_cache_stats_with(&mut self, keys: &CacheStatKeys, stats: &CacheStats) {
+        self.count(&keys.hits, stats.hits);
+        self.count(&keys.misses, stats.misses);
+        self.count(&keys.hit_bytes, stats.hit_bytes);
+        self.count(&keys.miss_bytes, stats.miss_bytes);
     }
 
     /// Completed spans in execution order.

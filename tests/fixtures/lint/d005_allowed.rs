@@ -1,0 +1,5 @@
+//@ path: crates/bench/src/bin/d005_allowed.rs
+// mnemo-lint: allow(D005, "fixture: type-only mention pending its SweepTimer port")
+use std::time::Instant;
+
+pub fn untimed() {}

@@ -1,0 +1,6 @@
+//@ path: crates/bench/src/suite/d005_negative.rs
+// Bench stages time themselves through SweepTimer spans, so their wall
+// clock lands in the timing-* artifacts and the perf trajectory.
+pub fn timed_stage<T>(timer: &mut mnemo_par::SweepTimer, f: impl FnOnce() -> T) -> T {
+    timer.stage("stage", 1, f)
+}

@@ -1,0 +1,4 @@
+//@ path: crates/bench/src/bin/d005_positive.rs
+use std::time::Instant;
+
+pub fn untracked_stage() {}
