@@ -1,0 +1,8 @@
+//! Tier-matrix harness entry point; the body lives in
+//! `mnemo_bench::suite::tier_matrix` so `mnemo perf` can run it
+//! in-process.
+
+fn main() -> Result<(), mnemo_bench::HarnessError> {
+    mnemo_bench::harness_args()?;
+    mnemo_bench::suite::tier_matrix::run(mnemo_bench::scale_divisor()).map(|_| ())
+}

@@ -16,6 +16,7 @@ pub mod fig1;
 pub mod fig5;
 pub mod serve_throughput;
 pub mod table1;
+pub mod tier_matrix;
 pub mod ycsb_core;
 
 use crate::perf::fnv64;

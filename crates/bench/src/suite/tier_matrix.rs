@@ -1,0 +1,222 @@
+//! N-tier extension experiment: the tiering-policy × hierarchy grid.
+//!
+//! Runs every [`mnemo_tier::PolicyKind`] against every hierarchy preset
+//! on the tier scenario suite (the paper's trending baseline plus the
+//! scan-analytics, TTL-churn and flash-crowd stress presets), clean and
+//! under a per-hierarchy fault plan whose events name tiers by their
+//! spec names. Emits `tier_matrix.csv` — one row per (workload,
+//! hierarchy, policy, faults) cell with runtime, throughput, hierarchy
+//! cost, the paper's cost-efficiency metric lifted to N tiers, and the
+//! epoch-migration volume.
+//!
+//! Every run uses the virtual clock, disabled noise, and a fixed seed,
+//! so the grid is byte-identical for every `--jobs` value — the CSV
+//! joins the CI bench-smoke determinism gate and the committed golden
+//! matrix.
+
+use super::SuiteOutcome;
+use crate::{print_table, seed_for, write_csv, HarnessError};
+use hybridmem::clock::NoiseConfig;
+use hybridmem::stack::StackSpec;
+use kvsim::tiered::{trace_stats, trace_windows, TieredServer};
+use mnemo_faults::{FaultPlan, TierNames};
+use mnemo_tier::{dram_optane_ssd, paper_two_tier, PolicyKind};
+use ycsb::WorkloadSpec;
+
+/// Re-plan period as a fraction of the trace (4 epochs per run).
+const EPOCHS_PER_RUN: u64 = 4;
+/// Past every virtual timestamp the runs reach.
+const FOREVER_NS: u128 = u128::MAX;
+
+const CSV_HEADER: &str = "workload,hierarchy,policy,faults,requests,runtime_ns,\
+throughput_ops_s,cost_usd,cost_efficiency,moved_keys,moved_bytes";
+
+/// The hierarchy presets under test, with the tier whose degradation
+/// the faulted variant names.
+fn hierarchies() -> Vec<(&'static str, StackSpec, &'static str)> {
+    vec![
+        ("paper_two_tier", paper_two_tier(), "slowmem"),
+        ("dram_optane_ssd", dram_optane_ssd(), "optane"),
+    ]
+}
+
+/// Shrink a hierarchy's upper tiers relative to the trace's stored
+/// footprint so placement is a real decision: the top tier holds ~20%,
+/// intermediate tiers ~35%, and the bottom tier everything.
+fn sized_for(mut spec: StackSpec, stored_bytes: u64) -> StackSpec {
+    let n = spec.tiers.len();
+    for (i, tier) in spec.tiers.iter_mut().enumerate() {
+        tier.capacity_bytes = if i == 0 {
+            (stored_bytes / 5).max(1)
+        } else if i + 1 < n {
+            (stored_bytes * 35 / 100).max(1)
+        } else {
+            stored_bytes + 4096
+        };
+    }
+    // Keep the LLC proportional to the dataset, as the two-tier benches
+    // do, so the cache cannot swallow the whole working set.
+    spec.cache.capacity_bytes = spec
+        .cache
+        .capacity_bytes
+        .min((stored_bytes / 85).max(1 << 16));
+    spec
+}
+
+/// A degradation plan that names the hierarchy's tier by its spec name
+/// (exercising the named-tier fault path end to end): a latency spike
+/// plus a bandwidth throttle on `tier_name` for the whole run.
+fn faulted_plan(spec: &StackSpec, tier_name: &str) -> Result<FaultPlan, String> {
+    let names: Vec<&str> = spec.tiers.iter().map(|t| t.name.as_str()).collect();
+    let tiers = TierNames::from_names(&names);
+    let text = format!(
+        "seed = 7\n\n\
+         [[event]]\nkind = \"latency_spike\"\ntier = \"{tier_name}\"\n\
+         start_ns = 0\nend_ns = {FOREVER_NS}\nfactor = 30.0\n\n\
+         [[event]]\nkind = \"bandwidth_throttle\"\ntier = \"{tier_name}\"\n\
+         start_ns = 0\nend_ns = {FOREVER_NS}\nfactor = 0.05\n"
+    );
+    FaultPlan::parse_toml_with(&text, &tiers).map_err(|e| format!("tier_matrix fault plan: {e}"))
+}
+
+struct Cell {
+    workload: String,
+    hierarchy: &'static str,
+    policy: &'static str,
+    faults: &'static str,
+    requests: u64,
+    runtime_ns: f64,
+    cost_usd: f64,
+    moved_keys: u64,
+    moved_bytes: u64,
+}
+
+/// Run the grid at scale divisor `d` and emit `tier_matrix.csv`.
+pub fn run(d: u64) -> Result<SuiteOutcome, HarnessError> {
+    println!("tier matrix: tiering policy x hierarchy grid on the tier scenario suite");
+    let d = d.max(1);
+    // Equalise *primitive* request counts across mixes (scans expand),
+    // so scan-analytics does not dwarf the point workloads.
+    let traces: Vec<ycsb::Trace> = WorkloadSpec::tier_suite()
+        .iter()
+        .map(|w| {
+            let per_op = w.ops.expected_accesses_per_op().max(1.0);
+            let keys = (1_000 / d).max(20);
+            let requests = ((16_000.0 / per_op) as usize / d as usize).max(100);
+            let spec = w.scaled(keys, requests);
+            spec.generate(seed_for(&spec.name))
+        })
+        .collect();
+
+    // One job per (workload, hierarchy, policy, fault-variant) cell.
+    let hier = hierarchies();
+    let mut jobs = Vec::new();
+    for w in 0..traces.len() {
+        for h in 0..hier.len() {
+            for p in 0..PolicyKind::ALL.len() {
+                for faulted in [false, true] {
+                    jobs.push((w, h, p, faulted));
+                }
+            }
+        }
+    }
+
+    let results = crate::parallel(jobs.len(), |i| -> Result<Cell, String> {
+        let (w, h, p, faulted) = jobs[i];
+        let trace = &traces[w];
+        let (hier_name, base, fault_tier) = &hier[h];
+        let kind = PolicyKind::ALL[p];
+        let stats = trace_stats(trace);
+        let stored: u64 = stats.iter().map(|s| s.bytes + 64).sum();
+        let spec = sized_for(base.clone(), stored);
+        let epoch = (trace.len() as u64 / EPOCHS_PER_RUN).max(1);
+        let windows = trace_windows(trace, epoch);
+        let mut server = TieredServer::build_with(
+            spec.clone(),
+            NoiseConfig::disabled(),
+            epoch,
+            kind.build(seed_for(hier_name), &windows),
+            trace,
+        )
+        .map_err(|e| format!("tiered server build failed: {e}"))?;
+        if faulted {
+            server.install_fault_plan(&faulted_plan(&spec, fault_tier)?);
+        }
+        let report = server.run(trace);
+        let mig = server.migration_stats();
+        Ok(Cell {
+            workload: trace.name.clone(),
+            hierarchy: hier_name,
+            policy: kind.name(),
+            faults: if faulted { "degraded" } else { "clean" },
+            requests: report.requests as u64,
+            runtime_ns: report.runtime_ns,
+            cost_usd: spec.cost_usd(),
+            moved_keys: mig.moved_keys,
+            moved_bytes: mig.moved_bytes,
+        })
+    });
+    let cells = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    let mut csv = Vec::with_capacity(cells.len());
+    let mut rows = Vec::new();
+    let mut moved_total = 0u64;
+    let mut requests_total = 0u64;
+    for c in &cells {
+        let throughput = c.requests as f64 / (c.runtime_ns / 1e9);
+        let cost_eff = throughput / c.cost_usd;
+        csv.push(format!(
+            "{},{},{},{},{},{:.0},{:.3},{:.6},{:.6},{},{}",
+            c.workload,
+            c.hierarchy,
+            c.policy,
+            c.faults,
+            c.requests,
+            c.runtime_ns,
+            throughput,
+            c.cost_usd,
+            cost_eff,
+            c.moved_keys,
+            c.moved_bytes
+        ));
+        moved_total += c.moved_keys;
+        requests_total += c.requests;
+        if c.faults == "clean" {
+            rows.push(vec![
+                c.workload.clone(),
+                c.hierarchy.to_string(),
+                c.policy.to_string(),
+                format!("{:.0}", throughput),
+                format!("{:.2}", cost_eff),
+                format!("{}", c.moved_keys),
+            ]);
+        }
+    }
+    print_table(
+        "clean cells: throughput (ops/s), cost-efficiency (ops/s/$), keys moved",
+        &[
+            "workload",
+            "hierarchy",
+            "policy",
+            "ops/s",
+            "ops/s/$",
+            "moved",
+        ],
+        &rows,
+    );
+    write_csv("tier_matrix.csv", CSV_HEADER, &csv)?;
+    println!("\nShape: greedy and oracle lead on the stable presets (trending, flash crowd);");
+    println!("the churning TTL preset rewards epoch re-planning (lru, oracle) and the");
+    println!("3-tier hierarchy beats 2-tier on cost-efficiency whenever the cold tail");
+    println!("tolerates the SSD. Degraded rows show which policies lean on the faulted tier.");
+
+    let mut outcome = SuiteOutcome {
+        items: requests_total,
+        ..SuiteOutcome::default()
+    };
+    outcome.counter("cells", cells.len() as u64);
+    outcome.counter("trace_requests", requests_total);
+    outcome.counter("moved_keys", moved_total);
+    outcome.counter("csv_fnv", super::csv_fnv(CSV_HEADER, &csv));
+    Ok(outcome)
+}

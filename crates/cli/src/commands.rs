@@ -32,6 +32,16 @@ fn save_trace(trace: &Trace, path: &str) -> Result<(), CliError> {
 /// unreadable path (exit 3) from a malformed plan (exit 4, with the
 /// offending line number in the message).
 fn load_fault_plan(parsed: &Parsed) -> Result<Option<FaultPlan>, CliError> {
+    load_fault_plan_with(parsed, &mnemo_faults::TierNames::legacy())
+}
+
+/// [`load_fault_plan`] with tier names resolved against a specific
+/// hierarchy (for `mnemo tier`, where plans may name tiers like
+/// `"optane"` from the hierarchy spec).
+fn load_fault_plan_with(
+    parsed: &Parsed,
+    tiers: &mnemo_faults::TierNames,
+) -> Result<Option<FaultPlan>, CliError> {
     match parsed.options.get("faults").filter(|s| !s.is_empty()) {
         None => {
             if parsed.flag("faults") {
@@ -42,14 +52,15 @@ fn load_fault_plan(parsed: &Parsed) -> Result<Option<FaultPlan>, CliError> {
             Ok(None)
         }
         Some(path) => {
-            let plan = FaultPlan::load(std::path::Path::new(path)).map_err(|e| match e {
-                mnemo_faults::LoadError::Io(io) => {
-                    CliError::Io(format!("cannot read fault plan '{path}': {io}"))
-                }
-                mnemo_faults::LoadError::Parse(p) => {
-                    CliError::Parse(format!("fault plan '{path}': {p}"))
-                }
-            })?;
+            let plan =
+                FaultPlan::load_with(std::path::Path::new(path), tiers).map_err(|e| match e {
+                    mnemo_faults::LoadError::Io(io) => {
+                        CliError::Io(format!("cannot read fault plan '{path}': {io}"))
+                    }
+                    mnemo_faults::LoadError::Parse(p) => {
+                        CliError::Parse(format!("fault plan '{path}': {p}"))
+                    }
+                })?;
             Ok(Some(plan))
         }
     }
@@ -90,6 +101,17 @@ pub fn workloads() -> Result<String, CliError> {
     }
     out.push_str("\n  YCSB core:\n");
     for w in WorkloadSpec::ycsb_core_suite() {
+        let _ = writeln!(
+            out,
+            "    {:<18} {:<18} {:>3.0}% reads  — {}",
+            w.name,
+            w.distribution.name(),
+            w.read_fraction() * 100.0,
+            w.use_case
+        );
+    }
+    out.push_str("\n  Tier scenarios (stress presets for `mnemo tier` / tier_matrix):\n");
+    for w in WorkloadSpec::tier_suite().into_iter().skip(1) {
         let _ = writeln!(
             out,
             "    {:<18} {:<18} {:>3.0}% reads  — {}",
@@ -703,6 +725,182 @@ pub fn trace_cmd(parsed: &mut Parsed) -> Result<String, CliError> {
     }
     if let Some(dir) = telemetry_dir {
         let _ = writeln!(out, "\n{}", export_telemetry(&dir, &snaps)?);
+    }
+    Ok(out)
+}
+
+/// `mnemo tier <trace|preset>` — N-tier hierarchy simulation with a
+/// pluggable tiering policy (or the full policy catalog with
+/// `--policy all`).
+pub fn tier(parsed: &mut Parsed) -> Result<String, CliError> {
+    use kvsim::tiered::{trace_windows, TieredServer};
+    use mnemo_tier::PolicyKind;
+
+    let source = parsed
+        .positional_required("trace file or preset name")?
+        .to_string();
+    let hierarchy_arg = parsed.get_or("hierarchy", "dram_optane_ssd").to_string();
+    let policy_arg = parsed.get_or("policy", "greedy").to_lowercase();
+    let epoch: u64 = parsed.number_or("epoch", 0u64)?;
+    let seed: u64 = parsed.number_or("seed", 42u64)?;
+    let csv_path = parsed.options.get("csv").filter(|s| !s.is_empty()).cloned();
+
+    // Hierarchy: a named preset, else a TOML-subset spec file with
+    // line-numbered parse errors.
+    let spec = match mnemo_tier::preset(&hierarchy_arg) {
+        Some(s) => s,
+        None => {
+            mnemo_tier::load_hierarchy(std::path::Path::new(&hierarchy_arg)).map_err(
+                |e| match e {
+                    mnemo_tier::HierarchyLoadError::Io(io) => CliError::Io(format!(
+                        "cannot read hierarchy '{hierarchy_arg}' (not a preset: {}): {io}",
+                        mnemo_tier::PRESETS.join("|")
+                    )),
+                    mnemo_tier::HierarchyLoadError::Parse(p) => {
+                        CliError::Parse(format!("hierarchy '{hierarchy_arg}': {p}"))
+                    }
+                },
+            )?
+        }
+    };
+
+    // Fault plans may name tiers by the hierarchy's own names.
+    let names: Vec<&str> = spec.tiers.iter().map(|t| t.name.as_str()).collect();
+    let fault_plan = load_fault_plan_with(parsed, &mnemo_faults::TierNames::from_names(&names))?;
+
+    let trace = if std::path::Path::new(&source).is_file() {
+        load_trace(&source)?
+    } else if let Some(w) = WorkloadSpec::by_name(&source) {
+        let keys = parsed.number_or("keys", w.keys)?;
+        let requests = parsed.number_or("requests", w.requests)?;
+        w.scaled(keys, requests).generate(seed)
+    } else {
+        return Err(CliError::Usage(format!(
+            "'{source}' is neither a trace file nor a preset (see `mnemo workloads`)"
+        )));
+    };
+
+    let kinds: Vec<PolicyKind> = if policy_arg == "all" {
+        PolicyKind::ALL.to_vec()
+    } else {
+        policy_arg
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                PolicyKind::by_name(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown policy '{name}' (greedy|lru|asym|random|oracle|all, comma-separable)"
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+    if kinds.is_empty() {
+        return Err(CliError::Usage("no policy named in --policy".to_string()));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tiering '{}' over '{hierarchy_arg}' ({} tiers, ${:.2}): {} requests{}",
+        trace.name,
+        spec.tiers.len(),
+        spec.cost_usd(),
+        trace.len(),
+        if epoch > 0 {
+            format!(", re-planning every {epoch} requests")
+        } else {
+            ", static placement".to_string()
+        }
+    );
+    for t in &spec.tiers {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>9.1} MiB  ${:.2}/GiB  {:>7.0} ns read latency",
+            t.name,
+            t.capacity_bytes as f64 / (1 << 20) as f64,
+            t.price_per_gib,
+            t.spec.read_latency_ns
+        );
+    }
+    if fault_plan.is_some() {
+        let _ = writeln!(out, "  fault plan installed");
+    }
+
+    let header = format!(
+        "policy,runtime_ns,throughput_ops_s,cost_usd,cost_efficiency,moved_keys,moved_bytes,{}",
+        spec.tiers
+            .iter()
+            .map(|t| format!("{}_bytes", t.name))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let mut csv_rows = Vec::new();
+    let _ = writeln!(
+        out,
+        "\n  {:<8} {:>14} {:>12} {:>12} {:>7}  occupancy (top→bottom)",
+        "policy", "runtime_ns", "ops/s", "ops/s/$", "moved"
+    );
+    for kind in kinds {
+        let windows = trace_windows(&trace, epoch);
+        let mut server = TieredServer::build_with(
+            spec.clone(),
+            hybridmem::clock::NoiseConfig::disabled(),
+            epoch,
+            kind.build(seed, &windows),
+            &trace,
+        )
+        .map_err(|e| CliError::Engine(format!("cannot build tiered server: {e}")))?;
+        if let Some(plan) = &fault_plan {
+            server.install_fault_plan(plan);
+        }
+        let report = server.run(&trace);
+        let mig = server.migration_stats();
+        let throughput = report.throughput_ops_s();
+        let cost_eff = throughput / spec.cost_usd();
+        let occupancy: Vec<u64> = (0..spec.tiers.len())
+            .map(|i| {
+                server
+                    .engine()
+                    .bytes_in(hybridmem::TierId(u8::try_from(i).unwrap_or(u8::MAX)))
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>14.0} {:>12.0} {:>12.1} {:>7}  {}",
+            kind.name(),
+            report.runtime_ns,
+            throughput,
+            cost_eff,
+            mig.moved_keys,
+            occupancy
+                .iter()
+                .map(|b| format!("{:.1} MiB", *b as f64 / (1 << 20) as f64))
+                .collect::<Vec<_>>()
+                .join(" / ")
+        );
+        csv_rows.push(format!(
+            "{},{:.0},{:.3},{:.6},{:.6},{},{},{}",
+            kind.name(),
+            report.runtime_ns,
+            throughput,
+            spec.cost_usd(),
+            cost_eff,
+            mig.moved_keys,
+            mig.moved_bytes,
+            occupancy
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+    }
+    if let Some(path) = csv_path {
+        let text = format!("{header}\n{}\n", csv_rows.join("\n"));
+        std::fs::write(&path, text)
+            .map_err(|e| CliError::Io(format!("cannot write '{path}': {e}")))?;
+        let _ = writeln!(out, "\n  [csv] {path}");
     }
     Ok(out)
 }

@@ -90,6 +90,20 @@ COMMANDS:
                                          nearest-feasible degraded advising
       plus consult's --store/--slo options; presets accept
       --keys/--requests/--seed like generate
+  tier <trace-file|preset>       run the trace on an N-tier hierarchy with a
+      pluggable tiering policy and report per-policy throughput,
+      cost-efficiency and per-tier occupancy
+      --hierarchy <preset|file>          paper_two_tier|dram_optane_ssd, or a
+                                         TOML hierarchy spec file (default
+                                         dram_optane_ssd)
+      --policy greedy|lru|asym|random|oracle|all   (default greedy;
+                                         comma-separable, e.g. greedy,lru)
+      --epoch N                          re-plan every N requests (default 0 =
+                                         static placement, the paper's mode)
+      --faults <plan>                    fault plan; tier names resolve
+                                         against the hierarchy's own names
+      --csv <file>                       write the per-policy results CSV
+      presets accept --keys/--requests/--seed like generate
   analyze <trace-file>           skew statistics + synthetic equivalent
   downsample <trace-file> --factor N -o <file>
       randomly downsize a trace (distribution-preserving)
@@ -155,6 +169,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "watch" => commands::watch(&mut parsed),
         "serve" => commands::serve(&mut parsed),
         "trace" => commands::trace_cmd(&mut parsed),
+        "tier" => commands::tier(&mut parsed),
         "analyze" => commands::analyze(&mut parsed),
         "downsample" => commands::downsample(&mut parsed),
         "plan" => commands::plan(&mut parsed),

@@ -667,13 +667,13 @@ mod tests {
         for tier in [hybridmem::MemTier::Fast, hybridmem::MemTier::Slow] {
             plan = plan
                 .with(FaultEvent::LatencySpike {
-                    tier,
+                    tier: tier.id(),
                     start_ns: 0,
                     end_ns: u128::MAX,
                     factor: 50.0,
                 })
                 .with(FaultEvent::BandwidthThrottle {
-                    tier,
+                    tier: tier.id(),
                     start_ns: 0,
                     end_ns: u128::MAX,
                     factor: 0.02,

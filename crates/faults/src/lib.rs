@@ -29,5 +29,5 @@ pub mod parse;
 pub mod plan;
 
 pub use backoff::Backoff;
-pub use parse::{LoadError, PlanError};
+pub use parse::{LoadError, PlanError, TierNames};
 pub use plan::{FaultEvent, FaultPlan, MigrationFaults, ShardCrash};

@@ -7,7 +7,80 @@
 
 use crate::backoff::Backoff;
 use crate::plan::{FaultEvent, FaultPlan};
-use hybridmem::MemTier;
+use hybridmem::TierId;
+
+/// Tier-name resolution table used while parsing `tier = "..."` fields.
+///
+/// The default ([`TierNames::legacy`]) resolves the two-tier aliases
+/// (`fast`/`fastmem`/`dram` and `slow`/`slowmem`/`nvm`). Hierarchy-aware
+/// callers build one from their tier list with [`TierNames::from_names`]
+/// so plans can reference tiers by hierarchy name; the positional
+/// `tier<N>` forms and any non-colliding legacy alias keep resolving.
+#[derive(Debug, Clone)]
+pub struct TierNames {
+    /// `(lowercased alias, tier)` pairs; first match wins.
+    entries: Vec<(String, TierId)>,
+    /// Primary names in stack order, for error messages.
+    primary: Vec<String>,
+}
+
+const LEGACY_ALIASES: [(&str, TierId); 6] = [
+    ("fast", TierId::FAST),
+    ("fastmem", TierId::FAST),
+    ("dram", TierId::FAST),
+    ("slow", TierId::SLOW),
+    ("slowmem", TierId::SLOW),
+    ("nvm", TierId::SLOW),
+];
+
+impl TierNames {
+    /// The legacy two-tier alias table.
+    pub fn legacy() -> TierNames {
+        TierNames {
+            entries: LEGACY_ALIASES
+                .iter()
+                .map(|(n, t)| (n.to_string(), *t))
+                .collect(),
+            primary: vec!["fast".to_string(), "slow".to_string()],
+        }
+    }
+
+    /// A table for a hierarchy's tier names in stack order (index 0 =
+    /// topmost tier). Each tier also answers to `tier<index>`, and the
+    /// legacy aliases keep resolving where they do not collide with a
+    /// hierarchy name.
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> TierNames {
+        let mut entries: Vec<(String, TierId)> = Vec::new();
+        let mut primary = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let id = TierId(u8::try_from(i).unwrap_or(u8::MAX));
+            let lower = name.as_ref().to_ascii_lowercase();
+            primary.push(lower.clone());
+            entries.push((lower, id));
+            entries.push((format!("tier{i}"), id));
+        }
+        for (alias, id) in LEGACY_ALIASES {
+            if id.index() < names.len() && !entries.iter().any(|(n, _)| n == alias) {
+                entries.push((alias.to_string(), id));
+            }
+        }
+        TierNames { entries, primary }
+    }
+
+    /// Resolve a tier name, case-insensitively.
+    pub fn resolve(&self, name: &str) -> Option<TierId> {
+        let lower = name.to_ascii_lowercase();
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, t)| *t)
+    }
+
+    /// The primary tier names in stack order, as shown in errors.
+    pub fn primary(&self) -> &[String] {
+        &self.primary
+    }
+}
 
 /// A plan-file parse or validation error, with the offending line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,18 +227,19 @@ impl Record {
             .ok_or_else(|| PlanError::at(self.line, format!("missing required field `{key}`")))
     }
 
-    fn tier(&self) -> Result<MemTier, PlanError> {
+    fn tier(&self, tiers: &TierNames) -> Result<TierId, PlanError> {
         let (name, line) = self
             .str("tier")?
             .ok_or_else(|| PlanError::at(self.line, "missing required field `tier`"))?;
-        match name.to_ascii_lowercase().as_str() {
-            "fast" | "fastmem" | "dram" => Ok(MemTier::Fast),
-            "slow" | "slowmem" | "nvm" => Ok(MemTier::Slow),
-            other => Err(PlanError::at(
+        tiers.resolve(name).ok_or_else(|| {
+            PlanError::at(
                 line,
-                format!("unknown tier `{other}` (expected `fast` or `slow`)"),
-            )),
-        }
+                format!(
+                    "unknown tier `{name}` (expected one of: {})",
+                    tiers.primary().join(", ")
+                ),
+            )
+        })
     }
 
     fn known_keys(&self, allowed: &[&str]) -> Result<(), PlanError> {
@@ -186,7 +260,7 @@ struct RawPlan {
     events: Vec<Record>,
 }
 
-fn build(raw: RawPlan) -> Result<FaultPlan, PlanError> {
+fn build(raw: RawPlan, tiers: &TierNames) -> Result<FaultPlan, PlanError> {
     raw.top.known_keys(&["seed"])?;
     let seed = raw.top.u64("seed")?.unwrap_or(0);
     let mut plan = FaultPlan::new(seed);
@@ -223,7 +297,7 @@ fn build(raw: RawPlan) -> Result<FaultPlan, PlanError> {
             "latency_spike" => {
                 e.known_keys(&["kind", "tier", "start_ns", "end_ns", "factor", "tenant"])?;
                 FaultEvent::LatencySpike {
-                    tier: e.tier()?,
+                    tier: e.tier(tiers)?,
                     start_ns,
                     end_ns,
                     factor: e.require_f64("factor")?,
@@ -232,7 +306,7 @@ fn build(raw: RawPlan) -> Result<FaultPlan, PlanError> {
             "bandwidth_throttle" => {
                 e.known_keys(&["kind", "tier", "start_ns", "end_ns", "factor", "tenant"])?;
                 FaultEvent::BandwidthThrottle {
-                    tier: e.tier()?,
+                    tier: e.tier(tiers)?,
                     start_ns,
                     end_ns,
                     factor: e.require_f64("factor")?,
@@ -241,7 +315,7 @@ fn build(raw: RawPlan) -> Result<FaultPlan, PlanError> {
             "capacity_shrink" => {
                 e.known_keys(&["kind", "tier", "start_ns", "end_ns", "bytes", "tenant"])?;
                 FaultEvent::CapacityShrink {
-                    tier: e.tier()?,
+                    tier: e.tier(tiers)?,
                     start_ns,
                     end_ns,
                     bytes: e
@@ -682,32 +756,55 @@ fn parse_json(text: &str) -> Result<RawPlan, PlanError> {
 
 impl FaultPlan {
     /// Parse a plan from the TOML subset (`seed`, `[backoff]`,
-    /// `[[event]]` tables of scalars).
+    /// `[[event]]` tables of scalars), resolving tier names with the
+    /// legacy two-tier aliases.
     pub fn parse_toml(text: &str) -> Result<FaultPlan, PlanError> {
-        build(parse_toml(text)?)
+        FaultPlan::parse_toml_with(text, &TierNames::legacy())
+    }
+
+    /// Parse the TOML subset with a custom tier-name table (hierarchy
+    /// tier names resolve to their stack indices).
+    pub fn parse_toml_with(text: &str, tiers: &TierNames) -> Result<FaultPlan, PlanError> {
+        build(parse_toml(text)?, tiers)
     }
 
     /// Parse a plan from the JSON subset (`{"seed", "backoff", "events"}`).
     pub fn parse_json(text: &str) -> Result<FaultPlan, PlanError> {
-        build(parse_json(text)?)
+        FaultPlan::parse_json_with(text, &TierNames::legacy())
+    }
+
+    /// Parse the JSON subset with a custom tier-name table.
+    pub fn parse_json_with(text: &str, tiers: &TierNames) -> Result<FaultPlan, PlanError> {
+        build(parse_json(text)?, tiers)
     }
 
     /// Parse either format, sniffed from the first non-space character.
     pub fn parse(text: &str) -> Result<FaultPlan, PlanError> {
+        FaultPlan::parse_with(text, &TierNames::legacy())
+    }
+
+    /// Parse either format with a custom tier-name table.
+    pub fn parse_with(text: &str, tiers: &TierNames) -> Result<FaultPlan, PlanError> {
         if text.trim_start().starts_with('{') {
-            FaultPlan::parse_json(text)
+            FaultPlan::parse_json_with(text, tiers)
         } else {
-            FaultPlan::parse_toml(text)
+            FaultPlan::parse_toml_with(text, tiers)
         }
     }
 
     /// Load a plan file (`.json` forces JSON; anything else is sniffed).
     pub fn load(path: &std::path::Path) -> Result<FaultPlan, LoadError> {
+        FaultPlan::load_with(path, &TierNames::legacy())
+    }
+
+    /// Load a plan file with a custom tier-name table, so plans can
+    /// reference the tiers of a loaded hierarchy by name.
+    pub fn load_with(path: &std::path::Path, tiers: &TierNames) -> Result<FaultPlan, LoadError> {
         let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
         let plan = if path.extension().is_some_and(|e| e == "json") {
-            FaultPlan::parse_json(&text)
+            FaultPlan::parse_json_with(&text, tiers)
         } else {
-            FaultPlan::parse(&text)
+            FaultPlan::parse_with(&text, tiers)
         };
         plan.map_err(LoadError::Parse)
     }
@@ -784,12 +881,81 @@ rebuild_ns_per_key = 120.5
         assert!(matches!(
             toml.events[2],
             FaultEvent::CapacityShrink {
-                tier: MemTier::Fast,
+                tier: TierId::FAST,
                 start_ns: 100,
                 end_ns: u128::MAX,
                 bytes: 1_048_576,
             }
         ));
+    }
+
+    #[test]
+    fn hierarchy_names_resolve_with_positional_and_legacy_aliases() {
+        let tiers = TierNames::from_names(&["DRAM", "optane", "ssd"]);
+        // Hierarchy names, case-insensitively.
+        assert_eq!(tiers.resolve("dram"), Some(TierId(0)));
+        assert_eq!(tiers.resolve("Optane"), Some(TierId(1)));
+        assert_eq!(tiers.resolve("SSD"), Some(TierId(2)));
+        // Positional forms.
+        assert_eq!(tiers.resolve("tier0"), Some(TierId(0)));
+        assert_eq!(tiers.resolve("tier2"), Some(TierId(2)));
+        // Non-colliding legacy aliases still work ("dram" is taken by
+        // the hierarchy itself, and resolves to the same tier here).
+        assert_eq!(tiers.resolve("fast"), Some(TierId::FAST));
+        assert_eq!(tiers.resolve("slowmem"), Some(TierId::SLOW));
+        assert_eq!(tiers.resolve("warp"), None);
+        assert_eq!(tiers.primary(), &["dram", "optane", "ssd"]);
+    }
+
+    #[test]
+    fn legacy_aliases_never_point_past_the_hierarchy() {
+        let tiers = TierNames::from_names(&["only"]);
+        assert_eq!(tiers.resolve("only"), Some(TierId(0)));
+        assert_eq!(tiers.resolve("fast"), Some(TierId(0)));
+        // "slow" would name tier 1, which this one-tier hierarchy lacks.
+        assert_eq!(tiers.resolve("slow"), None);
+    }
+
+    #[test]
+    fn plans_accept_hierarchy_tier_names() {
+        let text = r#"
+seed = 1
+
+[[event]]
+kind = "latency_spike"
+tier = "optane"
+start_ns = 0
+end_ns = 10
+factor = 2.0
+"#;
+        let tiers = TierNames::from_names(&["dram", "optane", "ssd"]);
+        let plan = FaultPlan::parse_toml_with(text, &tiers).unwrap();
+        assert!(matches!(
+            plan.events[0],
+            FaultEvent::LatencySpike {
+                tier: TierId(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_tier_name_errors_with_line_and_known_names() {
+        let text = r#"
+seed = 1
+
+[[event]]
+kind = "latency_spike"
+tier = "l2"
+start_ns = 0
+end_ns = 10
+factor = 2.0
+"#;
+        let tiers = TierNames::from_names(&["dram", "optane", "ssd"]);
+        let err = FaultPlan::parse_toml_with(text, &tiers).unwrap_err();
+        assert_eq!(err.line, 6);
+        assert!(err.reason.contains("unknown tier `l2`"), "{}", err.reason);
+        assert!(err.reason.contains("dram, optane, ssd"), "{}", err.reason);
     }
 
     #[test]

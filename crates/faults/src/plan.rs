@@ -2,7 +2,7 @@
 
 use crate::backoff::Backoff;
 use hybridmem::degrade::{DegradationProfile, DegradationWindow};
-use hybridmem::MemTier;
+use hybridmem::TierId;
 
 /// One scheduled fault. Time windows are half-open `[start_ns, end_ns)`
 /// in simulated nanoseconds; `end_ns = u128::MAX` means "until the end of
@@ -12,8 +12,9 @@ pub enum FaultEvent {
     /// The tier's access latency is multiplied by `factor` (>= 1) while
     /// the window is active.
     LatencySpike {
-        /// Degraded tier.
-        tier: MemTier,
+        /// Degraded tier (stack index; legacy `MemTier` values convert
+        /// via [`hybridmem::MemTier::id`]).
+        tier: TierId,
         /// Window start (inclusive).
         start_ns: u128,
         /// Window end (exclusive).
@@ -25,7 +26,7 @@ pub enum FaultEvent {
     /// nominal while the window is active.
     BandwidthThrottle {
         /// Degraded tier.
-        tier: MemTier,
+        tier: TierId,
         /// Window start (inclusive).
         start_ns: u128,
         /// Window end (exclusive).
@@ -38,7 +39,7 @@ pub enum FaultEvent {
     /// kept; new ones see the reduced ceiling.
     CapacityShrink {
         /// Degraded tier.
-        tier: MemTier,
+        tier: TierId,
         /// Window start (inclusive).
         start_ns: u128,
         /// Window end (exclusive).
@@ -388,23 +389,24 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hybridmem::MemTier;
 
     fn sample_plan() -> FaultPlan {
         FaultPlan::new(7)
             .with(FaultEvent::LatencySpike {
-                tier: MemTier::Slow,
+                tier: MemTier::Slow.id(),
                 start_ns: 0,
                 end_ns: 1_000,
                 factor: 3.0,
             })
             .with(FaultEvent::BandwidthThrottle {
-                tier: MemTier::Slow,
+                tier: MemTier::Slow.id(),
                 start_ns: 500,
                 end_ns: 2_000,
                 factor: 0.25,
             })
             .with(FaultEvent::CapacityShrink {
-                tier: MemTier::Fast,
+                tier: MemTier::Fast.id(),
                 start_ns: 0,
                 end_ns: u128::MAX,
                 bytes: 4096,
@@ -540,7 +542,7 @@ mod tests {
             )
             .with_for_tenant(
                 FaultEvent::BandwidthThrottle {
-                    tier: MemTier::Slow,
+                    tier: MemTier::Slow.id(),
                     start_ns: 0,
                     end_ns: 100,
                     factor: 0.5,
@@ -585,7 +587,7 @@ mod tests {
     #[test]
     fn validation_catches_bad_parameters() {
         let bad = FaultPlan::new(0).with(FaultEvent::LatencySpike {
-            tier: MemTier::Fast,
+            tier: MemTier::Fast.id(),
             start_ns: 10,
             end_ns: 10,
             factor: 2.0,
@@ -598,7 +600,7 @@ mod tests {
         });
         assert!(bad.validate().unwrap_err().contains("probability"));
         let bad = FaultPlan::new(0).with(FaultEvent::BandwidthThrottle {
-            tier: MemTier::Slow,
+            tier: MemTier::Slow.id(),
             start_ns: 0,
             end_ns: 1,
             factor: 0.0,

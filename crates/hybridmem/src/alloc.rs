@@ -84,7 +84,7 @@ impl std::error::Error for AllocError {
 /// tier. Blocks are recycled exactly (per rounded size class), so reuse
 /// never aliases two live objects.
 #[derive(Debug, Default, Clone)]
-struct TierArena {
+pub(crate) struct TierArena {
     bump: u64,
     /// size-class -> freed addresses.
     free: DetHashMap<u64, Vec<u64>>,
@@ -98,7 +98,7 @@ fn size_class(bytes: u64) -> u64 {
 }
 
 impl TierArena {
-    fn alloc(&mut self, bytes: u64) -> u64 {
+    pub(crate) fn alloc(&mut self, bytes: u64) -> u64 {
         let class = size_class(bytes);
         if let Some(list) = self.free.get_mut(&class) {
             if let Some(addr) = list.pop() {
@@ -110,7 +110,7 @@ impl TierArena {
         addr
     }
 
-    fn dealloc(&mut self, addr: u64, bytes: u64) {
+    pub(crate) fn dealloc(&mut self, addr: u64, bytes: u64) {
         self.free.entry(size_class(bytes)).or_default().push(addr);
     }
 }

@@ -75,13 +75,29 @@ impl NoiseConfig {
     }
 }
 
+/// Number of perturbation factors generated per table refill. Must be
+/// even so Box–Muller cos/sin pairs never split across refills — that
+/// keeps the factor stream identical to the old draw-per-request model
+/// with its cached spare variate.
+const NOISE_CHUNK: usize = 4096;
+
 /// Seeded multiplicative Gaussian noise source.
+///
+/// Perturbation factors `max(0, 1 + sigma * N(0,1))` are precomputed in
+/// chunks (ROADMAP item 3: the per-request Box–Muller draw — two
+/// uniforms, `ln`, `sqrt`, `sin`, `cos` — was the largest remaining
+/// per-request cost). The refill consumes the RNG in exactly the same
+/// order as the old per-request path, so the factor stream — and every
+/// golden output downstream — is bit-identical; only the per-request
+/// work drops to a table load and one multiply.
 #[derive(Debug)]
 pub struct NoiseModel {
     sigma: f64,
     rng: StdRng,
-    /// Cached second Box-Muller variate.
-    spare: Option<f64>,
+    /// Precomputed perturbation factors, consumed front to back.
+    factors: Vec<f64>,
+    /// Index of the next unconsumed factor.
+    next: usize,
 }
 
 impl NoiseModel {
@@ -90,7 +106,8 @@ impl NoiseModel {
         NoiseModel {
             sigma: config.relative_sigma,
             rng: StdRng::seed_from_u64(config.seed),
-            spare: None,
+            factors: Vec::new(),
+            next: 0,
         }
     }
 
@@ -99,13 +116,15 @@ impl NoiseModel {
         NoiseModel::new(NoiseConfig::disabled())
     }
 
-    /// Standard normal variate via Box–Muller (rand's core crate has no
+    /// Refill the factor table via Box–Muller (rand's core crate has no
     /// normal distribution; `rand_distr` is outside the allowed set).
-    fn standard_normal(&mut self) -> f64 {
-        if let Some(z) = self.spare.take() {
-            return z;
-        }
-        loop {
+    /// Draw order matches the old per-request implementation: each pass
+    /// draws `(u1, u2)`, retries while `u1` is subnormal, then yields
+    /// the cos variate followed by the sin variate.
+    fn refill(&mut self) {
+        self.factors.clear();
+        self.factors.reserve(NOISE_CHUNK);
+        while self.factors.len() < NOISE_CHUNK {
             let u1: f64 = self.rng.random::<f64>();
             let u2: f64 = self.rng.random::<f64>();
             if u1 <= f64::MIN_POSITIVE {
@@ -113,9 +132,12 @@ impl NoiseModel {
             }
             let r = (-2.0 * u1.ln()).sqrt();
             let theta = 2.0 * std::f64::consts::PI * u2;
-            self.spare = Some(r * theta.sin());
-            return r * theta.cos();
+            self.factors
+                .push((1.0 + self.sigma * (r * theta.cos())).max(0.0));
+            self.factors
+                .push((1.0 + self.sigma * (r * theta.sin())).max(0.0));
         }
+        self.next = 0;
     }
 
     /// Perturb a nanosecond cost: `ns * max(0, 1 + sigma * N(0,1))`.
@@ -123,7 +145,11 @@ impl NoiseModel {
         if self.sigma == 0.0 {
             return ns;
         }
-        let factor = (1.0 + self.sigma * self.standard_normal()).max(0.0);
+        if self.next == self.factors.len() {
+            self.refill();
+        }
+        let factor = self.factors[self.next];
+        self.next += 1;
         ns * factor
     }
 
@@ -178,6 +204,55 @@ mod tests {
         let xa: Vec<f64> = (0..10).map(|_| a.perturb(1000.0)).collect();
         let xb: Vec<f64> = (0..10).map(|_| b.perturb(1000.0)).collect();
         assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn table_stream_matches_per_request_box_muller() {
+        // Reference: the pre-table implementation — one Box–Muller pair
+        // per two perturbs, with the sin variate cached as a spare.
+        struct Reference {
+            sigma: f64,
+            rng: StdRng,
+            spare: Option<f64>,
+        }
+        impl Reference {
+            fn perturb(&mut self, ns: f64) -> f64 {
+                let z = if let Some(z) = self.spare.take() {
+                    z
+                } else {
+                    loop {
+                        let u1: f64 = self.rng.random::<f64>();
+                        let u2: f64 = self.rng.random::<f64>();
+                        if u1 <= f64::MIN_POSITIVE {
+                            continue;
+                        }
+                        let r = (-2.0 * u1.ln()).sqrt();
+                        let theta = 2.0 * std::f64::consts::PI * u2;
+                        self.spare = Some(r * theta.sin());
+                        break r * theta.cos();
+                    }
+                };
+                ns * (1.0 + self.sigma * z).max(0.0)
+            }
+        }
+        for seed in [0u64, 7, 1234] {
+            let config = NoiseConfig::default_jitter(seed);
+            let mut table = NoiseModel::new(config);
+            let mut reference = Reference {
+                sigma: config.relative_sigma,
+                rng: StdRng::seed_from_u64(seed),
+                spare: None,
+            };
+            // Cross more than one refill boundary (chunk = 4096).
+            for i in 0..10_000 {
+                let ns = 100.0 + i as f64;
+                assert_eq!(
+                    table.perturb(ns).to_bits(),
+                    reference.perturb(ns).to_bits(),
+                    "seed={seed} i={i}"
+                );
+            }
+        }
     }
 
     #[test]

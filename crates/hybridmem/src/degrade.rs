@@ -14,7 +14,7 @@
 //! `mnemo-faults` crate); this module only defines the mechanism the
 //! devices consume.
 
-use crate::spec::MemTier;
+use crate::spec::TierId;
 
 /// Multiplicative degradation in effect at one instant for one tier.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,8 +53,9 @@ impl Default for TierFactors {
 /// One degradation window on one tier, active over `[start_ns, end_ns)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegradationWindow {
-    /// Tier the window degrades.
-    pub tier: MemTier,
+    /// Tier the window degrades (stack index; [`TierId::FAST`] /
+    /// [`TierId::SLOW`] for the legacy two-tier pair).
+    pub tier: TierId,
     /// Window start (inclusive), in simulated nanoseconds.
     pub start_ns: u128,
     /// Window end (exclusive); `u128::MAX` for an open-ended window.
@@ -70,9 +71,9 @@ pub struct DegradationWindow {
 impl DegradationWindow {
     /// A window that changes nothing but timing bounds — useful as a
     /// starting point for builders.
-    pub fn nominal(tier: MemTier, start_ns: u128, end_ns: u128) -> DegradationWindow {
+    pub fn nominal(tier: impl Into<TierId>, start_ns: u128, end_ns: u128) -> DegradationWindow {
         DegradationWindow {
-            tier,
+            tier: tier.into(),
             start_ns,
             end_ns,
             latency_mult: 1.0,
@@ -144,7 +145,8 @@ impl DegradationProfile {
     }
 
     /// The composed factors in effect for `tier` at `now_ns`.
-    pub fn factors_at(&self, tier: MemTier, now_ns: u128) -> TierFactors {
+    pub fn factors_at(&self, tier: impl Into<TierId>, now_ns: u128) -> TierFactors {
+        let tier = tier.into();
         let mut f = TierFactors::NOMINAL;
         for w in &self.windows {
             if w.tier == tier && w.active_at(now_ns) {
@@ -166,6 +168,7 @@ impl DegradationProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::MemTier;
 
     fn spike(tier: MemTier, start: u128, end: u128, lat: f64) -> DegradationWindow {
         DegradationWindow {

@@ -1,7 +1,7 @@
 //! Per-tier memory device: capacity accounting plus access timing.
 
 use crate::degrade::{DegradationProfile, TierFactors};
-use crate::spec::{AccessKind, MemTier, TierSpec};
+use crate::spec::{AccessKind, TierId, TierSpec};
 use crate::stats::AccessStats;
 use std::sync::Arc;
 
@@ -40,7 +40,7 @@ impl ChargeRow {
 /// One memory device (a NUMA node in the paper's testbed).
 #[derive(Debug, Clone)]
 pub struct Device {
-    tier: MemTier,
+    tier: TierId,
     spec: TierSpec,
     capacity: u64,
     used: u64,
@@ -83,11 +83,13 @@ impl std::fmt::Display for CapacityError {
 impl std::error::Error for CapacityError {}
 
 impl Device {
-    /// Create a device of `capacity` bytes with the given timing.
-    pub fn new(tier: MemTier, spec: TierSpec, capacity: u64) -> Device {
+    /// Create a device of `capacity` bytes with the given timing. The
+    /// tier id keys degradation-profile lookups; legacy `MemTier` values
+    /// convert implicitly.
+    pub fn new(tier: impl Into<TierId>, spec: TierSpec, capacity: u64) -> Device {
         let charge = ChargeRow::table(&spec);
         Device {
-            tier,
+            tier: tier.into(),
             spec,
             capacity,
             used: 0,
@@ -139,7 +141,7 @@ impl Device {
     }
 
     /// Which tier this device implements.
-    pub fn tier(&self) -> MemTier {
+    pub fn tier(&self) -> TierId {
         self.tier
     }
 
@@ -253,6 +255,7 @@ impl Device {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::MemTier;
 
     fn dev() -> Device {
         Device::new(MemTier::Fast, TierSpec::paper_fastmem(), 1024)

@@ -17,6 +17,10 @@
 //! * [`system`] — the [`HybridMemory`] facade:
 //!   allocate / free / migrate objects between tiers and charge simulated
 //!   nanoseconds for reads and writes.
+//! * [`stack`] — the N-tier generalization: an ordered [`TierStack`] of
+//!   devices (DRAM + NVM + SSD-swap, any depth) with per-tier names,
+//!   capacities and $/GiB prices, bit-identical to [`HybridMemory`] in
+//!   its two-tier degenerate case.
 //! * [`clock`] — simulated nanosecond clock and a seeded Gaussian noise
 //!   model standing in for real-hardware measurement variability.
 //! * [`degrade`] — time-varying per-tier degradation profiles (latency
@@ -62,6 +66,7 @@ pub mod det;
 pub mod device;
 pub mod num;
 pub mod spec;
+pub mod stack;
 pub mod stats;
 pub mod system;
 
@@ -72,6 +77,7 @@ pub use degrade::{DegradationProfile, DegradationWindow, TierFactors};
 pub use dense::DenseU64Map;
 pub use det::{det_map, det_set, BuildDetHasher, DetHashMap, DetHashSet};
 pub use device::{CapacityError, Device};
-pub use spec::{AccessKind, HybridSpec, MemTier, TierSpec};
+pub use spec::{AccessKind, HybridSpec, MemTier, TierId, TierSpec};
+pub use stack::{StackError, StackPlacement, StackSpec, TierDef, TierStack};
 pub use stats::{AccessStats, Histogram};
 pub use system::HybridMemory;

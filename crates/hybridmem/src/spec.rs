@@ -35,11 +35,54 @@ impl MemTier {
             MemTier::Slow => "SlowMem",
         }
     }
+
+    /// This tier's index in the generalized N-tier stack order
+    /// (Fast = 0, Slow = 1).
+    pub fn id(self) -> TierId {
+        TierId::from(self)
+    }
 }
 
 impl std::fmt::Display for MemTier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Identifier of one tier in an ordered N-tier hierarchy: index 0 is
+/// the topmost (fastest, most expensive) tier and indices grow downward.
+///
+/// The legacy two-tier system maps [`MemTier::Fast`] to index 0 and
+/// [`MemTier::Slow`] to index 1, so everything keyed by `TierId` (device
+/// degradation, fault plans) composes unchanged with two-tier code via
+/// the `From<MemTier>` conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TierId(pub u8);
+
+impl TierId {
+    /// The legacy FastMem tier (stack index 0).
+    pub const FAST: TierId = TierId(0);
+    /// The legacy SlowMem tier (stack index 1).
+    pub const SLOW: TierId = TierId(1);
+
+    /// Position in the stack, top (fastest) first.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl From<MemTier> for TierId {
+    fn from(tier: MemTier) -> TierId {
+        match tier {
+            MemTier::Fast => TierId::FAST,
+            MemTier::Slow => TierId::SLOW,
+        }
+    }
+}
+
+impl std::fmt::Display for TierId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tier{}", self.0)
     }
 }
 

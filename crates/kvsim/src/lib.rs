@@ -57,6 +57,7 @@ pub mod redis_like;
 pub mod rocks_like;
 pub mod server;
 pub mod sharded;
+pub mod tiered;
 
 pub use cache_mode::{CacheModeServer, CacheModeStats};
 pub use cluster::TwoInstanceCluster;
@@ -65,3 +66,4 @@ pub use engine::{EngineError, KvEngine, OpCharge};
 pub use profile::{EngineProfile, StoreKind};
 pub use server::{Placement, RequestSample, RunReport, Server};
 pub use sharded::ShardedCluster;
+pub use tiered::{MigrationStats, TieredEngine, TieredError, TieredServer};

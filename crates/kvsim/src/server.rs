@@ -662,13 +662,13 @@ mod tests {
         server.install_fault_plan(
             &FaultPlan::new(1)
                 .with(FaultEvent::LatencySpike {
-                    tier: hybridmem::MemTier::Slow,
+                    tier: hybridmem::MemTier::Slow.id(),
                     start_ns: 0,
                     end_ns: u128::MAX,
                     factor: 32.0,
                 })
                 .with(FaultEvent::BandwidthThrottle {
-                    tier: hybridmem::MemTier::Slow,
+                    tier: hybridmem::MemTier::Slow.id(),
                     start_ns: 0,
                     end_ns: u128::MAX,
                     factor: 1.0 / 32.0,

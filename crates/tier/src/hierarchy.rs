@@ -1,0 +1,640 @@
+//! Hierarchy presets and the hierarchy spec-file format.
+//!
+//! A hierarchy is a [`StackSpec`]: an ordered list of tiers (fastest
+//! first), each with Table-I-style timing, a capacity and a $/GiB price,
+//! plus the shared LLC in front. This module provides the named presets
+//! the benches sweep over and a hand-rolled TOML-subset parser (the
+//! vendored `serde` shim has no derive payload) whose every error carries
+//! the 1-based line it was found on — same discipline as fault plans.
+//!
+//! ```toml
+//! # three-tier pyramid
+//! [[tier]]
+//! name = "dram"
+//! capacity_gib = 4
+//! read_latency_ns = 65.7
+//! bandwidth_bytes_per_ns = 14.9
+//! write_latency_factor = 0.2
+//! write_overlap_factor = 3.0
+//! price_per_gib = 6.0
+//!
+//! [[tier]]
+//! name = "optane"
+//! capacity_gib = 16
+//! read_latency_ns = 305.0
+//! bandwidth_bytes_per_ns = 6.6
+//! write_latency_factor = 0.31
+//! write_overlap_factor = 0.35
+//! price_per_gib = 2.0
+//! ```
+//!
+//! An optional `[cache]` section overrides the paper's 12 MB LLC.
+
+use hybridmem::cache::CacheKind;
+use hybridmem::spec::TierSpec;
+use hybridmem::stack::{StackSpec, TierDef};
+use hybridmem::{CacheConfig, HybridSpec};
+
+/// The paper's two-tier testbed as a stack: FastMem (DRAM, $6/GiB) over
+/// SlowMem (emulated NVM at the paper's 0.2 price fraction).
+pub fn paper_two_tier() -> StackSpec {
+    StackSpec::two_tier(&HybridSpec::paper_testbed())
+}
+
+/// A three-tier pyramid: the paper's DRAM, Optane-DC-style persistent
+/// memory (write-asymmetric), and an SSD-backed swap tier. Capacities
+/// follow the testbed's proportions (4 GB DRAM, 4x NVM, 8x swap).
+pub fn dram_optane_ssd() -> StackSpec {
+    StackSpec {
+        tiers: vec![
+            TierDef {
+                name: "dram".to_string(),
+                spec: TierSpec::paper_fastmem(),
+                capacity_bytes: 4 << 30,
+                price_per_gib: 6.0,
+            },
+            TierDef {
+                name: "optane".to_string(),
+                spec: TierSpec::optane_dc(),
+                capacity_bytes: 16 << 30,
+                price_per_gib: 2.0,
+            },
+            TierDef {
+                name: "ssd".to_string(),
+                spec: TierSpec {
+                    read_latency_ns: 10_000.0,
+                    bandwidth_bytes_per_ns: 3.2,
+                    write_latency_factor: 0.5,
+                    write_overlap_factor: 1.0,
+                },
+                capacity_bytes: 32 << 30,
+                price_per_gib: 0.1,
+            },
+        ],
+        cache: CacheConfig::paper_llc(),
+    }
+}
+
+/// Names of the built-in hierarchy presets, in sweep order.
+pub const PRESETS: [&str; 2] = ["paper_two_tier", "dram_optane_ssd"];
+
+/// Resolve a built-in hierarchy preset by name.
+pub fn preset(name: &str) -> Option<StackSpec> {
+    match name {
+        "paper_two_tier" => Some(paper_two_tier()),
+        "dram_optane_ssd" => Some(dram_optane_ssd()),
+        _ => None,
+    }
+}
+
+/// A hierarchy spec-file parse or validation error, with the offending
+/// 1-based line (0 for document-level errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number; 0 for document-level errors.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl SpecError {
+    fn at(line: usize, reason: impl Into<String>) -> SpecError {
+        SpecError {
+            line,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "hierarchy spec: {}", self.reason)
+        } else {
+            write!(f, "hierarchy spec line {}: {}", self.line, self.reason)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Errors from [`load_hierarchy`].
+#[derive(Debug)]
+pub enum HierarchyLoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file's contents were not a valid hierarchy.
+    Parse(SpecError),
+}
+
+impl std::fmt::Display for HierarchyLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HierarchyLoadError::Io(e) => write!(f, "cannot read hierarchy file: {e}"),
+            HierarchyLoadError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HierarchyLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HierarchyLoadError::Io(e) => Some(e),
+            HierarchyLoadError::Parse(e) => Some(e),
+        }
+    }
+}
+
+/// Load a hierarchy spec file (resolving a preset name first, so CLI
+/// flags can say `--hierarchy dram_optane_ssd` or point at a file).
+pub fn load_hierarchy(path: &std::path::Path) -> Result<StackSpec, HierarchyLoadError> {
+    let text = std::fs::read_to_string(path).map_err(HierarchyLoadError::Io)?;
+    parse_hierarchy(&text).map_err(HierarchyLoadError::Parse)
+}
+
+// --------------------------------------------------------------- parser --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(u64),
+    Float(f64),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "a string",
+            Value::Int(_) => "an integer",
+            Value::Float(_) => "a float",
+        }
+    }
+}
+
+/// One `[[tier]]` or `[cache]` table: keyed scalars with their lines.
+#[derive(Debug, Default)]
+struct Record {
+    line: usize,
+    fields: Vec<(String, Value, usize)>,
+}
+
+impl Record {
+    fn insert(&mut self, key: String, value: Value, line: usize) -> Result<(), SpecError> {
+        if self.fields.iter().any(|(k, _, _)| *k == key) {
+            return Err(SpecError::at(line, format!("duplicate key `{key}`")));
+        }
+        self.fields.push((key, value, line));
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Option<(&Value, usize)> {
+        self.fields
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, l)| (v, *l))
+    }
+
+    fn str(&self, key: &str) -> Result<Option<(&str, usize)>, SpecError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some((Value::Str(s), l)) => Ok(Some((s, l))),
+            Some((v, l)) => Err(SpecError::at(
+                l,
+                format!("`{key}` must be a string, got {}", v.type_name()),
+            )),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<Option<u64>, SpecError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some((Value::Int(n), _)) => Ok(Some(*n)),
+            Some((v, l)) => Err(SpecError::at(
+                l,
+                format!(
+                    "`{key}` must be a non-negative integer, got {}",
+                    v.type_name()
+                ),
+            )),
+        }
+    }
+
+    fn f64(&self, key: &str) -> Result<Option<f64>, SpecError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some((Value::Float(x), _)) => Ok(Some(*x)),
+            Some((Value::Int(n), _)) => Ok(Some(*n as f64)),
+            Some((v, l)) => Err(SpecError::at(
+                l,
+                format!("`{key}` must be a number, got {}", v.type_name()),
+            )),
+        }
+    }
+
+    fn require_f64(&self, key: &str) -> Result<f64, SpecError> {
+        self.f64(key)?
+            .ok_or_else(|| SpecError::at(self.line, format!("missing required field `{key}`")))
+    }
+
+    fn known_keys(&self, allowed: &[&str]) -> Result<(), SpecError> {
+        for (k, _, l) in &self.fields {
+            if !allowed.contains(&k.as_str()) {
+                return Err(SpecError::at(*l, format!("unknown field `{k}`")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Capacity from exactly one of `capacity_bytes` / `capacity_mib` /
+    /// `capacity_gib`.
+    fn capacity(&self) -> Result<u64, SpecError> {
+        let candidates = [
+            ("capacity_bytes", 1u64),
+            ("capacity_mib", 1 << 20),
+            ("capacity_gib", 1 << 30),
+        ];
+        let mut found: Option<(u64, usize)> = None;
+        for (key, unit) in candidates {
+            if let Some(n) = self.u64(key)? {
+                let line = self.get(key).map(|(_, l)| l).unwrap_or(self.line);
+                if found.is_some() {
+                    return Err(SpecError::at(
+                        line,
+                        "capacity given more than once (use exactly one of \
+                         capacity_bytes, capacity_mib, capacity_gib)",
+                    ));
+                }
+                let bytes = n.checked_mul(unit).ok_or_else(|| {
+                    SpecError::at(line, format!("`{key}` overflows a byte count"))
+                })?;
+                found = Some((bytes, line));
+            }
+        }
+        found.map(|(bytes, _)| bytes).ok_or_else(|| {
+            SpecError::at(
+                self.line,
+                "missing capacity (one of capacity_bytes, capacity_mib, capacity_gib)",
+            )
+        })
+    }
+}
+
+/// Strip a trailing comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar(text: &str, line: usize) -> Result<Value, SpecError> {
+    let t = text.trim();
+    if t.is_empty() {
+        return Err(SpecError::at(line, "missing value"));
+    }
+    if let Some(stripped) = t.strip_prefix('"') {
+        let Some(inner) = stripped.strip_suffix('"') else {
+            return Err(SpecError::at(line, format!("unterminated string {t}")));
+        };
+        if inner.contains('"') {
+            return Err(SpecError::at(line, format!("malformed string {t}")));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    let digits = t.replace('_', "");
+    if let Ok(n) = digits.parse::<u64>() {
+        return Ok(Value::Int(n));
+    }
+    if let Ok(x) = digits.parse::<f64>() {
+        if x.is_finite() {
+            return Ok(Value::Float(x));
+        }
+    }
+    Err(SpecError::at(line, format!("cannot parse value `{t}`")))
+}
+
+#[derive(Debug, Default)]
+struct RawHierarchy {
+    cache: Option<Record>,
+    tiers: Vec<Record>,
+}
+
+enum Section {
+    Top,
+    Cache,
+    Tier,
+}
+
+fn parse_raw(text: &str) -> Result<RawHierarchy, SpecError> {
+    let mut raw = RawHierarchy::default();
+    let mut section = Section::Top;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            match header.trim() {
+                "tier" | "tiers" => {
+                    raw.tiers.push(Record {
+                        line: lineno,
+                        fields: Vec::new(),
+                    });
+                    section = Section::Tier;
+                }
+                other => {
+                    return Err(SpecError::at(
+                        lineno,
+                        format!("unknown array table `[[{other}]]`"),
+                    ))
+                }
+            }
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            match header.trim() {
+                "cache" => {
+                    if raw.cache.is_some() {
+                        return Err(SpecError::at(lineno, "duplicate [cache] section"));
+                    }
+                    raw.cache = Some(Record {
+                        line: lineno,
+                        fields: Vec::new(),
+                    });
+                    section = Section::Cache;
+                }
+                other => {
+                    return Err(SpecError::at(
+                        lineno,
+                        format!("unknown section `[{other}]`"),
+                    ))
+                }
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(SpecError::at(
+                lineno,
+                format!("expected `key = value`, got `{line}`"),
+            ));
+        };
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(SpecError::at(lineno, format!("invalid key `{key}`")));
+        }
+        let value = parse_scalar(value, lineno)?;
+        match section {
+            Section::Top => {
+                return Err(SpecError::at(
+                    lineno,
+                    format!("`{key}` outside any section (expected [[tier]] or [cache])"),
+                ))
+            }
+            Section::Cache => {
+                // raw.cache is Some whenever section is Cache.
+                if let Some(c) = raw.cache.as_mut() {
+                    c.insert(key.to_string(), value, lineno)?;
+                }
+            }
+            Section::Tier => {
+                // raw.tiers is non-empty whenever section is Tier.
+                if let Some(t) = raw.tiers.last_mut() {
+                    t.insert(key.to_string(), value, lineno)?;
+                }
+            }
+        }
+    }
+    Ok(raw)
+}
+
+fn build_cache(record: &Record) -> Result<CacheConfig, SpecError> {
+    record.known_keys(&[
+        "kind",
+        "capacity_bytes",
+        "capacity_mib",
+        "capacity_gib",
+        "line_bytes",
+        "ways",
+        "hit_latency_ns",
+        "bandwidth_bytes_per_ns",
+    ])?;
+    let mut cache = CacheConfig::paper_llc();
+    if let Some((kind, line)) = record.str("kind")? {
+        cache.kind = match kind {
+            "none" => CacheKind::None,
+            "object_lru" => CacheKind::ObjectLru,
+            "set_associative" => CacheKind::SetAssociative,
+            other => {
+                return Err(SpecError::at(
+                    line,
+                    format!(
+                        "unknown cache kind `{other}` \
+                         (expected one of: none, object_lru, set_associative)"
+                    ),
+                ))
+            }
+        };
+    }
+    if record.get("capacity_bytes").is_some()
+        || record.get("capacity_mib").is_some()
+        || record.get("capacity_gib").is_some()
+    {
+        cache.capacity_bytes = record.capacity()?;
+    }
+    if let Some(n) = record.u64("line_bytes")? {
+        cache.line_bytes = n;
+    }
+    if let Some(n) = record.u64("ways")? {
+        cache.ways = hybridmem::num::usize_from_u64(n);
+    }
+    if let Some(x) = record.f64("hit_latency_ns")? {
+        cache.hit_latency_ns = x;
+    }
+    if let Some(x) = record.f64("bandwidth_bytes_per_ns")? {
+        cache.bandwidth_bytes_per_ns = x;
+    }
+    Ok(cache)
+}
+
+/// Parse a hierarchy spec from the TOML subset (`[[tier]]` tables of
+/// scalars plus an optional `[cache]` section). The parsed spec is
+/// validated ([`StackSpec::validate`]) before being returned, with the
+/// validation failure attributed to the offending `[[tier]]` line.
+pub fn parse_hierarchy(text: &str) -> Result<StackSpec, SpecError> {
+    let raw = parse_raw(text)?;
+    if raw.tiers.is_empty() {
+        return Err(SpecError::at(0, "hierarchy has no [[tier]] tables"));
+    }
+    let mut tiers = Vec::with_capacity(raw.tiers.len());
+    let mut lines = Vec::with_capacity(raw.tiers.len());
+    for t in &raw.tiers {
+        t.known_keys(&[
+            "name",
+            "capacity_bytes",
+            "capacity_mib",
+            "capacity_gib",
+            "read_latency_ns",
+            "bandwidth_bytes_per_ns",
+            "write_latency_factor",
+            "write_overlap_factor",
+            "price_per_gib",
+        ])?;
+        let (name, _) = t
+            .str("name")?
+            .ok_or_else(|| SpecError::at(t.line, "missing required field `name`"))?;
+        tiers.push(TierDef {
+            name: name.to_string(),
+            spec: TierSpec {
+                read_latency_ns: t.require_f64("read_latency_ns")?,
+                bandwidth_bytes_per_ns: t.require_f64("bandwidth_bytes_per_ns")?,
+                write_latency_factor: t.f64("write_latency_factor")?.unwrap_or(1.0),
+                write_overlap_factor: t.f64("write_overlap_factor")?.unwrap_or(1.0),
+            },
+            capacity_bytes: t.capacity()?,
+            price_per_gib: t.require_f64("price_per_gib")?,
+        });
+        lines.push(t.line);
+    }
+    let cache = match &raw.cache {
+        Some(record) => build_cache(record)?,
+        None => CacheConfig::paper_llc(),
+    };
+    let spec = StackSpec { tiers, cache };
+    if let Err(reason) = spec.validate() {
+        // Attribute the failure to the tier it names, falling back to
+        // the first tier's line for stack-level problems.
+        let line = spec
+            .tiers
+            .iter()
+            .position(|t| reason.contains(&format!("'{}'", t.name)))
+            .map(|i| lines[i])
+            .unwrap_or(lines[0]);
+        return Err(SpecError::at(line, reason));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridmem::TierId;
+
+    const THREE_TIER: &str = r#"
+# pyramid under test
+[cache]
+kind = "object_lru"
+capacity_mib = 12
+
+[[tier]]
+name = "dram"
+capacity_gib = 4
+read_latency_ns = 65.7
+bandwidth_bytes_per_ns = 14.9
+write_latency_factor = 0.2
+write_overlap_factor = 3.0
+price_per_gib = 6.0
+
+[[tier]]
+name = "optane"
+capacity_gib = 16
+read_latency_ns = 305.0
+bandwidth_bytes_per_ns = 6.6
+write_latency_factor = 0.31
+write_overlap_factor = 0.35
+price_per_gib = 2.0
+
+[[tier]]
+name = "ssd"
+capacity_gib = 32
+read_latency_ns = 10000.0
+bandwidth_bytes_per_ns = 3.2
+write_latency_factor = 0.5
+price_per_gib = 0.1
+"#;
+
+    #[test]
+    fn parses_a_three_tier_spec() {
+        let spec = parse_hierarchy(THREE_TIER).unwrap();
+        assert_eq!(spec.len(), 3);
+        assert_eq!(spec.tier_by_name("optane"), Some(TierId(1)));
+        assert_eq!(spec.tiers[0].capacity_bytes, 4 << 30);
+        assert_eq!(spec.cache.capacity_bytes, 12 << 20);
+        assert_eq!(spec.tiers[2].spec.write_overlap_factor, 1.0);
+        assert!((spec.cost_usd() - (4.0 * 6.0 + 16.0 * 2.0 + 32.0 * 0.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_resolve_and_validate() {
+        for name in PRESETS {
+            let spec = preset(name).unwrap();
+            assert!(spec.validate().is_ok(), "{name}");
+        }
+        assert!(preset("tape_library").is_none());
+        assert_eq!(paper_two_tier().len(), 2);
+        assert_eq!(dram_optane_ssd().len(), 3);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let missing = THREE_TIER.replace("name = \"optane\"\n", "");
+        let err = parse_hierarchy(&missing).unwrap_err();
+        assert_eq!(err.line, 16, "points at the nameless [[tier]]: {err}");
+        assert!(err.reason.contains("missing required field `name`"));
+
+        let bad_value = THREE_TIER.replace(
+            "bandwidth_bytes_per_ns = 6.6",
+            "bandwidth_bytes_per_ns = \"fast\"",
+        );
+        let err = parse_hierarchy(&bad_value).unwrap_err();
+        assert_eq!(err.line, 20, "{err}");
+        assert!(err.reason.contains("must be a number"));
+
+        let unknown = THREE_TIER.replace("price_per_gib = 0.1", "cost = 0.1");
+        let err = parse_hierarchy(&unknown).unwrap_err();
+        assert!(err.reason.contains("unknown field `cost`"));
+        assert_eq!(err.line, 31, "{err}");
+    }
+
+    #[test]
+    fn validation_failures_name_the_tier_line() {
+        let dup = THREE_TIER.replace("name = \"optane\"", "name = \"DRAM\"");
+        let err = parse_hierarchy(&dup).unwrap_err();
+        assert!(err.reason.contains("duplicate tier name"), "{err}");
+        assert_eq!(err.line, 16, "points at the second [[tier]]: {err}");
+    }
+
+    #[test]
+    fn capacity_must_be_given_exactly_once() {
+        let twice = THREE_TIER.replace(
+            "name = \"ssd\"\ncapacity_gib = 32",
+            "name = \"ssd\"\ncapacity_gib = 32\ncapacity_mib = 1",
+        );
+        let err = parse_hierarchy(&twice).unwrap_err();
+        assert!(err.reason.contains("more than once"), "{err}");
+        let none = THREE_TIER.replace("capacity_gib = 32\n", "");
+        let err = parse_hierarchy(&none).unwrap_err();
+        assert!(err.reason.contains("missing capacity"), "{err}");
+    }
+
+    #[test]
+    fn empty_document_is_rejected() {
+        let err = parse_hierarchy("# nothing here\n").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.reason.contains("no [[tier]]"));
+    }
+
+    #[test]
+    fn unknown_cache_kind_is_rejected_with_candidates() {
+        let bad = THREE_TIER.replace("kind = \"object_lru\"", "kind = \"victim\"");
+        let err = parse_hierarchy(&bad).unwrap_err();
+        assert_eq!(err.line, 4, "{err}");
+        assert!(err.reason.contains("unknown cache kind `victim`"));
+        assert!(err.reason.contains("set_associative"));
+    }
+}

@@ -1,0 +1,33 @@
+//! N-tier memory hierarchies with pluggable tiering policies.
+//!
+//! The Mnemo paper evaluates a two-tier DRAM/NVM testbed; this crate
+//! generalizes the reproduction to *N*-tier hierarchies (DRAM + NVM +
+//! SSD-swap, any depth) built on [`hybridmem::TierStack`]:
+//!
+//! * [`hierarchy`] — named presets ([`hierarchy::paper_two_tier`],
+//!   [`hierarchy::dram_optane_ssd`]) and a TOML-subset hierarchy spec
+//!   file format with line-numbered errors;
+//! * [`policy`] — the [`TieringPolicy`] trait (initial placement,
+//!   access observation, epoch re-planning) and its catalog: the
+//!   paper's greedy hotness ranking (bit-identical to the two-tier
+//!   Pattern Engine at N=2), LRU-style recency, write-asymmetry-aware
+//!   mapping, and random/oracle baselines.
+//!
+//! The `kvsim` crate drives these policies against simulated key-value
+//! servers; the `tier_matrix` bench sweeps the full policy × hierarchy
+//! grid.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod policy;
+
+pub use hierarchy::{
+    dram_optane_ssd, load_hierarchy, paper_two_tier, parse_hierarchy, preset, HierarchyLoadError,
+    SpecError, PRESETS,
+};
+pub use policy::{
+    AsymPolicy, GreedyPolicy, KeyStat, LruPolicy, OraclePolicy, PolicyKind, RandomPolicy,
+    TieringPolicy,
+};

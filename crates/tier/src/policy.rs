@@ -1,0 +1,783 @@
+//! Pluggable tiering policies over an N-tier hierarchy.
+//!
+//! A [`TieringPolicy`] decides where keys live in a [`StackSpec`]: an
+//! initial placement before the run ([`TieringPolicy::place`]), an
+//! access-stream observer ([`TieringPolicy::on_access`]) and an epoch
+//! re-planning hook ([`TieringPolicy::on_epoch`]) whose desired
+//! assignments the server turns into charged migrations.
+//!
+//! The catalog:
+//!
+//! * [`GreedyPolicy`] — the paper's hotness ranking (`accesses / size`,
+//!   §V-B), float-op-identical to the two-tier Pattern Engine so the
+//!   legacy golden figures stay byte-stable at N=2;
+//! * [`LruPolicy`] — recency ranking: each epoch refills the stack with
+//!   the most recently touched keys on top;
+//! * [`AsymPolicy`] — write-asymmetry-aware mapping in the spirit of
+//!   Song et al.: write-hot keys fill the write-cheapest tiers first,
+//!   read-hot keys fill the read-cheapest;
+//! * [`RandomPolicy`] — seeded capacity-weighted random placement (the
+//!   "no intelligence" floor);
+//! * [`OraclePolicy`] — placement from pre-loaded *future* per-epoch
+//!   stats (the clairvoyant ceiling).
+//!
+//! All policies are deterministic: orderings break ties by key id and
+//! randomness is a pure function of the seed and key.
+
+use hybridmem::stack::StackSpec;
+use hybridmem::{AccessKind, DetHashMap, TierId};
+
+/// Per-key workload statistics a policy plans from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyStat {
+    /// Key id.
+    pub key: u64,
+    /// Logical value size in bytes.
+    pub bytes: u64,
+    /// Read count in the window described by this stat.
+    pub reads: u64,
+    /// Write count in the window described by this stat.
+    pub writes: u64,
+}
+
+impl KeyStat {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// A tier-placement policy.
+///
+/// `place` and `on_epoch` return one assignment per entry of `stats`, in
+/// the same order. Policies must respect tier capacities against the
+/// *logical* byte sizes in `stats` (engines add allocator headers on
+/// top, so capacity planning leaves that headroom to the caller).
+pub trait TieringPolicy: Send {
+    /// Stable policy name (CSV column, CLI flag value).
+    fn name(&self) -> &'static str;
+
+    /// Initial placement for the whole dataset, before the run starts.
+    fn place(&mut self, stats: &[KeyStat], hier: &StackSpec) -> Vec<TierId>;
+
+    /// Observe one request of the running trace. `seq` is the 0-based
+    /// request index — the policy's only clock.
+    fn on_access(&mut self, key: u64, kind: AccessKind, seq: u64) {
+        let _ = (key, kind, seq);
+    }
+
+    /// Re-plan at an epoch boundary: desired `(key, tier)` assignments.
+    /// The server diffs them against current placements and charges a
+    /// migration for every difference. `stats` describes the epoch that
+    /// just ended. The default keeps the current placement.
+    fn on_epoch(&mut self, stats: &[KeyStat], hier: &StackSpec) -> Vec<(u64, TierId)> {
+        let _ = (stats, hier);
+        Vec::new()
+    }
+}
+
+/// Build a [`TierId`] from a stack index (stacks are bounded well below
+/// `u8::MAX` tiers).
+fn tier_id(index: usize) -> TierId {
+    TierId(u8::try_from(index).unwrap_or(u8::MAX))
+}
+
+/// Fill tiers in `tier_order` with keys in `key_order` (indices into
+/// `stats`), skip-but-continue per tier exactly like the two-tier
+/// Pattern Engine's `fill_capacity`: a key that no longer fits is
+/// skipped, later smaller keys may still be packed. Keys left over after
+/// every listed tier go to the tier with the most remaining free bytes
+/// (ties to the topmost), matching the legacy "everything else lands in
+/// SlowMem" behaviour whenever the last tier has room.
+fn fill(
+    stats: &[KeyStat],
+    key_order: &[usize],
+    tier_order: &[usize],
+    free: &mut [u64],
+    out: &mut [Option<TierId>],
+) {
+    for &ti in tier_order {
+        for &ki in key_order {
+            if out[ki].is_some() {
+                continue;
+            }
+            let bytes = stats[ki].bytes;
+            if bytes <= free[ti] {
+                free[ti] -= bytes;
+                out[ki] = Some(tier_id(ti));
+            }
+        }
+    }
+    for &ki in key_order {
+        if out[ki].is_none() {
+            let mut best = 0usize;
+            for (ti, &f) in free.iter().enumerate() {
+                if f > free[best] {
+                    best = ti;
+                }
+            }
+            free[best] = free[best].saturating_sub(stats[ki].bytes);
+            out[ki] = Some(tier_id(best));
+        }
+    }
+}
+
+/// Unwrap a fully-filled assignment vector.
+fn assignments(out: Vec<Option<TierId>>) -> Vec<TierId> {
+    // `fill` assigns every key (the fallback arm is total).
+    out.into_iter().flatten().collect()
+}
+
+/// Key indices ordered by the paper's placement weight — `accesses /
+/// size`, descending, ties by key id — with the exact float operations
+/// of the two-tier Pattern Engine (`MnemoT::weight_order`).
+fn weight_order(stats: &[KeyStat]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..stats.len()).collect();
+    order.sort_by(|&a, &b| {
+        let sa = &stats[a];
+        let sb = &stats[b];
+        let wa = sa.accesses() as f64 / sa.bytes.max(1) as f64;
+        let wb = sb.accesses() as f64 / sb.bytes.max(1) as f64;
+        wb.total_cmp(&wa).then(sa.key.cmp(&sb.key))
+    });
+    order
+}
+
+/// Greedy fill in `key_order` through the stack top-down.
+fn fill_stack_order(stats: &[KeyStat], key_order: &[usize], hier: &StackSpec) -> Vec<TierId> {
+    let mut free: Vec<u64> = hier.tiers.iter().map(|t| t.capacity_bytes).collect();
+    let tier_order: Vec<usize> = (0..hier.len()).collect();
+    let mut out = vec![None; stats.len()];
+    fill(stats, key_order, &tier_order, &mut free, &mut out);
+    assignments(out)
+}
+
+// --------------------------------------------------------------- greedy --
+
+/// The paper's hotness-ranking policy generalized to N tiers: keys in
+/// placement-weight order fill the stack top-down, skip-but-continue
+/// per tier. At N=2 this reproduces `MnemoT::fill_capacity` exactly.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyPolicy;
+
+impl TieringPolicy for GreedyPolicy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn place(&mut self, stats: &[KeyStat], hier: &StackSpec) -> Vec<TierId> {
+        fill_stack_order(stats, &weight_order(stats), hier)
+    }
+
+    fn on_epoch(&mut self, stats: &[KeyStat], hier: &StackSpec) -> Vec<(u64, TierId)> {
+        let tiers = self.place(stats, hier);
+        stats.iter().map(|s| s.key).zip(tiers).collect()
+    }
+}
+
+// ----------------------------------------------------------------- lru --
+
+/// Recency policy: the initial placement is a key-id-order fill (no
+/// history yet); each epoch refills the stack with the most recently
+/// accessed keys on top. Ties (equal recency, including never-accessed)
+/// break by key id.
+#[derive(Debug, Clone, Default)]
+pub struct LruPolicy {
+    /// key -> sequence number of its most recent access + 1 (0 = never).
+    last_access: DetHashMap<u64, u64>,
+}
+
+impl TieringPolicy for LruPolicy {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn place(&mut self, stats: &[KeyStat], hier: &StackSpec) -> Vec<TierId> {
+        let order: Vec<usize> = (0..stats.len()).collect();
+        fill_stack_order(stats, &order, hier)
+    }
+
+    fn on_access(&mut self, key: u64, _kind: AccessKind, seq: u64) {
+        self.last_access.insert(key, seq + 1);
+    }
+
+    fn on_epoch(&mut self, stats: &[KeyStat], hier: &StackSpec) -> Vec<(u64, TierId)> {
+        let mut order: Vec<usize> = (0..stats.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = self.last_access.get(&stats[a].key).copied().unwrap_or(0);
+            let rb = self.last_access.get(&stats[b].key).copied().unwrap_or(0);
+            rb.cmp(&ra).then(stats[a].key.cmp(&stats[b].key))
+        });
+        let tiers = fill_stack_order(stats, &order, hier);
+        stats.iter().map(|s| s.key).zip(tiers).collect()
+    }
+}
+
+// ---------------------------------------------------------------- asym --
+
+/// Reference transfer size for per-byte tier cost ranking: large enough
+/// that bandwidth matters, small enough that latency still shows.
+const ASYM_REF_BYTES: u64 = 4096;
+
+/// Write-asymmetry-aware policy (after Song et al.'s asymmetry-aware
+/// placement): write-hot keys (more writes than reads) are packed into
+/// the tiers with the cheapest per-byte *writes* first, so NVM-style
+/// devices with expensive writes hold read-mostly data; the remaining
+/// keys fill the cheapest-*read* tiers. Within each pass keys are
+/// ordered by the dominant-direction weight (`writes/size` resp.
+/// `reads/size`).
+#[derive(Debug, Clone, Default)]
+pub struct AsymPolicy;
+
+impl AsymPolicy {
+    fn tier_order_by_cost(hier: &StackSpec, kind: AccessKind) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..hier.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ca = hier.tiers[a].spec.access_ns(kind, ASYM_REF_BYTES);
+            let cb = hier.tiers[b].spec.access_ns(kind, ASYM_REF_BYTES);
+            ca.total_cmp(&cb).then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+impl TieringPolicy for AsymPolicy {
+    fn name(&self) -> &'static str {
+        "asym"
+    }
+
+    fn place(&mut self, stats: &[KeyStat], hier: &StackSpec) -> Vec<TierId> {
+        let mut free: Vec<u64> = hier.tiers.iter().map(|t| t.capacity_bytes).collect();
+        let mut out = vec![None; stats.len()];
+
+        let mut write_hot: Vec<usize> = (0..stats.len())
+            .filter(|&i| stats[i].writes > stats[i].reads)
+            .collect();
+        write_hot.sort_by(|&a, &b| {
+            let wa = stats[a].writes as f64 / stats[a].bytes.max(1) as f64;
+            let wb = stats[b].writes as f64 / stats[b].bytes.max(1) as f64;
+            wb.total_cmp(&wa).then(stats[a].key.cmp(&stats[b].key))
+        });
+        fill(
+            stats,
+            &write_hot,
+            &Self::tier_order_by_cost(hier, AccessKind::Write),
+            &mut free,
+            &mut out,
+        );
+
+        let mut read_rest: Vec<usize> = (0..stats.len())
+            .filter(|&i| stats[i].writes <= stats[i].reads)
+            .collect();
+        read_rest.sort_by(|&a, &b| {
+            let wa = stats[a].reads as f64 / stats[a].bytes.max(1) as f64;
+            let wb = stats[b].reads as f64 / stats[b].bytes.max(1) as f64;
+            wb.total_cmp(&wa).then(stats[a].key.cmp(&stats[b].key))
+        });
+        fill(
+            stats,
+            &read_rest,
+            &Self::tier_order_by_cost(hier, AccessKind::Read),
+            &mut free,
+            &mut out,
+        );
+        assignments(out)
+    }
+
+    fn on_epoch(&mut self, stats: &[KeyStat], hier: &StackSpec) -> Vec<(u64, TierId)> {
+        let tiers = self.place(stats, hier);
+        stats.iter().map(|s| s.key).zip(tiers).collect()
+    }
+}
+
+// -------------------------------------------------------------- random --
+
+/// SplitMix64 — a tiny, well-mixed pure hash (Vigna's reference
+/// constants), used so random placement is a function of `(seed, key)`
+/// alone and therefore byte-stable under any worker count.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Capacity-weighted random placement: each key draws a tier with
+/// probability proportional to tier capacity; if the drawn tier is full
+/// the walk continues down the stack cyclically. The "no intelligence"
+/// baseline every real policy must beat.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    seed: u64,
+}
+
+impl RandomPolicy {
+    /// Build with a placement seed.
+    pub fn new(seed: u64) -> RandomPolicy {
+        RandomPolicy { seed }
+    }
+}
+
+impl TieringPolicy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn place(&mut self, stats: &[KeyStat], hier: &StackSpec) -> Vec<TierId> {
+        let mut free: Vec<u64> = hier.tiers.iter().map(|t| t.capacity_bytes).collect();
+        let total: u128 = hier
+            .tiers
+            .iter()
+            .map(|t| u128::from(t.capacity_bytes))
+            .sum();
+        let mut out = Vec::with_capacity(stats.len());
+        for s in stats {
+            let draw = u128::from(splitmix64(self.seed ^ s.key)) % total.max(1);
+            let mut chosen = hier.len() - 1;
+            let mut cumulative = 0u128;
+            for (ti, t) in hier.tiers.iter().enumerate() {
+                cumulative += u128::from(t.capacity_bytes);
+                if draw < cumulative {
+                    chosen = ti;
+                    break;
+                }
+            }
+            // Walk from the drawn tier until the key fits; fall back to
+            // the drawn tier if the whole stack is full.
+            let mut placed = chosen;
+            for step in 0..hier.len() {
+                let ti = (chosen + step) % hier.len();
+                if stats_fit(s.bytes, free[ti]) {
+                    placed = ti;
+                    break;
+                }
+            }
+            free[placed] = free[placed].saturating_sub(s.bytes);
+            out.push(tier_id(placed));
+        }
+        out
+    }
+}
+
+fn stats_fit(bytes: u64, free: u64) -> bool {
+    bytes <= free
+}
+
+// -------------------------------------------------------------- oracle --
+
+/// Clairvoyant policy: placements come from pre-loaded *future* window
+/// stats (the stats of the epoch about to run, not the one that just
+/// ended), greedily filled like [`GreedyPolicy`]. With a single window
+/// covering the whole trace it coincides with greedy; with per-epoch
+/// windows it is the ceiling online policies are measured against.
+#[derive(Debug, Clone)]
+pub struct OraclePolicy {
+    windows: Vec<Vec<KeyStat>>,
+    next: usize,
+}
+
+impl OraclePolicy {
+    /// Build from future per-epoch stats windows, in epoch order. The
+    /// first window informs the initial placement.
+    pub fn new(windows: Vec<Vec<KeyStat>>) -> OraclePolicy {
+        OraclePolicy { windows, next: 0 }
+    }
+
+    /// Greedy assignment from a window, mapped back onto `stats` order.
+    fn assign(&self, window: &[KeyStat], stats: &[KeyStat], hier: &StackSpec) -> Vec<TierId> {
+        // Future knowledge for keys present in the window; keys the
+        // window never touches keep weight 0 (cold).
+        let mut merged: Vec<KeyStat> = stats
+            .iter()
+            .map(|s| KeyStat {
+                reads: 0,
+                writes: 0,
+                ..*s
+            })
+            .collect();
+        let index: DetHashMap<u64, usize> =
+            stats.iter().enumerate().map(|(i, s)| (s.key, i)).collect();
+        for w in window {
+            if let Some(&i) = index.get(&w.key) {
+                merged[i].reads = w.reads;
+                merged[i].writes = w.writes;
+            }
+        }
+        fill_stack_order(&merged, &weight_order(&merged), hier)
+    }
+}
+
+impl TieringPolicy for OraclePolicy {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn place(&mut self, stats: &[KeyStat], hier: &StackSpec) -> Vec<TierId> {
+        match self.windows.first() {
+            Some(window) => {
+                let out = self.assign(window, stats, hier);
+                self.next = 1;
+                out
+            }
+            None => fill_stack_order(stats, &weight_order(stats), hier),
+        }
+    }
+
+    fn on_epoch(&mut self, stats: &[KeyStat], hier: &StackSpec) -> Vec<(u64, TierId)> {
+        let Some(window) = self.windows.get(self.next) else {
+            return Vec::new();
+        };
+        let tiers = self.assign(window, stats, hier);
+        self.next += 1;
+        stats.iter().map(|s| s.key).zip(tiers).collect()
+    }
+}
+
+// ------------------------------------------------------------ registry --
+
+/// The policy catalog, for CLI flags and bench sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`GreedyPolicy`].
+    Greedy,
+    /// [`LruPolicy`].
+    Lru,
+    /// [`AsymPolicy`].
+    Asym,
+    /// [`RandomPolicy`].
+    Random,
+    /// [`OraclePolicy`].
+    Oracle,
+}
+
+impl PolicyKind {
+    /// Every policy, in sweep (and CSV column) order.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::Greedy,
+        PolicyKind::Lru,
+        PolicyKind::Asym,
+        PolicyKind::Random,
+        PolicyKind::Oracle,
+    ];
+
+    /// Stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Greedy => "greedy",
+            PolicyKind::Lru => "lru",
+            PolicyKind::Asym => "asym",
+            PolicyKind::Random => "random",
+            PolicyKind::Oracle => "oracle",
+        }
+    }
+
+    /// Resolve by name.
+    pub fn by_name(name: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Instantiate. `seed` feeds [`RandomPolicy`]; `windows` pre-loads
+    /// [`OraclePolicy`] with future per-epoch stats (an empty slice
+    /// degrades the oracle to greedy).
+    pub fn build(self, seed: u64, windows: &[Vec<KeyStat>]) -> Box<dyn TieringPolicy> {
+        match self {
+            PolicyKind::Greedy => Box::new(GreedyPolicy),
+            PolicyKind::Lru => Box::new(LruPolicy::default()),
+            PolicyKind::Asym => Box::new(AsymPolicy),
+            PolicyKind::Random => Box::new(RandomPolicy::new(seed)),
+            PolicyKind::Oracle => Box::new(OraclePolicy::new(windows.to_vec())),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{dram_optane_ssd, paper_two_tier};
+    use hybridmem::stack::TierDef;
+    use hybridmem::TierSpec;
+
+    fn stats(n: u64) -> Vec<KeyStat> {
+        (0..n)
+            .map(|key| KeyStat {
+                key,
+                bytes: 256 + (key * 131) % 4096,
+                reads: (key * 7) % 50,
+                writes: (key * 3) % 20,
+            })
+            .collect()
+    }
+
+    fn occupancy(stats: &[KeyStat], tiers: &[TierId], hier: &StackSpec) -> Vec<u64> {
+        let mut used = vec![0u64; hier.len()];
+        for (s, t) in stats.iter().zip(tiers) {
+            used[t.index()] += s.bytes;
+        }
+        used
+    }
+
+    /// A tight hierarchy (tiers smaller than the dataset) forcing real
+    /// placement decisions; the last tier absorbs the remainder.
+    fn tight_three_tier(total_bytes: u64) -> StackSpec {
+        let mut spec = dram_optane_ssd();
+        spec.tiers[0].capacity_bytes = total_bytes / 4;
+        spec.tiers[1].capacity_bytes = total_bytes / 3;
+        spec.tiers[2].capacity_bytes = total_bytes + 4096;
+        spec
+    }
+
+    #[test]
+    fn greedy_matches_two_tier_pattern_engine_semantics() {
+        // Crafted stats mirroring `weight_order_on_crafted_trace` in the
+        // core crate: the expected order is 1, 2, 0, 3.
+        let stats = vec![
+            KeyStat {
+                key: 0,
+                bytes: 1000,
+                reads: 2,
+                writes: 0,
+            },
+            KeyStat {
+                key: 1,
+                bytes: 100,
+                reads: 2,
+                writes: 0,
+            },
+            KeyStat {
+                key: 2,
+                bytes: 100,
+                reads: 1,
+                writes: 0,
+            },
+            KeyStat {
+                key: 3,
+                bytes: 100,
+                reads: 0,
+                writes: 0,
+            },
+        ];
+        assert_eq!(weight_order(&stats), vec![1, 2, 0, 3]);
+        // FastMem of 200 bytes takes keys 1 and 2; the rest go below.
+        let mut hier = paper_two_tier();
+        hier.tiers[0].capacity_bytes = 200;
+        let placed = GreedyPolicy.place(&stats, &hier);
+        assert_eq!(
+            placed,
+            vec![TierId::SLOW, TierId::FAST, TierId::FAST, TierId::SLOW]
+        );
+    }
+
+    #[test]
+    fn greedy_skip_but_continue_packs_later_smaller_keys() {
+        let stats = vec![
+            KeyStat {
+                key: 0,
+                bytes: 300,
+                reads: 90,
+                writes: 0,
+            },
+            KeyStat {
+                key: 1,
+                bytes: 300,
+                reads: 60,
+                writes: 0,
+            },
+            KeyStat {
+                key: 2,
+                bytes: 100,
+                reads: 10,
+                writes: 0,
+            },
+        ];
+        let mut hier = paper_two_tier();
+        hier.tiers[0].capacity_bytes = 400;
+        // Key 1 (weight 0.2) does not fit after key 0 (300 bytes used),
+        // but key 2 (weight 0.1, 100 bytes) still does.
+        let placed = GreedyPolicy.place(&stats, &hier);
+        assert_eq!(placed, vec![TierId::FAST, TierId::SLOW, TierId::FAST]);
+    }
+
+    #[test]
+    fn every_policy_respects_capacity_on_a_tight_hierarchy() {
+        let stats = stats(400);
+        let total: u64 = stats.iter().map(|s| s.bytes).sum();
+        let hier = tight_three_tier(total);
+        for kind in PolicyKind::ALL {
+            let mut policy = kind.build(11, &[]);
+            let placed = policy.place(&stats, &hier);
+            assert_eq!(placed.len(), stats.len(), "{kind}");
+            let used = occupancy(&stats, &placed, &hier);
+            for (ti, (&u, t)) in used.iter().zip(&hier.tiers).enumerate() {
+                assert!(
+                    u <= t.capacity_bytes,
+                    "{kind}: tier {ti} holds {u} of {}",
+                    t.capacity_bytes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asym_pins_write_hot_keys_to_the_write_cheap_tier() {
+        // Two tiers: "wcheap" has slow reads but overlapped cheap
+        // writes; "rcheap" is a fast reader with terribly slow writes.
+        let hier = StackSpec {
+            tiers: vec![
+                TierDef {
+                    name: "rcheap".to_string(),
+                    spec: TierSpec {
+                        read_latency_ns: 50.0,
+                        bandwidth_bytes_per_ns: 15.0,
+                        write_latency_factor: 8.0,
+                        write_overlap_factor: 0.05,
+                    },
+                    capacity_bytes: 1 << 20,
+                    price_per_gib: 6.0,
+                },
+                TierDef {
+                    name: "wcheap".to_string(),
+                    spec: TierSpec {
+                        read_latency_ns: 400.0,
+                        bandwidth_bytes_per_ns: 2.0,
+                        write_latency_factor: 0.1,
+                        write_overlap_factor: 4.0,
+                    },
+                    capacity_bytes: 1 << 20,
+                    price_per_gib: 1.0,
+                },
+            ],
+            cache: hybridmem::CacheConfig::disabled(),
+        };
+        let stats = vec![
+            KeyStat {
+                key: 0,
+                bytes: 1000,
+                reads: 90,
+                writes: 1,
+            },
+            KeyStat {
+                key: 1,
+                bytes: 1000,
+                reads: 1,
+                writes: 90,
+            },
+        ];
+        let placed = AsymPolicy.place(&stats, &hier);
+        assert_eq!(placed[0], TierId(0), "read-hot key on the read-cheap tier");
+        assert_eq!(
+            placed[1],
+            TierId(1),
+            "write-hot key on the write-cheap tier"
+        );
+    }
+
+    #[test]
+    fn lru_promotes_recently_touched_keys_at_epochs() {
+        // Uniform sizes so the fill order alone decides the top tier.
+        let stats: Vec<KeyStat> = (0..50)
+            .map(|key| KeyStat {
+                key,
+                bytes: 1000,
+                reads: 0,
+                writes: 0,
+            })
+            .collect();
+        let mut hier = dram_optane_ssd();
+        hier.tiers[0].capacity_bytes = 5_000; // exactly five keys
+        hier.tiers[1].capacity_bytes = 10_000;
+        hier.tiers[2].capacity_bytes = 60_000;
+        let mut lru = LruPolicy::default();
+        lru.place(&stats, &hier);
+        // Touch keys 40..50 in order: 49 is the most recent.
+        for (seq, key) in (40..50).enumerate() {
+            lru.on_access(key, AccessKind::Read, seq as u64);
+        }
+        let assign = lru.on_epoch(&stats, &hier);
+        let mut top: Vec<u64> = assign
+            .iter()
+            .filter(|(_, t)| *t == TierId(0))
+            .map(|(k, _)| *k)
+            .collect();
+        top.sort_unstable();
+        assert_eq!(top, vec![45, 46, 47, 48, 49]);
+    }
+
+    #[test]
+    fn random_is_seed_stable_and_seed_sensitive() {
+        let stats = stats(200);
+        let hier = dram_optane_ssd();
+        let a = RandomPolicy::new(7).place(&stats, &hier);
+        let b = RandomPolicy::new(7).place(&stats, &hier);
+        let c = RandomPolicy::new(8).place(&stats, &hier);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Capacity weighting: the big bottom tier receives the most keys.
+        let counts = occupancy(&stats, &a, &hier);
+        assert!(counts[2] > counts[0]);
+    }
+
+    #[test]
+    fn oracle_with_whole_trace_window_equals_greedy() {
+        let stats = stats(120);
+        let total: u64 = stats.iter().map(|s| s.bytes).sum();
+        let hier = tight_three_tier(total);
+        let greedy = GreedyPolicy.place(&stats, &hier);
+        let oracle = OraclePolicy::new(vec![stats.clone()]).place(&stats, &hier);
+        assert_eq!(greedy, oracle);
+    }
+
+    #[test]
+    fn oracle_follows_future_windows() {
+        let stats = vec![
+            KeyStat {
+                key: 0,
+                bytes: 100,
+                reads: 0,
+                writes: 0,
+            },
+            KeyStat {
+                key: 1,
+                bytes: 100,
+                reads: 0,
+                writes: 0,
+            },
+        ];
+        let mut hier = paper_two_tier();
+        hier.tiers[0].capacity_bytes = 100;
+        // Epoch 0 is hot on key 0; epoch 1 flips to key 1.
+        let w0 = vec![KeyStat {
+            key: 0,
+            bytes: 100,
+            reads: 10,
+            writes: 0,
+        }];
+        let w1 = vec![KeyStat {
+            key: 1,
+            bytes: 100,
+            reads: 10,
+            writes: 0,
+        }];
+        let mut oracle = OraclePolicy::new(vec![w0, w1]);
+        let first = oracle.place(&stats, &hier);
+        assert_eq!(first, vec![TierId::FAST, TierId::SLOW]);
+        let second = oracle.on_epoch(&stats, &hier);
+        assert_eq!(second, vec![(0, TierId::SLOW), (1, TierId::FAST)]);
+        // Windows exhausted: no further moves.
+        assert!(oracle.on_epoch(&stats, &hier).is_empty());
+    }
+
+    #[test]
+    fn registry_round_trips() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::by_name(kind.name()), Some(kind));
+            assert_eq!(kind.build(0, &[]).name(), kind.name());
+        }
+        assert_eq!(PolicyKind::by_name("clairvoyant"), None);
+    }
+}

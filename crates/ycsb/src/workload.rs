@@ -235,6 +235,81 @@ impl WorkloadSpec {
         }
     }
 
+    /// *Scan Analytics*: uniform scan starts, 90% range scans over text
+    /// posts — an analytics sideline sweeping a cache with full-range
+    /// scans. The low point-skew makes per-key hotness nearly flat, so
+    /// N-tier placement gains come from value sizes rather than
+    /// popularity; a stress preset for tiering policies.
+    pub fn scan_analytics() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "scan analytics".into(),
+            distribution: DistKind::Uniform,
+            ops: OpMix {
+                read: 0.1,
+                update: 0.0,
+                scan: 0.9,
+                rmw: 0.0,
+                max_scan_len: 100,
+            },
+            sizes: SizeModel::Single(SizeClass::TextPost),
+            keys: DEFAULT_KEYS,
+            requests: DEFAULT_REQUESTS,
+            use_case: "Analytics job range-scanning a post cache".into(),
+        }
+    }
+
+    /// *TTL Churn*: latest distribution with a fast-sliding head and a
+    /// heavy update share — a cache whose entries expire on TTL and are
+    /// re-written on the next miss, so the hot set continuously rolls
+    /// over the key space. Static placement decays here the same way it
+    /// does for News Feed, only faster; epoch re-planning policies are
+    /// the ones that keep up.
+    pub fn ttl_churn() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "ttl churn".into(),
+            distribution: DistKind::Latest {
+                theta: 0.9,
+                churn_period: (DEFAULT_REQUESTS as u64 / DEFAULT_KEYS).max(1),
+            },
+            ops: OpMix::read_update(0.7),
+            sizes: SizeModel::Single(SizeClass::Caption),
+            keys: DEFAULT_KEYS,
+            requests: DEFAULT_REQUESTS,
+            use_case: "TTL-expiring cache: expired entries rewritten on miss".into(),
+        }
+    }
+
+    /// *Flash Crowd*: a static "latest" spike — the newest few items
+    /// take nearly all traffic (a news story going viral), read-mostly,
+    /// thumbnail-sized. The working set is tiny and stable, so even a
+    /// sliver of top-tier capacity captures almost the whole load.
+    pub fn flash_crowd() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "flash crowd".into(),
+            distribution: DistKind::Latest {
+                theta: 0.99,
+                churn_period: 0,
+            },
+            ops: OpMix::read_update(0.98),
+            sizes: SizeModel::Single(SizeClass::Thumbnail),
+            keys: DEFAULT_KEYS,
+            requests: DEFAULT_REQUESTS,
+            use_case: "Viral story: flash crowd on the newest items".into(),
+        }
+    }
+
+    /// The tiering scenario suite: the paper's trending baseline plus
+    /// the three N-tier stress presets (used by the `tier_matrix`
+    /// bench).
+    pub fn tier_suite() -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec::trending(),
+            WorkloadSpec::scan_analytics(),
+            WorkloadSpec::ttl_churn(),
+            WorkloadSpec::flash_crowd(),
+        ]
+    }
+
     /// The six YCSB core workloads (A-F).
     pub fn ycsb_core_suite() -> Vec<WorkloadSpec> {
         vec![
@@ -255,6 +330,7 @@ impl WorkloadSpec {
             .into_iter()
             .chain(WorkloadSpec::ycsb_core_suite())
             .chain(std::iter::once(WorkloadSpec::facebook_etc()))
+            .chain(WorkloadSpec::tier_suite().into_iter().skip(1))
             .find(|w| w.name.replace('-', " ") == needle)
     }
 
@@ -356,7 +432,44 @@ mod tests {
         assert!(WorkloadSpec::by_name("Trending").is_some());
         assert!(WorkloadSpec::by_name("news_feed").is_some());
         assert!(WorkloadSpec::by_name("edit-thumbnail").is_some());
+        assert!(WorkloadSpec::by_name("scan-analytics").is_some());
+        assert!(WorkloadSpec::by_name("TTL_churn").is_some());
+        assert!(WorkloadSpec::by_name("flash crowd").is_some());
         assert!(WorkloadSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn tier_suite_presets_generate_and_differ_in_shape() {
+        // Scan analytics: scans expand, so primitive requests exceed ops.
+        let scan = WorkloadSpec::scan_analytics().scaled(200, 2_000);
+        let t = scan.generate(3);
+        assert!(t.len() > 2_000, "scans must expand: {}", t.len());
+        // TTL churn keeps its head sliding over the whole key space.
+        let churn = WorkloadSpec::ttl_churn().scaled(500, 5_000);
+        assert!(matches!(
+            churn.distribution,
+            DistKind::Latest {
+                churn_period: 10,
+                ..
+            }
+        ));
+        assert!((churn.read_fraction() - 0.7).abs() < 1e-12);
+        // Flash crowd: the static head concentrates traffic on the
+        // newest tenth of the key space, far more than the churning
+        // TTL preset which rolls its head across all keys.
+        let fc = WorkloadSpec::flash_crowd()
+            .scaled(1_000, 50_000)
+            .generate(5);
+        let fc_curve = fc.hot_mass_curve();
+        assert!(fc_curve[99] > 0.65, "hot mass at 10%: {}", fc_curve[99]);
+        let tc = WorkloadSpec::ttl_churn().scaled(1_000, 50_000).generate(5);
+        let tc_curve = tc.hot_mass_curve();
+        assert!(
+            fc_curve[99] > tc_curve[99] + 0.2,
+            "flash {} vs churn {}",
+            fc_curve[99],
+            tc_curve[99]
+        );
     }
 
     #[test]

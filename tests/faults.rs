@@ -34,13 +34,13 @@ fn trace() -> Trace {
 fn stormy_plan() -> FaultPlan {
     FaultPlan::new(99)
         .with(FaultEvent::LatencySpike {
-            tier: hybridmem::MemTier::Slow,
+            tier: hybridmem::MemTier::Slow.id(),
             start_ns: 0,
             end_ns: u128::MAX,
             factor: 24.0,
         })
         .with(FaultEvent::BandwidthThrottle {
-            tier: hybridmem::MemTier::Slow,
+            tier: hybridmem::MemTier::Slow.id(),
             start_ns: 0,
             end_ns: u128::MAX,
             factor: 1.0 / 12.0,
@@ -144,25 +144,25 @@ fn advisor_under_faults_always_answers_compliant_or_tagged() {
     // throughput — the regime where plain `recommend` would give up.
     let plan = FaultPlan::new(3)
         .with(FaultEvent::LatencySpike {
-            tier: hybridmem::MemTier::Fast,
+            tier: hybridmem::MemTier::Fast.id(),
             start_ns: 0,
             end_ns: u128::MAX,
             factor: 50.0,
         })
         .with(FaultEvent::LatencySpike {
-            tier: hybridmem::MemTier::Slow,
+            tier: hybridmem::MemTier::Slow.id(),
             start_ns: 0,
             end_ns: u128::MAX,
             factor: 50.0,
         })
         .with(FaultEvent::BandwidthThrottle {
-            tier: hybridmem::MemTier::Fast,
+            tier: hybridmem::MemTier::Fast.id(),
             start_ns: 0,
             end_ns: u128::MAX,
             factor: 0.02,
         })
         .with(FaultEvent::BandwidthThrottle {
-            tier: hybridmem::MemTier::Slow,
+            tier: hybridmem::MemTier::Slow.id(),
             start_ns: 0,
             end_ns: u128::MAX,
             factor: 0.02,

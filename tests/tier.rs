@@ -1,0 +1,265 @@
+//! N-tier integration tests: the `mnemo-tier` policy/hierarchy layer
+//! against the legacy two-tier pipeline and the `tier_matrix` bench.
+//!
+//! The heart of the suite is the bit-identity guarantee: at N=2 with
+//! the paper's hierarchy and the greedy policy, a [`TieredServer`] run
+//! must be **byte-identical** to the legacy [`Server`] with the Pattern
+//! Engine's `fill_capacity` FastSet — on the same inputs the paper
+//! figures (fig1's trending replay, fig5's Table III suite over the
+//! Table I testbed) are generated from. This is what lets the N-tier
+//! subsystem ship without regenerating a single golden artifact.
+
+use hybridmem::clock::NoiseConfig;
+use hybridmem::stack::StackSpec;
+use hybridmem::{HybridSpec, TierId};
+use kvsim::tiered::{trace_stats, trace_windows, TieredServer};
+use kvsim::{Placement, Server, StoreKind};
+use mnemo::pattern::PatternEngine;
+use mnemo::tiering::MnemoT;
+use mnemo_tier::{GreedyPolicy, KeyStat, PolicyKind, TieringPolicy};
+use proptest::prelude::*;
+use std::sync::Mutex;
+use ycsb::{Trace, WorkloadSpec};
+
+/// Serialises tests that touch the process-global worker-count override.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// The paper testbed with FastMem shrunk so placement is a real
+/// decision on a test-sized trace. Placement is planned against the
+/// returned budget while the device keeps slack for the per-value
+/// store header, so neither server ever overflows FastMem (the legacy
+/// path cannot spill). Capacity never enters the charge math, so the
+/// slack cannot perturb bit-identity.
+fn tight_testbed(trace: &Trace) -> (HybridSpec, u64) {
+    let plan_cap = (trace.dataset_bytes() / 4).max(1);
+    let mut spec = HybridSpec::paper_testbed();
+    spec.fast_capacity = plan_cap + 64 * (trace.sizes.len() as u64 + 1);
+    spec.cache.capacity_bytes = spec
+        .cache
+        .capacity_bytes
+        .min((trace.dataset_bytes() / 85).max(1 << 16));
+    (spec, plan_cap)
+}
+
+/// Greedy placement planned against a tighter top-tier budget than the
+/// device exposes — also exercises the trait's pluggability from
+/// outside the `mnemo-tier` crate.
+struct PlannedGreedy {
+    budget: u64,
+    inner: GreedyPolicy,
+}
+
+impl TieringPolicy for PlannedGreedy {
+    fn name(&self) -> &'static str {
+        "greedy-planned"
+    }
+
+    fn place(&mut self, stats: &[KeyStat], hier: &StackSpec) -> Vec<TierId> {
+        let mut tight = hier.clone();
+        tight.tiers[0].capacity_bytes = self.budget;
+        self.inner.place(stats, &tight)
+    }
+}
+
+/// Run the legacy two-tier server with the Pattern Engine's greedy
+/// capacity fill, and the N=2 tier stack with the greedy policy, and
+/// demand bit-identical measurements.
+fn assert_two_tier_bit_identity(trace: &Trace) {
+    let (testbed, plan_cap) = tight_testbed(trace);
+
+    // Legacy: MnemoT weight order -> capacity fill -> FastSet.
+    let pattern = PatternEngine::analyze(trace);
+    let fast_set = MnemoT::fill_capacity(&pattern, plan_cap);
+    let legacy = Server::build_with(
+        StoreKind::Redis,
+        testbed.clone(),
+        NoiseConfig::disabled(),
+        trace,
+        Placement::FastSet(fast_set.clone()),
+    )
+    .unwrap()
+    .run(trace);
+
+    // N-tier: the same testbed as a two-tier stack, greedy policy.
+    let stack = StackSpec::two_tier(&testbed);
+    let policy = PlannedGreedy {
+        budget: plan_cap,
+        inner: GreedyPolicy,
+    };
+    let mut server = TieredServer::build(stack, Box::new(policy), trace).unwrap();
+    let tiered = server.run(trace);
+
+    // The greedy policy must have picked the same FastMem set...
+    for s in trace_stats(trace) {
+        let tier = server.engine().placement_of(s.key).unwrap();
+        let expect = if fast_set.contains(&s.key) { 0 } else { 1 };
+        assert_eq!(tier, TierId(expect), "key {} tier", s.key);
+    }
+    // ...and every measurement must match to the bit.
+    assert_eq!(legacy.requests, tiered.requests);
+    assert_eq!(legacy.reads, tiered.reads);
+    assert_eq!(legacy.writes, tiered.writes);
+    assert_eq!(
+        legacy.runtime_ns.to_bits(),
+        tiered.runtime_ns.to_bits(),
+        "runtime {} vs {}",
+        legacy.runtime_ns,
+        tiered.runtime_ns
+    );
+    assert_eq!(
+        legacy.read_ns_total.to_bits(),
+        tiered.read_ns_total.to_bits()
+    );
+    assert_eq!(
+        legacy.write_ns_total.to_bits(),
+        tiered.write_ns_total.to_bits()
+    );
+    assert_eq!(legacy.samples.len(), tiered.samples.len());
+    for (l, t) in legacy.samples.iter().zip(tiered.samples.iter()) {
+        assert_eq!(l.key, t.key);
+        assert_eq!(l.op, t.op);
+        assert_eq!(l.service_ns.to_bits(), t.service_ns.to_bits());
+    }
+}
+
+#[test]
+fn greedy_two_tier_matches_legacy_on_fig1_input() {
+    // Fig. 1's replay input: the trending workload.
+    let trace = WorkloadSpec::trending().scaled(400, 6_000).generate(11);
+    assert_two_tier_bit_identity(&trace);
+}
+
+#[test]
+fn greedy_two_tier_matches_legacy_on_fig5_table3_suite() {
+    // Fig. 5 runs the whole Table III suite over the Table I testbed.
+    for spec in WorkloadSpec::table3() {
+        let trace = spec.scaled(250, 3_000).generate(7);
+        assert_two_tier_bit_identity(&trace);
+    }
+}
+
+#[test]
+fn greedy_two_tier_matches_legacy_with_noise_enabled() {
+    // The noise stream is drawn per request in the same order on both
+    // paths, so even jittered measurements stay bit-identical.
+    let trace = WorkloadSpec::edit_thumbnail()
+        .scaled(200, 2_500)
+        .generate(3);
+    let (testbed, plan_cap) = tight_testbed(&trace);
+    let noise = NoiseConfig::default_jitter(5);
+    let pattern = PatternEngine::analyze(&trace);
+    let fast_set = MnemoT::fill_capacity(&pattern, plan_cap);
+    let legacy = Server::build_with(
+        StoreKind::Redis,
+        testbed.clone(),
+        noise,
+        &trace,
+        Placement::FastSet(fast_set),
+    )
+    .unwrap()
+    .run(&trace);
+    let tiered = TieredServer::build_with(
+        StackSpec::two_tier(&testbed),
+        noise,
+        0,
+        Box::new(PlannedGreedy {
+            budget: plan_cap,
+            inner: GreedyPolicy,
+        }),
+        &trace,
+    )
+    .unwrap()
+    .run(&trace);
+    assert_eq!(legacy.runtime_ns.to_bits(), tiered.runtime_ns.to_bits());
+}
+
+#[test]
+fn tier_matrix_grid_is_jobs_invariant() {
+    // The bench suite's CSV checksum must not depend on the worker
+    // count — the same guarantee the CI bench-smoke byte-diff enforces.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let run_at = |jobs: usize| {
+        mnemo_par::set_jobs(jobs);
+        let out = mnemo_bench::suite::tier_matrix::run(200).unwrap();
+        mnemo_par::set_jobs(0);
+        out.counters
+    };
+    let one = run_at(1);
+    let three = run_at(3);
+    assert_eq!(one, three, "tier_matrix counters drift with --jobs");
+    assert!(one.iter().any(|(name, _)| name == "csv_fnv"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Every policy respects per-tier capacity whenever the hierarchy
+    /// can hold the dataset at all (the bottom tier always fits the
+    /// remainder, like the legacy SlowMem).
+    #[test]
+    fn every_policy_respects_capacity(
+        seed in 0u64..1_000,
+        keys in 8usize..60,
+        top_div in 3u64..8,
+        mid_div in 2u64..4,
+    ) {
+        let stats: Vec<KeyStat> = (0..keys as u64).map(|k| {
+            let h = k.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+            KeyStat {
+                key: k,
+                bytes: 200 + (h % 50_000),
+                reads: h >> 32 & 0xFF,
+                writes: h >> 40 & 0x3F,
+            }
+        }).collect();
+        let total: u64 = stats.iter().map(|s| s.bytes).sum();
+        let mut spec = mnemo_tier::dram_optane_ssd();
+        spec.tiers[0].capacity_bytes = (total / top_div).max(1);
+        spec.tiers[1].capacity_bytes = (total / mid_div).max(1);
+        spec.tiers[2].capacity_bytes = total + 64 * 1024;
+        for kind in PolicyKind::ALL {
+            let mut policy = kind.build(seed, &[]);
+            let assignment = policy.place(&stats, &spec);
+            prop_assert_eq!(assignment.len(), stats.len());
+            let mut used = [0u64; 3];
+            for (s, tier) in stats.iter().zip(&assignment) {
+                used[tier.index()] += s.bytes;
+            }
+            for (i, tier) in spec.tiers.iter().enumerate() {
+                prop_assert!(
+                    used[i] <= tier.capacity_bytes,
+                    "{} overfills tier {}: {} > {}",
+                    kind, i, used[i], tier.capacity_bytes
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn epoch_replanning_is_deterministic_for_every_policy() {
+    let trace = WorkloadSpec::ttl_churn().scaled(300, 4_000).generate(9);
+    let mut spec = mnemo_tier::dram_optane_ssd();
+    let stored: u64 = trace.sizes.iter().map(|b| b + 64).sum();
+    spec.tiers[0].capacity_bytes = stored / 5;
+    spec.tiers[1].capacity_bytes = stored / 3;
+    for kind in PolicyKind::ALL {
+        let run = || {
+            let windows = trace_windows(&trace, 1_000);
+            let mut server = TieredServer::build_with(
+                spec.clone(),
+                NoiseConfig::disabled(),
+                1_000,
+                kind.build(17, &windows),
+                &trace,
+            )
+            .unwrap();
+            let report = server.run(&trace);
+            (report.runtime_ns.to_bits(), server.migration_stats())
+        };
+        let (a, ma) = run();
+        let (b, mb) = run();
+        assert_eq!(a, b, "{kind} runtime must be reproducible");
+        assert_eq!(ma, mb, "{kind} migration stats must be reproducible");
+    }
+}
