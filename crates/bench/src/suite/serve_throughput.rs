@@ -7,6 +7,11 @@
 //! quantiles (p50/p99 of `span.serve.advise.wall_ns`, straight from the
 //! daemon's own telemetry histograms).
 //!
+//! A second pass measures write-ahead journal overhead: the same
+//! single-tenant stream ingested with and without appending every
+//! request to a group-committed journal (`sync_every` 64), the way the
+//! daemon's socket loop journals admitted frames.
+//!
 //! Emits one machine-readable JSON row per tenant count; the repo-root
 //! `BENCH_SERVE.json` pins the first recorded baseline. Quantiles are
 //! reported as `null` (table: `-`) below [`MIN_QUANTILE_SAMPLES`]
@@ -146,6 +151,116 @@ pub fn run(d: u64) -> Result<SuiteOutcome, HarnessError> {
         ));
     }
 
+    // Journal overhead: the same single-tenant stream ingested twice —
+    // once plain, once appending every request to a write-ahead journal
+    // first (group commit, `sync_every` 64), the way the daemon's
+    // socket loop does. The ratio is what durability costs the ingest
+    // path.
+    let j_events = (50_000usize / d as usize).max(2_000);
+    let j_keys = (5_000u64 / d).max(200);
+    let j_stream: Vec<ycsb::AccessEvent> = WorkloadSpec::trending()
+        .scaled(j_keys, j_events)
+        .generate(7)
+        .events()
+        .collect();
+    let journal_dir = crate::out_dir()?.join("journal-bench");
+    let mut journal_rows = Vec::new();
+    let mut journal_appended = 0u64;
+    let mut mode_req_s = [0.0f64; 2];
+    for (m, mode) in ["journal-off", "journal-on"].iter().enumerate() {
+        let mut stream_config = StreamConfig::with_budget_bytes(32 * 1024);
+        stream_config.drift.epoch_len = 20_000;
+        let mut engine = ServeEngine::new(ServeConfig {
+            stream: stream_config,
+            tick_events: 4_096,
+            ..ServeConfig::default()
+        })
+        .map_err(|e| format!("cannot build serve engine: {e}"))?;
+        let mut writer = if *mode == "journal-on" {
+            // A fresh journal directory per run; overhead is append +
+            // checksum + group-commit fsync, not replay.
+            if journal_dir.exists() {
+                std::fs::remove_dir_all(&journal_dir)
+                    .map_err(|e| format!("cannot clear {}: {e}", journal_dir.display()))?;
+            }
+            let config = mnemo_serve::JournalConfig {
+                segment_bytes: 4 * 1024 * 1024,
+                sync_every: 64,
+            };
+            Some(
+                mnemo_serve::journal::JournalWriter::open(&journal_dir, config, 1, None)
+                    .map_err(|e| format!("cannot open journal: {e}"))?,
+            )
+        } else {
+            None
+        };
+        let label = format!("ingest-{mode}");
+        timer.stage(&label, j_events, || -> Result<(), String> {
+            for (i, e) in j_stream.iter().enumerate() {
+                if let Some(w) = writer.as_mut() {
+                    let op = match e.op {
+                        ycsb::Op::Read => "read",
+                        ycsb::Op::Update => "update",
+                    };
+                    let frame = format!(
+                        "{{\"v\":1,\"tenant\":\"tenant-0\",\"key\":{},\"op\":\"{op}\",\
+                         \"bytes\":{}}}",
+                        e.key, e.bytes
+                    );
+                    w.append(i as u128, &frame)
+                        .map_err(|err| format!("journal append failed: {err}"))?;
+                }
+                engine
+                    .ingest(EventV1 {
+                        tenant: "tenant-0".to_string(),
+                        key: e.key,
+                        op: e.op,
+                        bytes: e.bytes,
+                    })
+                    .map_err(|err| format!("ingest failed: {err}"))?;
+            }
+            engine.finish();
+            if let Some(w) = writer.as_mut() {
+                w.sync(j_events as u128)
+                    .map_err(|err| format!("journal sync failed: {err}"))?;
+            }
+            Ok(())
+        })?;
+        if let Some(w) = &writer {
+            journal_appended += w.stats().appended;
+        }
+        let wall = timer
+            .stages()
+            .iter()
+            .rev()
+            .find(|s| s.name == label)
+            .map(|s| s.wall.as_secs_f64())
+            .unwrap_or(0.0);
+        mode_req_s[m] = if wall > 0.0 {
+            j_events as f64 / wall
+        } else {
+            0.0
+        };
+        journal_rows.push(vec![
+            mode.to_string(),
+            format!("{j_events}"),
+            format!("{:.0}", mode_req_s[m] / 1e3),
+        ]);
+        json_rows.push(format!(
+            "{{\"bench\":\"serve_throughput\",\"mode\":\"{mode}\",\"requests\":{j_events},\
+             \"req_per_s\":{:.0},\"journal_sync_every\":64}}",
+            mode_req_s[m]
+        ));
+    }
+    if journal_dir.exists() {
+        let _ = std::fs::remove_dir_all(&journal_dir);
+    }
+    let overhead = if mode_req_s[1] > 0.0 {
+        mode_req_s[0] / mode_req_s[1]
+    } else {
+        0.0
+    };
+
     print_table(
         "serve engine ingest throughput (drift-triggered advising enabled)",
         &[
@@ -157,6 +272,12 @@ pub fn run(d: u64) -> Result<SuiteOutcome, HarnessError> {
             "advise p99 us",
         ],
         &rows,
+    );
+    println!();
+    print_table(
+        &format!("write-ahead journal overhead (single tenant, {overhead:.2}x)"),
+        &["mode", "requests", "kreq/s"],
+        &journal_rows,
     );
     println!();
     for row in &json_rows {
@@ -178,5 +299,6 @@ pub fn run(d: u64) -> Result<SuiteOutcome, HarnessError> {
     outcome.counter("requests", requests);
     outcome.counter("advice_rows", advice_rows);
     outcome.counter("consultations", consultations);
+    outcome.counter("journal_appended", journal_appended);
     Ok(outcome)
 }

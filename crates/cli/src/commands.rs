@@ -404,12 +404,15 @@ fn serve_error(e: ServeError) -> CliError {
         ServeError::Usage(m) => CliError::Usage(m),
         ServeError::Io(m) => CliError::Io(m),
         ServeError::Proto { .. } => CliError::Parse(e.to_string()),
+        ServeError::Corrupt { .. } => CliError::Parse(e.to_string()),
         ServeError::Engine(m) => CliError::Engine(m),
     }
 }
 
 /// `mnemo watch --follow <socket> [--rows N]` — attach to a running
 /// serve daemon and copy its advice rows to stdout as they are emitted.
+/// If the daemon socket drops mid-tail, reconnects with capped
+/// exponential backoff instead of bailing out.
 fn watch_follow(parsed: &mut Parsed) -> Result<String, CliError> {
     let sock = parsed
         .options
@@ -420,7 +423,7 @@ fn watch_follow(parsed: &mut Parsed) -> Result<String, CliError> {
     let rows: u64 = parsed.number_or("rows", 0u64)?;
     let limit = if rows == 0 { None } else { Some(rows) };
     let mut stdout = std::io::stdout();
-    let n = mnemo_serve::follow(std::path::Path::new(&sock), limit, &mut stdout)
+    let n = mnemo_serve::follow_retry(std::path::Path::new(&sock), limit, &mut stdout)
         .map_err(serve_error)?;
     Ok(format!("followed {n} row(s) from {sock}"))
 }
@@ -470,6 +473,32 @@ fn parse_serve_config(parsed: &Parsed) -> Result<ServeConfig, CliError> {
     })
 }
 
+/// Parse the `--journal DIR [--journal-segment-kib N]
+/// [--journal-sync-every N]` flags into a [`mnemo_serve::JournalPolicy`]
+/// (validated before any file I/O).
+fn parse_journal_policy(parsed: &Parsed) -> Result<Option<mnemo_serve::JournalPolicy>, CliError> {
+    let dir = match parsed.options.get("journal").filter(|s| !s.is_empty()) {
+        None => {
+            if parsed.flag("journal") {
+                return Err(CliError::Usage("--journal needs a directory path".into()));
+            }
+            return Ok(None);
+        }
+        Some(d) => d.clone(),
+    };
+    let segment_kib: u64 = parsed.number_or("journal-segment-kib", 64u64)?;
+    let sync_every: u64 = parsed.number_or("journal-sync-every", 1u64)?;
+    let config = mnemo_serve::JournalConfig {
+        segment_bytes: segment_kib * 1024,
+        sync_every,
+    };
+    config.validate().map_err(serve_error)?;
+    Ok(Some(mnemo_serve::JournalPolicy {
+        dir: std::path::PathBuf::from(dir),
+        config,
+    }))
+}
+
 /// `mnemo serve [--replay file | --socket path]` — the long-lived
 /// multi-tenant advisor daemon. With `--replay` the request log runs on
 /// the virtual clock and the transcript (byte-identical for any
@@ -478,6 +507,7 @@ fn parse_serve_config(parsed: &Parsed) -> Result<ServeConfig, CliError> {
 /// reads newline-delimited requests from stdin.
 pub fn serve(parsed: &mut Parsed) -> Result<String, CliError> {
     let config = parse_serve_config(parsed)?;
+    let journal = parse_journal_policy(parsed)?;
     let telemetry_dir = parsed
         .options
         .get("telemetry")
@@ -489,6 +519,13 @@ pub fn serve(parsed: &mut Parsed) -> Result<String, CliError> {
         .filter(|s| !s.is_empty())
         .cloned();
     let state_every: u64 = parsed.number_or("state-every", 16u64)?;
+    if journal.is_some() && parsed.options.get("socket").is_none_or(|s| s.is_empty()) {
+        return Err(CliError::Usage(
+            "--journal needs --socket (replay/stdin transcripts are already reproducible; \
+             use `mnemo chaos` to exercise journaled recovery offline)"
+                .into(),
+        ));
+    }
 
     if let Some(path) = parsed
         .options
@@ -517,6 +554,7 @@ pub fn serve(parsed: &mut Parsed) -> Result<String, CliError> {
     let policy = mnemo_serve::StatePolicy {
         path: state_path.as_ref().map(std::path::PathBuf::from),
         every_ticks: state_every,
+        journal,
     };
     if let Some(sock) = parsed
         .options
@@ -561,6 +599,83 @@ pub fn serve(parsed: &mut Parsed) -> Result<String, CliError> {
         export_telemetry(dir, outcome.engine.snapshots())?;
     }
     Ok(outcome.transcript.trim_end_matches('\n').to_string())
+}
+
+/// `mnemo chaos <request-log> [--workdir DIR]` — deterministic
+/// kill/restart harness over the durable serve path. Runs the request
+/// log once uninterrupted (the golden run), then again with seeded
+/// kills (always including one mid-state-dump and one mid-segment-
+/// rotation when the input produces them), restarting each time from
+/// the state dump plus the journal tail, and byte-diffs the final
+/// transcript and state dump against the golden run. Storage faults
+/// from `--faults` (torn_write, bit_flip, fsync_fail, dump_corrupt)
+/// strike at each kill point. Exits 7 when the runs diverge.
+pub fn chaos(parsed: &mut Parsed) -> Result<String, CliError> {
+    let path = parsed.positional_required("request log")?.to_string();
+    let config = parse_serve_config(parsed)?;
+    let defaults = mnemo_serve::chaos::ChaosConfig::default();
+    let seed: u64 = parsed.number_or("seed", defaults.seed)?;
+    let kills: usize = parsed.number_or("kills", defaults.kills)?;
+    if kills == 0 {
+        return Err(CliError::Usage("--kills must be >= 1".into()));
+    }
+    let every_ticks: u64 = parsed.number_or("state-every", defaults.every_ticks)?;
+    let segment_kib: u64 =
+        parsed.number_or("segment-kib", defaults.journal.segment_bytes / 1024)?;
+    let sync_every: u64 = parsed.number_or("sync-every", defaults.journal.sync_every)?;
+    let workdir = match parsed.options.get("workdir").filter(|s| !s.is_empty()) {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("mnemo-chaos-{}", std::process::id())),
+    };
+    let chaos_config = mnemo_serve::chaos::ChaosConfig {
+        seed,
+        kills,
+        every_ticks,
+        journal: mnemo_serve::JournalConfig {
+            segment_bytes: segment_kib * 1024,
+            sync_every,
+        },
+    };
+    let input = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::Io(format!("cannot read request log '{path}': {e}")))?;
+    let report = mnemo_serve::chaos::run_chaos(&input, config, &workdir, &chaos_config)
+        .map_err(serve_error)?;
+    let mut out = report.render();
+    if report.converged() {
+        Ok(out)
+    } else {
+        // Append the first diverging transcript line pair so a CI log
+        // shows *where* the recovered run went wrong, not just that it
+        // did; the full transcripts stay on disk under the workdir.
+        if !report.transcript_identical {
+            let diverged = report
+                .golden_transcript
+                .lines()
+                .map(Some)
+                .chain(std::iter::repeat(None))
+                .zip(
+                    report
+                        .final_transcript
+                        .lines()
+                        .map(Some)
+                        .chain(std::iter::repeat(None)),
+                )
+                .take_while(|(g, c)| g.is_some() || c.is_some())
+                .enumerate()
+                .find(|(_, (g, c))| g != c);
+            if let Some((line, (golden, chaotic))) = diverged {
+                let _ = write!(
+                    out,
+                    "\ntranscripts diverge at row {}:\n  golden: {}\n  chaos:  {}",
+                    line + 1,
+                    golden.unwrap_or("<missing>"),
+                    chaotic.unwrap_or("<missing>")
+                );
+            }
+        }
+        let _ = write!(out, "\nworkdir kept for inspection: {}", workdir.display());
+        Err(CliError::Chaos(out))
+    }
 }
 
 fn export_telemetry(dir: &str, snaps: &[mnemo_telemetry::Snapshot]) -> Result<String, CliError> {

@@ -11,6 +11,7 @@
 //! | [`CliError::Parse`]  | 4      | malformed trace line, invalid fault plan   |
 //! | [`CliError::Engine`] | 5      | simulation / advisor pipeline failure      |
 //! | [`CliError::Perf`]   | 6      | `mnemo perf compare` found regressions     |
+//! | [`CliError::Chaos`]  | 7      | `mnemo chaos` runs diverged after restart  |
 
 /// A fatal CLI error carrying its process exit code class.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +38,11 @@ pub enum CliError {
     /// message is the full rendered summary and goes to stdout.
     /// Exit code 6.
     Perf(String),
+    /// `mnemo chaos` completed its kill/restart runs but the recovered
+    /// transcript or state dump diverged from the uninterrupted golden
+    /// run (or quarantine accounting leaked). The message is the
+    /// rendered chaos report row, printed on stdout. Exit code 7.
+    Chaos(String),
 }
 
 impl CliError {
@@ -49,6 +55,7 @@ impl CliError {
             CliError::Parse(_) => 4,
             CliError::Engine(_) => 5,
             CliError::Perf(_) => 6,
+            CliError::Chaos(_) => 7,
         }
     }
 
@@ -60,7 +67,8 @@ impl CliError {
             | CliError::Io(m)
             | CliError::Parse(m)
             | CliError::Engine(m)
-            | CliError::Perf(m) => m,
+            | CliError::Perf(m)
+            | CliError::Chaos(m) => m,
         }
     }
 }
@@ -105,9 +113,10 @@ mod tests {
             CliError::Parse("p".into()),
             CliError::Engine("e".into()),
             CliError::Perf("p".into()),
+            CliError::Chaos("c".into()),
         ];
         let codes: Vec<i32> = errors.iter().map(|e| e.exit_code()).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]

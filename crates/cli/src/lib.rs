@@ -76,9 +76,34 @@ COMMANDS:
                                          tenants (default 64)
       --replan-every N                   re-plan every N ticks (default 1)
       --state <file> --state-every N     crash-safe state dumps / warm restart
+      --journal <dir>                    durable write-ahead journal (socket
+                                         mode): every ingest/advise is
+                                         checksummed to disk before it is
+                                         applied, and a restart replays the
+                                         tail past the dump's watermark
+      --journal-segment-kib N            rotate segments at N KiB (default 64)
+      --journal-sync-every N             fsync every N records (default 1)
       --telemetry <dir>                  export serve telemetry
       --faults <plan>                    fault plan; events with a tenant key
                                          apply only to that tenant
+  chaos <request-log>            deterministic kill/restart harness for the
+      durable serve path: replays the log uninterrupted (golden run), then
+      with seeded kills + storage faults, restarting from dump+journal each
+      time, and byte-diffs the recovered transcript/state against golden
+      --kills N                          kill/restart points (default 8; one
+                                         mid-dump and one mid-rotation kill
+                                         are always anchored when present)
+      --seed S                           kill schedule / fault draw seed
+      --workdir <dir>                    golden/ and run/ live here (default:
+                                         a per-process temp directory)
+      --state-every N                    dump state every N ticks (default 1)
+      --segment-kib N --sync-every N     journal sizing (defaults 8, 4: small
+                                         segments so rotations happen)
+      --faults <plan>                    storage faults (torn_write, bit_flip,
+                                         fsync_fail, dump_corrupt) strike at
+                                         each kill point
+      plus serve's --epoch/--drift-epoch/--budget-kib/... options;
+      exit code 7 when any recovered run diverges from the golden run
   trace <trace-file|preset>      run a workload with telemetry and print the
       per-epoch summary (p50/p99 latency, throughput, tier hits)
       --epoch N                          requests per epoch (default 20000;
@@ -136,6 +161,7 @@ GLOBAL OPTIONS:
 EXIT CODES:
   0 success    1 lint findings    2 usage error    3 I/O error
   4 malformed input    5 simulation/advisor failure    6 perf regression
+  7 chaos divergence
 
 Run any command with --help for details.";
 
@@ -168,6 +194,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "consult" => commands::consult(&mut parsed),
         "watch" => commands::watch(&mut parsed),
         "serve" => commands::serve(&mut parsed),
+        "chaos" => commands::chaos(&mut parsed),
         "trace" => commands::trace_cmd(&mut parsed),
         "tier" => commands::tier(&mut parsed),
         "analyze" => commands::analyze(&mut parsed),

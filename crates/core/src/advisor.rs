@@ -429,6 +429,21 @@ impl Advisor {
             curve,
         })
     }
+
+    /// Fit a bare allocator demand from baselines and a pattern —
+    /// the model fit only, skipping the ordering and the O(k²)
+    /// estimate curve a full consultation builds. The shared-budget
+    /// allocator ([`crate::multi::allocate_demands`]) needs nothing
+    /// more, so high-frequency re-planners use this path.
+    pub fn demand_with_pattern(
+        &self,
+        baselines: Baselines,
+        pattern: PatternEngine,
+    ) -> crate::multi::TenantDemand {
+        let sizes: Vec<u64> = pattern.stats().iter().map(|s| s.bytes).collect();
+        let model = PerfModel::fit(self.config.model, &baselines, &sizes);
+        crate::multi::TenantDemand { model, pattern }
+    }
 }
 
 #[cfg(test)]

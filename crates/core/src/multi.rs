@@ -12,6 +12,8 @@
 
 use crate::advisor::Consultation;
 use crate::estimate::EstimateEngine;
+use crate::model::PerfModel;
+use crate::pattern::PatternEngine;
 use cloudcost::CostModel;
 use serde::Serialize;
 
@@ -51,11 +53,46 @@ impl SharedAllocation {
     }
 }
 
+/// The allocator's per-tenant inputs: a fitted performance model plus
+/// the tenant's profiled access pattern. This is the cheap subset of a
+/// full [`Consultation`] — no key ordering, no estimate curve — so
+/// high-frequency callers (the serve daemon re-plans every few ticks)
+/// can build one per tenant without paying the curve construction.
+#[derive(Debug, Clone)]
+pub struct TenantDemand {
+    /// The tenant's fitted performance model.
+    pub model: PerfModel,
+    /// The tenant's profiled access pattern.
+    pub pattern: PatternEngine,
+}
+
+impl TenantDemand {
+    /// The demand a full consultation implies.
+    pub fn from_consultation(c: &Consultation) -> TenantDemand {
+        TenantDemand {
+            model: c.model.clone(),
+            pattern: c.pattern.clone(),
+        }
+    }
+}
+
 /// Allocate a shared FastMem `budget_bytes` across tenants by benefit
 /// density. Each consultation supplies the per-key promotion deltas of
 /// its own fitted model (including any cache-aware correction it was
 /// configured with).
 pub fn allocate_shared(consultations: &[Consultation], budget_bytes: u64) -> SharedAllocation {
+    let demands: Vec<TenantDemand> = consultations
+        .iter()
+        .map(TenantDemand::from_consultation)
+        .collect();
+    allocate_demands(&demands, budget_bytes)
+}
+
+/// [`allocate_shared`] from bare demand summaries. The all-SlowMem
+/// runtime each slowdown is judged against is the model's own endpoint
+/// (`fast_total + Σ deltas`), bit-identical to the estimate curve's
+/// all-slow row, so the two entry points produce the same allocation.
+pub fn allocate_demands(demands: &[TenantDemand], budget_bytes: u64) -> SharedAllocation {
     // Gather (tenant, key, bytes, delta) across all tenants.
     struct Cand {
         tenant: usize,
@@ -69,18 +106,20 @@ pub fn allocate_shared(consultations: &[Consultation], budget_bytes: u64) -> Sha
     // bounded pool; gathering stays in tenant order, keeping the
     // knapsack-style fill deterministic.
     let per_tenant: Vec<(f64, Vec<f64>)> =
-        mnemo_par::Pool::current().run_jobs(consultations.len(), |tenant| {
-            let c = &consultations[tenant];
-            let engine = EstimateEngine::new(c.model.clone(), CostModel::default());
-            engine.key_deltas(&c.pattern)
+        mnemo_par::Pool::current().run_jobs(demands.len(), |tenant| {
+            let d = &demands[tenant];
+            let engine = EstimateEngine::new(d.model.clone(), CostModel::default());
+            engine.key_deltas(&d.pattern)
         });
     let mut candidates = Vec::new();
-    let mut fast_totals = Vec::with_capacity(consultations.len());
-    for (tenant, c) in consultations.iter().enumerate() {
+    let mut fast_totals = Vec::with_capacity(demands.len());
+    let mut slow_totals = Vec::with_capacity(demands.len());
+    for (tenant, d) in demands.iter().enumerate() {
         let (fast_total, deltas) = &per_tenant[tenant];
         fast_totals.push(*fast_total);
+        slow_totals.push(*fast_total + deltas.iter().sum::<f64>());
         for (key, &delta) in deltas.iter().enumerate() {
-            let bytes = c.pattern.key(key as u64).bytes;
+            let bytes = d.pattern.key(key as u64).bytes;
             if delta > 0.0 && bytes > 0 {
                 candidates.push(Cand {
                     tenant,
@@ -100,9 +139,9 @@ pub fn allocate_shared(consultations: &[Consultation], budget_bytes: u64) -> Sha
     });
 
     let mut used = 0u64;
-    let mut grants: Vec<Vec<u64>> = consultations.iter().map(|_| Vec::new()).collect();
-    let mut granted_bytes: Vec<u64> = consultations.iter().map(|_| 0).collect();
-    let mut saved: Vec<f64> = consultations.iter().map(|_| 0.0).collect();
+    let mut grants: Vec<Vec<u64>> = demands.iter().map(|_| Vec::new()).collect();
+    let mut granted_bytes: Vec<u64> = demands.iter().map(|_| 0).collect();
+    let mut saved: Vec<f64> = demands.iter().map(|_| 0.0).collect();
     for cand in candidates {
         if used + cand.bytes <= budget_bytes {
             used += cand.bytes;
@@ -112,12 +151,12 @@ pub fn allocate_shared(consultations: &[Consultation], budget_bytes: u64) -> Sha
         }
     }
 
-    let tenants = consultations
+    let tenants = demands
         .iter()
         .enumerate()
-        .map(|(tenant, c)| {
+        .map(|(tenant, _)| {
             // Runtime = all-slow estimate minus what the grant saves.
-            let slow = c.curve.slow_only().est_runtime_ns;
+            let slow = slow_totals[tenant];
             let fast = fast_totals[tenant];
             let est_runtime_ns = slow - saved[tenant];
             let est_slowdown = if fast > 0.0 {

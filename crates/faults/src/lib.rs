@@ -30,4 +30,4 @@ pub mod plan;
 
 pub use backoff::Backoff;
 pub use parse::{LoadError, PlanError, TierNames};
-pub use plan::{FaultEvent, FaultPlan, MigrationFaults, ShardCrash};
+pub use plan::{FaultEvent, FaultPlan, MigrationFaults, ShardCrash, StorageFaults};

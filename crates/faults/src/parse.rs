@@ -352,6 +352,22 @@ fn build(raw: RawPlan, tiers: &TierNames) -> Result<FaultPlan, PlanError> {
                     rebuild_ns_per_key: e.f64("rebuild_ns_per_key")?.unwrap_or(0.0),
                 }
             }
+            "torn_write" => {
+                e.known_keys(&["kind", "start_ns", "end_ns", "tenant"])?;
+                FaultEvent::TornWrite { start_ns, end_ns }
+            }
+            "bit_flip" => {
+                e.known_keys(&["kind", "start_ns", "end_ns", "tenant"])?;
+                FaultEvent::BitFlip { start_ns, end_ns }
+            }
+            "fsync_fail" => {
+                e.known_keys(&["kind", "start_ns", "end_ns", "tenant"])?;
+                FaultEvent::FsyncFail { start_ns, end_ns }
+            }
+            "dump_corrupt" => {
+                e.known_keys(&["kind", "start_ns", "end_ns", "tenant"])?;
+                FaultEvent::DumpCorrupt { start_ns, end_ns }
+            }
             other => {
                 return Err(PlanError::at(
                     kind_line,
@@ -887,6 +903,69 @@ rebuild_ns_per_key = 120.5
                 bytes: 1_048_576,
             }
         ));
+    }
+
+    #[test]
+    fn storage_fault_kinds_parse_from_toml_and_json() {
+        let toml = r#"
+seed = 9
+
+[[event]]
+kind = "torn_write"
+start_ns = 1000
+end_ns = 2000
+
+[[event]]
+kind = "bit_flip"
+start_ns = 0
+end_ns = 500
+
+[[event]]
+kind = "fsync_fail"
+start_ns = 100
+end_ns = 200
+
+[[event]]
+kind = "dump_corrupt"
+start_ns = 300
+"#;
+        let json = r#"{
+  "seed": 9,
+  "events": [
+    {"kind": "torn_write", "start_ns": 1000, "end_ns": 2000},
+    {"kind": "bit_flip", "start_ns": 0, "end_ns": 500},
+    {"kind": "fsync_fail", "start_ns": 100, "end_ns": 200},
+    {"kind": "dump_corrupt", "start_ns": 300}
+  ]
+}"#;
+        let plan = FaultPlan::parse_toml(toml).unwrap();
+        assert_eq!(plan, FaultPlan::parse_json(json).unwrap());
+        assert_eq!(plan.events.len(), 4);
+        assert!(matches!(
+            plan.events[0],
+            FaultEvent::TornWrite {
+                start_ns: 1_000,
+                end_ns: 2_000,
+            }
+        ));
+        assert!(matches!(
+            plan.events[3],
+            FaultEvent::DumpCorrupt {
+                start_ns: 300,
+                end_ns: u128::MAX,
+            }
+        ));
+        assert!(plan.events.iter().all(FaultEvent::is_storage));
+        // Unknown fields are still rejected with their line number.
+        let bad =
+            "seed = 1\n\n[[event]]\nkind = \"torn_write\"\nstart_ns = 0\nend_ns = 5\nshard = 1\n";
+        let err = FaultPlan::parse_toml(bad).unwrap_err();
+        assert_eq!(err.line, 7);
+        assert!(
+            err.reason.contains("unknown field `shard`"),
+            "{}",
+            err.reason
+        );
     }
 
     #[test]

@@ -71,6 +71,57 @@ pub enum FaultEvent {
         /// Rebuild cost per loaded key in simulated nanoseconds.
         rebuild_ns_per_key: f64,
     },
+    /// Storage fault: a crash inside the window models power loss — only
+    /// a seeded prefix of the bytes written since the last successful
+    /// fsync survives (the journal tail is torn mid-frame).
+    TornWrite {
+        /// Window start (inclusive).
+        start_ns: u128,
+        /// Window end (exclusive).
+        end_ns: u128,
+    },
+    /// Storage fault: a crash inside the window flips one seeded bit in
+    /// one seeded byte of already-persisted journal data (media
+    /// corruption; recovery must quarantine, not die).
+    BitFlip {
+        /// Window start (inclusive).
+        start_ns: u128,
+        /// Window end (exclusive).
+        end_ns: u128,
+    },
+    /// Storage fault: per-record fsyncs inside the window fail, so the
+    /// durable watermark stops advancing (rotation-point syncs are hard
+    /// barriers and are exempt).
+    FsyncFail {
+        /// Window start (inclusive).
+        start_ns: u128,
+        /// Window end (exclusive).
+        end_ns: u128,
+    },
+    /// Storage fault: a crash inside the window corrupts one seeded byte
+    /// of the state-dump file; recovery must detect the checksum
+    /// mismatch and fall back to a full journal replay.
+    DumpCorrupt {
+        /// Window start (inclusive).
+        start_ns: u128,
+        /// Window end (exclusive).
+        end_ns: u128,
+    },
+}
+
+impl FaultEvent {
+    /// Whether this is a storage fault (journal / state-dump domain).
+    /// Storage faults never degrade the simulated memory device, so a
+    /// plan holding only storage events measures healthy baselines.
+    pub fn is_storage(&self) -> bool {
+        matches!(
+            self,
+            FaultEvent::TornWrite { .. }
+                | FaultEvent::BitFlip { .. }
+                | FaultEvent::FsyncFail { .. }
+                | FaultEvent::DumpCorrupt { .. }
+        )
+    }
 }
 
 /// One crash scheduled for a specific shard (compiled view).
@@ -143,6 +194,65 @@ impl MigrationFaults {
         // 53 high bits -> uniform in [0, 1).
         let draw = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         draw < p
+    }
+}
+
+/// The compiled storage-fault schedule: window membership tests for the
+/// four storage fault kinds plus a pure seeded draw for picking torn
+/// offsets, flip targets, and corrupt bytes. Like [`MigrationFaults`],
+/// every verdict is a function of the arguments alone — no RNG state is
+/// carried between calls, so chaos runs replay identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StorageFaults {
+    seed: u64,
+    torn: Vec<(u128, u128)>,
+    flip: Vec<(u128, u128)>,
+    fsync: Vec<(u128, u128)>,
+    dump: Vec<(u128, u128)>,
+}
+
+fn window_active(windows: &[(u128, u128)], now_ns: u128) -> bool {
+    windows
+        .iter()
+        .any(|&(start, end)| start <= now_ns && now_ns < end)
+}
+
+impl StorageFaults {
+    /// Whether the schedule contains any storage fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.torn.is_empty()
+            && self.flip.is_empty()
+            && self.fsync.is_empty()
+            && self.dump.is_empty()
+    }
+
+    /// Whether a crash at `now_ns` tears the unsynced journal tail.
+    pub fn torn_write_at(&self, now_ns: u128) -> bool {
+        window_active(&self.torn, now_ns)
+    }
+
+    /// Whether a crash at `now_ns` flips a bit in persisted journal data.
+    pub fn bit_flip_at(&self, now_ns: u128) -> bool {
+        window_active(&self.flip, now_ns)
+    }
+
+    /// Whether a per-record fsync issued at `now_ns` fails.
+    pub fn fsync_fails(&self, now_ns: u128) -> bool {
+        window_active(&self.fsync, now_ns)
+    }
+
+    /// Whether a crash at `now_ns` corrupts the state-dump file.
+    pub fn dump_corrupt_at(&self, now_ns: u128) -> bool {
+        window_active(&self.dump, now_ns)
+    }
+
+    /// A pure seeded draw in `[0, bound)` (0 when `bound` is 0), salted
+    /// so distinct decision points take independent values.
+    pub fn draw(&self, salt: u64, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        splitmix64(self.seed ^ splitmix64(salt)) % bound
     }
 }
 
@@ -297,6 +407,10 @@ impl FaultPlan {
                         return Err(format!("event {i}: rebuild_ns_per_key must be >= 0"));
                     }
                 }
+                FaultEvent::TornWrite { start_ns, end_ns }
+                | FaultEvent::BitFlip { start_ns, end_ns }
+                | FaultEvent::FsyncFail { start_ns, end_ns }
+                | FaultEvent::DumpCorrupt { start_ns, end_ns } => window(start_ns, end_ns)?,
             }
         }
         Ok(())
@@ -337,6 +451,12 @@ impl FaultPlan {
                     ..DegradationWindow::nominal(tier, start_ns, end_ns)
                 }),
                 FaultEvent::MigrationFailure { .. } | FaultEvent::ShardCrash { .. } => {}
+                // Storage faults live in the journal / state-dump domain,
+                // not the memory device.
+                FaultEvent::TornWrite { .. }
+                | FaultEvent::BitFlip { .. }
+                | FaultEvent::FsyncFail { .. }
+                | FaultEvent::DumpCorrupt { .. } => {}
             }
         }
         profile
@@ -360,6 +480,27 @@ impl FaultPlan {
             seed: self.seed,
             windows,
         }
+    }
+
+    /// Compile the storage-fault schedule (torn writes, bit flips,
+    /// fsync failures, dump corruption).
+    pub fn storage_faults(&self) -> StorageFaults {
+        let mut faults = StorageFaults {
+            seed: self.seed,
+            ..StorageFaults::default()
+        };
+        for e in &self.events {
+            match *e {
+                FaultEvent::TornWrite { start_ns, end_ns } => faults.torn.push((start_ns, end_ns)),
+                FaultEvent::BitFlip { start_ns, end_ns } => faults.flip.push((start_ns, end_ns)),
+                FaultEvent::FsyncFail { start_ns, end_ns } => faults.fsync.push((start_ns, end_ns)),
+                FaultEvent::DumpCorrupt { start_ns, end_ns } => {
+                    faults.dump.push((start_ns, end_ns))
+                }
+                _ => {}
+            }
+        }
+        faults
     }
 
     /// The crashes scheduled for one shard, sorted by crash time.
@@ -460,6 +601,63 @@ mod tests {
         other.seed = 8;
         let other = other.migration_faults();
         assert!((0..1000u64).any(|k| faults.fails(5_000, k, 0) != other.fails(5_000, k, 0)));
+    }
+
+    #[test]
+    fn storage_faults_compile_windows_and_draw_deterministically() {
+        let plan = FaultPlan::new(11)
+            .with(FaultEvent::TornWrite {
+                start_ns: 1_000,
+                end_ns: 2_000,
+            })
+            .with(FaultEvent::BitFlip {
+                start_ns: 0,
+                end_ns: 500,
+            })
+            .with(FaultEvent::FsyncFail {
+                start_ns: 100,
+                end_ns: 200,
+            })
+            .with(FaultEvent::DumpCorrupt {
+                start_ns: 300,
+                end_ns: u128::MAX,
+            });
+        plan.validate().unwrap();
+        let storage = plan.storage_faults();
+        assert!(!storage.is_empty());
+        assert!(storage.torn_write_at(1_500) && !storage.torn_write_at(2_000));
+        assert!(storage.bit_flip_at(0) && !storage.bit_flip_at(500));
+        assert!(storage.fsync_fails(150) && !storage.fsync_fails(99));
+        assert!(storage.dump_corrupt_at(300) && !storage.dump_corrupt_at(299));
+        // Draws are pure functions of (seed, salt, bound).
+        assert_eq!(storage.draw(42, 1_000), storage.draw(42, 1_000));
+        assert!(storage.draw(42, 1_000) < 1_000);
+        assert_eq!(storage.draw(7, 0), 0, "bound 0 never divides");
+        let other = FaultPlan::new(12)
+            .with(FaultEvent::TornWrite {
+                start_ns: 0,
+                end_ns: 1,
+            })
+            .storage_faults();
+        assert!((0..64u64).any(|s| storage.draw(s, 1 << 30) != other.draw(s, 1 << 30)));
+        // Storage events are invisible to the device profile and do not
+        // mark a plan as device-degrading.
+        assert_eq!(plan.degradation_profile().windows().len(), 0);
+        assert!(plan.events.iter().all(FaultEvent::is_storage));
+    }
+
+    #[test]
+    fn storage_windows_validate_like_device_windows() {
+        let bad = FaultPlan::new(0).with(FaultEvent::TornWrite {
+            start_ns: 5,
+            end_ns: 5,
+        });
+        assert!(bad.validate().is_err());
+        let ok = FaultPlan::new(0).with(FaultEvent::FsyncFail {
+            start_ns: 5,
+            end_ns: 6,
+        });
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

@@ -27,8 +27,9 @@
 use crate::proto::{self, EventV1, ServeError};
 use kvsim::StoreKind;
 use mnemo::advisor::{
-    Advisor, AdvisorConfig, Consultation, DegradedReason, Recommendation, ResilientRecommendation,
+    Advisor, AdvisorConfig, DegradedReason, Recommendation, ResilientRecommendation,
 };
+use mnemo::multi::TenantDemand;
 use mnemo::sensitivity::{Baselines, SensitivityEngine};
 use mnemo_faults::{FaultEvent, FaultPlan};
 use mnemo_stream::{Drift, StreamConfig, StreamProfiler};
@@ -150,7 +151,6 @@ struct Tenant {
     crash_dropped: u64,
     advice_rows: u64,
     baselines: Baselines,
-    consultation: Option<Consultation>,
     crashes: Vec<CrashWindow>,
     recorder: Recorder,
 }
@@ -185,17 +185,27 @@ impl Tenant {
         }
         let approx = self.profiler.approx_pattern();
         let baselines = self.baselines.clone();
-        let (resilient, consultation) =
-            self.recorder.time_wall("serve.advise", 1, || {
-                match advisor.consult_with_pattern(baselines, approx.pattern) {
-                    Ok(c) => (c.recommend_resilient(slo), Some(c)),
-                    Err(_) => (empty_recommendation(), None),
-                }
-            });
-        if consultation.is_some() {
-            self.consultation = consultation;
+        self.recorder.time_wall("serve.advise", 1, || {
+            match advisor.consult_with_pattern(baselines, approx.pattern) {
+                Ok(c) => c.recommend_resilient(slo),
+                Err(_) => empty_recommendation(),
+            }
+        })
+    }
+
+    /// A fresh allocator demand from the current profiler state, for
+    /// the shared-capacity re-plan. Deriving it from *current* state
+    /// (instead of caching anything from the last advise) keeps the
+    /// whole engine a pure function of the dumped fields, so a warm
+    /// restart emits byte-identical re-plan rows. A demand is only the
+    /// model fit plus the pattern — no ordering, no estimate curve —
+    /// which is all the shared allocator consumes.
+    fn demand(&mut self, advisor: &Advisor) -> Option<TenantDemand> {
+        if self.profiler.events() == 0 {
+            return None;
         }
-        resilient
+        let approx = self.profiler.approx_pattern();
+        Some(advisor.demand_with_pattern(self.baselines.clone(), approx.pattern))
     }
 
     fn advise_row(&mut self, trigger: &Drift, advisor: &Advisor, slo: f64) -> String {
@@ -220,7 +230,6 @@ impl Tenant {
                 self.crashes[i].applied = true;
                 self.profiler.reset();
                 self.pending = None;
-                self.consultation = None;
                 self.queue.clear();
                 self.recorder.count("serve.crash.applied", 1);
                 rows.push(proto::crash_row(
@@ -260,6 +269,7 @@ pub struct ServeEngine {
     names: BTreeMap<String, usize>,
     offered_total: u64,
     ticks: u64,
+    journal_seq: u64,
     recorder: Recorder,
     snapshots: Vec<Snapshot>,
 }
@@ -289,6 +299,7 @@ impl ServeEngine {
             names: BTreeMap::new(),
             offered_total: 0,
             ticks: 0,
+            journal_seq: 0,
             recorder: Recorder::new(),
             snapshots: Vec::new(),
             config,
@@ -315,6 +326,25 @@ impl ServeEngine {
         self.offered_total
     }
 
+    /// The journal watermark: the sequence number of the last journaled
+    /// request applied to this engine (0 = nothing journaled).
+    pub fn journal_seq(&self) -> u64 {
+        self.journal_seq
+    }
+
+    /// Advance the journal watermark (set by the front end right after
+    /// each append, and by state restore / journal replay).
+    pub fn set_journal_seq(&mut self, seq: u64) {
+        self.journal_seq = seq;
+    }
+
+    /// Bump a daemon-level counter from the front end (journal and
+    /// recovery metrics land in the same merged telemetry snapshots as
+    /// the engine's own counters).
+    pub(crate) fn note(&mut self, name: &'static str, n: u64) {
+        self.recorder.count(name, n);
+    }
+
     /// Admitted tenant names, in admission order.
     pub fn tenant_names(&self) -> Vec<String> {
         self.tenants.iter().map(|t| lock(t).name.clone()).collect()
@@ -335,8 +365,10 @@ impl ServeEngine {
             ));
         }
         let scoped = self.config.faults.as_ref().map(|p| p.for_tenant(name));
+        // Storage faults hit the journal, not the memory testbed — a
+        // plan with only storage events keeps the healthy baselines.
         let baselines = match &scoped {
-            Some(plan) if !plan.events.is_empty() => {
+            Some(plan) if plan.events.iter().any(|e| !e.is_storage()) => {
                 SensitivityEngine::new(self.config.advisor.spec.clone(), self.config.advisor.noise)
                     .with_fault_plan(plan.clone())
                     .measure(self.config.store, &self.calib_trace)
@@ -381,7 +413,6 @@ impl ServeEngine {
             crash_dropped: 0,
             advice_rows: 0,
             baselines,
-            consultation: None,
             crashes,
             recorder: Recorder::new(),
         }));
@@ -474,22 +505,23 @@ impl ServeEngine {
         rows
     }
 
-    /// Re-plan the shared FastMem budget across every tenant with a live
-    /// consultation, emitting one grant row per participant.
+    /// Re-plan the shared FastMem budget across every warm tenant,
+    /// emitting one grant row per participant. Each participant's
+    /// demand is fitted fresh from its current profiler state.
     fn replan(&mut self) -> Vec<String> {
         let mut participants: Vec<usize> = Vec::new();
-        let mut consultations: Vec<Consultation> = Vec::new();
+        let mut demands: Vec<TenantDemand> = Vec::new();
         for (i, tenant) in self.tenants.iter().enumerate() {
-            if let Some(c) = lock(tenant).consultation.clone() {
+            if let Some(d) = lock(tenant).demand(&self.advisor) {
                 participants.push(i);
-                consultations.push(c);
+                demands.push(d);
             }
         }
-        if consultations.is_empty() {
+        if demands.is_empty() {
             return Vec::new();
         }
         self.recorder.count("serve.replan.runs", 1);
-        let allocation = mnemo::multi::allocate_shared(&consultations, self.config.share_bytes);
+        let allocation = mnemo::multi::allocate_demands(&demands, self.config.share_bytes);
         let mut rows = Vec::with_capacity(allocation.tenants.len());
         for grant in &allocation.tenants {
             let name = lock(&self.tenants[participants[grant.tenant]]).name.clone();

@@ -55,13 +55,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
+pub mod journal;
 pub mod proto;
 pub mod state;
 
 pub use engine::{ServeConfig, ServeEngine};
+pub use journal::{JournalConfig, JournalStats};
 pub use proto::{EventV1, Request, ServeError};
 
+use mnemo_faults::Backoff;
 use mnemo_telemetry::Snapshot;
 use std::io::{ErrorKind, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -121,6 +125,15 @@ fn to_transcript(rows: Vec<String>) -> String {
     out
 }
 
+/// Write-ahead journal policy for the socket loop.
+#[derive(Debug, Clone)]
+pub struct JournalPolicy {
+    /// Journal directory (segments live as `wal-*.log` inside it).
+    pub dir: PathBuf,
+    /// Segment sizing and sync cadence.
+    pub config: JournalConfig,
+}
+
 /// Periodic state-dump policy for the socket loop.
 #[derive(Debug, Clone, Default)]
 pub struct StatePolicy {
@@ -128,6 +141,8 @@ pub struct StatePolicy {
     pub path: Option<PathBuf>,
     /// Dump every N scheduler ticks (0 behaves as 1).
     pub every_ticks: u64,
+    /// Write-ahead journal; `None` disables journaling.
+    pub journal: Option<JournalPolicy>,
 }
 
 struct ClientConn {
@@ -147,13 +162,104 @@ pub struct ServeLoop {
     engine: ServeEngine,
     clients: Vec<ClientConn>,
     state: StatePolicy,
+    writer: Option<journal::JournalWriter>,
     last_dumped_tick: u64,
     done: bool,
 }
 
+/// What [`recover_engine`] did on a warm restart.
+pub struct Recovered {
+    /// The journal writer, open at the recovered sequence (`None` when
+    /// journaling is disabled).
+    pub writer: Option<journal::JournalWriter>,
+    /// Journal records replayed through the engine.
+    pub replayed: u64,
+    /// Torn tail records truncated.
+    pub truncated: u64,
+    /// Journal segments quarantined.
+    pub quarantined: u64,
+    /// Whether the state dump was rejected as corrupt (recovery then
+    /// degraded to a full journal replay).
+    pub dump_corrupt: bool,
+}
+
+/// Warm-restore `engine` from an optional dump plus the journal tail,
+/// and open the journal writer at the recovered sequence. Shared by the
+/// socket loop and the chaos harness so both restart paths are the same
+/// code. Recovery is total: a corrupt dump degrades to a full journal
+/// replay (counted, never fatal); corrupt journal segments quarantine.
+pub fn recover_engine(
+    engine: &mut ServeEngine,
+    state: &StatePolicy,
+) -> Result<Recovered, ServeError> {
+    let mut dump_corrupt = false;
+    if let Some(dump_path) = state.path.as_ref().filter(|p| p.exists()) {
+        match state::reload(engine, dump_path) {
+            Ok(_) => {}
+            Err(ServeError::Corrupt { .. }) if state.journal.is_some() => {
+                // The dump is damaged but the journal holds the full
+                // history (segments are never pruned): degrade to a
+                // cold engine plus a complete replay.
+                engine.note("serve.state.corrupt", 1);
+                engine.set_journal_seq(0);
+                dump_corrupt = true;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let Some(policy) = state.journal.as_ref() else {
+        return Ok(Recovered {
+            writer: None,
+            replayed: 0,
+            truncated: 0,
+            quarantined: 0,
+            dump_corrupt,
+        });
+    };
+    let recovery = journal::recover(&policy.dir, engine.journal_seq())?;
+    engine.note("serve.journal.truncated", recovery.truncated);
+    engine.note("serve.journal.quarantined", recovery.quarantined);
+    let mut replayed = 0u64;
+    for (seq, payload) in &recovery.frames {
+        // The journal only ever holds admitted requests, so a parse
+        // failure here means damage the checksum missed; skip it and
+        // count, keeping recovery total.
+        match proto::parse_request(payload, *seq as usize) {
+            Ok(Request::Ingest(event)) => {
+                engine.ingest(event)?;
+            }
+            Ok(Request::Advise { tenant }) => {
+                engine.advise_now(&tenant);
+            }
+            Ok(_) | Err(_) => {
+                engine.note("serve.journal.replay_rejected", 1);
+            }
+        }
+        engine.set_journal_seq(*seq);
+        replayed += 1;
+    }
+    engine.note("serve.journal.replayed", replayed);
+    engine.set_journal_seq(recovery.last_seq);
+    let faults = engine
+        .config()
+        .faults
+        .as_ref()
+        .map(mnemo_faults::FaultPlan::storage_faults);
+    let writer =
+        journal::JournalWriter::open(&policy.dir, policy.config, recovery.last_seq + 1, faults)?;
+    Ok(Recovered {
+        writer: Some(writer),
+        replayed,
+        truncated: recovery.truncated,
+        quarantined: recovery.quarantined,
+        dump_corrupt,
+    })
+}
+
 impl ServeLoop {
     /// Bind `path` (removing a stale socket file first) and build the
-    /// engine. Optionally warm-restores from `state.path` if it exists.
+    /// engine. Warm-restores from `state.path` if it exists, then
+    /// replays the journal tail past the dump's watermark.
     pub fn bind(
         path: &Path,
         config: ServeConfig,
@@ -173,17 +279,30 @@ impl ServeLoop {
             .set_nonblocking(true)
             .map_err(|e| ServeError::Io(format!("cannot set nonblocking: {e}")))?;
         let mut engine = ServeEngine::new(config)?;
-        if let Some(dump_path) = state.path.as_ref().filter(|p| p.exists()) {
-            state::reload(&mut engine, dump_path)?;
-        }
+        let recovered = recover_engine(&mut engine, &state)?;
+        let last_dumped_tick = engine.ticks();
         Ok(ServeLoop {
             listener,
             engine,
             clients: Vec::new(),
             state,
-            last_dumped_tick: 0,
+            writer: recovered.writer,
+            last_dumped_tick,
             done: false,
         })
+    }
+
+    /// Journal a mutating request before it is applied (write-ahead
+    /// discipline: a crash after the append replays it, a crash before
+    /// loses an unacknowledged request — never a half-applied one).
+    fn journal_append(&mut self, payload: &str) -> Result<(), ServeError> {
+        let Some(writer) = self.writer.as_mut() else {
+            return Ok(());
+        };
+        let seq = writer.append(self.engine.now_ns(), payload)?;
+        self.engine.set_journal_seq(seq);
+        self.engine.note("serve.journal.appended", 1);
+        Ok(())
     }
 
     /// The engine (for inspection in tests and for final dumps).
@@ -263,8 +382,18 @@ impl ServeLoop {
                             .stream
                             .write_all(&proto::encode_frame(&proto::error_row(&e.to_string())));
                     }
-                    Ok(Request::Ingest(event)) => broadcast.extend(self.engine.ingest(event)?),
+                    Ok(Request::Ingest(event)) => {
+                        self.journal_append(&frame)?;
+                        broadcast.extend(self.engine.ingest(event)?);
+                        // Dump checks run per-ingest, not per-batch: a
+                        // dump is only consistent with its journal
+                        // watermark at the instant a tick completes
+                        // (queues drained, nothing applied past the
+                        // watermark).
+                        self.maybe_dump_state()?;
+                    }
                     Ok(Request::Advise { tenant }) => {
+                        self.journal_append(&frame)?;
                         let row = self.engine.advise_now(&tenant);
                         self.reply(i, &row);
                         broadcast.push(row);
@@ -295,7 +424,6 @@ impl ServeLoop {
             }
         }
         self.clients.retain(|c| !c.dead);
-        self.maybe_dump_state()?;
         Ok(active)
     }
 
@@ -316,10 +444,26 @@ impl ServeLoop {
         let every = self.state.every_ticks.max(1);
         let ticks = self.engine.ticks();
         if ticks > self.last_dumped_tick && ticks % every == 0 {
+            if !self.sync_journal()? {
+                // The journal tail is not durable (simulated fsync
+                // failure): a dump now would claim a watermark the disk
+                // cannot back. Skip; the next due tick retries.
+                self.engine.note("serve.state.dump_skipped", 1);
+                return Ok(());
+            }
             state::write_atomic(&path, &state::dump(&self.engine))?;
             self.last_dumped_tick = ticks;
         }
         Ok(())
+    }
+
+    /// Force the journal durable. Returns false when a simulated fsync
+    /// failure left unsynced records (dumps must not proceed).
+    fn sync_journal(&mut self) -> Result<bool, ServeError> {
+        match self.writer.as_mut() {
+            None => Ok(true),
+            Some(writer) => writer.sync(self.engine.now_ns()),
+        }
     }
 
     /// Poll until shutdown, sleeping briefly when idle. On exit, flushes
@@ -332,7 +476,11 @@ impl ServeLoop {
         }
         let rows = self.engine.finish();
         if let Some(path) = self.state.path.clone() {
-            state::write_atomic(&path, &state::dump(&self.engine))?;
+            if self.sync_journal()? {
+                state::write_atomic(&path, &state::dump(&self.engine))?;
+            } else {
+                self.engine.note("serve.state.dump_skipped", 1);
+            }
         }
         Ok(rows)
     }
@@ -367,6 +515,100 @@ pub fn follow(path: &Path, max_rows: Option<u64>, out: &mut dyn Write) -> Result
         }
     }
     Ok(rows)
+}
+
+/// [`follow`] with reconnection: when the daemon socket drops mid-tail
+/// (restart, crash, transient read error), reconnect with the faults
+/// crate's capped exponential [`Backoff`] instead of exiting on the
+/// first read error. Progress (a received row) resets the retry budget.
+/// The tail ends cleanly once `max_rows` rows are written, or — after
+/// at least one successful connection — once the daemon stays away for
+/// a whole backoff budget (it shut down for good). A daemon that was
+/// never reachable is still an error. Returns the rows written.
+pub fn follow_retry(
+    path: &Path,
+    max_rows: Option<u64>,
+    out: &mut dyn Write,
+) -> Result<u64, ServeError> {
+    let backoff = Backoff::default_policy();
+    let mut rows = 0u64;
+    let mut attempt = 0u32;
+    let mut connected_once = false;
+    loop {
+        let stream = match UnixStream::connect(path) {
+            Ok(s) => s,
+            Err(e) => {
+                if attempt >= backoff.max_retries {
+                    return if connected_once {
+                        Ok(rows)
+                    } else {
+                        Err(ServeError::Io(format!(
+                            "cannot connect to '{}': {e}",
+                            path.display()
+                        )))
+                    };
+                }
+                std::thread::sleep(std::time::Duration::from_nanos(
+                    backoff.delay_ns(attempt) as u64
+                ));
+                attempt += 1;
+                continue;
+            }
+        };
+        connected_once = true;
+        let before = rows;
+        if tail_stream(stream, max_rows, &mut rows, out)? {
+            return Ok(rows);
+        }
+        if rows > before {
+            attempt = 0;
+        }
+    }
+}
+
+/// One `follow` session over an established connection. `Ok(true)`
+/// means the row limit was reached; `Ok(false)` means the connection
+/// dropped (close or read error) and the caller may reconnect. Only
+/// local write failures are fatal.
+fn tail_stream(
+    mut stream: UnixStream,
+    max_rows: Option<u64>,
+    rows: &mut u64,
+    out: &mut dyn Write,
+) -> Result<bool, ServeError> {
+    if stream
+        .write_all(&proto::encode_frame("{\"v\":1,\"cmd\":\"follow\"}"))
+        .is_err()
+    {
+        return Ok(false);
+    }
+    let mut buf = proto::FrameBuffer::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Ok(false),
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Ok(false),
+        };
+        buf.extend(&chunk[..n]);
+        loop {
+            match buf.next_frame(*rows as usize + 1) {
+                Ok(Some(row)) => {
+                    writeln!(out, "{row}")
+                        .map_err(|e| ServeError::Io(format!("write failed: {e}")))?;
+                    *rows += 1;
+                    if max_rows.is_some_and(|limit| *rows >= limit) {
+                        return Ok(true);
+                    }
+                }
+                Ok(None) => break,
+                // A garbled frame from a dying daemon: drop the
+                // connection and let the reconnect start clean.
+                Err(_) => return Ok(false),
+            }
+        }
+    }
 }
 
 /// Snapshots accumulated by a replayed engine, for telemetry export.

@@ -52,6 +52,16 @@ pub enum ServeError {
     },
     /// The advising engine failed.
     Engine(String),
+    /// Persisted bytes (a state dump or journal segment) failed
+    /// validation; `line` is the 1-based record ordinal within `path`.
+    Corrupt {
+        /// The file that failed validation.
+        path: String,
+        /// 1-based record ordinal inside the file (0 = header).
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl ServeError {
@@ -62,6 +72,7 @@ impl ServeError {
             ServeError::Io(_) => 3,
             ServeError::Proto { .. } => 4,
             ServeError::Engine(_) => 5,
+            ServeError::Corrupt { .. } => 4,
         }
     }
 }
@@ -73,6 +84,9 @@ impl fmt::Display for ServeError {
             ServeError::Io(m) => write!(f, "io: {m}"),
             ServeError::Proto { line, reason } => write!(f, "protocol (line {line}): {reason}"),
             ServeError::Engine(m) => write!(f, "engine: {m}"),
+            ServeError::Corrupt { path, line, reason } => {
+                write!(f, "corrupt: {path} record {line}: {reason}")
+            }
         }
     }
 }

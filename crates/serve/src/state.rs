@@ -11,6 +11,14 @@
 //! [`write_atomic`] writes via a temporary sibling plus rename, so a
 //! crash mid-dump leaves the previous state intact rather than a torn
 //! file.
+//!
+//! Version 2 dumps add a `journal_seq` watermark (the last journaled
+//! request folded into the dump — warm restart replays the journal tail
+//! after it) and an FNV-64 trailer line (`#fnv64:<16 hex>`) over the
+//! document, so a bit-flipped dump is rejected as
+//! [`ServeError::Corrupt`] rather than half-loaded. Version 1 dumps
+//! (no trailer, no watermark) stay loadable; versions newer than this
+//! build are rejected with a distinct "too new" message.
 
 use crate::engine::ServeEngine;
 use crate::proto::{json_escape, Json, ServeError};
@@ -22,8 +30,11 @@ use mnemo_telemetry::export::fmt_f64;
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Dump format version.
-pub const STATE_VERSION: u64 = 1;
+/// Dump format version this build writes (and the newest it reads).
+pub const STATE_VERSION: u64 = 2;
+
+/// Prefix of the checksum trailer line appended to v2 dumps.
+pub const CHECKSUM_PREFIX: &str = "#fnv64:";
 
 /// One tenant's saved serving state.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +62,10 @@ pub struct SavedState {
     pub offered: u64,
     /// Scheduler ticks at dump time.
     pub ticks: u64,
+    /// Journal watermark at dump time: the sequence number of the last
+    /// journaled request folded into this dump (0 in v1 dumps and in
+    /// journal-less daemons).
+    pub journal_seq: u64,
     /// Tenants in admission order.
     pub tenants: Vec<TenantState>,
 }
@@ -188,11 +203,15 @@ fn write_pending(out: &mut String, pending: &Option<Drift>) {
     }
 }
 
-/// Render the engine's full state as one JSON document.
+/// Render the engine's full state as one JSON document followed by the
+/// FNV-64 checksum trailer line.
 pub fn dump(engine: &ServeEngine) -> String {
     let (offered, ticks) = engine.clock_state();
-    let mut out =
-        format!("{{\"v\":{STATE_VERSION},\"offered\":{offered},\"ticks\":{ticks},\"tenants\":[");
+    let journal_seq = engine.journal_seq();
+    let mut out = format!(
+        "{{\"v\":{STATE_VERSION},\"offered\":{offered},\"ticks\":{ticks},\
+         \"journal_seq\":{journal_seq},\"tenants\":["
+    );
     for (i, t) in engine.tenant_states().iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -214,7 +233,9 @@ pub fn dump(engine: &ServeEngine) -> String {
         write_profiler(&mut out, &t.profiler);
         out.push('}');
     }
-    out.push_str("]}\n");
+    out.push_str("]}");
+    let check = crate::journal::fnv64(out.as_bytes());
+    let _ = write!(out, "\n{CHECKSUM_PREFIX}{check:016x}\n");
     out
 }
 
@@ -366,15 +387,58 @@ fn read_pending(value: &Json, what: &str) -> Result<Option<Drift>, ServeError> {
     }))
 }
 
-/// Parse a state dump produced by [`dump`].
-pub fn parse(input: &str) -> Result<SavedState, ServeError> {
-    let value = Json::parse(input.trim_end()).map_err(bad)?;
+fn corrupt(path: &str, reason: impl Into<String>) -> ServeError {
+    ServeError::Corrupt {
+        path: path.to_string(),
+        line: 1,
+        reason: reason.into(),
+    }
+}
+
+/// Parse a state dump produced by [`dump`]. `path` labels corruption
+/// reports; use [`parse`] when there is no meaningful file name.
+///
+/// The checksum trailer is verified *before* the JSON is parsed, so a
+/// bit flip anywhere in a v2 document reports as `corrupt` rather than
+/// as a confusing schema error. v1 dumps (no trailer) stay loadable.
+pub fn parse_named(input: &str, path: &str) -> Result<SavedState, ServeError> {
+    let mut lines = input.lines();
+    let doc = lines.next().unwrap_or("");
+    let trailer = lines.find(|l| !l.trim().is_empty());
+    if let Some(extra) = trailer {
+        let Some(hex) = extra.strip_prefix(CHECKSUM_PREFIX) else {
+            return Err(corrupt(path, format!("unexpected trailing line `{extra}`")));
+        };
+        let want = u64::from_str_radix(hex.trim(), 16)
+            .map_err(|_| corrupt(path, format!("malformed checksum trailer `{extra}`")))?;
+        let got = crate::journal::fnv64(doc.as_bytes());
+        if got != want {
+            return Err(corrupt(
+                path,
+                format!(
+                    "checksum mismatch: document hashes to {got:016x}, trailer says {want:016x}"
+                ),
+            ));
+        }
+    }
+    let value = Json::parse(doc).map_err(bad)?;
     let v = req(&value, "v", "state")?.u64("`v`").map_err(bad)?;
-    if v != STATE_VERSION {
+    if v > STATE_VERSION {
         return Err(bad(format!(
-            "unsupported state version {v} (this build speaks {STATE_VERSION})"
+            "state version {v} too new (this build speaks <= {STATE_VERSION})"
         )));
     }
+    if v == 0 {
+        return Err(bad("unsupported state version 0"));
+    }
+    if v >= 2 && trailer.is_none() {
+        return Err(corrupt(path, "missing checksum trailer (truncated dump?)"));
+    }
+    let journal_seq = match value.get("journal_seq") {
+        Some(seq) => seq.u64("`journal_seq`").map_err(bad)?,
+        None if v == 1 => 0,
+        None => return Err(bad("state: missing `journal_seq`")),
+    };
     let mut tenants = Vec::new();
     for t in req(&value, "tenants", "state")?
         .arr("`tenants`")
@@ -401,16 +465,26 @@ pub fn parse(input: &str) -> Result<SavedState, ServeError> {
             .u64("`offered`")
             .map_err(bad)?,
         ticks: req(&value, "ticks", "state")?.u64("`ticks`").map_err(bad)?,
+        journal_seq,
         tenants,
     })
 }
 
-/// Load a state dump from disk and warm-restore it into the engine.
+/// [`parse_named`] without a file name.
+pub fn parse(input: &str) -> Result<SavedState, ServeError> {
+    parse_named(input, "state")
+}
+
+/// Load a state dump from disk and warm-restore it into the engine
+/// (including the journal watermark). Returns the tenant count.
 pub fn reload(engine: &mut ServeEngine, path: &Path) -> Result<usize, ServeError> {
-    let input = std::fs::read_to_string(path)
+    let bytes = std::fs::read(path)
         .map_err(|e| ServeError::Io(format!("cannot read state '{}': {e}", path.display())))?;
-    let saved = parse(&input)?;
+    let input = String::from_utf8(bytes)
+        .map_err(|_| corrupt(&path.display().to_string(), "dump is not UTF-8"))?;
+    let saved = parse_named(&input, &path.display().to_string())?;
     let n = saved.tenants.len();
+    engine.set_journal_seq(saved.journal_seq);
     engine.restore(saved.offered, saved.ticks, saved.tenants)?;
     Ok(n)
 }
@@ -481,12 +555,56 @@ mod tests {
 
     #[test]
     fn corrupt_dumps_are_rejected_with_reasons() {
-        assert!(matches!(
-            parse("{\"v\":99,\"offered\":0,\"ticks\":0,\"tenants\":[]}"),
-            Err(ServeError::Proto { .. })
-        ));
+        // Newer-than-us is a distinct, explicit message — not "corrupt".
+        match parse("{\"v\":99,\"offered\":0,\"ticks\":0,\"journal_seq\":0,\"tenants\":[]}") {
+            Err(ServeError::Proto { reason, .. }) => {
+                assert!(reason.contains("too new"), "{reason}")
+            }
+            other => panic!("expected a too-new error, got {other:?}"),
+        }
         assert!(parse("{\"v\":1,\"ticks\":0,\"tenants\":[]}").is_err());
         assert!(parse("not json").is_err());
+    }
+
+    #[test]
+    fn checksum_trailer_rejects_bit_flips_as_corrupt() {
+        let mut engine = small_engine();
+        feed(&mut engine, "alpha", 0..400);
+        let good = dump(&engine);
+        assert!(parse(&good).is_ok());
+        // Flip one byte inside the document.
+        let mut flipped = good.clone().into_bytes();
+        let at = good.find("\"offered\"").unwrap() + 12;
+        flipped[at] ^= 0x01;
+        let flipped = String::from_utf8(flipped).unwrap();
+        match parse_named(&flipped, "state.json") {
+            Err(ServeError::Corrupt { path, line, reason }) => {
+                assert_eq!(path, "state.json");
+                assert_eq!(line, 1);
+                assert!(reason.contains("checksum mismatch"), "{reason}");
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // A v2 dump with the trailer torn off is corrupt, not loadable.
+        let torn = good.lines().next().unwrap().to_string();
+        assert!(matches!(parse(&torn), Err(ServeError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn checksum_less_v1_dumps_stay_loadable() {
+        let mut engine = small_engine();
+        feed(&mut engine, "alpha", 0..400);
+        // Rewrite the current dump as a v1 document: no journal_seq, no
+        // trailer — exactly what a pre-journal daemon produced.
+        let v2 = dump(&engine);
+        let doc = v2.lines().next().unwrap();
+        let v1 = doc
+            .replacen("\"v\":2", "\"v\":1", 1)
+            .replacen(",\"journal_seq\":0", "", 1)
+            + "\n";
+        let saved = parse(&v1).unwrap();
+        assert_eq!(saved.journal_seq, 0);
+        assert_eq!(saved.tenants.len(), 1);
     }
 
     #[test]

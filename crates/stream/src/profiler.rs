@@ -279,9 +279,13 @@ impl StreamProfiler {
             let guaranteed: Vec<u64> = entries.iter().map(|e| e.guaranteed()).collect();
             let theta = fit_zipf_theta(&guaranteed).unwrap_or(0.0);
             let head_len = head_keys.len() as u64;
-            let total_weight: f64 = (1..=tail_keys)
+            // powf dominates this loop and the serve daemon re-plans
+            // from approx patterns every tick: compute each rank's
+            // weight once and reuse it in the assignment pass below.
+            let weights: Vec<f64> = (1..=tail_keys)
                 .map(|r| ((head_len + r) as f64).powf(-theta))
-                .sum();
+                .collect();
+            let total_weight: f64 = weights.iter().sum();
             let read_frac = if self.events > 0 {
                 self.reads as f64 / self.events as f64
             } else {
@@ -292,7 +296,7 @@ impl StreamProfiler {
             let mut cum = 0.0;
             let mut assigned = 0u64;
             for r in 1..=tail_keys {
-                cum += ((head_len + r) as f64).powf(-theta) / total_weight * tail_mass as f64;
+                cum += weights[(r - 1) as usize] / total_weight * tail_mass as f64;
                 let upto = if r == tail_keys {
                     tail_mass
                 } else {

@@ -1,10 +1,12 @@
 //! Serving-layer integration: transcript determinism across worker
 //! counts, multi-tenant isolation, cold-start degradation, crash
-//! recovery, and crash-safe state round-trips.
+//! recovery, crash-safe state round-trips, and journaled kill/restart
+//! convergence under storage faults.
 
+use mnemo_serve::chaos::{ChaosConfig, KillKind};
 use mnemo_serve::engine::{ServeConfig, ServeEngine};
 use mnemo_serve::proto::EventV1;
-use mnemo_serve::{run_replay, state};
+use mnemo_serve::{journal, run_replay, state};
 use mnemo_stream::StreamConfig;
 
 const FIXTURE: &str = concat!(
@@ -210,4 +212,143 @@ fn state_dump_reload_continues_byte_identically() {
         "final states must be byte-identical"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+const STORAGE_PLAN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/serve/storage.toml"
+);
+
+fn chaos_workdir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mnemo-it-chaos-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn chaos_kill_restart_transcripts_are_byte_identical_for_several_seeds() {
+    // The full harness on the CI fixture: for each seed, kill the
+    // durable session at several seeded indices (plus the anchored
+    // mid-dump kill), restart from dump + journal tail, and require the
+    // final transcript and state dump to match the uninterrupted run
+    // byte for byte.
+    for seed in [3u64, 7, 23] {
+        let chaos = ChaosConfig {
+            seed,
+            kills: 4,
+            ..ChaosConfig::default()
+        };
+        let dir = chaos_workdir(&format!("seed{seed}"));
+        let report =
+            mnemo_serve::chaos::run_chaos(&fixture_input(), fixture_config(), &dir, &chaos)
+                .expect("chaos harness");
+        assert!(
+            report.transcript_identical,
+            "seed {seed}: recovered transcript diverged"
+        );
+        assert!(
+            report.state_identical,
+            "seed {seed}: recovered state dump diverged"
+        );
+        assert!(report.converged(), "seed {seed}: {}", report.render());
+        assert!(
+            report.kills.iter().any(|k| k.kind == KillKind::MidDump),
+            "seed {seed}: the mid-dump kill must be anchored"
+        );
+        assert!(
+            report
+                .kills
+                .iter()
+                .map(|k| u64::from(k.replayed > 0))
+                .sum::<u64>()
+                > 0,
+            "seed {seed}: at least one restart must replay journal records"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn chaos_under_the_storage_fault_fixture_converges_with_quarantines() {
+    // Same harness, with the checked-in storage-fault plan: torn
+    // writes and bit flips strike at every kill, an fsync_fail window
+    // holds the durable watermark mid-run, and a dump_corrupt window
+    // damages the state file. Recovery must still converge exactly,
+    // and the damage must actually register (truncated or quarantined
+    // records/segments counted, quarantine files accounted for).
+    let plan = mnemo_faults::FaultPlan::load(std::path::Path::new(STORAGE_PLAN)).expect("plan");
+    assert!(plan.events.iter().all(mnemo_faults::FaultEvent::is_storage));
+    let config = ServeConfig {
+        faults: Some(plan),
+        ..fixture_config()
+    };
+    let chaos = ChaosConfig::default(); // 8 kills
+    let dir = chaos_workdir("storage");
+    let report = mnemo_serve::chaos::run_chaos(&fixture_input(), config, &dir, &chaos)
+        .expect("chaos harness");
+    assert!(report.kills.len() >= 8, "{} kills", report.kills.len());
+    assert!(report.converged(), "{}", report.render());
+    let truncated: u64 = report.kills.iter().map(|k| k.truncated).sum();
+    assert!(
+        truncated + report.quarantined_total > 0,
+        "the fault plan must actually tear or corrupt something: {}",
+        report.render()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_mid_segment_quarantines_and_recovery_continues_degraded() {
+    // Direct corruption injection against the journal's public API: a
+    // bit flip in the *middle* of a multi-segment journal quarantines
+    // that segment (and everything unreachable past it), never panics,
+    // and reports line-numbered corruption errors.
+    let dir = chaos_workdir("inject").join("journal");
+    let config = journal::JournalConfig {
+        segment_bytes: 256,
+        sync_every: 1,
+    };
+    let mut writer = journal::JournalWriter::open(&dir, config, 1, None).expect("open");
+    for i in 0..40u64 {
+        writer
+            .append(u128::from(i) * 1_000, &format!("{{\"v\":1,\"n\":{i}}}"))
+            .expect("append");
+    }
+    drop(writer);
+    let mut segments: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    segments.sort();
+    assert!(segments.len() >= 3, "need a multi-segment journal");
+    let victim = &segments[segments.len() / 2];
+    let mut bytes = std::fs::read(victim).expect("segment");
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0x40;
+    std::fs::write(victim, &bytes).expect("rewrite");
+
+    let recovery = journal::recover(&dir, 0).expect("recovery is total");
+    assert!(
+        recovery.quarantined > 0,
+        "the flipped segment must quarantine"
+    );
+    assert!(
+        !recovery.frames.is_empty(),
+        "records before the corruption still replay"
+    );
+    assert!(
+        recovery
+            .reports
+            .iter()
+            .any(|e| { matches!(e, mnemo_serve::ServeError::Corrupt { .. }) }),
+        "quarantines carry line-numbered corruption reports: {:?}",
+        recovery.reports
+    );
+    // The journal directory stays consistent: every quarantined segment
+    // is renamed, none silently deleted.
+    let quarantine_files = std::fs::read_dir(&dir)
+        .expect("dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().to_string_lossy().contains(".quarantined"))
+        .count() as u64;
+    assert_eq!(quarantine_files, recovery.quarantined);
+    std::fs::remove_dir_all(dir.parent().expect("parent")).ok();
 }
