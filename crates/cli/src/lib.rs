@@ -135,8 +135,11 @@ COMMANDS:
   lint                           run the workspace determinism/robustness
       linter over crates/ (see CONTRIBUTING.md \"Determinism rules\")
       --root DIR                         workspace root (default .)
-      --format human|json                (default human)
+      --format human|json|sarif          (default human)
       --deny-warnings                    stale/malformed allows also fail
+      --cache-dir DIR                    persist per-file analyses; warm
+                                         runs re-lex only changed files
+      --explain CODE                     print a rule's documentation page
   plan <trace-file>              price the recommendation as cloud VMs
       --provider aws|gcp|azure           (default all)
       --deploy-gib N                     scale the split to N GiB

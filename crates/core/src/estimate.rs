@@ -87,8 +87,9 @@ impl EstimateEngine {
         // are bit-identical to the single-threaded path.
         let pool = mnemo_par::Pool::current();
         let fast_runtimes =
-            pool.map_slice(pattern.stats(), |_, s| self.key_runtime(s, MemTier::Fast));
+            pool.map_slice(pattern.stats(), |_, s| self.key_runtime(s, MemTier::Fast)); // mnemo-lint: allow(D007, "predict's sum is a fixed-length dot product inside one task; per-key results gather in key order")
         let fast_total: f64 = fast_runtimes.iter().sum();
+        // mnemo-lint: allow(D007, "same per-key dot product as the fast pass; deltas gather in key order regardless of workers")
         let mut deltas: Vec<f64> = pool.map_slice(pattern.stats(), |k, s| {
             self.key_runtime(s, MemTier::Slow) - fast_runtimes[k]
         });

@@ -119,13 +119,18 @@ impl PerfModel {
                 }
                 ModelKind::SizeAware => {
                     for op in [Op::Read, Op::Update] {
-                        let samples: Vec<(u64, f64)> = run
-                            .report
-                            .samples
-                            .iter()
-                            .filter(|s| s.op == op)
-                            .map(|s| (sizes[s.key as usize], s.service_ns))
-                            .collect();
+                        // Filtered collect can't size itself; reserve
+                        // the upper bound once instead of doubling up
+                        // through ~trace-length growth twice per fit.
+                        let mut samples: Vec<(u64, f64)> =
+                            Vec::with_capacity(run.report.samples.len());
+                        samples.extend(
+                            run.report
+                                .samples
+                                .iter()
+                                .filter(|s| s.op == op)
+                                .map(|s| (sizes[s.key as usize], s.service_ns)),
+                        );
                         fits[idx(tier, op)] = AffineFit::fit(&samples);
                     }
                 }

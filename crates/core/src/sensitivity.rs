@@ -122,6 +122,7 @@ impl SensitivityEngine {
     /// seeds, so they execute concurrently on the bounded pool; results
     /// are identical to running them back to back.
     pub fn measure(&self, store: StoreKind, trace: &Trace) -> Result<Baselines, EngineError> {
+        // mnemo-lint: allow(D007, "predict's dot product runs whole within one arm of the join; no cross-worker reduction")
         let (fast, slow) = mnemo_par::Pool::current().join(
             || self.measure_one(store, trace, Placement::AllFast),
             || self.measure_one(store, trace, Placement::AllSlow),
@@ -143,7 +144,7 @@ impl SensitivityEngine {
         cells: &[(StoreKind, &Trace)],
     ) -> Result<Vec<Baselines>, EngineError> {
         mnemo_par::Pool::current()
-            .run_jobs(cells.len(), |i| {
+            .run_jobs(cells.len(), |i| { // mnemo-lint: allow(D007, "the only reachable reduction is predict's per-key dot product, local to each grid cell job")
                 let (store, trace) = cells[i];
                 self.measure(store, trace)
             })

@@ -14,11 +14,25 @@
 //! | D002 | no default-hasher `HashMap`/`HashSet` in non-test code |
 //! | D003 | no thread creation outside `mnemo-par` |
 //! | D004 | no float reductions inside pool closures |
+//! | D005 | no ad-hoc `Instant` timing in `crates/bench` (use `SweepTimer`) |
+//! | D006 | no nondeterminism *reachable* from pool closures (call graph) |
+//! | D007 | no float reduction reachable from pool-scheduled fns |
 //! | R001 | no `unwrap`/`expect`/`panic!` outside tests and benches |
 //! | R002 | no bare `as` integer casts in `hybridmem` |
+//! | R003 | no panic reachable from serve request/journal hot paths |
 //! | S001 | no `process::exit` outside `main.rs` |
+//! | C001 | no conflicting lock-acquisition orders across call paths |
+//! | P001 | no heap allocation reachable from hybridmem charge paths |
 //! | M001 | malformed `mnemo-lint:` directive |
-//! | M002 | stale allow directive |
+//! | M002 | stale, empty-justification, or copy-pasted allow directive |
+//!
+//! The D006/D007/R003/C001/P001 family is *semantic*: a recursive-
+//! descent [`parser`] lifts each file to items + call references, a
+//! workspace [`graph`] resolves those into a cross-crate call graph,
+//! and [`reach`] walks it for transitively reachable facts. Results are
+//! memoized per file in an incremental [`cache`] keyed on FNV-64
+//! content hashes, and findings render as human text, JSON, or SARIF
+//! v2.1.0 ([`sarif`]).
 //!
 //! Violations are suppressed inline — with a mandatory justification —
 //! via `// mnemo-lint: allow(CODE, "reason")`; see [`allow`].
@@ -35,13 +49,18 @@
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod cache;
 pub mod context;
 pub mod diag;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
+pub mod reach;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 
-pub use diag::{Code, Finding, Severity};
-pub use engine::{lint_source, lint_tree, Report};
+pub use diag::{explain_code, Code, Finding, Severity};
+pub use engine::{lint_files, lint_source, lint_tree, lint_tree_cached, Report};
 pub use report::{render, Format};

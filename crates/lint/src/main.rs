@@ -3,13 +3,14 @@
 //! lives in the library so it is unit- and fixture-testable.
 //!
 //! ```text
-//! mnemo-lint [--root DIR] [--format human|json] [--deny-warnings]
+//! mnemo-lint [--root DIR] [--format human|json|sarif]
+//!            [--deny-warnings] [--cache-dir DIR] [--explain CODE]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings (errors, or warnings under
 //! `--deny-warnings`), 2 usage/IO error.
 
-use mnemo_lint::{lint_tree, render, Format};
+use mnemo_lint::{explain_code, lint_tree_cached, render, Format};
 use std::path::PathBuf;
 
 fn main() {
@@ -28,11 +29,15 @@ fn main() {
     }
 }
 
+const USAGE: &str = "usage: mnemo-lint [--root DIR] [--format human|json|sarif] \
+                     [--deny-warnings] [--cache-dir DIR] [--explain CODE]\n";
+
 /// Returns the rendered report and whether the run should fail.
 fn run(argv: &[String]) -> Result<(String, bool), String> {
     let mut root = PathBuf::from(".");
     let mut format = Format::Human;
     let mut deny_warnings = false;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut iter = argv.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -45,21 +50,29 @@ fn run(argv: &[String]) -> Result<(String, bool), String> {
             "--format" => {
                 let v = iter
                     .next()
-                    .ok_or_else(|| "--format needs human|json".to_string())?;
+                    .ok_or_else(|| "--format needs human|json|sarif".to_string())?;
                 format = Format::parse(v).ok_or_else(|| format!("unknown format '{v}'"))?;
             }
             "--deny-warnings" => deny_warnings = true,
-            "--help" | "-h" => {
-                return Ok((
-                    "usage: mnemo-lint [--root DIR] [--format human|json] [--deny-warnings]\n"
-                        .to_string(),
-                    false,
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| "--cache-dir needs a directory".to_string())?,
                 ));
+            }
+            "--explain" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| "--explain needs a lint code (e.g. D006)".to_string())?;
+                return Ok((explain_code(v)?, false));
+            }
+            "--help" | "-h" => {
+                return Ok((USAGE.to_string(), false));
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    let report = lint_tree(&root).map_err(|e| e.to_string())?;
+    let report = lint_tree_cached(&root, cache_dir.as_deref()).map_err(|e| e.to_string())?;
     let failed = report.is_failure(deny_warnings);
     Ok((render(&report, format), failed))
 }

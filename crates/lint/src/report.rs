@@ -14,6 +14,8 @@ pub enum Format {
     Human,
     /// The machine-readable CI artifact.
     Json,
+    /// SARIF v2.1.0, for code-scanning UIs (see [`crate::sarif`]).
+    Sarif,
 }
 
 impl Format {
@@ -22,6 +24,7 @@ impl Format {
         match s {
             "human" => Some(Format::Human),
             "json" => Some(Format::Json),
+            "sarif" => Some(Format::Sarif),
             _ => None,
         }
     }
@@ -32,6 +35,7 @@ pub fn render(report: &Report, format: Format) -> String {
     match format {
         Format::Human => human(report),
         Format::Json => json(report),
+        Format::Sarif => crate::sarif::sarif(report),
     }
 }
 
@@ -89,8 +93,9 @@ fn json(report: &Report) -> String {
     out
 }
 
-/// JSON string escaping (quotes, backslashes, control bytes).
-fn escape(s: &str) -> String {
+/// JSON string escaping (quotes, backslashes, control bytes). Shared
+/// with the SARIF renderer.
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -156,6 +161,7 @@ mod tests {
     fn format_parses() {
         assert_eq!(Format::parse("json"), Some(Format::Json));
         assert_eq!(Format::parse("human"), Some(Format::Human));
+        assert_eq!(Format::parse("sarif"), Some(Format::Sarif));
         assert_eq!(Format::parse("yaml"), None);
     }
 }

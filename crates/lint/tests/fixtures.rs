@@ -64,7 +64,8 @@ fn code_of(name: &str) -> Code {
 fn corpus_covers_every_rule_code_three_ways() {
     let names: Vec<String> = fixtures().into_iter().map(|(n, _, _)| n).collect();
     for code in [
-        "d001", "d002", "d003", "d004", "d005", "r001", "r002", "s001",
+        "d001", "d002", "d003", "d004", "d005", "d006", "d007", "r001", "r002", "r003", "s001",
+        "c001", "p001",
     ] {
         for case in ["positive", "negative", "allowed"] {
             let want = format!("{code}_{case}.rs");
@@ -161,6 +162,25 @@ fn corpus_matches_golden_json() {
     assert_eq!(
         got, want,
         "corpus JSON drifted from tests/fixtures/lint/golden.json; \
+         rerun with UPDATE_LINT_GOLDEN=1 if the change is intentional"
+    );
+}
+
+/// Same pin for the SARIF renderer: CI uploads this format as an
+/// artifact, so its exact bytes over the corpus are golden too.
+#[test]
+fn corpus_matches_golden_sarif() {
+    let got = render(&lint_corpus(), Format::Sarif);
+    let golden_path = corpus_dir().join("golden.sarif");
+    if std::env::var_os("UPDATE_LINT_GOLDEN").is_some() {
+        fs::write(&golden_path, &got).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&golden_path)
+        .expect("golden.sarif exists (UPDATE_LINT_GOLDEN=1 to regenerate)");
+    assert_eq!(
+        got, want,
+        "corpus SARIF drifted from tests/fixtures/lint/golden.sarif; \
          rerun with UPDATE_LINT_GOLDEN=1 if the change is intentional"
     );
 }

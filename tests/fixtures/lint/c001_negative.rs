@@ -1,0 +1,21 @@
+//@ path: crates/core/src/c001_negative.rs
+use std::sync::Mutex;
+
+pub struct Pair {
+    left: Mutex<u64>,
+    right: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u64 {
+        let a = self.left.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.right.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+
+    pub fn diff(&self) -> u64 {
+        let a = self.left.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.right.lock().unwrap_or_else(|e| e.into_inner());
+        *a - *b
+    }
+}

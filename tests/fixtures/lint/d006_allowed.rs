@@ -1,0 +1,15 @@
+//@ path: crates/core/src/d006_allowed.rs
+fn stamp_ns() -> u128 {
+    // mnemo-lint: allow(D001, "fixture: diagnostic-only stamp outside determinism outputs")
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+fn sample(i: usize) -> u128 {
+    stamp_ns() + i as u128
+}
+
+pub fn run(n: usize) -> Vec<u128> {
+    let pool = mnemo_par::Pool::current();
+    // mnemo-lint: allow(D006, "fixture: stamps are logged, never folded into results")
+    pool.run_jobs(n, |i| sample(i))
+}

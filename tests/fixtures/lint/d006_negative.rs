@@ -1,0 +1,13 @@
+//@ path: crates/core/src/d006_negative.rs
+fn weight(i: usize) -> u64 {
+    (i as u64).wrapping_mul(0x9e37_79b9)
+}
+
+fn sample(i: usize) -> u64 {
+    weight(i) ^ 0xff
+}
+
+pub fn run(n: usize) -> Vec<u64> {
+    let pool = mnemo_par::Pool::current();
+    pool.run_jobs(n, |i| sample(i))
+}

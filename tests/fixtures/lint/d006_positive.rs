@@ -1,0 +1,16 @@
+//@ path: crates/core/src/d006_positive.rs
+// The seeded regression shape: wall clock two calls below a pool
+// closure. D006 must anchor at the pool site and name the chain.
+
+fn stamp_ns() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+fn sample(i: usize) -> u128 {
+    stamp_ns() + i as u128
+}
+
+pub fn run(n: usize) -> Vec<u128> {
+    let pool = mnemo_par::Pool::current();
+    pool.run_jobs(n, |i| sample(i))
+}

@@ -1,0 +1,10 @@
+//@ path: crates/core/src/d007_allowed.rs
+fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn run(chunks: &[Vec<f64>]) -> Vec<f64> {
+    let pool = mnemo_par::Pool::current();
+    // mnemo-lint: allow(D007, "fixture: each sum stays inside one chunk job, order is slice order")
+    pool.run_jobs(chunks.len(), |i| total(&chunks[i]))
+}

@@ -1,0 +1,9 @@
+//@ path: crates/core/src/d007_negative.rs
+fn total(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}
+
+pub fn run(chunks: &[Vec<u64>]) -> Vec<u64> {
+    let pool = mnemo_par::Pool::current();
+    pool.run_jobs(chunks.len(), |i| total(&chunks[i]))
+}

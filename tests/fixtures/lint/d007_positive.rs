@@ -1,0 +1,9 @@
+//@ path: crates/core/src/d007_positive.rs
+fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn run(chunks: &[Vec<f64>]) -> Vec<f64> {
+    let pool = mnemo_par::Pool::current();
+    pool.run_jobs(chunks.len(), |i| total(&chunks[i]))
+}

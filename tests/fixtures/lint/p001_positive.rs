@@ -1,0 +1,8 @@
+//@ path: crates/hybridmem/src/system.rs
+fn tag(kind: u32) -> String {
+    format!("kind-{kind}")
+}
+
+pub fn access(kind: u32) -> usize {
+    tag(kind).len()
+}

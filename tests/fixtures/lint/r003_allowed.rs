@@ -1,0 +1,10 @@
+//@ path: crates/serve/src/engine.rs
+fn decode(row: &str) -> u64 {
+    // mnemo-lint: allow(R001, "fixture: caller validates the row before decode")
+    row.parse().unwrap()
+}
+
+// mnemo-lint: allow(R003, "fixture: decode's unwrap guards a pre-validated row")
+pub fn ingest(row: &str) -> u64 {
+    decode(row) + 1
+}

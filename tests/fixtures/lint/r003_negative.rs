@@ -1,0 +1,8 @@
+//@ path: crates/serve/src/engine.rs
+fn decode(row: &str) -> u64 {
+    row.parse().unwrap_or(0)
+}
+
+pub fn ingest(row: &str) -> u64 {
+    decode(row) + 1
+}
